@@ -1,0 +1,104 @@
+// §9.3 reproduction: affinity scheduling under non-uniform memory cost.
+//
+// Paper: two preliminary affinity schemes — operator affinity (an
+// operator prefers the processor it last ran on) and data affinity (the
+// scheduler considers the size and cached locations of a node's inputs).
+// "We expect affinity to be of some use on machines like the Cray, but
+// to be particularly important on architectures like the Butterfly which
+// have non-uniform access to memory."
+//
+// Workload: iterative grid relaxation — five persistent 2 MiB grids,
+// each relaxed once per step by the same operator. Five grids on four
+// processors force rotation under plain FIFO scheduling (grids migrate
+// every step and pay the remote penalty); data affinity pins each grid
+// to the processor whose memory holds it. Remote access is a virtual
+// per-KiB penalty in the simulator (Butterfly-style NUMA); 0 models the
+// UMA Cray/Sequent. See DESIGN.md for the substitution.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/delirium.h"
+#include "src/runtime/sim.h"
+#include "src/tools/report.h"
+
+using namespace delirium;
+
+namespace {
+
+constexpr int kGrids = 5;
+constexpr int kSteps = 24;
+constexpr int kGridCells = 512 * 1024;  // 2 MiB of floats
+
+std::string grid_source() {
+  std::ostringstream os;
+  os << "main()\n  iterate {\n    step = 0, incr(step)\n";
+  for (int g = 0; g < kGrids; ++g) {
+    os << "    g" << g << " = make_grid(" << g << "), relax(g" << g << ")\n";
+  }
+  os << "  } while is_not_equal(step, " << kSteps << "), result g0\n";
+  return os.str();
+}
+
+void register_grid_operators(OperatorRegistry& registry) {
+  registry.add("make_grid", 1, [](OpContext& ctx) {
+    return Value::block(std::vector<float>(
+        kGridCells, static_cast<float>(ctx.arg_int(0))));
+  });
+  registry.add("relax", 1, [](OpContext& ctx) {
+    auto& grid = ctx.arg_block_mut<std::vector<float>>(0);
+    // One Jacobi-ish smoothing sweep.
+    float prev = grid[0];
+    for (size_t i = 1; i + 1 < grid.size(); ++i) {
+      const float cur = grid[i];
+      grid[i] = 0.25f * prev + 0.5f * cur + 0.25f * grid[i + 1];
+      prev = cur;
+    }
+    return ctx.take(0);
+  }).destructive(0);
+}
+
+}  // namespace
+
+int main() {
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_grid_operators(registry);
+  CompiledProgram program = compile_or_throw(grid_source(), registry);
+  const CostTable costs = calibrate_costs(registry, program, 3);
+
+  std::printf("Affinity scheduling: %d persistent 2 MiB grids relaxed for %d steps on 4 "
+              "virtual processors\n", kGrids, kSteps);
+  std::printf("remote penalty: virtual ns per KiB of a block homed on another processor\n\n");
+
+  tools::Table table({"memory model", "affinity", "makespan (ms)", "remote block moves",
+                      "speedup vs no affinity"});
+  for (const int64_t penalty : {int64_t{0}, int64_t{500}, int64_t{2000}}) {
+    double none_ms = 0;
+    for (const auto affinity :
+         {AffinityMode::kNone, AffinityMode::kOperator, AffinityMode::kData}) {
+      SimConfig config;
+      config.num_procs = 4;
+      config.replay_costs = &costs;
+      config.remote_penalty_ns_per_kb = penalty;
+      config.affinity = affinity;
+      SimRuntime sim(registry, config);
+      SimResult result = sim.run(program);
+      const double ms = static_cast<double>(result.makespan) / 1e6;
+      const char* affinity_name = affinity == AffinityMode::kNone       ? "none"
+                                  : affinity == AffinityMode::kOperator ? "operator"
+                                                                        : "data";
+      if (affinity == AffinityMode::kNone) none_ms = ms;
+      std::string model = penalty == 0 ? "UMA (Cray/Sequent)"
+                                       : "NUMA " + std::to_string(penalty) + " ns/KiB";
+      table.add_row({model, affinity_name, tools::Table::ms(ms),
+                     std::to_string(result.stats.remote_block_moves),
+                     tools::Table::ratio(none_ms / ms)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nExpected shape (§9.3): affinity is marginal on UMA and increasingly\n"
+              "important as remote access grows more expensive; data affinity\n"
+              "eliminates nearly all block migrations.\n");
+  return 0;
+}

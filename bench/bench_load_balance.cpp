@@ -1,0 +1,104 @@
+// §5.2 reproduction: diagnosing load imbalance with node timings.
+//
+// Paper: the first coordination version showed post_up alternating
+// between negligible cost and "as long as all the convolutions
+// combined", capping speedup below 2 regardless of processor count.
+// Decomposing the update into a four-way fork-join (update_bite) gave
+// almost perfect balance.
+//
+// This bench prints the node-timing evidence for both versions, exactly
+// the diagnostic workflow the paper describes.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <iostream>
+
+#include "src/apps/retina/retina_ops.h"
+#include "src/delirium.h"
+#include "src/tools/report.h"
+
+using namespace delirium;
+using namespace delirium::retina;
+
+int main() {
+  RetinaParams params;
+  params.width = params.height = 384;
+  params.num_targets = 48;
+  params.num_iter = 2;
+  params.seed = 7;
+
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_retina_operators(registry, params);
+
+  Runtime runtime(registry, {.num_workers = 1, .enable_node_timing = true});
+
+  for (const auto version : {RetinaVersion::kV1Imbalanced, RetinaVersion::kV2Balanced}) {
+    const bool v1 = version == RetinaVersion::kV1Imbalanced;
+    delirium_run(params, version, runtime);
+    std::printf("=== %s ===\n", v1 ? "v1: post_up merges and updates sequentially"
+                                   : "v2: update decomposed into update_bite x4");
+
+    // The paper-style trace excerpt: one slab's worth of calls.
+    std::printf("node timing excerpt:\n");
+    size_t shown = 0;
+    for (const NodeTiming& t : runtime.node_timings()) {
+      if (t.label == "incr" || t.label == "is_not_equal") continue;
+      if (t.label == "set_up" || t.label == "target_split" || t.label == "target_bite") {
+        continue;
+      }
+      std::printf("  call of %s took %lld\n", t.label.c_str(),
+                  static_cast<long long>(t.duration));
+      if (++shown >= 14) break;
+    }
+
+    // Per-op duration lists; light/heavy invocations are separated by
+    // the median split (heavy slabs are every other slab).
+    std::map<std::string, std::vector<Ticks>> durations;
+    for (const NodeTiming& t : runtime.node_timings()) durations[t.label].push_back(t.duration);
+    auto median = [](std::vector<Ticks> v) -> double {
+      if (v.empty()) return 0;
+      std::sort(v.begin(), v.end());
+      return static_cast<double>(v[v.size() / 2]);
+    };
+    auto heavy_median = [&median](const std::vector<Ticks>& v) -> double {
+      std::vector<Ticks> sorted = v;
+      std::sort(sorted.begin(), sorted.end());
+      return median(std::vector<Ticks>(sorted.begin() + static_cast<long>(sorted.size() / 2),
+                                       sorted.end()));
+    };
+    auto light_median = [&median](const std::vector<Ticks>& v) -> double {
+      std::vector<Ticks> sorted = v;
+      std::sort(sorted.begin(), sorted.end());
+      return median(std::vector<Ticks>(sorted.begin(),
+                                       sorted.begin() + static_cast<long>(sorted.size() / 2)));
+    };
+
+    tools::Table table(
+        {"operator", "calls", "light median (us)", "heavy median (us)"});
+    for (const char* op : {"convol_bite", "post_up", "update_bite", "done_up"}) {
+      auto it = durations.find(op);
+      if (it == durations.end()) continue;
+      table.add_row({op, std::to_string(it->second.size()),
+                     tools::Table::ms(light_median(it->second) / 1e3, 0),
+                     tools::Table::ms(heavy_median(it->second) / 1e3, 0)});
+    }
+    table.print(std::cout);
+
+    const double bite = median(durations.at("convol_bite"));
+    if (v1) {
+      const auto& post = durations.at("post_up");
+      std::printf("heavy/light post_up: %.0fx (paper: 'roughly half negligible, half as "
+                  "long as all the convolutions combined')\n",
+                  heavy_median(post) / std::max(light_median(post), 1.0));
+      std::printf("heavy post_up vs all four convol_bites of a slab: %.2fx\n\n",
+                  heavy_median(post) / (4.0 * bite));
+    } else {
+      const auto& update = durations.at("update_bite");
+      std::printf("heavy update_bite vs convol_bite: %.2fx (the paper's v2 node timings "
+                  "show them nearly equal)\n\n",
+                  heavy_median(update) / bite);
+    }
+  }
+  return 0;
+}

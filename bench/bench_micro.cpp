@@ -1,0 +1,204 @@
+// Micro-benchmarks (google-benchmark) for the runtime's primitive costs:
+// operator dispatch, activation spawn via call, tail-recursive loop rate,
+// conditional dispatch, tuple plumbing, copy-on-write, and the compiler's
+// per-pass throughput. These quantify the constants behind the <3%
+// overhead claim (§7) reproduced in bench_overhead.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/dcc/program_gen.h"
+#include "src/delirium.h"
+
+namespace {
+
+using namespace delirium;
+
+std::shared_ptr<OperatorRegistry> shared_registry() {
+  static auto registry = [] {
+    auto r = std::make_shared<OperatorRegistry>();
+    register_builtin_operators(*r);
+    r->add("nop", 1, [](OpContext& ctx) { return ctx.take(0); }).pure();
+    return r;
+  }();
+  return registry;
+}
+
+/// One operator application per iteration.
+void BM_OperatorDispatch(benchmark::State& state) {
+  auto registry = shared_registry();
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate { i = 0, nop(incr(i)) } while less_than(i, 1000), result i
+)",
+                                             *registry);
+  Runtime runtime(*registry, {.num_workers = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // two operators per step
+}
+BENCHMARK(BM_OperatorDispatch);
+
+/// Non-tail function call: activation spawn + return.
+void BM_ActivationSpawn(benchmark::State& state) {
+  auto registry = shared_registry();
+  CompiledProgram program = compile_or_throw(R"(
+callee(x) incr(x)
+main()
+  iterate { i = 0, incr(callee(i)) } while less_than(i, 1000), result i
+)",
+                                             *registry);
+  CompileOptions copts;  // keep the call: no inlining
+  copts.optimize = false;
+  program = compile_or_throw(R"(
+callee(x) incr(x)
+main()
+  iterate { i = 0, incr(callee(i)) } while less_than(i, 1000), result i
+)",
+                             *registry, copts);
+  Runtime runtime(*registry, {.num_workers = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_ActivationSpawn);
+
+/// Pure tail-recursive loop iterations per second.
+void BM_TailLoop(benchmark::State& state) {
+  auto registry = shared_registry();
+  const int64_t steps = state.range(0);
+  CompiledProgram program = compile_or_throw(
+      "main() iterate { i = 0, incr(i) } while is_not_equal(i, " + std::to_string(steps) +
+          "), result i",
+      *registry);
+  Runtime runtime(*registry, {.num_workers = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_TailLoop)->Arg(1000)->Arg(10000);
+
+/// Conditional (closure-dispatch) cost.
+void BM_ConditionalDispatch(benchmark::State& state) {
+  auto registry = shared_registry();
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate {
+    i = 0, if is_equal(mod(i, 2), 0) then incr(i) else add(i, 1)
+  } while less_than(i, 1000), result i
+)",
+                                             *registry);
+  Runtime runtime(*registry, {.num_workers = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ConditionalDispatch);
+
+/// Multiple-value construction + decomposition.
+void BM_TuplePlumbing(benchmark::State& state) {
+  auto registry = shared_registry();
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate {
+    i = 0,
+      let <a, b, c, d> = <incr(i), 2, 3, 4>
+      in a
+  } while less_than(i, 1000), result i
+)",
+                                             *registry);
+  Runtime runtime(*registry, {.num_workers = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TuplePlumbing);
+
+/// Copy-on-write: a destructively-modified block that is (or is not)
+/// shared with a second consumer.
+void BM_CopyOnWrite(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  const size_t block_elems = 1 << 14;
+  registry.add("make_block", 0, [block_elems](OpContext&) {
+    return Value::block(std::vector<double>(block_elems, 1.0));
+  });
+  registry.add("bump", 1, [](OpContext& ctx) {
+    auto& data = ctx.arg_block_mut<std::vector<double>>(0);
+    data[0] += 1;
+    return ctx.take(0);
+  }).destructive(0);
+  registry.add("peek", 1, [](OpContext& ctx) {
+    return Value::of(ctx.arg_block<std::vector<double>>(0)[0]);
+  }).pure();
+
+  // shared: `b` also feeds peek, so bump must copy. unshared: sole ref.
+  const std::string source = shared ? R"(
+main()
+  let b = make_block()
+      p = peek(b)
+  in add(p, peek(bump(b)))
+)"
+                                    : R"(
+main()
+  let b = make_block()
+  in peek(bump(b))
+)";
+  CompiledProgram program = compile_or_throw(source, registry);
+  Runtime runtime(registry, {.num_workers = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+  state.SetLabel(shared ? "shared (copies)" : "sole reference (in place)");
+  state.SetBytesProcessed(state.iterations() *
+                          (shared ? block_elems * sizeof(double) : 0));
+}
+BENCHMARK(BM_CopyOnWrite)->Arg(0)->Arg(1);
+
+/// Compiler throughput per pass over a mid-sized generated program.
+void BM_CompilerPasses(benchmark::State& state) {
+  auto registry = shared_registry();
+  dcc::GenParams gen;
+  gen.num_functions = 200;
+  gen.body_size = 40;
+  gen.seed = 11;
+  const std::string source = dcc::generate_program(gen);
+  for (auto _ : state) {
+    CompileResult result = compile_source("<gen>", source, *registry);
+    benchmark::DoNotOptimize(result.ok);
+  }
+  state.SetBytesProcessed(state.iterations() * source.size());
+}
+BENCHMARK(BM_CompilerPasses);
+
+/// Worker scaling of the scheduler itself: a fork-join of cheap tasks.
+void BM_SchedulerForkJoin(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  registry.add("leaf", 1, [](OpContext& ctx) { return ctx.take(0); }).pure();
+  registry.add("join8", 8, [](OpContext& ctx) {
+    int64_t total = 0;
+    for (size_t i = 0; i < 8; ++i) total += ctx.arg_int(i);
+    return Value::of(total);
+  }).pure();
+  std::string source = "main()\n  let\n";
+  for (int i = 0; i < 8; ++i) {
+    source += "    x" + std::to_string(i) + " = leaf(" + std::to_string(i) + ")\n";
+  }
+  source += "  in join8(x0, x1, x2, x3, x4, x5, x6, x7)\n";
+  CompiledProgram program = compile_or_throw(source, registry);
+  Runtime runtime(registry, {.num_workers = workers});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+  }
+}
+BENCHMARK(BM_SchedulerForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

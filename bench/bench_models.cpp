@@ -1,0 +1,116 @@
+// Table 2 companion: a quantitative stand-in for the paper's qualitative
+// coordination-model comparison. The same two workloads are run under
+// each model this repo implements:
+//
+//   queens  — Delirium coordination, the replicated-worker queue (§9.1),
+//             and a Linda-style tuple space (§8)
+//   retina  — Delirium coordination, hand-coded thread fork-join (§8's
+//             "uniform shared memory" model), and plain sequential
+//
+// On this single-core host, wall-clock differences are coordination
+// overhead, which is the comparable quantity. Determinism is the other
+// column: only Delirium guarantees it by construction.
+#include <cstdio>
+#include <iostream>
+
+#include "src/apps/queens/queens.h"
+#include "src/apps/retina/retina_ops.h"
+#include "src/baselines/baseline_apps.h"
+#include "src/delirium.h"
+#include "src/support/clock.h"
+#include "src/tools/report.h"
+
+using namespace delirium;
+
+namespace {
+constexpr int kRepeats = 5;
+constexpr int kWorkers = 4;
+}  // namespace
+
+int main() {
+  std::printf("Coordination model comparison (wall time, %d workers on 1 core; medians of "
+              "%d)\n\n",
+              kWorkers, kRepeats);
+
+  // --- queens -----------------------------------------------------------
+  {
+    const int n = 8;
+    OperatorRegistry registry;
+    register_builtin_operators(registry);
+    queens::register_queens_operators(registry, n);
+    CompiledProgram program = compile_or_throw(queens::queens_source(n), registry);
+    Runtime runtime(registry, {.num_workers = kWorkers});
+
+    tools::Table table({"model", "notation", "time (ms)", "deterministic", "solutions"});
+    const double delirium_ms = tools::median_of(kRepeats, [&] {
+      Stopwatch sw;
+      runtime.run(program);
+      return sw.elapsed_ms();
+    });
+    table.add_row({"Delirium", "embedding", tools::Table::ms(delirium_ms), "yes (by model)",
+                   std::to_string(runtime.run(program).as_int())});
+    int64_t rw_result = 0;
+    const double rw_ms = tools::median_of(kRepeats, [&] {
+      Stopwatch sw;
+      rw_result = baselines::queens_replicated_worker(n, kWorkers);
+      return sw.elapsed_ms();
+    });
+    table.add_row({"replicated worker", "embedded (task queue)", tools::Table::ms(rw_ms),
+                   "values only", std::to_string(rw_result)});
+    int64_t ts_result = 0;
+    const double ts_ms = tools::median_of(kRepeats, [&] {
+      Stopwatch sw;
+      ts_result = baselines::queens_tuple_space(n, kWorkers);
+      return sw.elapsed_ms();
+    });
+    table.add_row({"tuple space (Linda-style)", "embedded (out/in/rd)",
+                   tools::Table::ms(ts_ms), "values only", std::to_string(ts_result)});
+    std::printf("%d-queens:\n", n);
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- retina -------------------------------------------------------------
+  {
+    retina::RetinaParams p;
+    p.width = p.height = 384;
+    p.num_targets = 48;
+    p.num_iter = 3;
+    OperatorRegistry registry;
+    register_builtin_operators(registry);
+    retina::register_retina_operators(registry, p);
+    CompiledProgram program = compile_or_throw(
+        retina::retina_source(retina::RetinaVersion::kV2Balanced, p), registry);
+    Runtime runtime(registry, {.num_workers = kWorkers});
+    baselines::ForkJoinPool pool(kWorkers);
+
+    const double seq_checksum = retina::checksum(retina::sequential_run(p));
+
+    tools::Table table({"model", "notation", "time (ms)", "checksum matches sequential"});
+    const double seq_ms = tools::median_of(kRepeats, [&] {
+      Stopwatch sw;
+      retina::sequential_run(p);
+      return sw.elapsed_ms();
+    });
+    table.add_row({"sequential original", "-", tools::Table::ms(seq_ms), "(reference)"});
+    double checksum_value = 0;
+    const double delirium_ms = tools::median_of(kRepeats, [&] {
+      Stopwatch sw;
+      checksum_value = retina::checksum(
+          retina::delirium_run(p, retina::RetinaVersion::kV2Balanced, runtime));
+      return sw.elapsed_ms();
+    });
+    table.add_row({"Delirium", "embedding", tools::Table::ms(delirium_ms),
+                   checksum_value == seq_checksum ? "yes" : "NO"});
+    const double fj_ms = tools::median_of(kRepeats, [&] {
+      Stopwatch sw;
+      checksum_value = retina::checksum(baselines::retina_forkjoin_run(p, pool));
+      return sw.elapsed_ms();
+    });
+    table.add_row({"thread fork-join", "embedded (threads+barriers)", tools::Table::ms(fj_ms),
+                   checksum_value == seq_checksum ? "yes" : "NO"});
+    std::printf("retina model:\n");
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// delc: the Delirium command-line compiler.
+//
+//   delc [options] <file.dlr>
+//     --dump-ast      print the tree after macro expansion & optimization
+//     --dump-dot      print the coordination graphs as Graphviz DOT
+//     --no-opt        disable the optimizer
+//     --timings       print per-pass times (Table 1 style)
+//     --run           execute main() with the built-in operators
+//     --workers N     worker threads for --run (default 4)
+//     --sim N         instead of --run, execute under virtual time on N
+//                     simulated processors and report the makespan
+//     --trace FILE    with --run or --sim: write the operator timeline as
+//                     Chrome tracing JSON (chrome://tracing, Perfetto)
+//
+// Only built-in operators are available here; applications embed their
+// own operators through the library API instead (see the other examples).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/delirium.h"
+#include "src/lang/macro.h"
+#include "src/runtime/sim.h"
+#include "src/tools/trace.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: delc [--dump-ast] [--dump-dot] [--no-opt] [--timings]\n"
+               "            [--run] [--workers N] [--sim N] <file.dlr>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string trace_path;
+  bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
+  int workers = 4;
+  int sim_procs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump-ast") dump_ast = true;
+    else if (arg == "--dump-dot") dump_dot = true;
+    else if (arg == "--no-opt") no_opt = true;
+    else if (arg == "--timings") timings = true;
+    else if (arg == "--run") run = true;
+    else if (arg == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
+    else if (arg == "--sim" && i + 1 < argc) sim_procs = std::atoi(argv[++i]);
+    else if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else path = arg;
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "delc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  delirium::OperatorRegistry registry;
+  delirium::register_builtin_operators(registry);
+
+  delirium::CompileOptions options;
+  options.optimize = !no_opt;
+
+  if (dump_ast) {
+    // Re-run the front half to show the tree (the compile result below
+    // only carries graphs).
+    delirium::SourceFile file(path, buffer.str());
+    delirium::DiagnosticEngine diags;
+    delirium::AstContext ctx;
+    delirium::Program program = delirium::parse_source(file, ctx, diags);
+    delirium::expand_macros(program, ctx, diags);
+    if (diags.has_errors()) {
+      diags.print(std::cerr, file);
+      return 1;
+    }
+    if (!no_opt) {
+      const auto analysis = delirium::analyze_environment(program, registry, diags);
+      delirium::optimize_program(program, ctx, registry, analysis);
+    }
+    delirium::print_program(std::cout, program);
+  }
+
+  delirium::CompileResult result =
+      delirium::compile_source(path, buffer.str(), registry, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s", result.diagnostics.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "delc: %zu templates, %zu graph nodes, %zu AST nodes\n",
+               result.program.templates.size(), result.program.total_nodes(),
+               result.ast_nodes);
+
+  if (timings) {
+    const auto& t = result.timings;
+    std::printf("pass timings (ms):\n");
+    std::printf("  %-18s %8.2f\n", "Lexing", t.lex_ms);
+    std::printf("  %-18s %8.2f\n", "Parsing", t.parse_ms);
+    std::printf("  %-18s %8.2f\n", "Macro Expansion", t.macro_ms);
+    std::printf("  %-18s %8.2f\n", "Env Analysis", t.env_ms);
+    std::printf("  %-18s %8.2f\n", "Optimization", t.opt_ms);
+    std::printf("  %-18s %8.2f\n", "Graph Conversion", t.graph_ms);
+    std::printf("  %-18s %8.2f\n", "Total", t.total_ms());
+  }
+
+  if (dump_dot) {
+    delirium::write_program_dot(std::cout, result.program);
+  }
+
+  if (sim_procs > 0) {
+    delirium::SimConfig config;
+    config.num_procs = sim_procs;
+    config.enable_node_timing = !trace_path.empty();
+    delirium::SimRuntime sim(registry, config);
+    const delirium::SimResult r = sim.run(result.program);
+    std::printf("result: %s\n", r.result.to_display_string().c_str());
+    std::printf("virtual makespan on %d processors: %.3f ms (busy %.3f ms)\n", sim_procs,
+                static_cast<double>(r.makespan) / 1e6,
+                static_cast<double>(r.total_busy) / 1e6);
+    if (!trace_path.empty() &&
+        delirium::tools::write_chrome_trace_file(trace_path, r.timings)) {
+      std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+    }
+  } else if (run) {
+    delirium::RuntimeConfig config;
+    config.num_workers = workers;
+    config.enable_node_timing = !trace_path.empty();
+    delirium::Runtime runtime(registry, config);
+    const delirium::Value value = runtime.run(result.program);
+    std::printf("result: %s\n", value.to_display_string().c_str());
+    if (!trace_path.empty() &&
+        delirium::tools::write_chrome_trace_file(trace_path, runtime.node_timings())) {
+      std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Eight queens (§3 of the paper): parallel recursive backtracking
+// expressed as a one-page coordination framework.
+//
+//   $ ./queens_demo [N] [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/queens/queens.h"
+#include "src/delirium.h"
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (n < 1 || n > 12) {
+    std::fprintf(stderr, "usage: queens_demo [N in 1..12] [workers]\n");
+    return 1;
+  }
+
+  delirium::OperatorRegistry registry;
+  delirium::register_builtin_operators(registry);
+  delirium::queens::register_queens_operators(registry, n);
+
+  const std::string source = delirium::queens::queens_source(n);
+  std::printf("--- Delirium coordination framework ---\n%s\n", source.c_str());
+
+  delirium::CompiledProgram program = delirium::compile_or_throw(source, registry);
+  delirium::Runtime runtime(registry, {.num_workers = workers});
+  const delirium::Value result = runtime.run(program);
+
+  std::printf("%d-queens solutions: %lld (sequential check: %lld)\n", n,
+              static_cast<long long>(result.as_int()),
+              static_cast<long long>(delirium::queens::count_solutions_sequential(n)));
+  std::printf("template activations created: %llu, peak live: %llu\n",
+              static_cast<unsigned long long>(runtime.last_stats().activations_created),
+              static_cast<unsigned long long>(runtime.last_stats().peak_live_activations));
+
+  // Show one solution from the sequential solver.
+  const auto solutions = delirium::queens::solve_sequential(n);
+  if (!solutions.empty()) {
+    std::printf("\nfirst solution:\n");
+    for (int row = n; row >= 1; --row) {
+      for (int col = 0; col < n; ++col) {
+        std::printf("%s", solutions[0][col] == row ? " Q" : " .");
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

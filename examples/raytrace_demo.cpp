@@ -1,0 +1,51 @@
+// Ray tracer example: the scene is shared read-only; image bands render
+// in parallel and join at assemble. Writes out.ppm.
+//
+//   $ ./raytrace_demo [width] [height] [workers] [out.ppm]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/ray/ray.h"
+#include "src/delirium.h"
+#include "src/support/clock.h"
+
+int main(int argc, char** argv) {
+  delirium::ray::RayParams params;
+  params.width = argc > 1 ? std::atoi(argv[1]) : 320;
+  params.height = argc > 2 ? std::atoi(argv[2]) : 240;
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 4;
+  const char* out_path = argc > 4 ? argv[4] : "out.ppm";
+  params.num_spheres = 14;
+  params.seed = 2026;
+
+  delirium::OperatorRegistry registry;
+  delirium::register_builtin_operators(registry);
+  delirium::ray::register_ray_operators(registry, params);
+
+  delirium::CompiledProgram program =
+      delirium::compile_or_throw(delirium::ray::ray_source(params), registry);
+  delirium::Runtime runtime(registry, {.num_workers = workers});
+
+  delirium::Stopwatch sw;
+  delirium::Value result = runtime.run(program);
+  const double parallel_ms = sw.elapsed_ms();
+  const auto& image = result.block_as<delirium::ray::Image>();
+
+  sw.reset();
+  const auto reference = delirium::ray::render_sequential(params);
+  const double sequential_ms = sw.elapsed_ms();
+
+  std::printf("rendered %dx%d in %.1f ms (%d workers); sequential %.1f ms\n", params.width,
+              params.height, parallel_ms, workers, sequential_ms);
+  std::printf("checksums %s\n", delirium::ray::image_checksum(image) ==
+                                        delirium::ray::image_checksum(reference)
+                                    ? "match"
+                                    : "MISMATCH");
+  if (delirium::ray::write_ppm(image, out_path)) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

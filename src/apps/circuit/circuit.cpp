@@ -1,0 +1,372 @@
+#include "src/apps/circuit/circuit.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace delirium::circuit {
+
+bool eval_gate(const Gate& gate, const std::vector<uint8_t>& signals) {
+  const bool a = signals[gate.a] != 0;
+  const bool b = gate.b >= 0 && signals[gate.b] != 0;
+  switch (gate.kind) {
+    case GateKind::kAnd: return a && b;
+    case GateKind::kOr: return a || b;
+    case GateKind::kXor: return a != b;
+    case GateKind::kNand: return !(a && b);
+    case GateKind::kNot: return !a;
+    case GateKind::kBuf: return a;
+  }
+  return false;
+}
+
+Netlist generate_netlist(const CircuitParams& params) {
+  Netlist net;
+  net.num_inputs = params.num_inputs;
+  net.num_regs = params.num_regs;
+  SplitMix64 rng(params.seed);
+  const int base = params.num_inputs + params.num_regs;
+  for (int g = 0; g < params.num_gates; ++g) {
+    Gate gate;
+    gate.kind = static_cast<GateKind>(rng.next_below(6));
+    const int avail = base + g;
+    // Bias toward recent signals to build depth.
+    auto pick = [&]() -> int {
+      if (g > 8 && rng.next_bool(0.7)) {
+        return base + static_cast<int>(rng.next_below(static_cast<uint64_t>(g)));
+      }
+      return static_cast<int>(rng.next_below(static_cast<uint64_t>(avail)));
+    };
+    gate.a = pick();
+    if (gate.kind != GateKind::kNot && gate.kind != GateKind::kBuf) gate.b = pick();
+    net.gates.push_back(gate);
+  }
+  for (int r = 0; r < params.num_regs; ++r) {
+    net.reg_next.push_back(net.gate_signal(
+        static_cast<int>(rng.next_below(static_cast<uint64_t>(params.num_gates)))));
+  }
+  for (int o = 0; o < params.num_outputs; ++o) {
+    // Favor late gates so output cones are deep.
+    const int lo = params.num_gates / 2;
+    net.outputs.push_back(net.gate_signal(
+        lo + static_cast<int>(rng.next_below(static_cast<uint64_t>(params.num_gates - lo)))));
+  }
+  return net;
+}
+
+Netlist build_adder_accumulator() {
+  // 4-bit ripple-carry adder: acc' = acc + in. Inputs 0..3, registers
+  // (accumulator bits) 4..7.
+  Netlist net;
+  net.num_inputs = 4;
+  net.num_regs = 4;
+  auto add_gate = [&net](GateKind kind, int a, int b = -1) {
+    net.gates.push_back(Gate{kind, a, b});
+    return net.gate_signal(static_cast<int>(net.gates.size()) - 1);
+  };
+  int carry = -1;
+  for (int bit = 0; bit < 4; ++bit) {
+    const int in = bit;        // input bit
+    const int acc = 4 + bit;   // register bit
+    const int axb = add_gate(GateKind::kXor, in, acc);
+    if (bit == 0) {
+      const int sum = add_gate(GateKind::kBuf, axb);
+      carry = add_gate(GateKind::kAnd, in, acc);
+      net.reg_next.push_back(sum);
+    } else {
+      const int sum = add_gate(GateKind::kXor, axb, carry);
+      const int and1 = add_gate(GateKind::kAnd, in, acc);
+      const int and2 = add_gate(GateKind::kAnd, axb, carry);
+      carry = add_gate(GateKind::kOr, and1, and2);
+      net.reg_next.push_back(sum);
+    }
+  }
+  for (int r = 0; r < 4; ++r) net.outputs.push_back(net.reg_next[r]);
+  net.outputs.push_back(carry);
+  return net;
+}
+
+uint64_t lfsr_next(uint64_t state) {
+  // 64-bit xorshift; never returns 0 for nonzero input.
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+std::vector<uint8_t> stimulus_inputs(uint64_t state, int num_inputs) {
+  std::vector<uint8_t> inputs(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) {
+    inputs[i] = static_cast<uint8_t>((state >> (i % 64)) & 1);
+  }
+  return inputs;
+}
+
+uint64_t fold_signature(uint64_t signature, const std::vector<uint8_t>& output_values) {
+  for (uint8_t v : output_values) {
+    signature = (signature ^ v) * 1099511628211ull + 0x9e3779b9ull;
+  }
+  return signature;
+}
+
+std::vector<uint8_t> eval_all(const Netlist& netlist, const std::vector<uint8_t>& inputs,
+                              const std::vector<uint8_t>& regs) {
+  std::vector<uint8_t> signals(static_cast<size_t>(netlist.num_signals()), 0);
+  std::copy(inputs.begin(), inputs.end(), signals.begin());
+  std::copy(regs.begin(), regs.end(), signals.begin() + netlist.num_inputs);
+  for (size_t g = 0; g < netlist.gates.size(); ++g) {
+    signals[netlist.num_inputs + netlist.num_regs + g] =
+        eval_gate(netlist.gates[g], signals) ? 1 : 0;
+  }
+  return signals;
+}
+
+namespace {
+
+void step_state(SimState& state, const std::vector<uint8_t>& all_signals) {
+  std::vector<uint8_t> outputs;
+  outputs.reserve(state.netlist->outputs.size());
+  for (int sig : state.netlist->outputs) outputs.push_back(all_signals[sig]);
+  state.signature = fold_signature(state.signature, outputs);
+  for (size_t r = 0; r < state.regs.size(); ++r) {
+    state.regs[r] = all_signals[state.netlist->reg_next[r]];
+  }
+  state.stimulus = lfsr_next(state.stimulus);
+  ++state.cycle;
+}
+
+SimState make_state(std::shared_ptr<const Netlist> netlist, uint64_t seed) {
+  SimState state;
+  state.netlist = std::move(netlist);
+  state.regs.assign(state.netlist->num_regs, 0);
+  state.stimulus = seed | 1;  // LFSR must not start at 0
+  return state;
+}
+
+}  // namespace
+
+SimState simulate_sequential(std::shared_ptr<const Netlist> netlist, int cycles,
+                             uint64_t seed) {
+  SimState state = make_state(std::move(netlist), seed);
+  for (int c = 0; c < cycles; ++c) {
+    const std::vector<uint8_t> inputs =
+        stimulus_inputs(state.stimulus, state.netlist->num_inputs);
+    const std::vector<uint8_t> signals = eval_all(*state.netlist, inputs, state.regs);
+    step_state(state, signals);
+  }
+  return state;
+}
+
+SimState simulate_sequential(const CircuitParams& params) {
+  auto netlist = std::make_shared<const Netlist>(generate_netlist(params));
+  return simulate_sequential(std::move(netlist), params.cycles, params.seed);
+}
+
+SimState simulate_sequential_cones(const CircuitParams& params, int pieces) {
+  auto netlist = std::make_shared<const Netlist>(generate_netlist(params));
+  const std::vector<Cone> cones = partition_cones(*netlist, pieces);
+  SimState state = make_state(netlist, params.seed);
+  const Netlist& net = *netlist;
+  std::vector<uint8_t> signals(static_cast<size_t>(net.num_signals()), 0);
+  std::vector<uint8_t> outputs(net.outputs.size(), 0);
+  std::vector<uint8_t> next_regs(net.reg_next.size(), 0);
+  for (int c = 0; c < params.cycles; ++c) {
+    const std::vector<uint8_t> inputs = stimulus_inputs(state.stimulus, net.num_inputs);
+    for (const Cone& cone : cones) {
+      std::fill(signals.begin(), signals.end(), 0);
+      std::copy(inputs.begin(), inputs.end(), signals.begin());
+      std::copy(state.regs.begin(), state.regs.end(), signals.begin() + net.num_inputs);
+      for (int g : cone.gates) {
+        signals[net.num_inputs + net.num_regs + g] = eval_gate(net.gates[g], signals) ? 1 : 0;
+      }
+      for (int pos : cone.outputs) outputs[pos] = signals[net.outputs[pos]];
+      for (int r : cone.regs) next_regs[r] = signals[net.reg_next[r]];
+    }
+    state.signature = fold_signature(state.signature, outputs);
+    state.regs = next_regs;
+    state.stimulus = lfsr_next(state.stimulus);
+    ++state.cycle;
+  }
+  return state;
+}
+
+std::vector<Cone> partition_cones(const Netlist& netlist, int pieces) {
+  // Sinks: every observed output and every register's next-value signal.
+  // Distribute sink positions round-robin, then collect transitive
+  // fan-in per cone (ascending gate order = topological order).
+  struct Sink {
+    bool is_output = true;
+    int index = 0;  // output position or register index
+    int signal = 0;
+  };
+  std::vector<Sink> sinks;
+  for (size_t o = 0; o < netlist.outputs.size(); ++o) {
+    sinks.push_back(Sink{true, static_cast<int>(o), netlist.outputs[o]});
+  }
+  for (size_t r = 0; r < netlist.reg_next.size(); ++r) {
+    sinks.push_back(Sink{false, static_cast<int>(r), netlist.reg_next[r]});
+  }
+  std::vector<Cone> cones(pieces);
+  const int gate_base = netlist.num_inputs + netlist.num_regs;
+  std::vector<std::vector<uint8_t>> needed(pieces,
+                                           std::vector<uint8_t>(netlist.gates.size(), 0));
+  for (size_t s = 0; s < sinks.size(); ++s) {
+    const int piece = static_cast<int>(s) % pieces;
+    const Sink& sink = sinks[s];
+    if (sink.is_output) {
+      cones[piece].outputs.push_back(sink.index);
+    } else {
+      cones[piece].regs.push_back(sink.index);
+    }
+    // Mark the transitive fan-in.
+    std::vector<int> stack;
+    if (sink.signal >= gate_base) stack.push_back(sink.signal - gate_base);
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      if (needed[piece][g] != 0) continue;
+      needed[piece][g] = 1;
+      const Gate& gate = netlist.gates[g];
+      if (gate.a >= gate_base) stack.push_back(gate.a - gate_base);
+      if (gate.b >= gate_base) stack.push_back(gate.b - gate_base);
+    }
+  }
+  for (int p = 0; p < pieces; ++p) {
+    for (size_t g = 0; g < netlist.gates.size(); ++g) {
+      if (needed[p][g] != 0) cones[p].gates.push_back(static_cast<int>(g));
+    }
+  }
+  return cones;
+}
+
+// --- Delirium embedding --------------------------------------------------------
+
+namespace {
+
+constexpr int kCones = 4;
+
+struct ConePiece {
+  int index = 0;
+  std::shared_ptr<const Netlist> netlist;
+  std::shared_ptr<const std::vector<Cone>> cones;
+  std::vector<uint8_t> inputs;  // this cycle's primary inputs
+  std::vector<uint8_t> regs;    // this cycle's register values
+  // Results:
+  std::vector<std::pair<int, uint8_t>> output_values;  // (output pos, value)
+  std::vector<std::pair<int, uint8_t>> reg_values;     // (register, next value)
+  std::optional<CircuitBlock> carrier;
+};
+
+void eval_cone_piece(ConePiece& piece) {
+  const Netlist& net = *piece.netlist;
+  const Cone& cone = (*piece.cones)[piece.index];
+  std::vector<uint8_t> signals(static_cast<size_t>(net.num_signals()), 0);
+  std::copy(piece.inputs.begin(), piece.inputs.end(), signals.begin());
+  std::copy(piece.regs.begin(), piece.regs.end(), signals.begin() + net.num_inputs);
+  for (int g : cone.gates) {
+    signals[net.num_inputs + net.num_regs + g] = eval_gate(net.gates[g], signals) ? 1 : 0;
+  }
+  for (int pos : cone.outputs) {
+    piece.output_values.emplace_back(pos, signals[net.outputs[pos]]);
+  }
+  for (int r : cone.regs) {
+    piece.reg_values.emplace_back(r, signals[net.reg_next[r]]);
+  }
+}
+
+}  // namespace
+
+void register_circuit_operators(OperatorRegistry& registry, const CircuitParams& params) {
+  registry.add("circ_init", 0, [params](OpContext&) {
+    CircuitBlock block;
+    auto netlist = std::make_shared<const Netlist>(generate_netlist(params));
+    block.cones = std::make_shared<const std::vector<Cone>>(
+        partition_cones(*netlist, kCones));
+    block.state = make_state(std::move(netlist), params.seed);
+    return Value::block(std::move(block));
+  });
+
+  registry.add("cone_split", 1, [](OpContext& ctx) {
+    CircuitBlock block = std::move(ctx.arg_block_mut<CircuitBlock>(0));
+    // Snapshot everything the pieces need before the block moves into
+    // the carrier.
+    const std::shared_ptr<const Netlist> netlist = block.state.netlist;
+    const auto cones = block.cones;
+    const std::vector<uint8_t> inputs =
+        stimulus_inputs(block.state.stimulus, netlist->num_inputs);
+    const std::vector<uint8_t> regs = block.state.regs;
+    std::vector<Value> pieces;
+    for (int i = 0; i < kCones; ++i) {
+      ConePiece piece;
+      piece.index = i;
+      piece.netlist = netlist;
+      piece.cones = cones;
+      piece.inputs = inputs;
+      piece.regs = regs;
+      if (i == 0) piece.carrier = std::move(block);
+      pieces.push_back(Value::block(std::move(piece)));
+    }
+    return Value::tuple(std::move(pieces));
+  }).destructive(0);
+
+  registry.add("eval_cone", 1, [](OpContext& ctx) {
+    ConePiece& piece = ctx.arg_block_mut<ConePiece>(0);
+    eval_cone_piece(piece);
+    return ctx.take(0);
+  }).destructive(0);
+
+  {
+    auto entry = registry.add("latch_update", kCones, [](OpContext& ctx) {
+      ConePiece& first = ctx.arg_block_mut<ConePiece>(0);
+      if (!first.carrier.has_value()) {
+        throw RuntimeError("latch_update: cone 0 does not carry the state");
+      }
+      CircuitBlock block = std::move(*first.carrier);
+      first.carrier.reset();
+      std::vector<uint8_t> outputs(block.state.netlist->outputs.size(), 0);
+      for (int i = 0; i < kCones; ++i) {
+        ConePiece& piece = ctx.arg_block_mut<ConePiece>(i);
+        for (const auto& [pos, value] : piece.output_values) outputs[pos] = value;
+        for (const auto& [reg, value] : piece.reg_values) block.state.regs[reg] = value;
+      }
+      block.state.signature = fold_signature(block.state.signature, outputs);
+      block.state.stimulus = lfsr_next(block.state.stimulus);
+      ++block.state.cycle;
+      return Value::block(std::move(block));
+    });
+    for (int i = 0; i < kCones; ++i) entry.destructive(i);
+  }
+
+  registry.add("circ_signature", 1, [](OpContext& ctx) {
+    return Value::of(static_cast<int64_t>(ctx.arg_block<CircuitBlock>(0).state.signature));
+  }).pure();
+  registry.add("circ_cycle", 1, [](OpContext& ctx) {
+    return Value::of(static_cast<int64_t>(ctx.arg_block<CircuitBlock>(0).state.cycle));
+  }).pure();
+}
+
+std::string circuit_source(const CircuitParams& params) {
+  std::ostringstream os;
+  os << "define NUM_CYCLES = " << params.cycles << "\n";
+  os << R"(
+main()
+  iterate
+  {
+    cycle = 0, incr(cycle)
+    st = circ_init(),
+      let
+        <a, b, c, d> = cone_split(st)
+        ao = eval_cone(a)
+        bo = eval_cone(b)
+        co = eval_cone(c)
+        do = eval_cone(d)
+      in latch_update(ao, bo, co, do)
+  } while is_not_equal(cycle, NUM_CYCLES),
+  result st
+)";
+  return os.str();
+}
+
+}  // namespace delirium::circuit

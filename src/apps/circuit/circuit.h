@@ -1,0 +1,126 @@
+// A gate-level circuit simulator, coordinated by Delirium.
+//
+// The paper mentions "a simple circuit simulator" among the ported
+// applications (§4); no source survives, so this is a from-scratch
+// levelized simulator exercising the iterate + fork-join coordination
+// shape: each clock cycle, the netlist's output cones are partitioned
+// into four groups, each cone group is evaluated independently (shared
+// logic is re-evaluated — the classic cone-partitioning tradeoff, which
+// keeps the pieces free of cross-dependencies and the results
+// deterministic), and a join updates the registers and advances the
+// input stimulus.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/registry.h"
+#include "src/support/rng.h"
+
+namespace delirium::circuit {
+
+enum class GateKind : uint8_t { kAnd, kOr, kXor, kNand, kNot, kBuf };
+
+struct Gate {
+  GateKind kind = GateKind::kAnd;
+  int a = -1;  // signal indices; b unused for kNot/kBuf
+  int b = -1;
+};
+
+/// Signals are numbered: [0, num_inputs) primary inputs,
+/// [num_inputs, num_inputs+num_regs) register outputs, then one signal
+/// per gate. Gates only reference lower-numbered signals (levelized by
+/// construction).
+struct Netlist {
+  int num_inputs = 0;
+  int num_regs = 0;
+  std::vector<Gate> gates;
+  std::vector<int> reg_next;  // per register: signal feeding its D pin
+  std::vector<int> outputs;   // observed signals
+
+  int num_signals() const {
+    return num_inputs + num_regs + static_cast<int>(gates.size());
+  }
+  int gate_signal(int gate_index) const { return num_inputs + num_regs + gate_index; }
+};
+
+struct CircuitParams {
+  int num_inputs = 16;
+  int num_regs = 32;
+  int num_gates = 4000;
+  int num_outputs = 64;
+  int cycles = 32;
+  uint64_t seed = 1;
+};
+
+/// Deterministic random netlist (acyclic combinational logic over inputs
+/// and register outputs; registers fed from gate outputs).
+Netlist generate_netlist(const CircuitParams& params);
+
+/// A 4-bit ripple-carry adder with an accumulator register bank — a
+/// structured netlist for unit tests.
+Netlist build_adder_accumulator();
+
+/// Evaluate one gate given signal values.
+bool eval_gate(const Gate& gate, const std::vector<uint8_t>& signals);
+
+/// Simulation state: register values + input stimulus generator +
+/// running output signature.
+struct SimState {
+  std::shared_ptr<const Netlist> netlist;
+  std::vector<uint8_t> regs;
+  uint64_t stimulus = 0;  // LFSR state driving the primary inputs
+  uint64_t signature = 0;
+  int cycle = 0;
+};
+
+/// Evaluate the full combinational fabric for the given input/reg values;
+/// returns all signal values.
+std::vector<uint8_t> eval_all(const Netlist& netlist, const std::vector<uint8_t>& inputs,
+                              const std::vector<uint8_t>& regs);
+
+/// Run `cycles` clock cycles sequentially; returns the final state
+/// (signature folds the outputs of every cycle).
+SimState simulate_sequential(const CircuitParams& params);
+SimState simulate_sequential(std::shared_ptr<const Netlist> netlist, int cycles,
+                             uint64_t seed);
+
+/// Sequential simulation over the same cone partition the parallel
+/// version uses (evaluating each cone's fan-in in turn). Identical
+/// signatures; the like-for-like baseline for the overhead measurement
+/// (cone evaluation duplicates shared logic and skips unobserved logic,
+/// so full-netlist evaluation is not comparable work).
+SimState simulate_sequential_cones(const CircuitParams& params, int pieces = 4);
+
+/// Register circ_init / cone_split / eval_cone / latch_update operators
+/// and produce the coordination source.
+void register_circuit_operators(OperatorRegistry& registry, const CircuitParams& params);
+std::string circuit_source(const CircuitParams& params);
+
+/// Fold `outputs` into a signature (order-independent across cones
+/// because each output has a fixed position).
+uint64_t fold_signature(uint64_t signature, const std::vector<uint8_t>& output_values);
+
+/// Next LFSR state / input values derived from it.
+uint64_t lfsr_next(uint64_t state);
+std::vector<uint8_t> stimulus_inputs(uint64_t state, int num_inputs);
+
+/// Cone partition: output indices → `pieces` groups; plus, per group,
+/// the transitive fan-in gate list in topological order.
+struct Cone {
+  std::vector<int> outputs;       // positions into netlist.outputs
+  std::vector<int> regs;          // register indices whose D-value it computes
+  std::vector<int> gates;         // gate indices, ascending (= topo order)
+};
+std::vector<Cone> partition_cones(const Netlist& netlist, int pieces);
+
+/// The state block the coordination framework threads through the cycle
+/// loop: simulation state plus the (shared, immutable) cone partition.
+struct CircuitBlock {
+  SimState state;
+  std::shared_ptr<const std::vector<Cone>> cones;
+};
+
+}  // namespace delirium::circuit

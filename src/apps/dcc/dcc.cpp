@@ -1,0 +1,464 @@
+#include "src/apps/dcc/dcc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/graph/graph_builder.h"
+#include "src/lang/lexer.h"
+#include "src/lang/macro.h"
+#include "src/lang/parser.h"
+#include "src/opt/optimizer.h"
+#include "src/runtime/value.h"
+
+namespace delirium::dcc {
+
+namespace {
+
+/// Render a diagnostic engine's output into a piece's error list.
+void collect_errors(const DiagnosticEngine& diags, const SourceFile& file,
+                    std::vector<std::string>& errors) {
+  if (!diags.has_errors()) return;
+  errors.push_back(diags.summary(file));
+}
+
+/// Build the program view a group operates on: its own functions plus
+/// signature-only stubs for everyone else's. With `global_order`, the
+/// view lists every function in the global stub order (required by graph
+/// conversion so template indices align across groups).
+Program group_view(const GroupPiece& piece, bool global_order) {
+  Program view;
+  std::unordered_map<std::string, FuncDecl*> own;
+  for (FuncDecl* f : piece.group.funcs) own[f->name] = f;
+  if (global_order) {
+    for (const FuncStub& stub : piece.shared->stubs) {
+      auto it = own.find(stub.name);
+      if (it != own.end()) {
+        view.functions.push_back(it->second);
+      } else {
+        view.functions.push_back(
+            piece.group.ctx->make_func(stub.name, stub.params, nullptr));
+      }
+    }
+  } else {
+    for (FuncDecl* f : piece.group.funcs) view.functions.push_back(f);
+    for (const FuncStub& stub : piece.shared->stubs) {
+      if (own.count(stub.name) == 0) {
+        view.functions.push_back(
+            piece.group.ctx->make_func(stub.name, stub.params, nullptr));
+      }
+    }
+  }
+  return view;
+}
+
+Value make_group_tuple(std::vector<GroupPiece> pieces) {
+  std::vector<Value> values;
+  values.reserve(pieces.size());
+  for (GroupPiece& p : pieces) values.push_back(Value::block(std::move(p)));
+  return Value::tuple(std::move(values));
+}
+
+/// Split an AstBlock into kPieces GroupPieces (free: groups move).
+Value split_ast(AstBlock ast) {
+  std::vector<GroupPiece> pieces(kPieces);
+  for (int i = 0; i < kPieces; ++i) {
+    pieces[i].index = i;
+    pieces[i].group = std::move(ast.groups[i]);
+    pieces[i].shared = ast.shared;
+  }
+  return make_group_tuple(std::move(pieces));
+}
+
+/// Merge kPieces GroupPieces back into an AstBlock.
+AstBlock merge_ast(OpContext& ctx) {
+  AstBlock ast;
+  ast.groups.resize(kPieces);
+  for (int i = 0; i < kPieces; ++i) {
+    GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(i);
+    ast.shared = piece.shared;
+    ast.groups[piece.index] = std::move(piece.group);
+    for (std::string& e : piece.errors) ast.shared->errors.push_back(std::move(e));
+  }
+  return ast;
+}
+
+}  // namespace
+
+std::vector<std::vector<FuncDecl*>> partition_by_weight(const std::vector<FuncDecl*>& funcs,
+                                                        int pieces) {
+  std::vector<std::vector<FuncDecl*>> groups(pieces);
+  std::vector<uint64_t> weights(funcs.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    weights[i] = funcs[i]->weight != 0 ? funcs[i]->weight : subtree_weight(funcs[i]->body);
+    total += weights[i];
+  }
+  const uint64_t desired = std::max<uint64_t>(1, total / static_cast<uint64_t>(pieces));
+  int g = 0;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    groups[g].push_back(funcs[i]);
+    acc += weights[i];
+    if (acc >= desired && g + 1 < pieces) {
+      ++g;
+      acc = 0;
+    }
+  }
+  return groups;
+}
+
+void register_dcc_operators(OperatorRegistry& registry, std::string source) {
+  const OperatorRegistry* reg = &registry;
+
+  registry.add("dcc_source", 0, [source](OpContext&) {
+    return Value::block(SourceBlock{source});
+  });
+
+  // --- lexing (sequential, as in Table 1) --------------------------------
+  registry.add("dcc_lex", 1, [](OpContext& ctx) {
+    SourceBlock& src = ctx.arg_block_mut<SourceBlock>(0);
+    TokensBlock out;
+    out.file = std::make_shared<SourceFile>("<dcc>", std::move(src.text));
+    DiagnosticEngine diags;
+    out.tokens = Lexer(*out.file, diags).lex_all();
+    return Value::block(std::move(out));
+  }).destructive(0);
+
+  // --- parsing -------------------------------------------------------------
+  registry.add("parse_split", 1, [](OpContext& ctx) {
+    TokensBlock& toks = ctx.arg_block_mut<TokensBlock>(0);
+    auto shared_tokens =
+        std::make_shared<const std::vector<Token>>(std::move(toks.tokens));
+    const std::vector<Token>& tokens = *shared_tokens;
+    // Top-level declarations start at column 1 (i.e. right after a
+    // newline); split only there. The token buffer is shared; pieces
+    // record index ranges.
+    const std::string_view text = toks.file->text();
+    std::vector<size_t> boundaries;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (!t.is(TokenKind::kIdent) && !t.is(TokenKind::kDefine)) continue;
+      const uint32_t off = t.range.begin.offset;
+      if (off == 0 || text[off - 1] == '\n') boundaries.push_back(i);
+    }
+    boundaries.push_back(tokens.empty() ? 0 : tokens.size() - 1);  // before EOF
+    std::vector<ParsePiece> pieces(kPieces);
+    for (int i = 0; i < kPieces; ++i) {
+      pieces[i].index = i;
+      pieces[i].file = toks.file;
+      pieces[i].all_tokens = shared_tokens;
+    }
+    if (boundaries.size() > 1) {
+      const size_t decls = boundaries.size() - 1;
+      const size_t per = (decls + kPieces - 1) / kPieces;
+      for (int i = 0; i < kPieces; ++i) {
+        const size_t first = std::min(static_cast<size_t>(i) * per, decls);
+        const size_t last = std::min(first + per, decls);
+        pieces[i].begin = boundaries[first];
+        pieces[i].end = boundaries[last];
+      }
+    }
+    std::vector<Value> values;
+    for (ParsePiece& p : pieces) values.push_back(Value::block(std::move(p)));
+    return Value::tuple(std::move(values));
+  }).destructive(0);
+
+  registry.add("parse_piece", 1, [](OpContext& ctx) {
+    ParsePiece& p = ctx.arg_block_mut<ParsePiece>(0);
+    GroupPiece out;
+    out.index = p.index;
+    out.file = p.file;
+    out.group.ctx = std::make_shared<AstContext>();
+    std::vector<Token> tokens(p.all_tokens->begin() + static_cast<long>(p.begin),
+                              p.all_tokens->begin() + static_cast<long>(p.end));
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    tokens.push_back(eof);
+    DiagnosticEngine diags;
+    Parser parser(std::move(tokens), *out.group.ctx, diags);
+    Program parsed = parser.parse_program();
+    out.group.funcs = std::move(parsed.functions);
+    out.macros = std::move(parsed.macros);
+    // Annotate subtree weights here, in parallel, so the (sequential)
+    // partitioning in parse_merge is cheap — the §6.3 lesson.
+    for (FuncDecl* f : out.group.funcs) f->weight = subtree_weight(f->body);
+    collect_errors(diags, *p.file, out.errors);
+    return Value::block(std::move(out));
+  }).destructive(0);
+
+  {
+    auto entry = registry.add("parse_merge", kPieces, [](OpContext& ctx) {
+      auto shared = std::make_shared<DccShared>();
+      std::vector<FuncDecl*> all_funcs;
+      for (int i = 0; i < kPieces; ++i) {
+        GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(i);
+        if (shared->file == nullptr) shared->file = piece.file;
+        shared->keep_alive.push_back(piece.group.ctx);
+        for (FuncDecl* m : piece.macros) shared->all_macros.push_back(m);
+        for (FuncDecl* f : piece.group.funcs) all_funcs.push_back(f);
+        for (std::string& e : piece.errors) shared->errors.push_back(std::move(e));
+      }
+      for (const FuncDecl* f : all_funcs) {
+        shared->stubs.push_back(FuncStub{f->name, f->params});
+      }
+      // Re-partition by tree weight (the paper's clipping rule) and give
+      // each group a fresh context to allocate into.
+      AstBlock ast;
+      ast.shared = shared;
+      auto groups = partition_by_weight(all_funcs, kPieces);
+      ast.groups.resize(kPieces);
+      for (int i = 0; i < kPieces; ++i) {
+        ast.groups[i].ctx = std::make_shared<AstContext>();
+        ast.groups[i].funcs = std::move(groups[i]);
+        shared->keep_alive.push_back(ast.groups[i].ctx);
+      }
+      return Value::block(std::move(ast));
+    });
+    for (int i = 0; i < kPieces; ++i) entry.destructive(i);
+  }
+
+  // --- generic split/merge pairs over AstBlock ------------------------------
+  auto add_ast_split = [&registry](const std::string& name) {
+    registry.add(name, 1, [](OpContext& ctx) {
+      return split_ast(std::move(ctx.arg_block_mut<AstBlock>(0)));
+    }).destructive(0);
+  };
+  auto add_ast_merge = [&registry](const std::string& name) {
+    auto entry = registry.add(name, kPieces, [](OpContext& ctx) {
+      return Value::block(merge_ast(ctx));
+    });
+    for (int i = 0; i < kPieces; ++i) entry.destructive(i);
+  };
+
+  // --- macro expansion ---------------------------------------------------------
+  add_ast_split("macro_split");
+  registry.add("macro_piece", 1, [](OpContext& ctx) {
+    GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(0);
+    Program view;
+    view.functions = piece.group.funcs;
+    view.macros = piece.shared->all_macros;
+    DiagnosticEngine diags;
+    expand_macros(view, *piece.group.ctx, diags);
+    collect_errors(diags, *piece.shared->file, piece.errors);
+    return ctx.take(0);
+  }).destructive(0);
+  add_ast_merge("macro_merge");
+
+  // --- environment analysis -------------------------------------------------------
+  add_ast_split("env_split");
+  registry.add("env_piece", 1, [reg](OpContext& ctx) {
+    GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(0);
+    Program view = group_view(piece, /*global_order=*/false);
+    DiagnosticEngine diags;
+    AnalysisOptions options;
+    options.require_main = false;  // checked globally in env_merge
+    piece.analysis = analyze_environment(view, *reg, diags, options);
+    collect_errors(diags, *piece.shared->file, piece.errors);
+    return ctx.take(0);
+  }).destructive(0);
+  {
+    auto entry = registry.add("env_merge", kPieces, [](OpContext& ctx) {
+      AstBlock ast;
+      ast.groups.resize(kPieces);
+      AnalysisResult merged;
+      for (int i = 0; i < kPieces; ++i) {
+        GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(i);
+        ast.shared = piece.shared;
+        for (auto& [fn, callees] : piece.analysis.callgraph) {
+          merged.callgraph[fn].insert(callees.begin(), callees.end());
+        }
+        for (auto& [op, count] : piece.analysis.operator_uses) {
+          merged.operator_uses[op] += count;
+        }
+        ast.groups[piece.index] = std::move(piece.group);
+        for (std::string& e : piece.errors) piece.shared->errors.push_back(std::move(e));
+      }
+      compute_recursive_functions(merged);
+      // Global checks that no single group can perform.
+      std::unordered_set<std::string> names;
+      bool has_main = false;
+      for (const FuncStub& stub : ast.shared->stubs) {
+        if (!names.insert(stub.name).second) {
+          ast.shared->errors.push_back("duplicate function definition '" + stub.name + "'");
+        }
+        has_main = has_main || stub.name == "main";
+      }
+      if (!has_main) ast.shared->errors.push_back("program has no entry point 'main'");
+      merged.ok = ast.shared->errors.empty();
+      ast.shared->analysis = std::move(merged);
+      return Value::block(std::move(ast));
+    });
+    for (int i = 0; i < kPieces; ++i) entry.destructive(i);
+  }
+
+  // --- optimization ------------------------------------------------------------------
+  // Inline expansion needs the whole program (callee bodies live in other
+  // groups), so it runs as a sequential stage — the rest of the
+  // optimizations then fork per group.
+  registry.add("opt_inline", 1, [reg](OpContext& ctx) {
+    AstBlock& ast = ctx.arg_block_mut<AstBlock>(0);
+    Program view;
+    for (const FuncGroup& g : ast.groups) {
+      view.functions.insert(view.functions.end(), g.funcs.begin(), g.funcs.end());
+    }
+    auto inline_ctx = std::make_shared<AstContext>();
+    ast.shared->keep_alive.push_back(inline_ctx);
+    OptStats stats;
+    OptimizeOptions options;
+    pass_inline(view, *inline_ctx, ast.shared->analysis, options, stats);
+    return ctx.take(0);
+  }).destructive(0);
+  add_ast_split("opt_split");
+  registry.add("opt_piece", 1, [reg](OpContext& ctx) {
+    GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(0);
+    Program view = group_view(piece, /*global_order=*/false);
+    OptimizeOptions options;
+    options.dce_functions = false;   // cross-group reachability is invisible
+    options.inline_expansion = false;  // done globally by opt_inline
+    optimize_program(view, *piece.group.ctx, *reg, piece.shared->analysis, options, "main");
+    return ctx.take(0);
+  }).destructive(0);
+  add_ast_merge("opt_merge");
+
+  // --- graph conversion -----------------------------------------------------------------
+  add_ast_split("graph_split");
+  registry.add("graph_piece", 1, [reg](OpContext& ctx) {
+    GroupPiece& piece = ctx.arg_block_mut<GroupPiece>(0);
+    Program view = group_view(piece, /*global_order=*/true);
+    DiagnosticEngine diags;
+    GraphPiece out;
+    out.index = piece.index;
+    out.shared = piece.shared;
+    out.program = std::make_shared<CompiledProgram>(
+        build_graphs(view, piece.shared->analysis, *reg, diags, "main"));
+    collect_errors(diags, *piece.shared->file, out.errors);
+    out.errors.insert(out.errors.end(), piece.errors.begin(), piece.errors.end());
+    return Value::block(std::move(out));
+  }).destructive(0);
+  {
+    auto entry = registry.add("graph_merge", kPieces, [](OpContext& ctx) {
+      std::shared_ptr<DccShared> shared;
+      std::vector<std::shared_ptr<CompiledProgram>> parts(kPieces);
+      for (int i = 0; i < kPieces; ++i) {
+        GraphPiece& piece = ctx.arg_block_mut<GraphPiece>(i);
+        shared = piece.shared;
+        parts[piece.index] = piece.program;
+        for (std::string& e : piece.errors) shared->errors.push_back(std::move(e));
+      }
+      const size_t num_funcs = shared->stubs.size();
+      auto merged = std::make_shared<CompiledProgram>();
+      merged->templates.resize(num_funcs);
+
+      // Function templates: take the built version (non-empty nodes).
+      // Anonymous templates: append per group, remembering the offset so
+      // call targets can be remapped.
+      std::vector<uint32_t> anon_base(kPieces, 0);
+      for (int g = 0; g < kPieces; ++g) {
+        anon_base[g] = static_cast<uint32_t>(merged->templates.size());
+        CompiledProgram& part = *parts[g];
+        for (size_t t = num_funcs; t < part.templates.size(); ++t) {
+          merged->templates.push_back(std::move(part.templates[t]));
+        }
+      }
+      std::vector<int> owner(num_funcs, -1);
+      for (int g = 0; g < kPieces; ++g) {
+        CompiledProgram& part = *parts[g];
+        for (size_t t = 0; t < num_funcs && t < part.templates.size(); ++t) {
+          if (part.templates[t] != nullptr && !part.templates[t]->nodes.empty()) {
+            merged->templates[t] = std::move(part.templates[t]);
+            owner[t] = g;
+          }
+        }
+      }
+      // Remap inter-template references from group-local to merged ids.
+      auto remap_template = [&](Template& tmpl, int g) {
+        for (Node& node : tmpl.nodes) {
+          if ((node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) &&
+              node.target_template >= num_funcs) {
+            node.target_template =
+                anon_base[g] + (node.target_template - static_cast<uint32_t>(num_funcs));
+          }
+        }
+      };
+      for (size_t t = 0; t < num_funcs; ++t) {
+        if (merged->templates[t] != nullptr && owner[t] >= 0) {
+          remap_template(*merged->templates[t], owner[t]);
+        }
+      }
+      {
+        size_t cursor = num_funcs;
+        for (int g = 0; g < kPieces; ++g) {
+          const size_t count = parts[g]->templates.size() > num_funcs
+                                   ? parts[g]->templates.size() - num_funcs
+                                   : 0;
+          for (size_t k = 0; k < count; ++k) {
+            remap_template(*merged->templates[cursor + k], g);
+          }
+          cursor += count;
+        }
+      }
+      for (size_t t = 0; t < num_funcs; ++t) {
+        if (merged->templates[t] == nullptr) {
+          // A stub nobody built (error path): keep a placeholder shell.
+          merged->templates[t] = std::make_unique<Template>();
+          merged->templates[t]->name = shared->stubs[t].name;
+        }
+        merged->by_name[shared->stubs[t].name] = static_cast<uint32_t>(t);
+      }
+      auto it = merged->by_name.find("main");
+      merged->entry = it != merged->by_name.end() ? it->second : 0;
+
+      DccOutput out;
+      out.program = merged;
+      out.shared = shared;
+      out.ok = shared->errors.empty();
+      std::ostringstream diag_stream;
+      for (const std::string& e : shared->errors) diag_stream << e << '\n';
+      out.diagnostics = diag_stream.str();
+      out.total_nodes = merged->total_nodes();
+      out.num_templates = merged->templates.size();
+      return Value::block(std::move(out));
+    });
+    for (int i = 0; i < kPieces; ++i) entry.destructive(i);
+  }
+
+  registry.add("dcc_report", 1, [](OpContext& ctx) { return ctx.take(0); }).destructive(0);
+}
+
+std::string dcc_coordination_source() {
+  std::ostringstream os;
+  auto fork_join = [&os](const std::string& fn, const std::string& arg,
+                         const std::string& split, const std::string& piece,
+                         const std::string& merge) {
+    os << fn << "(" << arg << ")\n  let <";
+    for (int i = 0; i < kPieces; ++i) os << (i > 0 ? ", " : "") << "p" << i;
+    os << "> = " << split << "(" << arg << ")\n";
+    for (int i = 0; i < kPieces; ++i) {
+      os << "      a" << i << " = " << piece << "(p" << i << ")\n";
+    }
+    os << "  in " << merge << "(";
+    for (int i = 0; i < kPieces; ++i) os << (i > 0 ? ", " : "") << "a" << i;
+    os << ")\n\n";
+  };
+
+  os << "main()\n"
+        "  let src = dcc_source()\n"
+        "      toks = dcc_lex(src)\n"
+        "      ast1 = parse_pass(toks)\n"
+        "      ast2 = macro_pass(ast1)\n"
+        "      ast3 = env_pass(ast2)\n"
+        "      ast4 = opt_pass(ast3)\n"
+        "      out = graph_pass(ast4)\n"
+        "  in dcc_report(out)\n\n";
+  os << "lex_pass(src)\n  dcc_lex(src)\n\n";
+  fork_join("parse_pass", "toks", "parse_split", "parse_piece", "parse_merge");
+  fork_join("macro_pass", "ast", "macro_split", "macro_piece", "macro_merge");
+  fork_join("env_pass", "ast", "env_split", "env_piece", "env_merge");
+  os << "opt_pass(ast)\n  opt_local(opt_inline(ast))\n\n";
+  fork_join("opt_local", "ast", "opt_split", "opt_piece", "opt_merge");
+  fork_join("graph_pass", "ast", "graph_split", "graph_piece", "graph_merge");
+  return os.str();
+}
+
+}  // namespace delirium::dcc

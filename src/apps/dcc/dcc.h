@@ -1,0 +1,135 @@
+// Case study #2 (§6): the Delirium compiler, parallelized in Delirium.
+//
+// Each compiler pass becomes a fork-join over *function groups*: the
+// program's functions are partitioned by subtree weight (the paper's
+// tree-crown clipping, applied at function granularity — generated
+// workloads have many functions, so functions are the natural subtrees),
+// each group is processed by an embedded operator, and a merge operator
+// reassembles the program. Lexing stays sequential, exactly as in
+// Table 1 (91ms / 91ms).
+//
+// Pass structure (one fork-join each):
+//   dcc_lex                          (sequential)
+//   parse_split  / parse_piece  / parse_merge
+//   macro_split  / macro_piece  / macro_merge
+//   env_split    / env_piece    / env_merge
+//   opt_split    / opt_piece    / opt_merge
+//   graph_split  / graph_piece  / graph_merge
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/lang/ast.h"
+#include "src/lang/token.h"
+#include "src/runtime/registry.h"
+#include "src/sema/env_analysis.h"
+#include "src/support/source.h"
+
+namespace delirium::dcc {
+
+/// Number of pieces each pass forks into. More pieces than processors
+/// (the paper's clipping produces sets of subtrees per processor) gives
+/// the dynamic scheduler room to balance.
+constexpr int kPieces = 12;
+
+/// Signature-only view of a function, shared across groups so that every
+/// group can resolve names and arities of functions it does not own.
+struct FuncStub {
+  std::string name;
+  std::vector<std::string> params;
+};
+
+/// Bookkeeping shared by every piece of the pipeline. Mutated only in
+/// merge operators (which execute exclusively), read everywhere else.
+struct DccShared {
+  std::shared_ptr<SourceFile> file;
+  /// Keeps every AstContext alive: trees freely reference nodes from the
+  /// context of the pass that created them.
+  std::vector<std::shared_ptr<AstContext>> keep_alive;
+  std::vector<FuncDecl*> all_macros;
+  std::vector<FuncStub> stubs;  // global function order
+  AnalysisResult analysis;      // merged after env analysis
+  std::vector<std::string> errors;
+};
+
+/// One group of functions owned by a parallel piece.
+struct FuncGroup {
+  std::shared_ptr<AstContext> ctx;  // where this group allocates
+  std::vector<FuncDecl*> funcs;
+};
+
+// --- blocks flowing through the coordination framework -------------------
+
+struct SourceBlock {
+  std::string text;
+};
+
+struct TokensBlock {
+  std::shared_ptr<SourceFile> file;
+  std::vector<Token> tokens;
+};
+
+struct ParsePiece {
+  int index = 0;
+  std::shared_ptr<SourceFile> file;
+  /// Pieces share the token buffer; each copies only its slice (in
+  /// parallel) inside parse_piece. The split itself is near-free, like
+  /// the paper's pointer-returning merges.
+  std::shared_ptr<const std::vector<Token>> all_tokens;
+  size_t begin = 0, end = 0;
+};
+
+struct GroupPiece {
+  int index = 0;
+  std::shared_ptr<SourceFile> file;       // set by parse_piece
+  FuncGroup group;
+  std::vector<FuncDecl*> macros;          // only set right after parsing
+  std::shared_ptr<DccShared> shared;      // null until parse_merge
+  AnalysisResult analysis;                // this group's env-analysis slice
+  std::vector<std::string> errors;
+};
+
+struct AstBlock {
+  std::shared_ptr<DccShared> shared;
+  std::vector<FuncGroup> groups;  // exactly kPieces groups
+};
+
+struct GraphPiece {
+  int index = 0;
+  std::shared_ptr<CompiledProgram> program;  // full shell, own bodies built
+  std::shared_ptr<DccShared> shared;
+  std::vector<std::string> errors;
+};
+
+struct DccOutput {
+  std::shared_ptr<CompiledProgram> program;
+  std::shared_ptr<DccShared> shared;
+  bool ok = false;
+  std::string diagnostics;
+  size_t total_nodes = 0;
+  size_t num_templates = 0;
+};
+
+// --- embedding ------------------------------------------------------------
+
+/// Register the dcc_* operators. `source` is the program to compile (the
+/// operator dcc_source produces it, mirroring how the paper's compiler
+/// reads its input before the timed passes).
+void register_dcc_operators(OperatorRegistry& registry, std::string source);
+
+/// The coordination program: main() chains the passes; lex_pass(),
+/// parse_pass(toks), macro_pass(ast), env_pass(ast), opt_pass(ast) and
+/// graph_pass(ast) expose each pass for per-pass timing (Table 1).
+std::string dcc_coordination_source();
+
+/// Partition functions into `pieces` groups of roughly equal tree weight
+/// (greedy accumulation toward total/pieces, the paper's clipping rule at
+/// function granularity). Always returns exactly `pieces` groups; later
+/// ones may be empty.
+std::vector<std::vector<FuncDecl*>> partition_by_weight(const std::vector<FuncDecl*>& funcs,
+                                                        int pieces);
+
+}  // namespace delirium::dcc

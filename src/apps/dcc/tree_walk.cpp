@@ -1,0 +1,128 @@
+#include "src/apps/dcc/tree_walk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace delirium::dcc {
+
+namespace detail {
+
+void collect_children(Expr* e, std::vector<Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->callee != nullptr) out.push_back(e->callee);
+  for (Expr* a : e->args) out.push_back(a);
+  for (Binding& b : e->bindings) {
+    if (b.value != nullptr) out.push_back(b.value);
+  }
+  if (e->body != nullptr) out.push_back(e->body);
+  if (e->cond != nullptr) out.push_back(e->cond);
+  if (e->then_branch != nullptr) out.push_back(e->then_branch);
+  if (e->else_branch != nullptr) out.push_back(e->else_branch);
+  for (LoopVar& lv : e->loop_vars) {
+    if (lv.init != nullptr) out.push_back(lv.init);
+    if (lv.step != nullptr) out.push_back(lv.step);
+  }
+}
+
+bool is_clipped_root(const Expr* node, const std::vector<Expr*>& subtrees) {
+  for (const Expr* s : subtrees) {
+    if (s == node) return true;
+  }
+  return false;
+}
+
+namespace {
+
+uint64_t weigh(Expr* node, std::unordered_map<const Expr*, uint64_t>& weights) {
+  uint64_t total = 1;
+  std::vector<Expr*> children;
+  collect_children(node, children);
+  for (Expr* child : children) total += weigh(child, weights);
+  weights.emplace(node, total);
+  return total;
+}
+
+}  // namespace
+}  // namespace detail
+
+CrownClip clip_crown(Expr* root, int pieces) {
+  CrownClip clip;
+  if (root == nullptr) return clip;
+  std::unordered_map<const Expr*, uint64_t> weights;
+  clip.total_weight = detail::weigh(root, weights);
+  const uint64_t desired =
+      std::max<uint64_t>(1, clip.total_weight / static_cast<uint64_t>(std::max(pieces, 1)));
+
+  // Preorder crown traversal: descend while a subtree is heavier than the
+  // desired piece weight; otherwise clip it.
+  std::vector<Expr*> stack{root};
+  while (!stack.empty()) {
+    Expr* node = stack.back();
+    stack.pop_back();
+    if (weights.at(node) <= desired) {
+      clip.subtrees.push_back(node);
+      continue;
+    }
+    ++clip.crown_weight;
+    std::vector<Expr*> children;
+    detail::collect_children(node, children);
+    // Reverse so preorder order is preserved with a LIFO stack.
+    for (auto it = children.rbegin(); it != children.rend(); ++it) stack.push_back(*it);
+  }
+  return clip;
+}
+
+std::vector<std::vector<Expr*>> assign_subtrees(const CrownClip& clip, int pieces) {
+  std::vector<std::vector<Expr*>> bins(std::max(pieces, 1));
+  std::vector<uint64_t> bin_weight(bins.size(), 0);
+  // Greedy into the lightest bin, preserving the preorder sequence of
+  // each bin's subtrees (the paper: "sets of subtrees are allocated to
+  // each processor").
+  std::unordered_map<const Expr*, uint64_t> weights;
+  for (Expr* subtree : clip.subtrees) {
+    if (weights.count(subtree) == 0) detail::weigh(subtree, weights);
+    size_t lightest = 0;
+    for (size_t b = 1; b < bins.size(); ++b) {
+      if (bin_weight[b] < bin_weight[lightest]) lightest = b;
+    }
+    bins[lightest].push_back(subtree);
+    bin_weight[lightest] += weights.at(subtree);
+  }
+  return bins;
+}
+
+PieceExecutor sequential_executor() {
+  return [](int pieces, const std::function<void(int)>& fn) {
+    for (int p = 0; p < pieces; ++p) fn(p);
+  };
+}
+
+void top_down_walk(Expr* root, int pieces, const PieceExecutor& executor,
+                   const std::function<void(Expr*)>& update) {
+  const CrownClip clip = clip_crown(root, pieces);
+  std::unordered_set<const Expr*> clipped(clip.subtrees.begin(), clip.subtrees.end());
+
+  // Sequential crown pass: every clipped root's ancestors update first.
+  const std::function<void(Expr*)> crown = [&](Expr* node) {
+    if (clipped.count(node) > 0) return;
+    update(node);
+    std::vector<Expr*> children;
+    detail::collect_children(node, children);
+    for (Expr* child : children) crown(child);
+  };
+  crown(root);
+
+  // Parallel subtree passes (full preorder within each subtree).
+  auto bins = assign_subtrees(clip, pieces);
+  executor(static_cast<int>(bins.size()), [&](int piece) {
+    const std::function<void(Expr*)> walk = [&](Expr* node) {
+      update(node);
+      std::vector<Expr*> children;
+      detail::collect_children(node, children);
+      for (Expr* child : children) walk(child);
+    };
+    for (Expr* subtree : bins[piece]) walk(subtree);
+  });
+}
+
+}  // namespace delirium::dcc

@@ -1,0 +1,186 @@
+// Parallel tree walking (§6.2 of the paper).
+//
+// "We examined each of the passes over the tree, and realized that with
+// some work they can all be cast into one of three kinds of tree walk":
+//
+//   1. top-down update        — update each node; ancestors first
+//   2. inherited-attribute    — compute an attribute moving down; each
+//                               node receives the package computed on
+//                               the way from the root
+//   3. synthesized-attribute  — bottom-up; each node's update sees its
+//                               children's results
+//
+// The parallelization strategy is the paper's: "Each walk is
+// accomplished by traversing the crown of the tree, clipping off
+// sub-trees" whose weight falls below one third of (total weight /
+// pieces); the clipped subtree sets are processed independently, and for
+// synthesized walks a sequential pass "run[s] over the crown of the tree
+// finishing the pass now that the values for the subtrees have been
+// computed."
+//
+// The workers here are pluggable: pieces can run on a ForkJoinPool, as
+// Delirium operators (what dcc does at function granularity), or
+// sequentially in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace delirium::dcc {
+
+/// The crown decomposition of one tree: subtree roots clipped off for
+/// parallel processing, and (implicitly) the crown — every node above
+/// them.
+struct CrownClip {
+  std::vector<Expr*> subtrees;   // roots of the clipped subtrees
+  uint64_t total_weight = 0;     // nodes in the whole tree
+  uint64_t crown_weight = 0;     // nodes in the crown (not in any subtree)
+};
+
+/// Clip subtrees per the paper's rule: "We divide the total weight of the
+/// tree by the number of processors we will be using. The tree traversal
+/// runs until we find a subtree that is less than one-third of the
+/// desired weight." Subtrees appear in preorder, so sequential
+/// re-traversal matches a full walk's order.
+CrownClip clip_crown(Expr* root, int pieces);
+
+/// Assign clipped subtrees to `pieces` bins of roughly equal weight
+/// (greedy, preserving preorder inside each bin).
+std::vector<std::vector<Expr*>> assign_subtrees(const CrownClip& clip, int pieces);
+
+/// Executor: runs fn(piece_index) for each piece, possibly in parallel,
+/// returning after all complete. Tests pass a sequential loop; apps pass
+/// a ForkJoinPool adapter or run pieces as Delirium operators.
+using PieceExecutor = std::function<void(int pieces, const std::function<void(int)>& fn)>;
+
+/// A sequential executor (baseline / tests).
+PieceExecutor sequential_executor();
+
+// --- walk 1: top-down update -----------------------------------------------
+//
+// `update` may mutate the node; it sees every ancestor already updated.
+// The crown is updated sequentially first, then the clipped subtrees in
+// parallel.
+void top_down_walk(Expr* root, int pieces, const PieceExecutor& executor,
+                   const std::function<void(Expr*)>& update);
+
+// --- walk 2: inherited-attribute update -----------------------------------
+//
+// `Inherit` is the attribute package handed down; `step(node, in)`
+// computes the package the node's children receive, and may update the
+// node. The crown runs sequentially (computing each clipped subtree's
+// incoming package); subtrees then run in parallel.
+template <typename Inherit>
+using InheritStep = std::function<Inherit(Expr*, const Inherit&)>;
+
+template <typename Inherit>
+void inherited_walk(Expr* root, int pieces, const PieceExecutor& executor,
+                    const Inherit& root_value, const InheritStep<Inherit>& step);
+
+// --- walk 3: synthesized-attribute update -----------------------------------
+//
+// `Synth` is computed bottom-up: `combine(node, child_values)` returns
+// the node's value (and may update the node). Clipped subtrees compute
+// their values in parallel; the crown then finishes sequentially using
+// the subtree results.
+template <typename Synth>
+using SynthCombine = std::function<Synth(Expr*, const std::vector<Synth>&)>;
+
+template <typename Synth>
+Synth synthesized_walk(Expr* root, int pieces, const PieceExecutor& executor,
+                       const SynthCombine<Synth>& combine);
+
+// --- template implementations ------------------------------------------------
+
+namespace detail {
+
+void collect_children(Expr* e, std::vector<Expr*>& out);
+
+template <typename Synth>
+Synth synth_recurse(Expr* node, const SynthCombine<Synth>& combine,
+                    const std::unordered_map<const Expr*, Synth>* precomputed) {
+  if (precomputed != nullptr) {
+    auto it = precomputed->find(node);
+    if (it != precomputed->end()) return it->second;
+  }
+  std::vector<Expr*> children;
+  collect_children(node, children);
+  std::vector<Synth> values;
+  values.reserve(children.size());
+  for (Expr* child : children) {
+    values.push_back(synth_recurse<Synth>(child, combine, precomputed));
+  }
+  return combine(node, values);
+}
+
+template <typename Inherit>
+void inherit_recurse(Expr* node, const Inherit& incoming,
+                     const InheritStep<Inherit>& step) {
+  const Inherit down = step(node, incoming);
+  std::vector<Expr*> children;
+  collect_children(node, children);
+  for (Expr* child : children) inherit_recurse<Inherit>(child, down, step);
+}
+
+/// Is `node` inside any of the clipped subtrees? Crown traversals stop at
+/// clipped roots.
+bool is_clipped_root(const Expr* node, const std::vector<Expr*>& subtrees);
+
+}  // namespace detail
+
+template <typename Inherit>
+void inherited_walk(Expr* root, int pieces, const PieceExecutor& executor,
+                    const Inherit& root_value, const InheritStep<Inherit>& step) {
+  const CrownClip clip = clip_crown(root, pieces);
+  // Sequential crown pass: compute every clipped subtree's incoming
+  // attribute while updating crown nodes.
+  std::unordered_map<const Expr*, Inherit> incoming;
+  const std::function<void(Expr*, const Inherit&)> crown =
+      [&](Expr* node, const Inherit& in) {
+        if (detail::is_clipped_root(node, clip.subtrees)) {
+          incoming.emplace(node, in);
+          return;
+        }
+        const Inherit down = step(node, in);
+        std::vector<Expr*> children;
+        detail::collect_children(node, children);
+        for (Expr* child : children) crown(child, down);
+      };
+  crown(root, root_value);
+  // Parallel subtree passes.
+  auto bins = assign_subtrees(clip, pieces);
+  executor(static_cast<int>(bins.size()), [&](int piece) {
+    for (Expr* subtree : bins[piece]) {
+      detail::inherit_recurse<Inherit>(subtree, incoming.at(subtree), step);
+    }
+  });
+}
+
+template <typename Synth>
+Synth synthesized_walk(Expr* root, int pieces, const PieceExecutor& executor,
+                       const SynthCombine<Synth>& combine) {
+  const CrownClip clip = clip_crown(root, pieces);
+  auto bins = assign_subtrees(clip, pieces);
+  // Parallel: compute each clipped subtree's value. Distinct pieces touch
+  // distinct subtrees, so the map can be pre-sized and written racelessly
+  // via per-piece locals merged after the join.
+  std::vector<std::vector<std::pair<const Expr*, Synth>>> partial(bins.size());
+  executor(static_cast<int>(bins.size()), [&](int piece) {
+    for (Expr* subtree : bins[piece]) {
+      partial[piece].emplace_back(subtree,
+                                  detail::synth_recurse<Synth>(subtree, combine, nullptr));
+    }
+  });
+  std::unordered_map<const Expr*, Synth> precomputed;
+  for (auto& piece : partial) {
+    for (auto& [node, value] : piece) precomputed.emplace(node, std::move(value));
+  }
+  // Sequential crown finish, consuming the subtree values.
+  return detail::synth_recurse<Synth>(root, combine, &precomputed);
+}
+
+}  // namespace delirium::dcc

@@ -1,0 +1,271 @@
+#include "src/apps/grid/grid.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/support/rng.h"
+
+namespace delirium::grid {
+
+Grid make_grid(const GridParams& params) {
+  if (params.height % params.bands != 0) {
+    throw std::invalid_argument("grid: height must be divisible by bands");
+  }
+  Grid grid;
+  grid.width = params.width;
+  grid.height = params.height;
+  grid.rows.assign(static_cast<size_t>(params.height),
+                   std::vector<float>(static_cast<size_t>(params.width), 0.0f));
+  SplitMix64 rng(params.seed);
+  // Hot rectangular blobs in the interior; boundary stays cold (0).
+  const int blobs = 4 + static_cast<int>(rng.next_below(4));
+  for (int b = 0; b < blobs; ++b) {
+    const int cx = 2 + static_cast<int>(rng.next_below(static_cast<uint64_t>(params.width - 4)));
+    const int cy =
+        2 + static_cast<int>(rng.next_below(static_cast<uint64_t>(params.height - 4)));
+    const int radius = 2 + static_cast<int>(rng.next_below(6));
+    const float heat = 50.0f + static_cast<float>(rng.next_double() * 50.0);
+    for (int y = std::max(1, cy - radius); y < std::min(params.height - 1, cy + radius); ++y) {
+      for (int x = std::max(1, cx - radius); x < std::min(params.width - 1, cx + radius);
+           ++x) {
+        grid.at(x, y) = heat;
+      }
+    }
+  }
+  return grid;
+}
+
+namespace {
+
+/// One output row of the Jacobi stencil. The three input rows come from
+/// wherever the caller keeps them (grid, band, or halo).
+void relax_one_row(const float* above, const float* row, const float* below, int width,
+                   int y, int height, std::vector<float>& out) {
+  out.resize(static_cast<size_t>(width));
+  if (y == 0 || y == height - 1) {
+    std::copy(row, row + width, out.begin());
+    return;
+  }
+  out[0] = row[0];
+  for (int x = 1; x < width - 1; ++x) {
+    out[static_cast<size_t>(x)] =
+        0.25f * (row[x - 1] + row[x + 1] + above[x] + below[x]);
+  }
+  out[static_cast<size_t>(width - 1)] = row[width - 1];
+}
+
+}  // namespace
+
+void relax_rows(const Grid& from, int row0, int row1,
+                std::vector<std::vector<float>>& into_rows) {
+  into_rows.resize(static_cast<size_t>(row1 - row0));
+  for (int y = row0; y < row1; ++y) {
+    const float* above = y > 0 ? from.rows[static_cast<size_t>(y - 1)].data() : nullptr;
+    const float* below =
+        y < from.height - 1 ? from.rows[static_cast<size_t>(y + 1)].data() : nullptr;
+    relax_one_row(above, from.rows[static_cast<size_t>(y)].data(), below, from.width, y,
+                  from.height, into_rows[static_cast<size_t>(y - row0)]);
+  }
+}
+
+void relax_band(Band& band, int width, int height) {
+  const int count = band.row1 - band.row0;
+  std::vector<std::vector<float>> out(static_cast<size_t>(count));
+  auto row_ptr = [&](int y) -> const float* {
+    if (y < band.row0) return band.halo_above.data();
+    if (y >= band.row1) return band.halo_below.data();
+    return band.rows[static_cast<size_t>(y - band.row0)].data();
+  };
+  for (int y = band.row0; y < band.row1; ++y) {
+    const float* above = y > 0 ? row_ptr(y - 1) : nullptr;
+    const float* below = y < height - 1 ? row_ptr(y + 1) : nullptr;
+    relax_one_row(above, row_ptr(y), below, width, y, height,
+                  out[static_cast<size_t>(y - band.row0)]);
+  }
+  band.rows = std::move(out);
+}
+
+Grid sequential_run(const GridParams& params) {
+  Grid grid = make_grid(params);
+  std::vector<std::vector<float>> next;
+  for (int step = 0; step < params.steps; ++step) {
+    relax_rows(grid, 0, grid.height, next);
+    grid.rows.swap(next);
+  }
+  return grid;
+}
+
+double checksum(const Grid& grid) {
+  double total = 0;
+  size_t i = 0;
+  for (const auto& row : grid.rows) {
+    for (float v : row) {
+      total += static_cast<double>(v) * static_cast<double>(1 + i % 7);
+      ++i;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+std::vector<Value> split_into_bands(Grid grid, int bands) {
+  const int rows = grid.height / bands;
+  std::vector<Band> pieces(static_cast<size_t>(bands));
+  for (int b = 0; b < bands; ++b) {
+    Band& band = pieces[static_cast<size_t>(b)];
+    band.index = b;
+    band.row0 = b * rows;
+    band.row1 = (b + 1) * rows;
+    // Halo rows are the only copies; the band's own rows move below.
+    if (band.row0 > 0) band.halo_above = grid.rows[static_cast<size_t>(band.row0 - 1)];
+    if (band.row1 < grid.height) band.halo_below = grid.rows[static_cast<size_t>(band.row1)];
+  }
+  for (int b = 0; b < bands; ++b) {
+    Band& band = pieces[static_cast<size_t>(b)];
+    band.rows.reserve(static_cast<size_t>(rows));
+    for (int y = band.row0; y < band.row1; ++y) {
+      band.rows.push_back(std::move(grid.rows[static_cast<size_t>(y)]));
+    }
+  }
+  pieces[0].carrier = std::move(grid);
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(bands));
+  for (Band& band : pieces) out.push_back(Value::block(std::move(band)));
+  return out;
+}
+
+Grid merge_bands(OpContext& ctx, size_t count) {
+  Band& first = ctx.arg_block_mut<Band>(0);
+  if (!first.carrier.has_value()) {
+    throw RuntimeError("band_merge: band 0 does not carry the grid");
+  }
+  Grid grid = std::move(*first.carrier);
+  first.carrier.reset();
+  for (size_t i = 0; i < count; ++i) {
+    Band& band = ctx.arg_block_mut<Band>(i);
+    for (int y = band.row0; y < band.row1; ++y) {
+      grid.rows[static_cast<size_t>(y)] =
+          std::move(band.rows[static_cast<size_t>(y - band.row0)]);
+    }
+  }
+  return grid;
+}
+
+/// Merge for a single package argument (the parmap program). The package
+/// normally arrives uniquely held, so bands move out without copies; a
+/// shared package degrades to copying (same values either way).
+Grid merge_band_package(OpContext& ctx) {
+  Value pkg = ctx.take(0);
+  if (MultiValue* mv = pkg.tuple_mut()) {
+    Grid grid;
+    bool have_carrier = false;
+    for (Value& v : mv->elems) {
+      Band& band = v.block_mut<Band>();
+      if (band.carrier.has_value()) {
+        grid = std::move(*band.carrier);
+        band.carrier.reset();
+        have_carrier = true;
+      }
+    }
+    if (!have_carrier) throw RuntimeError("band_merge_pkg: no band carries the grid");
+    for (Value& v : mv->elems) {
+      Band& band = v.block_mut<Band>();
+      for (int y = band.row0; y < band.row1; ++y) {
+        grid.rows[static_cast<size_t>(y)] =
+            std::move(band.rows[static_cast<size_t>(y - band.row0)]);
+      }
+    }
+    return grid;
+  }
+  // Shared package: read-only elements, copy.
+  const MultiValue& mv = pkg.as_tuple();
+  Grid grid;
+  bool have_carrier = false;
+  for (const Value& v : mv.elems) {
+    const Band& band = v.block_as<Band>();
+    if (band.carrier.has_value()) {
+      grid = *band.carrier;
+      have_carrier = true;
+    }
+  }
+  if (!have_carrier) throw RuntimeError("band_merge_pkg: no band carries the grid");
+  for (const Value& v : mv.elems) {
+    const Band& band = v.block_as<Band>();
+    for (int y = band.row0; y < band.row1; ++y) {
+      grid.rows[static_cast<size_t>(y)] = band.rows[static_cast<size_t>(y - band.row0)];
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+void register_grid_operators(OperatorRegistry& registry, const GridParams& params) {
+  registry.add("make_field", 0, [params](OpContext&) {
+    return Value::block(make_grid(params));
+  });
+
+  registry.add("band_split", 1, [params](OpContext& ctx) {
+    Grid grid = std::move(ctx.arg_block_mut<Grid>(0));
+    return Value::tuple(split_into_bands(std::move(grid), params.bands));
+  }).destructive(0);
+
+  registry.add("relax_band_op", 1, [params](OpContext& ctx) {
+    Band& band = ctx.arg_block_mut<Band>(0);
+    relax_band(band, params.width, params.height);
+    return ctx.take(0);
+  }).destructive(0);
+
+  {
+    auto entry = registry.add("band_merge", params.bands, [params](OpContext& ctx) {
+      return Value::block(merge_bands(ctx, static_cast<size_t>(params.bands)));
+    });
+    for (int i = 0; i < params.bands; ++i) entry.destructive(i);
+  }
+
+  registry.add("band_merge_pkg", 1, [](OpContext& ctx) {
+    return Value::block(merge_band_package(ctx));
+  }).destructive(0);
+
+  registry.add("grid_checksum", 1, [](OpContext& ctx) {
+    return Value::of(checksum(ctx.arg_block<Grid>(0)));
+  }).pure();
+}
+
+std::string grid_source(const GridParams& params) {
+  std::ostringstream os;
+  os << "define STEPS = " << params.steps << "\n\n";
+  os << "main()\n  iterate\n  {\n    t = 0, incr(t)\n    g = make_field(),\n      let\n"
+     << "        <";
+  for (int b = 0; b < params.bands; ++b) os << (b > 0 ? ", " : "") << "b" << b;
+  os << "> = band_split(g)\n";
+  for (int b = 0; b < params.bands; ++b) {
+    os << "        r" << b << " = relax_band_op(b" << b << ")\n";
+  }
+  os << "      in band_merge(";
+  for (int b = 0; b < params.bands; ++b) os << (b > 0 ? ", " : "") << "r" << b;
+  os << ")\n  } while is_not_equal(t, STEPS),\n  result g\n";
+  return os.str();
+}
+
+std::string grid_source_parmap(const GridParams& params) {
+  std::ostringstream os;
+  os << "define STEPS = " << params.steps << "\n\n";
+  os << R"(relax_one(b) relax_band_op(b)
+
+main()
+  iterate
+  {
+    t = 0, incr(t)
+    g = make_field(),
+      let pkg = band_split(g)
+      in band_merge_pkg(parmap(relax_one, pkg))
+  } while is_not_equal(t, STEPS),
+  result g
+)";
+  return os.str();
+}
+
+}  // namespace delirium::grid

@@ -1,0 +1,101 @@
+// Iterative grid relaxation (Jacobi heat diffusion) under Delirium
+// coordination — the classic scientific array kernel the paper's
+// introduction motivates ("the majority of scientific applications ...
+// contain sub-computations which vectorize extremely well").
+//
+// The grid is split into row bands. Each timestep every band needs its
+// neighbours' boundary rows, so the coordination framework makes the
+// halo exchange explicit: band_split hands each band its halo rows from
+// the previous step (the §2.1 idiom — "the Delirium code must arrange to
+// split the data and pass only the relevant parts to each operator"),
+// relax_band updates interior cells, and band_merge reassembles. The
+// fork width is a compile-time constant in the classic program and
+// dynamic (parmap over any number of bands) in the extended one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/registry.h"
+
+namespace delirium::grid {
+
+struct GridParams {
+  int width = 128;
+  int height = 128;    // divisible by bands
+  int bands = 4;       // hard-wired fork width (classic program)
+  int steps = 16;
+  uint64_t seed = 7;
+};
+
+/// The field plus a fixed boundary (Dirichlet): boundary cells never
+/// change; interior cells relax toward the average of their neighbours.
+/// Rows are separate vectors so a band split *moves* them into pieces —
+/// the paper's "merging is free" idiom (only halo rows are copied).
+struct Grid {
+  int width = 0;
+  int height = 0;
+  std::vector<std::vector<float>> rows;  // height vectors of width floats
+
+  float at(int x, int y) const { return rows[static_cast<size_t>(y)][static_cast<size_t>(x)]; }
+  float& at(int x, int y) { return rows[static_cast<size_t>(y)][static_cast<size_t>(x)]; }
+};
+
+inline size_t delirium_block_size(const Grid& g) {
+  return sizeof(Grid) + static_cast<size_t>(g.width) * g.height * sizeof(float);
+}
+
+/// One band: rows [row0, row1) plus one halo row on each side (when it
+/// exists). The carrier rides in band 0, as in the other apps.
+struct Band {
+  int index = 0;
+  int row0 = 0, row1 = 0;
+  std::vector<std::vector<float>> rows;  // this band's rows (moved in/out)
+  std::vector<float> halo_above;  // row row0-1 of the previous step (may be empty)
+  std::vector<float> halo_below;  // row row1 of the previous step (may be empty)
+  std::optional<Grid> carrier;
+};
+
+inline size_t delirium_block_size(const Band& b) {
+  size_t cells = b.halo_above.size() + b.halo_below.size();
+  for (const auto& row : b.rows) cells += row.size();
+  return sizeof(Band) + cells * sizeof(float) +
+         (b.carrier ? delirium_block_size(*b.carrier) : 0);
+}
+
+/// Deterministic initial field: hot blobs from the seed, cold boundary.
+Grid make_grid(const GridParams& params);
+
+/// One Jacobi update of rows [row0, row1) of `from` into `into_rows`
+/// (row1-row0 vectors of width floats). Rows outside [1, height-1) and
+/// boundary columns copy through unchanged.
+void relax_rows(const Grid& from, int row0, int row1,
+                std::vector<std::vector<float>>& into_rows);
+
+/// Band-local variant used by the operator: the band's own rows plus
+/// halos stand in for `from`.
+void relax_band(Band& band, int width, int height);
+
+/// Sequential reference: `steps` Jacobi sweeps (band-structured, so the
+/// arithmetic matches the parallel version bitwise).
+Grid sequential_run(const GridParams& params);
+
+/// Deterministic checksum.
+double checksum(const Grid& grid);
+
+/// Register make_field / band_split / relax_band_op / band_merge /
+/// grid_checksum against `params`.
+void register_grid_operators(OperatorRegistry& registry, const GridParams& params);
+
+/// The classic coordination program: hard-wired `params.bands`-way
+/// fork-join inside an iterate over steps.
+std::string grid_source(const GridParams& params);
+
+/// The §9.2 variant: the same computation with parmap — the band count
+/// comes from the data, so one program serves any decomposition.
+std::string grid_source_parmap(const GridParams& params);
+
+}  // namespace delirium::grid

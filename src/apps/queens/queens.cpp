@@ -1,0 +1,115 @@
+#include "src/apps/queens/queens.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace delirium::queens {
+
+bool board_valid(const Board& board) {
+  const int last = static_cast<int>(board.size()) - 1;
+  if (last < 0) return true;
+  for (int i = 0; i < last; ++i) {
+    const int dr = last - i;
+    if (board[i] == board[last] || board[i] == board[last] - dr ||
+        board[i] == board[last] + dr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void solve_rec(Board& board, int n, std::vector<Board>& out) {
+  if (static_cast<int>(board.size()) == n) {
+    out.push_back(board);
+    return;
+  }
+  for (int8_t row = 1; row <= n; ++row) {
+    board.push_back(row);
+    if (board_valid(board)) solve_rec(board, n, out);
+    board.pop_back();
+  }
+}
+
+/// Solutions are collected into a list-of-boards block; merge flattens.
+using BoardList = std::vector<Board>;
+
+}  // namespace
+
+std::vector<Board> solve_sequential(int n) {
+  std::vector<Board> out;
+  Board board;
+  solve_rec(board, n, out);
+  return out;
+}
+
+int64_t count_solutions_sequential(int n) {
+  return static_cast<int64_t>(solve_sequential(n).size());
+}
+
+void register_queens_operators(OperatorRegistry& registry, int n) {
+  if (n < 1 || n > 16) throw std::invalid_argument("queens: n must be in [1, 16]");
+
+  registry.add("empty_board", 0, [](OpContext&) { return Value::block(Board{}); }).pure();
+
+  registry.add("add_queen", 3, [](OpContext& ctx) {
+    // The paper's operator may destructively extend the board; the
+    // runtime's reference counting copies it when siblings still hold it.
+    Board& board = ctx.arg_block_mut<Board>(0);
+    (void)ctx.arg_int(1);  // queen number == column, implicit in size()
+    board.push_back(static_cast<int8_t>(ctx.arg_int(2)));
+    return ctx.take(0);
+  }).destructive(0);
+
+  registry.add("is_valid", 1, [](OpContext& ctx) {
+    return Value::of(static_cast<int64_t>(board_valid(ctx.arg_block<Board>(0)) ? 1 : 0));
+  }).pure();
+
+  registry.add("merge", n, [](OpContext& ctx) {
+    BoardList all;
+    for (size_t i = 0; i < ctx.arg_count(); ++i) {
+      const Value& v = ctx.arg(i);
+      if (v.is_null()) continue;
+      const auto& ptr = v.block_ptr();
+      if (const auto* list = dynamic_cast<const TypedBlock<BoardList>*>(ptr.get())) {
+        all.insert(all.end(), list->data.begin(), list->data.end());
+      } else {
+        all.push_back(v.block_as<Board>());
+      }
+    }
+    return Value::block(std::move(all));
+  }).pure().variadic();
+
+  registry.add("show_solutions", 1, [](OpContext& ctx) {
+    return Value::of(static_cast<int64_t>(ctx.arg_block<BoardList>(0).size()));
+  }).pure();
+
+  registry.add("solution_list", 1, [](OpContext& ctx) { return ctx.take(0); }).pure();
+}
+
+std::string queens_source(int n) {
+  std::ostringstream os;
+  os << "main()\n"
+        "  let board = empty_board()\n"
+        "  in show_solutions(do_it(board, 1))\n\n";
+  os << "do_it(board, queen)\n  let\n";
+  for (int i = 1; i <= n; ++i) {
+    os << "    h" << i << " = try(board, queen, " << i << ")\n";
+  }
+  os << "  in merge(";
+  for (int i = 1; i <= n; ++i) os << (i > 1 ? ", " : "") << "h" << i;
+  os << ")\n\n";
+  os << "try(board, queen, location)\n"
+        "  let new_board = add_queen(board, queen, location)\n"
+        "  in if is_valid(new_board)\n"
+        "      then if is_equal(queen, "
+     << n
+     << ")\n"
+        "            then new_board\n"
+        "            else do_it(new_board, incr(queen))\n"
+        "      else NULL\n";
+  return os.str();
+}
+
+}  // namespace delirium::queens

@@ -1,0 +1,36 @@
+// The §3 example: parallel recursive backtracking N-queens.
+//
+// The Delirium program is the paper's, generalized from 8 to N: do_it
+// forks one `try` per square of the current column; each valid partial
+// board recurses. The operators are "roughly 100 lines of C" in the
+// paper; here they are the C++ below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/registry.h"
+
+namespace delirium::queens {
+
+using Board = std::vector<int8_t>;  // board[i] = row of the queen in column i
+
+/// Register empty_board/add_queen/is_valid/merge/show_solutions for an
+/// N×N board (N between 1 and 16).
+void register_queens_operators(OperatorRegistry& registry, int n);
+
+/// The coordination program for board size n — the paper's §3 text with
+/// N try-branches per column.
+std::string queens_source(int n);
+
+/// Sequential reference solver: number of solutions.
+int64_t count_solutions_sequential(int n);
+
+/// Solution boards, sequentially, in lexicographic order (for tests).
+std::vector<Board> solve_sequential(int n);
+
+/// True when `board` places its queens without attacks.
+bool board_valid(const Board& board);
+
+}  // namespace delirium::queens

@@ -1,0 +1,524 @@
+#include "src/apps/ray/ray.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+
+#include "src/support/rng.h"
+
+namespace delirium::ray {
+
+float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+Vec3 normalize(Vec3 v) {
+  const float len = std::sqrt(dot(v, v));
+  return len > 0 ? v * (1.0f / len) : v;
+}
+
+Vec3 reflect(Vec3 v, Vec3 n) { return v - n * (2.0f * dot(v, n)); }
+
+Scene build_scene(const RayParams& params) {
+  Scene scene;
+  SplitMix64 rng(params.seed);
+  Plane floor;
+  floor.point = {0, 0, 0};
+  floor.normal = {0, 1, 0};
+  floor.checker = true;
+  floor.material.color = {0.9f, 0.9f, 0.9f};
+  floor.material.reflectivity = 0.1f;
+  scene.planes.push_back(floor);
+
+  for (int i = 0; i < params.num_spheres; ++i) {
+    Sphere s;
+    s.radius = 0.3f + static_cast<float>(rng.next_double()) * 0.7f;
+    s.center = {static_cast<float>(rng.next_double() * 8.0 - 4.0), s.radius,
+                static_cast<float>(rng.next_double() * 8.0 - 1.0)};
+    s.material.color = {0.3f + static_cast<float>(rng.next_double()) * 0.7f,
+                        0.3f + static_cast<float>(rng.next_double()) * 0.7f,
+                        0.3f + static_cast<float>(rng.next_double()) * 0.7f};
+    s.material.reflectivity = rng.next_bool(0.4) ? 0.5f : 0.0f;
+    scene.spheres.push_back(s);
+  }
+
+  // Triangle meshes: four-sided pyramids scattered on the floor.
+  for (int p = 0; p < params.num_pyramids; ++p) {
+    const float cx = static_cast<float>(rng.next_double() * 8.0 - 4.0);
+    const float cz = static_cast<float>(rng.next_double() * 8.0 - 1.0);
+    const float half = 0.4f + static_cast<float>(rng.next_double()) * 0.6f;
+    const float height = 0.8f + static_cast<float>(rng.next_double()) * 1.2f;
+    Material mat;
+    mat.color = {0.4f + static_cast<float>(rng.next_double()) * 0.6f,
+                 0.4f + static_cast<float>(rng.next_double()) * 0.6f,
+                 0.4f + static_cast<float>(rng.next_double()) * 0.6f};
+    mat.specular = 0.4f;
+    const Vec3 apex{cx, height, cz};
+    const Vec3 base[4] = {{cx - half, 0, cz - half},
+                          {cx + half, 0, cz - half},
+                          {cx + half, 0, cz + half},
+                          {cx - half, 0, cz + half}};
+    for (int side = 0; side < 4; ++side) {
+      scene.triangles.push_back(Triangle{base[side], base[(side + 1) % 4], apex, mat});
+    }
+  }
+
+  scene.lights.push_back(Light{{-5, 8, -4}, {1.0f, 0.95f, 0.9f}});
+  scene.lights.push_back(Light{{6, 5, -2}, {0.35f, 0.35f, 0.45f}});
+  scene.samples_per_axis = std::max(1, params.samples_per_axis);
+  if (params.use_bvh) {
+    scene.bvh = build_bvh(scene);
+    scene.use_bvh = true;
+  }
+  return scene;
+}
+
+bool intersect_triangle(const Triangle& tri, const Vec3& origin, const Vec3& dir,
+                        float* t_out) {
+  // Möller–Trumbore.
+  const Vec3 e1 = tri.b - tri.a;
+  const Vec3 e2 = tri.c - tri.a;
+  const Vec3 p{dir.y * e2.z - dir.z * e2.y, dir.z * e2.x - dir.x * e2.z,
+               dir.x * e2.y - dir.y * e2.x};
+  const float det = dot(e1, p);
+  if (std::fabs(det) < 1e-8f) return false;
+  const float inv_det = 1.0f / det;
+  const Vec3 s = origin - tri.a;
+  const float u = dot(s, p) * inv_det;
+  if (u < 0.0f || u > 1.0f) return false;
+  const Vec3 q{s.y * e1.z - s.z * e1.y, s.z * e1.x - s.x * e1.z, s.x * e1.y - s.y * e1.x};
+  const float v = dot(dir, q) * inv_det;
+  if (v < 0.0f || u + v > 1.0f) return false;
+  const float t = dot(e2, q) * inv_det;
+  if (t < 1e-3f) return false;
+  *t_out = t;
+  return true;
+}
+
+namespace {
+
+struct PrimBounds {
+  Vec3 lo, hi, centroid;
+};
+
+PrimBounds sphere_bounds(const Sphere& s) {
+  const Vec3 r{s.radius, s.radius, s.radius};
+  return PrimBounds{s.center - r, s.center + r, s.center};
+}
+
+PrimBounds triangle_bounds(const Triangle& t) {
+  PrimBounds b;
+  b.lo = {std::min({t.a.x, t.b.x, t.c.x}), std::min({t.a.y, t.b.y, t.c.y}),
+          std::min({t.a.z, t.b.z, t.c.z})};
+  b.hi = {std::max({t.a.x, t.b.x, t.c.x}), std::max({t.a.y, t.b.y, t.c.y}),
+          std::max({t.a.z, t.b.z, t.c.z})};
+  b.centroid = (b.lo + b.hi) * 0.5f;
+  return b;
+}
+
+bool ray_box(const Vec3& lo, const Vec3& hi, const Vec3& origin, const Vec3& inv_dir,
+             float t_max) {
+  float t0 = 1e-4f, t1 = t_max;
+  for (int axis = 0; axis < 3; ++axis) {
+    const float o = axis == 0 ? origin.x : axis == 1 ? origin.y : origin.z;
+    const float inv = axis == 0 ? inv_dir.x : axis == 1 ? inv_dir.y : inv_dir.z;
+    const float lo_a = axis == 0 ? lo.x : axis == 1 ? lo.y : lo.z;
+    const float hi_a = axis == 0 ? hi.x : axis == 1 ? hi.y : hi.z;
+    float near = (lo_a - o) * inv;
+    float far = (hi_a - o) * inv;
+    if (near > far) std::swap(near, far);
+    t0 = std::max(t0, near);
+    t1 = std::min(t1, far);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bvh build_bvh(const Scene& scene) {
+  Bvh bvh;
+  const int num_spheres = static_cast<int>(scene.spheres.size());
+  const int total = num_spheres + static_cast<int>(scene.triangles.size());
+  if (total == 0) return bvh;
+  std::vector<PrimBounds> bounds(total);
+  for (int i = 0; i < num_spheres; ++i) bounds[i] = sphere_bounds(scene.spheres[i]);
+  for (size_t i = 0; i < scene.triangles.size(); ++i) {
+    bounds[num_spheres + i] = triangle_bounds(scene.triangles[i]);
+  }
+  bvh.prims.resize(total);
+  for (int i = 0; i < total; ++i) bvh.prims[i] = i;
+
+  constexpr int kLeafSize = 4;
+  const std::function<int(int, int)> build = [&](int first, int count) -> int {
+    BvhNode node;
+    node.lo = bounds[bvh.prims[first]].lo;
+    node.hi = bounds[bvh.prims[first]].hi;
+    for (int i = first; i < first + count; ++i) {
+      const PrimBounds& b = bounds[bvh.prims[i]];
+      node.lo = {std::min(node.lo.x, b.lo.x), std::min(node.lo.y, b.lo.y),
+                 std::min(node.lo.z, b.lo.z)};
+      node.hi = {std::max(node.hi.x, b.hi.x), std::max(node.hi.y, b.hi.y),
+                 std::max(node.hi.z, b.hi.z)};
+    }
+    if (count <= kLeafSize) {
+      node.first_prim = first;
+      node.prim_count = count;
+      bvh.nodes.push_back(node);
+      return static_cast<int>(bvh.nodes.size()) - 1;
+    }
+    // Median split on the longest axis of the centroid bounds.
+    const Vec3 extent = node.hi - node.lo;
+    const int axis = extent.x > extent.y ? (extent.x > extent.z ? 0 : 2)
+                                         : (extent.y > extent.z ? 1 : 2);
+    auto key = [&](int prim) {
+      const Vec3& c = bounds[prim].centroid;
+      return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+    };
+    std::nth_element(bvh.prims.begin() + first, bvh.prims.begin() + first + count / 2,
+                     bvh.prims.begin() + first + count,
+                     [&](int a, int b) { return key(a) < key(b); });
+    const int mid = count / 2;
+    const int left = build(first, mid);
+    const int right = build(first + mid, count - mid);
+    node.left = left;
+    node.right = right;
+    bvh.nodes.push_back(node);
+    return static_cast<int>(bvh.nodes.size()) - 1;
+  };
+  bvh.root = build(0, total);
+  return bvh;
+}
+
+namespace {
+
+struct Hit {
+  float t = 0;
+  Vec3 point;
+  Vec3 normal;
+  Material material;
+};
+
+std::optional<float> intersect_sphere(const Sphere& s, const Ray& r) {
+  const Vec3 oc = r.origin - s.center;
+  const float b = dot(oc, r.dir);
+  const float c = dot(oc, oc) - s.radius * s.radius;
+  const float disc = b * b - c;
+  if (disc < 0) return std::nullopt;
+  const float sq = std::sqrt(disc);
+  float t = -b - sq;
+  if (t < 1e-3f) t = -b + sq;
+  if (t < 1e-3f) return std::nullopt;
+  return t;
+}
+
+std::optional<float> intersect_plane(const Plane& p, const Ray& r) {
+  const float denom = dot(p.normal, r.dir);
+  if (std::fabs(denom) < 1e-6f) return std::nullopt;
+  const float t = dot(p.point - r.origin, p.normal) / denom;
+  if (t < 1e-3f) return std::nullopt;
+  return t;
+}
+
+std::optional<Hit> closest_hit(const Scene& scene, const Ray& r) {
+  std::optional<Hit> best;
+  const int num_spheres = static_cast<int>(scene.spheres.size());
+
+  auto consider_sphere = [&](const Sphere& s) {
+    if (auto t = intersect_sphere(s, r)) {
+      if (!best || *t < best->t) {
+        Hit h;
+        h.t = *t;
+        h.point = r.origin + r.dir * *t;
+        h.normal = normalize(h.point - s.center);
+        h.material = s.material;
+        best = h;
+      }
+    }
+  };
+  auto consider_triangle = [&](const Triangle& tri) {
+    float t = 0;
+    if (intersect_triangle(tri, r.origin, r.dir, &t)) {
+      if (!best || t < best->t) {
+        Hit h;
+        h.t = t;
+        h.point = r.origin + r.dir * t;
+        const Vec3 e1 = tri.b - tri.a;
+        const Vec3 e2 = tri.c - tri.a;
+        Vec3 n = normalize(Vec3{e1.y * e2.z - e1.z * e2.y, e1.z * e2.x - e1.x * e2.z,
+                                e1.x * e2.y - e1.y * e2.x});
+        if (dot(n, r.dir) > 0) n = n * -1.0f;
+        h.normal = n;
+        h.material = tri.material;
+        best = h;
+      }
+    }
+  };
+
+  if (scene.use_bvh && scene.bvh.root >= 0) {
+    const Vec3 inv_dir{1.0f / r.dir.x, 1.0f / r.dir.y, 1.0f / r.dir.z};
+    int stack[64];
+    int top = 0;
+    stack[top++] = scene.bvh.root;
+    while (top > 0) {
+      const BvhNode& node = scene.bvh.nodes[stack[--top]];
+      const float t_max = best ? best->t : 1e30f;
+      if (!ray_box(node.lo, node.hi, r.origin, inv_dir, t_max)) continue;
+      if (node.prim_count > 0) {
+        for (int i = node.first_prim; i < node.first_prim + node.prim_count; ++i) {
+          const int prim = scene.bvh.prims[i];
+          if (prim < num_spheres) {
+            consider_sphere(scene.spheres[prim]);
+          } else {
+            consider_triangle(scene.triangles[prim - num_spheres]);
+          }
+        }
+      } else {
+        stack[top++] = node.left;
+        stack[top++] = node.right;
+      }
+    }
+  } else {
+    for (const Sphere& s : scene.spheres) consider_sphere(s);
+    for (const Triangle& tri : scene.triangles) consider_triangle(tri);
+  }
+  for (const Plane& p : scene.planes) {
+    if (auto t = intersect_plane(p, r)) {
+      if (!best || *t < best->t) {
+        Hit h;
+        h.t = *t;
+        h.point = r.origin + r.dir * *t;
+        h.normal = dot(p.normal, r.dir) < 0 ? p.normal : p.normal * -1.0f;
+        h.material = p.material;
+        if (p.checker) {
+          const int cx = static_cast<int>(std::floor(h.point.x));
+          const int cz = static_cast<int>(std::floor(h.point.z));
+          const float shade = ((cx + cz) & 1) != 0 ? 1.0f : 0.35f;
+          h.material.color = h.material.color * shade;
+        }
+        best = h;
+      }
+    }
+  }
+  return best;
+}
+
+bool in_shadow(const Scene& scene, Vec3 point, Vec3 to_light, float light_dist) {
+  Ray shadow{point + to_light * 1e-3f, to_light};
+  if (scene.use_bvh && scene.bvh.root >= 0) {
+    const int num_spheres = static_cast<int>(scene.spheres.size());
+    const Vec3 inv_dir{1.0f / shadow.dir.x, 1.0f / shadow.dir.y, 1.0f / shadow.dir.z};
+    int stack[64];
+    int top = 0;
+    stack[top++] = scene.bvh.root;
+    while (top > 0) {
+      const BvhNode& node = scene.bvh.nodes[stack[--top]];
+      if (!ray_box(node.lo, node.hi, shadow.origin, inv_dir, light_dist)) continue;
+      if (node.prim_count > 0) {
+        for (int i = node.first_prim; i < node.first_prim + node.prim_count; ++i) {
+          const int prim = scene.bvh.prims[i];
+          if (prim < num_spheres) {
+            if (auto t = intersect_sphere(scene.spheres[prim], shadow)) {
+              if (*t < light_dist) return true;
+            }
+          } else {
+            float t = 0;
+            if (intersect_triangle(scene.triangles[prim - num_spheres], shadow.origin,
+                                   shadow.dir, &t) &&
+                t < light_dist) {
+              return true;
+            }
+          }
+        }
+      } else {
+        stack[top++] = node.left;
+        stack[top++] = node.right;
+      }
+    }
+    return false;
+  }
+  for (const Sphere& s : scene.spheres) {
+    if (auto t = intersect_sphere(s, shadow)) {
+      if (*t < light_dist) return true;
+    }
+  }
+  for (const Triangle& tri : scene.triangles) {
+    float t = 0;
+    if (intersect_triangle(tri, shadow.origin, shadow.dir, &t) && t < light_dist) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Vec3 trace(const Scene& scene, const Ray& r, int depth) {
+  const auto hit = closest_hit(scene, r);
+  if (!hit) return scene.background;
+
+  Vec3 color{0, 0, 0};
+  for (const Light& light : scene.lights) {
+    const Vec3 to_light_vec = light.position - hit->point;
+    const float light_dist = std::sqrt(dot(to_light_vec, to_light_vec));
+    const Vec3 to_light = to_light_vec * (1.0f / light_dist);
+    if (in_shadow(scene, hit->point, to_light, light_dist)) continue;
+    const float lambert = std::max(0.0f, dot(hit->normal, to_light));
+    color = color + hit->material.color * light.color * (hit->material.diffuse * lambert);
+    const Vec3 half = normalize(to_light - r.dir);
+    const float spec = std::pow(std::max(0.0f, dot(hit->normal, half)),
+                                hit->material.shininess);
+    color = color + light.color * (hit->material.specular * spec);
+  }
+  // Ambient floor so shadowed areas are not black.
+  color = color + hit->material.color * 0.08f;
+
+  if (hit->material.reflectivity > 0 && depth < scene.max_depth) {
+    Ray bounce{hit->point + hit->normal * 1e-3f, normalize(reflect(r.dir, hit->normal))};
+    const Vec3 reflected = trace(scene, bounce, depth + 1);
+    color = color * (1.0f - hit->material.reflectivity) +
+            reflected * hit->material.reflectivity;
+  }
+  return color;
+}
+
+void render_rows(const Scene& scene, int width, int height, int row0, int row1,
+                 std::vector<Vec3>& out) {
+  const float aspect = static_cast<float>(width) / static_cast<float>(height);
+  const float scale = std::tan(scene.camera.fov_deg * 0.5f * 3.14159265f / 180.0f);
+  const int spa = std::max(1, scene.samples_per_axis);
+  const float inv_samples = 1.0f / static_cast<float>(spa * spa);
+  for (int y = row0; y < row1; ++y) {
+    for (int x = 0; x < width; ++x) {
+      Vec3 accum{0, 0, 0};
+      for (int sy = 0; sy < spa; ++sy) {
+        for (int sx = 0; sx < spa; ++sx) {
+          // Deterministic stratified offsets within the pixel.
+          const float ox = (static_cast<float>(sx) + 0.5f) / static_cast<float>(spa);
+          const float oy = (static_cast<float>(sy) + 0.5f) / static_cast<float>(spa);
+          const float px =
+              (2.0f * (static_cast<float>(x) + ox) / static_cast<float>(width) - 1.0f) *
+              aspect * scale;
+          const float py =
+              (1.0f - 2.0f * (static_cast<float>(y) + oy) / static_cast<float>(height)) *
+              scale;
+          Ray r{scene.camera.origin, normalize(Vec3{px, py, 1.0f})};
+          accum = accum + trace(scene, r, 0);
+        }
+      }
+      out[static_cast<size_t>(y - row0) * width + x] = accum * inv_samples;
+    }
+  }
+}
+
+Image render_sequential(const RayParams& params) {
+  const Scene scene = build_scene(params);
+  Image image;
+  image.width = params.width;
+  image.height = params.height;
+  image.pix.assign(static_cast<size_t>(params.width) * params.height, Vec3{});
+  render_rows(scene, params.width, params.height, 0, params.height, image.pix);
+  return image;
+}
+
+double image_checksum(const Image& image) {
+  double sum = 0;
+  for (const Vec3& p : image.pix) {
+    sum += static_cast<double>(p.x) + 2.0 * p.y + 3.0 * p.z;
+  }
+  return sum;
+}
+
+bool write_ppm(const Image& image, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P6\n%d %d\n255\n", image.width, image.height);
+  for (const Vec3& p : image.pix) {
+    const auto to_byte = [](float v) {
+      return static_cast<unsigned char>(std::min(255.0f, std::max(0.0f, v * 255.0f)));
+    };
+    const unsigned char rgb[3] = {to_byte(p.x), to_byte(p.y), to_byte(p.z)};
+    std::fwrite(rgb, 1, 3, f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// --- Delirium embedding ----------------------------------------------------
+
+namespace {
+
+struct Band {
+  int index = 0;
+  int row0 = 0, row1 = 0;
+  int width = 0, height = 0;
+  std::shared_ptr<const Scene> scene;  // read-only shared
+  std::vector<Vec3> pixels;
+};
+
+}  // namespace
+
+void register_ray_operators(OperatorRegistry& registry, const RayParams& params) {
+  registry.add("make_scene", 0, [params](OpContext&) {
+    return Value::block(std::make_shared<const Scene>(build_scene(params)));
+  });
+
+  registry.add("band_split", 1, [params](OpContext& ctx) {
+    const auto& scene = ctx.arg_block<std::shared_ptr<const Scene>>(0);
+    std::vector<Value> bands;
+    const int rows = (params.height + params.bands - 1) / params.bands;
+    for (int i = 0; i < params.bands; ++i) {
+      Band band;
+      band.index = i;
+      band.row0 = std::min(i * rows, params.height);
+      band.row1 = std::min((i + 1) * rows, params.height);
+      band.width = params.width;
+      band.height = params.height;
+      band.scene = scene;
+      band.pixels.assign(static_cast<size_t>(band.row1 - band.row0) * params.width, Vec3{});
+      bands.push_back(Value::block(std::move(band)));
+    }
+    return Value::tuple(std::move(bands));
+  }).pure();
+
+  registry.add("trace_band", 1, [](OpContext& ctx) {
+    Band& band = ctx.arg_block_mut<Band>(0);
+    render_rows(*band.scene, band.width, band.height, band.row0, band.row1, band.pixels);
+    return ctx.take(0);
+  }).destructive(0);
+
+  {
+    auto entry = registry.add("assemble", params.bands, [params](OpContext& ctx) {
+      Image image;
+      image.width = params.width;
+      image.height = params.height;
+      image.pix.assign(static_cast<size_t>(params.width) * params.height, Vec3{});
+      for (size_t i = 0; i < ctx.arg_count(); ++i) {
+        Band& band = ctx.arg_block_mut<Band>(i);
+        std::copy(band.pixels.begin(), band.pixels.end(),
+                  image.pix.begin() + static_cast<long>(band.row0) * params.width);
+      }
+      return Value::block(std::move(image));
+    });
+    for (int i = 0; i < params.bands; ++i) entry.destructive(i);
+  }
+
+  registry.add("image_checksum", 1, [](OpContext& ctx) {
+    return Value::of(image_checksum(ctx.arg_block<Image>(0)));
+  }).pure();
+}
+
+std::string ray_source(const RayParams& params) {
+  std::ostringstream os;
+  os << "main()\n  let scene = make_scene()\n      <";
+  for (int i = 0; i < params.bands; ++i) os << (i > 0 ? ", " : "") << "b" << i;
+  os << "> = band_split(scene)\n";
+  for (int i = 0; i < params.bands; ++i) {
+    os << "      t" << i << " = trace_band(b" << i << ")\n";
+  }
+  os << "  in assemble(";
+  for (int i = 0; i < params.bands; ++i) os << (i > 0 ? ", " : "") << "t" << i;
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace delirium::ray

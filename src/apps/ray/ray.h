@@ -1,0 +1,158 @@
+// A compact Whitted-style ray tracer, coordinated by Delirium.
+//
+// The paper lists a 10,000-line ray tracer among the applications ported
+// to the environment (§4); its source is not available, so this module
+// provides a from-scratch tracer exercising the same coordination shape:
+// the scene is built once, shared read-only, and the image is split into
+// a fixed number of row bands traced in parallel and assembled at a join
+// (the §9.2 "hard-wired parallelism" pattern).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/registry.h"
+
+namespace delirium::ray {
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator*(Vec3 o) const { return {x * o.x, y * o.y, z * o.z}; }
+};
+
+float dot(Vec3 a, Vec3 b);
+Vec3 normalize(Vec3 v);
+Vec3 reflect(Vec3 v, Vec3 n);
+
+struct Material {
+  Vec3 color{0.8f, 0.8f, 0.8f};
+  float diffuse = 0.8f;
+  float specular = 0.3f;
+  float reflectivity = 0.0f;
+  float shininess = 32.0f;
+};
+
+struct Sphere {
+  Vec3 center;
+  float radius = 1.0f;
+  Material material;
+};
+
+struct Plane {
+  Vec3 point;
+  Vec3 normal{0, 1, 0};
+  Material material;
+  bool checker = false;  // checkerboard albedo
+};
+
+struct Triangle {
+  Vec3 a, b, c;
+  Material material;
+};
+
+struct Light {
+  Vec3 position;
+  Vec3 color{1, 1, 1};
+};
+
+struct Camera {
+  Vec3 origin{0, 1.5f, -6};
+  float fov_deg = 60.0f;
+};
+
+/// Bounding volume hierarchy over spheres and triangles. Flat array
+/// layout; leaves reference primitive indices. Built once per scene,
+/// shared read-only among the parallel bands.
+struct BvhNode {
+  Vec3 lo, hi;          // axis-aligned bounds
+  int left = -1;        // internal: child indices
+  int right = -1;
+  int first_prim = 0;   // leaf: range into primitive index list
+  int prim_count = 0;   // 0 for internal nodes
+};
+
+struct Bvh {
+  std::vector<BvhNode> nodes;
+  std::vector<int> prims;  // indices: [0, S) spheres, [S, S+T) triangles
+  int root = -1;
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  std::vector<Triangle> triangles;
+  std::vector<Plane> planes;
+  std::vector<Light> lights;
+  Camera camera;
+  Vec3 background{0.15f, 0.18f, 0.25f};
+  int max_depth = 4;
+  /// Samples per pixel axis (1 = no anti-aliasing, 2 = 4 samples, ...).
+  int samples_per_axis = 1;
+  /// Acceleration structure; when empty, intersection falls back to the
+  /// brute-force loops (tests compare the two paths).
+  Bvh bvh;
+  bool use_bvh = false;
+};
+
+struct RayParams {
+  int width = 160;
+  int height = 120;
+  int num_spheres = 12;
+  int num_pyramids = 4;  // triangle meshes
+  int bands = 8;         // hard-wired parallel bands
+  int samples_per_axis = 1;
+  bool use_bvh = true;
+  uint64_t seed = 1;
+};
+
+/// Möller–Trumbore ray/triangle intersection; returns the distance or
+/// nothing.
+bool intersect_triangle(const Triangle& tri, const Vec3& origin, const Vec3& dir, float* t_out);
+
+/// Build the BVH for the scene's spheres and triangles (median split on
+/// the longest axis, leaf size <= 4).
+Bvh build_bvh(const Scene& scene);
+
+/// RGB image, row-major, floats in [0, 1].
+struct Image {
+  int width = 0, height = 0;
+  std::vector<Vec3> pix;
+};
+
+/// Deterministic random scene: spheres above a checkered floor plane,
+/// two lights.
+Scene build_scene(const RayParams& params);
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;
+};
+
+/// Trace one ray to a color (Whitted: Phong shading, hard shadows,
+/// mirror reflections up to scene.max_depth).
+Vec3 trace(const Scene& scene, const Ray& r, int depth);
+
+/// Render rows [row0, row1) into `out` (sized (row1-row0)*width).
+void render_rows(const Scene& scene, int width, int height, int row0, int row1,
+                 std::vector<Vec3>& out);
+
+/// Full sequential render.
+Image render_sequential(const RayParams& params);
+
+/// Deterministic image checksum.
+double image_checksum(const Image& image);
+
+/// Write a binary PPM (P6) file; returns false on I/O failure.
+bool write_ppm(const Image& image, const std::string& path);
+
+/// Register make_scene / band_split / trace_band / assemble against the
+/// given parameters, and return the Delirium coordination source.
+void register_ray_operators(OperatorRegistry& registry, const RayParams& params);
+std::string ray_source(const RayParams& params);
+
+}  // namespace delirium::ray

@@ -1,0 +1,207 @@
+#include "src/apps/retina/retina_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace delirium::retina {
+
+const std::array<std::array<float, kKernelSize>, kKernelSize>& kernel() {
+  static const auto k = [] {
+    std::array<std::array<float, kKernelSize>, kKernelSize> out{};
+    const int c = kKernelSize / 2;
+    float total = 0;
+    for (int y = 0; y < kKernelSize; ++y) {
+      for (int x = 0; x < kKernelSize; ++x) {
+        const float dy = static_cast<float>(y - c);
+        const float dx = static_cast<float>(x - c);
+        const float w = std::exp(-(dx * dx + dy * dy) / (2.0f * 4.0f));
+        out[y][x] = w;
+        total += w;
+      }
+    }
+    for (auto& row : out) {
+      for (float& w : row) w /= total;
+    }
+    return out;
+  }();
+  return k;
+}
+
+RetinaModel make_model(const RetinaParams& params) {
+  if (params.height % kQuarters != 0) {
+    throw std::invalid_argument("retina: height must be divisible by 4");
+  }
+  RetinaModel model;
+  model.params = params;
+  SplitMix64 rng(params.seed);
+  model.targets.reserve(params.num_targets);
+  for (int i = 0; i < params.num_targets; ++i) {
+    Target t;
+    t.x = static_cast<float>(rng.next_double() * params.width);
+    t.y = static_cast<float>(rng.next_double() * params.height);
+    t.vx = static_cast<float>(rng.next_double() * 4.0 - 2.0);
+    t.vy = static_cast<float>(rng.next_double() * 4.0 - 2.0);
+    model.targets.push_back(t);
+  }
+  model.photo = render_scene(model.targets, params.width, params.height);
+  const size_t quarter_pixels =
+      static_cast<size_t>(params.width) * (params.height / kQuarters);
+  for (int q = 0; q < kQuarters; ++q) {
+    model.accum[q].assign(quarter_pixels, 0.0f);
+    model.bipolar[q].assign(quarter_pixels, 0.0f);
+    model.prev_bipolar[q].assign(quarter_pixels, 0.0f);
+    model.motion[q].assign(quarter_pixels, 0.0f);
+  }
+  return model;
+}
+
+void advance_targets(std::vector<Target>& targets, int width, int height) {
+  for (Target& t : targets) {
+    t.x += t.vx;
+    t.y += t.vy;
+    if (t.x < 0) {
+      t.x = -t.x;
+      t.vx = -t.vx;
+    }
+    if (t.y < 0) {
+      t.y = -t.y;
+      t.vy = -t.vy;
+    }
+    if (t.x >= static_cast<float>(width)) {
+      t.x = 2.0f * static_cast<float>(width) - t.x;
+      t.vx = -t.vx;
+    }
+    if (t.y >= static_cast<float>(height)) {
+      t.y = 2.0f * static_cast<float>(height) - t.y;
+      t.vy = -t.vy;
+    }
+  }
+}
+
+std::shared_ptr<const ImageLayer> render_scene(const std::vector<Target>& targets, int width,
+                                               int height) {
+  auto img = std::make_shared<ImageLayer>();
+  img->width = width;
+  img->height = height;
+  img->pix.assign(static_cast<size_t>(width) * height, 0.0f);
+  constexpr int kRadius = 5;
+  for (const Target& t : targets) {
+    const int cx = static_cast<int>(t.x);
+    const int cy = static_cast<int>(t.y);
+    for (int dy = -kRadius; dy <= kRadius; ++dy) {
+      const int y = cy + dy;
+      if (y < 0 || y >= height) continue;
+      for (int dx = -kRadius; dx <= kRadius; ++dx) {
+        const int x = cx + dx;
+        if (x < 0 || x >= width) continue;
+        const float d2 = static_cast<float>(dx * dx + dy * dy);
+        const float intensity = 1.0f - d2 / static_cast<float>(kRadius * kRadius + 1);
+        if (intensity > 0) {
+          img->pix[static_cast<size_t>(y) * width + x] += intensity;
+        }
+      }
+    }
+  }
+  return img;
+}
+
+void convolve_slab_rows(const ImageLayer& input, int slab, int row0, int row1,
+                        std::vector<float>& band) {
+  const int width = input.width;
+  const int height = input.height;
+  const int c = kKernelSize / 2;
+  const auto& krow = kernel()[slab];
+  for (int y = row0; y < row1; ++y) {
+    const int sy = y + slab - c;
+    if (sy < 0 || sy >= height) continue;
+    const float* in_row = input.pix.data() + static_cast<size_t>(sy) * width;
+    float* out_row = band.data() + static_cast<size_t>(y - row0) * width;
+    for (int x = 0; x < width; ++x) {
+      float acc = 0;
+      for (int k = 0; k < kKernelSize; ++k) {
+        int sx = x + k - c;
+        sx = std::clamp(sx, 0, width - 1);
+        acc += krow[k] * in_row[sx];
+      }
+      out_row[x] += acc;
+    }
+  }
+}
+
+void heavy_update_rows(const ImageLayer& photo, int slab, int row0, int row1, int width,
+                       std::vector<float>& accum, std::vector<float>& bipolar,
+                       std::vector<float>& prev_bipolar, std::vector<float>& motion) {
+  const float inv = 1.0f / static_cast<float>(slab + 1);
+  const size_t n = static_cast<size_t>(row1 - row0) * width;
+  const float* photo_base = photo.pix.data() + static_cast<size_t>(row0) * width;
+  for (size_t i = 0; i < n; ++i) {
+    const float b = accum[i] * inv - 0.5f * photo_base[i];
+    motion[i] = 0.9f * motion[i] + std::fabs(b - prev_bipolar[i]);
+    prev_bipolar[i] = bipolar[i];
+    bipolar[i] = b;
+  }
+  // Lateral (within-row) smoothing of the motion layer — the second half
+  // of the update. Rows are independent, so a row-quarter split computes
+  // bitwise-identical results.
+  static constexpr float kTaps[5] = {0.05f, 0.2f, 0.5f, 0.2f, 0.05f};
+  std::vector<float> row_buf(static_cast<size_t>(width));
+  for (int y = row0; y < row1; ++y) {
+    float* row = motion.data() + static_cast<size_t>(y - row0) * width;
+    for (int x = 0; x < width; ++x) {
+      float acc = 0;
+      for (int d = -2; d <= 2; ++d) {
+        const int sx = std::clamp(x + d, 0, width - 1);
+        acc += kTaps[d + 2] * row[sx];
+      }
+      row_buf[x] = acc;
+    }
+    std::copy(row_buf.begin(), row_buf.end(), row);
+  }
+}
+
+void sequential_timestep(RetinaModel& model) {
+  const int width = model.params.width;
+  const int height = model.params.height;
+  const int rows = model.rows_per_quarter();
+
+  // Target phase (target_bite over the four quarters).
+  advance_targets(model.targets, width, height);
+  ++model.timestep;
+  model.photo = render_scene(model.targets, width, height);
+  for (int q = 0; q < kQuarters; ++q) {
+    std::fill(model.accum[q].begin(), model.accum[q].end(), 0.0f);
+  }
+
+  // Convolution slabs (the do_convol loop).
+  for (int slab = 0; slab < kKernelSize; ++slab) {
+    for (int q = 0; q < kQuarters; ++q) {
+      convolve_slab_rows(*model.photo, slab, q * rows, (q + 1) * rows, model.accum[q]);
+    }
+    if (is_heavy_slab(slab)) {
+      for (int q = 0; q < kQuarters; ++q) {
+        heavy_update_rows(*model.photo, slab, q * rows, (q + 1) * rows, width, model.accum[q],
+                          model.bipolar[q], model.prev_bipolar[q], model.motion[q]);
+      }
+    }
+  }
+}
+
+RetinaModel sequential_run(const RetinaParams& params) {
+  RetinaModel model = make_model(params);
+  for (int t = 0; t < params.num_iter; ++t) {
+    sequential_timestep(model);
+  }
+  return model;
+}
+
+double checksum(const RetinaModel& model) {
+  double total = 0;
+  for (int q = 0; q < kQuarters; ++q) {
+    for (float v : model.motion[q]) total += v;
+    for (float v : model.bipolar[q]) total += 0.5 * v;
+  }
+  return total;
+}
+
+}  // namespace delirium::retina

@@ -1,0 +1,160 @@
+// Case study #1 (§5): a convolution-based retina model for motion
+// detection, rebuilt from the paper's description of the Eeckman/Andes
+// code (the original Fortran is not available; see DESIGN.md).
+//
+// The model is a group of layers updated each timestep:
+//   photoreceptor  P  — the rendered scene (moving targets)
+//   horizontal     A  — K slab passes of a KxK kernel over P (the
+//                       "convolutions"; one slab = one kernel row)
+//   bipolar        B  — difference of A and P (computed on "heavy" slabs)
+//   ganglion       M  — temporal difference of B (motion detection)
+//
+// Layers other than P are stored in four row-quarters so the Delirium
+// coordination can move quarters in and out of operator pieces without
+// copying — the paper's "merging is free" property on shared memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace delirium::retina {
+
+constexpr int kKernelSize = 9;   // K: number of convolution slabs
+constexpr int kQuarters = 4;     // the paper targets 4-way parallelism
+
+struct RetinaParams {
+  int width = 256;
+  int height = 256;     // must be divisible by 4
+  int num_targets = 32;
+  int num_iter = 4;     // NUM_ITER timesteps
+  uint64_t seed = 42;
+};
+
+struct Target {
+  float x = 0, y = 0;
+  float vx = 0, vy = 0;
+};
+
+/// The rendered input image, shared read-only among convolution pieces.
+struct ImageLayer {
+  int width = 0;
+  int height = 0;
+  std::vector<float> pix;  // row-major
+
+  float at(int x, int y) const { return pix[static_cast<size_t>(y) * width + x]; }
+};
+
+using QuarterLayers = std::array<std::vector<float>, kQuarters>;
+
+/// The whole simulation state. This is the `scene` / `convolve_data`
+/// value that flows through the paper's coordination framework.
+struct RetinaModel {
+  RetinaParams params;
+  int timestep = 0;
+  std::vector<Target> targets;
+  std::shared_ptr<const ImageLayer> photo;  // P
+  QuarterLayers accum;                      // A (being accumulated slab by slab)
+  QuarterLayers bipolar;                    // B
+  QuarterLayers prev_bipolar;
+  QuarterLayers motion;                     // M
+
+  int rows_per_quarter() const { return params.height / kQuarters; }
+  int quarter_row0(int q) const { return q * rows_per_quarter(); }
+};
+
+/// Pieces handed to the parallel operators. Quarter 0 carries the rest of
+/// the model through the fork-join (the paper's operators pass all shared
+/// state explicitly).
+struct TargetChunk {
+  std::vector<Target> targets;
+  int width = 0, height = 0;
+  std::optional<RetinaModel> carrier;
+};
+
+struct ConvolPiece {
+  int quarter = 0;
+  int row0 = 0, row1 = 0;
+  std::shared_ptr<const ImageLayer> input;  // read-only shared P
+  std::vector<float> band;                  // this quarter's rows of A (moved)
+  std::optional<RetinaModel> carrier;
+};
+
+struct UpdatePiece {
+  int quarter = 0;
+  int row0 = 0, row1 = 0;
+  std::shared_ptr<const ImageLayer> input;
+  std::vector<float> accum, bipolar, prev_bipolar, motion;  // moved quarters
+  std::optional<RetinaModel> carrier;
+};
+
+// Block payload sizes for the NUMA model / data-affinity scheduler.
+inline size_t delirium_block_size(const RetinaModel& m) {
+  size_t bytes = sizeof(RetinaModel) + m.targets.size() * sizeof(Target);
+  for (int q = 0; q < kQuarters; ++q) {
+    bytes += (m.accum[q].size() + m.bipolar[q].size() + m.prev_bipolar[q].size() +
+              m.motion[q].size()) *
+             sizeof(float);
+  }
+  return bytes;
+}
+inline size_t delirium_block_size(const TargetChunk& c) {
+  return sizeof(TargetChunk) + c.targets.size() * sizeof(Target) +
+         (c.carrier ? delirium_block_size(*c.carrier) : 0);
+}
+inline size_t delirium_block_size(const ConvolPiece& p) {
+  return sizeof(ConvolPiece) + p.band.size() * sizeof(float) +
+         (p.carrier ? delirium_block_size(*p.carrier) : 0);
+}
+inline size_t delirium_block_size(const UpdatePiece& p) {
+  return sizeof(UpdatePiece) +
+         (p.accum.size() + p.bipolar.size() + p.prev_bipolar.size() + p.motion.size()) *
+             sizeof(float) +
+         (p.carrier ? delirium_block_size(*p.carrier) : 0);
+}
+
+// --- model math (shared by the sequential reference and the operators) ---
+
+/// The KxK separable-ish convolution kernel (normalized blur).
+const std::array<std::array<float, kKernelSize>, kKernelSize>& kernel();
+
+/// Initialize a model: deterministic targets from the seed.
+RetinaModel make_model(const RetinaParams& params);
+
+/// Advance a span of targets one timestep (bounce at the walls).
+void advance_targets(std::vector<Target>& targets, int width, int height);
+
+/// Render the photoreceptor layer from target positions.
+std::shared_ptr<const ImageLayer> render_scene(const std::vector<Target>& targets, int width,
+                                               int height);
+
+/// Apply kernel row `slab` of the convolution to output rows [row0, row1).
+/// `band` holds those rows (band.size() == (row1-row0)*width).
+void convolve_slab_rows(const ImageLayer& input, int slab, int row0, int row1,
+                        std::vector<float>& band);
+
+/// Whether this slab ends with the expensive bipolar/motion update. In the
+/// paper's anecdote, roughly half of post_up's invocations were expensive.
+inline bool is_heavy_slab(int slab) { return slab % 2 == 1; }
+
+/// The heavy per-pixel update over rows [row0, row1) (quarter-local
+/// vectors indexed from row0).
+void heavy_update_rows(const ImageLayer& photo, int slab, int row0, int row1, int width,
+                       std::vector<float>& accum, std::vector<float>& bipolar,
+                       std::vector<float>& prev_bipolar, std::vector<float>& motion);
+
+/// One full timestep, sequentially (the original program the case study
+/// starts from). Bitwise-identical to the Delirium version.
+void sequential_timestep(RetinaModel& model);
+
+/// Run `params.num_iter` timesteps sequentially from a fresh model.
+RetinaModel sequential_run(const RetinaParams& params);
+
+/// Deterministic checksum over the motion and bipolar layers.
+double checksum(const RetinaModel& model);
+
+}  // namespace delirium::retina

@@ -1,0 +1,258 @@
+#include "src/apps/retina/retina_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/compiler.h"
+
+namespace delirium::retina {
+
+namespace {
+
+RetinaModel take_carrier(std::optional<RetinaModel>& carrier, const char* who) {
+  if (!carrier.has_value()) {
+    throw RuntimeError(std::string(who) + ": quarter 0 does not carry the model");
+  }
+  RetinaModel model = std::move(*carrier);
+  carrier.reset();
+  return model;
+}
+
+}  // namespace
+
+void register_retina_operators(OperatorRegistry& registry, const RetinaParams& params) {
+  registry.add("set_up", 0, [params](OpContext&) {
+    return Value::block(make_model(params));
+  });
+
+  // --- target phase ------------------------------------------------------
+  registry.add("target_split", 1, [](OpContext& ctx) {
+    RetinaModel& model = ctx.arg_block_mut<RetinaModel>(0);
+    const int width = model.params.width;
+    const int height = model.params.height;
+    const size_t per = (model.targets.size() + kQuarters - 1) / kQuarters;
+    std::vector<Value> chunks;
+    RetinaModel carried = std::move(model);
+    for (int q = 0; q < kQuarters; ++q) {
+      TargetChunk chunk;
+      chunk.width = width;
+      chunk.height = height;
+      const size_t begin = std::min(per * q, carried.targets.size());
+      const size_t end = std::min(per * (q + 1), carried.targets.size());
+      chunk.targets.assign(carried.targets.begin() + begin, carried.targets.begin() + end);
+      // The last chunk carries the rest of the model (it must move after
+      // all quarters have copied their targets out).
+      if (q == kQuarters - 1) chunk.carrier = std::move(carried);
+      chunks.push_back(Value::block(std::move(chunk)));
+    }
+    return Value::tuple(std::move(chunks));
+  }).destructive(0);
+
+  registry.add("target_bite", 1, [](OpContext& ctx) {
+    TargetChunk& chunk = ctx.arg_block_mut<TargetChunk>(0);
+    advance_targets(chunk.targets, chunk.width, chunk.height);
+    return ctx.take(0);
+  }).destructive(0);
+
+  registry.add("pre_update", kQuarters, [](OpContext& ctx) {
+    // Join: reassemble the targets, advance the timestep, render the new
+    // scene, and clear the convolution accumulator.
+    RetinaModel model = take_carrier(ctx.arg_block_mut<TargetChunk>(kQuarters - 1).carrier,
+                                     "pre_update");
+    model.targets.clear();
+    for (int q = 0; q < kQuarters; ++q) {
+      TargetChunk& chunk = ctx.arg_block_mut<TargetChunk>(q);
+      model.targets.insert(model.targets.end(), chunk.targets.begin(), chunk.targets.end());
+    }
+    ++model.timestep;
+    model.photo = render_scene(model.targets, model.params.width, model.params.height);
+    for (int q = 0; q < kQuarters; ++q) {
+      std::fill(model.accum[q].begin(), model.accum[q].end(), 0.0f);
+    }
+    return Value::block(std::move(model));
+  }).destructive(0).destructive(1).destructive(2).destructive(3);
+
+  // --- convolution phase ---------------------------------------------------
+  registry.add("convol_split", 1, [](OpContext& ctx) {
+    RetinaModel model = std::move(ctx.arg_block_mut<RetinaModel>(0));
+    const int rows = model.rows_per_quarter();
+    // Pull out everything the pieces need before the model moves into
+    // the carrier.
+    std::shared_ptr<const ImageLayer> photo = model.photo;
+    QuarterLayers bands;
+    for (int q = 0; q < kQuarters; ++q) bands[q] = std::move(model.accum[q]);
+    std::vector<Value> pieces;
+    for (int q = 0; q < kQuarters; ++q) {
+      ConvolPiece piece;
+      piece.quarter = q;
+      piece.row0 = q * rows;
+      piece.row1 = (q + 1) * rows;
+      piece.input = photo;                // shared read-only
+      piece.band = std::move(bands[q]);   // moved, not copied
+      if (q == 0) piece.carrier = std::move(model);
+      pieces.push_back(Value::block(std::move(piece)));
+    }
+    return Value::tuple(std::move(pieces));
+  }).destructive(0);
+
+  registry.add("convol_bite", 2, [](OpContext& ctx) {
+    ConvolPiece& piece = ctx.arg_block_mut<ConvolPiece>(0);
+    const int slab = static_cast<int>(ctx.arg_int(1));
+    convolve_slab_rows(*piece.input, slab, piece.row0, piece.row1, piece.band);
+    return ctx.take(0);
+  }).destructive(0);
+
+  // --- v1: sequential merge-and-update -------------------------------------
+  registry.add("post_up", 1 + kQuarters, [](OpContext& ctx) {
+    const int slab = static_cast<int>(ctx.arg_int(0));
+    RetinaModel model = take_carrier(ctx.arg_block_mut<ConvolPiece>(1).carrier, "post_up");
+    for (int q = 0; q < kQuarters; ++q) {
+      ConvolPiece& piece = ctx.arg_block_mut<ConvolPiece>(1 + q);
+      model.accum[q] = std::move(piece.band);  // merge is a pointer move
+    }
+    if (is_heavy_slab(slab)) {
+      // The whole-image update, sequentially: the §5.2 load imbalance.
+      const int rows = model.rows_per_quarter();
+      for (int q = 0; q < kQuarters; ++q) {
+        heavy_update_rows(*model.photo, slab, q * rows, (q + 1) * rows, model.params.width,
+                          model.accum[q], model.bipolar[q], model.prev_bipolar[q],
+                          model.motion[q]);
+      }
+    }
+    return Value::block(std::move(model));
+  }).destructive(1).destructive(2).destructive(3).destructive(4);
+
+  // --- v2: parallel update phase --------------------------------------------
+  registry.add("update_split", kQuarters, [](OpContext& ctx) {
+    RetinaModel model = take_carrier(ctx.arg_block_mut<ConvolPiece>(0).carrier, "update_split");
+    const int rows = model.rows_per_quarter();
+    std::shared_ptr<const ImageLayer> photo = model.photo;
+    QuarterLayers bipolar, prev, motion;
+    for (int q = 0; q < kQuarters; ++q) {
+      bipolar[q] = std::move(model.bipolar[q]);
+      prev[q] = std::move(model.prev_bipolar[q]);
+      motion[q] = std::move(model.motion[q]);
+    }
+    std::vector<Value> pieces;
+    for (int q = 0; q < kQuarters; ++q) {
+      ConvolPiece& cp = ctx.arg_block_mut<ConvolPiece>(q);
+      UpdatePiece up;
+      up.quarter = q;
+      up.row0 = q * rows;
+      up.row1 = (q + 1) * rows;
+      up.input = photo;
+      up.accum = std::move(cp.band);
+      up.bipolar = std::move(bipolar[q]);
+      up.prev_bipolar = std::move(prev[q]);
+      up.motion = std::move(motion[q]);
+      if (q == 0) up.carrier = std::move(model);
+      pieces.push_back(Value::block(std::move(up)));
+    }
+    return Value::tuple(std::move(pieces));
+  }).destructive(0).destructive(1).destructive(2).destructive(3);
+
+  registry.add("update_bite", 2, [](OpContext& ctx) {
+    UpdatePiece& piece = ctx.arg_block_mut<UpdatePiece>(0);
+    const int slab = static_cast<int>(ctx.arg_int(1));
+    if (is_heavy_slab(slab)) {
+      heavy_update_rows(*piece.input, slab, piece.row0, piece.row1, piece.input->width,
+                        piece.accum, piece.bipolar, piece.prev_bipolar, piece.motion);
+    }
+    return ctx.take(0);
+  }).destructive(0);
+
+  registry.add("done_up", 1 + kQuarters, [](OpContext& ctx) {
+    RetinaModel model = take_carrier(ctx.arg_block_mut<UpdatePiece>(1).carrier, "done_up");
+    for (int q = 0; q < kQuarters; ++q) {
+      UpdatePiece& piece = ctx.arg_block_mut<UpdatePiece>(1 + q);
+      model.accum[q] = std::move(piece.accum);
+      model.bipolar[q] = std::move(piece.bipolar);
+      model.prev_bipolar[q] = std::move(piece.prev_bipolar);
+      model.motion[q] = std::move(piece.motion);
+    }
+    return Value::block(std::move(model));
+  }).destructive(1).destructive(2).destructive(3).destructive(4);
+
+  // --- inspection ---------------------------------------------------------------
+  registry.add("retina_checksum", 1, [](OpContext& ctx) {
+    return Value::of(checksum(ctx.arg_block<RetinaModel>(0)));
+  }).pure();
+  registry.add("retina_timestep", 1, [](OpContext& ctx) {
+    return Value::of(static_cast<int64_t>(ctx.arg_block<RetinaModel>(0).timestep));
+  }).pure();
+}
+
+std::string retina_source(RetinaVersion version, const RetinaParams& params) {
+  std::string defines = "define NUM_ITER = " + std::to_string(params.num_iter) + "\n" +
+                        "define START_SLAB = 0\n" +
+                        "define FINAL_SLAB = " + std::to_string(kKernelSize) + "\n";
+  // §5.1: the first version of the coordination framework.
+  const std::string main_fn = R"(
+main()
+  iterate
+  {
+    timestep = 0, incr(timestep)
+    scene = set_up(),
+      let
+        <a, b, c, d> = target_split(scene)
+        ao = target_bite(a)
+        bo = target_bite(b)
+        co = target_bite(c)
+        do = target_bite(d)
+      in do_convol(ao, bo, co, do)
+  } while is_not_equal(timestep, NUM_ITER),
+  result scene
+)";
+  const std::string do_convol_v1 = R"(
+do_convol(c1, c2, c3, c4)
+  iterate
+  {
+    slab = START_SLAB, incr(slab)
+    convolve_data = pre_update(c1, c2, c3, c4),
+      let
+        <a, b, c, d> = convol_split(convolve_data)
+        ao = convol_bite(a, slab)
+        bo = convol_bite(b, slab)
+        co = convol_bite(c, slab)
+        do = convol_bite(d, slab)
+      in post_up(slab, ao, bo, co, do)
+  } while is_not_equal(slab, FINAL_SLAB),
+  result convolve_data
+)";
+  // §5.2: the final version, with the update phase decomposed four ways.
+  const std::string do_convol_v2 = R"(
+do_convol(c1, c2, c3, c4)
+  iterate
+  {
+    slab = START_SLAB, incr(slab)
+    convolve_data = pre_update(c1, c2, c3, c4),
+      let
+        <a, b, c, d> = convol_split(convolve_data)
+        ao = convol_bite(a, slab)
+        bo = convol_bite(b, slab)
+        co = convol_bite(c, slab)
+        do = convol_bite(d, slab)
+      in let
+           <u1, u2, u3, u4> = update_split(ao, bo, co, do)
+           au = update_bite(u1, slab)
+           bu = update_bite(u2, slab)
+           cu = update_bite(u3, slab)
+           du = update_bite(u4, slab)
+         in done_up(slab, au, bu, cu, du)
+  } while is_not_equal(slab, FINAL_SLAB),
+  result convolve_data
+)";
+  return defines + main_fn +
+         (version == RetinaVersion::kV1Imbalanced ? do_convol_v1 : do_convol_v2);
+}
+
+RetinaModel delirium_run(const RetinaParams& params, RetinaVersion version, Runtime& runtime) {
+  CompiledProgram program =
+      compile_or_throw(retina_source(version, params), runtime.registry());
+  Value result = runtime.run(program);
+  // The result block is uniquely held here, so this moves rather than
+  // copies the model out.
+  return std::move(result.block_mut<RetinaModel>());
+}
+
+}  // namespace delirium::retina

@@ -1,0 +1,39 @@
+// The retina case study's embedded operators and coordination programs
+// (§5 of the paper). Two coordination versions exist:
+//
+//   kV1Imbalanced — the paper's first attempt: post_up merges the bands
+//     and runs the (expensive, on odd slabs) bipolar/motion update
+//     sequentially. Node timings show post_up alternating between
+//     negligible and convolution-sized costs, capping speedup below 2.
+//
+//   kV2Balanced — the fix of §5.2: the update phase is itself a four-way
+//     fork-join (update_split / update_bite / done_up), giving almost
+//     perfect balance.
+//
+// Both versions compute bitwise-identical results to sequential_run().
+#pragma once
+
+#include <string>
+
+#include "src/apps/retina/retina_model.h"
+#include "src/runtime/registry.h"
+#include "src/runtime/runtime.h"
+
+namespace delirium::retina {
+
+enum class RetinaVersion { kV1Imbalanced, kV2Balanced };
+
+/// Register set_up/target_split/.../done_up against `params` (the
+/// operators capture the simulation parameters, the way the paper's
+/// pre-processor bakes in symbolic constants).
+void register_retina_operators(OperatorRegistry& registry, const RetinaParams& params);
+
+/// The Delirium coordination program (§5.1 / §5.2), with NUM_ITER /
+/// START_SLAB / FINAL_SLAB provided as `define`s.
+std::string retina_source(RetinaVersion version, const RetinaParams& params);
+
+/// Compile and run the model through Delirium on the given runtime;
+/// returns the final model (moved out of the result block).
+RetinaModel delirium_run(const RetinaParams& params, RetinaVersion version, Runtime& runtime);
+
+}  // namespace delirium::retina

@@ -1,0 +1,129 @@
+#include "src/baselines/baseline_apps.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/apps/queens/queens.h"
+#include "src/baselines/replicated_worker.h"
+#include "src/baselines/tuple_space.h"
+
+namespace delirium::baselines {
+
+retina::RetinaModel retina_forkjoin_run(const retina::RetinaParams& params,
+                                        ForkJoinPool& pool) {
+  using namespace retina;
+  RetinaModel model = make_model(params);
+  const int rows = model.rows_per_quarter();
+  for (int t = 0; t < params.num_iter; ++t) {
+    // Target phase (sequentially cheap, matching sequential_timestep).
+    advance_targets(model.targets, params.width, params.height);
+    ++model.timestep;
+    model.photo = render_scene(model.targets, params.width, params.height);
+    for (int q = 0; q < kQuarters; ++q) {
+      std::fill(model.accum[q].begin(), model.accum[q].end(), 0.0f);
+    }
+    for (int slab = 0; slab < kKernelSize; ++slab) {
+      pool.fork(kQuarters, [&](int q) {
+        convolve_slab_rows(*model.photo, slab, q * rows, (q + 1) * rows, model.accum[q]);
+      });
+      if (is_heavy_slab(slab)) {
+        pool.fork(kQuarters, [&](int q) {
+          heavy_update_rows(*model.photo, slab, q * rows, (q + 1) * rows, params.width,
+                            model.accum[q], model.bipolar[q], model.prev_bipolar[q],
+                            model.motion[q]);
+        });
+      }
+    }
+  }
+  return model;
+}
+
+int64_t queens_replicated_worker(int n, int workers) {
+  using queens::Board;
+  std::atomic<int64_t> solutions{0};
+  ReplicatedWorkerPool pool(workers);
+
+  // A task expands one partial board; complete boards count, valid
+  // prefixes spawn children.
+  std::function<void(ReplicatedWorkerPool&, Board)> expand =
+      [&](ReplicatedWorkerPool& p, Board board) {
+        if (static_cast<int>(board.size()) == n) {
+          solutions.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (int8_t row = 1; row <= n; ++row) {
+          Board child = board;
+          child.push_back(row);
+          if (!queens::board_valid(child)) continue;
+          p.submit([&expand, child = std::move(child)](ReplicatedWorkerPool& inner) mutable {
+            expand(inner, std::move(child));
+          });
+        }
+      };
+  pool.submit([&expand](ReplicatedWorkerPool& p) { expand(p, queens::Board{}); });
+  pool.run();
+  return solutions.load();
+}
+
+namespace {
+
+// Board encoding for tuple fields: one digit per column (n <= 16 fits in
+// an int64 for n <= 15; boards are short anyway, use a string).
+std::string encode_board(const queens::Board& board) {
+  std::string s;
+  for (int8_t row : board) {
+    s.push_back(static_cast<char>('a' + row));
+  }
+  return s;
+}
+
+queens::Board decode_board(const std::string& s) {
+  queens::Board board;
+  for (char c : s) board.push_back(static_cast<int8_t>(c - 'a'));
+  return board;
+}
+
+}  // namespace
+
+int64_t queens_tuple_space(int n, int workers) {
+  using queens::Board;
+  TupleSpace space;
+  std::atomic<int64_t> solutions{0};
+  std::atomic<int64_t> pending{1};
+
+  space.out(Tuple{"work", {Field{encode_board({})}}});
+
+  auto worker_fn = [&] {
+    Pattern work_pattern{"work", {std::nullopt}};
+    for (;;) {
+      Tuple t = space.in(work_pattern);
+      const std::string& payload = std::get<std::string>(t.fields[0]);
+      if (payload == "!poison") return;
+      Board board = decode_board(payload);
+      if (static_cast<int>(board.size()) == n) {
+        solutions.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        for (int8_t row = 1; row <= n; ++row) {
+          Board child = board;
+          child.push_back(row);
+          if (!queens::board_valid(child)) continue;
+          pending.fetch_add(1, std::memory_order_acq_rel);
+          space.out(Tuple{"work", {Field{encode_board(child)}}});
+        }
+      }
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Queue drained: release everyone.
+        for (int w = 0; w < workers; ++w) {
+          space.out(Tuple{"work", {Field{std::string("!poison")}}});
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn);
+  for (std::thread& t : threads) t.join();
+  return solutions.load();
+}
+
+}  // namespace delirium::baselines

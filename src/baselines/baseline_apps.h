@@ -1,0 +1,28 @@
+// Reference workloads implemented directly on the baseline coordination
+// models, for the Table 2 comparison bench: the same computations the
+// Delirium apps perform, expressed as a 1990 programmer would have in
+// each competing model.
+#pragma once
+
+#include <cstdint>
+
+#include "src/apps/retina/retina_model.h"
+#include "src/baselines/fork_join.h"
+
+namespace delirium::baselines {
+
+/// Retina model over hand-coded fork-join threads. Bitwise identical to
+/// retina::sequential_run.
+retina::RetinaModel retina_forkjoin_run(const retina::RetinaParams& params,
+                                        ForkJoinPool& pool);
+
+/// N-queens on the replicated-worker model (§9.1): tasks expand partial
+/// boards and enqueue children. Returns the solution count.
+int64_t queens_replicated_worker(int n, int workers);
+
+/// N-queens on the tuple-space model (§8): work tuples carry encoded
+/// partial boards; workers take, expand, and re-insert. Returns the
+/// solution count.
+int64_t queens_tuple_space(int n, int workers);
+
+}  // namespace delirium::baselines

@@ -1,0 +1,93 @@
+#include "src/baselines/fork_join.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace delirium::baselines {
+
+void parallel_for(int tasks, int workers, const std::function<void(int)>& fn) {
+  if (workers <= 1 || tasks <= 1) {
+    for (int t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  const int n = std::min(workers, tasks);
+  threads.reserve(n);
+  for (int w = 0; w < n; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks) return;
+        fn(t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+struct ForkJoinPool::State {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  const std::function<void(int)>* fn = nullptr;
+  int tasks = 0;
+  std::atomic<int> next{0};
+  int remaining = 0;       // tasks not yet finished in this phase
+  uint64_t generation = 0;  // bumped per fork()
+  bool stop = false;
+};
+
+ForkJoinPool::ForkJoinPool(int workers) : state_(std::make_unique<State>()) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ForkJoinPool::~ForkJoinPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ForkJoinPool::worker_loop(int) {
+  State& s = *state_;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.work_cv.wait(lock, [&] { return s.stop || s.generation != seen_generation; });
+      if (s.stop) return;
+      seen_generation = s.generation;
+    }
+    for (;;) {
+      const int t = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= s.tasks) break;
+      (*s.fn)(t);
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (--s.remaining == 0) s.done_cv.notify_all();
+    }
+  }
+}
+
+void ForkJoinPool::fork(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  State& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.fn = &fn;
+  s.tasks = tasks;
+  s.next.store(0, std::memory_order_relaxed);
+  s.remaining = tasks;
+  ++s.generation;
+  s.work_cv.notify_all();
+  s.done_cv.wait(lock, [&] { return s.remaining == 0; });
+  s.fn = nullptr;
+}
+
+}  // namespace delirium::baselines

@@ -1,0 +1,40 @@
+// Baseline #1: hand-coded shared-memory fork-join (the "uniform,
+// distributed shared memory" model of §8 — what a Sequent programmer
+// would write directly with threads and barriers). Used by bench_models
+// to compare against Delirium coordination of the same computation.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace delirium::baselines {
+
+/// Run fn(0..tasks-1), distributing tasks over `workers` joined threads.
+/// The call returns when every task has finished (a barrier).
+void parallel_for(int tasks, int workers, const std::function<void(int)>& fn);
+
+/// A reusable pool variant: threads persist across fork() calls, so the
+/// per-phase cost is two condition-variable hops instead of thread
+/// creation (CP.41).
+class ForkJoinPool {
+ public:
+  explicit ForkJoinPool(int workers);
+  ~ForkJoinPool();
+  ForkJoinPool(const ForkJoinPool&) = delete;
+  ForkJoinPool& operator=(const ForkJoinPool&) = delete;
+
+  /// Run fn(0..tasks-1) on the pool; returns after all complete.
+  void fork(int tasks, const std::function<void(int)>& fn);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct State;
+  void worker_loop(int index);
+
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace delirium::baselines

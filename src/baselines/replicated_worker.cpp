@@ -1,0 +1,51 @@
+#include "src/baselines/replicated_worker.h"
+
+namespace delirium::baselines {
+
+void ReplicatedWorkerPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ReplicatedWorkerPool::run() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    active_ = 0;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers_);
+  for (int w = 0; w < workers_; ++w) {
+    threads.emplace_back([this] {
+      for (;;) {
+        Task task;
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [this] { return !queue_.empty() || active_ == 0; });
+          if (queue_.empty()) {
+            // Queue empty and nobody working: drained. Wake the others.
+            cv_.notify_all();
+            return;
+          }
+          task = std::move(queue_.front());
+          queue_.pop_front();
+          ++active_;
+        }
+        task(*this);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --active_;
+        }
+        cv_.notify_all();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = false;
+}
+
+}  // namespace delirium::baselines

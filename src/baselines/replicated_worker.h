@@ -1,0 +1,40 @@
+// Baseline #2: the replicated-worker model (§9.1) — "tasks are generated
+// and put on a queue; a group of identical workers reads from the queue,
+// executing jobs as they appear and possibly adding more jobs". The
+// paper notes (with some irony) that this is how the Delirium runtime
+// itself is built, yet it cannot be expressed *within* the model.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace delirium::baselines {
+
+/// A work queue whose tasks may push further tasks. run() returns once
+/// the queue drains and all workers are idle.
+class ReplicatedWorkerPool {
+ public:
+  using Task = std::function<void(ReplicatedWorkerPool&)>;
+
+  explicit ReplicatedWorkerPool(int workers) : workers_(workers < 1 ? 1 : workers) {}
+
+  /// Add a task (callable from within tasks).
+  void submit(Task task);
+
+  /// Process the queue to exhaustion with `workers` threads.
+  void run();
+
+ private:
+  int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  int active_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace delirium::baselines

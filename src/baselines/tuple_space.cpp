@@ -1,0 +1,65 @@
+#include "src/baselines/tuple_space.h"
+
+namespace delirium::baselines {
+
+bool Pattern::matches(const Tuple& tuple) const {
+  if (tag != tuple.tag || fields.size() != tuple.fields.size()) return false;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].has_value() && *fields[i] != tuple.fields[i]) return false;
+  }
+  return true;
+}
+
+void TupleSpace::out(Tuple tuple) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buckets_[tuple.tag].push_back(std::move(tuple));
+    ++count_;
+  }
+  cv_.notify_all();
+}
+
+std::optional<Tuple> TupleSpace::take_locked(const Pattern& pattern, bool remove) {
+  auto bucket_it = buckets_.find(pattern.tag);
+  if (bucket_it == buckets_.end()) return std::nullopt;
+  auto& bucket = bucket_it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (pattern.matches(bucket[i])) {
+      Tuple result = bucket[i];
+      if (remove) {
+        bucket.erase(bucket.begin() + static_cast<long>(i));
+        --count_;
+      }
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+Tuple TupleSpace::in(const Pattern& pattern) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (auto t = take_locked(pattern, /*remove=*/true)) return std::move(*t);
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Tuple> TupleSpace::inp(const Pattern& pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return take_locked(pattern, /*remove=*/true);
+}
+
+Tuple TupleSpace::rd(const Pattern& pattern) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (auto t = take_locked(pattern, /*remove=*/false)) return std::move(*t);
+    cv_.wait(lock);
+  }
+}
+
+size_t TupleSpace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+}  // namespace delirium::baselines

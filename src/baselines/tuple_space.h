@@ -1,0 +1,64 @@
+// Baseline #3: a miniature Linda-style tuple space (§8). Tuples are a
+// tag plus a small vector of integer/string fields; `in` blocks until a
+// matching tuple exists and removes it, `rd` copies without removing,
+// `out` inserts. Matching is associative: any field may be a wildcard.
+// Nondeterministic by design (the system returns "a random selection
+// from the set of tuples which match") — exactly the property Delirium's
+// model trades away for deterministic execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace delirium::baselines {
+
+using Field = std::variant<int64_t, std::string>;
+
+struct Tuple {
+  std::string tag;
+  std::vector<Field> fields;
+};
+
+/// A match pattern: nullopt fields are wildcards ("formal" parameters in
+/// Linda terminology).
+struct Pattern {
+  std::string tag;
+  std::vector<std::optional<Field>> fields;
+
+  bool matches(const Tuple& tuple) const;
+};
+
+class TupleSpace {
+ public:
+  /// Insert a tuple.
+  void out(Tuple tuple);
+
+  /// Remove and return a matching tuple, blocking until one exists.
+  Tuple in(const Pattern& pattern);
+
+  /// Non-blocking in: returns nullopt when nothing matches.
+  std::optional<Tuple> inp(const Pattern& pattern);
+
+  /// Copy a matching tuple without removing it (blocking).
+  Tuple rd(const Pattern& pattern);
+
+  size_t size() const;
+
+ private:
+  std::optional<Tuple> take_locked(const Pattern& pattern, bool remove);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Bucketed by tag; within a bucket, FIFO order (a deterministic stand-in
+  // for Linda's "random selection").
+  std::unordered_map<std::string, std::vector<Tuple>> buckets_;
+  size_t count_ = 0;
+};
+
+}  // namespace delirium::baselines

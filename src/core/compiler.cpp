@@ -1,0 +1,85 @@
+#include "src/core/compiler.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/graph/graph_builder.h"
+#include "src/lang/lexer.h"
+#include "src/lang/macro.h"
+#include "src/lang/parser.h"
+#include "src/support/clock.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source.h"
+
+namespace delirium {
+
+namespace {
+size_t count_program_nodes(const Program& program) {
+  size_t n = 0;
+  for (const FuncDecl* f : program.functions) n += subtree_weight(f->body);
+  return n;
+}
+}  // namespace
+
+CompileResult compile_source(const std::string& file_name, const std::string& text,
+                             const OperatorTable& operators, const CompileOptions& options) {
+  CompileResult result;
+  DiagnosticEngine diags;
+  AstContext ctx;
+
+  // Lexing includes building the source line index (SourceFile), matching
+  // what the parallel compiler's dcc_lex operator does.
+  Stopwatch sw;
+  SourceFile file(file_name, text);
+  std::vector<Token> tokens = Lexer(file, diags).lex_all();
+  result.timings.lex_ms = sw.elapsed_ms();
+
+  sw.reset();
+  Parser parser(std::move(tokens), ctx, diags);
+  Program program = parser.parse_program();
+  result.timings.parse_ms = sw.elapsed_ms();
+
+  sw.reset();
+  expand_macros(program, ctx, diags);
+  result.timings.macro_ms = sw.elapsed_ms();
+
+  sw.reset();
+  result.analysis = analyze_environment(program, operators, diags, options.sema);
+  result.timings.env_ms = sw.elapsed_ms();
+
+  if (diags.has_errors()) {
+    result.diagnostics = diags.summary(file);
+    return result;
+  }
+
+  sw.reset();
+  if (options.optimize) {
+    result.opt_stats = optimize_program(program, ctx, operators, result.analysis, options.opt,
+                                        options.sema.entry_point);
+  }
+  result.timings.opt_ms = sw.elapsed_ms();
+  result.ast_nodes = count_program_nodes(program);
+
+  sw.reset();
+  result.program =
+      build_graphs(program, result.analysis, operators, diags, options.sema.entry_point);
+  if (options.optimize && options.graph_opt && !diags.has_errors()) {
+    result.graph_opt_stats = optimize_graphs(result.program, operators);
+  }
+  result.timings.graph_ms = sw.elapsed_ms();
+
+  result.diagnostics = diags.summary(file);
+  result.ok = !diags.has_errors();
+  return result;
+}
+
+CompiledProgram compile_or_throw(const std::string& text, const OperatorTable& operators,
+                                 const CompileOptions& options) {
+  CompileResult result = compile_source("<string>", text, operators, options);
+  if (!result.ok) {
+    throw std::runtime_error("Delirium compilation failed:\n" + result.diagnostics);
+  }
+  return std::move(result.program);
+}
+
+}  // namespace delirium

@@ -1,0 +1,62 @@
+// The Delirium compiler driver: lex → parse → macro expansion →
+// environment analysis → optimization → graph conversion. Each pass is
+// timed individually, which is how Table 1 of the paper reports the
+// compiler's own cost.
+#pragma once
+
+#include <string>
+
+#include "src/graph/graph_opt.h"
+#include "src/graph/template.h"
+#include "src/lang/ast.h"
+#include "src/opt/optimizer.h"
+#include "src/sema/env_analysis.h"
+#include "src/sema/operator_table.h"
+
+namespace delirium {
+
+struct CompileOptions {
+  bool optimize = true;
+  /// Run the graph-level cleanup after conversion (only meaningful when
+  /// `optimize` is set; bench_graph_opt ablates it).
+  bool graph_opt = true;
+  OptimizeOptions opt;
+  AnalysisOptions sema;
+};
+
+/// Wall-clock milliseconds per pass, in the paper's Table 1 order.
+struct PassTimings {
+  double lex_ms = 0;
+  double parse_ms = 0;
+  double macro_ms = 0;
+  double env_ms = 0;
+  double opt_ms = 0;
+  double graph_ms = 0;
+
+  double total_ms() const {
+    return lex_ms + parse_ms + macro_ms + env_ms + opt_ms + graph_ms;
+  }
+};
+
+struct CompileResult {
+  bool ok = false;
+  CompiledProgram program;       // valid when ok
+  PassTimings timings;
+  OptStats opt_stats;
+  GraphOptStats graph_opt_stats;
+  AnalysisResult analysis;
+  std::string diagnostics;       // rendered diagnostics (errors/warnings)
+  size_t ast_nodes = 0;          // after macro expansion + optimization
+};
+
+/// Compile Delirium source text against an operator table. The returned
+/// program references nothing from the source buffer; it can outlive it.
+CompileResult compile_source(const std::string& file_name, const std::string& text,
+                             const OperatorTable& operators, const CompileOptions& options = {});
+
+/// Convenience for tests/examples: throws std::runtime_error with the
+/// diagnostics on failure.
+CompiledProgram compile_or_throw(const std::string& text, const OperatorTable& operators,
+                                 const CompileOptions& options = {});
+
+}  // namespace delirium

@@ -1,0 +1,25 @@
+// Umbrella header: the public API of the Delirium reproduction.
+//
+// Typical embedding (see examples/quickstart.cpp):
+//
+//   delirium::OperatorRegistry registry;
+//   delirium::register_builtin_operators(registry);
+//   registry.add("convolve", 2, my_convolve_fn).pure();
+//
+//   delirium::CompiledProgram program =
+//       delirium::compile_or_throw(source_text, registry);
+//
+//   delirium::Runtime runtime(registry, {.num_workers = 4});
+//   delirium::Value result = runtime.run(program);
+#pragma once
+
+#include "src/core/compiler.h"       // compile_source / compile_or_throw
+#include "src/graph/dot.h"           // coordination-framework visualization
+#include "src/graph/template.h"      // CompiledProgram / Template
+#include "src/lang/parser.h"         // lower-level front-end access
+#include "src/lang/pretty.h"         // AST printing
+#include "src/opt/optimizer.h"       // optimization passes
+#include "src/runtime/registry.h"    // OperatorRegistry / OpContext
+#include "src/runtime/runtime.h"     // Runtime / RuntimeConfig
+#include "src/runtime/value.h"       // Value / blocks
+#include "src/sema/env_analysis.h"   // environment analysis

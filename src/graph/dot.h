@@ -1,0 +1,21 @@
+// Graphviz export of coordination graphs — the reproduction of the
+// paper's "visualization tool for coordination frameworks" (§1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/template.h"
+
+namespace delirium {
+
+/// Write one template as a DOT digraph cluster.
+void write_template_dot(std::ostream& os, const Template& tmpl, uint32_t index);
+
+/// Write the whole program as a DOT file: one cluster per template, with
+/// dashed inter-template edges for calls and closure creation.
+void write_program_dot(std::ostream& os, const CompiledProgram& program);
+
+std::string program_to_dot(const CompiledProgram& program);
+
+}  // namespace delirium

@@ -1,0 +1,734 @@
+#include "src/graph/graph_builder.h"
+
+#include <optional>
+#include <unordered_set>
+
+namespace delirium {
+
+namespace {
+
+constexpr uint32_t kInvalidNode = 0xffffffffu;
+
+/// Collects free variables of an expression: names used but not bound
+/// within it, filtered to names bound in the enclosing template (globals
+/// and operators resolve without capture). Order of first occurrence.
+class FreeVarCollector {
+ public:
+  explicit FreeVarCollector(std::function<bool(const std::string&)> is_enclosing_local)
+      : is_enclosing_local_(std::move(is_enclosing_local)) {}
+
+  /// Names listed in `pre_bound` are treated as bound for the whole walk.
+  std::vector<std::string> collect(const Expr* e,
+                                   const std::vector<std::string>& pre_bound = {}) {
+    for (const std::string& n : pre_bound) ++bound_[n];
+    walk(e);
+    return std::move(result_);
+  }
+
+ private:
+  void found(const std::string& name) {
+    if (bound_.count(name) > 0) return;
+    if (!is_enclosing_local_(name)) return;
+    if (seen_.insert(name).second) result_.push_back(name);
+  }
+
+  void walk(const Expr* e) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::kVar:
+        found(e->str_value);
+        return;
+      case ExprKind::kLet: {
+        std::vector<std::string> introduced;
+        for (const Binding& b : e->bindings) {
+          if (b.kind == Binding::Kind::kFunction) {
+            introduce(b.names[0], introduced);
+            std::vector<std::string> fn_introduced;
+            for (const std::string& p : b.params) introduce(p, fn_introduced);
+            walk(b.value);
+            retract(fn_introduced);
+          } else {
+            walk(b.value);
+            for (const std::string& n : b.names) introduce(n, introduced);
+          }
+        }
+        walk(e->body);
+        retract(introduced);
+        return;
+      }
+      case ExprKind::kIterate: {
+        for (const LoopVar& lv : e->loop_vars) walk(lv.init);
+        std::vector<std::string> introduced;
+        for (const LoopVar& lv : e->loop_vars) introduce(lv.name, introduced);
+        for (const LoopVar& lv : e->loop_vars) walk(lv.step);
+        walk(e->cond);
+        retract(introduced);
+        return;
+      }
+      default:
+        if (e->callee != nullptr) walk(e->callee);
+        for (const Expr* a : e->args) walk(a);
+        if (e->cond != nullptr) walk(e->cond);
+        if (e->then_branch != nullptr) walk(e->then_branch);
+        if (e->else_branch != nullptr) walk(e->else_branch);
+        return;
+    }
+  }
+
+  void introduce(const std::string& name, std::vector<std::string>& log) {
+    ++bound_[name];
+    log.push_back(name);
+  }
+  void retract(const std::vector<std::string>& log) {
+    for (const std::string& n : log) {
+      auto it = bound_.find(n);
+      if (--it->second == 0) bound_.erase(it);
+    }
+  }
+
+  std::function<bool(const std::string&)> is_enclosing_local_;
+  std::unordered_map<std::string, int> bound_;
+  std::unordered_set<std::string> seen_;
+  std::vector<std::string> result_;
+};
+
+class ProgramBuilder;
+
+/// Builds one template. The environment maps names to producer nodes,
+/// plus "self" entries for directly recursive local functions and loop
+/// templates (a self-call compiles to a direct kCall passing the captured
+/// values through as trailing arguments).
+class TemplateBuilder {
+ public:
+  struct SelfInfo {
+    uint32_t template_index = 0;
+    /// Nodes (in *this* template) holding the values the recursive
+    /// template expects as its trailing capture parameters.
+    std::vector<uint32_t> capture_nodes;
+  };
+
+  TemplateBuilder(ProgramBuilder& owner, Template& tmpl) : owner_(owner), tmpl_(tmpl) {}
+
+  uint32_t add_node(NodeKind kind, std::vector<uint32_t> inputs);
+  uint32_t add_const(ConstValue v);
+  uint32_t add_param(uint32_t index, const std::string& name);
+
+  void bind(const std::string& name, uint32_t node) { env_.push_back({name, node, {}}); }
+  void bind_self(const std::string& name, SelfInfo self) {
+    env_.push_back({name, kInvalidNode, std::move(self)});
+  }
+  size_t env_mark() const { return env_.size(); }
+  void env_release(size_t m) { env_.resize(m); }
+
+  bool is_local(const std::string& name) const { return find(name) != nullptr; }
+
+  uint32_t compile(const Expr* e, bool tail);
+  void finish(uint32_t body_node);
+
+  Template& tmpl() { return tmpl_; }
+
+ private:
+  struct EnvEntry {
+    std::string name;
+    uint32_t node = kInvalidNode;
+    std::optional<SelfInfo> self;
+  };
+
+  /// How the free variables of a sub-expression are passed into an
+  /// anonymous sub-template: a flat list of captured values (each becomes
+  /// a trailing parameter of the sub-template), plus instructions to
+  /// re-create value and self bindings inside the sub-template.
+  struct CapturePlan {
+    std::vector<uint32_t> parent_nodes;  // one per capture slot
+    struct ValueBinding {
+      std::string name;
+      uint32_t slot;  // index into the capture slots
+    };
+    std::vector<ValueBinding> values;
+    struct SelfBinding {
+      std::string name;
+      uint32_t template_index = 0;
+      std::vector<uint32_t> slots;  // capture slots holding its captures
+    };
+    std::vector<SelfBinding> selves;
+
+    size_t slot_count() const { return parent_nodes.size(); }
+  };
+
+  const EnvEntry* find(const std::string& name) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->name == name) return &*it;
+    }
+    return nullptr;
+  }
+
+  CapturePlan plan_captures(const std::vector<std::string>& free_names, SourceRange where);
+  /// Adds capture parameters (starting at param index `first_index`) to a
+  /// sub-builder and re-creates the planned bindings there.
+  static void install_captures(TemplateBuilder& sub, const CapturePlan& plan,
+                               uint32_t first_index);
+
+  uint32_t compile_var(const Expr* e);
+  uint32_t compile_apply(const Expr* e, bool tail);
+  uint32_t compile_let(const Expr* e, bool tail);
+  uint32_t compile_if(const Expr* e, bool tail);
+  uint32_t compile_iterate(const Expr* e, bool tail);
+  uint32_t compile_local_function(const Binding& b);
+  uint32_t make_branch_closure(const Expr* branch, const char* label);
+
+  ProgramBuilder& owner_;
+  Template& tmpl_;
+  std::vector<EnvEntry> env_;
+};
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder(const Program& program, const AnalysisResult& analysis,
+                 const OperatorTable& operators, DiagnosticEngine& diags)
+      : program_(program), analysis_(analysis), operators_(operators), diags_(diags) {}
+
+  CompiledProgram run(const std::string& entry_point) {
+    // Pre-allocate a template per global function so calls can reference
+    // them before their bodies are built.
+    for (const FuncDecl* f : program_.functions) {
+      const uint32_t index = new_template(f->name);
+      out_.by_name[f->name] = index;
+      out_.templates[index]->num_params = static_cast<uint32_t>(f->params.size());
+      out_.templates[index]->recursive = analysis_.is_recursive(f->name);
+    }
+    for (const FuncDecl* f : program_.functions) {
+      // Signature-only stubs (used by the parallel compiler case study to
+      // resolve cross-group calls) keep their empty template shell.
+      if (f->body == nullptr) continue;
+      Template& tmpl = *out_.templates[out_.by_name[f->name]];
+      TemplateBuilder builder(*this, tmpl);
+      for (uint32_t i = 0; i < f->params.size(); ++i) {
+        builder.bind(f->params[i], builder.add_param(i, f->params[i]));
+      }
+      const uint32_t body = builder.compile(f->body, /*tail=*/true);
+      builder.finish(body);
+    }
+    auto it = out_.by_name.find(entry_point);
+    if (it == out_.by_name.end()) {
+      diags_.error({}, "graph conversion: missing entry point '" + entry_point + "'");
+    } else {
+      out_.entry = it->second;
+    }
+    return std::move(out_);
+  }
+
+  uint32_t new_template(std::string name) {
+    auto tmpl = std::make_unique<Template>();
+    tmpl->name = std::move(name);
+    out_.templates.push_back(std::move(tmpl));
+    return static_cast<uint32_t>(out_.templates.size() - 1);
+  }
+
+  Template& tmpl(uint32_t index) { return *out_.templates[index]; }
+
+  std::optional<uint32_t> global_index(const std::string& name) const {
+    auto it = out_.by_name.find(name);
+    if (it == out_.by_name.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool is_recursive_fn(const std::string& name) const { return analysis_.is_recursive(name); }
+  const OperatorTable& operators() const { return operators_; }
+  DiagnosticEngine& diags() { return diags_; }
+  uint32_t anon_counter() { return anon_counter_++; }
+
+ private:
+  const Program& program_;
+  const AnalysisResult& analysis_;
+  const OperatorTable& operators_;
+  DiagnosticEngine& diags_;
+  CompiledProgram out_;
+  uint32_t anon_counter_ = 0;
+};
+
+// --- TemplateBuilder implementation -----------------------------------
+
+uint32_t TemplateBuilder::add_node(NodeKind kind, std::vector<uint32_t> inputs) {
+  Node node;
+  node.kind = kind;
+  node.num_inputs = static_cast<uint16_t>(inputs.size());
+  node.input_offset = tmpl_.value_slots;
+  tmpl_.value_slots += node.num_inputs;
+  const uint32_t id = static_cast<uint32_t>(tmpl_.nodes.size());
+  tmpl_.nodes.push_back(std::move(node));
+  for (uint16_t port = 0; port < inputs.size(); ++port) {
+    tmpl_.nodes[inputs[port]].consumers.push_back(PortRef{id, port});
+  }
+  return id;
+}
+
+uint32_t TemplateBuilder::add_const(ConstValue v) {
+  const uint32_t id = add_node(NodeKind::kConst, {});
+  tmpl_.nodes[id].literal = std::move(v);
+  tmpl_.nodes[id].debug_label = "const";
+  return id;
+}
+
+uint32_t TemplateBuilder::add_param(uint32_t index, const std::string& name) {
+  const uint32_t id = add_node(NodeKind::kParam, {});
+  tmpl_.nodes[id].param_index = index;
+  tmpl_.nodes[id].debug_label = name;
+  if (tmpl_.param_nodes.size() <= index) tmpl_.param_nodes.resize(index + 1, kInvalidNode);
+  tmpl_.param_nodes[index] = id;
+  return id;
+}
+
+void TemplateBuilder::finish(uint32_t body_node) {
+  const uint32_t ret = add_node(NodeKind::kReturn, {body_node});
+  tmpl_.nodes[ret].debug_label = "return";
+  tmpl_.return_node = ret;
+}
+
+TemplateBuilder::CapturePlan TemplateBuilder::plan_captures(
+    const std::vector<std::string>& free_names, SourceRange where) {
+  CapturePlan plan;
+  for (const std::string& name : free_names) {
+    const EnvEntry* entry = find(name);
+    if (entry == nullptr) {
+      owner_.diags().error(where, "graph conversion: cannot capture unknown name '" + name + "'");
+      continue;
+    }
+    if (entry->self.has_value()) {
+      // Re-export a recursive function: pass its captured values along
+      // and re-create the self binding inside the sub-template.
+      CapturePlan::SelfBinding sb;
+      sb.name = name;
+      sb.template_index = entry->self->template_index;
+      for (uint32_t node : entry->self->capture_nodes) {
+        sb.slots.push_back(static_cast<uint32_t>(plan.parent_nodes.size()));
+        plan.parent_nodes.push_back(node);
+      }
+      plan.selves.push_back(std::move(sb));
+    } else {
+      plan.values.push_back(
+          {name, static_cast<uint32_t>(plan.parent_nodes.size())});
+      plan.parent_nodes.push_back(entry->node);
+    }
+  }
+  return plan;
+}
+
+void TemplateBuilder::install_captures(TemplateBuilder& sub, const CapturePlan& plan,
+                                       uint32_t first_index) {
+  std::vector<uint32_t> slot_params(plan.slot_count());
+  for (uint32_t i = 0; i < plan.slot_count(); ++i) {
+    slot_params[i] = sub.add_param(first_index + i, "_cap" + std::to_string(i));
+  }
+  for (const CapturePlan::ValueBinding& v : plan.values) {
+    sub.tmpl().nodes[slot_params[v.slot]].debug_label = v.name;
+    sub.bind(v.name, slot_params[v.slot]);
+  }
+  for (const CapturePlan::SelfBinding& s : plan.selves) {
+    SelfInfo self;
+    self.template_index = s.template_index;
+    for (uint32_t slot : s.slots) self.capture_nodes.push_back(slot_params[slot]);
+    sub.bind_self(s.name, std::move(self));
+  }
+}
+
+uint32_t TemplateBuilder::compile(const Expr* e, bool tail) {
+  switch (e->kind) {
+    case ExprKind::kIntLit: return add_const(ConstValue{e->int_value});
+    case ExprKind::kFloatLit: return add_const(ConstValue{e->float_value});
+    case ExprKind::kStringLit: return add_const(ConstValue{e->str_value});
+    case ExprKind::kNullLit: return add_const(ConstValue{std::monostate{}});
+    case ExprKind::kVar: return compile_var(e);
+    case ExprKind::kTuple: {
+      std::vector<uint32_t> inputs;
+      inputs.reserve(e->args.size());
+      for (const Expr* a : e->args) inputs.push_back(compile(a, false));
+      const uint32_t id = add_node(NodeKind::kTupleMake, std::move(inputs));
+      tmpl_.nodes[id].debug_label = "tuple";
+      return id;
+    }
+    case ExprKind::kApply: return compile_apply(e, tail);
+    case ExprKind::kLet: return compile_let(e, tail);
+    case ExprKind::kIf: return compile_if(e, tail);
+    case ExprKind::kIterate: return compile_iterate(e, tail);
+  }
+  owner_.diags().error(e->range, "graph conversion: unhandled expression");
+  return add_const(ConstValue{std::monostate{}});
+}
+
+uint32_t TemplateBuilder::compile_var(const Expr* e) {
+  if (const EnvEntry* entry = find(e->str_value)) {
+    if (entry->self.has_value()) {
+      owner_.diags().error(e->range, "recursive local function '" + e->str_value +
+                                         "' cannot be used as a first-class value");
+      return add_const(ConstValue{std::monostate{}});
+    }
+    return entry->node;
+  }
+  if (auto index = owner_.global_index(e->str_value)) {
+    // A global function used as a value: a closure with no captures.
+    const uint32_t id = add_node(NodeKind::kMakeClosure, {});
+    tmpl_.nodes[id].target_template = *index;
+    tmpl_.nodes[id].debug_label = "closure:" + e->str_value;
+    return id;
+  }
+  owner_.diags().error(e->range, "graph conversion: unresolved name '" + e->str_value + "'");
+  return add_const(ConstValue{std::monostate{}});
+}
+
+uint32_t TemplateBuilder::compile_apply(const Expr* e, bool tail) {
+  std::vector<uint32_t> arg_nodes;
+  arg_nodes.reserve(e->args.size());
+  for (const Expr* a : e->args) arg_nodes.push_back(compile(a, false));
+
+  if (e->callee != nullptr && e->callee->kind == ExprKind::kVar) {
+    const std::string& name = e->callee->str_value;
+    if (const EnvEntry* entry = find(name)) {
+      if (entry->self.has_value()) {
+        // Direct self-recursion: call own template, passing captures
+        // through unchanged.
+        std::vector<uint32_t> inputs = std::move(arg_nodes);
+        for (uint32_t cap : entry->self->capture_nodes) inputs.push_back(cap);
+        const uint32_t id = add_node(NodeKind::kCall, std::move(inputs));
+        tmpl_.nodes[id].target_template = entry->self->template_index;
+        tmpl_.nodes[id].priority = PriorityClass::kRecursiveCallClosure;
+        tmpl_.nodes[id].is_tail = tail;
+        tmpl_.nodes[id].debug_label = "call:" + name;
+        return id;
+      }
+      // Closure call through a local value.
+      std::vector<uint32_t> inputs{entry->node};
+      for (uint32_t a : arg_nodes) inputs.push_back(a);
+      const uint32_t id = add_node(NodeKind::kCallClosure, std::move(inputs));
+      tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
+      tmpl_.nodes[id].is_tail = tail;
+      tmpl_.nodes[id].debug_label = "callc:" + name;
+      return id;
+    }
+    if (auto target = owner_.global_index(name)) {
+      const uint32_t id = add_node(NodeKind::kCall, std::move(arg_nodes));
+      tmpl_.nodes[id].target_template = *target;
+      tmpl_.nodes[id].priority = owner_.is_recursive_fn(name)
+                                     ? PriorityClass::kRecursiveCallClosure
+                                     : PriorityClass::kCallClosure;
+      tmpl_.nodes[id].is_tail = tail;
+      tmpl_.nodes[id].debug_label = "call:" + name;
+      return id;
+    }
+    if (name == "parmap" && arg_nodes.size() == 2 &&
+        owner_.operators().index_of(name) < 0) {
+      // Built-in special form: dynamic fan-out over a package. A global
+      // function or registered operator of the same name wins (checked
+      // above / below), mirroring sema's resolution order.
+      const uint32_t id = add_node(NodeKind::kParMap, std::move(arg_nodes));
+      tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
+      tmpl_.nodes[id].is_tail = tail;
+      tmpl_.nodes[id].debug_label = "parmap";
+      return id;
+    }
+    const int op_index = owner_.operators().index_of(name);
+    if (op_index >= 0) {
+      const uint32_t id = add_node(NodeKind::kOperator, std::move(arg_nodes));
+      tmpl_.nodes[id].op_index = op_index;
+      tmpl_.nodes[id].op_name = name;
+      tmpl_.nodes[id].debug_label = name;
+      return id;
+    }
+    owner_.diags().error(e->range, "graph conversion: unresolved callee '" + name + "'");
+    return add_const(ConstValue{std::monostate{}});
+  }
+
+  // Computed callee: evaluate it, then call through the closure.
+  const uint32_t callee_node = compile(e->callee, false);
+  std::vector<uint32_t> inputs{callee_node};
+  for (uint32_t a : arg_nodes) inputs.push_back(a);
+  const uint32_t id = add_node(NodeKind::kCallClosure, std::move(inputs));
+  tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
+  tmpl_.nodes[id].is_tail = tail;
+  tmpl_.nodes[id].debug_label = "callc";
+  return id;
+}
+
+uint32_t TemplateBuilder::compile_local_function(const Binding& b) {
+  auto is_enclosing = [this](const std::string& n) { return is_local(n); };
+  std::vector<std::string> pre_bound = b.params;
+  pre_bound.push_back(b.names[0]);
+  std::vector<std::string> free_names =
+      FreeVarCollector(is_enclosing).collect(b.value, pre_bound);
+  CapturePlan plan = plan_captures(free_names, b.range);
+
+  const uint32_t index =
+      owner_.new_template(tmpl_.name + "$" + b.names[0] + std::to_string(owner_.anon_counter()));
+  Template& sub = owner_.tmpl(index);
+  sub.num_params = static_cast<uint32_t>(b.params.size() + plan.slot_count());
+  sub.num_captures = static_cast<uint32_t>(plan.slot_count());
+
+  {
+    TemplateBuilder builder(owner_, sub);
+    for (uint32_t i = 0; i < b.params.size(); ++i) {
+      builder.bind(b.params[i], builder.add_param(i, b.params[i]));
+    }
+    install_captures(builder, plan, static_cast<uint32_t>(b.params.size()));
+    // Self binding: the function's own captures are its capture params.
+    SelfInfo self;
+    self.template_index = index;
+    for (uint32_t i = 0; i < plan.slot_count(); ++i) {
+      self.capture_nodes.push_back(sub.param_nodes[b.params.size() + i]);
+    }
+    builder.bind_self(b.names[0], std::move(self));
+    const uint32_t body = builder.compile(b.value, /*tail=*/true);
+    builder.finish(body);
+  }
+  for (const Node& n : sub.nodes) {
+    if (n.kind == NodeKind::kCall && n.target_template == index) sub.recursive = true;
+  }
+
+  const uint32_t id = add_node(NodeKind::kMakeClosure, std::move(plan.parent_nodes));
+  tmpl_.nodes[id].target_template = index;
+  tmpl_.nodes[id].debug_label = "closure:" + b.names[0];
+  return id;
+}
+
+uint32_t TemplateBuilder::compile_let(const Expr* e, bool tail) {
+  const size_t mark = env_mark();
+  for (const Binding& b : e->bindings) {
+    switch (b.kind) {
+      case Binding::Kind::kValue: {
+        const uint32_t node = compile(b.value, false);
+        bind(b.names[0], node);
+        break;
+      }
+      case Binding::Kind::kDecompose: {
+        const uint32_t pkg = compile(b.value, false);
+        for (uint32_t i = 0; i < b.names.size(); ++i) {
+          const uint32_t get = add_node(NodeKind::kTupleGet, {pkg});
+          tmpl_.nodes[get].tuple_index = i;
+          tmpl_.nodes[get].debug_label = "get:" + b.names[i];
+          bind(b.names[i], get);
+        }
+        break;
+      }
+      case Binding::Kind::kFunction: {
+        const uint32_t clo = compile_local_function(b);
+        bind(b.names[0], clo);
+        break;
+      }
+    }
+  }
+  const uint32_t body = compile(e->body, tail);
+  env_release(mark);
+  return body;
+}
+
+uint32_t TemplateBuilder::make_branch_closure(const Expr* branch, const char* label) {
+  auto is_enclosing = [this](const std::string& n) { return is_local(n); };
+  std::vector<std::string> free_names = FreeVarCollector(is_enclosing).collect(branch);
+  CapturePlan plan = plan_captures(free_names, branch->range);
+
+  const uint32_t index =
+      owner_.new_template(tmpl_.name + "$" + label + std::to_string(owner_.anon_counter()));
+  Template& sub = owner_.tmpl(index);
+  sub.num_params = static_cast<uint32_t>(plan.slot_count());
+  sub.num_captures = sub.num_params;  // a branch takes no explicit args
+  {
+    TemplateBuilder builder(owner_, sub);
+    install_captures(builder, plan, 0);
+    const uint32_t body = builder.compile(branch, /*tail=*/true);
+    builder.finish(body);
+  }
+
+  const uint32_t id = add_node(NodeKind::kMakeClosure, std::move(plan.parent_nodes));
+  tmpl_.nodes[id].target_template = index;
+  tmpl_.nodes[id].debug_label = std::string("closure:") + label;
+  return id;
+}
+
+uint32_t TemplateBuilder::compile_if(const Expr* e, bool tail) {
+  const uint32_t cond = compile(e->cond, false);
+  const uint32_t then_clo = make_branch_closure(e->then_branch, "then");
+  const uint32_t else_clo = make_branch_closure(e->else_branch, "else");
+  const uint32_t id = add_node(NodeKind::kIfDispatch, {cond, then_clo, else_clo});
+  tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
+  tmpl_.nodes[id].is_tail = tail;
+  tmpl_.nodes[id].debug_label = "if";
+  return id;
+}
+
+uint32_t TemplateBuilder::compile_iterate(const Expr* e, bool tail) {
+  // Free names of the loop interior (steps + condition), beyond the loop
+  // variables, are passed into the loop template as trailing parameters.
+  auto is_enclosing = [this](const std::string& n) { return is_local(n); };
+  std::vector<std::string> loop_names;
+  for (const LoopVar& lv : e->loop_vars) loop_names.push_back(lv.name);
+  std::vector<std::string> free_names;
+  {
+    std::unordered_set<std::string> seen;
+    auto add_from = [&](const Expr* part) {
+      for (const std::string& n : FreeVarCollector(is_enclosing).collect(part, loop_names)) {
+        if (seen.insert(n).second) free_names.push_back(n);
+      }
+    };
+    for (const LoopVar& lv : e->loop_vars) add_from(lv.step);
+    add_from(e->cond);
+  }
+  CapturePlan plan = plan_captures(free_names, e->range);
+
+  const uint32_t n_loop = static_cast<uint32_t>(e->loop_vars.size());
+  const uint32_t n_caps = static_cast<uint32_t>(plan.slot_count());
+
+  const uint32_t loop_index =
+      owner_.new_template(tmpl_.name + "$loop" + std::to_string(owner_.anon_counter()));
+  Template& loop = owner_.tmpl(loop_index);
+  loop.num_params = n_loop + n_caps;
+  loop.num_captures = n_caps;
+  loop.recursive = true;
+
+  {
+    TemplateBuilder lb(owner_, loop);
+    std::vector<uint32_t> loop_params;
+    for (uint32_t i = 0; i < n_loop; ++i) {
+      const uint32_t p = lb.add_param(i, e->loop_vars[i].name);
+      lb.bind(e->loop_vars[i].name, p);
+      loop_params.push_back(p);
+    }
+    install_captures(lb, plan, n_loop);
+    std::vector<uint32_t> cap_params;
+    for (uint32_t i = 0; i < n_caps; ++i) cap_params.push_back(loop.param_nodes[n_loop + i]);
+
+    const uint32_t cond = lb.compile(e->cond, false);
+
+    // Then-branch: compute the steps and tail-call the loop template.
+    // Its captures are all loop params + capture params, in order.
+    const uint32_t then_index = owner_.new_template(loop.name + "$step");
+    Template& then_tmpl = owner_.tmpl(then_index);
+    then_tmpl.num_params = n_loop + n_caps;
+    then_tmpl.num_captures = then_tmpl.num_params;
+    {
+      TemplateBuilder tb(owner_, then_tmpl);
+      for (uint32_t i = 0; i < n_loop; ++i) {
+        tb.bind(e->loop_vars[i].name, tb.add_param(i, e->loop_vars[i].name));
+      }
+      install_captures(tb, plan, n_loop);
+      std::vector<uint32_t> call_inputs;
+      for (uint32_t i = 0; i < n_loop; ++i) {
+        call_inputs.push_back(tb.compile(e->loop_vars[i].step, false));
+      }
+      for (uint32_t i = 0; i < n_caps; ++i) {
+        call_inputs.push_back(then_tmpl.param_nodes[n_loop + i]);
+      }
+      const uint32_t call = tb.add_node(NodeKind::kCall, std::move(call_inputs));
+      tb.tmpl().nodes[call].target_template = loop_index;
+      tb.tmpl().nodes[call].priority = PriorityClass::kRecursiveCallClosure;
+      tb.tmpl().nodes[call].is_tail = true;
+      tb.tmpl().nodes[call].debug_label = "loop-step";
+      tb.finish(call);
+    }
+    // Else-branch: return the result loop variable.
+    const uint32_t else_index = owner_.new_template(loop.name + "$done");
+    Template& else_tmpl = owner_.tmpl(else_index);
+    else_tmpl.num_params = 1;
+    else_tmpl.num_captures = 1;
+    {
+      TemplateBuilder eb(owner_, else_tmpl);
+      const uint32_t p = eb.add_param(0, e->result_name);
+      eb.finish(p);
+    }
+
+    std::vector<uint32_t> then_caps;
+    for (uint32_t p : loop_params) then_caps.push_back(p);
+    for (uint32_t p : cap_params) then_caps.push_back(p);
+    const uint32_t then_clo = lb.add_node(NodeKind::kMakeClosure, std::move(then_caps));
+    lb.tmpl().nodes[then_clo].target_template = then_index;
+    lb.tmpl().nodes[then_clo].debug_label = "closure:step";
+
+    uint32_t result_param = kInvalidNode;
+    for (uint32_t i = 0; i < n_loop; ++i) {
+      if (e->loop_vars[i].name == e->result_name) result_param = loop_params[i];
+    }
+    if (result_param == kInvalidNode) {
+      owner_.diags().error(e->range, "graph conversion: iterate result is not a loop variable");
+      result_param = loop_params.empty() ? lb.add_const(std::monostate{}) : loop_params[0];
+    }
+    const uint32_t else_clo = lb.add_node(NodeKind::kMakeClosure, {result_param});
+    lb.tmpl().nodes[else_clo].target_template = else_index;
+    lb.tmpl().nodes[else_clo].debug_label = "closure:done";
+
+    const uint32_t dispatch = lb.add_node(NodeKind::kIfDispatch, {cond, then_clo, else_clo});
+    lb.tmpl().nodes[dispatch].priority = PriorityClass::kCallClosure;
+    lb.tmpl().nodes[dispatch].is_tail = true;
+    lb.tmpl().nodes[dispatch].debug_label = "loop-if";
+    lb.finish(dispatch);
+  }
+
+  // At the iterate site: call the loop with initializers + captures.
+  std::vector<uint32_t> call_inputs;
+  for (const LoopVar& lv : e->loop_vars) call_inputs.push_back(compile(lv.init, false));
+  for (uint32_t node : plan.parent_nodes) call_inputs.push_back(node);
+  const uint32_t id = add_node(NodeKind::kCall, std::move(call_inputs));
+  tmpl_.nodes[id].target_template = loop_index;
+  tmpl_.nodes[id].priority = PriorityClass::kRecursiveCallClosure;
+  tmpl_.nodes[id].is_tail = tail;
+  tmpl_.nodes[id].debug_label = "iterate";
+  return id;
+}
+
+}  // namespace
+
+CompiledProgram build_graphs(const Program& program, const AnalysisResult& analysis,
+                             const OperatorTable& operators, DiagnosticEngine& diags,
+                             const std::string& entry_point) {
+  return ProgramBuilder(program, analysis, operators, diags).run(entry_point);
+}
+
+std::string validate_graph(const CompiledProgram& program) {
+  for (size_t ti = 0; ti < program.templates.size(); ++ti) {
+    const Template& t = *program.templates[ti];
+    const std::string where = "template '" + t.name + "': ";
+    if (t.nodes.empty()) return where + "no nodes";
+    if (t.return_node >= t.nodes.size()) return where + "return node out of range";
+    if (t.nodes[t.return_node].kind != NodeKind::kReturn) return where + "return node wrong kind";
+    if (t.param_nodes.size() != t.num_params) return where + "param node count mismatch";
+    if (t.num_captures > t.num_params) return where + "captures exceed params";
+    uint32_t slots = 0;
+    std::vector<int> port_seen(t.value_slots, 0);
+    for (size_t ni = 0; ni < t.nodes.size(); ++ni) {
+      const Node& n = t.nodes[ni];
+      if (n.input_offset != slots) return where + "bad slot layout";
+      slots += n.num_inputs;
+      for (const PortRef& c : n.consumers) {
+        if (c.node >= t.nodes.size()) return where + "consumer node out of range";
+        const Node& consumer = t.nodes[c.node];
+        if (c.port >= consumer.num_inputs) return where + "consumer port out of range";
+        ++port_seen[consumer.input_offset + c.port];
+      }
+      if ((n.kind == NodeKind::kCall || n.kind == NodeKind::kMakeClosure) &&
+          n.target_template >= program.templates.size()) {
+        return where + "call target out of range";
+      }
+      if (n.kind == NodeKind::kOperator && n.op_index < 0) {
+        return where + "operator node without registry index";
+      }
+      if (n.kind == NodeKind::kIfDispatch && n.num_inputs != 3) {
+        return where + "if-dispatch must have 3 inputs";
+      }
+      if (n.kind == NodeKind::kParMap && n.num_inputs != 2) {
+        return where + "parmap must have 2 inputs";
+      }
+      if (n.kind == NodeKind::kReturn && n.num_inputs != 1) {
+        return where + "return must have 1 input";
+      }
+    }
+    if (slots != t.value_slots) return where + "slot total mismatch";
+    for (size_t ni = 0; ni < t.nodes.size(); ++ni) {
+      const Node& n = t.nodes[ni];
+      for (uint16_t p = 0; p < n.num_inputs; ++p) {
+        if (port_seen[n.input_offset + p] != 1) {
+          return where + "input port of node " + std::to_string(ni) + " has " +
+                 std::to_string(port_seen[n.input_offset + p]) + " producers";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace delirium

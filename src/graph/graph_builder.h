@@ -1,0 +1,27 @@
+// Graph conversion — the "Graph Conversion" pass of Table 1.
+//
+// Converts each macro-expanded, analyzed Delirium function into a
+// template (coordination subgraph). Conditionals compile each arm into an
+// anonymous sub-template invoked through a closure, so the untaken arm is
+// never expanded — this is what makes recursive coordination (the eight
+// queens program of §3) terminate. `iterate` compiles into a synthetic
+// tail-recursive function, which the runtime executes in constant
+// activation space.
+#pragma once
+
+#include "src/graph/template.h"
+#include "src/lang/ast.h"
+#include "src/sema/env_analysis.h"
+#include "src/sema/operator_table.h"
+#include "src/support/diagnostics.h"
+
+namespace delirium {
+
+/// Convert a whole program. `analysis` provides recursion facts used to
+/// classify call nodes into priority levels. Reports internal
+/// inconsistencies (which sema should have caught) as errors.
+CompiledProgram build_graphs(const Program& program, const AnalysisResult& analysis,
+                             const OperatorTable& operators, DiagnosticEngine& diags,
+                             const std::string& entry_point = "main");
+
+}  // namespace delirium

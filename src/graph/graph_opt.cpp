@@ -1,0 +1,162 @@
+#include "src/graph/graph_opt.h"
+
+#include <vector>
+
+namespace delirium {
+
+namespace {
+
+/// A node's execution can matter even if its result is unused: impure
+/// operators have effects, and subgraph expansions (calls, dispatches)
+/// may contain them.
+bool always_needed(const Node& node, const OperatorTable& operators) {
+  switch (node.kind) {
+    case NodeKind::kReturn:
+    case NodeKind::kCall:
+    case NodeKind::kCallClosure:
+    case NodeKind::kIfDispatch:
+    case NodeKind::kParMap:
+      return true;
+    case NodeKind::kParam:
+      // Parameters are slots of the activation interface; they stay.
+      return true;
+    case NodeKind::kOperator: {
+      const OperatorInfo* info = operators.lookup(node.op_name);
+      return info == nullptr || !info->pure;
+    }
+    case NodeKind::kConst:
+    case NodeKind::kTupleMake:
+    case NodeKind::kTupleGet:
+    case NodeKind::kMakeClosure:
+      return false;
+  }
+  return true;
+}
+
+size_t remove_dead_nodes(Template& tmpl, const OperatorTable& operators) {
+  const size_t n = tmpl.nodes.size();
+  // Producer of each input port: port (node, index) -> producer node.
+  // Built from the consumer lists.
+  std::vector<std::vector<uint32_t>> producers(n);
+  for (size_t i = 0; i < n; ++i) producers[i].assign(tmpl.nodes[i].num_inputs, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const PortRef& c : tmpl.nodes[i].consumers) {
+      producers[c.node][c.port] = i;
+    }
+  }
+
+  // Mark needed nodes: seeds + transitive producers.
+  std::vector<uint8_t> needed(n, 0);
+  std::vector<uint32_t> work;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (always_needed(tmpl.nodes[i], operators)) {
+      needed[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const uint32_t node = work.back();
+    work.pop_back();
+    for (uint32_t producer : producers[node]) {
+      if (!needed[producer]) {
+        needed[producer] = 1;
+        work.push_back(producer);
+      }
+    }
+  }
+
+  size_t removed = 0;
+  for (uint8_t flag : needed) removed += flag == 0 ? 1 : 0;
+  if (removed == 0) return 0;
+
+  // Compact: old id -> new id; drop dead nodes and edges into them.
+  std::vector<uint32_t> remap(n, 0);
+  std::vector<Node> kept;
+  kept.reserve(n - removed);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (needed[i]) {
+      remap[i] = static_cast<uint32_t>(kept.size());
+      kept.push_back(std::move(tmpl.nodes[i]));
+    }
+  }
+  uint32_t slots = 0;
+  for (Node& node : kept) {
+    node.input_offset = slots;
+    slots += node.num_inputs;
+    std::vector<PortRef> consumers;
+    consumers.reserve(node.consumers.size());
+    for (const PortRef& c : node.consumers) {
+      if (needed[c.node]) consumers.push_back(PortRef{remap[c.node], c.port});
+    }
+    node.consumers = std::move(consumers);
+  }
+  tmpl.nodes = std::move(kept);
+  tmpl.value_slots = slots;
+  tmpl.return_node = remap[tmpl.return_node];
+  for (uint32_t& p : tmpl.param_nodes) p = remap[p];
+  return removed;
+}
+
+}  // namespace
+
+GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& operators) {
+  GraphOptStats stats;
+
+  // 1. Dead-node elimination + slot compaction, per template.
+  for (auto& tmpl : program.templates) {
+    const uint32_t before_slots = tmpl->value_slots;
+    stats.dead_nodes_removed += remove_dead_nodes(*tmpl, operators);
+    stats.slots_reclaimed += before_slots - tmpl->value_slots;
+  }
+
+  // 2. Prune unreachable anonymous templates. Named (global function)
+  // templates stay: they are callable through run_function.
+  const size_t count = program.templates.size();
+  std::vector<uint8_t> reachable(count, 0);
+  std::vector<uint32_t> work;
+  for (const auto& [name, index] : program.by_name) {
+    if (!reachable[index]) {
+      reachable[index] = 1;
+      work.push_back(index);
+    }
+  }
+  while (!work.empty()) {
+    const uint32_t t = work.back();
+    work.pop_back();
+    for (const Node& node : program.templates[t]->nodes) {
+      if (node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) {
+        if (!reachable[node.target_template]) {
+          reachable[node.target_template] = 1;
+          work.push_back(node.target_template);
+        }
+      }
+    }
+  }
+  size_t pruned = 0;
+  for (uint8_t flag : reachable) pruned += flag == 0 ? 1 : 0;
+  if (pruned > 0) {
+    std::vector<uint32_t> remap(count, 0);
+    std::vector<std::unique_ptr<Template>> kept;
+    kept.reserve(count - pruned);
+    for (uint32_t t = 0; t < count; ++t) {
+      if (reachable[t]) {
+        remap[t] = static_cast<uint32_t>(kept.size());
+        kept.push_back(std::move(program.templates[t]));
+      }
+    }
+    for (auto& tmpl : kept) {
+      for (Node& node : tmpl->nodes) {
+        if (node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) {
+          node.target_template = remap[node.target_template];
+        }
+      }
+    }
+    program.templates = std::move(kept);
+    for (auto& [name, index] : program.by_name) index = remap[index];
+    program.entry = remap[program.entry];
+    stats.templates_pruned = pruned;
+  }
+  return stats;
+}
+
+}  // namespace delirium

@@ -1,0 +1,36 @@
+// Graph-level optimization.
+//
+// §6.1: "Unnecessary nodes in the graph translate into extra overhead at
+// run-time, so the compiler uses a number of optimization techniques to
+// improve the output." The AST passes (src/opt) remove most waste before
+// conversion; this pass cleans the coordination graphs themselves:
+//
+//   * dead-node elimination — nodes whose result nobody consumes and
+//     whose execution cannot have effects (constants, parameters, tuple
+//     plumbing, closure creation, and *pure* operators) are deleted, and
+//     their inputs released recursively;
+//   * unreachable-template pruning — templates no longer referenced by
+//     any call or closure-creation node are dropped;
+//   * slot compaction — input slots are renumbered densely after node
+//     removal, shrinking every future activation of the template.
+#pragma once
+
+#include "src/graph/template.h"
+#include "src/sema/operator_table.h"
+
+namespace delirium {
+
+struct GraphOptStats {
+  size_t dead_nodes_removed = 0;
+  size_t templates_pruned = 0;
+  size_t slots_reclaimed = 0;
+
+  size_t total() const { return dead_nodes_removed + templates_pruned + slots_reclaimed; }
+};
+
+/// Optimize `program` in place. Safe by construction: results are
+/// unchanged for any program whose operators honor their purity
+/// annotations (the same contract the AST optimizer relies on).
+GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& operators);
+
+}  // namespace delirium

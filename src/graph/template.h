@@ -1,0 +1,127 @@
+// Coordination graphs and templates (§7 of the paper).
+//
+// The compiler converts each Delirium function into a *template*: a
+// dataflow subgraph whose nodes are sequential operators and whose edges
+// are data paths. The runtime executes *template activations* — small
+// records with buffer space for one evaluation of the template.
+//
+// Execution obeys the paper's two simplifying assumptions:
+//   1. each node executes exactly once per activation, and
+//   2. once data is present on an input it is consumed exactly once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sema/operator_table.h"
+
+namespace delirium {
+
+enum class NodeKind : uint8_t {
+  kConst,        // produces a literal value
+  kParam,        // produces the activation's i-th parameter
+  kOperator,     // applies an embedded sequential operator
+  kTupleMake,    // builds a multiple-value package
+  kTupleGet,     // extracts element i of a package
+  kMakeClosure,  // builds a closure over a template + captured values
+  kCall,         // direct call: expand a statically-known subgraph
+  kCallClosure,  // call through a closure value (input 0)
+  kIfDispatch,   // input 0: condition; 1: then-closure; 2: else-closure
+  kReturn,       // delivers the activation result to its continuation
+  // Dynamic-degree parallelism (the §9.2 extension; the paper's sequel
+  // generalizes the notation the same way): input 0 is a one-argument
+  // function value, input 1 a multiple-value package; one subgraph is
+  // expanded per element and the results join into a new package.
+  kParMap,
+};
+
+/// Ready-queue priority classes, in decreasing priority (§7): normal
+/// operators first, then non-recursive subgraph expansions, then
+/// recursive ones. The ordering frees template activations for reuse as
+/// early as possible.
+enum class PriorityClass : uint8_t {
+  kNormal = 0,
+  kCallClosure = 1,
+  kRecursiveCallClosure = 2,
+};
+
+struct PortRef {
+  uint32_t node = 0;
+  uint16_t port = 0;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kConst;
+  PriorityClass priority = PriorityClass::kNormal;
+  /// Result of this node is the template's result: the runtime forwards
+  /// the continuation instead of nesting, which is what makes tail
+  /// recursion run in constant activation space.
+  bool is_tail = false;
+  uint16_t num_inputs = 0;
+  uint32_t input_offset = 0;  // first input slot in the activation buffer
+
+  // Kind-specific payload.
+  ConstValue literal;           // kConst
+  uint32_t param_index = 0;     // kParam
+  int op_index = -1;            // kOperator: index into the registry
+  std::string op_name;          // kOperator: for diagnostics and timings
+  uint32_t tuple_index = 0;     // kTupleGet
+  uint32_t target_template = 0; // kCall / kMakeClosure
+
+  /// Where this node's output goes: (consumer node, input port) pairs.
+  std::vector<PortRef> consumers;
+
+  /// Human-readable label for node timings and DOT output.
+  std::string debug_label;
+};
+
+struct Template {
+  std::string name;
+  /// Total parameters. For closure templates this counts the explicit
+  /// parameters first, then the captured values.
+  uint32_t num_params = 0;
+  /// How many of num_params are captured values (trailing).
+  uint32_t num_captures = 0;
+  std::vector<Node> nodes;
+  std::vector<uint32_t> param_nodes;  // node id for each parameter
+  uint32_t return_node = 0;
+  uint32_t value_slots = 0;  // total input slots across all nodes
+  /// True when this template can (transitively) re-enter itself.
+  bool recursive = false;
+
+  uint32_t explicit_params() const { return num_params - num_captures; }
+};
+
+/// The output of graph conversion: every template in the program plus the
+/// entry point. Global function templates are listed in `by_name`;
+/// anonymous templates (branches, loops, closures) are reachable only via
+/// kCall / kMakeClosure target indices.
+struct CompiledProgram {
+  std::vector<std::unique_ptr<Template>> templates;
+  std::unordered_map<std::string, uint32_t> by_name;
+  uint32_t entry = 0;
+
+  const Template& entry_template() const { return *templates[entry]; }
+  const Template* find(const std::string& name) const {
+    auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : templates[it->second].get();
+  }
+
+  /// Total node count across all templates (the paper's "unnecessary
+  /// nodes translate into extra overhead" metric).
+  size_t total_nodes() const {
+    size_t n = 0;
+    for (const auto& t : templates) n += t->nodes.size();
+    return n;
+  }
+};
+
+/// Structural validity check used by tests: port indices in range, input
+/// counts consistent with consumer lists, slot layout non-overlapping.
+/// Returns an empty string when valid, else a description of the defect.
+std::string validate_graph(const CompiledProgram& program);
+
+}  // namespace delirium

@@ -1,0 +1,267 @@
+#include "src/lang/ast.h"
+
+#include <functional>
+
+namespace delirium {
+
+Expr* AstContext::make(ExprKind kind, SourceRange range) {
+  auto node = std::make_unique<Expr>();
+  node->kind = kind;
+  node->range = range;
+  Expr* raw = node.get();
+  exprs_.push_back(std::move(node));
+  return raw;
+}
+
+Expr* AstContext::make_int(int64_t v, SourceRange range) {
+  Expr* e = make(ExprKind::kIntLit, range);
+  e->int_value = v;
+  return e;
+}
+
+Expr* AstContext::make_float(double v, SourceRange range) {
+  Expr* e = make(ExprKind::kFloatLit, range);
+  e->float_value = v;
+  return e;
+}
+
+Expr* AstContext::make_string(std::string v, SourceRange range) {
+  Expr* e = make(ExprKind::kStringLit, range);
+  e->str_value = std::move(v);
+  return e;
+}
+
+Expr* AstContext::make_null(SourceRange range) { return make(ExprKind::kNullLit, range); }
+
+Expr* AstContext::make_var(std::string name, SourceRange range) {
+  Expr* e = make(ExprKind::kVar, range);
+  e->str_value = std::move(name);
+  return e;
+}
+
+Expr* AstContext::make_tuple(std::vector<Expr*> elems, SourceRange range) {
+  Expr* e = make(ExprKind::kTuple, range);
+  e->args = std::move(elems);
+  return e;
+}
+
+Expr* AstContext::make_apply(Expr* callee, std::vector<Expr*> args, SourceRange range) {
+  Expr* e = make(ExprKind::kApply, range);
+  e->callee = callee;
+  e->args = std::move(args);
+  return e;
+}
+
+Expr* AstContext::make_apply_named(const std::string& fn, std::vector<Expr*> args,
+                                   SourceRange range) {
+  return make_apply(make_var(fn, range), std::move(args), range);
+}
+
+Expr* AstContext::make_let(std::vector<Binding> bindings, Expr* body, SourceRange range) {
+  Expr* e = make(ExprKind::kLet, range);
+  e->bindings = std::move(bindings);
+  e->body = body;
+  return e;
+}
+
+Expr* AstContext::make_if(Expr* cond, Expr* then_branch, Expr* else_branch, SourceRange range) {
+  Expr* e = make(ExprKind::kIf, range);
+  e->cond = cond;
+  e->then_branch = then_branch;
+  e->else_branch = else_branch;
+  return e;
+}
+
+FuncDecl* AstContext::make_func(std::string name, std::vector<std::string> params, Expr* body,
+                                SourceRange range) {
+  auto decl = std::make_unique<FuncDecl>();
+  decl->name = std::move(name);
+  decl->params = std::move(params);
+  decl->body = body;
+  decl->range = range;
+  FuncDecl* raw = decl.get();
+  funcs_.push_back(std::move(decl));
+  return raw;
+}
+
+Expr* AstContext::shallow_clone(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  Expr* out = make(e->kind, e->range);
+  *out = *e;  // copies scalar fields and child pointers alike
+  return out;
+}
+
+Expr* AstContext::clone(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  Expr* out = make(e->kind, e->range);
+  out->int_value = e->int_value;
+  out->float_value = e->float_value;
+  out->str_value = e->str_value;
+  out->result_name = e->result_name;
+  out->callee = clone(e->callee);
+  out->args.reserve(e->args.size());
+  for (const Expr* a : e->args) out->args.push_back(clone(a));
+  out->bindings.reserve(e->bindings.size());
+  for (const Binding& b : e->bindings) {
+    Binding nb = b;
+    nb.value = clone(b.value);
+    out->bindings.push_back(std::move(nb));
+  }
+  out->body = clone(e->body);
+  out->cond = clone(e->cond);
+  out->then_branch = clone(e->then_branch);
+  out->else_branch = clone(e->else_branch);
+  out->loop_vars.reserve(e->loop_vars.size());
+  for (const LoopVar& lv : e->loop_vars) {
+    LoopVar nlv = lv;
+    nlv.init = clone(lv.init);
+    nlv.step = clone(lv.step);
+    out->loop_vars.push_back(std::move(nlv));
+  }
+  return out;
+}
+
+FuncDecl* Program::find_function(const std::string& name) const {
+  for (FuncDecl* f : functions) {
+    if (f->name == name) return f;
+  }
+  return nullptr;
+}
+
+void for_each_child(const Expr* e, const std::function<void(const Expr*)>& fn) {
+  if (e == nullptr) return;
+  if (e->callee != nullptr) fn(e->callee);
+  for (const Expr* a : e->args) fn(a);
+  for (const Binding& b : e->bindings) {
+    if (b.value != nullptr) fn(b.value);
+  }
+  if (e->body != nullptr) fn(e->body);
+  if (e->cond != nullptr) fn(e->cond);
+  if (e->then_branch != nullptr) fn(e->then_branch);
+  if (e->else_branch != nullptr) fn(e->else_branch);
+  for (const LoopVar& lv : e->loop_vars) {
+    if (lv.init != nullptr) fn(lv.init);
+    if (lv.step != nullptr) fn(lv.step);
+  }
+}
+
+void for_each_child_mut(Expr* e, const std::function<void(Expr*&)>& fn) {
+  if (e == nullptr) return;
+  if (e->callee != nullptr) fn(e->callee);
+  for (Expr*& a : e->args) fn(a);
+  for (Binding& b : e->bindings) {
+    if (b.value != nullptr) fn(b.value);
+  }
+  if (e->body != nullptr) fn(e->body);
+  if (e->cond != nullptr) fn(e->cond);
+  if (e->then_branch != nullptr) fn(e->then_branch);
+  if (e->else_branch != nullptr) fn(e->else_branch);
+  for (LoopVar& lv : e->loop_vars) {
+    if (lv.init != nullptr) fn(lv.init);
+    if (lv.step != nullptr) fn(lv.step);
+  }
+}
+
+uint32_t subtree_weight(const Expr* e) {
+  // Direct recursion (not via for_each_child): weight annotation runs
+  // over whole programs in the parallel compiler's partitioning step, so
+  // the per-node constant matters.
+  if (e == nullptr) return 0;
+  uint32_t total = 1;
+  total += subtree_weight(e->callee);
+  for (const Expr* a : e->args) total += subtree_weight(a);
+  for (const Binding& b : e->bindings) total += subtree_weight(b.value);
+  total += subtree_weight(e->body);
+  total += subtree_weight(e->cond);
+  total += subtree_weight(e->then_branch);
+  total += subtree_weight(e->else_branch);
+  for (const LoopVar& lv : e->loop_vars) {
+    total += subtree_weight(lv.init);
+    total += subtree_weight(lv.step);
+  }
+  return total;
+}
+
+bool expr_equal(const Expr* a, const Expr* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kIntLit:
+      if (a->int_value != b->int_value) return false;
+      break;
+    case ExprKind::kFloatLit:
+      if (a->float_value != b->float_value) return false;
+      break;
+    case ExprKind::kStringLit:
+    case ExprKind::kVar:
+      if (a->str_value != b->str_value) return false;
+      break;
+    default: break;
+  }
+  if (a->result_name != b->result_name) return false;
+  if (!expr_equal(a->callee, b->callee)) return false;
+  if (a->args.size() != b->args.size()) return false;
+  for (size_t i = 0; i < a->args.size(); ++i) {
+    if (!expr_equal(a->args[i], b->args[i])) return false;
+  }
+  if (a->bindings.size() != b->bindings.size()) return false;
+  for (size_t i = 0; i < a->bindings.size(); ++i) {
+    const Binding& ba = a->bindings[i];
+    const Binding& bb = b->bindings[i];
+    if (ba.kind != bb.kind || ba.names != bb.names || ba.params != bb.params) return false;
+    if (!expr_equal(ba.value, bb.value)) return false;
+  }
+  if (!expr_equal(a->body, b->body)) return false;
+  if (!expr_equal(a->cond, b->cond)) return false;
+  if (!expr_equal(a->then_branch, b->then_branch)) return false;
+  if (!expr_equal(a->else_branch, b->else_branch)) return false;
+  if (a->loop_vars.size() != b->loop_vars.size()) return false;
+  for (size_t i = 0; i < a->loop_vars.size(); ++i) {
+    const LoopVar& la = a->loop_vars[i];
+    const LoopVar& lb = b->loop_vars[i];
+    if (la.name != lb.name) return false;
+    if (!expr_equal(la.init, lb.init)) return false;
+    if (!expr_equal(la.step, lb.step)) return false;
+  }
+  return true;
+}
+
+namespace {
+void hash_combine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+}  // namespace
+
+size_t expr_hash(const Expr* e) {
+  if (e == nullptr) return 0;
+  size_t h = static_cast<size_t>(e->kind) * 31;
+  switch (e->kind) {
+    case ExprKind::kIntLit: hash_combine(h, std::hash<int64_t>{}(e->int_value)); break;
+    case ExprKind::kFloatLit: hash_combine(h, std::hash<double>{}(e->float_value)); break;
+    case ExprKind::kStringLit:
+    case ExprKind::kVar: hash_combine(h, std::hash<std::string>{}(e->str_value)); break;
+    default: break;
+  }
+  hash_combine(h, std::hash<std::string>{}(e->result_name));
+  hash_combine(h, expr_hash(e->callee));
+  for (const Expr* a : e->args) hash_combine(h, expr_hash(a));
+  for (const Binding& b : e->bindings) {
+    hash_combine(h, static_cast<size_t>(b.kind));
+    for (const std::string& n : b.names) hash_combine(h, std::hash<std::string>{}(n));
+    for (const std::string& p : b.params) hash_combine(h, std::hash<std::string>{}(p));
+    hash_combine(h, expr_hash(b.value));
+  }
+  hash_combine(h, expr_hash(e->body));
+  hash_combine(h, expr_hash(e->cond));
+  hash_combine(h, expr_hash(e->then_branch));
+  hash_combine(h, expr_hash(e->else_branch));
+  for (const LoopVar& lv : e->loop_vars) {
+    hash_combine(h, std::hash<std::string>{}(lv.name));
+    hash_combine(h, expr_hash(lv.init));
+    hash_combine(h, expr_hash(lv.step));
+  }
+  return h;
+}
+
+}  // namespace delirium

@@ -1,0 +1,159 @@
+// Abstract syntax tree for Delirium.
+//
+// One tagged node type (Expr) keeps tree walks — including the parallel
+// tree walks of the compiler case study (§6.2 of the paper) — simple and
+// uniform. Nodes are owned by an AstContext and referenced by raw pointer;
+// passes rewrite trees functionally by allocating replacement nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace delirium {
+
+class AstContext;
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kNullLit,
+  kVar,
+  kTuple,    // multiple-value package construction: <e1, e2, ...>
+  kApply,    // f(args...) — operator, function, or closure application
+  kLet,      // let bindings in body
+  kIf,       // if cond then a else b
+  kIterate,  // iterate { var=init,step ... } while cond, result var
+};
+
+struct Expr;
+
+/// One binding in a `let`. Three flavours per the paper: a single value,
+/// a decomposition of a multiple-value package, or a function definition.
+struct Binding {
+  enum class Kind : uint8_t { kValue, kDecompose, kFunction };
+  Kind kind = Kind::kValue;
+  std::vector<std::string> names;   // kValue: 1 name; kDecompose: N; kFunction: [function name]
+  std::vector<std::string> params;  // kFunction only
+  Expr* value = nullptr;            // bound expression, or function body
+  SourceRange range;
+};
+
+/// One loop variable in `iterate`: `name = init, step`.
+struct LoopVar {
+  std::string name;
+  Expr* init = nullptr;
+  Expr* step = nullptr;
+  SourceRange range;
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNullLit;
+  SourceRange range;
+
+  // Literals / names. str_value doubles as the variable name for kVar.
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string str_value;
+
+  // kApply: callee + args. kTuple: args are the elements.
+  Expr* callee = nullptr;
+  std::vector<Expr*> args;
+
+  // kLet: bindings + body. kIf: cond/then_branch/else_branch.
+  std::vector<Binding> bindings;
+  Expr* body = nullptr;
+  Expr* cond = nullptr;
+  Expr* then_branch = nullptr;
+  Expr* else_branch = nullptr;
+
+  // kIterate.
+  std::vector<LoopVar> loop_vars;
+  std::string result_name;
+
+  bool is_literal() const {
+    return kind == ExprKind::kIntLit || kind == ExprKind::kFloatLit ||
+           kind == ExprKind::kStringLit || kind == ExprKind::kNullLit;
+  }
+};
+
+/// A top-level declaration: a function, or (before macro expansion) a
+/// macro introduced with `define`.
+struct FuncDecl {
+  std::string name;
+  std::vector<std::string> params;
+  Expr* body = nullptr;
+  SourceRange range;
+  bool is_macro = false;
+  /// Cached subtree weight (paper §6.2: trees are annotated with subtree
+  /// sizes so partitioning is cheap). 0 means "not computed".
+  uint32_t weight = 0;
+};
+
+/// Owns every AST node for one compilation. Hands out raw pointers that
+/// stay valid for the context's lifetime.
+class AstContext {
+ public:
+  AstContext() = default;
+  AstContext(const AstContext&) = delete;
+  AstContext& operator=(const AstContext&) = delete;
+
+  Expr* make(ExprKind kind, SourceRange range);
+  Expr* make_int(int64_t v, SourceRange range = {});
+  Expr* make_float(double v, SourceRange range = {});
+  Expr* make_string(std::string v, SourceRange range = {});
+  Expr* make_null(SourceRange range = {});
+  Expr* make_var(std::string name, SourceRange range = {});
+  Expr* make_tuple(std::vector<Expr*> elems, SourceRange range = {});
+  Expr* make_apply(Expr* callee, std::vector<Expr*> args, SourceRange range = {});
+  Expr* make_apply_named(const std::string& fn, std::vector<Expr*> args, SourceRange range = {});
+  Expr* make_let(std::vector<Binding> bindings, Expr* body, SourceRange range = {});
+  Expr* make_if(Expr* cond, Expr* then_branch, Expr* else_branch, SourceRange range = {});
+
+  FuncDecl* make_func(std::string name, std::vector<std::string> params, Expr* body,
+                      SourceRange range = {});
+
+  /// Deep structural copy (used by macro expansion and inlining).
+  Expr* clone(const Expr* e);
+
+  /// Copy one node, keeping child *pointers* shared with the original.
+  /// Passes that rewrite children afterwards use this to stay O(n).
+  Expr* shallow_clone(const Expr* e);
+
+  size_t node_count() const { return exprs_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::vector<std::unique_ptr<FuncDecl>> funcs_;
+};
+
+/// A parsed program: macros (pre-expansion) and functions, plus the
+/// context that owns their nodes.
+struct Program {
+  std::vector<FuncDecl*> functions;
+  std::vector<FuncDecl*> macros;
+
+  FuncDecl* find_function(const std::string& name) const;
+};
+
+/// Number of Expr nodes in a subtree. This is the "weight" annotation the
+/// paper's parallel compiler uses to clip balanced sets of subtrees.
+uint32_t subtree_weight(const Expr* e);
+
+/// Visit every child expression of `e` exactly once (non-recursive over
+/// the node itself). The callback may not be null.
+void for_each_child(const Expr* e, const std::function<void(const Expr*)>& fn);
+void for_each_child_mut(Expr* e, const std::function<void(Expr*&)>& fn);
+
+/// Structural equality (ignores source ranges). Used by CSE and tests.
+bool expr_equal(const Expr* a, const Expr* b);
+
+/// Structural hash consistent with expr_equal.
+size_t expr_hash(const Expr* e);
+
+}  // namespace delirium

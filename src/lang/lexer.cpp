@@ -1,0 +1,211 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace delirium {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kLet: return "'let'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kThen: return "'then'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kIterate: return "'iterate'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kResult: return "'result'";
+    case TokenKind::kDefine: return "'define'";
+    case TokenKind::kNull: return "'NULL'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kError: return "invalid token";
+  }
+  return "unknown";
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"let", TokenKind::kLet},         {"in", TokenKind::kIn},
+      {"if", TokenKind::kIf},           {"then", TokenKind::kThen},
+      {"else", TokenKind::kElse},       {"iterate", TokenKind::kIterate},
+      {"while", TokenKind::kWhile},     {"result", TokenKind::kResult},
+      {"define", TokenKind::kDefine},   {"NULL", TokenKind::kNull},
+  };
+  return table;
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+}  // namespace
+
+char Lexer::peek(uint32_t ahead) const {
+  const size_t i = static_cast<size_t>(pos_) + ahead;
+  return i < file_.text().size() ? file_.text()[i] : '\0';
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos_;
+    } else if (c == '-' && peek(1) == '-') {
+      while (!at_end() && peek() != '\n') ++pos_;
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind kind, uint32_t begin) {
+  Token t;
+  t.kind = kind;
+  t.range = SourceRange{SourceLoc{begin}, SourceLoc{pos_}};
+  t.text = file_.text().substr(begin, pos_ - begin);
+  return t;
+}
+
+Token Lexer::lex_number(uint32_t begin) {
+  while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+  bool is_float = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    uint32_t save = pos_;
+    ++pos_;
+    if (peek() == '+' || peek() == '-') ++pos_;
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      is_float = true;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      pos_ = save;  // 'e' begins an identifier, not an exponent
+    }
+  }
+  Token t = make(is_float ? TokenKind::kFloatLit : TokenKind::kIntLit, begin);
+  const char* first = t.text.data();
+  const char* last = t.text.data() + t.text.size();
+  if (is_float) {
+    t.float_value = std::strtod(std::string(t.text).c_str(), nullptr);
+  } else {
+    auto [ptr, ec] = std::from_chars(first, last, t.int_value);
+    if (ec != std::errc()) {
+      diags_.error(t.range, "integer literal out of range");
+      t.kind = TokenKind::kError;
+    }
+  }
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword(uint32_t begin) {
+  while (is_ident_char(peek())) ++pos_;
+  Token t = make(TokenKind::kIdent, begin);
+  auto it = keyword_table().find(t.text);
+  if (it != keyword_table().end()) t.kind = it->second;
+  return t;
+}
+
+Token Lexer::lex_string(uint32_t begin) {
+  ++pos_;  // opening quote
+  std::string value;
+  while (!at_end() && peek() != '"' && peek() != '\n') {
+    char c = peek();
+    if (c == '\\') {
+      ++pos_;
+      switch (peek()) {
+        case 'n': value.push_back('\n'); break;
+        case 't': value.push_back('\t'); break;
+        case '\\': value.push_back('\\'); break;
+        case '"': value.push_back('"'); break;
+        default:
+          diags_.error(SourceRange{SourceLoc{pos_}, SourceLoc{pos_ + 1}},
+                       "unknown escape sequence in string literal");
+          break;
+      }
+      ++pos_;
+    } else {
+      value.push_back(c);
+      ++pos_;
+    }
+  }
+  if (at_end() || peek() != '"') {
+    Token t = make(TokenKind::kError, begin);
+    diags_.error(t.range, "unterminated string literal");
+    return t;
+  }
+  ++pos_;  // closing quote
+  Token t = make(TokenKind::kStringLit, begin);
+  t.str_value = std::move(value);
+  return t;
+}
+
+Token Lexer::next_token() {
+  skip_trivia();
+  const uint32_t begin = pos_;
+  if (at_end()) return make(TokenKind::kEof, begin);
+  const char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(begin);
+  if (is_ident_start(c)) return lex_ident_or_keyword(begin);
+  if (c == '"') return lex_string(begin);
+  ++pos_;
+  switch (c) {
+    case '(': return make(TokenKind::kLParen, begin);
+    case ')': return make(TokenKind::kRParen, begin);
+    case '{': return make(TokenKind::kLBrace, begin);
+    case '}': return make(TokenKind::kRBrace, begin);
+    case '<': return make(TokenKind::kLAngle, begin);
+    case '>': return make(TokenKind::kRAngle, begin);
+    case ',': return make(TokenKind::kComma, begin);
+    case '=': return make(TokenKind::kEquals, begin);
+    case '-':
+      // Negative literals: '-' immediately followed by a digit. Delirium
+      // has no infix operators, so this is unambiguous.
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        Token t = lex_number(begin + 1);
+        t.range.begin = SourceLoc{begin};
+        t.text = file_.text().substr(begin, pos_ - begin);
+        t.int_value = -t.int_value;
+        t.float_value = -t.float_value;
+        return t;
+      }
+      break;
+    default: break;
+  }
+  Token t = make(TokenKind::kError, begin);
+  diags_.error(t.range, std::string("unexpected character '") + c + "'");
+  return t;
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token t = next_token();
+    const bool eof = t.is(TokenKind::kEof);
+    tokens.push_back(std::move(t));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+std::vector<Token> lex_string_to_tokens(const SourceFile& file, DiagnosticEngine& diags) {
+  return Lexer(file, diags).lex_all();
+}
+
+}  // namespace delirium

@@ -1,0 +1,41 @@
+// Hand-written lexer for Delirium. Produces the full token vector up
+// front; the input programs are small (coordination frameworks fit on a
+// page) so there is no need for streaming.
+#pragma once
+
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source.h"
+
+namespace delirium {
+
+class Lexer {
+ public:
+  Lexer(const SourceFile& file, DiagnosticEngine& diags) : file_(file), diags_(diags) {}
+
+  /// Lex the whole buffer. The result always ends with a kEof token.
+  /// Malformed input produces kError tokens plus diagnostics.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next_token();
+  Token make(TokenKind kind, uint32_t begin);
+  char peek(uint32_t ahead = 0) const;
+  bool at_end() const { return pos_ >= file_.text().size(); }
+  void skip_trivia();
+
+  Token lex_number(uint32_t begin);
+  Token lex_ident_or_keyword(uint32_t begin);
+  Token lex_string(uint32_t begin);
+
+  const SourceFile& file_;
+  DiagnosticEngine& diags_;
+  uint32_t pos_ = 0;
+};
+
+/// Convenience: lex a standalone string (used heavily in tests).
+std::vector<Token> lex_string_to_tokens(const SourceFile& file, DiagnosticEngine& diags);
+
+}  // namespace delirium

@@ -1,0 +1,198 @@
+#include "src/lang/macro.h"
+
+#include <unordered_set>
+
+namespace delirium {
+
+namespace {
+
+/// Recursive substitution with a scope stack of shadowed names.
+class Substituter {
+ public:
+  Substituter(const std::unordered_map<std::string, const Expr*>& subst, AstContext& ctx)
+      : subst_(subst), ctx_(ctx) {}
+
+  Expr* rewrite(const Expr* e) {
+    if (e == nullptr) return nullptr;
+    switch (e->kind) {
+      case ExprKind::kVar: {
+        if (!is_shadowed(e->str_value)) {
+          auto it = subst_.find(e->str_value);
+          if (it != subst_.end()) return ctx_.clone(it->second);
+        }
+        return ctx_.make_var(e->str_value, e->range);
+      }
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+      case ExprKind::kNullLit:
+        return ctx_.clone(e);
+      case ExprKind::kTuple: {
+        std::vector<Expr*> elems;
+        elems.reserve(e->args.size());
+        for (const Expr* a : e->args) elems.push_back(rewrite(a));
+        return ctx_.make_tuple(std::move(elems), e->range);
+      }
+      case ExprKind::kApply: {
+        Expr* callee = rewrite(e->callee);
+        std::vector<Expr*> args;
+        args.reserve(e->args.size());
+        for (const Expr* a : e->args) args.push_back(rewrite(a));
+        return ctx_.make_apply(callee, std::move(args), e->range);
+      }
+      case ExprKind::kIf:
+        return ctx_.make_if(rewrite(e->cond), rewrite(e->then_branch), rewrite(e->else_branch),
+                            e->range);
+      case ExprKind::kLet: {
+        // Bindings introduce names scoped over later bindings and the
+        // body (Delirium lets are sequential, like let* — the §5.1
+        // examples depend on earlier bindings in later ones).
+        std::vector<Binding> bindings;
+        bindings.reserve(e->bindings.size());
+        size_t pushed = 0;
+        for (const Binding& b : e->bindings) {
+          Binding nb = b;
+          if (b.kind == Binding::Kind::kFunction) {
+            // The function name is visible to its own body (recursion).
+            push_shadow(b.names[0]);
+            ++pushed;
+            for (const std::string& p : b.params) push_shadow(p);
+            nb.value = rewrite(b.value);
+            for (size_t i = 0; i < b.params.size(); ++i) pop_shadow();
+          } else {
+            nb.value = rewrite(b.value);
+            for (const std::string& n : b.names) {
+              push_shadow(n);
+              ++pushed;
+            }
+          }
+          bindings.push_back(std::move(nb));
+        }
+        Expr* body = rewrite(e->body);
+        for (size_t i = 0; i < pushed; ++i) pop_shadow();
+        return ctx_.make_let(std::move(bindings), body, e->range);
+      }
+      case ExprKind::kIterate: {
+        Expr* out = ctx_.make(ExprKind::kIterate, e->range);
+        out->result_name = e->result_name;
+        // Initializers are evaluated outside the loop-variable scope;
+        // steps and the condition see all loop variables.
+        std::vector<Expr*> inits;
+        inits.reserve(e->loop_vars.size());
+        for (const LoopVar& lv : e->loop_vars) inits.push_back(rewrite(lv.init));
+        for (const LoopVar& lv : e->loop_vars) push_shadow(lv.name);
+        for (size_t i = 0; i < e->loop_vars.size(); ++i) {
+          LoopVar nlv;
+          nlv.name = e->loop_vars[i].name;
+          nlv.range = e->loop_vars[i].range;
+          nlv.init = inits[i];
+          nlv.step = rewrite(e->loop_vars[i].step);
+          out->loop_vars.push_back(std::move(nlv));
+        }
+        out->cond = rewrite(e->cond);
+        for (size_t i = 0; i < e->loop_vars.size(); ++i) pop_shadow();
+        return out;
+      }
+    }
+    return ctx_.clone(e);
+  }
+
+ private:
+  bool is_shadowed(const std::string& name) const { return shadow_counts_.count(name) > 0; }
+  void push_shadow(const std::string& name) {
+    ++shadow_counts_[name];
+    shadow_stack_.push_back(name);
+  }
+  void pop_shadow() {
+    const std::string& name = shadow_stack_.back();
+    auto it = shadow_counts_.find(name);
+    if (--it->second == 0) shadow_counts_.erase(it);
+    shadow_stack_.pop_back();
+  }
+
+  const std::unordered_map<std::string, const Expr*>& subst_;
+  AstContext& ctx_;
+  std::unordered_map<std::string, int> shadow_counts_;
+  std::vector<std::string> shadow_stack_;
+};
+
+class MacroExpander {
+ public:
+  MacroExpander(Program& program, AstContext& ctx, DiagnosticEngine& diags)
+      : ctx_(ctx), diags_(diags) {
+    for (FuncDecl* m : program.macros) {
+      if (macros_.count(m->name) > 0) {
+        diags_.error(m->range, "duplicate macro definition '" + m->name + "'");
+        continue;
+      }
+      macros_[m->name] = m;
+    }
+  }
+
+  Expr* expand(const Expr* e, int depth) {
+    if (e == nullptr) return nullptr;
+    if (depth > kMaxDepth) {
+      diags_.error(e->range, "macro expansion too deep (recursive macro?)");
+      return ctx_.clone(e);
+    }
+    // Function-like macro call: NAME(args).
+    if (e->kind == ExprKind::kApply && e->callee != nullptr &&
+        e->callee->kind == ExprKind::kVar) {
+      auto it = macros_.find(e->callee->str_value);
+      if (it != macros_.end() && !it->second->params.empty()) {
+        const FuncDecl* m = it->second;
+        if (m->params.size() != e->args.size()) {
+          diags_.error(e->range, "macro '" + m->name + "' expects " +
+                                     std::to_string(m->params.size()) + " arguments, got " +
+                                     std::to_string(e->args.size()));
+          return ctx_.clone(e);
+        }
+        std::unordered_map<std::string, const Expr*> subst;
+        std::vector<Expr*> expanded_args;
+        expanded_args.reserve(e->args.size());
+        for (const Expr* a : e->args) expanded_args.push_back(expand(a, depth + 1));
+        for (size_t i = 0; i < m->params.size(); ++i) subst[m->params[i]] = expanded_args[i];
+        Expr* body = substitute(m->body, subst, ctx_);
+        return expand(body, depth + 1);
+      }
+    }
+    // Symbolic constant: bare NAME.
+    if (e->kind == ExprKind::kVar) {
+      auto it = macros_.find(e->str_value);
+      if (it != macros_.end() && it->second->params.empty()) {
+        return expand(it->second->body, depth + 1);
+      }
+    }
+    // Otherwise expand children structurally. Shallow clone: children
+    // are replaced below, so deep-copying them here would make the pass
+    // O(n * depth). Structural descent does not count toward the macro
+    // recursion limit — only actual expansions do.
+    Expr* out = ctx_.shallow_clone(e);
+    for_each_child_mut(out, [this, depth](Expr*& child) { child = expand(child, depth); });
+    return out;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  AstContext& ctx_;
+  DiagnosticEngine& diags_;
+  std::unordered_map<std::string, const FuncDecl*> macros_;
+};
+
+}  // namespace
+
+Expr* substitute(const Expr* e, const std::unordered_map<std::string, const Expr*>& subst,
+                 AstContext& ctx) {
+  return Substituter(subst, ctx).rewrite(e);
+}
+
+void expand_macros(Program& program, AstContext& ctx, DiagnosticEngine& diags) {
+  MacroExpander expander(program, ctx, diags);
+  for (FuncDecl* f : program.functions) {
+    f->body = expander.expand(f->body, 0);
+  }
+  program.macros.clear();
+}
+
+}  // namespace delirium

@@ -1,0 +1,30 @@
+// Macro expansion — the "Macro Expansion" pass of Table 1.
+//
+// `define NAME = expr` introduces a symbolic constant and
+// `define NAME(a, b) = expr` a function-like macro. Expansion happens on
+// the parsed tree: every use of a macro name is replaced by a clone of
+// the macro body with parameters substituted. Substitution is hygienic
+// with respect to shadowing (a let-bound or parameter name hides a macro
+// parameter of the same name inside the macro body).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "src/lang/ast.h"
+#include "src/support/diagnostics.h"
+
+namespace delirium {
+
+/// Expand all macros in `program` in place. On return,
+/// program.macros is cleared and program.functions contain no macro
+/// references. Reports errors (wrong arity, recursive macros) to diags.
+void expand_macros(Program& program, AstContext& ctx, DiagnosticEngine& diags);
+
+/// Substitute free occurrences of the given names in `e` by clones of the
+/// mapped expressions, respecting shadowing. Returns a new tree; `e` is
+/// not modified. Exposed for the inliner, which shares the machinery.
+Expr* substitute(const Expr* e, const std::unordered_map<std::string, const Expr*>& subst,
+                 AstContext& ctx);
+
+}  // namespace delirium

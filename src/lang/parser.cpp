@@ -1,0 +1,266 @@
+#include "src/lang/parser.h"
+
+#include <string>
+
+#include "src/lang/lexer.h"
+
+namespace delirium {
+
+const Token& Parser::peek(size_t ahead) const {
+  const size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (check(kind)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+const Token* Parser::expect(TokenKind kind, const char* context) {
+  if (check(kind)) return &advance();
+  diags_.error(peek().range, std::string("expected ") + token_kind_name(kind) + " " + context +
+                                 ", found " + token_kind_name(peek().kind));
+  return nullptr;
+}
+
+SourceRange Parser::range_from(SourceLoc begin) const {
+  SourceLoc end = pos_ > 0 ? tokens_[pos_ - 1].range.end : begin;
+  return SourceRange{begin, end};
+}
+
+Expr* Parser::error_expr(SourceRange range) { return ctx_.make_null(range); }
+
+Program Parser::parse_program() {
+  Program program;
+  while (!check(TokenKind::kEof)) {
+    if (check(TokenKind::kDefine)) {
+      if (FuncDecl* d = parse_define_decl()) program.macros.push_back(d);
+    } else if (check(TokenKind::kIdent)) {
+      if (FuncDecl* f = parse_function_decl()) program.functions.push_back(f);
+    } else {
+      diags_.error(peek().range, std::string("expected a function or 'define' at top level, found ") +
+                                     token_kind_name(peek().kind));
+      advance();  // guarantee progress
+    }
+  }
+  return program;
+}
+
+std::vector<std::string> Parser::parse_param_list() {
+  std::vector<std::string> params;
+  expect(TokenKind::kLParen, "before parameter list");
+  if (!check(TokenKind::kRParen)) {
+    do {
+      if (const Token* t = expect(TokenKind::kIdent, "in parameter list")) {
+        params.emplace_back(t->text);
+      } else {
+        break;
+      }
+    } while (match(TokenKind::kComma));
+  }
+  expect(TokenKind::kRParen, "after parameter list");
+  return params;
+}
+
+FuncDecl* Parser::parse_function_decl() {
+  const SourceLoc begin = peek().range.begin;
+  const Token* name = expect(TokenKind::kIdent, "as function name");
+  if (name == nullptr) return nullptr;
+  std::vector<std::string> params = parse_param_list();
+  Expr* body = parse_expr();
+  return ctx_.make_func(std::string(name->text), std::move(params), body, range_from(begin));
+}
+
+FuncDecl* Parser::parse_define_decl() {
+  const SourceLoc begin = peek().range.begin;
+  expect(TokenKind::kDefine, "at start of define");
+  const Token* name = expect(TokenKind::kIdent, "as macro name");
+  if (name == nullptr) return nullptr;
+  std::vector<std::string> params;
+  if (check(TokenKind::kLParen)) params = parse_param_list();
+  match(TokenKind::kEquals);  // '=' is conventional but optional
+  Expr* body = parse_expr();
+  FuncDecl* d =
+      ctx_.make_func(std::string(name->text), std::move(params), body, range_from(begin));
+  d->is_macro = true;
+  return d;
+}
+
+Expr* Parser::parse_expr() {
+  switch (peek().kind) {
+    case TokenKind::kLet: return parse_let();
+    case TokenKind::kIf: return parse_if();
+    case TokenKind::kIterate: return parse_iterate();
+    default: return parse_application();
+  }
+}
+
+Binding Parser::parse_binding() {
+  Binding b;
+  const SourceLoc begin = peek().range.begin;
+  if (check(TokenKind::kLAngle)) {
+    // <a, b, c> = expr
+    advance();
+    b.kind = Binding::Kind::kDecompose;
+    do {
+      if (const Token* t = expect(TokenKind::kIdent, "in decomposition binding")) {
+        b.names.emplace_back(t->text);
+      } else {
+        break;
+      }
+    } while (match(TokenKind::kComma));
+    expect(TokenKind::kRAngle, "after decomposition names");
+    expect(TokenKind::kEquals, "in decomposition binding");
+    b.value = parse_expr();
+  } else {
+    const Token* name = expect(TokenKind::kIdent, "at start of binding");
+    if (name == nullptr) {
+      b.kind = Binding::Kind::kValue;
+      b.names.emplace_back("<error>");
+      b.value = error_expr(peek().range);
+      if (!check(TokenKind::kEof)) advance();
+      return b;
+    }
+    b.names.emplace_back(name->text);
+    if (check(TokenKind::kLParen)) {
+      // Local function definition: name(params) body
+      b.kind = Binding::Kind::kFunction;
+      b.params = parse_param_list();
+      b.value = parse_expr();
+    } else {
+      b.kind = Binding::Kind::kValue;
+      expect(TokenKind::kEquals, "in binding");
+      b.value = parse_expr();
+    }
+  }
+  b.range = range_from(begin);
+  return b;
+}
+
+Expr* Parser::parse_let() {
+  const SourceLoc begin = peek().range.begin;
+  expect(TokenKind::kLet, "at start of let");
+  std::vector<Binding> bindings;
+  while (!check(TokenKind::kIn) && !check(TokenKind::kEof)) {
+    bindings.push_back(parse_binding());
+    if (bindings.back().value == nullptr) break;
+  }
+  expect(TokenKind::kIn, "after let bindings");
+  Expr* body = parse_expr();
+  return ctx_.make_let(std::move(bindings), body, range_from(begin));
+}
+
+Expr* Parser::parse_if() {
+  const SourceLoc begin = peek().range.begin;
+  expect(TokenKind::kIf, "at start of conditional");
+  Expr* cond = parse_expr();
+  expect(TokenKind::kThen, "in conditional");
+  Expr* then_branch = parse_expr();
+  expect(TokenKind::kElse, "in conditional");
+  Expr* else_branch = parse_expr();
+  return ctx_.make_if(cond, then_branch, else_branch, range_from(begin));
+}
+
+Expr* Parser::parse_iterate() {
+  const SourceLoc begin = peek().range.begin;
+  expect(TokenKind::kIterate, "at start of iterate");
+  expect(TokenKind::kLBrace, "after 'iterate'");
+  Expr* e = ctx_.make(ExprKind::kIterate, {});
+  while (check(TokenKind::kIdent)) {
+    LoopVar lv;
+    const SourceLoc lv_begin = peek().range.begin;
+    lv.name = std::string(advance().text);
+    expect(TokenKind::kEquals, "in iterate loop variable");
+    lv.init = parse_expr();
+    expect(TokenKind::kComma, "between loop-variable initializer and step");
+    lv.step = parse_expr();
+    lv.range = range_from(lv_begin);
+    e->loop_vars.push_back(std::move(lv));
+    // A loop variable ends when the next token is '}' or another
+    // `IDENT =` pair. An optional comma may separate loop variables.
+    match(TokenKind::kComma);
+  }
+  expect(TokenKind::kRBrace, "after iterate loop variables");
+  expect(TokenKind::kWhile, "after iterate body");
+  e->cond = parse_expr();
+  match(TokenKind::kComma);
+  expect(TokenKind::kResult, "in iterate");
+  if (const Token* t = expect(TokenKind::kIdent, "after 'result'")) {
+    e->result_name = std::string(t->text);
+  }
+  e->range = range_from(begin);
+  if (e->loop_vars.empty()) {
+    diags_.error(e->range, "iterate requires at least one loop variable");
+  }
+  return e;
+}
+
+Expr* Parser::parse_application() {
+  Expr* e = parse_primary();
+  while (check(TokenKind::kLParen)) {
+    const SourceLoc begin = e->range.begin;
+    advance();
+    std::vector<Expr*> args;
+    if (!check(TokenKind::kRParen)) {
+      do {
+        args.push_back(parse_expr());
+      } while (match(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "after argument list");
+    e = ctx_.make_apply(e, std::move(args), range_from(begin));
+  }
+  return e;
+}
+
+Expr* Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::kIntLit: advance(); return ctx_.make_int(t.int_value, t.range);
+    case TokenKind::kFloatLit: advance(); return ctx_.make_float(t.float_value, t.range);
+    case TokenKind::kStringLit: advance(); return ctx_.make_string(t.str_value, t.range);
+    case TokenKind::kNull: advance(); return ctx_.make_null(t.range);
+    case TokenKind::kIdent: advance(); return ctx_.make_var(std::string(t.text), t.range);
+    case TokenKind::kLParen: {
+      advance();
+      Expr* inner = parse_expr();
+      expect(TokenKind::kRParen, "after parenthesized expression");
+      return inner;
+    }
+    case TokenKind::kLAngle: {
+      const SourceLoc begin = t.range.begin;
+      advance();
+      std::vector<Expr*> elems;
+      if (!check(TokenKind::kRAngle)) {
+        do {
+          elems.push_back(parse_expr());
+        } while (match(TokenKind::kComma));
+      }
+      expect(TokenKind::kRAngle, "after multiple-value elements");
+      return ctx_.make_tuple(std::move(elems), range_from(begin));
+    }
+    default:
+      diags_.error(t.range,
+                   std::string("expected an expression, found ") + token_kind_name(t.kind));
+      if (!check(TokenKind::kEof)) advance();
+      return error_expr(t.range);
+  }
+}
+
+Expr* Parser::parse_single_expr() { return parse_expr(); }
+
+Program parse_source(const SourceFile& file, AstContext& ctx, DiagnosticEngine& diags) {
+  Lexer lexer(file, diags);
+  Parser parser(lexer.lex_all(), ctx, diags);
+  return parser.parse_program();
+}
+
+}  // namespace delirium

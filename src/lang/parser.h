@@ -1,0 +1,71 @@
+// Recursive-descent parser for Delirium.
+//
+// Grammar (the paper's six constructs):
+//   program   := (function | define)*
+//   define    := 'define' IDENT ('(' params ')')? '='? expr
+//   function  := IDENT '(' params? ')' expr
+//   expr      := letexpr | ifexpr | iterexpr | appexpr
+//   letexpr   := 'let' binding+ 'in' expr
+//   binding   := IDENT '=' expr
+//              | '<' IDENT (',' IDENT)* '>' '=' expr
+//              | IDENT '(' params? ')' expr            (local function)
+//   ifexpr    := 'if' expr 'then' expr 'else' expr
+//   iterexpr  := 'iterate' '{' loopvar+ '}' 'while' expr ','? 'result' IDENT
+//   loopvar   := IDENT '=' expr ',' expr               (init, step)
+//   appexpr   := primary ('(' args? ')')*
+//   primary   := INT | FLOAT | STRING | 'NULL' | IDENT
+//              | '(' expr ')' | '<' args '>'
+#pragma once
+
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/token.h"
+#include "src/support/diagnostics.h"
+
+namespace delirium {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, AstContext& ctx, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), ctx_(ctx), diags_(diags) {}
+
+  /// Parse the whole token stream into a Program. Errors are reported to
+  /// the DiagnosticEngine; the returned Program may be partial.
+  Program parse_program();
+
+  /// Parse a single expression (used by tests and the macro system).
+  Expr* parse_single_expr();
+
+ private:
+  const Token& peek(size_t ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const { return peek().is(kind); }
+  bool match(TokenKind kind);
+  const Token* expect(TokenKind kind, const char* context);
+  SourceRange range_from(SourceLoc begin) const;
+
+  FuncDecl* parse_function_decl();
+  FuncDecl* parse_define_decl();
+  std::vector<std::string> parse_param_list();
+
+  Expr* parse_expr();
+  Expr* parse_let();
+  Expr* parse_if();
+  Expr* parse_iterate();
+  Expr* parse_application();
+  Expr* parse_primary();
+  Binding parse_binding();
+
+  Expr* error_expr(SourceRange range);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  AstContext& ctx_;
+  DiagnosticEngine& diags_;
+};
+
+/// Convenience front end: lex + parse a buffer.
+Program parse_source(const SourceFile& file, AstContext& ctx, DiagnosticEngine& diags);
+
+}  // namespace delirium

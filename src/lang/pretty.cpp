@@ -1,0 +1,189 @@
+#include "src/lang/pretty.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace delirium {
+
+namespace {
+
+void newline(std::ostream& os, int indent) {
+  os << '\n';
+  for (int i = 0; i < indent; ++i) os << ' ';
+}
+
+void print_string_lit(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      default: os << c; break;
+    }
+  }
+  os << '"';
+}
+
+void print_float(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  std::string s = tmp.str();
+  // Guarantee the literal re-lexes as a float, not an int.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  os << s;
+}
+
+}  // namespace
+
+void print_expr(std::ostream& os, const Expr* e, int indent) {
+  if (e == nullptr) {
+    os << "NULL";
+    return;
+  }
+  switch (e->kind) {
+    case ExprKind::kIntLit: os << e->int_value; break;
+    case ExprKind::kFloatLit: print_float(os, e->float_value); break;
+    case ExprKind::kStringLit: print_string_lit(os, e->str_value); break;
+    case ExprKind::kNullLit: os << "NULL"; break;
+    case ExprKind::kVar: os << e->str_value; break;
+    case ExprKind::kTuple: {
+      os << '<';
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr(os, e->args[i], indent);
+      }
+      os << '>';
+      break;
+    }
+    case ExprKind::kApply: {
+      const bool simple_callee = e->callee != nullptr && e->callee->kind == ExprKind::kVar;
+      if (!simple_callee) os << '(';
+      print_expr(os, e->callee, indent);
+      if (!simple_callee) os << ')';
+      os << '(';
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr(os, e->args[i], indent);
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kLet: {
+      os << "let";
+      for (const Binding& b : e->bindings) {
+        newline(os, indent + 4);
+        switch (b.kind) {
+          case Binding::Kind::kValue:
+            os << b.names[0] << " = ";
+            print_expr(os, b.value, indent + 4);
+            break;
+          case Binding::Kind::kDecompose:
+            os << '<';
+            for (size_t i = 0; i < b.names.size(); ++i) {
+              if (i > 0) os << ", ";
+              os << b.names[i];
+            }
+            os << "> = ";
+            print_expr(os, b.value, indent + 4);
+            break;
+          case Binding::Kind::kFunction:
+            os << b.names[0] << '(';
+            for (size_t i = 0; i < b.params.size(); ++i) {
+              if (i > 0) os << ", ";
+              os << b.params[i];
+            }
+            os << ") ";
+            print_expr(os, b.value, indent + 4);
+            break;
+        }
+      }
+      newline(os, indent + 2);
+      os << "in ";
+      print_expr(os, e->body, indent + 2);
+      break;
+    }
+    case ExprKind::kIf: {
+      os << "if ";
+      print_expr(os, e->cond, indent);
+      newline(os, indent + 2);
+      os << "then ";
+      print_expr(os, e->then_branch, indent + 2);
+      newline(os, indent + 2);
+      os << "else ";
+      print_expr(os, e->else_branch, indent + 2);
+      break;
+    }
+    case ExprKind::kIterate: {
+      os << "iterate {";
+      for (const LoopVar& lv : e->loop_vars) {
+        newline(os, indent + 4);
+        os << lv.name << " = ";
+        print_expr(os, lv.init, indent + 4);
+        os << ", ";
+        print_expr(os, lv.step, indent + 4);
+      }
+      newline(os, indent + 2);
+      os << "} while ";
+      print_expr(os, e->cond, indent + 2);
+      os << ", result " << e->result_name;
+      break;
+    }
+  }
+}
+
+void print_function(std::ostream& os, const FuncDecl* f) {
+  if (f->is_macro) {
+    os << "define " << f->name;
+    if (!f->params.empty()) {
+      os << '(';
+      for (size_t i = 0; i < f->params.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << f->params[i];
+      }
+      os << ')';
+    }
+    os << " = ";
+    print_expr(os, f->body, 2);
+    os << '\n';
+    return;
+  }
+  os << f->name << '(';
+  for (size_t i = 0; i < f->params.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << f->params[i];
+  }
+  os << ")\n  ";
+  print_expr(os, f->body, 2);
+  os << '\n';
+}
+
+void print_program(std::ostream& os, const Program& program) {
+  for (const FuncDecl* m : program.macros) {
+    print_function(os, m);
+    os << '\n';
+  }
+  for (const FuncDecl* f : program.functions) {
+    print_function(os, f);
+    os << '\n';
+  }
+}
+
+std::string expr_to_string(const Expr* e) {
+  std::ostringstream os;
+  print_expr(os, e);
+  return os.str();
+}
+
+std::string program_to_string(const Program& program) {
+  std::ostringstream os;
+  print_program(os, program);
+  return os.str();
+}
+
+}  // namespace delirium

@@ -1,0 +1,20 @@
+// Pretty-printer for Delirium ASTs. Output round-trips through the
+// parser (parse(print(tree)) is structurally equal to tree), which the
+// test suite checks property-style on generated programs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace delirium {
+
+void print_expr(std::ostream& os, const Expr* e, int indent = 0);
+void print_function(std::ostream& os, const FuncDecl* f);
+void print_program(std::ostream& os, const Program& program);
+
+std::string expr_to_string(const Expr* e);
+std::string program_to_string(const Program& program);
+
+}  // namespace delirium

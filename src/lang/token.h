@@ -1,0 +1,59 @@
+// Token definitions for the Delirium coordination language.
+//
+// The surface language is tiny (the paper lists six constructs): atomic
+// values, multiple-value packages, let bindings, conditionals, iteration,
+// and application. The token set mirrors that economy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/source.h"
+
+namespace delirium {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  // Keywords.
+  kLet,
+  kIn,
+  kIf,
+  kThen,
+  kElse,
+  kIterate,
+  kWhile,
+  kResult,
+  kDefine,
+  kNull,
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLAngle,
+  kRAngle,
+  kComma,
+  kEquals,
+  kError,
+};
+
+/// Printable name of a token kind, for diagnostics ("expected ')'").
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceRange range;
+  std::string_view text;   // view into the SourceFile buffer
+  int64_t int_value = 0;   // kIntLit
+  double float_value = 0;  // kFloatLit
+  std::string str_value;   // kStringLit, with escapes resolved
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace delirium

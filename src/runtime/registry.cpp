@@ -1,0 +1,31 @@
+#include "src/runtime/registry.h"
+
+#include <stdexcept>
+
+namespace delirium {
+
+OperatorRegistry::Entry OperatorRegistry::add(std::string name, int arity, OperatorFn fn) {
+  if (by_name_.count(name) > 0) {
+    throw std::invalid_argument("operator '" + name + "' registered twice");
+  }
+  auto def = std::make_unique<OperatorDef>();
+  def->info.name = name;
+  def->info.arity = arity;
+  def->fn = std::move(fn);
+  OperatorDef* raw = def.get();
+  by_name_[name] = static_cast<int>(defs_.size());
+  defs_.push_back(std::move(def));
+  return Entry(raw);
+}
+
+const OperatorInfo* OperatorRegistry::lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &defs_[it->second]->info;
+}
+
+int OperatorRegistry::index_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+}  // namespace delirium

@@ -1,0 +1,148 @@
+// Operator registry: the embedding interface.
+//
+// An operator is an encapsulated sequential sub-computation (C/Fortran in
+// the paper; any C++ callable here) with a unique entry and exit point.
+// The only extra coding requirement the model imposes (§2.1) is that an
+// operator state explicitly whether it might destructively modify each of
+// its arguments — the runtime uses these annotations to enforce
+// determinism through reference counting and copy-on-write.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/value.h"
+#include "src/sema/operator_table.h"
+
+namespace delirium {
+
+class OpContext;
+struct OperatorDef;
+
+using OperatorFn = std::function<Value(OpContext&)>;
+
+struct OperatorDef {
+  OperatorInfo info;              // name, arity, variadic, pure, folder
+  std::vector<bool> destructive;  // per-argument write-access declaration
+  OperatorFn fn;
+
+  bool is_destructive(size_t arg) const {
+    return arg < destructive.size() && destructive[arg];
+  }
+};
+
+/// Handed to an operator on invocation: argument access (with CoW for
+/// declared-destructive block arguments) and execution context.
+class OpContext {
+ public:
+  OpContext(const OperatorDef& def, std::span<Value> args, int worker)
+      : def_(def), args_(args), worker_(worker) {}
+
+  size_t arg_count() const { return args_.size(); }
+  const Value& arg(size_t i) const { return checked(i); }
+  /// Move an argument out (cheap; use for pass-through results).
+  Value take(size_t i) { return std::move(checked(i)); }
+
+  int64_t arg_int(size_t i) const { return checked(i).as_int(); }
+  double arg_float(size_t i) const { return checked(i).as_float(); }
+  const std::string& arg_string(size_t i) const { return checked(i).as_string(); }
+
+  template <typename T>
+  const T& arg_block(size_t i) const {
+    return checked(i).block_as<T>();
+  }
+
+  /// Mutable block access. Requires that the operator declared
+  /// destructive access to argument `i`; performs copy-on-write when the
+  /// block is shared.
+  template <typename T>
+  T& arg_block_mut(size_t i) {
+    if (!def_.is_destructive(i)) {
+      throw RuntimeError("operator '" + def_.info.name + "' did not declare destructive access to argument " +
+                         std::to_string(i));
+    }
+    bool copied = false;
+    T& data = checked(i).block_mut<T>(&copied);
+    if (copied) ++cow_copies_;
+    return data;
+  }
+
+  /// Worker executing this operator (0-based); useful for diagnostics.
+  int worker_id() const { return worker_; }
+
+  /// Number of copy-on-write block copies triggered by this invocation.
+  uint64_t cow_copies() const { return cow_copies_; }
+
+ private:
+  Value& checked(size_t i) const {
+    if (i >= args_.size()) {
+      throw RuntimeError("operator '" + def_.info.name + "': argument index " +
+                         std::to_string(i) + " out of range");
+    }
+    return args_[i];
+  }
+
+  const OperatorDef& def_;
+  std::span<Value> args_;
+  int worker_;
+  uint64_t cow_copies_ = 0;
+};
+
+/// The operator registry: the compile-time OperatorTable and the runtime
+/// dispatch table in one. Operators are registered with a fluent builder:
+///
+///   registry.add("convolve", 2, fn).pure();
+///   registry.add("post_up", 5, fn).destructive(0);
+class OperatorRegistry final : public OperatorTable {
+ public:
+  class Entry {
+   public:
+    explicit Entry(OperatorDef* def) : def_(def) {}
+    Entry& pure() {
+      def_->info.pure = true;
+      return *this;
+    }
+    Entry& fold(ConstFolder folder) {
+      def_->info.fold = std::move(folder);
+      return *this;
+    }
+    Entry& destructive(size_t arg) {
+      if (def_->destructive.size() <= arg) def_->destructive.resize(arg + 1, false);
+      def_->destructive[arg] = true;
+      return *this;
+    }
+    Entry& variadic() {
+      def_->info.variadic = true;
+      return *this;
+    }
+
+   private:
+    OperatorDef* def_;
+  };
+
+  /// Register an operator. Throws std::invalid_argument on duplicates.
+  Entry add(std::string name, int arity, OperatorFn fn);
+
+  size_t size() const { return defs_.size(); }
+  const OperatorDef& at(size_t index) const { return *defs_[index]; }
+
+  // OperatorTable:
+  const OperatorInfo* lookup(const std::string& name) const override;
+  int index_of(const std::string& name) const override;
+
+ private:
+  std::vector<std::unique_ptr<OperatorDef>> defs_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+/// Register the built-in convenience operators (arithmetic, comparison,
+/// logic, string, conversion, print). All pure except print. The paper's
+/// examples use names like incr / is_equal / is_not_equal; these are
+/// provided here so coordination frameworks need no boilerplate.
+void register_builtin_operators(OperatorRegistry& registry);
+
+}  // namespace delirium

@@ -1,0 +1,598 @@
+#include "src/runtime/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace delirium {
+
+// ---------------------------------------------------------------------------
+// Activation & run state
+// ---------------------------------------------------------------------------
+
+/// A template activation (§7): a pointer back to the template plus enough
+/// buffer space to evaluate the subgraph once. The tree of activations is
+/// the parallel generalization of the sequential call stack. Lifetime is
+/// managed by shared ownership: the ready queue and child activations
+/// (through their continuation) keep an activation alive exactly as long
+/// as it can still be referenced.
+struct Runtime::Activation {
+  Activation(Runtime* rt_in, const CompiledProgram* program_in, const Template* tmpl_in,
+             RunState* run_in)
+      : rt(rt_in), program(program_in), tmpl(tmpl_in), run(run_in),
+        slots(tmpl_in->value_slots),
+        pending(std::make_unique<std::atomic<int32_t>[]>(tmpl_in->nodes.size())) {
+    for (size_t i = 0; i < tmpl->nodes.size(); ++i) {
+      pending[i].store(tmpl->nodes[i].num_inputs, std::memory_order_relaxed);
+    }
+    rt->activations_created_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t live = rt->live_activations_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t peak = rt->peak_live_activations_.load(std::memory_order_relaxed);
+    while (static_cast<uint64_t>(live) > peak &&
+           !rt->peak_live_activations_.compare_exchange_weak(peak, static_cast<uint64_t>(live),
+                                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  ~Activation() { rt->live_activations_.fetch_sub(1, std::memory_order_relaxed); }
+
+  Runtime* rt;
+  const CompiledProgram* program;
+  const Template* tmpl;
+  RunState* run;
+  std::vector<Value> slots;
+  std::unique_ptr<std::atomic<int32_t>[]> pending;
+  /// Continuation: where this activation's result goes. When `collector`
+  /// is set the result joins a parmap package instead; otherwise a null
+  /// cont_act means "the final result of the run".
+  std::shared_ptr<Activation> cont_act;
+  uint32_t cont_node = 0;
+  std::shared_ptr<ParMapCollector> collector;
+  uint32_t collector_index = 0;
+};
+
+/// Join object for kParMap (§9.2 dynamic parallelism): one child
+/// activation per package element; the last returning child assembles
+/// the result package and forwards it to the parmap's continuation.
+struct Runtime::ParMapCollector {
+  std::vector<Value> results;           // one slot per element
+  std::atomic<int> remaining{0};
+  std::shared_ptr<Activation> cont_act;  // null -> the run's final result
+  uint32_t cont_node = 0;
+};
+
+struct Runtime::RunState {
+  const CompiledProgram* program = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool have_result = false;
+  Value result;
+  std::exception_ptr error;
+  std::atomic<bool> cancelled{false};
+  /// Queued + executing work items. The run is complete when this drains
+  /// to zero: every enqueue increments, every completed execution
+  /// decrements, and an executing item performs all of its enqueues
+  /// before its own decrement.
+  std::atomic<int64_t> outstanding{0};
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
+    : registry_(registry), config_(config) {
+  int n = config_.num_workers;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  config_.num_workers = n;
+  local_queues_.resize(n);
+  worker_data_.resize(n);
+  op_last_worker_ = std::vector<std::atomic<int>>(registry.size());
+  for (auto& a : op_last_worker_) a.store(-1, std::memory_order_relaxed);
+  workers_.reserve(n);
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    stopping_ = true;
+  }
+  sched_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void Runtime::schedule_node(const std::shared_ptr<Activation>& act, uint32_t node) {
+  const Node& n = act->tmpl->nodes[node];
+  const int priority =
+      config_.use_priorities ? static_cast<int>(n.priority) : 0;
+
+  // Affinity (§9.3): choose a preferred worker, if any.
+  int target = -1;
+  if (config_.affinity == AffinityMode::kOperator && n.kind == NodeKind::kOperator &&
+      n.op_index >= 0) {
+    target = op_last_worker_[n.op_index].load(std::memory_order_relaxed);
+  } else if (config_.affinity == AffinityMode::kData && n.kind == NodeKind::kOperator) {
+    size_t best_bytes = 0;
+    for (uint16_t i = 0; i < n.num_inputs; ++i) {
+      const Value& v = act->slots[n.input_offset + i];
+      if (v.kind() == Value::Kind::kBlock) {
+        const auto& blk = v.block_ptr();
+        const size_t bytes = blk->byte_size();
+        const int home = blk->home_worker.load(std::memory_order_relaxed);
+        if (home >= 0 && bytes > best_bytes) {
+          best_bytes = bytes;
+          target = home;
+        }
+      }
+    }
+  }
+  if (target >= static_cast<int>(local_queues_.size())) target = -1;
+
+  act->run->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (target >= 0) {
+      local_queues_[target][priority].push_back(WorkItem{act, node});
+    } else {
+      global_queue_[priority].push_back(WorkItem{act, node});
+    }
+    ++queued_total_;
+  }
+  sched_cv_.notify_one();
+}
+
+bool Runtime::pop_item(int worker, WorkItem& out) {
+  // Priority-major: a higher-priority item anywhere beats a lower-priority
+  // one here. Within a level: own queue, then global, then steal.
+  for (int pri = 0; pri < 3; ++pri) {
+    auto& own = local_queues_[worker][pri];
+    if (!own.empty()) {
+      out = std::move(own.front());
+      own.pop_front();
+      return true;
+    }
+    if (!global_queue_[pri].empty()) {
+      out = std::move(global_queue_[pri].front());
+      global_queue_[pri].pop_front();
+      return true;
+    }
+    for (size_t other = 0; other < local_queues_.size(); ++other) {
+      auto& q = local_queues_[other][pri];
+      if (!q.empty()) {
+        out = std::move(q.front());
+        q.pop_front();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Runtime::worker_loop(int worker) {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock, [this] { return stopping_ || queued_total_ > 0; });
+      if (stopping_) return;
+      if (!pop_item(worker, item)) continue;
+      --queued_total_;
+    }
+    execute(item, worker);
+    item.act.reset();  // release before the next blocking wait
+  }
+}
+
+void Runtime::execute(const WorkItem& item, int worker) {
+  RunState* rs = item.act->run;
+  if (!rs->cancelled.load(std::memory_order_relaxed)) {
+    try {
+      execute_node(item, worker);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(rs->mu);
+        if (!rs->error) rs->error = std::current_exception();
+      }
+      rs->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (rs->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    rs->cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow
+// ---------------------------------------------------------------------------
+
+void Runtime::deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v) {
+  const Node& n = act->tmpl->nodes[node];
+  const size_t k = n.consumers.size();
+
+  // Decomposition fast path: kTupleGet consumers receive their element
+  // directly, and the package itself is released *before* any element is
+  // forwarded. This keeps reference counts exact, so an operator with
+  // destructive access to an element does not see a transient count from
+  // the package and copy needlessly.
+  bool any_get = false;
+  for (const PortRef& c : n.consumers) {
+    any_get = any_get || act->tmpl->nodes[c.node].kind == NodeKind::kTupleGet;
+  }
+  if (any_get) {
+    const MultiValue& mv = v.as_tuple();  // throws if not a package
+    std::vector<std::pair<uint32_t, Value>> extracted;
+    for (size_t i = 0; i < k; ++i) {
+      const PortRef& c = n.consumers[i];
+      const Node& consumer = act->tmpl->nodes[c.node];
+      if (consumer.kind == NodeKind::kTupleGet) {
+        if (consumer.tuple_index >= mv.elems.size()) {
+          throw RuntimeError("decomposition in '" + act->tmpl->name + "' needs element " +
+                             std::to_string(consumer.tuple_index) + " of a " +
+                             std::to_string(mv.elems.size()) + "-element package");
+        }
+        extracted.emplace_back(c.node, mv.elems[consumer.tuple_index]);
+      } else {
+        act->slots[consumer.input_offset + c.port] = v;
+        if (act->pending[c.node].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          schedule_node(act, c.node);
+        }
+      }
+    }
+    v = Value();  // drop the package before forwarding elements
+    for (auto& [get_node, element] : extracted) {
+      deliver(act, get_node, std::move(element));
+    }
+    return;
+  }
+
+  for (size_t i = 0; i < k; ++i) {
+    const PortRef& c = n.consumers[i];
+    const Node& consumer = act->tmpl->nodes[c.node];
+    Value copy = (i + 1 == k) ? std::move(v) : v;
+    act->slots[consumer.input_offset + c.port] = std::move(copy);
+    if (act->pending[c.node].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      schedule_node(act, c.node);
+    }
+  }
+  // k == 0: the value has no consumers (e.g. an unused binding when
+  // optimization is off) and is simply dropped.
+}
+
+std::shared_ptr<Runtime::Activation> Runtime::spawn(const CompiledProgram& program,
+                                                    const Template* tmpl,
+                                                    std::vector<Value> params,
+                                                    std::shared_ptr<Activation> cont_act,
+                                                    uint32_t cont_node, RunState* run,
+                                                    std::shared_ptr<ParMapCollector> collector,
+                                                    uint32_t collector_index) {
+  if (params.size() != tmpl->num_params) {
+    throw RuntimeError("activation of '" + tmpl->name + "' expects " +
+                       std::to_string(tmpl->num_params) + " values, got " +
+                       std::to_string(params.size()));
+  }
+  auto act = std::make_shared<Activation>(this, &program, tmpl, run);
+  act->cont_act = std::move(cont_act);
+  act->cont_node = cont_node;
+  act->collector = std::move(collector);
+  act->collector_index = collector_index;
+  for (uint32_t i = 0; i < tmpl->nodes.size(); ++i) {
+    const Node& n = tmpl->nodes[i];
+    switch (n.kind) {
+      case NodeKind::kConst:
+        deliver(act, i, Value::from_const(n.literal));
+        break;
+      case NodeKind::kParam:
+        deliver(act, i, std::move(params[n.param_index]));
+        break;
+      default:
+        if (n.num_inputs == 0) schedule_node(act, i);
+        break;
+    }
+  }
+  return act;
+}
+
+void Runtime::spawn_child(const WorkItem& item, const Template* target,
+                          std::vector<Value> params) {
+  const Node& n = item.act->tmpl->nodes[item.node];
+  if (n.is_tail && config_.enable_tail_calls) {
+    // Tail call: forward the *whole* continuation — including a parmap
+    // collector, if this activation's result was to join one. This
+    // activation can retire as soon as its remaining nodes finish (§7's
+    // early activation reuse).
+    spawn(*item.act->program, target, std::move(params), item.act->cont_act,
+          item.act->cont_node, item.act->run, item.act->collector,
+          item.act->collector_index);
+  } else {
+    spawn(*item.act->program, target, std::move(params), item.act, item.node,
+          item.act->run);
+  }
+}
+
+void Runtime::apply_numa_penalties(std::vector<Value>& args, int worker) {
+  for (Value& v : args) {
+    if (v.kind() != Value::Kind::kBlock) continue;
+    BlockBase& blk = *v.block_ptr();
+    const int home = blk.home_worker.load(std::memory_order_relaxed);
+    if (home >= 0 && home != worker) {
+      const int64_t kb = static_cast<int64_t>(blk.byte_size() / 1024) + 1;
+      const int64_t penalty_ns = config_.remote_penalty_ns_per_kb * kb;
+      const Ticks until = now_ticks() + penalty_ns;
+      while (now_ticks() < until) {
+        // Busy wait: models the stall of pulling a remote block across the
+        // interconnect (Butterfly-style NUMA).
+      }
+      remote_block_moves_.fetch_add(1, std::memory_order_relaxed);
+    }
+    blk.home_worker.store(worker, std::memory_order_relaxed);
+  }
+}
+
+void Runtime::execute_node(const WorkItem& item, int worker) {
+  Activation& act = *item.act;
+  const Node& n = act.tmpl->nodes[item.node];
+  nodes_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  auto take_input = [&](uint16_t port) -> Value {
+    return std::move(act.slots[n.input_offset + port]);
+  };
+  auto take_all_inputs = [&]() {
+    std::vector<Value> values;
+    values.reserve(n.num_inputs);
+    for (uint16_t i = 0; i < n.num_inputs; ++i) values.push_back(take_input(i));
+    return values;
+  };
+
+  switch (n.kind) {
+    case NodeKind::kConst:
+    case NodeKind::kParam:
+      // Seeded at spawn; never queued.
+      assert(false && "const/param nodes are never scheduled");
+      break;
+
+    case NodeKind::kOperator: {
+      const OperatorDef& def = registry_.at(static_cast<size_t>(n.op_index));
+      std::vector<Value> args = take_all_inputs();
+      if (config_.remote_penalty_ns_per_kb > 0) apply_numa_penalties(args, worker);
+      operator_invocations_.fetch_add(1, std::memory_order_relaxed);
+      const bool timing = config_.enable_node_timing;
+      const Ticks t0 = timing ? now_ticks() : 0;
+      OpContext ctx(def, std::span<Value>(args), worker);
+      Value result = def.fn(ctx);
+      if (timing) {
+        const Ticks dt = now_ticks() - t0;
+        operator_ticks_.fetch_add(dt, std::memory_order_relaxed);
+        worker_data_[worker].timings.push_back(
+            NodeTiming{n.op_name, act.tmpl->name, dt,
+                       worker, timing_seq_.fetch_add(1, std::memory_order_relaxed)});
+      }
+      cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
+      if (config_.affinity == AffinityMode::kOperator && n.op_index >= 0) {
+        op_last_worker_[n.op_index].store(worker, std::memory_order_relaxed);
+      }
+      if (result.kind() == Value::Kind::kBlock) {
+        result.block_ptr()->home_worker.store(worker, std::memory_order_relaxed);
+      }
+      deliver(item.act, item.node, std::move(result));
+      break;
+    }
+
+    case NodeKind::kTupleMake:
+      deliver(item.act, item.node, Value::tuple(take_all_inputs()));
+      break;
+
+    case NodeKind::kTupleGet:
+      // Decomposition is handled eagerly in deliver(); a kTupleGet node is
+      // never scheduled.
+      throw RuntimeError("internal: kTupleGet node reached the ready queue");
+
+    case NodeKind::kMakeClosure: {
+      const Template* target = act.program->templates[n.target_template].get();
+      deliver(item.act, item.node, Value::closure(target, take_all_inputs()));
+      break;
+    }
+
+    case NodeKind::kCall: {
+      const Template* target = act.program->templates[n.target_template].get();
+      spawn_child(item, target, take_all_inputs());
+      break;
+    }
+
+    case NodeKind::kCallClosure: {
+      Value callee = take_input(0);
+      const Template* target = callee.as_closure().tmpl;
+      const uint32_t given = n.num_inputs - 1u;
+      if (given != target->explicit_params()) {
+        throw RuntimeError("closure '" + target->name + "' expects " +
+                           std::to_string(target->explicit_params()) + " argument(s), got " +
+                           std::to_string(given));
+      }
+      std::vector<Value> params;
+      std::vector<Value> captures = callee.take_closure_captures();
+      params.reserve(given + captures.size());
+      for (uint16_t i = 1; i < n.num_inputs; ++i) params.push_back(take_input(i));
+      for (Value& cap : captures) params.push_back(std::move(cap));
+      callee = Value();  // release the closure before the child can run
+      spawn_child(item, target, std::move(params));
+      break;
+    }
+
+    case NodeKind::kIfDispatch: {
+      const bool cond = take_input(0).truthy();
+      // Take *both* closures: the untaken branch must release its captured
+      // values now, so reference counts stay exact for copy-on-write.
+      Value then_clo = take_input(1);
+      Value else_clo = take_input(2);
+      Value chosen = cond ? std::move(then_clo) : std::move(else_clo);
+      then_clo = Value();
+      else_clo = Value();
+      const Template* target = chosen.as_closure().tmpl;
+      if (target->explicit_params() != 0) {
+        throw RuntimeError("internal: branch template '" + target->name +
+                           "' must take no explicit arguments");
+      }
+      std::vector<Value> params = chosen.take_closure_captures();
+      chosen = Value();  // release the closure before the child can run
+      spawn_child(item, target, std::move(params));
+      break;
+    }
+
+    case NodeKind::kParMap: {
+      Value fn = take_input(0);
+      Value pkg = take_input(1);
+      const Template* target = fn.as_closure().tmpl;
+      if (target->explicit_params() != 1) {
+        throw RuntimeError("parmap: '" + target->name +
+                           "' must take exactly one argument, takes " +
+                           std::to_string(target->explicit_params()));
+      }
+      const size_t k = pkg.as_tuple().elems.size();
+      if (k == 0) {
+        deliver(item.act, item.node, Value::tuple({}));
+        break;
+      }
+      // Prepare every child's parameters first, then release the package
+      // and closure, so element reference counts are exact before any
+      // child can run (the copy-on-write discipline).
+      std::vector<std::vector<Value>> params_list;
+      params_list.reserve(k);
+      {
+        const MultiValue& mv = pkg.as_tuple();
+        const Closure& c = fn.as_closure();
+        for (size_t i = 0; i < k; ++i) {
+          std::vector<Value> params;
+          params.reserve(1 + c.captures.size());
+          params.push_back(mv.elems[i]);
+          for (const Value& cap : c.captures) params.push_back(cap);
+          params_list.push_back(std::move(params));
+        }
+      }
+      pkg = Value();
+      fn = Value();
+      auto collector = std::make_shared<ParMapCollector>();
+      collector->results.resize(k);
+      collector->remaining.store(static_cast<int>(k), std::memory_order_relaxed);
+      if (n.is_tail && config_.enable_tail_calls) {
+        collector->cont_act = act.cont_act;
+        collector->cont_node = act.cont_node;
+      } else {
+        collector->cont_act = item.act;
+        collector->cont_node = item.node;
+      }
+      for (size_t i = 0; i < k; ++i) {
+        spawn(*act.program, target, std::move(params_list[i]), nullptr, 0, act.run,
+              collector, static_cast<uint32_t>(i));
+      }
+      break;
+    }
+
+    case NodeKind::kReturn: {
+      Value v = take_input(0);
+      if (act.collector != nullptr) {
+        ParMapCollector& col = *act.collector;
+        col.results[act.collector_index] = std::move(v);
+        if (col.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          Value package = Value::tuple(std::move(col.results));
+          if (col.cont_act != nullptr) {
+            deliver(col.cont_act, col.cont_node, std::move(package));
+          } else {
+            deliver_final(act.run, std::move(package));
+          }
+        }
+      } else if (act.cont_act != nullptr) {
+        deliver(act.cont_act, act.cont_node, std::move(v));
+      } else {
+        deliver_final(act.run, std::move(v));
+      }
+      break;
+    }
+  }
+}
+
+void Runtime::deliver_final(RunState* rs, Value v) {
+  std::lock_guard<std::mutex> lock(rs->mu);
+  rs->result = std::move(v);
+  rs->have_result = true;
+}
+
+// ---------------------------------------------------------------------------
+// Run driver
+// ---------------------------------------------------------------------------
+
+Value Runtime::run(const CompiledProgram& program, std::vector<Value> args) {
+  return run_function(program, program.entry_template().name, std::move(args));
+}
+
+Value Runtime::run_function(const CompiledProgram& program, const std::string& name,
+                            std::vector<Value> args) {
+  const Template* tmpl = program.find(name);
+  if (tmpl == nullptr) {
+    throw RuntimeError("program has no function named '" + name + "'");
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  RunState rs;
+  rs.program = &program;
+  current_run_ = &rs;
+
+  // Reset per-run accumulators.
+  activations_created_.store(0);
+  peak_live_activations_.store(0);
+  nodes_executed_.store(0);
+  operator_invocations_.store(0);
+  cow_copies_.store(0);
+  remote_block_moves_.store(0);
+  operator_ticks_.store(0);
+  timing_seq_.store(0);
+  for (WorkerData& wd : worker_data_) wd.timings.clear();
+  merged_timings_.clear();
+
+  // The root activation delivers its result to the run state directly.
+  spawn(program, tmpl, std::move(args), nullptr, 0, &rs);
+
+  {
+    std::unique_lock<std::mutex> lock(rs.mu);
+    rs.cv.wait(lock, [&rs] { return rs.outstanding.load(std::memory_order_acquire) == 0; });
+  }
+  current_run_ = nullptr;
+  finish_run_bookkeeping();
+
+  if (rs.error) std::rethrow_exception(rs.error);
+  if (!rs.have_result) {
+    throw RuntimeError("program finished without producing a result "
+                       "(a value was never delivered — dataflow deadlock)");
+  }
+  return std::move(rs.result);
+}
+
+void Runtime::finish_run_bookkeeping() {
+  stats_.activations_created = activations_created_.load();
+  stats_.peak_live_activations = peak_live_activations_.load();
+  stats_.nodes_executed = nodes_executed_.load();
+  stats_.operator_invocations = operator_invocations_.load();
+  stats_.cow_copies = cow_copies_.load();
+  stats_.remote_block_moves = remote_block_moves_.load();
+  stats_.operator_ticks = operator_ticks_.load();
+  for (WorkerData& wd : worker_data_) {
+    merged_timings_.insert(merged_timings_.end(), wd.timings.begin(), wd.timings.end());
+  }
+  std::sort(merged_timings_.begin(), merged_timings_.end(),
+            [](const NodeTiming& a, const NodeTiming& b) { return a.seq < b.seq; });
+}
+
+void Runtime::print_node_timings(std::ostream& os) const {
+  for (const NodeTiming& t : merged_timings_) {
+    os << "call of " << t.label << " took " << t.duration << '\n';
+  }
+}
+
+}  // namespace delirium

@@ -1,0 +1,170 @@
+// The Delirium runtime system (§7 of the paper).
+//
+// Executes coordination graphs by *template activation*: each function
+// call instantiates a small record with buffer space for one evaluation
+// of the function's template. A three-level priority ready queue (normal
+// operators > non-recursive call-closures > recursive call-closures)
+// keeps the number of live activations low; tail calls forward their
+// continuation so loops run in constant activation space.
+//
+// Results are deterministic regardless of the number of workers: all
+// shared memory is passed explicitly, and a block is destructively
+// modified only through its sole reference (copy-on-write otherwise).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/runtime/registry.h"
+#include "src/runtime/value.h"
+#include "src/support/clock.h"
+
+namespace delirium {
+
+/// Locality heuristics from §9.3. kOperator prefers the worker that last
+/// ran the operator; kData prefers the home worker of the largest input
+/// block. Neither affects computed values.
+enum class AffinityMode { kNone, kOperator, kData };
+
+struct RuntimeConfig {
+  /// Worker threads ("processors"). 0 means hardware concurrency.
+  int num_workers = 0;
+  /// Record per-node execution times (the case studies' "node timings").
+  bool enable_node_timing = false;
+  /// Use the three-level priority queue of §7; false degrades to a single
+  /// FIFO (the ablation measured by bench_priority).
+  bool use_priorities = true;
+  /// Forward continuations on tail calls (§7's early activation reuse);
+  /// false nests every call — the ablation shows loops then consume
+  /// activations proportional to their iteration count.
+  bool enable_tail_calls = true;
+  AffinityMode affinity = AffinityMode::kNone;
+  /// Simulated NUMA: cost, in nanoseconds per KiB, of an operator touching
+  /// a block whose home is another worker (models the BBN Butterfly's
+  /// expensive remote references). 0 disables the model.
+  int64_t remote_penalty_ns_per_kb = 0;
+};
+
+/// One operator execution, for the node-timing report.
+struct NodeTiming {
+  std::string label;     // operator name
+  std::string tmpl;      // template it ran in
+  Ticks duration = 0;    // nanoseconds
+  int worker = 0;
+  uint64_t seq = 0;      // global completion order
+};
+
+struct RunStats {
+  uint64_t activations_created = 0;
+  uint64_t peak_live_activations = 0;
+  uint64_t nodes_executed = 0;
+  uint64_t operator_invocations = 0;
+  uint64_t cow_copies = 0;          // blocks copied to preserve determinism
+  uint64_t remote_block_moves = 0;  // NUMA-simulated block migrations
+  Ticks operator_ticks = 0;         // total time inside operators
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const OperatorRegistry& registry, RuntimeConfig config = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute the program's entry point. Throws RuntimeError (or whatever
+  /// an operator threw) on failure. One run at a time per Runtime; the
+  /// worker pool persists across runs.
+  Value run(const CompiledProgram& program, std::vector<Value> args = {});
+
+  /// Execute a specific global function.
+  Value run_function(const CompiledProgram& program, const std::string& name,
+                     std::vector<Value> args = {});
+
+  const RunStats& last_stats() const { return stats_; }
+
+  /// Node timings of the last run (empty unless enable_node_timing), in
+  /// completion order.
+  const std::vector<NodeTiming>& node_timings() const { return merged_timings_; }
+  /// Print in the paper's format: "call of <op> took <ticks>".
+  void print_node_timings(std::ostream& os) const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const RuntimeConfig& config() const { return config_; }
+  const OperatorRegistry& registry() const { return registry_; }
+
+ private:
+  struct Activation;
+  struct RunState;
+  struct ParMapCollector;
+  struct WorkItem {
+    std::shared_ptr<Activation> act;
+    uint32_t node = 0;
+  };
+  struct WorkerData {
+    std::vector<NodeTiming> timings;
+  };
+
+  void worker_loop(int worker);
+  bool pop_item(int worker, WorkItem& out);  // called with sched_mu_ held
+  void execute(const WorkItem& item, int worker);
+  void execute_node(const WorkItem& item, int worker);
+
+  std::shared_ptr<Activation> spawn(const CompiledProgram& program, const Template* tmpl,
+                                    std::vector<Value> params,
+                                    std::shared_ptr<Activation> cont_act, uint32_t cont_node,
+                                    RunState* run,
+                                    std::shared_ptr<ParMapCollector> collector = nullptr,
+                                    uint32_t collector_index = 0);
+  void deliver_final(RunState* rs, Value v);
+  void spawn_child(const WorkItem& item, const Template* target, std::vector<Value> params);
+  void deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v);
+  void schedule_node(const std::shared_ptr<Activation>& act, uint32_t node);
+  void finish_run_bookkeeping();
+  void apply_numa_penalties(std::vector<Value>& args, int worker);
+
+  const OperatorRegistry& registry_;
+  RuntimeConfig config_;
+
+  // Scheduler state: one mutex guards all queues (operators are coarse;
+  // see DESIGN.md). Three deques per priority level, globally and per
+  // worker (the latter used only under affinity modes).
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::array<std::deque<WorkItem>, 3> global_queue_;
+  std::vector<std::array<std::deque<WorkItem>, 3>> local_queues_;
+  size_t queued_total_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  std::vector<WorkerData> worker_data_;
+  std::vector<std::atomic<int>> op_last_worker_;  // operator-affinity memory
+
+  std::mutex run_mu_;  // serializes run() calls
+  RunState* current_run_ = nullptr;
+
+  // Statistics (atomic accumulators, snapshotted into stats_ per run).
+  std::atomic<uint64_t> activations_created_{0};
+  std::atomic<int64_t> live_activations_{0};
+  std::atomic<uint64_t> peak_live_activations_{0};
+  std::atomic<uint64_t> nodes_executed_{0};
+  std::atomic<uint64_t> operator_invocations_{0};
+  std::atomic<uint64_t> cow_copies_{0};
+  std::atomic<uint64_t> remote_block_moves_{0};
+  std::atomic<int64_t> operator_ticks_{0};
+  std::atomic<uint64_t> timing_seq_{0};
+
+  RunStats stats_;
+  std::vector<NodeTiming> merged_timings_;
+
+  friend struct Activation;
+};
+
+}  // namespace delirium

@@ -1,0 +1,514 @@
+#include "src/runtime/sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "src/support/clock.h"
+
+namespace delirium {
+
+namespace {
+constexpr Ticks kNever = std::numeric_limits<Ticks>::max();
+}  // namespace
+
+struct SimRuntime::Impl {
+  struct Activation;
+
+  /// Virtual-time join for kParMap: the package is delivered when the
+  /// last child returns, at the latest child completion time.
+  struct Collector {
+    std::vector<Value> results;
+    int remaining = 0;
+    Ticks latest = 0;
+    std::shared_ptr<Activation> cont_act;
+    uint32_t cont_node = 0;
+  };
+
+  struct Activation {
+    explicit Activation(Impl* sim_in, const Template* tmpl_in)
+        : sim(sim_in), tmpl(tmpl_in), slots(tmpl_in->value_slots),
+          pending(tmpl_in->nodes.size()), ready_at(tmpl_in->nodes.size(), 0) {
+      for (size_t i = 0; i < tmpl->nodes.size(); ++i) pending[i] = tmpl->nodes[i].num_inputs;
+      ++sim->stats.activations_created;
+      ++sim->live;
+      sim->stats.peak_live_activations =
+          std::max<uint64_t>(sim->stats.peak_live_activations, sim->live);
+    }
+    ~Activation() { --sim->live; }
+
+    Impl* sim;
+    const Template* tmpl;
+    std::vector<Value> slots;
+    std::vector<int32_t> pending;
+    std::vector<Ticks> ready_at;  // per node: when its last input arrived
+    std::shared_ptr<Activation> cont_act;
+    uint32_t cont_node = 0;
+    std::shared_ptr<Collector> collector;
+    uint32_t collector_index = 0;
+  };
+
+  struct ReadyItem {
+    std::shared_ptr<Activation> act;
+    uint32_t node = 0;
+    Ticks ready = 0;
+    uint64_t seq = 0;      // FIFO within a priority level
+    int priority = 0;
+    int preferred = -1;    // affinity target processor
+  };
+
+  const OperatorRegistry& registry;
+  SimConfig config;
+  const CompiledProgram* program = nullptr;
+
+  std::vector<ReadyItem> ready;  // unsorted; selection scans (small queues)
+  std::vector<Ticks> proc_avail;
+  std::vector<Ticks> proc_busy;
+  uint64_t next_seq = 0;
+  uint64_t live = 0;
+  RunStats stats;
+  std::vector<NodeTiming> timings;
+  Value final_result;
+  bool have_result = false;
+  Ticks final_time = 0;
+
+  Impl(const OperatorRegistry& r, const SimConfig& c) : registry(r), config(c) {
+    proc_avail.assign(config.num_procs, 0);
+    proc_busy.assign(config.num_procs, 0);
+  }
+
+  void enqueue(const std::shared_ptr<Activation>& act, uint32_t node, Ticks when) {
+    const Node& n = act->tmpl->nodes[node];
+    ReadyItem item;
+    item.act = act;
+    item.node = node;
+    item.ready = when;
+    item.seq = next_seq++;
+    item.priority = config.use_priorities ? static_cast<int>(n.priority) : 0;
+    if (config.affinity == AffinityMode::kOperator && n.kind == NodeKind::kOperator &&
+        n.op_index >= 0) {
+      item.preferred = op_last_proc.size() > static_cast<size_t>(n.op_index)
+                           ? op_last_proc[n.op_index]
+                           : -1;
+    } else if (config.affinity == AffinityMode::kData && n.kind == NodeKind::kOperator) {
+      size_t best_bytes = 0;
+      for (uint16_t i = 0; i < n.num_inputs; ++i) {
+        const Value& v = act->slots[n.input_offset + i];
+        if (v.kind() == Value::Kind::kBlock) {
+          const auto& blk = v.block_ptr();
+          const int home = blk->home_worker.load(std::memory_order_relaxed);
+          if (home >= 0 && blk->byte_size() > best_bytes) {
+            best_bytes = blk->byte_size();
+            item.preferred = home;
+          }
+        }
+      }
+    }
+    ready.push_back(std::move(item));
+  }
+
+  std::vector<int> op_last_proc;  // operator-affinity memory
+  std::unordered_map<std::string, size_t> op_occurrence;  // for cost replay
+
+  void deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v, Ticks when) {
+    const Node& n = act->tmpl->nodes[node];
+    const size_t k = n.consumers.size();
+
+    bool any_get = false;
+    for (const PortRef& c : n.consumers) {
+      any_get = any_get || act->tmpl->nodes[c.node].kind == NodeKind::kTupleGet;
+    }
+    if (any_get) {
+      const MultiValue& mv = v.as_tuple();
+      std::vector<std::pair<uint32_t, Value>> extracted;
+      for (size_t i = 0; i < k; ++i) {
+        const PortRef& c = n.consumers[i];
+        const Node& consumer = act->tmpl->nodes[c.node];
+        if (consumer.kind == NodeKind::kTupleGet) {
+          if (consumer.tuple_index >= mv.elems.size()) {
+            throw RuntimeError("decomposition in '" + act->tmpl->name + "' needs element " +
+                               std::to_string(consumer.tuple_index) + " of a " +
+                               std::to_string(mv.elems.size()) + "-element package");
+          }
+          extracted.emplace_back(c.node, mv.elems[consumer.tuple_index]);
+        } else {
+          write_slot(act, c, v, when);
+        }
+      }
+      v = Value();
+      for (auto& [get_node, element] : extracted) {
+        deliver(act, get_node, std::move(element), when);
+      }
+      return;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      const PortRef& c = n.consumers[i];
+      Value copy = (i + 1 == k) ? std::move(v) : v;
+      write_slot(act, c, std::move(copy), when);
+    }
+  }
+
+  void write_slot(const std::shared_ptr<Activation>& act, const PortRef& c, Value v,
+                  Ticks when) {
+    const Node& consumer = act->tmpl->nodes[c.node];
+    act->slots[consumer.input_offset + c.port] = std::move(v);
+    act->ready_at[c.node] = std::max(act->ready_at[c.node], when);
+    if (--act->pending[c.node] == 0) enqueue(act, c.node, act->ready_at[c.node]);
+  }
+
+  std::shared_ptr<Activation> spawn(const Template* tmpl, std::vector<Value> params,
+                                    std::shared_ptr<Activation> cont_act, uint32_t cont_node,
+                                    Ticks when) {
+    if (params.size() != tmpl->num_params) {
+      throw RuntimeError("activation of '" + tmpl->name + "' expects " +
+                         std::to_string(tmpl->num_params) + " values, got " +
+                         std::to_string(params.size()));
+    }
+    auto act = std::make_shared<Activation>(this, tmpl);
+    act->cont_act = std::move(cont_act);
+    act->cont_node = cont_node;
+    for (uint32_t i = 0; i < tmpl->nodes.size(); ++i) {
+      const Node& n = tmpl->nodes[i];
+      switch (n.kind) {
+        case NodeKind::kConst: deliver(act, i, Value::from_const(n.literal), when); break;
+        case NodeKind::kParam: deliver(act, i, std::move(params[n.param_index]), when); break;
+        default:
+          if (n.num_inputs == 0) enqueue(act, i, when);
+          break;
+      }
+    }
+    return act;
+  }
+
+  /// Pick the next (processor, item) pair under the ready-queue policy and
+  /// remove the item from the queue. Returns false when nothing is ready.
+  bool select(int& proc_out, size_t& item_out, Ticks& start_out) {
+    if (ready.empty()) return false;
+    // Earliest-free processor; if it would idle past the earliest ready
+    // time, it starts then.
+    int p = 0;
+    for (int i = 1; i < config.num_procs; ++i) {
+      if (proc_avail[i] < proc_avail[p]) p = i;
+    }
+    Ticks t = proc_avail[p];
+    Ticks min_ready = kNever;
+    for (const ReadyItem& item : ready) min_ready = std::min(min_ready, item.ready);
+    t = std::max(t, min_ready);
+
+    // Among items ready at <= t: priority level first; within a level,
+    // prefer items bound to this processor, then unbound, then steal —
+    // FIFO inside each class. Mirrors Runtime::pop_item.
+    size_t best = ready.size();
+    int best_rank = std::numeric_limits<int>::max();
+    uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < ready.size(); ++i) {
+      const ReadyItem& item = ready[i];
+      if (item.ready > t) continue;
+      int affinity_class = 1;  // unbound
+      if (item.preferred == p) affinity_class = 0;
+      else if (item.preferred >= 0) affinity_class = 2;
+      const int rank = item.priority * 3 + affinity_class;
+      if (rank < best_rank || (rank == best_rank && item.seq < best_seq)) {
+        best = i;
+        best_rank = rank;
+        best_seq = item.seq;
+      }
+    }
+    if (best == ready.size()) return false;  // defensive; cannot happen
+    proc_out = p;
+    item_out = best;
+    start_out = t;
+    return true;
+  }
+
+  Ticks execute(const ReadyItem& item, int proc, Ticks start) {
+    Activation& act = *item.act;
+    const Node& n = act.tmpl->nodes[item.node];
+    ++stats.nodes_executed;
+
+    auto take_input = [&](uint16_t port) -> Value {
+      return std::move(act.slots[n.input_offset + port]);
+    };
+    auto take_all_inputs = [&]() {
+      std::vector<Value> values;
+      values.reserve(n.num_inputs);
+      for (uint16_t i = 0; i < n.num_inputs; ++i) values.push_back(take_input(i));
+      return values;
+    };
+
+    Ticks cost = config.node_overhead_ns;
+    switch (n.kind) {
+      case NodeKind::kConst:
+      case NodeKind::kParam:
+      case NodeKind::kTupleGet:
+        throw RuntimeError("internal: node kind should not reach the simulated queue");
+
+      case NodeKind::kOperator: {
+        const OperatorDef& def = registry.at(static_cast<size_t>(n.op_index));
+        const size_t occurrence = op_occurrence[def.info.name]++;
+        std::vector<Value> args = take_all_inputs();
+        // Virtual NUMA: remote blocks cost time and migrate.
+        if (config.remote_penalty_ns_per_kb > 0) {
+          for (Value& v : args) {
+            if (v.kind() != Value::Kind::kBlock) continue;
+            BlockBase& blk = *v.block_ptr();
+            const int home = blk.home_worker.load(std::memory_order_relaxed);
+            if (home >= 0 && home != proc) {
+              cost += config.remote_penalty_ns_per_kb *
+                      (static_cast<int64_t>(blk.byte_size() / 1024) + 1);
+              ++stats.remote_block_moves;
+            }
+            blk.home_worker.store(proc, std::memory_order_relaxed);
+          }
+        }
+        ++stats.operator_invocations;
+        const Ticks t0 = now_ticks();
+        OpContext ctx(def, std::span<Value>(args), proc);
+        Value result = def.fn(ctx);
+        Ticks measured = now_ticks() - t0;
+        if (config.record_costs != nullptr) {
+          config.record_costs->per_op[def.info.name].push_back(measured);
+        }
+        if (config.replay_costs != nullptr) {
+          auto it = config.replay_costs->per_op.find(def.info.name);
+          if (it != config.replay_costs->per_op.end() && occurrence < it->second.size()) {
+            measured = it->second[occurrence];
+          }
+        }
+        cost += measured;
+        stats.operator_ticks += measured;
+        stats.cow_copies += ctx.cow_copies();
+        if (config.enable_node_timing) {
+          timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
+                                       static_cast<uint64_t>(timings.size())});
+        }
+        if (config.affinity == AffinityMode::kOperator && n.op_index >= 0) {
+          if (op_last_proc.size() <= static_cast<size_t>(n.op_index)) {
+            op_last_proc.resize(registry.size(), -1);
+          }
+          op_last_proc[n.op_index] = proc;
+        }
+        if (result.kind() == Value::Kind::kBlock) {
+          result.block_ptr()->home_worker.store(proc, std::memory_order_relaxed);
+        }
+        deliver(item.act, item.node, std::move(result), start + cost);
+        break;
+      }
+
+      case NodeKind::kTupleMake:
+        deliver(item.act, item.node, Value::tuple(take_all_inputs()), start + cost);
+        break;
+
+      case NodeKind::kMakeClosure: {
+        const Template* target = program->templates[n.target_template].get();
+        deliver(item.act, item.node, Value::closure(target, take_all_inputs()), start + cost);
+        break;
+      }
+
+      case NodeKind::kCall: {
+        const Template* target = program->templates[n.target_template].get();
+        spawn_child(item, target, take_all_inputs(), start + cost);
+        break;
+      }
+
+      case NodeKind::kCallClosure: {
+        Value callee = take_input(0);
+        const Template* target = callee.as_closure().tmpl;
+        const uint32_t given = n.num_inputs - 1u;
+        if (given != target->explicit_params()) {
+          throw RuntimeError("closure '" + target->name + "' expects " +
+                             std::to_string(target->explicit_params()) +
+                             " argument(s), got " + std::to_string(given));
+        }
+        std::vector<Value> params;
+        std::vector<Value> captures = callee.take_closure_captures();
+        params.reserve(given + captures.size());
+        for (uint16_t i = 1; i < n.num_inputs; ++i) params.push_back(take_input(i));
+        for (Value& cap : captures) params.push_back(std::move(cap));
+        callee = Value();
+        spawn_child(item, target, std::move(params), start + cost);
+        break;
+      }
+
+      case NodeKind::kIfDispatch: {
+        const bool cond = take_input(0).truthy();
+        Value then_clo = take_input(1);
+        Value else_clo = take_input(2);
+        Value chosen = cond ? std::move(then_clo) : std::move(else_clo);
+        then_clo = Value();
+        else_clo = Value();
+        const Template* target = chosen.as_closure().tmpl;
+        std::vector<Value> params = chosen.take_closure_captures();
+        chosen = Value();
+        spawn_child(item, target, std::move(params), start + cost);
+        break;
+      }
+
+      case NodeKind::kParMap: {
+        Value fn = take_input(0);
+        Value pkg = take_input(1);
+        const Template* target = fn.as_closure().tmpl;
+        if (target->explicit_params() != 1) {
+          throw RuntimeError("parmap: '" + target->name +
+                             "' must take exactly one argument, takes " +
+                             std::to_string(target->explicit_params()));
+        }
+        const size_t count = pkg.as_tuple().elems.size();
+        if (count == 0) {
+          deliver(item.act, item.node, Value::tuple({}), start + cost);
+          break;
+        }
+        std::vector<std::vector<Value>> params_list;
+        params_list.reserve(count);
+        {
+          const MultiValue& mv = pkg.as_tuple();
+          const Closure& c = fn.as_closure();
+          for (size_t i = 0; i < count; ++i) {
+            std::vector<Value> params;
+            params.reserve(1 + c.captures.size());
+            params.push_back(mv.elems[i]);
+            for (const Value& cap : c.captures) params.push_back(cap);
+            params_list.push_back(std::move(params));
+          }
+        }
+        pkg = Value();
+        fn = Value();
+        auto collector = std::make_shared<Collector>();
+        collector->results.resize(count);
+        collector->remaining = static_cast<int>(count);
+        if (n.is_tail) {
+          collector->cont_act = item.act->cont_act;
+          collector->cont_node = item.act->cont_node;
+        } else {
+          collector->cont_act = item.act;
+          collector->cont_node = item.node;
+        }
+        for (size_t i = 0; i < count; ++i) {
+          auto child = spawn(target, std::move(params_list[i]), nullptr, 0, start + cost);
+          child->collector = collector;
+          child->collector_index = static_cast<uint32_t>(i);
+        }
+        break;
+      }
+
+      case NodeKind::kReturn: {
+        Value v = take_input(0);
+        if (act.collector != nullptr) {
+          Collector& col = *act.collector;
+          col.results[act.collector_index] = std::move(v);
+          col.latest = std::max(col.latest, start + cost);
+          if (--col.remaining == 0) {
+            Value package = Value::tuple(std::move(col.results));
+            if (col.cont_act != nullptr) {
+              deliver(col.cont_act, col.cont_node, std::move(package), col.latest);
+            } else {
+              final_result = std::move(package);
+              have_result = true;
+              final_time = col.latest;
+            }
+          }
+        } else if (act.cont_act != nullptr) {
+          deliver(act.cont_act, act.cont_node, std::move(v), start + cost);
+        } else {
+          final_result = std::move(v);
+          have_result = true;
+          final_time = start + cost;
+        }
+        break;
+      }
+    }
+    return cost;
+  }
+
+  void spawn_child(const ReadyItem& item, const Template* target, std::vector<Value> params,
+                   Ticks when) {
+    const Node& n = item.act->tmpl->nodes[item.node];
+    if (n.is_tail && config.enable_tail_calls) {
+      // Forward the whole continuation, including any parmap collector.
+      auto child =
+          spawn(target, std::move(params), item.act->cont_act, item.act->cont_node, when);
+      child->collector = item.act->collector;
+      child->collector_index = item.act->collector_index;
+    } else {
+      spawn(target, std::move(params), item.act, item.node, when);
+    }
+  }
+
+  SimResult run(const CompiledProgram& prog, const Template* tmpl, std::vector<Value> args) {
+    program = &prog;
+    spawn(tmpl, std::move(args), nullptr, 0, 0);
+    while (true) {
+      int proc;
+      size_t index;
+      Ticks start;
+      if (!select(proc, index, start)) break;
+      ReadyItem item = std::move(ready[index]);
+      ready.erase(ready.begin() + static_cast<long>(index));
+      const Ticks cost = execute(item, proc, start);
+      proc_avail[proc] = start + cost;
+      proc_busy[proc] += cost;
+    }
+    if (!have_result) {
+      throw RuntimeError("simulated program finished without producing a result "
+                         "(a value was never delivered — dataflow deadlock)");
+    }
+    SimResult result;
+    result.result = std::move(final_result);
+    result.makespan = final_time;
+    for (Ticks b : proc_busy) result.total_busy += b;
+    result.proc_busy = proc_busy;
+    result.stats = stats;
+    result.timings = std::move(timings);
+    return result;
+  }
+};
+
+SimRuntime::SimRuntime(const OperatorRegistry& registry, SimConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.num_procs <= 0) config_.num_procs = 1;
+}
+
+SimResult SimRuntime::run(const CompiledProgram& program, std::vector<Value> args) {
+  return run_function(program, program.entry_template().name, std::move(args));
+}
+
+SimResult SimRuntime::run_function(const CompiledProgram& program, const std::string& name,
+                                   std::vector<Value> args) {
+  const Template* tmpl = program.find(name);
+  if (tmpl == nullptr) {
+    throw RuntimeError("program has no function named '" + name + "'");
+  }
+  Impl impl(registry_, config_);
+  return impl.run(program, tmpl, std::move(args));
+}
+
+CostTable calibrate_costs(const OperatorRegistry& registry, const CompiledProgram& program,
+                          int runs) {
+  std::vector<CostTable> samples(std::max(runs, 1));
+  for (CostTable& table : samples) {
+    SimConfig config;
+    config.num_procs = 1;
+    config.record_costs = &table;
+    SimRuntime sim(registry, config);
+    sim.run(program);
+  }
+  // Per-invocation median across the calibration runs.
+  CostTable merged;
+  for (const auto& [op, costs] : samples[0].per_op) {
+    std::vector<Ticks>& out = merged.per_op[op];
+    out.resize(costs.size());
+    for (size_t i = 0; i < costs.size(); ++i) {
+      std::vector<Ticks> values;
+      values.reserve(samples.size());
+      for (const CostTable& table : samples) {
+        auto it = table.per_op.find(op);
+        if (it != table.per_op.end() && i < it->second.size()) values.push_back(it->second[i]);
+      }
+      std::sort(values.begin(), values.end());
+      out[i] = values.empty() ? 0 : values[values.size() / 2];
+    }
+  }
+  return merged;
+}
+
+}  // namespace delirium

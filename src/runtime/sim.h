@@ -1,0 +1,91 @@
+// Virtual-time execution of coordination graphs.
+//
+// The paper evaluates on 4-processor Crays and a Sequent; this
+// reproduction machine has a single core, so wall-clock speedups are
+// unobtainable. SimRuntime substitutes a deterministic discrete-event
+// scheduler: every operator *executes for real* (values are exact), its
+// cost is measured, and a virtual P-processor machine is simulated with
+// the same ready-queue policy as the threaded runtime (three priority
+// levels, FIFO within a level, affinity preferences). Speedup figures
+// are ratios of virtual makespans.
+//
+// The simulated-NUMA model (§9.3) is also virtual here: touching a block
+// homed on another processor adds a per-KiB cost to the node instead of
+// spinning, which makes the Butterfly-style experiments cheap and exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/runtime/registry.h"
+#include "src/runtime/runtime.h"  // AffinityMode, NodeTiming, RunStats
+#include "src/runtime/value.h"
+
+namespace delirium {
+
+/// Per-operator costs, one entry per invocation in occurrence order.
+/// Recorded by a calibration run and replayed so that speedup curves are
+/// deterministic (measured costs vary run to run on a busy host).
+struct CostTable {
+  std::unordered_map<std::string, std::vector<Ticks>> per_op;
+};
+
+struct SimConfig {
+  int num_procs = 4;
+  bool use_priorities = true;
+  /// Tail-call continuation forwarding (ablation; see RuntimeConfig).
+  bool enable_tail_calls = true;
+  AffinityMode affinity = AffinityMode::kNone;
+  /// Virtual cost, per KiB, of an operator reading a block homed on
+  /// another virtual processor. The block then migrates.
+  int64_t remote_penalty_ns_per_kb = 0;
+  /// Virtual cost of every non-operator node (scheduling, tuple and
+  /// closure plumbing, subgraph expansion). Roughly what the threaded
+  /// runtime pays per node.
+  int64_t node_overhead_ns = 300;
+  /// Record per-operator virtual timings.
+  bool enable_node_timing = false;
+  /// When set, the i-th invocation of each operator costs what the table
+  /// says instead of its measured wall time (operators still execute for
+  /// real — values are exact either way).
+  const CostTable* replay_costs = nullptr;
+  /// When set, measured operator costs are appended here.
+  CostTable* record_costs = nullptr;
+};
+
+struct SimResult {
+  Value result;
+  Ticks makespan = 0;              // virtual ns from start to final result
+  Ticks total_busy = 0;            // sum of per-processor busy time
+  std::vector<Ticks> proc_busy;    // per-processor busy time
+  RunStats stats;
+  std::vector<NodeTiming> timings; // operator label + measured cost
+};
+
+/// Single-threaded simulator. Stateless across runs except for nothing —
+/// construct per experiment.
+class SimRuntime {
+ public:
+  SimRuntime(const OperatorRegistry& registry, SimConfig config = {});
+
+  /// Execute the entry point under virtual time.
+  SimResult run(const CompiledProgram& program, std::vector<Value> args = {});
+  SimResult run_function(const CompiledProgram& program, const std::string& name,
+                         std::vector<Value> args = {});
+
+ private:
+  struct Impl;
+  const OperatorRegistry& registry_;
+  SimConfig config_;
+};
+
+/// Run the program `runs` times on one virtual processor and return the
+/// per-invocation median operator costs. Replaying this table makes the
+/// speedup experiments deterministic.
+CostTable calibrate_costs(const OperatorRegistry& registry, const CompiledProgram& program,
+                          int runs = 3);
+
+}  // namespace delirium

@@ -1,0 +1,80 @@
+#include "src/runtime/value.h"
+
+#include <sstream>
+
+namespace delirium {
+
+std::string Value::to_display_string() const {
+  switch (kind()) {
+    case Kind::kNull: return "NULL";
+    case Kind::kInt: return std::to_string(std::get<int64_t>(v_));
+    case Kind::kFloat: {
+      std::ostringstream os;
+      os << std::get<double>(v_);
+      return os.str();
+    }
+    case Kind::kString: return as_string();
+    case Kind::kBlock: {
+      std::ostringstream os;
+      os << "<block " << block_ptr()->type_name() << ", " << block_ptr()->byte_size()
+         << " bytes>";
+      return os.str();
+    }
+    case Kind::kTuple: {
+      std::ostringstream os;
+      os << '<';
+      const MultiValue& mv = as_tuple();
+      for (size_t i = 0; i < mv.elems.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << mv.elems[i].to_display_string();
+      }
+      os << '>';
+      return os.str();
+    }
+    case Kind::kClosure: {
+      const Closure& c = as_closure();
+      return "<closure " + (c.tmpl != nullptr ? c.tmpl->name : "?") + "/" +
+             std::to_string(c.captures.size()) + ">";
+    }
+  }
+  return "?";
+}
+
+bool deep_equal(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) {
+    // Allow int/float cross-comparison for convenience in tests.
+    if ((a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kFloat) ||
+        (a.kind() == Value::Kind::kFloat && b.kind() == Value::Kind::kInt)) {
+      return a.as_float() == b.as_float();
+    }
+    return false;
+  }
+  switch (a.kind()) {
+    case Value::Kind::kNull: return true;
+    case Value::Kind::kInt: return a.as_int() == b.as_int();
+    case Value::Kind::kFloat: return a.as_float() == b.as_float();
+    case Value::Kind::kString: return a.as_string() == b.as_string();
+    case Value::Kind::kBlock: return a.block_ptr() == b.block_ptr();
+    case Value::Kind::kTuple: {
+      const MultiValue& ta = a.as_tuple();
+      const MultiValue& tb = b.as_tuple();
+      if (ta.elems.size() != tb.elems.size()) return false;
+      for (size_t i = 0; i < ta.elems.size(); ++i) {
+        if (!deep_equal(ta.elems[i], tb.elems[i])) return false;
+      }
+      return true;
+    }
+    case Value::Kind::kClosure: {
+      const Closure& ca = a.as_closure();
+      const Closure& cb = b.as_closure();
+      if (ca.tmpl != cb.tmpl || ca.captures.size() != cb.captures.size()) return false;
+      for (size_t i = 0; i < ca.captures.size(); ++i) {
+        if (!deep_equal(ca.captures[i], cb.captures[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace delirium

@@ -1,0 +1,325 @@
+#include "src/sema/env_analysis.h"
+
+#include <vector>
+
+namespace delirium {
+
+namespace {
+
+/// What a name refers to at a use site.
+enum class NameKind { kLocalValue, kLocalFunction, kGlobalFunction, kOperator, kUnknown };
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, const OperatorTable& operators, DiagnosticEngine& diags)
+      : program_(program), operators_(operators), diags_(diags) {}
+
+  AnalysisResult run(const AnalysisOptions& options) {
+    // Global function names; duplicates violate the one-definition rule.
+    for (const FuncDecl* f : program_.functions) {
+      if (!globals_.emplace(f->name, f).second) {
+        diags_.error(f->range, "duplicate function definition '" + f->name + "'");
+      }
+      check_duplicate_names(f->params, f->range, "parameter");
+    }
+    if (options.require_main) {
+      auto it = globals_.find(options.entry_point);
+      if (it == globals_.end()) {
+        diags_.error({}, "program has no entry point '" + options.entry_point + "'");
+      } else if (!it->second->params.empty()) {
+        diags_.error(it->second->range,
+                     "entry point '" + options.entry_point + "' must take no parameters");
+      }
+    }
+    for (const FuncDecl* f : program_.functions) {
+      current_function_ = f->name;
+      ScopeGuard params(*this);
+      for (const std::string& p : f->params) push_local(p, /*is_function=*/false, 0);
+      visit(f->body);
+    }
+    compute_recursion();
+    result_.ok = !diags_.has_errors();
+    return std::move(result_);
+  }
+
+ private:
+  struct Local {
+    bool is_function = false;
+    int arity = 0;
+  };
+
+  /// RAII scope: pops locals pushed since construction. Lookup is via a
+  /// per-name shadow stack (O(1)); the linear push log only drives pops.
+  class ScopeGuard {
+   public:
+    explicit ScopeGuard(Analyzer& a) : a_(a), base_(a.push_log_.size()) {}
+    ~ScopeGuard() {
+      while (a_.push_log_.size() > base_) {
+        auto it = a_.locals_.find(a_.push_log_.back());
+        it->second.pop_back();
+        if (it->second.empty()) a_.locals_.erase(it);
+        a_.push_log_.pop_back();
+      }
+    }
+
+   private:
+    Analyzer& a_;
+    size_t base_;
+  };
+
+  void push_local(const std::string& name, bool is_function, int arity) {
+    locals_[name].push_back(Local{is_function, arity});
+    push_log_.push_back(name);
+  }
+
+  const Local* find_local(const std::string& name) const {
+    auto it = locals_.find(name);
+    return it == locals_.end() || it->second.empty() ? nullptr : &it->second.back();
+  }
+
+  void check_duplicate_names(const std::vector<std::string>& names, SourceRange range,
+                             const char* what) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      for (size_t j = i + 1; j < names.size(); ++j) {
+        if (names[i] == names[j]) {
+          diags_.error(range, std::string("duplicate ") + what + " name '" + names[i] +
+                                  "' violates single assignment");
+        }
+      }
+    }
+  }
+
+  /// Resolve a name at a use site, recording call-graph / operator info.
+  NameKind resolve(const Expr* use) {
+    const std::string& name = use->str_value;
+    if (const Local* local = find_local(name)) {
+      return local->is_function ? NameKind::kLocalFunction : NameKind::kLocalValue;
+    }
+    if (globals_.count(name) > 0) {
+      result_.callgraph[current_function_].insert(name);
+      return NameKind::kGlobalFunction;
+    }
+    if (operators_.lookup(name) != nullptr) {
+      ++result_.operator_uses[name];
+      return NameKind::kOperator;
+    }
+    diags_.error(use->range, "unknown name '" + name + "'");
+    return NameKind::kUnknown;
+  }
+
+  void check_call_arity(const Expr* apply, const std::string& name, size_t expected,
+                        bool variadic) {
+    if (variadic) return;
+    if (apply->args.size() != expected) {
+      diags_.error(apply->range, "'" + name + "' expects " + std::to_string(expected) +
+                                     " argument(s), got " + std::to_string(apply->args.size()));
+    }
+  }
+
+  void visit(const Expr* e) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+      case ExprKind::kNullLit:
+        return;
+      case ExprKind::kVar: {
+        NameKind kind = resolve(e);
+        if (kind == NameKind::kOperator) {
+          diags_.error(e->range, "operator '" + e->str_value +
+                                     "' cannot be used as a value; wrap it in a function");
+        }
+        return;
+      }
+      case ExprKind::kTuple:
+        for (const Expr* a : e->args) visit(a);
+        return;
+      case ExprKind::kApply: {
+        for (const Expr* a : e->args) visit(a);
+        if (e->callee != nullptr && e->callee->kind == ExprKind::kVar) {
+          const std::string& name = e->callee->str_value;
+          // `parmap(f, package)` is a built-in special form (the §9.2
+          // dynamic-parallelism extension), unless the name is shadowed.
+          if (name == "parmap" && find_local(name) == nullptr && globals_.count(name) == 0 &&
+              operators_.lookup(name) == nullptr) {
+            check_call_arity(e, name, 2, /*variadic=*/false);
+            return;
+          }
+          switch (resolve(e->callee)) {
+            case NameKind::kGlobalFunction: {
+              const FuncDecl* f = globals_.at(name);
+              check_call_arity(e, name, f->params.size(), /*variadic=*/false);
+              return;
+            }
+            case NameKind::kOperator: {
+              const OperatorInfo* info = operators_.lookup(name);
+              check_call_arity(e, name, static_cast<size_t>(info->arity), info->variadic);
+              return;
+            }
+            case NameKind::kLocalFunction: {
+              const Local* local = find_local(name);
+              check_call_arity(e, name, static_cast<size_t>(local->arity), /*variadic=*/false);
+              return;
+            }
+            case NameKind::kLocalValue:
+              // Closure call through a variable; arity checked at run time.
+              return;
+            case NameKind::kUnknown:
+              return;
+          }
+        }
+        visit(e->callee);  // computed callee (e.g. f(x)(y))
+        return;
+      }
+      case ExprKind::kIf:
+        visit(e->cond);
+        visit(e->then_branch);
+        visit(e->else_branch);
+        return;
+      case ExprKind::kLet: {
+        ScopeGuard scope(*this);
+        std::vector<std::string> names_in_let;
+        for (const Binding& b : e->bindings) {
+          for (const std::string& n : b.names) names_in_let.push_back(n);
+          if (b.kind == Binding::Kind::kFunction) {
+            check_duplicate_names(b.params, b.range, "parameter");
+            // The local function's name is visible to its own body
+            // (self-recursion) and to later bindings.
+            push_local(b.names[0], /*is_function=*/true, static_cast<int>(b.params.size()));
+            ScopeGuard fn_scope(*this);
+            for (const std::string& p : b.params) push_local(p, false, 0);
+            visit(b.value);
+          } else {
+            visit(b.value);
+            for (const std::string& n : b.names) push_local(n, false, 0);
+          }
+        }
+        check_duplicate_names(names_in_let, e->range, "binding");
+        visit(e->body);
+        return;
+      }
+      case ExprKind::kIterate: {
+        std::vector<std::string> names;
+        for (const LoopVar& lv : e->loop_vars) names.push_back(lv.name);
+        check_duplicate_names(names, e->range, "loop variable");
+        // Initializers run in the enclosing scope.
+        for (const LoopVar& lv : e->loop_vars) visit(lv.init);
+        ScopeGuard scope(*this);
+        for (const LoopVar& lv : e->loop_vars) push_local(lv.name, false, 0);
+        for (const LoopVar& lv : e->loop_vars) visit(lv.step);
+        visit(e->cond);
+        bool found = false;
+        for (const LoopVar& lv : e->loop_vars) found = found || lv.name == e->result_name;
+        if (!found) {
+          diags_.error(e->range,
+                       "iterate result '" + e->result_name + "' is not a loop variable");
+        }
+        return;
+      }
+    }
+  }
+
+  /// A function is recursive iff it can reach itself in the call graph:
+  /// it lies on a non-trivial SCC, or has a self edge. Tarjan, iterative.
+  void compute_recursion() { compute_recursive_functions(result_); }
+
+  const Program& program_;
+  const OperatorTable& operators_;
+  DiagnosticEngine& diags_;
+
+  std::unordered_map<std::string, const FuncDecl*> globals_;
+  std::unordered_map<std::string, std::vector<Local>> locals_;
+  std::vector<std::string> push_log_;
+  std::string current_function_;
+  AnalysisResult result_;
+};
+
+}  // namespace
+
+AnalysisResult analyze_environment(const Program& program, const OperatorTable& operators,
+                                   DiagnosticEngine& diags, const AnalysisOptions& options) {
+  return Analyzer(program, operators, diags).run(options);
+}
+
+void compute_recursive_functions(AnalysisResult& analysis) {
+  analysis.recursive_functions.clear();
+  // Iterative Tarjan over the (string-keyed) call graph.
+  struct NodeInfo {
+    int index = -1;
+    int lowlink = 0;
+    bool on_stack = false;
+  };
+  std::unordered_map<std::string, NodeInfo> info;
+  std::vector<std::string> scc_stack;
+  int next_index = 0;
+
+  struct Frame {
+    const std::string* name;
+    const std::unordered_set<std::string>* edges;
+    std::unordered_set<std::string>::const_iterator next;
+  };
+
+  for (const auto& [root, _] : analysis.callgraph) {
+    if (info[root].index != -1) continue;
+    std::vector<Frame> stack;
+    auto push_node = [&](const std::string& name) {
+      NodeInfo& ni = info[name];
+      ni.index = ni.lowlink = next_index++;
+      ni.on_stack = true;
+      scc_stack.push_back(name);
+      static const std::unordered_set<std::string> kEmpty;
+      auto it = analysis.callgraph.find(name);
+      const auto* edges = it == analysis.callgraph.end() ? &kEmpty : &it->second;
+      stack.push_back(Frame{&name, edges, edges->begin()});
+    };
+    push_node(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next != frame.edges->end()) {
+        const std::string& target = *frame.next;
+        ++frame.next;
+        NodeInfo& ti = info[target];
+        if (ti.index == -1) {
+          // Self edges mark recursion immediately (Tarjan handles them
+          // too, but the explicit check keeps singleton SCCs simple).
+          push_node(target);
+        } else if (ti.on_stack) {
+          NodeInfo& fi = info[*frame.name];
+          fi.lowlink = std::min(fi.lowlink, ti.index);
+        }
+        continue;
+      }
+      // Finished this node: pop frame, close SCC if it is a root.
+      const std::string name = *frame.name;
+      stack.pop_back();
+      NodeInfo& ni = info[name];
+      if (!stack.empty()) {
+        NodeInfo& pi = info[*stack.back().name];
+        pi.lowlink = std::min(pi.lowlink, ni.lowlink);
+      }
+      if (ni.lowlink == ni.index) {
+        std::vector<std::string> component;
+        for (;;) {
+          const std::string member = scc_stack.back();
+          scc_stack.pop_back();
+          info[member].on_stack = false;
+          component.push_back(member);
+          if (member == name) break;
+        }
+        const bool self_loop = [&] {
+          auto it = analysis.callgraph.find(name);
+          return component.size() == 1 && it != analysis.callgraph.end() &&
+                 it->second.count(name) > 0;
+        }();
+        if (component.size() > 1 || self_loop) {
+          for (const std::string& member : component) {
+            analysis.recursive_functions.insert(member);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace delirium

@@ -1,0 +1,48 @@
+// Environment analysis — the "Env Analysis" pass of Table 1.
+//
+// Resolves every name to a parameter, let binding, loop variable, local
+// function, global function, or operator; checks arity on direct calls;
+// enforces single assignment (no duplicate names per binding scope); and
+// computes the call graph plus the set of recursive functions, which the
+// graph builder uses to classify call-closure nodes into the runtime's
+// priority levels (§7).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/lang/ast.h"
+#include "src/sema/operator_table.h"
+#include "src/support/diagnostics.h"
+
+namespace delirium {
+
+struct AnalysisResult {
+  /// function name -> names of global functions it references.
+  std::unordered_map<std::string, std::unordered_set<std::string>> callgraph;
+  /// Functions on a call-graph cycle (including self loops).
+  std::unordered_set<std::string> recursive_functions;
+  /// operator name -> number of textual uses.
+  std::unordered_map<std::string, int> operator_uses;
+  bool ok = false;
+
+  bool is_recursive(const std::string& fn) const { return recursive_functions.count(fn) > 0; }
+};
+
+struct AnalysisOptions {
+  /// Require a zero-argument entry point named `main`.
+  bool require_main = true;
+  std::string entry_point = "main";
+};
+
+/// Run environment analysis over a macro-expanded program.
+AnalysisResult analyze_environment(const Program& program, const OperatorTable& operators,
+                                   DiagnosticEngine& diags, const AnalysisOptions& options = {});
+
+/// Recompute `recursive_functions` from `callgraph` (Tarjan SCC; a
+/// function is recursive iff it lies on a cycle, including self loops).
+/// Exposed so the parallel compiler can rerun it over a merged graph.
+void compute_recursive_functions(AnalysisResult& analysis);
+
+}  // namespace delirium

@@ -1,0 +1,31 @@
+// Tick clock used for node timings and pass timings. The paper reports
+// Cray clock "ticks"; we report steady_clock nanoseconds, since only
+// relative magnitudes matter for the reproduced experiments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace delirium {
+
+using Clock = std::chrono::steady_clock;
+using Ticks = int64_t;  // nanoseconds
+
+inline Ticks now_ticks() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Scoped stopwatch; reads elapsed nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ticks()) {}
+  Ticks elapsed() const { return now_ticks() - start_; }
+  double elapsed_ms() const { return static_cast<double>(elapsed()) / 1e6; }
+  void reset() { start_ = now_ticks(); }
+
+ private:
+  Ticks start_;
+};
+
+}  // namespace delirium

@@ -1,0 +1,47 @@
+#include "src/support/diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace delirium {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void DiagnosticEngine::add(Severity severity, SourceRange range, std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  diagnostics_.push_back(Diagnostic{severity, range, std::move(message)});
+}
+
+void DiagnosticEngine::print(std::ostream& os, const SourceFile& file) const {
+  for (const Diagnostic& d : diagnostics_) {
+    const LineCol lc = file.line_col(d.range.begin);
+    os << file.name() << ':' << lc.line << ':' << lc.col << ": "
+       << severity_name(d.severity) << ": " << d.message << '\n';
+    const std::string_view line = file.line_text(d.range.begin);
+    os << "  " << line << '\n';
+    os << "  ";
+    for (uint32_t i = 1; i < lc.col; ++i) os << ' ';
+    os << "^\n";
+  }
+}
+
+std::string DiagnosticEngine::summary(const SourceFile& file) const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    const LineCol lc = file.line_col(d.range.begin);
+    os << lc.line << ':' << lc.col << ": " << severity_name(d.severity) << ": " << d.message
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace delirium

@@ -1,0 +1,53 @@
+// Diagnostic reporting for the Delirium compiler. All front-end and
+// middle-end phases report through a DiagnosticEngine instead of throwing,
+// so a single compile collects every error with source positions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace delirium {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceRange range;
+  std::string message;
+};
+
+/// Collects diagnostics for one compilation. Phases append; the driver
+/// renders them against the SourceFile at the end.
+class DiagnosticEngine {
+ public:
+  void error(SourceRange range, std::string message) {
+    add(Severity::kError, range, std::move(message));
+  }
+  void warning(SourceRange range, std::string message) {
+    add(Severity::kWarning, range, std::move(message));
+  }
+  void note(SourceRange range, std::string message) {
+    add(Severity::kNote, range, std::move(message));
+  }
+  void add(Severity severity, SourceRange range, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// Render all diagnostics with a `file:line:col: severity: message` line
+  /// plus a source snippet and caret.
+  void print(std::ostream& os, const SourceFile& file) const;
+
+  /// All messages joined with newlines; convenient for tests.
+  std::string summary(const SourceFile& file) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace delirium

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation used by workload
+// generators (scenes, netlists, synthetic programs) and property tests.
+// Everything in this repo that consumes randomness takes an explicit seed
+// so results are reproducible across runs and worker counts.
+#pragma once
+
+#include <cstdint>
+
+namespace delirium {
+
+/// splitmix64: tiny, fast, and good enough for workload shaping. Not a
+/// cryptographic generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace delirium

@@ -1,0 +1,36 @@
+#include "src/support/source.h"
+
+#include <algorithm>
+
+namespace delirium {
+
+SourceFile::SourceFile(std::string name, std::string text)
+    : name_(std::move(name)), text_(std::move(text)) {
+  line_starts_.push_back(0);
+  for (uint32_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+uint32_t SourceFile::line_index(SourceLoc loc) const {
+  const uint32_t offset = std::min<uint32_t>(loc.offset, static_cast<uint32_t>(text_.size()));
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<uint32_t>(it - line_starts_.begin()) - 1;
+}
+
+LineCol SourceFile::line_col(SourceLoc loc) const {
+  const uint32_t offset = std::min<uint32_t>(loc.offset, static_cast<uint32_t>(text_.size()));
+  const uint32_t line = line_index(loc);
+  return LineCol{line + 1, offset - line_starts_[line] + 1};
+}
+
+std::string_view SourceFile::line_text(SourceLoc loc) const {
+  const uint32_t line = line_index(loc);
+  const uint32_t begin = line_starts_[line];
+  uint32_t end = line + 1 < line_starts_.size() ? line_starts_[line + 1]
+                                                : static_cast<uint32_t>(text_.size());
+  while (end > begin && (text_[end - 1] == '\n' || text_[end - 1] == '\r')) --end;
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+}  // namespace delirium

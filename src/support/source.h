@@ -1,0 +1,64 @@
+// Source-text bookkeeping shared by the Delirium front end: byte offsets,
+// line/column mapping, and half-open source ranges used in diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace delirium {
+
+/// A position in a source buffer, as a byte offset. Offsets are cheap to
+/// carry around; line/column are computed on demand by SourceFile.
+struct SourceLoc {
+  uint32_t offset = 0;
+
+  friend bool operator==(SourceLoc, SourceLoc) = default;
+  friend auto operator<=>(SourceLoc, SourceLoc) = default;
+};
+
+/// Half-open range [begin, end) in a source buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend bool operator==(SourceRange, SourceRange) = default;
+};
+
+/// 1-based human-facing position.
+struct LineCol {
+  uint32_t line = 1;
+  uint32_t col = 1;
+
+  friend bool operator==(LineCol, LineCol) = default;
+};
+
+/// Owns one source buffer and its line-start index. The buffer is stable
+/// for the lifetime of the SourceFile, so string_views into it are safe.
+class SourceFile {
+ public:
+  SourceFile(std::string name, std::string text);
+
+  const std::string& name() const { return name_; }
+  std::string_view text() const { return text_; }
+
+  /// Map a byte offset to a 1-based line/column pair. Offsets past the end
+  /// of the buffer clamp to the final position.
+  LineCol line_col(SourceLoc loc) const;
+
+  /// The full text of the (1-based) line containing `loc`, without the
+  /// trailing newline. Used for diagnostic snippets.
+  std::string_view line_text(SourceLoc loc) const;
+
+  uint32_t line_count() const { return static_cast<uint32_t>(line_starts_.size()); }
+
+ private:
+  uint32_t line_index(SourceLoc loc) const;  // 0-based
+
+  std::string name_;
+  std::string text_;
+  std::vector<uint32_t> line_starts_;  // byte offset of each line start
+};
+
+}  // namespace delirium

@@ -1,0 +1,56 @@
+// Reporting utilities shared by the bench harness and examples: aligned
+// text tables (the paper's tables reproduced as console output), node
+// timing aggregation, and median-of-N measurement helpers.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runtime/runtime.h"
+
+namespace delirium::tools {
+
+/// Simple aligned text table. Columns are sized to their widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Format helpers.
+  static std::string ms(double value, int precision = 1);
+  static std::string ratio(double value, int precision = 2);
+  static std::string count(uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Per-operator aggregate of a node-timing trace.
+struct OpAggregate {
+  int invocations = 0;
+  Ticks total = 0;
+  Ticks min = 0;
+  Ticks max = 0;
+
+  double mean() const { return invocations > 0 ? static_cast<double>(total) / invocations : 0; }
+};
+
+std::map<std::string, OpAggregate> aggregate_timings(const std::vector<NodeTiming>& timings);
+
+/// Print the paper-style dump: "call of <op> took <ticks>", optionally
+/// limited to the first `limit` entries.
+void print_timing_trace(std::ostream& os, const std::vector<NodeTiming>& timings,
+                        size_t limit = 0);
+
+/// Run `fn` `repeats` times and return the median of its returned values
+/// (used to tame single-core measurement noise).
+double median_of(int repeats, const std::function<double()>& fn);
+
+}  // namespace delirium::tools

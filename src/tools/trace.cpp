@@ -1,0 +1,60 @@
+#include "src/tools/trace.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace delirium::tools {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+void write_event(std::ostream& os, bool& first, const std::string& name, int tid,
+                 int64_t ts_us, int64_t dur_us, const std::string& tmpl) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": ")";
+  write_escaped(os, name);
+  os << R"(", "cat": "operator", "ph": "X", "pid": 1, "tid": )" << tid << R"(, "ts": )"
+     << ts_us << R"(, "dur": )" << dur_us << R"(, "args": {"template": ")";
+  write_escaped(os, tmpl);
+  os << R"("}})";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<NodeTiming>& timings) {
+  os << "[\n";
+  bool first = true;
+  std::map<int, int64_t> cursor_us;  // per worker: end of last slice
+  for (const NodeTiming& t : timings) {
+    int64_t& cursor = cursor_us[t.worker];
+    const int64_t dur = std::max<int64_t>(t.duration / 1000, 1);
+    write_event(os, first, t.label, t.worker, cursor, dur, t.tmpl);
+    cursor += dur;
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace(std::ostream& os, const SimResult& result) {
+  // SimResult timings are in execution order; pack per processor in that
+  // order (the simulator executes each processor's slices back to back
+  // except for idle gaps, which this compact view elides).
+  write_chrome_trace(os, result.timings);
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<NodeTiming>& timings) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, timings);
+  return out.good();
+}
+
+}  // namespace delirium::tools

@@ -1,0 +1,31 @@
+// Execution trace export — the modern form of the paper's "tools for
+// analyzing and improving execution speed" (§1). Node timings from a run
+// are written as Chrome tracing JSON (chrome://tracing, Perfetto):
+// one row per worker/processor, one slice per operator execution.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/runtime/runtime.h"
+#include "src/runtime/sim.h"
+
+namespace delirium::tools {
+
+/// Write node timings in Chrome trace-event format. The threaded
+/// runtime's timings have no start timestamps, so slices are laid
+/// end-to-end per worker in completion order — durations and placement
+/// per worker are faithful; gaps are not.
+void write_chrome_trace(std::ostream& os, const std::vector<NodeTiming>& timings);
+
+/// Write a SimResult's operator timeline. Virtual time is exact here, so
+/// the trace shows true starts, gaps, and per-processor utilization.
+/// (Uses the timings' recorded order plus per-processor busy packing.)
+void write_chrome_trace(std::ostream& os, const SimResult& result);
+
+/// Convenience: write to a file; returns false on I/O failure.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<NodeTiming>& timings);
+
+}  // namespace delirium::tools

@@ -1,0 +1,134 @@
+// Baseline coordination models: each must compute the same answers as
+// the sequential references — they exist so the benches can compare
+// Delirium against the models of §8 quantitatively.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/baselines/baseline_apps.h"
+#include "src/baselines/replicated_worker.h"
+#include "src/baselines/tuple_space.h"
+
+namespace delirium::baselines {
+namespace {
+
+TEST(ParallelFor, CoversEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h = 0;
+  parallel_for(100, 4, [&](int t) { hits[t].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForkJoinPool, ReusableAcrossPhases) {
+  ForkJoinPool pool(3);
+  std::atomic<int> total{0};
+  for (int phase = 0; phase < 10; ++phase) {
+    pool.fork(8, [&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ForkJoinPool, ForkIsABarrier) {
+  ForkJoinPool pool(4);
+  std::atomic<int> done{0};
+  pool.fork(16, [&](int) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 16);  // all complete before fork() returns
+}
+
+TEST(ReplicatedWorker, RunsSeedTasks) {
+  ReplicatedWorkerPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count](ReplicatedWorkerPool&) { count.fetch_add(1); });
+  }
+  pool.run();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ReplicatedWorker, TasksCanSpawnTasks) {
+  ReplicatedWorkerPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(ReplicatedWorkerPool&, int)> spawn =
+      [&](ReplicatedWorkerPool& p, int depth) {
+        if (depth == 0) {
+          leaves.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < 2; ++i) {
+          p.submit([&spawn, depth](ReplicatedWorkerPool& inner) { spawn(inner, depth - 1); });
+        }
+      };
+  pool.submit([&spawn](ReplicatedWorkerPool& p) { spawn(p, 6); });
+  pool.run();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(TupleSpace, OutInRoundTrip) {
+  TupleSpace space;
+  space.out(Tuple{"point", {Field{int64_t{3}}, Field{int64_t{4}}}});
+  Pattern p{"point", {std::nullopt, std::nullopt}};
+  Tuple t = space.in(p);
+  EXPECT_EQ(std::get<int64_t>(t.fields[0]), 3);
+  EXPECT_EQ(space.size(), 0u);
+}
+
+TEST(TupleSpace, AssociativeMatching) {
+  TupleSpace space;
+  space.out(Tuple{"job", {Field{int64_t{1}}, Field{std::string("a")}}});
+  space.out(Tuple{"job", {Field{int64_t{2}}, Field{std::string("b")}}});
+  Pattern want_two{"job", {Field{int64_t{2}}, std::nullopt}};
+  Tuple t = space.in(want_two);
+  EXPECT_EQ(std::get<std::string>(t.fields[1]), "b");
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(TupleSpace, InpReturnsNulloptWhenEmpty) {
+  TupleSpace space;
+  Pattern p{"missing", {}};
+  EXPECT_FALSE(space.inp(p).has_value());
+}
+
+TEST(TupleSpace, RdDoesNotRemove) {
+  TupleSpace space;
+  space.out(Tuple{"x", {Field{int64_t{7}}}});
+  Pattern p{"x", {std::nullopt}};
+  EXPECT_EQ(std::get<int64_t>(space.rd(p).fields[0]), 7);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(TupleSpace, BlockingInWakesOnOut) {
+  TupleSpace space;
+  Pattern p{"late", {std::nullopt}};
+  std::thread producer([&space] {
+    space.out(Tuple{"late", {Field{int64_t{42}}}});
+  });
+  Tuple t = space.in(p);
+  producer.join();
+  EXPECT_EQ(std::get<int64_t>(t.fields[0]), 42);
+}
+
+TEST(BaselineApps, ForkJoinRetinaMatchesSequential) {
+  retina::RetinaParams p;
+  p.width = 64;
+  p.height = 64;
+  p.num_targets = 8;
+  p.num_iter = 2;
+  ForkJoinPool pool(4);
+  const auto parallel = retina_forkjoin_run(p, pool);
+  const auto sequential = retina::sequential_run(p);
+  EXPECT_EQ(retina::checksum(parallel), retina::checksum(sequential));
+}
+
+TEST(BaselineApps, ReplicatedWorkerQueensCounts) {
+  EXPECT_EQ(queens_replicated_worker(6, 4), 4);
+  EXPECT_EQ(queens_replicated_worker(7, 2), 40);
+}
+
+TEST(BaselineApps, TupleSpaceQueensCounts) {
+  EXPECT_EQ(queens_tuple_space(6, 4), 4);
+  EXPECT_EQ(queens_tuple_space(7, 3), 40);
+}
+
+}  // namespace
+}  // namespace delirium::baselines

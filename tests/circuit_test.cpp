@@ -1,0 +1,110 @@
+// Circuit simulator app tests: cone-parallel simulation must match the
+// sequential levelized simulator signature-for-signature.
+#include <gtest/gtest.h>
+
+#include "src/apps/circuit/circuit.h"
+#include "src/delirium.h"
+
+namespace delirium::circuit {
+namespace {
+
+TEST(CircuitModel, AdderAccumulates) {
+  auto netlist = std::make_shared<const Netlist>(build_adder_accumulator());
+  // Drive: inputs = value 3 every cycle (bits 0,1 set); acc should count
+  // 3, 6, 9, 12 (mod 16). Use eval_all directly for full control.
+  std::vector<uint8_t> regs(4, 0);
+  int expected = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    const std::vector<uint8_t> inputs = {1, 1, 0, 0};  // 3
+    const auto signals = eval_all(*netlist, inputs, regs);
+    for (int r = 0; r < 4; ++r) regs[r] = signals[netlist->reg_next[r]];
+    expected = (expected + 3) & 0xf;
+    int acc = 0;
+    for (int r = 0; r < 4; ++r) acc |= regs[r] << r;
+    EXPECT_EQ(acc, expected) << "cycle " << cycle;
+  }
+}
+
+TEST(CircuitModel, GateFunctions) {
+  std::vector<uint8_t> sig = {0, 1};
+  EXPECT_FALSE(eval_gate(Gate{GateKind::kAnd, 0, 1}, sig));
+  EXPECT_TRUE(eval_gate(Gate{GateKind::kOr, 0, 1}, sig));
+  EXPECT_TRUE(eval_gate(Gate{GateKind::kXor, 0, 1}, sig));
+  EXPECT_TRUE(eval_gate(Gate{GateKind::kNand, 0, 1}, sig));
+  EXPECT_TRUE(eval_gate(Gate{GateKind::kNot, 0}, sig));
+  EXPECT_TRUE(eval_gate(Gate{GateKind::kBuf, 1}, sig));
+}
+
+TEST(CircuitModel, GeneratedNetlistIsLevelized) {
+  CircuitParams p;
+  p.num_gates = 500;
+  const Netlist net = generate_netlist(p);
+  const int base = net.num_inputs + net.num_regs;
+  for (size_t g = 0; g < net.gates.size(); ++g) {
+    EXPECT_LT(net.gates[g].a, base + static_cast<int>(g));
+    if (net.gates[g].b >= 0) EXPECT_LT(net.gates[g].b, base + static_cast<int>(g));
+  }
+}
+
+TEST(CircuitModel, SequentialSimulationDeterministic) {
+  CircuitParams p;
+  p.num_gates = 800;
+  p.cycles = 16;
+  EXPECT_EQ(simulate_sequential(p).signature, simulate_sequential(p).signature);
+  CircuitParams q = p;
+  q.seed = 99;
+  EXPECT_NE(simulate_sequential(p).signature, simulate_sequential(q).signature);
+}
+
+TEST(CircuitModel, ConesCoverAllSinks) {
+  CircuitParams p;
+  p.num_gates = 600;
+  const Netlist net = generate_netlist(p);
+  const auto cones = partition_cones(net, 4);
+  size_t outputs = 0, regs = 0;
+  for (const Cone& c : cones) {
+    outputs += c.outputs.size();
+    regs += c.regs.size();
+  }
+  EXPECT_EQ(outputs, net.outputs.size());
+  EXPECT_EQ(regs, net.reg_next.size());
+}
+
+class CircuitParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircuitParallel, SignatureMatchesSequential) {
+  const int workers = GetParam();
+  CircuitParams p;
+  p.num_gates = 1500;
+  p.cycles = 12;
+  p.seed = 5;
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_circuit_operators(registry, p);
+  CompiledProgram program = compile_or_throw(circuit_source(p), registry);
+  Runtime runtime(registry, {.num_workers = workers});
+  Value result = runtime.run(program);
+  const CircuitBlock& block = result.block_as<CircuitBlock>();
+  const SimState sequential = simulate_sequential(p);
+  EXPECT_EQ(block.state.cycle, sequential.cycle);
+  EXPECT_EQ(block.state.signature, sequential.signature);
+  EXPECT_EQ(block.state.regs, sequential.regs);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CircuitParallel, ::testing::Values(1, 2, 4));
+
+TEST(CircuitParallelProperties, NoCopyOnWriteCopies) {
+  CircuitParams p;
+  p.num_gates = 800;
+  p.cycles = 8;
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_circuit_operators(registry, p);
+  CompiledProgram program = compile_or_throw(circuit_source(p), registry);
+  Runtime runtime(registry, {.num_workers = 4});
+  runtime.run(program);
+  EXPECT_EQ(runtime.last_stats().cow_copies, 0u);
+}
+
+}  // namespace
+}  // namespace delirium::circuit

@@ -1,0 +1,134 @@
+// The central claim of the model (§8/§9.1): "execution within the model
+// is deterministic ... regardless of the number of processors you are
+// using and the order of execution." These property tests sweep worker
+// counts, scheduler policies, and repeated runs over generated programs
+// and the applications.
+#include <gtest/gtest.h>
+
+#include "src/apps/dcc/program_gen.h"
+#include "src/delirium.h"
+#include "src/runtime/sim.h"
+
+namespace delirium {
+namespace {
+
+OperatorRegistry& registry() {
+  static OperatorRegistry r = [] {
+    OperatorRegistry reg;
+    register_builtin_operators(reg);
+    return reg;
+  }();
+  return r;
+}
+
+class GeneratedDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedDeterminism, SameValueAcrossWorkerCountsAndRuns) {
+  dcc::GenParams params;
+  params.num_functions = 18;
+  params.body_size = 30;
+  params.seed = GetParam();
+  const std::string source = dcc::generate_program(params);
+  CompiledProgram program = compile_or_throw(source, registry());
+
+  int64_t expected = 0;
+  bool first = true;
+  for (int workers : {1, 2, 3, 4, 7}) {
+    Runtime runtime(registry(), {.num_workers = workers});
+    for (int run = 0; run < 3; ++run) {
+      const int64_t value = runtime.run(program).as_int();
+      if (first) {
+        expected = value;
+        first = false;
+      }
+      EXPECT_EQ(value, expected)
+          << "seed " << GetParam() << " workers " << workers << " run " << run;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedDeterminism,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108));
+
+TEST(Determinism, IndependentOfSchedulerPolicy) {
+  // FIFO vs priorities and every affinity mode must agree on values.
+  CompiledProgram program = compile_or_throw(R"(
+fib(n) if less_than(n, 2) then n else add(fib(sub(n, 1)), fib(sub(n, 2)))
+main() fib(14)
+)",
+                                             registry());
+  const int64_t expected = 377;
+  for (const bool priorities : {true, false}) {
+    for (const auto affinity :
+         {AffinityMode::kNone, AffinityMode::kOperator, AffinityMode::kData}) {
+      Runtime runtime(registry(), {.num_workers = 4,
+                                   .use_priorities = priorities,
+                                   .affinity = affinity});
+      EXPECT_EQ(runtime.run(program).as_int(), expected);
+    }
+  }
+}
+
+TEST(Determinism, VirtualTimeMatchesThreadedForAllProcCounts) {
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate {
+    i = 0, incr(i)
+    acc = 0, add(acc, mul(i, i))
+  } while less_than(i, 50), result acc
+)",
+                                             registry());
+  Runtime threaded(registry(), {.num_workers = 2});
+  const int64_t expected = threaded.run(program).as_int();
+  for (int procs : {1, 2, 4, 16}) {
+    SimRuntime sim(registry(), {.num_procs = procs});
+    EXPECT_EQ(sim.run(program).result.as_int(), expected) << procs;
+  }
+}
+
+TEST(Determinism, NumaAndAffinityNeverChangeValues) {
+  CompiledProgram program = compile_or_throw(R"(
+f(n) if less_than(n, 2) then 1 else mul(n, f(decr(n)))
+main() f(12)
+)",
+                                             registry());
+  SimRuntime plain(registry(), {.num_procs = 3});
+  const int64_t expected = plain.run(program).result.as_int();
+  SimConfig config;
+  config.num_procs = 3;
+  config.remote_penalty_ns_per_kb = 5000;
+  config.affinity = AffinityMode::kData;
+  SimRuntime numa(registry(), config);
+  EXPECT_EQ(numa.run(program).result.as_int(), expected);
+}
+
+TEST(Determinism, ErrorsAreDeterministicToo) {
+  // §8: "If there is a bug in the program it will recur in exactly the
+  // same way every execution."
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate {
+    i = 0, incr(i)
+    acc = 1, div(acc, sub(3, i))
+  } while less_than(i, 10), result acc
+)",
+                                             registry());
+  std::string first_message;
+  for (int workers : {1, 2, 4}) {
+    Runtime runtime(registry(), {.num_workers = workers});
+    try {
+      runtime.run(program);
+      FAIL() << "expected division by zero";
+    } catch (const RuntimeError& e) {
+      if (first_message.empty()) {
+        first_message = e.what();
+      } else {
+        EXPECT_EQ(first_message, e.what()) << "workers " << workers;
+      }
+    }
+  }
+  EXPECT_NE(first_message.find("division by zero"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace delirium

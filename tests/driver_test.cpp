@@ -1,0 +1,129 @@
+// Compiler driver (compile_source) tests: timings, diagnostics rendering,
+// stats, and option plumbing. Plus diagnostics/source unit tests.
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "src/delirium.h"
+
+namespace delirium {
+namespace {
+
+OperatorRegistry& registry() {
+  static OperatorRegistry r = [] {
+    OperatorRegistry reg;
+    register_builtin_operators(reg);
+    return reg;
+  }();
+  return r;
+}
+
+TEST(Driver, SuccessfulCompileCarriesEverything) {
+  CompileResult result = compile_source("<t>", "f(x) incr(x)\nmain() f(41)", registry());
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_GE(result.program.templates.size(), 1u);
+  EXPECT_GT(result.ast_nodes, 0u);
+  EXPECT_GE(result.timings.total_ms(), 0.0);
+  EXPECT_EQ(validate_graph(result.program), "");
+}
+
+TEST(Driver, FailedCompileReportsDiagnosticsWithPositions) {
+  CompileResult result = compile_source("<t>", "main()\n  bogus_name(1)", registry());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics.find("bogus_name"), std::string::npos);
+  EXPECT_NE(result.diagnostics.find("2:"), std::string::npos);  // line 2
+}
+
+TEST(Driver, CompileOrThrowThrowsWithMessage) {
+  try {
+    compile_or_throw("main() nope()", registry());
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+}
+
+TEST(Driver, OptimizeOffKeepsAllFunctions) {
+  CompileOptions options;
+  options.optimize = false;
+  CompileResult result =
+      compile_source("<t>", "a() 1\nb() 2\nmain() a()", registry(), options);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.program.find("b"), nullptr);
+}
+
+TEST(Driver, CustomEntryPoint) {
+  CompileOptions options;
+  options.sema.entry_point = "start";
+  CompileResult result = compile_source("<t>", "start() 7", registry(), options);
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_EQ(result.program.entry_template().name, "start");
+  Runtime runtime(registry(), {.num_workers = 1});
+  EXPECT_EQ(runtime.run(result.program).as_int(), 7);
+}
+
+TEST(Driver, ProgramOutlivesSourceText) {
+  CompiledProgram program = [] {
+    std::string source = "main() add(40, 2)";
+    CompiledProgram p = compile_or_throw(source, registry());
+    source.assign(200, 'x');  // clobber
+    return p;
+  }();
+  Runtime runtime(registry(), {.num_workers = 1});
+  EXPECT_EQ(runtime.run(program).as_int(), 42);
+}
+
+TEST(Driver, OperatorsSharedBetweenApplications) {
+  // Two programs compiled against one registry run on one runtime.
+  CompiledProgram a = compile_or_throw("main() add(1, 2)", registry());
+  CompiledProgram b = compile_or_throw("main() mul(2, 3)", registry());
+  Runtime runtime(registry(), {.num_workers = 2});
+  EXPECT_EQ(runtime.run(a).as_int(), 3);
+  EXPECT_EQ(runtime.run(b).as_int(), 6);
+  EXPECT_EQ(runtime.run(a).as_int(), 3);
+}
+
+// --- diagnostics / source infrastructure -----------------------------------
+
+TEST(Source, LineColMapping) {
+  SourceFile file("<t>", "abc\ndef\n\nghi");
+  EXPECT_EQ(file.line_col({0}).line, 1u);
+  EXPECT_EQ(file.line_col({4}).line, 2u);
+  EXPECT_EQ(file.line_col({6}).col, 3u);
+  EXPECT_EQ(file.line_col({8}).line, 3u);   // empty line
+  EXPECT_EQ(file.line_col({9}).line, 4u);
+  EXPECT_EQ(file.line_col({999}).line, 4u);  // clamped
+  EXPECT_EQ(file.line_count(), 4u);
+}
+
+TEST(Source, LineTextExtraction) {
+  SourceFile file("<t>", "first\nsecond\r\nthird");
+  EXPECT_EQ(file.line_text({0}), "first");
+  EXPECT_EQ(file.line_text({6}), "second");
+  EXPECT_EQ(file.line_text({20}), "third");
+}
+
+TEST(Diagnostics, PrintIncludesSnippetAndCaret) {
+  SourceFile file("<t>", "main() nope(1)");
+  DiagnosticEngine diags;
+  diags.error(SourceRange{{7}, {11}}, "unknown name 'nope'");
+  std::ostringstream os;
+  diags.print(os, file);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("<t>:1:8: error: unknown name 'nope'"), std::string::npos);
+  EXPECT_NE(text.find("main() nope(1)"), std::string::npos);
+  EXPECT_NE(text.find("^"), std::string::npos);
+}
+
+TEST(Diagnostics, CountsErrorsNotWarnings) {
+  DiagnosticEngine diags;
+  diags.warning({}, "w");
+  diags.note({}, "n");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({}, "e");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+}
+
+}  // namespace
+}  // namespace delirium

@@ -1,0 +1,207 @@
+// Graph conversion unit tests: structural validity, node classification,
+// tail marking, closure capture wiring, and DOT export.
+#include <gtest/gtest.h>
+
+#include "src/apps/dcc/program_gen.h"
+#include "src/delirium.h"
+
+namespace delirium {
+namespace {
+
+OperatorRegistry& registry() {
+  static OperatorRegistry r = [] {
+    OperatorRegistry reg;
+    register_builtin_operators(reg);
+    return reg;
+  }();
+  return r;
+}
+
+CompiledProgram compile(const std::string& text, bool optimize = false) {
+  CompileOptions options;
+  options.optimize = optimize;
+  return compile_or_throw(text, registry(), options);
+}
+
+const Node* find_node(const Template& tmpl, NodeKind kind) {
+  for (const Node& n : tmpl.nodes) {
+    if (n.kind == kind) return &n;
+  }
+  return nullptr;
+}
+
+int count_nodes(const Template& tmpl, NodeKind kind) {
+  int count = 0;
+  for (const Node& n : tmpl.nodes) count += n.kind == kind ? 1 : 0;
+  return count;
+}
+
+TEST(Graph, ValidatesSimplePrograms) {
+  for (const char* source :
+       {"main() 1", "main() add(1, 2)", "main() let x = 1 in x",
+        "main() if 1 then 2 else 3", "main() <1, 2>",
+        "main() iterate { i = 0, incr(i) } while 0, result i"}) {
+    CompiledProgram program = compile(source);
+    EXPECT_EQ(validate_graph(program), "") << source;
+  }
+}
+
+TEST(Graph, OperatorNodeCarriesRegistryIndex) {
+  CompiledProgram program = compile("main() add(1, 2)");
+  const Node* op = find_node(program.entry_template(), NodeKind::kOperator);
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->op_index, registry().index_of("add"));
+  EXPECT_EQ(op->op_name, "add");
+  EXPECT_EQ(op->num_inputs, 2);
+}
+
+TEST(Graph, DirectCallTargetsFunctionTemplate) {
+  CompiledProgram program = compile("f(x) x\nmain() f(1)");
+  const Node* call = find_node(program.entry_template(), NodeKind::kCall);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(program.templates[call->target_template]->name, "f");
+  EXPECT_EQ(call->priority, PriorityClass::kCallClosure);
+}
+
+TEST(Graph, RecursiveCallsGetLowestPriority) {
+  CompiledProgram program = compile("f(n) if n then f(decr(n)) else 0\nmain() f(3)");
+  // main's call to the recursive f.
+  const Node* call = find_node(program.entry_template(), NodeKind::kCall);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->priority, PriorityClass::kRecursiveCallClosure);
+  EXPECT_TRUE(program.find("f")->recursive);
+}
+
+TEST(Graph, TailPositionsAreMarked) {
+  CompiledProgram program = compile("f(x) x\nmain() f(1)");
+  const Node* call = find_node(program.entry_template(), NodeKind::kCall);
+  ASSERT_NE(call, nullptr);
+  EXPECT_TRUE(call->is_tail);
+}
+
+TEST(Graph, NonTailCallsAreNotMarked) {
+  CompiledProgram program = compile("f(x) x\nmain() incr(f(1))");
+  const Node* call = find_node(program.entry_template(), NodeKind::kCall);
+  ASSERT_NE(call, nullptr);
+  EXPECT_FALSE(call->is_tail);
+}
+
+TEST(Graph, ConditionalBuildsTwoBranchTemplates) {
+  CompiledProgram program = compile("main() if 1 then 2 else 3");
+  // main + then-branch + else-branch.
+  EXPECT_EQ(program.templates.size(), 3u);
+  EXPECT_EQ(count_nodes(program.entry_template(), NodeKind::kMakeClosure), 2);
+  EXPECT_EQ(count_nodes(program.entry_template(), NodeKind::kIfDispatch), 1);
+}
+
+TEST(Graph, BranchesCaptureOnlyFreeVariables) {
+  CompiledProgram program = compile(R"(
+main()
+  let a = 1
+      b = 2
+      c = 3
+  in if a then b else 0
+)");
+  // then-branch captures b only; else-branch captures nothing.
+  const Template& main_tmpl = program.entry_template();
+  std::vector<const Node*> closures;
+  for (const Node& n : main_tmpl.nodes) {
+    if (n.kind == NodeKind::kMakeClosure) closures.push_back(&n);
+  }
+  ASSERT_EQ(closures.size(), 2u);
+  EXPECT_EQ(closures[0]->num_inputs + closures[1]->num_inputs, 1);
+}
+
+TEST(Graph, IterateBuildsLoopStepAndDoneTemplates) {
+  CompiledProgram program = compile("main() iterate { i = 0, incr(i) } while 0, result i");
+  // main + loop + step + done.
+  EXPECT_EQ(program.templates.size(), 4u);
+  bool found_recursive_loop = false;
+  for (const auto& t : program.templates) {
+    if (t->name.find("$loop") != std::string::npos && t->recursive) {
+      found_recursive_loop = true;
+    }
+  }
+  EXPECT_TRUE(found_recursive_loop);
+}
+
+TEST(Graph, LoopCapturesEnclosingBindings) {
+  CompiledProgram program = compile(R"(
+main()
+  let stride = 3
+  in iterate { i = 0, add(i, stride) } while less_than(i, 9), result i
+)");
+  EXPECT_EQ(validate_graph(program), "");
+  // The loop template takes the loop var plus the captured stride.
+  const Template* loop = nullptr;
+  for (const auto& t : program.templates) {
+    // The loop template itself, not its $step / $done sub-templates.
+    if (t->name.find("$loop") != std::string::npos &&
+        t->name.find("$step") == std::string::npos &&
+        t->name.find("$done") == std::string::npos) {
+      loop = t.get();
+    }
+  }
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->num_params, 2u);
+  EXPECT_EQ(loop->num_captures, 1u);
+}
+
+TEST(Graph, GlobalFunctionAsValueBecomesClosure) {
+  CompiledProgram program = compile("bump(x) incr(x)\napply(f) f(1)\nmain() apply(bump)");
+  const Node* clo = find_node(program.entry_template(), NodeKind::kMakeClosure);
+  ASSERT_NE(clo, nullptr);
+  EXPECT_EQ(program.templates[clo->target_template]->name, "bump");
+  EXPECT_EQ(clo->num_inputs, 0);  // no captures
+  // apply calls through the closure value.
+  const Template* apply = program.find("apply");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_NE(find_node(*apply, NodeKind::kCallClosure), nullptr);
+}
+
+TEST(Graph, DecomposeBuildsTupleGets) {
+  CompiledProgram program = compile("main() let <a, b, c> = <1, 2, 3> in b");
+  EXPECT_EQ(count_nodes(program.entry_template(), NodeKind::kTupleGet), 3);
+  EXPECT_EQ(count_nodes(program.entry_template(), NodeKind::kTupleMake), 1);
+}
+
+TEST(Graph, SlotLayoutIsDense) {
+  CompiledProgram program = compile("main() add(mul(1, 2), sub(3, 4))");
+  const Template& tmpl = program.entry_template();
+  uint32_t total = 0;
+  for (const Node& n : tmpl.nodes) total += n.num_inputs;
+  EXPECT_EQ(tmpl.value_slots, total);
+}
+
+TEST(Graph, GeneratedProgramsAllValidate) {
+  for (uint64_t seed : {21ull, 22ull, 23ull, 24ull, 25ull}) {
+    dcc::GenParams params;
+    params.num_functions = 25;
+    params.seed = seed;
+    const std::string source = dcc::generate_program(params);
+    CompiledProgram plain = compile(source, /*optimize=*/false);
+    CompiledProgram optimized = compile(source, /*optimize=*/true);
+    EXPECT_EQ(validate_graph(plain), "") << "seed " << seed;
+    EXPECT_EQ(validate_graph(optimized), "") << "seed " << seed;
+    // Optimization may only shrink the graph.
+    EXPECT_LE(optimized.total_nodes(), plain.total_nodes()) << "seed " << seed;
+  }
+}
+
+TEST(Graph, DotExportMentionsTemplatesAndEdges) {
+  CompiledProgram program = compile("f(x) incr(x)\nmain() f(41)");
+  const std::string dot = program_to_dot(program);
+  EXPECT_NE(dot.find("digraph delirium"), std::string::npos);
+  EXPECT_NE(dot.find("main"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("incr"), std::string::npos);
+}
+
+TEST(Graph, EntryPointIsMain) {
+  CompiledProgram program = compile("helper() 1\nmain() helper()");
+  EXPECT_EQ(program.entry_template().name, "main");
+}
+
+}  // namespace
+}  // namespace delirium

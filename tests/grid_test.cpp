@@ -1,0 +1,137 @@
+// Grid relaxation app tests: bitwise equivalence between the sequential
+// sweep, the hard-wired fork-join coordination, and the parmap variant.
+#include <gtest/gtest.h>
+
+#include "src/apps/grid/grid.h"
+#include "src/delirium.h"
+
+namespace delirium::grid {
+namespace {
+
+GridParams small_params() {
+  GridParams p;
+  p.width = 48;
+  p.height = 48;
+  p.bands = 4;
+  p.steps = 6;
+  p.seed = 3;
+  return p;
+}
+
+TEST(GridModel, BoundaryStaysFixed) {
+  GridParams p = small_params();
+  const Grid grid = sequential_run(p);
+  for (int x = 0; x < p.width; ++x) {
+    EXPECT_EQ(grid.at(x, 0), 0.0f);
+    EXPECT_EQ(grid.at(x, p.height - 1), 0.0f);
+  }
+  for (int y = 0; y < p.height; ++y) {
+    EXPECT_EQ(grid.at(0, y), 0.0f);
+    EXPECT_EQ(grid.at(p.width - 1, y), 0.0f);
+  }
+}
+
+TEST(GridModel, HeatDiffusesButDoesNotAppear) {
+  GridParams p = small_params();
+  const Grid start = make_grid(p);
+  const Grid end = sequential_run(p);
+  double total_start = 0, total_end = 0;
+  for (const auto& row : start.rows) {
+    for (float v : row) total_start += v;
+  }
+  for (const auto& row : end.rows) {
+    for (float v : row) total_end += v;
+  }
+  EXPECT_GT(total_start, 0);
+  // Dirichlet boundary absorbs heat: the total can only shrink.
+  EXPECT_LE(total_end, total_start);
+  EXPECT_GT(total_end, 0);
+}
+
+TEST(GridModel, DeterministicPerSeed) {
+  GridParams p = small_params();
+  EXPECT_EQ(checksum(sequential_run(p)), checksum(sequential_run(p)));
+  GridParams q = p;
+  q.seed = 4;
+  EXPECT_NE(checksum(sequential_run(p)), checksum(sequential_run(q)));
+}
+
+TEST(GridModel, RelaxBandMatchesFullRelax) {
+  GridParams p = small_params();
+  const Grid grid = make_grid(p);
+  std::vector<std::vector<float>> full;
+  relax_rows(grid, 0, p.height, full);
+
+  const int rows = p.height / p.bands;
+  for (int b = 0; b < p.bands; ++b) {
+    Band band;
+    band.row0 = b * rows;
+    band.row1 = (b + 1) * rows;
+    for (int y = band.row0; y < band.row1; ++y) {
+      band.rows.push_back(grid.rows[static_cast<size_t>(y)]);
+    }
+    if (band.row0 > 0) band.halo_above = grid.rows[static_cast<size_t>(band.row0 - 1)];
+    if (band.row1 < p.height) band.halo_below = grid.rows[static_cast<size_t>(band.row1)];
+    relax_band(band, p.width, p.height);
+    for (int y = band.row0; y < band.row1; ++y) {
+      ASSERT_EQ(band.rows[static_cast<size_t>(y - band.row0)],
+                full[static_cast<size_t>(y)])
+          << "band " << b << " row " << y;
+    }
+  }
+}
+
+class GridParallel : public ::testing::TestWithParam<std::tuple<bool, int>> {};
+
+TEST_P(GridParallel, MatchesSequentialBitwise) {
+  const bool use_parmap = std::get<0>(GetParam());
+  const int workers = std::get<1>(GetParam());
+  GridParams p = small_params();
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_grid_operators(registry, p);
+  const std::string source = use_parmap ? grid_source_parmap(p) : grid_source(p);
+  CompiledProgram program = compile_or_throw(source, registry);
+  Runtime runtime(registry, {.num_workers = workers});
+  Value result = runtime.run(program);
+  const Grid& parallel = result.block_as<Grid>();
+  const Grid sequential = sequential_run(p);
+  ASSERT_EQ(parallel.rows.size(), sequential.rows.size());
+  EXPECT_EQ(parallel.rows, sequential.rows);  // bitwise
+}
+
+std::string grid_param_name(const ::testing::TestParamInfo<std::tuple<bool, int>>& info) {
+  return std::string(std::get<0>(info.param) ? "Parmap" : "Classic") + "Workers" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, GridParallel,
+                         ::testing::Combine(::testing::Bool(), ::testing::Values(1, 3, 4)),
+                         grid_param_name);
+
+TEST(GridParallelProperties, ClassicVersionHasNoCowCopies) {
+  GridParams p = small_params();
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_grid_operators(registry, p);
+  CompiledProgram program = compile_or_throw(grid_source(p), registry);
+  Runtime runtime(registry, {.num_workers = 4});
+  runtime.run(program);
+  EXPECT_EQ(runtime.last_stats().cow_copies, 0u);
+}
+
+TEST(GridParallelProperties, ParmapVersionWorksAtOddBandCounts) {
+  GridParams p = small_params();
+  p.bands = 6;
+  p.height = 48;  // divisible by 6
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_grid_operators(registry, p);
+  CompiledProgram program = compile_or_throw(grid_source_parmap(p), registry);
+  Runtime runtime(registry, {.num_workers = 4});
+  Value result = runtime.run(program);
+  EXPECT_EQ(result.block_as<Grid>().rows, sequential_run(p).rows);
+}
+
+}  // namespace
+}  // namespace delirium::grid

@@ -1,0 +1,146 @@
+// Lexer unit tests: token kinds, literals, comments, and error recovery.
+#include <gtest/gtest.h>
+
+#include "src/lang/lexer.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source.h"
+
+namespace delirium {
+namespace {
+
+std::vector<Token> lex(const std::string& text, DiagnosticEngine* diags_out = nullptr) {
+  SourceFile file("<test>", text);
+  DiagnosticEngine diags;
+  auto tokens = Lexer(file, diags).lex_all();
+  if (diags_out != nullptr) *diags_out = std::move(diags);
+  return tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string& text) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(text)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kinds("( ) { } < > , ="),
+            (std::vector<TokenKind>{TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+                                    TokenKind::kRBrace, TokenKind::kLAngle, TokenKind::kRAngle,
+                                    TokenKind::kComma, TokenKind::kEquals, TokenKind::kEof}));
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("let in if then else iterate while result define NULL"),
+            (std::vector<TokenKind>{TokenKind::kLet, TokenKind::kIn, TokenKind::kIf,
+                                    TokenKind::kThen, TokenKind::kElse, TokenKind::kIterate,
+                                    TokenKind::kWhile, TokenKind::kResult, TokenKind::kDefine,
+                                    TokenKind::kNull, TokenKind::kEof}));
+}
+
+TEST(Lexer, KeywordsArePrefixSensitive) {
+  const auto tokens = lex("letter inner if_else");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = lex("0 42 123456789");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789);
+}
+
+TEST(Lexer, NegativeLiterals) {
+  const auto tokens = lex("-7 -2.5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[0].int_value, -7);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, -2.5);
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto tokens = lex("3.25 1e6 2.5e-3");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 1e6);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 2.5e-3);
+}
+
+TEST(Lexer, DotWithoutDigitIsNotAFloat) {
+  // "1." should lex as int then error (no postfix dot token exists).
+  DiagnosticEngine diags;
+  const auto tokens = lex("1.x", &diags);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_TRUE(diags.has_errors());  // '.' is not a valid token
+}
+
+TEST(Lexer, IdentifierFollowedByExponentLikeSuffix) {
+  // "1e" with no digits: the 'e' starts an identifier.
+  const auto tokens = lex("1e");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "e");
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  const auto tokens = lex(R"("hello" "a\nb" "q\"q" "back\\slash")");
+  EXPECT_EQ(tokens[0].str_value, "hello");
+  EXPECT_EQ(tokens[1].str_value, "a\nb");
+  EXPECT_EQ(tokens[2].str_value, "q\"q");
+  EXPECT_EQ(tokens[3].str_value, "back\\slash");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("\"oops", &diags);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kError);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(kinds("a -- this is a comment\nb // also a comment\nc"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kEof}));
+}
+
+TEST(Lexer, MinusWithoutDigitIsError) {
+  DiagnosticEngine diags;
+  lex("a - b", &diags);
+  EXPECT_TRUE(diags.has_errors());  // Delirium has no infix operators
+}
+
+TEST(Lexer, UnknownCharacterProducesErrorAndContinues) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("a @ b", &diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+  EXPECT_EQ(tokens.size(), 4u);  // a, error, b, eof
+}
+
+TEST(Lexer, TokenRangesPointIntoSource) {
+  SourceFile file("<test>", "foo bar");
+  DiagnosticEngine diags;
+  const auto tokens = Lexer(file, diags).lex_all();
+  EXPECT_EQ(file.line_col(tokens[0].range.begin).col, 1u);
+  EXPECT_EQ(file.line_col(tokens[1].range.begin).col, 5u);
+}
+
+TEST(Lexer, MultiLinePositions) {
+  SourceFile file("<test>", "a\n  b\n    c");
+  DiagnosticEngine diags;
+  const auto tokens = Lexer(file, diags).lex_all();
+  EXPECT_EQ(file.line_col(tokens[1].range.begin).line, 2u);
+  EXPECT_EQ(file.line_col(tokens[1].range.begin).col, 3u);
+  EXPECT_EQ(file.line_col(tokens[2].range.begin).line, 3u);
+  EXPECT_EQ(file.line_col(tokens[2].range.begin).col, 5u);
+}
+
+}  // namespace
+}  // namespace delirium

@@ -1,0 +1,138 @@
+// Macro expansion unit tests: symbolic constants, function-like macros,
+// hygiene, and error cases.
+#include <gtest/gtest.h>
+
+#include "src/lang/macro.h"
+#include "src/lang/parser.h"
+#include "src/lang/pretty.h"
+
+namespace delirium {
+namespace {
+
+struct Expanded {
+  AstContext ctx;
+  Program program;
+  DiagnosticEngine diags;
+  std::string body;  // printed body of main after expansion
+};
+
+std::unique_ptr<Expanded> expand(const std::string& text) {
+  auto out = std::make_unique<Expanded>();
+  SourceFile file("<test>", text);
+  out->program = parse_source(file, out->ctx, out->diags);
+  expand_macros(out->program, out->ctx, out->diags);
+  if (FuncDecl* main_fn = out->program.find_function("main")) {
+    out->body = expr_to_string(main_fn->body);
+  }
+  return out;
+}
+
+TEST(Macro, SymbolicConstant) {
+  auto e = expand("define N = 10\nmain() add(N, N)");
+  EXPECT_FALSE(e->diags.has_errors());
+  EXPECT_EQ(e->body, "add(10, 10)");
+}
+
+TEST(Macro, ConstantCanBeAnExpression) {
+  auto e = expand("define N = add(1, 2)\nmain() N");
+  EXPECT_EQ(e->body, "add(1, 2)");
+}
+
+TEST(Macro, FunctionLikeMacro) {
+  auto e = expand("define TWICE(x) = add(x, x)\nmain() TWICE(5)");
+  EXPECT_EQ(e->body, "add(5, 5)");
+}
+
+TEST(Macro, MacroArgumentsAreExpressions) {
+  auto e = expand("define TWICE(x) = add(x, x)\nmain() TWICE(mul(2, 3))");
+  EXPECT_EQ(e->body, "add(mul(2, 3), mul(2, 3))");
+}
+
+TEST(Macro, NestedMacroUse) {
+  auto e = expand(R"(
+define A = 1
+define PLUS_A(x) = add(x, A)
+main() PLUS_A(PLUS_A(0))
+)");
+  EXPECT_EQ(e->body, "add(add(0, 1), 1)");
+}
+
+TEST(Macro, MacroReferencingMacro) {
+  auto e = expand("define A = 2\ndefine B = add(A, 1)\nmain() B");
+  EXPECT_EQ(e->body, "add(2, 1)");
+}
+
+TEST(Macro, ShadowedByLetBinding) {
+  // A let-bound name hides a macro parameter of the same name inside the
+  // macro body (hygiene with respect to shadowing).
+  auto e = expand(R"(
+define GET(x) = let x = 99 in x
+main() GET(5)
+)");
+  EXPECT_FALSE(e->diags.has_errors());
+  // The inner x is the let-bound one, not the argument.
+  EXPECT_EQ(e->body, "let\n    x = 99\n  in x");
+}
+
+TEST(Macro, ParameterVisibleInUnshadowedPositions) {
+  auto e = expand(R"(
+define GET(v) = let y = v in add(y, v)
+main() GET(7)
+)");
+  EXPECT_EQ(e->body, "let\n    y = 7\n  in add(y, 7)");
+}
+
+TEST(Macro, SubstitutionInsideIterate) {
+  auto e = expand(R"(
+define LIMIT = 3
+main() iterate { i = 0, incr(i) } while is_not_equal(i, LIMIT), result i
+)");
+  EXPECT_NE(e->body.find("is_not_equal(i, 3)"), std::string::npos);
+}
+
+TEST(Macro, WrongArityIsError) {
+  auto e = expand("define TWICE(x) = add(x, x)\nmain() TWICE(1, 2)");
+  EXPECT_TRUE(e->diags.has_errors());
+}
+
+TEST(Macro, RecursiveMacroIsError) {
+  auto e = expand("define LOOP = add(LOOP, 1)\nmain() LOOP");
+  EXPECT_TRUE(e->diags.has_errors());
+}
+
+TEST(Macro, MutuallyRecursiveMacrosAreError) {
+  auto e = expand("define A = B\ndefine B = A\nmain() A");
+  EXPECT_TRUE(e->diags.has_errors());
+}
+
+TEST(Macro, DuplicateDefinitionIsError) {
+  auto e = expand("define N = 1\ndefine N = 2\nmain() N");
+  EXPECT_TRUE(e->diags.has_errors());
+}
+
+TEST(Macro, MacrosClearedAfterExpansion) {
+  auto e = expand("define N = 1\nmain() N");
+  EXPECT_TRUE(e->program.macros.empty());
+}
+
+TEST(Macro, UnusedMacroIsHarmless) {
+  auto e = expand("define UNUSED = boom()\nmain() 1");
+  EXPECT_FALSE(e->diags.has_errors());
+  EXPECT_EQ(e->body, "1");
+}
+
+TEST(Substitute, RespectsFunctionParamShadowing) {
+  AstContext ctx;
+  DiagnosticEngine diags;
+  SourceFile file("<t>", "main() let f(v) v in f(v)");
+  Program program = parse_source(file, ctx, diags);
+  std::unordered_map<std::string, const Expr*> subst;
+  Expr* replacement = ctx.make_int(9);
+  subst["v"] = replacement;
+  Expr* result = substitute(program.functions[0]->body, subst, ctx);
+  // Outer use of v replaced; inner (param-bound) use untouched.
+  EXPECT_EQ(expr_to_string(result), "let\n    f(v) v\n  in f(9)");
+}
+
+}  // namespace
+}  // namespace delirium

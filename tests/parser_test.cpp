@@ -1,0 +1,213 @@
+// Parser unit tests: the six constructs, error reporting, and the
+// pretty-printer round-trip property (parse . print == identity).
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "src/lang/pretty.h"
+
+namespace delirium {
+namespace {
+
+struct Parsed {
+  AstContext ctx;
+  Program program;
+  DiagnosticEngine diags;
+  std::string summary;
+};
+
+std::unique_ptr<Parsed> parse(const std::string& text) {
+  auto out = std::make_unique<Parsed>();
+  SourceFile file("<test>", text);
+  out->program = parse_source(file, out->ctx, out->diags);
+  out->summary = out->diags.summary(file);
+  return out;
+}
+
+TEST(Parser, SimpleFunction) {
+  auto p = parse("main() 42");
+  ASSERT_FALSE(p->diags.has_errors()) << p->summary;
+  ASSERT_EQ(p->program.functions.size(), 1u);
+  EXPECT_EQ(p->program.functions[0]->name, "main");
+  EXPECT_TRUE(p->program.functions[0]->params.empty());
+  EXPECT_EQ(p->program.functions[0]->body->kind, ExprKind::kIntLit);
+}
+
+TEST(Parser, FunctionWithParams) {
+  auto p = parse("f(a, b, c) a");
+  ASSERT_FALSE(p->diags.has_errors());
+  EXPECT_EQ(p->program.functions[0]->params,
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Parser, ApplicationNesting) {
+  auto p = parse("main() f(g(1), h(2, 3))");
+  ASSERT_FALSE(p->diags.has_errors());
+  const Expr* body = p->program.functions[0]->body;
+  ASSERT_EQ(body->kind, ExprKind::kApply);
+  EXPECT_EQ(body->callee->str_value, "f");
+  ASSERT_EQ(body->args.size(), 2u);
+  EXPECT_EQ(body->args[0]->callee->str_value, "g");
+}
+
+TEST(Parser, ChainedApplication) {
+  // f(x)(y): calling the closure f returns.
+  auto p = parse("main() f(1)(2)");
+  ASSERT_FALSE(p->diags.has_errors());
+  const Expr* body = p->program.functions[0]->body;
+  ASSERT_EQ(body->kind, ExprKind::kApply);
+  EXPECT_EQ(body->callee->kind, ExprKind::kApply);
+}
+
+TEST(Parser, LetWithAllBindingKinds) {
+  auto p = parse(R"(
+main()
+  let x = 1
+      <a, b> = pair()
+      helper(v) add(v, x)
+  in helper(a)
+)");
+  ASSERT_FALSE(p->diags.has_errors()) << p->summary;
+  const Expr* body = p->program.functions[0]->body;
+  ASSERT_EQ(body->kind, ExprKind::kLet);
+  ASSERT_EQ(body->bindings.size(), 3u);
+  EXPECT_EQ(body->bindings[0].kind, Binding::Kind::kValue);
+  EXPECT_EQ(body->bindings[1].kind, Binding::Kind::kDecompose);
+  EXPECT_EQ(body->bindings[1].names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(body->bindings[2].kind, Binding::Kind::kFunction);
+  EXPECT_EQ(body->bindings[2].params, (std::vector<std::string>{"v"}));
+}
+
+TEST(Parser, ConditionalStructure) {
+  auto p = parse("main() if c(1) then 2 else 3");
+  ASSERT_FALSE(p->diags.has_errors());
+  const Expr* body = p->program.functions[0]->body;
+  ASSERT_EQ(body->kind, ExprKind::kIf);
+  EXPECT_EQ(body->cond->kind, ExprKind::kApply);
+  EXPECT_EQ(body->then_branch->int_value, 2);
+  EXPECT_EQ(body->else_branch->int_value, 3);
+}
+
+TEST(Parser, IterateStructure) {
+  auto p = parse(R"(
+main()
+  iterate {
+    i = 0, incr(i)
+    acc = 1, add(acc, i)
+  } while is_not_equal(i, 10), result acc
+)");
+  ASSERT_FALSE(p->diags.has_errors()) << p->summary;
+  const Expr* body = p->program.functions[0]->body;
+  ASSERT_EQ(body->kind, ExprKind::kIterate);
+  ASSERT_EQ(body->loop_vars.size(), 2u);
+  EXPECT_EQ(body->loop_vars[0].name, "i");
+  EXPECT_EQ(body->loop_vars[1].name, "acc");
+  EXPECT_EQ(body->result_name, "acc");
+}
+
+TEST(Parser, IterateCommaBeforeResultIsOptional) {
+  EXPECT_FALSE(parse("main() iterate { i = 0, incr(i) } while i result i")->diags.has_errors());
+  EXPECT_FALSE(
+      parse("main() iterate { i = 0, incr(i) } while i, result i")->diags.has_errors());
+}
+
+TEST(Parser, TupleExpression) {
+  auto p = parse("main() <1, 2.5, \"x\", NULL>");
+  ASSERT_FALSE(p->diags.has_errors());
+  const Expr* body = p->program.functions[0]->body;
+  ASSERT_EQ(body->kind, ExprKind::kTuple);
+  EXPECT_EQ(body->args.size(), 4u);
+}
+
+TEST(Parser, DefineDecls) {
+  auto p = parse(R"(
+define N = 10
+define TWICE(x) = add(x, x)
+main() TWICE(N)
+)");
+  ASSERT_FALSE(p->diags.has_errors());
+  ASSERT_EQ(p->program.macros.size(), 2u);
+  EXPECT_TRUE(p->program.macros[0]->is_macro);
+  EXPECT_EQ(p->program.macros[1]->params.size(), 1u);
+}
+
+TEST(Parser, MultipleTopLevelFunctions) {
+  auto p = parse("f() 1\ng() 2\nh() 3");
+  ASSERT_FALSE(p->diags.has_errors());
+  EXPECT_EQ(p->program.functions.size(), 3u);
+}
+
+TEST(Parser, ErrorMissingParen) {
+  auto p = parse("main( 42");
+  EXPECT_TRUE(p->diags.has_errors());
+}
+
+TEST(Parser, ErrorMissingIn) {
+  auto p = parse("main() let x = 1 x");
+  EXPECT_TRUE(p->diags.has_errors());
+}
+
+TEST(Parser, ErrorIterateWithoutLoopVars) {
+  auto p = parse("main() iterate { } while 0, result x");
+  EXPECT_TRUE(p->diags.has_errors());
+}
+
+TEST(Parser, ErrorGarbageAtTopLevelRecovers) {
+  auto p = parse(", , main() 1");
+  EXPECT_TRUE(p->diags.has_errors());
+  // The parser must still find main.
+  EXPECT_EQ(p->program.functions.size(), 1u);
+}
+
+TEST(Parser, ParenthesizedExpression) {
+  auto p = parse("main() (42)");
+  ASSERT_FALSE(p->diags.has_errors());
+  EXPECT_EQ(p->program.functions[0]->body->kind, ExprKind::kIntLit);
+}
+
+// --- pretty-printer round trip -------------------------------------------
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintThenParseIsIdentity) {
+  auto first = parse(GetParam());
+  ASSERT_FALSE(first->diags.has_errors()) << first->summary;
+  const std::string printed = program_to_string(first->program);
+  auto second = parse(printed);
+  ASSERT_FALSE(second->diags.has_errors())
+      << "printed form failed to parse:\n" << printed << "\n" << second->summary;
+  ASSERT_EQ(first->program.functions.size(), second->program.functions.size());
+  for (size_t i = 0; i < first->program.functions.size(); ++i) {
+    EXPECT_TRUE(
+        expr_equal(first->program.functions[i]->body, second->program.functions[i]->body))
+        << "function " << first->program.functions[i]->name << " did not round-trip:\n"
+        << printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTrip,
+    ::testing::Values(
+        "main() 42", "main() -3.5", "main() \"str\\n\"", "main() NULL",
+        "main() f(1)(2)(3)",
+        "main() let x = 1 in x",
+        "main() let <a, b, c> = t() in b",
+        "main() let f(x, y) add(x, y) in f(1, 2)",
+        "main() if a() then <1, 2> else NULL",
+        "main() iterate { i = 0, incr(i) } while less_than(i, 3), result i",
+        R"(do_it(board, queen)
+             let h1 = try(board, queen, 1)
+                 h2 = try(board, queen, 2)
+             in merge(h1, h2)
+           main() do_it(empty(), 1)
+           try(b, q, l) if valid(b) then b else NULL
+           )",
+        R"(main()
+             iterate {
+               t = 0, incr(t)
+               scene = set_up(),
+                 let <a, b> = split(scene)
+                 in join(work(a), work(b))
+             } while is_not_equal(t, 4), result scene)"));
+
+}  // namespace
+}  // namespace delirium

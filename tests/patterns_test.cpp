@@ -1,0 +1,211 @@
+// Coordination-pattern gallery: §2.1 claims Delirium "can compactly
+// express complicated parallel control patterns ... using only a few
+// notational devices". Each test expresses a classic parallel pattern
+// purely in the language (built-in operators only) and checks it against
+// a plain C++ reference, at several worker counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "tests/test_util.h"
+
+namespace delirium {
+namespace {
+
+int64_t run_everywhere(const std::string& source) {
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(source, *reg);
+  int64_t expected = 0;
+  bool first = true;
+  for (int workers : {1, 4}) {
+    Runtime runtime(*reg, {.num_workers = workers});
+    const int64_t v = runtime.run(program).as_int();
+    if (first) {
+      expected = v;
+      first = false;
+    } else {
+      EXPECT_EQ(v, expected) << "workers " << workers;
+    }
+  }
+  return expected;
+}
+
+TEST(Patterns, DivideAndConquerReduction) {
+  // Recursive halving sum over a package: the classic reduction tree.
+  const std::string source = R"(
+sum_range(p, lo, hi)
+  if is_equal(sub(hi, lo), 1)
+    then package_get(p, lo)
+    else let mid = add(lo, div(sub(hi, lo), 2))
+             left = sum_range(p, lo, mid)
+             right = sum_range(p, mid, hi)
+         in add(left, right)
+main()
+  let p = range(64)
+  in sum_range(p, 0, package_size(p))
+)";
+  EXPECT_EQ(run_everywhere(source), 64 * 63 / 2);
+}
+
+TEST(Patterns, ParallelMergesort) {
+  // Divide-and-conquer sort of a package; merge is an iterate.
+  const std::string source = R"(
+-- which source supplies the next element, given current positions
+pick_a(a, b, i, j)
+  if is_equal(i, package_size(a)) then 0
+  else if is_equal(j, package_size(b)) then 1
+  else less_equal(package_get(a, i), package_get(b, j))
+
+-- merge two sorted packages; every step consults pick_a with the
+-- *current* iteration's positions, so the decisions agree
+merge2(a, b)
+  iterate {
+    i = 0, if pick_a(a, b, i, j) then incr(i) else i
+    j = 0, if pick_a(a, b, i, j) then j else incr(j)
+    out = range(0),
+      if pick_a(a, b, i, j)
+        then package_append(out, package_get(a, i))
+        else package_append(out, package_get(b, j))
+  } while less_than(add(i, j), add(package_size(a), package_size(b))), result out
+
+msort(p)
+  if less_equal(package_size(p), 1)
+    then p
+    else let mid = div(package_size(p), 2)
+             left = msort(package_slice(p, 0, mid))
+             right = msort(package_slice(p, mid, package_size(p)))
+         in merge2(left, right)
+
+-- a deterministic scramble: k -> (k * 37) mod 101
+scramble(k) mod(mul(k, 37), 101)
+
+is_sorted(p)
+  iterate {
+    i = 0, incr(i)
+    ok = 1,
+      if less_than(incr(i), package_size(p))
+        then and(ok, less_equal(package_get(p, i), package_get(p, incr(i))))
+        else ok
+  } while less_than(incr(i), package_size(p)), result ok
+
+main()
+  let sorted = msort(parmap(scramble, range(32)))
+  in if is_sorted(sorted)
+       then package_get(sorted, 0)
+       else -1
+)";
+  // min over k in 0..31 of (37k mod 101).
+  int64_t expected = 1000;
+  for (int64_t k = 0; k < 32; ++k) expected = std::min(expected, (k * 37) % 101);
+  EXPECT_EQ(run_everywhere(source), expected);
+}
+
+TEST(Patterns, PipelineThroughIterate) {
+  // A three-stage pipeline carried through loop variables: stage s2 sees
+  // the value s1 produced in the *previous* iteration, so the stages of
+  // different items overlap (software pipelining through dataflow).
+  const std::string source = R"(
+main()
+  iterate {
+    t = 0, incr(t)
+    s1 = 0, mul(t, t)          -- stage 1: square the tick
+    s2 = 0, add(s1, 1)         -- stage 2: sees last iteration's s1
+    total = 0, add(total, s2)  -- stage 3: accumulate
+  } while is_not_equal(t, 10), result total
+)";
+  // Reference: simulate the staggered pipeline.
+  int64_t s1 = 0, s2 = 0, total = 0;
+  for (int64_t t = 0; t != 10; ++t) {
+    const int64_t ns1 = t * t, ns2 = s1 + 1, ntotal = total + s2;
+    s1 = ns1;
+    s2 = ns2;
+    total = ntotal;
+  }
+  EXPECT_EQ(run_everywhere(source), total);
+}
+
+TEST(Patterns, MapReduceWithParmap) {
+  const std::string source = R"(
+square(x) mul(x, x)
+reduce(p, lo, hi)
+  if is_equal(sub(hi, lo), 1)
+    then package_get(p, lo)
+    else let mid = add(lo, div(sub(hi, lo), 2))
+         in add(reduce(p, lo, mid), reduce(p, mid, hi))
+main()
+  let squares = parmap(square, range(32))
+  in reduce(squares, 0, package_size(squares))
+)";
+  int64_t expected = 0;
+  for (int64_t k = 0; k < 32; ++k) expected += k * k;
+  EXPECT_EQ(run_everywhere(source), expected);
+}
+
+TEST(Patterns, WavefrontOverTriangularDependencies) {
+  // d[i][j] = d[i-1][j] + d[i][j-1], computed row by row where each row
+  // is a package derived from the previous row — the anti-diagonal
+  // parallelism appears inside build_row's parmap.
+  const std::string source = R"(
+-- next[j] = prev[j] + next[j-1]; a left-to-right scan of the row
+scan_row(prev)
+  iterate {
+    j = 0, incr(j)
+    row = range(0),
+      let left = if is_equal(j, 0) then 0 else package_get(row, decr(j))
+      in package_append(row, add(package_get(prev, j), left))
+  } while is_not_equal(j, package_size(prev)), result row
+
+main()
+  iterate {
+    i = 0, incr(i)
+    row = parmap_id(range_ones(8)), scan_row(row)
+  } while is_not_equal(i, 7), result row
+range_ones(n)
+  iterate {
+    k = 0, incr(k)
+    p = range(0), package_append(p, 1)
+  } while is_not_equal(k, n), result p
+parmap_id(p) p
+)";
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(source, *reg);
+  Runtime runtime(*reg, {.num_workers = 3});
+  const Value result = runtime.run(program);
+  // Reference: Pascal-like wavefront, 7 scan steps over an all-ones row.
+  std::vector<int64_t> row(8, 1);
+  for (int i = 0; i < 7; ++i) {
+    std::vector<int64_t> next(8);
+    int64_t left = 0;
+    for (int j = 0; j < 8; ++j) {
+      next[j] = row[j] + left;
+      left = next[j];
+    }
+    row = next;
+  }
+  const MultiValue& mv = result.as_tuple();
+  ASSERT_EQ(mv.elems.size(), row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    EXPECT_EQ(mv.elems[j].as_int(), row[j]) << "column " << j;
+  }
+}
+
+TEST(Patterns, RecursiveBacktrackingSkeleton) {
+  // The §3 queens skeleton in miniature: explore a branching space,
+  // count leaves satisfying a predicate (here: 3-bit strings with no two
+  // adjacent ones — the Fibonacci-ish count).
+  const std::string source = R"(
+explore(depth, last)
+  if is_equal(depth, 0)
+    then 1
+    else let with_zero = explore(decr(depth), 0)
+             with_one = if last then 0 else explore(decr(depth), 1)
+         in add(with_zero, with_one)
+main() explore(10, 0)
+)";
+  // Count of binary strings of length 10 with no "11": F(12) = 144.
+  EXPECT_EQ(run_everywhere(source), 144);
+}
+
+}  // namespace
+}  // namespace delirium

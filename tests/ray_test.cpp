@@ -1,0 +1,187 @@
+// Ray tracer app tests: parallel band rendering must be bitwise identical
+// to the sequential render at every worker count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/ray/ray.h"
+#include "src/delirium.h"
+
+namespace delirium::ray {
+namespace {
+
+RayParams small_params() {
+  RayParams p;
+  p.width = 64;
+  p.height = 48;
+  p.num_spheres = 6;
+  p.bands = 8;
+  p.seed = 3;
+  return p;
+}
+
+TEST(RayMath, NormalizeProducesUnitVectors) {
+  const Vec3 v = normalize({3, 4, 0});
+  EXPECT_NEAR(std::sqrt(dot(v, v)), 1.0f, 1e-5f);
+}
+
+TEST(RayMath, ReflectPreservesLength) {
+  const Vec3 v = normalize({1, -1, 0});
+  const Vec3 r = reflect(v, {0, 1, 0});
+  EXPECT_NEAR(dot(r, r), dot(v, v), 1e-5f);
+  EXPECT_GT(r.y, 0);  // bounced upward
+}
+
+TEST(RaySequential, DeterministicPerSeed) {
+  const RayParams p = small_params();
+  EXPECT_EQ(image_checksum(render_sequential(p)), image_checksum(render_sequential(p)));
+}
+
+TEST(RaySequential, SceneVariesWithSeed) {
+  RayParams p = small_params();
+  const double a = image_checksum(render_sequential(p));
+  p.seed = 4;
+  EXPECT_NE(a, image_checksum(render_sequential(p)));
+}
+
+TEST(RaySequential, HitsSomething) {
+  // The image must not be all background.
+  const RayParams p = small_params();
+  const Image img = render_sequential(p);
+  const Scene scene = build_scene(p);
+  int non_background = 0;
+  for (const Vec3& px : img.pix) {
+    if (px.x != scene.background.x || px.y != scene.background.y) ++non_background;
+  }
+  EXPECT_GT(non_background, static_cast<int>(img.pix.size()) / 4);
+}
+
+class RayParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(RayParallel, MatchesSequentialBitwise) {
+  const int workers = GetParam();
+  const RayParams p = small_params();
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_ray_operators(registry, p);
+  CompiledProgram program = compile_or_throw(ray_source(p), registry);
+  Runtime runtime(registry, {.num_workers = workers});
+  Value result = runtime.run(program);
+  const Image& parallel = result.block_as<Image>();
+  const Image sequential = render_sequential(p);
+  ASSERT_EQ(parallel.pix.size(), sequential.pix.size());
+  for (size_t i = 0; i < parallel.pix.size(); ++i) {
+    ASSERT_EQ(parallel.pix[i].x, sequential.pix[i].x) << "pixel " << i;
+    ASSERT_EQ(parallel.pix[i].y, sequential.pix[i].y) << "pixel " << i;
+    ASSERT_EQ(parallel.pix[i].z, sequential.pix[i].z) << "pixel " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, RayParallel, ::testing::Values(1, 2, 4, 8));
+
+TEST(RayParallelProperties, UnevenBandDivisionCoversWholeImage) {
+  RayParams p = small_params();
+  p.height = 50;  // not divisible by 8 bands
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_ray_operators(registry, p);
+  CompiledProgram program = compile_or_throw(ray_source(p), registry);
+  Runtime runtime(registry, {.num_workers = 4});
+  Value result = runtime.run(program);
+  EXPECT_EQ(image_checksum(result.block_as<Image>()),
+            image_checksum(render_sequential(p)));
+}
+
+TEST(RayBvh, MatchesBruteForceBitwise) {
+  RayParams p = small_params();
+  p.num_spheres = 10;
+  p.num_pyramids = 6;
+  RayParams brute = p;
+  brute.use_bvh = false;
+  const Image with_bvh = render_sequential(p);
+  const Image without = render_sequential(brute);
+  ASSERT_EQ(with_bvh.pix.size(), without.pix.size());
+  for (size_t i = 0; i < with_bvh.pix.size(); ++i) {
+    ASSERT_EQ(with_bvh.pix[i].x, without.pix[i].x) << "pixel " << i;
+    ASSERT_EQ(with_bvh.pix[i].y, without.pix[i].y) << "pixel " << i;
+    ASSERT_EQ(with_bvh.pix[i].z, without.pix[i].z) << "pixel " << i;
+  }
+}
+
+TEST(RayBvh, CoversEveryPrimitiveExactlyOnce) {
+  RayParams p = small_params();
+  p.num_pyramids = 5;
+  const Scene scene = build_scene(p);
+  ASSERT_GE(scene.bvh.root, 0);
+  std::vector<int> seen(scene.spheres.size() + scene.triangles.size(), 0);
+  for (const BvhNode& node : scene.bvh.nodes) {
+    for (int i = node.first_prim; i < node.first_prim + node.prim_count; ++i) {
+      ++seen[static_cast<size_t>(scene.bvh.prims[i])];
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1) << "primitive " << i;
+}
+
+TEST(RayBvh, TrianglesAreVisible) {
+  // A scene of pyramids only must not render as pure background.
+  RayParams p = small_params();
+  p.num_spheres = 0;
+  p.num_pyramids = 8;
+  const Image img = render_sequential(p);
+  const Scene scene = build_scene(p);
+  int non_background = 0;
+  for (const Vec3& px : img.pix) {
+    if (px.x != scene.background.x) ++non_background;
+  }
+  EXPECT_GT(non_background, 100);
+}
+
+TEST(RayTriangle, MollerTrumboreBasics) {
+  const Triangle tri{{0, 0, 5}, {2, 0, 5}, {1, 2, 5}, {}};
+  float t = 0;
+  // Straight at the centroid: hit at distance 5.
+  EXPECT_TRUE(intersect_triangle(tri, {1, 0.5f, 0}, {0, 0, 1}, &t));
+  EXPECT_NEAR(t, 5.0f, 1e-4f);
+  // Outside the triangle: miss.
+  EXPECT_FALSE(intersect_triangle(tri, {5, 5, 0}, {0, 0, 1}, &t));
+  // Parallel to the plane: miss.
+  EXPECT_FALSE(intersect_triangle(tri, {1, 0.5f, 0}, {1, 0, 0}, &t));
+  // Behind the origin: miss.
+  EXPECT_FALSE(intersect_triangle(tri, {1, 0.5f, 10}, {0, 0, 1}, &t));
+}
+
+TEST(RaySupersampling, SmoothsEdgesAndStaysParallelSafe) {
+  RayParams p = small_params();
+  p.samples_per_axis = 2;
+  const Image aa = render_sequential(p);
+  RayParams plain = p;
+  plain.samples_per_axis = 1;
+  const Image hard = render_sequential(plain);
+  EXPECT_NE(image_checksum(aa), image_checksum(hard));
+
+  // The band-parallel version must match the supersampled sequential
+  // render bitwise too.
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  register_ray_operators(registry, p);
+  CompiledProgram program = compile_or_throw(ray_source(p), registry);
+  Runtime runtime(registry, {.num_workers = 4});
+  Value result = runtime.run(program);
+  EXPECT_EQ(image_checksum(result.block_as<Image>()), image_checksum(aa));
+}
+
+TEST(RayParallelProperties, WritesPpm) {
+  const RayParams p = small_params();
+  const Image img = render_sequential(p);
+  const std::string path = ::testing::TempDir() + "/delirium_ray_test.ppm";
+  ASSERT_TRUE(write_ppm(img, path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(magic), "P6");
+}
+
+}  // namespace
+}  // namespace delirium::ray

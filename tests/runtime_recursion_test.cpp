@@ -1,0 +1,307 @@
+// Recursion, closures, first-class functions, and iterate — the dynamic
+// subgraph-expansion machinery (§3 and §7 of the paper).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace delirium {
+namespace {
+
+using testing::eval;
+using testing::eval_int;
+
+TEST(Recursion, Factorial) {
+  EXPECT_EQ(eval_int(R"(
+    fact(n)
+      if less_than(n, 2)
+        then 1
+        else mul(n, fact(decr(n)))
+    main() fact(10)
+  )"),
+            3628800);
+}
+
+TEST(Recursion, Fibonacci) {
+  // Tree recursion: exposes a lot of parallelism.
+  EXPECT_EQ(eval_int(R"(
+    fib(n)
+      if less_than(n, 2)
+        then n
+        else add(fib(sub(n, 1)), fib(sub(n, 2)))
+    main() fib(15)
+  )",
+                     4),
+            610);
+}
+
+TEST(Recursion, MutualRecursion) {
+  EXPECT_EQ(eval_int(R"(
+    is_even(n) if is_equal(n, 0) then 1 else is_odd(decr(n))
+    is_odd(n) if is_equal(n, 0) then 0 else is_even(decr(n))
+    main() is_even(20)
+  )"),
+            1);
+}
+
+TEST(Recursion, DeepTailRecursionRunsInBoundedActivationSpace) {
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(R"(
+    count(n, acc)
+      if is_equal(n, 0)
+        then acc
+        else count(decr(n), incr(acc))
+    main() count(50000, 0)
+  )",
+                                             *reg);
+  Runtime runtime(*reg, {.num_workers = 2});
+  EXPECT_EQ(runtime.run(program).as_int(), 50000);
+  // Tail calls forward the continuation: live activations must stay far
+  // below the 50k iterations (constant-factor bound).
+  EXPECT_LT(runtime.last_stats().peak_live_activations, 100u);
+}
+
+TEST(Recursion, LocalFunctionClosesOverBinding) {
+  EXPECT_EQ(eval_int(R"(
+    main()
+      let base = 100
+          addb(x) add(x, base)
+      in addb(23)
+  )"),
+            123);
+}
+
+TEST(Recursion, LocalFunctionUsedTwice) {
+  EXPECT_EQ(eval_int(R"(
+    main()
+      let f(x) mul(x, 3)
+      in add(f(1), f(2))
+  )"),
+            9);
+}
+
+TEST(Recursion, RecursiveLocalFunction) {
+  // The base case lives in a conditional branch: the self-reference must
+  // be re-exported into the branch template.
+  EXPECT_EQ(eval_int(R"(
+    main()
+      let step = 2
+          upto(n) if is_equal(n, 0) then 0 else add(step, upto(decr(n)))
+      in upto(10)
+  )"),
+            20);
+}
+
+TEST(Recursion, FunctionPassedAsArgument) {
+  EXPECT_EQ(eval_int(R"(
+    apply_twice(f, x) f(f(x))
+    bump(x) add(x, 10)
+    main() apply_twice(bump, 1)
+  )"),
+            21);
+}
+
+TEST(Recursion, FunctionReturnedAsValue) {
+  EXPECT_EQ(eval_int(R"(
+    pick(which)
+      let inc1(x) add(x, 1)
+          inc2(x) add(x, 2)
+      in if which then inc1 else inc2
+    main() (pick(0))(40)
+  )"),
+            42);
+}
+
+TEST(Recursion, ClosureCapturesAtCreationTime) {
+  EXPECT_EQ(eval_int(R"(
+    make_adder(k)
+      let addk(x) add(x, k)
+      in addk
+    main()
+      let a5 = make_adder(5)
+          a9 = make_adder(9)
+      in add(a5(0), a9(0))
+  )"),
+            14);
+}
+
+TEST(Recursion, ClosureCallArityMismatchIsRuntimeError) {
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(R"(
+    apply1(f) f(1, 2)
+    bump(x) add(x, 1)
+    main() apply1(bump)
+  )",
+                                             *reg);
+  Runtime runtime(*reg, {.num_workers = 2});
+  EXPECT_THROW(runtime.run(program), RuntimeError);
+}
+
+TEST(Iterate, CountsToTen) {
+  EXPECT_EQ(eval_int(R"(
+    main()
+      iterate {
+        i = 0, incr(i)
+      } while is_not_equal(i, 10), result i
+  )"),
+            10);
+}
+
+TEST(Iterate, AccumulatesAcrossIterations) {
+  // sum of 1..10 via two loop variables.
+  EXPECT_EQ(eval_int(R"(
+    main()
+      iterate {
+        i = 0, incr(i)
+        total = 0, add(total, incr(i))
+      } while is_not_equal(i, 10), result total
+  )"),
+            55);
+}
+
+TEST(Iterate, StepsSeeConsistentIterationState) {
+  // Both steps read the same pre-step values of (a, b): a swap must work.
+  EXPECT_EQ(eval_int(R"(
+    main()
+      iterate {
+        n = 0, incr(n)
+        a = 1, b
+        b = 2, a
+      } while is_not_equal(n, 3), result a
+  )"),
+            2);  // after 3 swaps: a=2
+}
+
+TEST(Iterate, ZeroIterationsWhenConditionInitiallyFalse) {
+  EXPECT_EQ(eval_int(R"(
+    main()
+      iterate {
+        i = 7, incr(i)
+      } while 0, result i
+  )"),
+            7);
+}
+
+TEST(Iterate, UsesEnclosingBindings) {
+  EXPECT_EQ(eval_int(R"(
+    main()
+      let limit = 5
+          stride = 3
+      in iterate {
+           i = 0, incr(i)
+           acc = 0, add(acc, stride)
+         } while is_not_equal(i, limit), result acc
+  )"),
+            15);
+}
+
+TEST(Iterate, NestedIterate) {
+  // 3x4 nested loops through a helper function.
+  EXPECT_EQ(eval_int(R"(
+    inner(base)
+      iterate {
+        j = 0, incr(j)
+        acc = base, incr(acc)
+      } while is_not_equal(j, 4), result acc
+    main()
+      iterate {
+        i = 0, incr(i)
+        total = 0, inner(total)
+      } while is_not_equal(i, 3), result total
+  )"),
+            12);
+}
+
+TEST(Iterate, ManyIterationsBoundedActivations) {
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(R"(
+    main()
+      iterate {
+        i = 0, incr(i)
+      } while is_not_equal(i, 100000), result i
+  )",
+                                             *reg);
+  Runtime runtime(*reg, {.num_workers = 2});
+  EXPECT_EQ(runtime.run(program).as_int(), 100000);
+  EXPECT_LT(runtime.last_stats().peak_live_activations, 100u);
+}
+
+TEST(Recursion, EightQueensFromThePaper) {
+  // The §3 program, verbatim structure, with its ~100 lines of C
+  // operators. Boards are blocks: vectors of queen positions.
+  using Board = std::vector<int8_t>;
+  OperatorRegistry reg;
+  register_builtin_operators(reg);
+  reg.add("empty_board", 0, [](OpContext&) { return Value::block(Board{}); }).pure();
+  reg.add("add_queen", 3, [](OpContext& ctx) {
+    Board board = ctx.arg_block<Board>(0);  // copy, then extend
+    (void)ctx.arg_int(1);                   // queen number == column
+    board.push_back(static_cast<int8_t>(ctx.arg_int(2)));
+    return Value::block(std::move(board));
+  }).pure();
+  reg.add("is_valid", 1, [](OpContext& ctx) {
+    const Board& b = ctx.arg_block<Board>(0);
+    const int last = static_cast<int>(b.size()) - 1;
+    for (int i = 0; i < last; ++i) {
+      const int dr = last - i;
+      if (b[i] == b[last] || b[i] == b[last] - dr || b[i] == b[last] + dr) {
+        return Value::of(int64_t{0});
+      }
+    }
+    return Value::of(int64_t{1});
+  }).pure();
+  reg.add("merge", 8, [](OpContext& ctx) {
+    // Merge: collect non-NULL results into a list-of-boards block.
+    std::vector<Board> all;
+    for (size_t i = 0; i < 8; ++i) {
+      const Value& v = ctx.arg(i);
+      if (v.is_null()) continue;
+      if (v.kind() == Value::Kind::kBlock) {
+        // Either a single solved board or a list of boards.
+        if (const auto* list = dynamic_cast<const TypedBlock<std::vector<Board>>*>(
+                v.block_ptr().get())) {
+          all.insert(all.end(), list->data.begin(), list->data.end());
+        } else {
+          all.push_back(v.block_as<Board>());
+        }
+      }
+    }
+    return Value::block(std::move(all));
+  }).pure();
+  reg.add("show_solutions", 1, [](OpContext& ctx) {
+    const auto& all = ctx.arg_block<std::vector<Board>>(0);
+    return Value::of(static_cast<int64_t>(all.size()));
+  }).pure();
+
+  const std::string source = R"(
+    main()
+      let board = empty_board()
+      in show_solutions(do_it(board, 1))
+
+    do_it(board, queen)
+      let h1 = try(board, queen, 1)
+          h2 = try(board, queen, 2)
+          h3 = try(board, queen, 3)
+          h4 = try(board, queen, 4)
+          h5 = try(board, queen, 5)
+          h6 = try(board, queen, 6)
+          h7 = try(board, queen, 7)
+          h8 = try(board, queen, 8)
+      in merge(h1, h2, h3, h4, h5, h6, h7, h8)
+
+    try(board, queen, location)
+      let new_board = add_queen(board, queen, location)
+      in if is_valid(new_board)
+          then if is_equal(queen, 8)
+                then new_board
+                else do_it(new_board, incr(queen))
+          else NULL
+  )";
+  // 8 queens has exactly 92 solutions.
+  for (int workers : {1, 4}) {
+    EXPECT_EQ(testing::compile_and_run(source, reg, workers).as_int(), 92)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace delirium

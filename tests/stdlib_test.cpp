@@ -1,0 +1,90 @@
+// Package standard library + tail-call ablation tests.
+#include <gtest/gtest.h>
+
+#include "src/runtime/sim.h"
+#include "tests/test_util.h"
+
+namespace delirium {
+namespace {
+
+using testing::eval;
+using testing::eval_int;
+
+TEST(PackageStdlib, SizeGetAppend) {
+  EXPECT_EQ(eval_int("main() package_size(<1, 2, 3>)"), 3);
+  EXPECT_EQ(eval_int("main() package_size(range(0))"), 0);
+  EXPECT_EQ(eval_int("main() package_get(<10, 20, 30>, 1)"), 20);
+  EXPECT_EQ(eval_int("main() package_size(package_append(<1>, 2))"), 2);
+  EXPECT_EQ(eval_int("main() package_get(package_append(<1>, 99), 1)"), 99);
+}
+
+TEST(PackageStdlib, ConcatReverseSlice) {
+  EXPECT_EQ(eval_int("main() package_size(package_concat(<1, 2>, <3>))"), 3);
+  EXPECT_EQ(eval_int("main() package_get(package_reverse(<1, 2, 3>), 0)"), 3);
+  EXPECT_EQ(eval_int("main() package_size(package_slice(range(10), 2, 7))"), 5);
+  EXPECT_EQ(eval_int("main() package_get(package_slice(range(10), 2, 7), 0)"), 2);
+}
+
+TEST(PackageStdlib, RangeFeedsParmap) {
+  EXPECT_EQ(eval_int(R"(
+square(x) mul(x, x)
+total(p)
+  iterate {
+    i = 0, incr(i)
+    acc = 0, add(acc, package_get(p, i))
+  } while is_not_equal(i, package_size(p)), result acc
+main() total(parmap(square, range(10)))
+)"),
+            285);
+}
+
+TEST(PackageStdlib, Errors) {
+  EXPECT_THROW(eval("main() package_get(<1>, 5)"), RuntimeError);
+  EXPECT_THROW(eval("main() package_get(<1>, -1)"), RuntimeError);
+  EXPECT_THROW(eval("main() package_slice(<1, 2>, 1, 9)"), RuntimeError);
+  EXPECT_THROW(eval("main() range(-3)"), RuntimeError);
+  EXPECT_THROW(eval("main() package_size(7)"), RuntimeError);
+}
+
+TEST(TailCallAblation, DisablingForwardingNestsActivations) {
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate {
+    i = 0, incr(i)
+  } while is_not_equal(i, 5000), result i
+)",
+                                             *reg);
+  Runtime with_tail(*reg, {.num_workers = 2});
+  Runtime without_tail(*reg, {.num_workers = 2, .enable_tail_calls = false});
+  EXPECT_EQ(with_tail.run(program).as_int(), 5000);
+  EXPECT_EQ(without_tail.run(program).as_int(), 5000);  // values unchanged
+  EXPECT_LT(with_tail.last_stats().peak_live_activations, 100u);
+  // Without forwarding, the loop's continuation chain keeps every
+  // iteration's activations alive until the loop bottoms out.
+  EXPECT_GT(without_tail.last_stats().peak_live_activations, 4000u);
+}
+
+TEST(TailCallAblation, SimAgrees) {
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(R"(
+main()
+  iterate {
+    i = 0, incr(i)
+  } while is_not_equal(i, 2000), result i
+)",
+                                             *reg);
+  SimRuntime with_tail(*reg, {.num_procs = 2});
+  SimConfig no_tail_cfg;
+  no_tail_cfg.num_procs = 2;
+  no_tail_cfg.enable_tail_calls = false;
+  SimRuntime without_tail(*reg, no_tail_cfg);
+  const SimResult a = with_tail.run(program);
+  const SimResult b = without_tail.run(program);
+  EXPECT_EQ(a.result.as_int(), b.result.as_int());
+  EXPECT_LT(a.stats.peak_live_activations, 100u);
+  EXPECT_GT(b.stats.peak_live_activations, 1500u);
+}
+
+}  // namespace
+}  // namespace delirium

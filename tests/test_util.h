@@ -1,0 +1,41 @@
+// Shared helpers for the test suite: compile-and-run conveniences.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/delirium.h"
+
+namespace delirium::testing {
+
+/// Registry with builtins pre-registered.
+inline std::shared_ptr<OperatorRegistry> builtin_registry() {
+  auto reg = std::make_shared<OperatorRegistry>();
+  register_builtin_operators(*reg);
+  return reg;
+}
+
+/// Compile `source` and run `main` with `workers` workers; returns the
+/// result value. Throws on compile or runtime failure.
+inline Value compile_and_run(const std::string& source, const OperatorRegistry& registry,
+                             int workers = 2, const CompileOptions& copts = {},
+                             RuntimeConfig rconfig = {}) {
+  CompiledProgram program = compile_or_throw(source, registry, copts);
+  rconfig.num_workers = workers;
+  Runtime runtime(registry, rconfig);
+  return runtime.run(program);
+}
+
+/// Compile and run with builtins only.
+inline Value eval(const std::string& source, int workers = 2) {
+  auto reg = builtin_registry();
+  return compile_and_run(source, *reg, workers);
+}
+
+inline int64_t eval_int(const std::string& source, int workers = 2) {
+  return eval(source, workers).as_int();
+}
+
+}  // namespace delirium::testing

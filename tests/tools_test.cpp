@@ -1,0 +1,102 @@
+// Tools module tests: report tables, timing aggregation, medians, and
+// Chrome trace export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/delirium.h"
+#include "src/tools/report.h"
+#include "src/tools/trace.h"
+
+namespace delirium::tools {
+namespace {
+
+TEST(Table, AlignsColumnsAndBorders) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22222"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(text.find("| longer-name | 22222 |"), std::string::npos);
+  EXPECT_NE(text.find("+-------------+-------+"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NE(table.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::ms(1.2345), "1.2");
+  EXPECT_EQ(Table::ms(1.2345, 3), "1.234");
+  EXPECT_EQ(Table::ratio(2.5), "2.50x");
+  EXPECT_EQ(Table::count(42), "42");
+}
+
+TEST(Aggregate, ComputesPerOpStats) {
+  std::vector<NodeTiming> timings = {
+      {"op_a", "t", 100, 0, 0}, {"op_a", "t", 300, 1, 1}, {"op_b", "t", 50, 0, 2}};
+  auto agg = aggregate_timings(timings);
+  EXPECT_EQ(agg.at("op_a").invocations, 2);
+  EXPECT_EQ(agg.at("op_a").total, 400);
+  EXPECT_EQ(agg.at("op_a").min, 100);
+  EXPECT_EQ(agg.at("op_a").max, 300);
+  EXPECT_DOUBLE_EQ(agg.at("op_a").mean(), 200.0);
+  EXPECT_EQ(agg.at("op_b").invocations, 1);
+}
+
+TEST(Aggregate, PrintTraceRespectsLimit) {
+  std::vector<NodeTiming> timings(10, NodeTiming{"op", "t", 5, 0, 0});
+  std::ostringstream os;
+  print_timing_trace(os, timings, 3);
+  EXPECT_NE(os.str().find("call of op took 5"), std::string::npos);
+  EXPECT_NE(os.str().find("(7 more)"), std::string::npos);
+}
+
+TEST(Median, OddAndRepeatable) {
+  int calls = 0;
+  const double m = median_of(5, [&] {
+    ++calls;
+    return static_cast<double>(calls);  // 1..5
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_DOUBLE_EQ(m, 3.0);
+}
+
+TEST(Trace, EmitsValidShapedJson) {
+  std::vector<NodeTiming> timings = {
+      {"alpha", "main", 1500, 0, 0}, {"beta \"q\"", "main", 2500, 1, 1}};
+  std::ostringstream os;
+  write_chrome_trace(os, timings);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(R"("name": "alpha")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph": "X")"), std::string::npos);
+  EXPECT_NE(json.find(R"(\"q\")"), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find(R"("tid": 1)"), std::string::npos);
+}
+
+TEST(Trace, RoundTripFromARealRun) {
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  CompiledProgram program = compile_or_throw(
+      "main() iterate { i = 0, incr(i) } while less_than(i, 20), result i", registry);
+  Runtime runtime(registry, {.num_workers = 2, .enable_node_timing = true});
+  runtime.run(program);
+  ASSERT_FALSE(runtime.node_timings().empty());
+  const std::string path = ::testing::TempDir() + "/delirium_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace_file(path, runtime.node_timings()));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("incr"), std::string::npos);
+  // Crude balance check: events exist for the run.
+  EXPECT_GE(std::count(content.begin(), content.end(), '{'),
+            static_cast<long>(runtime.node_timings().size()));
+}
+
+}  // namespace
+}  // namespace delirium::tools

@@ -1,0 +1,200 @@
+// §6.2 parallel tree-walk primitives: crown clipping, bin balance, and
+// the three walk strategies — each must be equivalent to a sequential
+// full-tree walk, under both sequential and thread-pool executors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "src/apps/dcc/program_gen.h"
+#include "src/apps/dcc/tree_walk.h"
+#include "src/baselines/fork_join.h"
+#include "src/lang/parser.h"
+
+namespace delirium::dcc {
+namespace {
+
+struct Tree {
+  AstContext ctx;
+  Expr* root = nullptr;
+};
+
+/// A big single-function tree from the generator (one function's body).
+std::unique_ptr<Tree> big_tree(uint64_t seed, int body_size = 400) {
+  GenParams params;
+  params.num_functions = 1;
+  params.body_size = body_size;
+  params.call_density = 0;  // a single self-contained body
+  params.seed = seed;
+  auto out = std::make_unique<Tree>();
+  SourceFile file("<gen>", generate_program(params));
+  DiagnosticEngine diags;
+  Program program = parse_source(file, out->ctx, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary(file);
+  out->root = program.functions.at(0)->body;
+  return out;
+}
+
+PieceExecutor pool_executor(baselines::ForkJoinPool& pool) {
+  return [&pool](int pieces, const std::function<void(int)>& fn) { pool.fork(pieces, fn); };
+}
+
+size_t count_nodes(const Expr* root) { return subtree_weight(root); }
+
+TEST(CrownClipping, SubtreesPartitionTheTree) {
+  auto tree = big_tree(1);
+  const CrownClip clip = clip_crown(tree->root, 4);
+  EXPECT_GE(clip.subtrees.size(), 4u);
+  // Crown + subtree weights account for every node exactly once.
+  uint64_t subtree_total = 0;
+  for (const Expr* s : clip.subtrees) subtree_total += subtree_weight(s);
+  EXPECT_EQ(clip.crown_weight + subtree_total, clip.total_weight);
+  // No subtree is an ancestor of another (disjointness).
+  std::set<const Expr*> all;
+  for (const Expr* s : clip.subtrees) {
+    std::vector<const Expr*> stack{s};
+    while (!stack.empty()) {
+      const Expr* n = stack.back();
+      stack.pop_back();
+      EXPECT_TRUE(all.insert(n).second) << "node reached from two subtrees";
+      for_each_child(n, [&stack](const Expr* c) { stack.push_back(c); });
+    }
+  }
+}
+
+TEST(CrownClipping, RespectsDesiredWeight) {
+  auto tree = big_tree(2);
+  const int pieces = 4;
+  const CrownClip clip = clip_crown(tree->root, pieces);
+  const uint64_t desired = clip.total_weight / pieces;
+  for (const Expr* s : clip.subtrees) {
+    EXPECT_LE(subtree_weight(s), desired);
+  }
+}
+
+TEST(CrownClipping, BinsAreBalanced) {
+  auto tree = big_tree(3, 800);
+  const CrownClip clip = clip_crown(tree->root, 4);
+  auto bins = assign_subtrees(clip, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  std::vector<uint64_t> weights;
+  for (const auto& bin : bins) {
+    uint64_t w = 0;
+    for (const Expr* s : bin) w += subtree_weight(s);
+    weights.push_back(w);
+  }
+  const uint64_t max_w = *std::max_element(weights.begin(), weights.end());
+  const uint64_t min_w = *std::min_element(weights.begin(), weights.end());
+  EXPECT_LE(max_w, 2 * std::max<uint64_t>(min_w, 1) + clip.total_weight / 4);
+}
+
+TEST(TopDownWalk, VisitsEveryNodeOnce) {
+  auto tree = big_tree(4);
+  const size_t nodes = count_nodes(tree->root);
+  std::atomic<size_t> visits{0};
+  baselines::ForkJoinPool pool(3);
+  top_down_walk(tree->root, 4, pool_executor(pool),
+                [&visits](Expr*) { visits.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(visits.load(), nodes);
+}
+
+TEST(TopDownWalk, AncestorsUpdateBeforeDescendants) {
+  // Mark nodes with a visit sequence; every child must carry a larger
+  // mark than its parent. Store marks via the weight field (scratch).
+  auto tree = big_tree(5);
+  std::unordered_map<const Expr*, int> order;
+  std::mutex mu;
+  int counter = 0;
+  top_down_walk(tree->root, 4, sequential_executor(), [&](Expr* node) {
+    std::lock_guard<std::mutex> lock(mu);
+    order[node] = counter++;
+  });
+  const std::function<void(const Expr*)> check = [&](const Expr* node) {
+    for_each_child(node, [&](const Expr* child) {
+      EXPECT_GT(order.at(child), order.at(node));
+      check(child);
+    });
+  };
+  check(tree->root);
+}
+
+TEST(SynthesizedWalk, MatchesSequentialReference) {
+  // Synthesized attribute: subtree node count (i.e. recompute weight).
+  auto tree = big_tree(6, 600);
+  const uint64_t expected = subtree_weight(tree->root);
+  baselines::ForkJoinPool pool(4);
+  const SynthCombine<uint64_t> combine = [](Expr*, const std::vector<uint64_t>& kids) {
+    uint64_t total = 1;
+    for (uint64_t k : kids) total += k;
+    return total;
+  };
+  EXPECT_EQ(synthesized_walk<uint64_t>(tree->root, 4, pool_executor(pool), combine),
+            expected);
+  EXPECT_EQ(synthesized_walk<uint64_t>(tree->root, 4, sequential_executor(), combine),
+            expected);
+}
+
+TEST(SynthesizedWalk, MaxDepthAttribute) {
+  auto tree = big_tree(7);
+  const SynthCombine<int> combine = [](Expr*, const std::vector<int>& kids) {
+    int deepest = 0;
+    for (int k : kids) deepest = std::max(deepest, k);
+    return deepest + 1;
+  };
+  // Reference: plain recursion.
+  const std::function<int(const Expr*)> depth_of = [&](const Expr* node) {
+    int deepest = 0;
+    for_each_child(node, [&](const Expr* c) { deepest = std::max(deepest, depth_of(c)); });
+    return deepest + 1;
+  };
+  baselines::ForkJoinPool pool(3);
+  EXPECT_EQ(synthesized_walk<int>(tree->root, 6, pool_executor(pool), combine),
+            depth_of(tree->root));
+}
+
+TEST(InheritedWalk, DepthAnnotationMatchesReference) {
+  auto tree = big_tree(8);
+  // Inherited attribute: depth from the root; record per node.
+  std::unordered_map<const Expr*, int> parallel_depths;
+  std::mutex mu;
+  const InheritStep<int> step = [&](Expr* node, const int& in) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      parallel_depths[node] = in;
+    }
+    return in + 1;
+  };
+  baselines::ForkJoinPool pool(4);
+  inherited_walk<int>(tree->root, 4, pool_executor(pool), 0, step);
+
+  std::unordered_map<const Expr*, int> reference;
+  const std::function<void(const Expr*, int)> walk = [&](const Expr* node, int d) {
+    reference[node] = d;
+    for_each_child(node, [&](const Expr* c) { walk(c, d + 1); });
+  };
+  walk(tree->root, 0);
+  ASSERT_EQ(parallel_depths.size(), reference.size());
+  for (const auto& [node, d] : reference) {
+    EXPECT_EQ(parallel_depths.at(node), d);
+  }
+}
+
+TEST(Walks, SinglePieceDegeneratesToSequential) {
+  auto tree = big_tree(9, 60);
+  std::atomic<size_t> visits{0};
+  top_down_walk(tree->root, 1, sequential_executor(),
+                [&visits](Expr*) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), count_nodes(tree->root));
+}
+
+TEST(Walks, TinyTreeManyPieces) {
+  AstContext ctx;
+  Expr* root = ctx.make_apply_named("add", {ctx.make_int(1), ctx.make_int(2)});
+  std::atomic<size_t> visits{0};
+  top_down_walk(root, 16, sequential_executor(), [&visits](Expr*) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 4u);  // add + var callee + two ints
+}
+
+}  // namespace
+}  // namespace delirium::dcc

@@ -1,0 +1,157 @@
+// Value model unit tests: kinds, conversions, blocks with copy-on-write,
+// tuples, closures, and display.
+#include <gtest/gtest.h>
+
+#include "src/runtime/value.h"
+
+namespace delirium {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+  EXPECT_FALSE(v.truthy());
+}
+
+TEST(Value, IntRoundTrip) {
+  const Value v = Value::of(int64_t{-42});
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_EQ(v.as_float(), -42.0);  // widening allowed
+  EXPECT_TRUE(v.truthy());
+  EXPECT_FALSE(Value::of(int64_t{0}).truthy());
+}
+
+TEST(Value, FloatRoundTrip) {
+  const Value v = Value::of(2.5);
+  EXPECT_DOUBLE_EQ(v.as_float(), 2.5);
+  EXPECT_THROW(v.as_int(), RuntimeError);  // no implicit narrowing
+  EXPECT_FALSE(Value::of(0.0).truthy());
+}
+
+TEST(Value, StringRoundTrip) {
+  const Value v = Value::of(std::string("hi"));
+  EXPECT_EQ(v.as_string(), "hi");
+  EXPECT_TRUE(Value::of(std::string("")).truthy());  // strings always true
+}
+
+TEST(Value, TypeErrorsAreDescriptive) {
+  try {
+    Value::of(int64_t{1}).as_string();
+    FAIL();
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected a string"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("int"), std::string::npos);
+  }
+}
+
+TEST(Value, TupleAccess) {
+  const Value t = Value::tuple({Value::of(int64_t{1}), Value::of(2.0)});
+  EXPECT_EQ(t.kind(), Value::Kind::kTuple);
+  EXPECT_EQ(t.as_tuple().elems.size(), 2u);
+  EXPECT_EQ(t.as_tuple().elems[0].as_int(), 1);
+}
+
+TEST(Value, BlockTypedAccess) {
+  Value v = Value::block(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(v.block_as<std::vector<int>>().size(), 3u);
+  EXPECT_THROW(v.block_as<std::vector<double>>(), RuntimeError);
+}
+
+TEST(Value, BlockByteSizeForContainers) {
+  Value v = Value::block(std::vector<double>(100));
+  EXPECT_GE(v.block_ptr()->byte_size(), 100 * sizeof(double));
+}
+
+TEST(Value, CopyOnWriteWhenShared) {
+  Value a = Value::block(std::vector<int>{1, 2, 3});
+  Value b = a;  // second reference
+  bool copied = false;
+  a.block_mut<std::vector<int>>(&copied)[0] = 99;
+  EXPECT_TRUE(copied);
+  EXPECT_EQ(a.block_as<std::vector<int>>()[0], 99);
+  EXPECT_EQ(b.block_as<std::vector<int>>()[0], 1);  // b untouched
+}
+
+TEST(Value, InPlaceWhenSoleReference) {
+  Value a = Value::block(std::vector<int>{1, 2, 3});
+  const BlockBase* before = a.block_ptr().get();
+  bool copied = false;
+  a.block_mut<std::vector<int>>(&copied)[0] = 99;
+  EXPECT_FALSE(copied);
+  EXPECT_EQ(a.block_ptr().get(), before);  // same storage
+}
+
+TEST(Value, CopyOnWriteReleasesAfterDrop) {
+  Value a = Value::block(std::vector<int>{5});
+  {
+    Value b = a;
+    (void)b;
+  }
+  bool copied = false;
+  a.block_mut<std::vector<int>>(&copied);
+  EXPECT_FALSE(copied);  // sole again
+}
+
+TEST(Value, ClosureCapturesMoveWhenUnique) {
+  Template tmpl;
+  tmpl.name = "t";
+  Value c = Value::closure(&tmpl, {Value::of(int64_t{7})});
+  std::vector<Value> captures = c.take_closure_captures();
+  ASSERT_EQ(captures.size(), 1u);
+  EXPECT_EQ(captures[0].as_int(), 7);
+  // The (still-referenced) closure is now empty: moved out.
+  EXPECT_TRUE(c.as_closure().captures.empty());
+}
+
+TEST(Value, ClosureCapturesCopyWhenShared) {
+  Template tmpl;
+  Value c = Value::closure(&tmpl, {Value::of(int64_t{7})});
+  Value d = c;
+  std::vector<Value> captures = c.take_closure_captures();
+  EXPECT_EQ(captures.size(), 1u);
+  EXPECT_EQ(d.as_closure().captures.size(), 1u);  // copy, not move
+}
+
+TEST(Value, DeepEqualCoversKinds) {
+  EXPECT_TRUE(deep_equal(Value::null(), Value::null()));
+  EXPECT_TRUE(deep_equal(Value::of(int64_t{3}), Value::of(3.0)));  // numeric cross
+  EXPECT_FALSE(deep_equal(Value::of(int64_t{3}), Value::of(std::string("3"))));
+  EXPECT_TRUE(deep_equal(Value::tuple({Value::of(int64_t{1})}),
+                         Value::tuple({Value::of(int64_t{1})})));
+  EXPECT_FALSE(deep_equal(Value::tuple({Value::of(int64_t{1})}),
+                          Value::tuple({Value::of(int64_t{2})})));
+  Value block = Value::block(std::vector<int>{1});
+  EXPECT_TRUE(deep_equal(block, block));
+  EXPECT_FALSE(deep_equal(block, Value::block(std::vector<int>{1})));  // identity
+}
+
+TEST(Value, DisplayStrings) {
+  EXPECT_EQ(Value::null().to_display_string(), "NULL");
+  EXPECT_EQ(Value::of(int64_t{42}).to_display_string(), "42");
+  EXPECT_EQ(Value::of(std::string("x")).to_display_string(), "x");
+  EXPECT_EQ(Value::tuple({Value::of(int64_t{1}), Value::null()}).to_display_string(),
+            "<1, NULL>");
+  EXPECT_NE(Value::block(std::vector<int>{1}).to_display_string().find("block"),
+            std::string::npos);
+}
+
+TEST(Value, FromConstMirrorsConstValues) {
+  EXPECT_TRUE(Value::from_const(ConstValue{std::monostate{}}).is_null());
+  EXPECT_EQ(Value::from_const(ConstValue{int64_t{5}}).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value::from_const(ConstValue{2.5}).as_float(), 2.5);
+  EXPECT_EQ(Value::from_const(ConstValue{std::string("s")}).as_string(), "s");
+}
+
+struct CustomSized {
+  int x = 0;
+};
+size_t delirium_block_size(const CustomSized&) { return 12345; }
+
+TEST(Value, BlockSizeCustomizationHook) {
+  Value v = Value::block(CustomSized{});
+  EXPECT_EQ(v.block_ptr()->byte_size(), 12345u);
+}
+
+}  // namespace
+}  // namespace delirium
