@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_retina.dir/bench_fig1_retina.cpp.o"
+  "CMakeFiles/bench_fig1_retina.dir/bench_fig1_retina.cpp.o.d"
+  "bench_fig1_retina"
+  "bench_fig1_retina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_retina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_compiler.dir/bench_table1_compiler.cpp.o"
+  "CMakeFiles/bench_table1_compiler.dir/bench_table1_compiler.cpp.o.d"
+  "bench_table1_compiler"
+  "bench_table1_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_demo.dir/circuit_demo.cpp.o"
+  "CMakeFiles/circuit_demo.dir/circuit_demo.cpp.o.d"
+  "circuit_demo"
+  "circuit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

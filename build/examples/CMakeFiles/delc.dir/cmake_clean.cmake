@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delc.dir/delc.cpp.o"
+  "CMakeFiles/delc.dir/delc.cpp.o.d"
+  "delc"
+  "delc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmap_demo.dir/parmap_demo.cpp.o"
+  "CMakeFiles/parmap_demo.dir/parmap_demo.cpp.o.d"
+  "parmap_demo"
+  "parmap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queens_demo.dir/queens_demo.cpp.o"
+  "CMakeFiles/queens_demo.dir/queens_demo.cpp.o.d"
+  "queens_demo"
+  "queens_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queens_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

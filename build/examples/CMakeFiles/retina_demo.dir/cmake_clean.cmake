@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_demo.dir/retina_demo.cpp.o"
+  "CMakeFiles/retina_demo.dir/retina_demo.cpp.o.d"
+  "retina_demo"
+  "retina_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/treewalk_demo.cpp" "examples/CMakeFiles/treewalk_demo.dir/treewalk_demo.cpp.o" "gcc" "examples/CMakeFiles/treewalk_demo.dir/treewalk_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/dcc/CMakeFiles/delirium_dcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/delirium_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/delirium_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/retina/CMakeFiles/delirium_retina.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/delirium_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/delirium_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/queens/CMakeFiles/delirium_queens.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/delirium_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/delirium_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/delirium_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/delirium_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/delirium_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

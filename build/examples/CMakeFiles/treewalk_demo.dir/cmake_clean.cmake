@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_demo.dir/treewalk_demo.cpp.o"
+  "CMakeFiles/treewalk_demo.dir/treewalk_demo.cpp.o.d"
+  "treewalk_demo"
+  "treewalk_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

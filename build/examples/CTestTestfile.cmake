@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(delc_runs_fib "/root/repo/build/examples/delc" "--run" "--timings" "/root/repo/examples/programs/fib.dlr")
+set_tests_properties(delc_runs_fib PROPERTIES  PASS_REGULAR_EXPRESSION "result: 2584" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(delc_sim_queens "/root/repo/build/examples/delc" "--sim" "3" "/root/repo/examples/programs/queens.dlr")
+set_tests_properties(delc_sim_queens PROPERTIES  PASS_REGULAR_EXPRESSION "result: 4" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(delc_dumps_dot "/root/repo/build/examples/delc" "--dump-dot" "/root/repo/examples/programs/loops.dlr")
+set_tests_properties(delc_dumps_dot PROPERTIES  PASS_REGULAR_EXPRESSION "digraph delirium" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(delc_rejects_bad_input "/root/repo/build/examples/delc" "--run" "/root/repo/DESIGN.md")
+set_tests_properties(delc_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/delirium_circuit.dir/circuit.cpp.o.d"
+  "libdelirium_circuit.a"
+  "libdelirium_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_dcc.dir/dcc.cpp.o"
+  "CMakeFiles/delirium_dcc.dir/dcc.cpp.o.d"
+  "CMakeFiles/delirium_dcc.dir/program_gen.cpp.o"
+  "CMakeFiles/delirium_dcc.dir/program_gen.cpp.o.d"
+  "CMakeFiles/delirium_dcc.dir/tree_walk.cpp.o"
+  "CMakeFiles/delirium_dcc.dir/tree_walk.cpp.o.d"
+  "libdelirium_dcc.a"
+  "libdelirium_dcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_dcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_grid.dir/grid.cpp.o"
+  "CMakeFiles/delirium_grid.dir/grid.cpp.o.d"
+  "libdelirium_grid.a"
+  "libdelirium_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_queens.dir/queens.cpp.o"
+  "CMakeFiles/delirium_queens.dir/queens.cpp.o.d"
+  "libdelirium_queens.a"
+  "libdelirium_queens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_queens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_ray.dir/ray.cpp.o"
+  "CMakeFiles/delirium_ray.dir/ray.cpp.o.d"
+  "libdelirium_ray.a"
+  "libdelirium_ray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_ray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

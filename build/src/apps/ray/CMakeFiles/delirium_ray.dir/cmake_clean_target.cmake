@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelirium_ray.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for delirium_ray.
+# This may be replaced when dependencies are built.

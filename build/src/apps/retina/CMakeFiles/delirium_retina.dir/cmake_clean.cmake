@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_retina.dir/retina_model.cpp.o"
+  "CMakeFiles/delirium_retina.dir/retina_model.cpp.o.d"
+  "CMakeFiles/delirium_retina.dir/retina_ops.cpp.o"
+  "CMakeFiles/delirium_retina.dir/retina_ops.cpp.o.d"
+  "libdelirium_retina.a"
+  "libdelirium_retina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_retina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

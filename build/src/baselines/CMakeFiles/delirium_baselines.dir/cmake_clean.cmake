@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_baselines.dir/baseline_apps.cpp.o"
+  "CMakeFiles/delirium_baselines.dir/baseline_apps.cpp.o.d"
+  "CMakeFiles/delirium_baselines.dir/fork_join.cpp.o"
+  "CMakeFiles/delirium_baselines.dir/fork_join.cpp.o.d"
+  "CMakeFiles/delirium_baselines.dir/replicated_worker.cpp.o"
+  "CMakeFiles/delirium_baselines.dir/replicated_worker.cpp.o.d"
+  "CMakeFiles/delirium_baselines.dir/tuple_space.cpp.o"
+  "CMakeFiles/delirium_baselines.dir/tuple_space.cpp.o.d"
+  "libdelirium_baselines.a"
+  "libdelirium_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

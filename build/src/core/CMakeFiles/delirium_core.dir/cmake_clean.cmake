@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_core.dir/compiler.cpp.o"
+  "CMakeFiles/delirium_core.dir/compiler.cpp.o.d"
+  "libdelirium_core.a"
+  "libdelirium_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

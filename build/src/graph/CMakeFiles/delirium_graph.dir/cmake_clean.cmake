@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_graph.dir/dot.cpp.o"
+  "CMakeFiles/delirium_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/delirium_graph.dir/graph_builder.cpp.o"
+  "CMakeFiles/delirium_graph.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/delirium_graph.dir/graph_opt.cpp.o"
+  "CMakeFiles/delirium_graph.dir/graph_opt.cpp.o.d"
+  "libdelirium_graph.a"
+  "libdelirium_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_lang.dir/ast.cpp.o"
+  "CMakeFiles/delirium_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/delirium_lang.dir/lexer.cpp.o"
+  "CMakeFiles/delirium_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/delirium_lang.dir/macro.cpp.o"
+  "CMakeFiles/delirium_lang.dir/macro.cpp.o.d"
+  "CMakeFiles/delirium_lang.dir/parser.cpp.o"
+  "CMakeFiles/delirium_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/delirium_lang.dir/pretty.cpp.o"
+  "CMakeFiles/delirium_lang.dir/pretty.cpp.o.d"
+  "libdelirium_lang.a"
+  "libdelirium_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/delirium_opt.dir/optimizer.cpp.o.d"
+  "libdelirium_opt.a"
+  "libdelirium_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_runtime.dir/builtins.cpp.o"
+  "CMakeFiles/delirium_runtime.dir/builtins.cpp.o.d"
+  "CMakeFiles/delirium_runtime.dir/registry.cpp.o"
+  "CMakeFiles/delirium_runtime.dir/registry.cpp.o.d"
+  "CMakeFiles/delirium_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/delirium_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/delirium_runtime.dir/sim.cpp.o"
+  "CMakeFiles/delirium_runtime.dir/sim.cpp.o.d"
+  "CMakeFiles/delirium_runtime.dir/value.cpp.o"
+  "CMakeFiles/delirium_runtime.dir/value.cpp.o.d"
+  "libdelirium_runtime.a"
+  "libdelirium_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

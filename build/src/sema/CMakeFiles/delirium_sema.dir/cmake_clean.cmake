@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_sema.dir/env_analysis.cpp.o"
+  "CMakeFiles/delirium_sema.dir/env_analysis.cpp.o.d"
+  "libdelirium_sema.a"
+  "libdelirium_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

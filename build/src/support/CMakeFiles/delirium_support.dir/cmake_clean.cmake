@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/delirium_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/delirium_support.dir/source.cpp.o"
+  "CMakeFiles/delirium_support.dir/source.cpp.o.d"
+  "libdelirium_support.a"
+  "libdelirium_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

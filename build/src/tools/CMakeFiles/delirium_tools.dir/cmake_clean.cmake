@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delirium_tools.dir/report.cpp.o"
+  "CMakeFiles/delirium_tools.dir/report.cpp.o.d"
+  "CMakeFiles/delirium_tools.dir/trace.cpp.o"
+  "CMakeFiles/delirium_tools.dir/trace.cpp.o.d"
+  "libdelirium_tools.a"
+  "libdelirium_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delirium_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

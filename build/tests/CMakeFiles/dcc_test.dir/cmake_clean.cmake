@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcc_test.dir/dcc_test.cpp.o"
+  "CMakeFiles/dcc_test.dir/dcc_test.cpp.o.d"
+  "dcc_test"
+  "dcc_test.pdb"
+  "dcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_opt_test.dir/graph_opt_test.cpp.o"
+  "CMakeFiles/graph_opt_test.dir/graph_opt_test.cpp.o.d"
+  "graph_opt_test"
+  "graph_opt_test.pdb"
+  "graph_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmap_test.dir/parmap_test.cpp.o"
+  "CMakeFiles/parmap_test.dir/parmap_test.cpp.o.d"
+  "parmap_test"
+  "parmap_test.pdb"
+  "parmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_test.dir/ray_test.cpp.o"
+  "CMakeFiles/ray_test.dir/ray_test.cpp.o.d"
+  "ray_test"
+  "ray_test.pdb"
+  "ray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_test.dir/retina_test.cpp.o"
+  "CMakeFiles/retina_test.dir/retina_test.cpp.o.d"
+  "retina_test"
+  "retina_test.pdb"
+  "retina_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_recursion_test.dir/runtime_recursion_test.cpp.o"
+  "CMakeFiles/runtime_recursion_test.dir/runtime_recursion_test.cpp.o.d"
+  "runtime_recursion_test"
+  "runtime_recursion_test.pdb"
+  "runtime_recursion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_recursion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_walk_test.dir/tree_walk_test.cpp.o"
+  "CMakeFiles/tree_walk_test.dir/tree_walk_test.cpp.o.d"
+  "tree_walk_test"
+  "tree_walk_test.pdb"
+  "tree_walk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
