@@ -159,6 +159,56 @@ main()
 }
 BENCHMARK(BM_CopyOnWrite)->Arg(0)->Arg(1);
 
+/// Sole-consumer CoW elision: the block is shared with a consumer that
+/// provably never reads it (a dead parameter), so the clone the plain
+/// runtime pays is statically elided by the analysis. Arg(1) enables the
+/// analysis + fast path; Arg(0) is the baseline that copies.
+void BM_CowElision(benchmark::State& state) {
+  const bool analyzed = state.range(0) != 0;
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+  const size_t block_elems = 1 << 14;
+  registry.add("make_block", 0, [block_elems](OpContext&) {
+    return Value::block(std::vector<double>(block_elems, 1.0));
+  });
+  registry.add("bump", 1, [](OpContext& ctx) {
+    auto& data = ctx.arg_block_mut<std::vector<double>>(0);
+    data[0] += 1;
+    return ctx.take(0);
+  }).destructive(0);
+  registry.add("peek", 1, [](OpContext& ctx) {
+    return Value::of(ctx.arg_block<std::vector<double>>(0)[0]);
+  }).pure();
+
+  // first() holds b in its dead second parameter while bump runs: the
+  // refcount is two, but the analysis proves the clone wasted.
+  const std::string source = R"(
+first(x, y) x
+main()
+  let b = make_block()
+  in first(peek(bump(b)), b)
+)";
+  CompileOptions options;
+  options.optimize = false;  // inlining would erase the dead parameter
+  options.analyze_unique = analyzed;
+  CompiledProgram program = compile_or_throw(source, registry, options);
+  Runtime runtime(registry, {.num_workers = 1});
+  uint64_t copies = 0, skipped = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run(program));
+    copies += runtime.last_stats().cow_copies;
+    skipped += runtime.last_stats().cow_skipped;
+  }
+  state.SetLabel(analyzed ? "analyzed (clone elided)" : "baseline (clones)");
+  state.counters["cow_copies"] =
+      benchmark::Counter(static_cast<double>(copies), benchmark::Counter::kAvgIterations);
+  state.counters["cow_skipped"] =
+      benchmark::Counter(static_cast<double>(skipped), benchmark::Counter::kAvgIterations);
+  state.SetBytesProcessed(state.iterations() *
+                          (analyzed ? 0 : block_elems * sizeof(double)));
+}
+BENCHMARK(BM_CowElision)->Arg(0)->Arg(1);
+
 /// Compiler throughput per pass over a mid-sized generated program.
 void BM_CompilerPasses(benchmark::State& state) {
   auto registry = shared_registry();

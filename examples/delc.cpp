@@ -11,6 +11,12 @@
 //                     simulated processors and report the makespan
 //     --trace FILE    with --run or --sim: write the operator timeline as
 //                     Chrome tracing JSON (chrome://tracing, Perfetto)
+//     --lint          report the sole-consumer analysis: destructive uses
+//                     of provably-shared blocks (guaranteed CoW copies)
+//                     and provably-unique ones (clone elided)
+//     --lint-json     the same findings as machine-readable JSON on stdout
+//     --verify-graphs run the structural graph verifier even in release
+//                     builds; defects are reported as errors
 //
 // Only built-in operators are available here; applications embed their
 // own operators through the library API instead (see the other examples).
@@ -31,6 +37,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: delc [--dump-ast] [--dump-dot] [--no-opt] [--timings]\n"
+               "            [--lint] [--lint-json] [--verify-graphs]\n"
                "            [--run] [--workers N] [--sim N] <file.dlr>\n");
   return 2;
 }
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string trace_path;
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
+  bool lint = false, lint_json = false, verify_graphs = false;
   int workers = 4;
   int sim_procs = 0;
   for (int i = 1; i < argc; ++i) {
@@ -50,6 +58,9 @@ int main(int argc, char** argv) {
     else if (arg == "--no-opt") no_opt = true;
     else if (arg == "--timings") timings = true;
     else if (arg == "--run") run = true;
+    else if (arg == "--lint") lint = true;
+    else if (arg == "--lint-json") lint_json = true;
+    else if (arg == "--verify-graphs") verify_graphs = true;
     else if (arg == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
     else if (arg == "--sim" && i + 1 < argc) sim_procs = std::atoi(argv[++i]);
     else if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
@@ -71,6 +82,7 @@ int main(int argc, char** argv) {
 
   delirium::CompileOptions options;
   options.optimize = !no_opt;
+  options.verify = verify_graphs;
 
   if (dump_ast) {
     // Re-run the front half to show the tree (the compile result below
@@ -100,6 +112,29 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "delc: %zu templates, %zu graph nodes, %zu AST nodes\n",
                result.program.templates.size(), result.program.total_nodes(),
                result.ast_nodes);
+  if (verify_graphs) {
+    std::fprintf(stderr, "delc: graph verifier: all templates well-formed\n");
+  }
+
+  if (lint || lint_json) {
+    delirium::SourceFile file(path, buffer.str());
+    if (lint_json) {
+      std::fputs(delirium::render_lint_json(result.lint, result.sole_consumer, file).c_str(),
+                 stdout);
+    }
+    if (lint) {
+      delirium::DiagnosticEngine lint_diags;
+      for (const delirium::LintFinding& f : result.lint) {
+        lint_diags.add(f.cls == delirium::ConsumeClass::kShared ? delirium::Severity::kWarning
+                                                                : delirium::Severity::kNote,
+                       f.range, f.message);
+      }
+      lint_diags.print(std::cout, file);
+      const auto& s = result.sole_consumer;
+      std::printf("delint: %zu destructive edge(s): %zu unique, %zu shared, %zu unknown\n",
+                  s.destructive_edges, s.unique_edges, s.shared_edges, s.unknown_edges);
+    }
+  }
 
   if (timings) {
     const auto& t = result.timings;

@@ -1,0 +1,406 @@
+#include "src/analysis/graph_verify.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace delirium {
+
+namespace {
+
+class Verifier {
+ public:
+  Verifier(const CompiledProgram& program, const OperatorTable& operators,
+           const AnalysisResult* analysis)
+      : program_(program), operators_(operators), analysis_(analysis) {}
+
+  std::vector<VerifyIssue> run() {
+    check_program_tables();
+    compute_template_cycles();
+    for (uint32_t ti = 0; ti < program_.templates.size(); ++ti) {
+      check_template(ti);
+    }
+    return std::move(issues_);
+  }
+
+ private:
+  void issue(uint32_t ti, uint32_t node, std::string what) {
+    std::string where = "template '" + program_.templates[ti]->name + "' (#" +
+                        std::to_string(ti) + ")";
+    if (node != VerifyIssue::kNoNode) {
+      const Node& n = program_.templates[ti]->nodes[node];
+      where += " node #" + std::to_string(node);
+      if (!n.debug_label.empty()) where += " [" + n.debug_label + "]";
+    }
+    issues_.push_back(VerifyIssue{ti, node, where + ": " + std::move(what)});
+  }
+
+  void check_program_tables() {
+    if (program_.templates.empty()) {
+      issues_.push_back(VerifyIssue{0, VerifyIssue::kNoNode, "program has no templates"});
+      return;
+    }
+    if (program_.entry >= program_.templates.size()) {
+      issues_.push_back(VerifyIssue{program_.entry, VerifyIssue::kNoNode,
+                                    "entry template index " + std::to_string(program_.entry) +
+                                        " out of range (" +
+                                        std::to_string(program_.templates.size()) + " templates)"});
+    }
+    for (const auto& [name, index] : program_.by_name) {
+      if (index >= program_.templates.size()) {
+        issues_.push_back(VerifyIssue{index, VerifyIssue::kNoNode,
+                                      "by_name['" + name + "'] = " + std::to_string(index) +
+                                          " is out of range"});
+        continue;
+      }
+      if (program_.templates[index]->name != name) {
+        issue(index, VerifyIssue::kNoNode,
+              "registered under name '" + name + "' but is named '" +
+                  program_.templates[index]->name + "'");
+      }
+      if (analysis_ != nullptr &&
+          program_.templates[index]->recursive != analysis_->is_recursive(name)) {
+        issue(index, VerifyIssue::kNoNode,
+              std::string("recursive flag is ") +
+                  (program_.templates[index]->recursive ? "set" : "clear") +
+                  " but the recursion analysis says '" + name + "' is " +
+                  (analysis_->is_recursive(name) ? "" : "not ") + "recursive");
+      }
+    }
+  }
+
+  /// Mark templates that sit on a cycle of the template reference graph
+  /// (edges: kCall and kMakeClosure targets). A local function whose
+  /// self-call lives in a conditional-arm sub-template is recursive even
+  /// though its own `recursive` flag stays clear — the cycle runs through
+  /// the arm — so the priority check below accepts kRecursiveCallClosure
+  /// for calls into any such cycle.
+  void compute_template_cycles() {
+    const size_t n = program_.templates.size();
+    std::vector<std::vector<uint32_t>> edges(n);
+    for (uint32_t ti = 0; ti < n; ++ti) {
+      for (const Node& node : program_.templates[ti]->nodes) {
+        if ((node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) &&
+            node.target_template < n) {
+          edges[ti].push_back(node.target_template);
+        }
+      }
+    }
+    // on_cycle_[t] := t is reachable from itself. n is small (one template
+    // per function plus arms), so a BFS per template is fine.
+    on_cycle_.assign(n, false);
+    for (uint32_t start = 0; start < n; ++start) {
+      std::vector<bool> seen(n, false);
+      std::vector<uint32_t> stack(edges[start]);
+      while (!stack.empty()) {
+        const uint32_t t = stack.back();
+        stack.pop_back();
+        if (t == start) {
+          on_cycle_[start] = true;
+          break;
+        }
+        if (seen[t]) continue;
+        seen[t] = true;
+        stack.insert(stack.end(), edges[t].begin(), edges[t].end());
+      }
+    }
+  }
+
+  void check_template(uint32_t ti) {
+    const Template& t = *program_.templates[ti];
+    const uint32_t n = static_cast<uint32_t>(t.nodes.size());
+
+    if (t.num_captures > t.num_params) {
+      issue(ti, VerifyIssue::kNoNode,
+            "num_captures (" + std::to_string(t.num_captures) + ") exceeds num_params (" +
+                std::to_string(t.num_params) + ")");
+    }
+
+    // Return node.
+    if (t.return_node >= n) {
+      issue(ti, VerifyIssue::kNoNode,
+            "return_node " + std::to_string(t.return_node) + " out of range");
+    } else {
+      const Node& ret = t.nodes[t.return_node];
+      if (ret.kind != NodeKind::kReturn) {
+        issue(ti, t.return_node, "return_node is not a kReturn node");
+      }
+      if (!ret.consumers.empty()) {
+        issue(ti, t.return_node, "kReturn node must not have consumers");
+      }
+    }
+
+    // Parameter nodes.
+    if (t.param_nodes.size() != t.num_params) {
+      issue(ti, VerifyIssue::kNoNode,
+            "param_nodes has " + std::to_string(t.param_nodes.size()) + " entries for " +
+                std::to_string(t.num_params) + " parameters");
+    } else {
+      for (uint32_t i = 0; i < t.num_params; ++i) {
+        const uint32_t p = t.param_nodes[i];
+        if (p >= n) {
+          issue(ti, VerifyIssue::kNoNode,
+                "param_nodes[" + std::to_string(i) + "] = " + std::to_string(p) +
+                    " out of range");
+          continue;
+        }
+        if (t.nodes[p].kind != NodeKind::kParam) {
+          issue(ti, p, "param_nodes[" + std::to_string(i) + "] is not a kParam node");
+        } else if (t.nodes[p].param_index != i) {
+          issue(ti, p,
+                "param_index " + std::to_string(t.nodes[p].param_index) +
+                    " disagrees with param_nodes position " + std::to_string(i));
+        }
+      }
+    }
+
+    // Slot layout: dense, in node order, totalling value_slots.
+    uint32_t running = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (t.nodes[i].input_offset != running) {
+        issue(ti, i,
+              "input_offset " + std::to_string(t.nodes[i].input_offset) +
+                  " breaks dense slot numbering (expected " + std::to_string(running) + ")");
+      }
+      running += t.nodes[i].num_inputs;
+    }
+    if (running != t.value_slots) {
+      issue(ti, VerifyIssue::kNoNode,
+            "value_slots = " + std::to_string(t.value_slots) + " but inputs sum to " +
+                std::to_string(running));
+    }
+
+    // Consumer edges: in-range targets, exactly one producer per port.
+    std::vector<uint32_t> producer_count;
+    std::vector<uint32_t> in_degree(n, 0);
+    producer_count.assign(running, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (const PortRef& c : t.nodes[i].consumers) {
+        if (c.node >= n) {
+          issue(ti, i, "consumer edge targets node #" + std::to_string(c.node) + " (out of range)");
+          continue;
+        }
+        if (c.port >= t.nodes[c.node].num_inputs) {
+          issue(ti, i,
+                "consumer edge targets port " + std::to_string(c.port) + " of node #" +
+                    std::to_string(c.node) + ", which has " +
+                    std::to_string(t.nodes[c.node].num_inputs) + " inputs");
+          continue;
+        }
+        const uint32_t slot = t.nodes[c.node].input_offset + c.port;
+        if (slot < producer_count.size()) ++producer_count[slot];
+        ++in_degree[c.node];
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint16_t port = 0; port < t.nodes[i].num_inputs; ++port) {
+        const uint32_t slot = t.nodes[i].input_offset + port;
+        if (slot >= producer_count.size()) continue;  // layout issue reported above
+        if (producer_count[slot] != 1) {
+          issue(ti, i,
+                "input port " + std::to_string(port) + " has " +
+                    std::to_string(producer_count[slot]) + " producers (want exactly 1)");
+        }
+      }
+    }
+
+    for (uint32_t i = 0; i < n; ++i) check_node(ti, t, i);
+
+    check_acyclic(ti, t, in_degree);
+  }
+
+  void check_node(uint32_t ti, const Template& t, uint32_t i) {
+    const Node& node = t.nodes[i];
+
+    // Kind-specific arity of the node itself.
+    auto want_inputs = [&](uint16_t want) {
+      if (node.num_inputs != want) {
+        issue(ti, i,
+              std::string("expected ") + std::to_string(want) + " inputs, has " +
+                  std::to_string(node.num_inputs));
+      }
+    };
+    switch (node.kind) {
+      case NodeKind::kConst:
+      case NodeKind::kParam:
+        want_inputs(0);
+        break;
+      case NodeKind::kReturn:
+      case NodeKind::kTupleGet:
+        want_inputs(1);
+        break;
+      case NodeKind::kIfDispatch:
+        want_inputs(3);
+        break;
+      case NodeKind::kParMap:
+        want_inputs(2);
+        break;
+      case NodeKind::kCallClosure:
+        if (node.num_inputs < 1) {
+          issue(ti, i, "kCallClosure needs at least the closure input");
+        }
+        break;
+      case NodeKind::kOperator:
+      case NodeKind::kTupleMake:
+      case NodeKind::kMakeClosure:
+      case NodeKind::kCall:
+        break;
+    }
+
+    // Call targets.
+    if (node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) {
+      if (node.target_template >= program_.templates.size()) {
+        issue(ti, i,
+              "target_template " + std::to_string(node.target_template) + " out of range");
+      } else {
+        const Template& target = *program_.templates[node.target_template];
+        if (node.kind == NodeKind::kCall && node.num_inputs != target.num_params) {
+          issue(ti, i,
+                "kCall passes " + std::to_string(node.num_inputs) + " values; target '" +
+                    target.name + "' takes " + std::to_string(target.num_params));
+        }
+        if (node.kind == NodeKind::kMakeClosure && node.num_inputs != target.num_captures) {
+          issue(ti, i,
+                "kMakeClosure captures " + std::to_string(node.num_inputs) + " values; target '" +
+                    target.name + "' expects " + std::to_string(target.num_captures));
+        }
+      }
+    }
+
+    // Operator consistency with the registry.
+    if (node.kind == NodeKind::kOperator) {
+      const OperatorInfo* info = operators_.lookup(node.op_name);
+      if (info == nullptr) {
+        issue(ti, i, "operator '" + node.op_name + "' is not in the operator table");
+      } else {
+        if (node.op_index < 0 || node.op_index != operators_.index_of(node.op_name)) {
+          issue(ti, i,
+                "op_index " + std::to_string(node.op_index) + " disagrees with the table (" +
+                    std::to_string(operators_.index_of(node.op_name)) + ")");
+        }
+        if (!info->variadic && node.num_inputs != static_cast<uint16_t>(info->arity)) {
+          issue(ti, i,
+                "operator '" + node.op_name + "' takes " + std::to_string(info->arity) +
+                    " arguments, node has " + std::to_string(node.num_inputs));
+        }
+        if (info->pure && info->any_destructive()) {
+          issue(ti, i,
+                "operator '" + node.op_name +
+                    "' is registered both pure and destructive — purity promises no "
+                    "argument mutation");
+        }
+      }
+    }
+
+    // Priority classification (§7) must match the recursion structure.
+    PriorityClass expected = PriorityClass::kNormal;
+    switch (node.kind) {
+      case NodeKind::kCall:
+        if (node.target_template < program_.templates.size()) {
+          expected = (program_.templates[node.target_template]->recursive ||
+                      on_cycle_[node.target_template])
+                         ? PriorityClass::kRecursiveCallClosure
+                         : PriorityClass::kCallClosure;
+        } else {
+          expected = node.priority;  // target defect already reported
+        }
+        break;
+      case NodeKind::kCallClosure:
+      case NodeKind::kIfDispatch:
+      case NodeKind::kParMap:
+        // Closure targets are dynamic; the builder conservatively uses the
+        // middle class. kRecursiveCallClosure is also sound here (a
+        // dispatch known to re-enter, e.g. a loop back-edge, may demote).
+        expected = node.priority == PriorityClass::kRecursiveCallClosure
+                       ? PriorityClass::kRecursiveCallClosure
+                       : PriorityClass::kCallClosure;
+        break;
+      default:
+        expected = PriorityClass::kNormal;
+        break;
+    }
+    if (node.priority != expected) {
+      auto name = [](PriorityClass p) {
+        switch (p) {
+          case PriorityClass::kNormal: return "kNormal";
+          case PriorityClass::kCallClosure: return "kCallClosure";
+          case PriorityClass::kRecursiveCallClosure: return "kRecursiveCallClosure";
+        }
+        return "?";
+      };
+      issue(ti, i,
+            std::string("priority ") + name(node.priority) + " is stale; recursion structure " +
+                "requires " + name(expected));
+    }
+
+    // Tail flags: only call-like nodes feeding the return directly.
+    if (node.is_tail) {
+      const bool call_like = node.kind == NodeKind::kCall || node.kind == NodeKind::kCallClosure ||
+                             node.kind == NodeKind::kIfDispatch || node.kind == NodeKind::kParMap;
+      if (!call_like) {
+        issue(ti, i, "is_tail set on a non-call node");
+      } else if (node.consumers.size() != 1 || node.consumers[0].node != t.return_node) {
+        issue(ti, i, "is_tail set but the node does not feed the return node exclusively");
+      }
+    }
+
+    // Consume classes: absent, or exactly one per input.
+    if (!node.input_classes.empty() && node.input_classes.size() != node.num_inputs) {
+      issue(ti, i,
+            "input_classes has " + std::to_string(node.input_classes.size()) + " entries for " +
+                std::to_string(node.num_inputs) + " inputs");
+    }
+  }
+
+  /// Kahn's algorithm over intra-template consumer edges. Data edges in a
+  /// restricted dataflow graph must be acyclic — a cycle deadlocks the
+  /// activation (no node can ever fire).
+  void check_acyclic(uint32_t ti, const Template& t, std::vector<uint32_t> in_degree) {
+    const uint32_t n = static_cast<uint32_t>(t.nodes.size());
+    std::vector<uint32_t> ready;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (in_degree[i] == 0) ready.push_back(i);
+    }
+    uint32_t processed = 0;
+    while (!ready.empty()) {
+      const uint32_t i = ready.back();
+      ready.pop_back();
+      ++processed;
+      for (const PortRef& c : t.nodes[i].consumers) {
+        if (c.node >= n) continue;  // reported above
+        if (--in_degree[c.node] == 0) ready.push_back(c.node);
+      }
+    }
+    if (processed != n) {
+      for (uint32_t i = 0; i < n; ++i) {
+        if (in_degree[i] > 0) {
+          issue(ti, i, "node is on a data-edge cycle; the activation can never fire it");
+        }
+      }
+    }
+  }
+
+  const CompiledProgram& program_;
+  const OperatorTable& operators_;
+  const AnalysisResult* analysis_;
+  std::vector<VerifyIssue> issues_;
+  std::vector<bool> on_cycle_;
+};
+
+}  // namespace
+
+std::vector<VerifyIssue> verify_graphs(const CompiledProgram& program,
+                                       const OperatorTable& operators,
+                                       const AnalysisResult* analysis) {
+  return Verifier(program, operators, analysis).run();
+}
+
+std::string verify_report(const std::vector<VerifyIssue>& issues) {
+  std::string out;
+  for (const VerifyIssue& issue : issues) {
+    if (!out.empty()) out += '\n';
+    out += issue.message;
+  }
+  return out;
+}
+
+}  // namespace delirium

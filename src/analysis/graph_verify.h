@@ -1,0 +1,44 @@
+// Coordination-graph verifier (the "delint" structural pass).
+//
+// `build_graphs` and `optimize_graphs` promise a restricted dataflow
+// graph (§6): dense slot numbering, one producer per input port,
+// acyclic intra-template data edges, priorities consistent with the
+// recursion analysis, and operator applications consistent with the
+// registry. This pass re-checks every promise on a CompiledProgram so
+// graph-construction bugs surface as diagnostics instead of scheduler
+// hangs or memory corruption at run time. compile() runs it
+// automatically in debug builds; `delc --verify-graphs` runs it on
+// demand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/sema/env_analysis.h"
+
+namespace delirium {
+
+/// One structural defect found by the verifier.
+struct VerifyIssue {
+  uint32_t template_index = 0;
+  /// Offending node, or kNoNode for template-level defects.
+  uint32_t node = kNoNode;
+  /// Human-readable description, already including template/node context.
+  std::string message;
+
+  static constexpr uint32_t kNoNode = 0xffffffffu;
+};
+
+/// Check every template of `program` against the structural invariants.
+/// `analysis`, when provided, additionally cross-checks each named
+/// template's `recursive` flag against the recursion analysis. Returns
+/// all defects found (empty = well-formed).
+std::vector<VerifyIssue> verify_graphs(const CompiledProgram& program,
+                                       const OperatorTable& operators,
+                                       const AnalysisResult* analysis = nullptr);
+
+/// Join issue messages into one newline-separated report ("" when clean).
+std::string verify_report(const std::vector<VerifyIssue>& issues);
+
+}  // namespace delirium

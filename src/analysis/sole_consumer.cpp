@@ -1,0 +1,376 @@
+#include "src/analysis/sole_consumer.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <unordered_set>
+
+namespace delirium {
+
+namespace {
+
+/// How a block value is currently wrapped while we chase its references:
+/// element `index` of a package, or capture `index` of a closure over
+/// template `target`. The wrap stack lets the chase stay precise through
+/// tuple-make/tuple-get and make-closure/invoke pairs.
+struct Wrap {
+  enum Kind : uint8_t { kTuple, kClosure } kind;
+  uint32_t index;
+  uint32_t target;  // kClosure: the closure's template
+};
+
+constexpr size_t kMaxWrapDepth = 16;
+
+class Analyzer {
+ public:
+  Analyzer(CompiledProgram& program, const OperatorTable& operators)
+      : program_(program), operators_(operators) {
+    producers_.resize(program.templates.size());
+    for (uint32_t ti = 0; ti < program.templates.size(); ++ti) {
+      const Template& t = *program.templates[ti];
+      auto& prod = producers_[ti];
+      prod.resize(t.nodes.size());
+      for (uint32_t i = 0; i < t.nodes.size(); ++i) {
+        prod[i].assign(t.nodes[i].num_inputs, 0);
+      }
+      for (uint32_t i = 0; i < t.nodes.size(); ++i) {
+        for (const PortRef& c : t.nodes[i].consumers) {
+          if (c.node < prod.size() && c.port < prod[c.node].size()) prod[c.node][c.port] = i;
+        }
+      }
+    }
+  }
+
+  SoleConsumerStats run(std::vector<LintFinding>* findings) {
+    SoleConsumerStats stats;
+    for (uint32_t ti = 0; ti < program_.templates.size(); ++ti) {
+      Template& t = *program_.templates[ti];
+      for (uint32_t d = 0; d < t.nodes.size(); ++d) {
+        Node& node = t.nodes[d];
+        if (node.kind != NodeKind::kOperator) continue;
+        const OperatorInfo* info = operators_.lookup(node.op_name);
+        if (info == nullptr || !info->any_destructive()) continue;
+        node.input_classes.assign(node.num_inputs, ConsumeClass::kUnknown);
+        for (uint16_t port = 0; port < node.num_inputs; ++port) {
+          if (!info->is_destructive(port)) continue;
+          ++stats.destructive_edges;
+          std::string reason;
+          const ConsumeClass cls = classify(ti, d, port, &reason);
+          node.input_classes[port] = cls;
+          switch (cls) {
+            case ConsumeClass::kUnique: ++stats.unique_edges; break;
+            case ConsumeClass::kShared: ++stats.shared_edges; break;
+            case ConsumeClass::kUnknown: ++stats.unknown_edges; break;
+          }
+          if (findings == nullptr || cls == ConsumeClass::kUnknown) continue;
+          LintFinding f;
+          f.template_index = ti;
+          f.node = d;
+          f.port = port;
+          f.cls = cls;
+          f.op_name = node.op_name;
+          f.range = node.range;
+          if (cls == ConsumeClass::kShared) {
+            f.message = "destructive use of shared block — guaranteed CoW copy: operator '" +
+                        node.op_name + "' argument " + std::to_string(port) + " (" + reason + ")";
+          } else {
+            f.message = "destructive use is provably unique: operator '" + node.op_name +
+                        "' argument " + std::to_string(port) +
+                        " mutates in place (clone elided)";
+          }
+          findings->push_back(std::move(f));
+        }
+      }
+    }
+    return stats;
+  }
+
+ private:
+  /// Classify the value arriving on destructive input `port` of operator
+  /// node `d` in template `ti`.
+  ///
+  /// kUnique is decided first: a reference count above one is irrelevant
+  /// when every other reference provably never reads the block — that is
+  /// precisely the case where the runtime's clone is wasted and the fast
+  /// path pays off. Only a use that is NOT unique can be a guaranteed
+  /// (and necessary) copy worth a lint warning.
+  ConsumeClass classify(uint32_t ti, uint32_t d, uint16_t port, std::string* reason) {
+    const Template& t = *program_.templates[ti];
+    const uint32_t p = producers_[ti][d][port];
+    const Node& producer = t.nodes[p];
+
+    bool unique = uniquely_held(ti, p);
+    if (unique) {
+      bool skipped_own = false;
+      for (const PortRef& c : producer.consumers) {
+        if (!skipped_own && c.node == d && c.port == port) {
+          skipped_own = true;
+          continue;
+        }
+        if (!never_reads(ti, c.node, c.port, {})) {
+          unique = false;
+          break;
+        }
+      }
+    }
+    if (unique) return ConsumeClass::kUnique;
+
+    // (a) Guaranteed copy: the block reaches the mutating operator at
+    // more than one argument — the argument array itself holds two
+    // references when the operator fires.
+    size_t edges_into_d = 0;
+    for (const PortRef& c : producer.consumers) {
+      if (c.node == d) ++edges_into_d;
+    }
+    if (edges_into_d > 1) {
+      *reason = "the value reaches '" + t.nodes[d].op_name + "' at " +
+                std::to_string(edges_into_d) + " arguments";
+      return ConsumeClass::kShared;
+    }
+
+    // (b) Guaranteed copy: several destructive consumers. Whichever
+    // fires first still sees the other's pending reference.
+    size_t destructive_edges = 0;
+    for (const PortRef& c : producer.consumers) {
+      const Node& consumer = t.nodes[c.node];
+      if (consumer.kind != NodeKind::kOperator) continue;
+      const OperatorInfo* info = operators_.lookup(consumer.op_name);
+      if (info != nullptr && info->is_destructive(c.port)) ++destructive_edges;
+    }
+    if (destructive_edges > 1) {
+      *reason = "the value feeds " + std::to_string(destructive_edges) +
+                " destructive arguments; at least one copy is unavoidable";
+      return ConsumeClass::kShared;
+    }
+
+    // (c) Guaranteed copy: a reading consumer ordered after the mutation.
+    // Data is delivered to every consumer slot when the producer fires,
+    // so a consumer that (transitively) needs our operator's result still
+    // holds its reference when the operator runs.
+    std::unordered_set<uint32_t> downstream = reachable_from(t, d);
+    for (const PortRef& c : producer.consumers) {
+      if (c.node == d) continue;
+      if (downstream.count(c.node) > 0 && !never_reads(ti, c.node, c.port, {})) {
+        *reason = "node #" + std::to_string(c.node) +
+                  (t.nodes[c.node].debug_label.empty() ? ""
+                                                       : " [" + t.nodes[c.node].debug_label + "]") +
+                  " still references the value after the mutation";
+        return ConsumeClass::kShared;
+      }
+    }
+    return ConsumeClass::kUnknown;
+  }
+
+  /// Nodes (transitively) consuming `start`'s output, within one template.
+  std::unordered_set<uint32_t> reachable_from(const Template& t, uint32_t start) {
+    std::unordered_set<uint32_t> seen;
+    std::vector<uint32_t> work{start};
+    while (!work.empty()) {
+      const uint32_t i = work.back();
+      work.pop_back();
+      for (const PortRef& c : t.nodes[i].consumers) {
+        if (seen.insert(c.node).second) work.push_back(c.node);
+      }
+    }
+    return seen;
+  }
+
+  /// Does the consumer at (`node`, `port`) in template `ti` — receiving
+  /// our block wrapped as described by `wraps` — ever read the block's
+  /// contents or pass it somewhere that might? Coinductive on cycles:
+  /// an in-progress query is assumed true, which is sound because any
+  /// actual read on the cycle answers false on its own merits.
+  bool never_reads(uint32_t ti, uint32_t node, uint16_t port, std::vector<Wrap> wraps) {
+    if (wraps.size() > kMaxWrapDepth) return false;
+    const std::string key = encode_key(ti, node, port, wraps);
+    if (!in_progress_.insert(key).second) return true;
+    const bool result = never_reads_impl(ti, node, port, std::move(wraps));
+    in_progress_.erase(key);
+    return result;
+  }
+
+  bool never_reads_impl(uint32_t ti, uint32_t node, uint16_t port, std::vector<Wrap> wraps) {
+    const Template& t = *program_.templates[ti];
+    const Node& n = t.nodes[node];
+    switch (n.kind) {
+      case NodeKind::kConst:
+      case NodeKind::kParam:
+        return false;  // malformed graph; be conservative
+      case NodeKind::kReturn:
+        // The value escapes to the caller / continuation; following every
+        // call site is out of scope for v1.
+        return false;
+      case NodeKind::kOperator:
+        // Operators may read (or pass through) any argument, wrapped or not.
+        return false;
+      case NodeKind::kTupleMake:
+        wraps.push_back(Wrap{Wrap::kTuple, port, 0});
+        return consumers_never_read(ti, node, wraps);
+      case NodeKind::kTupleGet: {
+        if (wraps.empty() || wraps.back().kind != Wrap::kTuple) return false;
+        if (n.tuple_index != wraps.back().index) return true;  // other element: ref dropped
+        wraps.pop_back();
+        return consumers_never_read(ti, node, wraps);
+      }
+      case NodeKind::kMakeClosure:
+        wraps.push_back(Wrap{Wrap::kClosure, port, n.target_template});
+        return consumers_never_read(ti, node, wraps);
+      case NodeKind::kCall: {
+        const Template& callee = *program_.templates[n.target_template];
+        if (port >= callee.param_nodes.size()) return false;
+        return param_never_reads(n.target_template, callee.param_nodes[port], wraps);
+      }
+      case NodeKind::kCallClosure: {
+        if (port != 0) return false;  // argument to a statically-unknown callee
+        return invoke_never_reads(wraps);
+      }
+      case NodeKind::kIfDispatch: {
+        if (port == 0) return false;  // condition
+        return invoke_never_reads(wraps);
+      }
+      case NodeKind::kParMap: {
+        if (port == 0) return invoke_never_reads(wraps);
+        // The package input: every element is handed to the function
+        // closure's explicit parameter. Precise only when the function is
+        // a make-closure in the same template.
+        if (wraps.empty() || wraps.back().kind != Wrap::kTuple) return false;
+        const uint32_t fn = producers_[ti][node][0];
+        const Node& fn_node = t.nodes[fn];
+        if (fn_node.kind != NodeKind::kMakeClosure) return false;
+        const Template& callee = *program_.templates[fn_node.target_template];
+        if (callee.explicit_params() != 1 || callee.param_nodes.empty()) return false;
+        wraps.pop_back();
+        return param_never_reads(fn_node.target_template, callee.param_nodes[0], wraps);
+      }
+    }
+    return false;
+  }
+
+  /// The wrapped closure is being invoked: the capture lands on the
+  /// closure template's trailing parameter row.
+  bool invoke_never_reads(std::vector<Wrap>& wraps) {
+    if (wraps.empty() || wraps.back().kind != Wrap::kClosure) return false;
+    const Wrap top = wraps.back();
+    const Template& callee = *program_.templates[top.target];
+    const uint32_t param = callee.explicit_params() + top.index;
+    if (param >= callee.param_nodes.size()) return false;
+    wraps.pop_back();
+    return param_never_reads(top.target, callee.param_nodes[param], wraps);
+  }
+
+  bool param_never_reads(uint32_t ti, uint32_t param_node, const std::vector<Wrap>& wraps) {
+    return consumers_never_read(ti, param_node, wraps);
+  }
+
+  bool consumers_never_read(uint32_t ti, uint32_t node, const std::vector<Wrap>& wraps) {
+    for (const PortRef& c : program_.templates[ti]->nodes[node].consumers) {
+      if (!never_reads(ti, c.node, c.port, wraps)) return false;
+    }
+    return true;
+  }
+
+  /// Can node `p` have leaked an alias of its output block? Constants
+  /// cannot; operators cannot unless an *input* block escaped to another
+  /// reader (operators may pass any argument through, `ctx.take(0)`
+  /// style, so each input must itself be uniquely held and otherwise
+  /// unread). Parameters and call results are conservatively shared.
+  bool uniquely_held(uint32_t ti, uint32_t p) {
+    const Template& t = *program_.templates[ti];
+    const Node& n = t.nodes[p];
+    switch (n.kind) {
+      case NodeKind::kConst:
+        return true;  // literals are freshly built per activation
+      case NodeKind::kOperator: {
+        for (uint16_t port = 0; port < n.num_inputs; ++port) {
+          const uint32_t q = producers_[ti][p][port];
+          if (!uniquely_held(ti, q)) return false;
+          bool skipped_own = false;
+          for (const PortRef& c : t.nodes[q].consumers) {
+            if (!skipped_own && c.node == p && c.port == port) {
+              skipped_own = true;
+              continue;
+            }
+            if (!never_reads(ti, c.node, c.port, {})) return false;
+          }
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  static std::string encode_key(uint32_t ti, uint32_t node, uint16_t port,
+                                const std::vector<Wrap>& wraps) {
+    std::string key = std::to_string(ti) + ':' + std::to_string(node) + ':' +
+                      std::to_string(port);
+    for (const Wrap& w : wraps) {
+      key += w.kind == Wrap::kTuple ? ":t" : ":c";
+      key += std::to_string(w.index);
+      if (w.kind == Wrap::kClosure) key += '@' + std::to_string(w.target);
+    }
+    return key;
+  }
+
+  CompiledProgram& program_;
+  const OperatorTable& operators_;
+  /// producers_[tmpl][node][port] = producing node id.
+  std::vector<std::vector<std::vector<uint32_t>>> producers_;
+  std::unordered_set<std::string> in_progress_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SoleConsumerStats analyze_sole_consumers(CompiledProgram& program,
+                                         const OperatorTable& operators,
+                                         std::vector<LintFinding>* findings) {
+  return Analyzer(program, operators).run(findings);
+}
+
+std::string render_lint_json(const std::vector<LintFinding>& findings,
+                             const SoleConsumerStats& stats, const SourceFile& file) {
+  std::string out = "{\n  \"file\": \"" + json_escape(file.name()) + "\",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    const LineCol lc = file.line_col(f.range.begin);
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"severity\": \"";
+    out += f.cls == ConsumeClass::kShared ? "warning" : "note";
+    out += "\", \"class\": \"";
+    out += f.cls == ConsumeClass::kShared ? "shared" : "unique";
+    out += "\", \"operator\": \"" + json_escape(f.op_name) + "\"";
+    out += ", \"argument\": " + std::to_string(f.port);
+    out += ", \"line\": " + std::to_string(lc.line);
+    out += ", \"column\": " + std::to_string(lc.col);
+    out += ", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stats\": {\"destructive_edges\": " + std::to_string(stats.destructive_edges) +
+         ", \"unique\": " + std::to_string(stats.unique_edges) +
+         ", \"shared\": " + std::to_string(stats.shared_edges) +
+         ", \"unknown\": " + std::to_string(stats.unknown_edges) + "}\n}\n";
+  return out;
+}
+
+}  // namespace delirium

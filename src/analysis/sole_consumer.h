@@ -1,0 +1,67 @@
+// Sole-consumer analysis (the "delint" CoW pass).
+//
+// A block may be destructively modified only through its sole reference;
+// otherwise the runtime pays a copy-on-write clone (§2.1). Both
+// executors keep reference counts exact, so the clone fires exactly when
+// a block is genuinely shared at mutation time. This pass classifies
+// each value feeding a declared-destructive operator argument:
+//
+//   kUnique  — every other reference provably belongs to a consumer that
+//              never reads the block (e.g. a pending call whose callee
+//              parameter is dead). The runtime may mutate in place and
+//              skip both the uniqueness test and the clone.
+//   kShared  — the clone is guaranteed (the block is still referenced by
+//              a consumer ordered after the mutation, or reaches the
+//              same operator twice). Reported as a lint warning with the
+//              source location.
+//   kUnknown — no static verdict; runtime behavior is unchanged.
+//
+// Soundness rests on the embedding contract: operators do not retain
+// hidden references to argument or result blocks beyond their
+// invocation (see docs/ANALYSIS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/support/source.h"
+
+namespace delirium {
+
+/// One classified destructive use. kShared findings are lint warnings;
+/// kUnique findings are informational (the elision is reported so tests
+/// and `--lint` can see what the analysis proved).
+struct LintFinding {
+  uint32_t template_index = 0;
+  uint32_t node = 0;
+  uint16_t port = 0;
+  ConsumeClass cls = ConsumeClass::kUnknown;
+  std::string op_name;
+  SourceRange range;
+  std::string message;
+};
+
+struct SoleConsumerStats {
+  size_t destructive_edges = 0;  // classified edges in total
+  size_t unique_edges = 0;
+  size_t shared_edges = 0;
+  size_t unknown_edges = 0;
+};
+
+/// Classify every destructive edge of `program` and annotate operator
+/// nodes' `input_classes` so the executors can take the in-place fast
+/// path on kUnique edges. Appends kUnique/kShared findings to
+/// `findings` when provided (kUnknown edges are silent).
+SoleConsumerStats analyze_sole_consumers(CompiledProgram& program,
+                                         const OperatorTable& operators,
+                                         std::vector<LintFinding>* findings = nullptr);
+
+/// Render findings as machine-readable JSON (stable field order; one
+/// object per finding plus the aggregate stats). `file` supplies
+/// line/column positions.
+std::string render_lint_json(const std::vector<LintFinding>& findings,
+                             const SoleConsumerStats& stats, const SourceFile& file);
+
+}  // namespace delirium

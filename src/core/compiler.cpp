@@ -60,13 +60,47 @@ CompileResult compile_source(const std::string& file_name, const std::string& te
   result.timings.opt_ms = sw.elapsed_ms();
   result.ast_nodes = count_program_nodes(program);
 
+#ifndef NDEBUG
+  constexpr bool kDebugVerify = true;
+#else
+  constexpr bool kDebugVerify = false;
+#endif
+  const bool verify = kDebugVerify || options.verify;
+
+  auto run_verifier = [&](const char* phase) {
+    std::vector<VerifyIssue> issues =
+        verify_graphs(result.program, operators, &result.analysis);
+    for (VerifyIssue& issue : issues) {
+      diags.error(SourceRange{}, std::string("graph verifier (after ") + phase +
+                                     "): " + issue.message);
+      result.verify_issues.push_back(std::move(issue));
+    }
+  };
+
   sw.reset();
   result.program =
       build_graphs(program, result.analysis, operators, diags, options.sema.entry_point);
-  if (options.optimize && options.graph_opt && !diags.has_errors()) {
+  const bool graphs_ok = !diags.has_errors();
+  result.timings.graph_ms = sw.elapsed_ms();
+
+  sw.reset();
+  if (verify && graphs_ok) run_verifier("build_graphs");
+  result.timings.analysis_ms = sw.elapsed_ms();
+
+  sw.reset();
+  if (options.optimize && options.graph_opt && graphs_ok) {
     result.graph_opt_stats = optimize_graphs(result.program, operators);
   }
-  result.timings.graph_ms = sw.elapsed_ms();
+  result.timings.graph_ms += sw.elapsed_ms();
+
+  sw.reset();
+  if (!diags.has_errors()) {
+    if (verify && (options.optimize && options.graph_opt)) run_verifier("optimize_graphs");
+    if (options.analyze_unique && !diags.has_errors()) {
+      result.sole_consumer = analyze_sole_consumers(result.program, operators, &result.lint);
+    }
+  }
+  result.timings.analysis_ms += sw.elapsed_ms();
 
   result.diagnostics = diags.summary(file);
   result.ok = !diags.has_errors();

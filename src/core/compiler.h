@@ -5,7 +5,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "src/analysis/graph_verify.h"
+#include "src/analysis/sole_consumer.h"
 #include "src/graph/graph_opt.h"
 #include "src/graph/template.h"
 #include "src/lang/ast.h"
@@ -20,6 +23,12 @@ struct CompileOptions {
   /// Run the graph-level cleanup after conversion (only meaningful when
   /// `optimize` is set; bench_graph_opt ablates it).
   bool graph_opt = true;
+  /// Run the sole-consumer analysis and annotate kUnique destructive
+  /// edges for the runtime fast path. Independent of `optimize`.
+  bool analyze_unique = true;
+  /// Force the structural graph verifier. Debug builds always run it;
+  /// release builds only when this is set (delc --verify-graphs).
+  bool verify = false;
   OptimizeOptions opt;
   AnalysisOptions sema;
 };
@@ -32,9 +41,10 @@ struct PassTimings {
   double env_ms = 0;
   double opt_ms = 0;
   double graph_ms = 0;
+  double analysis_ms = 0;  // graph verifier + sole-consumer analysis
 
   double total_ms() const {
-    return lex_ms + parse_ms + macro_ms + env_ms + opt_ms + graph_ms;
+    return lex_ms + parse_ms + macro_ms + env_ms + opt_ms + graph_ms + analysis_ms;
   }
 };
 
@@ -47,6 +57,14 @@ struct CompileResult {
   AnalysisResult analysis;
   std::string diagnostics;       // rendered diagnostics (errors/warnings)
   size_t ast_nodes = 0;          // after macro expansion + optimization
+  /// Sole-consumer verdicts (populated when options.analyze_unique).
+  /// Lint findings are kept out of `diagnostics`: a kShared warning is
+  /// advice, not a compile problem. delc --lint renders them.
+  SoleConsumerStats sole_consumer;
+  std::vector<LintFinding> lint;
+  /// Structural defects from the graph verifier (debug builds and
+  /// options.verify). Non-empty means a graph-construction bug.
+  std::vector<VerifyIssue> verify_issues;
 };
 
 /// Compile Delirium source text against an operator table. The returned

@@ -392,6 +392,7 @@ uint32_t TemplateBuilder::compile_apply(const Expr* e, bool tail) {
         tmpl_.nodes[id].target_template = entry->self->template_index;
         tmpl_.nodes[id].priority = PriorityClass::kRecursiveCallClosure;
         tmpl_.nodes[id].is_tail = tail;
+        tmpl_.nodes[id].range = e->range;
         tmpl_.nodes[id].debug_label = "call:" + name;
         return id;
       }
@@ -401,16 +402,36 @@ uint32_t TemplateBuilder::compile_apply(const Expr* e, bool tail) {
       const uint32_t id = add_node(NodeKind::kCallClosure, std::move(inputs));
       tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
       tmpl_.nodes[id].is_tail = tail;
+      tmpl_.nodes[id].range = e->range;
       tmpl_.nodes[id].debug_label = "callc:" + name;
       return id;
     }
     if (auto target = owner_.global_index(name)) {
+      if (arg_nodes.size() != owner_.tmpl(*target).num_params) {
+        // Arity disagrees with the target — possible only when the
+        // optimizer substituted a function value into the callee slot
+        // (sema rejects written-out direct calls). The language defines
+        // this as a *runtime* error, so keep the dynamic closure-call
+        // form instead of emitting a kCall the verifier would reject.
+        const uint32_t clo = add_node(NodeKind::kMakeClosure, {});
+        tmpl_.nodes[clo].target_template = *target;
+        tmpl_.nodes[clo].debug_label = "closure:" + name;
+        std::vector<uint32_t> inputs{clo};
+        for (uint32_t a : arg_nodes) inputs.push_back(a);
+        const uint32_t id = add_node(NodeKind::kCallClosure, std::move(inputs));
+        tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
+        tmpl_.nodes[id].is_tail = tail;
+        tmpl_.nodes[id].range = e->range;
+        tmpl_.nodes[id].debug_label = "callc:" + name;
+        return id;
+      }
       const uint32_t id = add_node(NodeKind::kCall, std::move(arg_nodes));
       tmpl_.nodes[id].target_template = *target;
       tmpl_.nodes[id].priority = owner_.is_recursive_fn(name)
                                      ? PriorityClass::kRecursiveCallClosure
                                      : PriorityClass::kCallClosure;
       tmpl_.nodes[id].is_tail = tail;
+      tmpl_.nodes[id].range = e->range;
       tmpl_.nodes[id].debug_label = "call:" + name;
       return id;
     }
@@ -422,6 +443,7 @@ uint32_t TemplateBuilder::compile_apply(const Expr* e, bool tail) {
       const uint32_t id = add_node(NodeKind::kParMap, std::move(arg_nodes));
       tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
       tmpl_.nodes[id].is_tail = tail;
+      tmpl_.nodes[id].range = e->range;
       tmpl_.nodes[id].debug_label = "parmap";
       return id;
     }
@@ -430,6 +452,7 @@ uint32_t TemplateBuilder::compile_apply(const Expr* e, bool tail) {
       const uint32_t id = add_node(NodeKind::kOperator, std::move(arg_nodes));
       tmpl_.nodes[id].op_index = op_index;
       tmpl_.nodes[id].op_name = name;
+      tmpl_.nodes[id].range = e->range;
       tmpl_.nodes[id].debug_label = name;
       return id;
     }
@@ -444,6 +467,7 @@ uint32_t TemplateBuilder::compile_apply(const Expr* e, bool tail) {
   const uint32_t id = add_node(NodeKind::kCallClosure, std::move(inputs));
   tmpl_.nodes[id].priority = PriorityClass::kCallClosure;
   tmpl_.nodes[id].is_tail = tail;
+  tmpl_.nodes[id].range = e->range;
   tmpl_.nodes[id].debug_label = "callc";
   return id;
 }

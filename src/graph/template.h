@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/sema/operator_table.h"
+#include "src/support/source.h"
 
 namespace delirium {
 
@@ -53,6 +54,14 @@ struct PortRef {
   uint16_t port = 0;
 };
 
+/// Static classification of the value arriving on a declared-destructive
+/// input port, computed by the sole-consumer analysis (src/analysis).
+enum class ConsumeClass : uint8_t {
+  kUnknown = 0,  // no static knowledge; runtime checks the refcount
+  kUnique = 1,   // provably sole reader: mutate in place, skip the clone
+  kShared = 2,   // provably shared at this use: the clone is guaranteed
+};
+
 struct Node {
   NodeKind kind = NodeKind::kConst;
   PriorityClass priority = PriorityClass::kNormal;
@@ -73,6 +82,15 @@ struct Node {
 
   /// Where this node's output goes: (consumer node, input port) pairs.
   std::vector<PortRef> consumers;
+
+  /// Per-input consume classification. Empty (the common case) means all
+  /// inputs are kUnknown; otherwise sized exactly num_inputs. Only
+  /// operator nodes with declared-destructive arguments carry this.
+  std::vector<ConsumeClass> input_classes;
+
+  /// Source range of the expression this node came from (operator and
+  /// call-like nodes only); used by lint diagnostics.
+  SourceRange range;
 
   /// Human-readable label for node timings and DOT output.
   std::string debug_label;

@@ -11,10 +11,12 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/graph/template.h"
 #include "src/runtime/value.h"
 #include "src/sema/operator_table.h"
 
@@ -26,21 +28,23 @@ struct OperatorDef;
 using OperatorFn = std::function<Value(OpContext&)>;
 
 struct OperatorDef {
-  OperatorInfo info;              // name, arity, variadic, pure, folder
-  std::vector<bool> destructive;  // per-argument write-access declaration
+  OperatorInfo info;  // name, arity, variadic, pure, folder, destructive
   OperatorFn fn;
 
-  bool is_destructive(size_t arg) const {
-    return arg < destructive.size() && destructive[arg];
-  }
+  bool is_destructive(size_t arg) const { return info.is_destructive(arg); }
 };
 
 /// Handed to an operator on invocation: argument access (with CoW for
 /// declared-destructive block arguments) and execution context.
 class OpContext {
  public:
-  OpContext(const OperatorDef& def, std::span<Value> args, int worker)
-      : def_(def), args_(args), worker_(worker) {}
+  /// `input_classes` carries the sole-consumer analysis verdict for each
+  /// argument (empty span = everything kUnknown; the default preserves
+  /// runtime-checked CoW behavior for embedders calling operators
+  /// directly).
+  OpContext(const OperatorDef& def, std::span<Value> args, int worker,
+            std::span<const ConsumeClass> input_classes = {})
+      : def_(def), args_(args), worker_(worker), input_classes_(input_classes) {}
 
   size_t arg_count() const { return args_.size(); }
   const Value& arg(size_t i) const { return checked(i); }
@@ -65,6 +69,15 @@ class OpContext {
       throw RuntimeError("operator '" + def_.info.name + "' did not declare destructive access to argument " +
                          std::to_string(i));
     }
+    if (i < input_classes_.size() && input_classes_[i] == ConsumeClass::kUnique) {
+      // Statically proved sole consumer: mutate in place without the
+      // uniqueness test. A refcount > 1 here means the analysis saved a
+      // clone the runtime would otherwise have paid for.
+      bool was_shared = false;
+      T& data = checked(i).block_mut_inplace<T>(&was_shared);
+      if (was_shared) ++cow_skipped_;
+      return data;
+    }
     bool copied = false;
     T& data = checked(i).block_mut<T>(&copied);
     if (copied) ++cow_copies_;
@@ -76,6 +89,10 @@ class OpContext {
 
   /// Number of copy-on-write block copies triggered by this invocation.
   uint64_t cow_copies() const { return cow_copies_; }
+
+  /// Number of clones skipped thanks to a kUnique static classification
+  /// (the block was shared, but provably only by never-readers).
+  uint64_t cow_skipped() const { return cow_skipped_; }
 
  private:
   Value& checked(size_t i) const {
@@ -89,7 +106,9 @@ class OpContext {
   const OperatorDef& def_;
   std::span<Value> args_;
   int worker_;
+  std::span<const ConsumeClass> input_classes_;
   uint64_t cow_copies_ = 0;
+  uint64_t cow_skipped_ = 0;
 };
 
 /// The operator registry: the compile-time OperatorTable and the runtime
@@ -103,6 +122,10 @@ class OperatorRegistry final : public OperatorTable {
    public:
     explicit Entry(OperatorDef* def) : def_(def) {}
     Entry& pure() {
+      if (def_->info.any_destructive()) {
+        throw std::invalid_argument("operator '" + def_->info.name +
+                                    "' cannot be both pure and destructive");
+      }
       def_->info.pure = true;
       return *this;
     }
@@ -111,8 +134,13 @@ class OperatorRegistry final : public OperatorTable {
       return *this;
     }
     Entry& destructive(size_t arg) {
-      if (def_->destructive.size() <= arg) def_->destructive.resize(arg + 1, false);
-      def_->destructive[arg] = true;
+      if (def_->info.pure) {
+        throw std::invalid_argument("operator '" + def_->info.name +
+                                    "' cannot be both pure and destructive");
+      }
+      auto& flags = def_->info.destructive;
+      if (flags.size() <= arg) flags.resize(arg + 1, false);
+      flags[arg] = true;
       return *this;
     }
     Entry& variadic() {

@@ -366,7 +366,10 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
       operator_invocations_.fetch_add(1, std::memory_order_relaxed);
       const bool timing = config_.enable_node_timing;
       const Ticks t0 = timing ? now_ticks() : 0;
-      OpContext ctx(def, std::span<Value>(args), worker);
+      const std::span<const ConsumeClass> classes =
+          config_.unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
+                                  : std::span<const ConsumeClass>();
+      OpContext ctx(def, std::span<Value>(args), worker, classes);
       Value result = def.fn(ctx);
       if (timing) {
         const Ticks dt = now_ticks() - t0;
@@ -376,6 +379,7 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
                        worker, timing_seq_.fetch_add(1, std::memory_order_relaxed)});
       }
       cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
+      cow_skipped_.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
       if (config_.affinity == AffinityMode::kOperator && n.op_index >= 0) {
         op_last_worker_[n.op_index].store(worker, std::memory_order_relaxed);
       }
@@ -550,6 +554,7 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   nodes_executed_.store(0);
   operator_invocations_.store(0);
   cow_copies_.store(0);
+  cow_skipped_.store(0);
   remote_block_moves_.store(0);
   operator_ticks_.store(0);
   timing_seq_.store(0);
@@ -580,6 +585,7 @@ void Runtime::finish_run_bookkeeping() {
   stats_.nodes_executed = nodes_executed_.load();
   stats_.operator_invocations = operator_invocations_.load();
   stats_.cow_copies = cow_copies_.load();
+  stats_.cow_skipped = cow_skipped_.load();
   stats_.remote_block_moves = remote_block_moves_.load();
   stats_.operator_ticks = operator_ticks_.load();
   for (WorkerData& wd : worker_data_) {

@@ -51,6 +51,10 @@ struct RuntimeConfig {
   /// a block whose home is another worker (models the BBN Butterfly's
   /// expensive remote references). 0 disables the model.
   int64_t remote_penalty_ns_per_kb = 0;
+  /// Honor kUnique consume-class annotations from the sole-consumer
+  /// analysis: mutate such arguments in place without the uniqueness
+  /// test or clone. Kill switch for A/B runs and debugging.
+  bool unique_fastpath = true;
 };
 
 /// One operator execution, for the node-timing report.
@@ -68,6 +72,7 @@ struct RunStats {
   uint64_t nodes_executed = 0;
   uint64_t operator_invocations = 0;
   uint64_t cow_copies = 0;          // blocks copied to preserve determinism
+  uint64_t cow_skipped = 0;         // clones elided via kUnique annotations
   uint64_t remote_block_moves = 0;  // NUMA-simulated block migrations
   Ticks operator_ticks = 0;         // total time inside operators
 };
@@ -157,6 +162,7 @@ class Runtime {
   std::atomic<uint64_t> nodes_executed_{0};
   std::atomic<uint64_t> operator_invocations_{0};
   std::atomic<uint64_t> cow_copies_{0};
+  std::atomic<uint64_t> cow_skipped_{0};
   std::atomic<uint64_t> remote_block_moves_{0};
   std::atomic<int64_t> operator_ticks_{0};
   std::atomic<uint64_t> timing_seq_{0};

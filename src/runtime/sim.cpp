@@ -263,7 +263,10 @@ struct SimRuntime::Impl {
         }
         ++stats.operator_invocations;
         const Ticks t0 = now_ticks();
-        OpContext ctx(def, std::span<Value>(args), proc);
+        const std::span<const ConsumeClass> classes =
+            config.unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
+                                   : std::span<const ConsumeClass>();
+        OpContext ctx(def, std::span<Value>(args), proc, classes);
         Value result = def.fn(ctx);
         Ticks measured = now_ticks() - t0;
         if (config.record_costs != nullptr) {
@@ -278,6 +281,7 @@ struct SimRuntime::Impl {
         cost += measured;
         stats.operator_ticks += measured;
         stats.cow_copies += ctx.cow_copies();
+        stats.cow_skipped += ctx.cow_skipped();
         if (config.enable_node_timing) {
           timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
                                        static_cast<uint64_t>(timings.size())});

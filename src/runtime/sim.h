@@ -54,6 +54,8 @@ struct SimConfig {
   const CostTable* replay_costs = nullptr;
   /// When set, measured operator costs are appended here.
   CostTable* record_costs = nullptr;
+  /// Honor kUnique consume-class annotations (see RuntimeConfig).
+  bool unique_fastpath = true;
 };
 
 struct SimResult {

@@ -216,6 +216,25 @@ class Value {
     return typed->data;
   }
 
+  /// In-place mutable access for statically-proved sole consumers: no
+  /// uniqueness check, no clone. Safe only when the sole-consumer
+  /// analysis classified this use kUnique. `was_shared` reports whether
+  /// the refcount would have forced a copy (counted as a skipped clone).
+  template <typename T>
+  T& block_mut_inplace(bool* was_shared = nullptr) {
+    auto* slot = std::get_if<std::shared_ptr<BlockBase>>(&v_);
+    if (slot == nullptr) {
+      throw RuntimeError(std::string("expected a data block, got ") + kind_name());
+    }
+    if (was_shared != nullptr) *was_shared = slot->use_count() > 1;
+    auto* typed = dynamic_cast<TypedBlock<T>*>(slot->get());
+    if (typed == nullptr) {
+      throw RuntimeError(std::string("data block holds ") + (*slot)->type_name() +
+                         ", not the requested type");
+    }
+    return typed->data;
+  }
+
   /// Truthiness (shared with the optimizer): NULL, 0, and 0.0 are false.
   bool truthy() const {
     switch (kind()) {

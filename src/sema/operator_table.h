@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace delirium {
 
@@ -32,6 +33,20 @@ struct OperatorInfo {
   /// arguments; they are eligible for CSE, DCE, and constant folding.
   bool pure = false;
   ConstFolder fold;        // optional; only meaningful when pure
+  /// Per-argument write-access declaration (§2.1). The sole-consumer
+  /// analysis and the graph verifier read this at compile time; the
+  /// runtime enforces it through copy-on-write.
+  std::vector<bool> destructive;
+
+  bool is_destructive(size_t arg) const {
+    return arg < destructive.size() && destructive[arg];
+  }
+  bool any_destructive() const {
+    for (bool d : destructive) {
+      if (d) return true;
+    }
+    return false;
+  }
 };
 
 /// Abstract lookup used by sema, the optimizer, and the graph builder.

@@ -57,13 +57,12 @@ TEST(Pretty, MacrosPrintAsDefines) {
 TEST(Registry, FluentAnnotationsStick) {
   OperatorRegistry reg;
   reg.add("op", 3, [](OpContext& ctx) { return ctx.take(0); })
-      .pure()
       .destructive(0)
       .destructive(2)
       .variadic();
   const OperatorInfo* info = reg.lookup("op");
   ASSERT_NE(info, nullptr);
-  EXPECT_TRUE(info->pure);
+  EXPECT_FALSE(info->pure);
   EXPECT_TRUE(info->variadic);
   EXPECT_EQ(info->arity, 3);
   const OperatorDef& def = reg.at(static_cast<size_t>(reg.index_of("op")));
@@ -71,6 +70,28 @@ TEST(Registry, FluentAnnotationsStick) {
   EXPECT_FALSE(def.is_destructive(1));
   EXPECT_TRUE(def.is_destructive(2));
   EXPECT_FALSE(def.is_destructive(7));  // out of range is simply "no"
+
+  reg.add("p", 1, [](OpContext& ctx) { return ctx.take(0); }).pure();
+  const OperatorInfo* pinfo = reg.lookup("p");
+  ASSERT_NE(pinfo, nullptr);
+  EXPECT_TRUE(pinfo->pure);
+  EXPECT_FALSE(pinfo->any_destructive());
+}
+
+TEST(Registry, RejectsPureDestructiveContradiction) {
+  // §2.1: purity promises no argument mutation, so an operator may not be
+  // registered as both pure and destructive — in either order.
+  OperatorRegistry reg;
+  EXPECT_THROW(
+      reg.add("pd", 1, [](OpContext& ctx) { return ctx.take(0); })
+          .pure()
+          .destructive(0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      reg.add("dp", 1, [](OpContext& ctx) { return ctx.take(0); })
+          .destructive(0)
+          .pure(),
+      std::invalid_argument);
 }
 
 TEST(Registry, IndexAndLookupAgree) {

@@ -1,6 +1,8 @@
 // Lexer unit tests: token kinds, literals, comments, and error recovery.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/lang/lexer.h"
 #include "src/support/diagnostics.h"
 #include "src/support/source.h"
@@ -9,9 +11,12 @@ namespace delirium {
 namespace {
 
 std::vector<Token> lex(const std::string& text, DiagnosticEngine* diags_out = nullptr) {
-  SourceFile file("<test>", text);
+  // Token::text is a view into the SourceFile buffer, so the file must
+  // outlive the returned tokens.
+  static std::vector<std::unique_ptr<SourceFile>> keep_alive;
+  keep_alive.push_back(std::make_unique<SourceFile>("<test>", text));
   DiagnosticEngine diags;
-  auto tokens = Lexer(file, diags).lex_all();
+  auto tokens = Lexer(*keep_alive.back(), diags).lex_all();
   if (diags_out != nullptr) *diags_out = std::move(diags);
   return tokens;
 }

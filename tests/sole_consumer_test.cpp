@@ -1,0 +1,305 @@
+// Sole-consumer analysis tests: classification soundness, the runtime
+// fast path (cow_copies drops to zero on provably-unique programs, with
+// the elisions counted in cow_skipped), determinism with the fast path
+// on and off across worker counts, and the --lint-json golden file.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/sole_consumer.h"
+#include "src/delirium.h"
+#include "src/runtime/sim.h"
+
+namespace delirium {
+namespace {
+
+/// make/poke/read_sum: the canonical destructive-block fixture. poke
+/// declares write access to argument 0 and passes the block through.
+void register_block_ops(OperatorRegistry& reg) {
+  register_builtin_operators(reg);
+  reg.add("make", 1, [](OpContext& ctx) {
+    return Value::block(std::vector<int64_t>(static_cast<size_t>(ctx.arg_int(0)), 0));
+  });
+  reg.add("poke", 2, [](OpContext& ctx) {
+    auto& v = ctx.arg_block_mut<std::vector<int64_t>>(0);
+    v[static_cast<size_t>(ctx.arg_int(1)) % v.size()] += ctx.arg_int(1);
+    return ctx.take(0);
+  }).destructive(0);
+  reg.add("read_sum", 1, [](OpContext& ctx) {
+    int64_t total = 0;
+    for (int64_t x : ctx.arg_block<std::vector<int64_t>>(0)) total += x;
+    return Value::of(total);
+  }).pure();
+  reg.add("sum2", 2, [](OpContext& ctx) {
+    int64_t total = 0;
+    for (int64_t x : ctx.arg_block<std::vector<int64_t>>(0)) total += x;
+    for (int64_t x : ctx.arg_block<std::vector<int64_t>>(1)) total += x;
+    return Value::of(total);
+  }).pure();
+}
+
+OperatorRegistry& registry() {
+  static OperatorRegistry r = [] {
+    OperatorRegistry reg;
+    register_block_ops(reg);
+    return reg;
+  }();
+  return r;
+}
+
+/// The acceptance pattern: b waits unread in first()'s second argument
+/// slot while poke runs. Without the analysis the runtime must clone (the
+/// refcount is 2); with it, the clone is provably wasted and elided.
+constexpr const char* kHeldUniqueProgram = R"(
+first(x, y) x
+main()
+  let b = make(8)
+      c = poke(b, 3)
+  in first(read_sum(c), b)
+)";
+
+CompileResult compile(const std::string& text, bool analyze = true, bool optimize = false) {
+  CompileOptions options;
+  options.optimize = optimize;
+  // Inlining would erase first()'s dead parameter and with it the very
+  // held-reference this suite studies.
+  options.opt.inline_expansion = false;
+  options.analyze_unique = analyze;
+  CompileResult result = compile_source("<test>", text, registry(), options);
+  EXPECT_TRUE(result.ok) << result.diagnostics;
+  return result;
+}
+
+const Node* find_operator(const CompiledProgram& program, const std::string& op) {
+  for (const auto& tmpl : program.templates) {
+    for (const Node& n : tmpl->nodes) {
+      if (n.kind == NodeKind::kOperator && n.op_name == op) return &n;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SoleConsumer, HeldNeverReadBlockIsUnique) {
+  for (bool optimize : {false, true}) {
+    CompileResult result = compile(kHeldUniqueProgram, true, optimize);
+    const Node* poke = find_operator(result.program, "poke");
+    ASSERT_NE(poke, nullptr) << "optimize=" << optimize;
+    ASSERT_EQ(poke->input_classes.size(), 2u);
+    EXPECT_EQ(poke->input_classes[0], ConsumeClass::kUnique) << "optimize=" << optimize;
+    EXPECT_EQ(result.sole_consumer.unique_edges, 1u);
+    EXPECT_EQ(result.sole_consumer.shared_edges, 0u);
+  }
+}
+
+TEST(SoleConsumer, OperatorChainStaysUnique) {
+  // Each poke output feeds exactly one consumer; b0 is additionally held
+  // (never read) by first(). Every destructive edge is provably unique.
+  CompileResult result = compile(R"(
+first(x, y) x
+main()
+  let b0 = make(8)
+      b1 = poke(b0, 1)
+      b2 = poke(b1, 2)
+      b3 = poke(b2, 3)
+  in first(read_sum(b3), b0)
+)");
+  EXPECT_EQ(result.sole_consumer.destructive_edges, 3u);
+  EXPECT_EQ(result.sole_consumer.unique_edges, 3u);
+  EXPECT_EQ(result.sole_consumer.shared_edges, 0u);
+}
+
+TEST(SoleConsumer, DownstreamReaderIsGuaranteedShared) {
+  // sum2 needs poke's result AND holds b: when poke fires, sum2's slot
+  // still references b, so the copy is guaranteed.
+  CompileResult result = compile(R"(
+main()
+  let b = make(8)
+  in sum2(poke(b, 3), b)
+)");
+  const Node* poke = find_operator(result.program, "poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_EQ(poke->input_classes[0], ConsumeClass::kShared);
+  ASSERT_EQ(result.lint.size(), 1u);
+  EXPECT_NE(result.lint[0].message.find("guaranteed CoW copy"), std::string::npos)
+      << result.lint[0].message;
+}
+
+TEST(SoleConsumer, ParallelDestructiveUsesAreShared) {
+  CompileResult result = compile(R"(
+main()
+  let b = make(8)
+      p0 = read_sum(poke(b, 1))
+      p1 = read_sum(poke(b, 2))
+  in add(p0, p1)
+)");
+  EXPECT_EQ(result.sole_consumer.shared_edges, 2u);
+  EXPECT_EQ(result.sole_consumer.unique_edges, 0u);
+}
+
+TEST(SoleConsumer, RacingPureReaderStaysUnknown) {
+  // read_sum(b) may run before or after poke — the copy depends on
+  // scheduling, so the verdict must stay kUnknown (silent, no fast path).
+  CompileResult result = compile(R"(
+main()
+  let b = make(8)
+  in add(read_sum(poke(b, 3)), read_sum(b))
+)");
+  const Node* poke = find_operator(result.program, "poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_EQ(poke->input_classes[0], ConsumeClass::kUnknown);
+  EXPECT_EQ(result.sole_consumer.unknown_edges, 1u);
+  EXPECT_TRUE(result.lint.empty());
+}
+
+TEST(SoleConsumer, ParamProducedBlockStaysUnknown) {
+  // Inside g the block arrives as a parameter: the caller may hold other
+  // references, so no verdict.
+  CompileResult result = compile(R"(
+g(b) read_sum(poke(b, 3))
+main() g(make(8))
+)");
+  const Node* poke = find_operator(result.program, "poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_EQ(poke->input_classes[0], ConsumeClass::kUnknown);
+}
+
+TEST(SoleConsumer, RuntimeSkipsProvablyWastedClone) {
+  CompileResult with = compile(kHeldUniqueProgram, true);
+  CompileResult without = compile(kHeldUniqueProgram, false);
+
+  Runtime runtime(registry(), {.num_workers = 2});
+  const Value v_without = runtime.run(without.program);
+  const RunStats s_without = runtime.last_stats();
+  const Value v_with = runtime.run(with.program);
+  const RunStats s_with = runtime.last_stats();
+
+  // Baseline: the held reference forces exactly one deterministic clone.
+  EXPECT_EQ(s_without.cow_copies, 1u);
+  EXPECT_EQ(s_without.cow_skipped, 0u);
+  // Fast path: zero copies; the elision is counted instead.
+  EXPECT_EQ(s_with.cow_copies, 0u);
+  EXPECT_EQ(s_with.cow_skipped, 1u);
+  EXPECT_EQ(v_with.as_int(), v_without.as_int());
+  EXPECT_EQ(v_with.as_int(), 3);
+}
+
+TEST(SoleConsumer, FastPathKillSwitchRestoresClones) {
+  CompileResult result = compile(kHeldUniqueProgram, true);
+  Runtime runtime(registry(), {.num_workers = 2, .unique_fastpath = false});
+  EXPECT_EQ(runtime.run(result.program).as_int(), 3);
+  EXPECT_EQ(runtime.last_stats().cow_copies, 1u);
+  EXPECT_EQ(runtime.last_stats().cow_skipped, 0u);
+}
+
+TEST(SoleConsumer, SimRuntimeSkipsCloneToo) {
+  CompileResult result = compile(kHeldUniqueProgram, true);
+  {
+    SimRuntime sim(registry(), SimConfig{.num_procs = 4});
+    const SimResult r = sim.run(result.program);
+    EXPECT_EQ(r.result.as_int(), 3);
+    EXPECT_EQ(r.stats.cow_copies, 0u);
+    EXPECT_EQ(r.stats.cow_skipped, 1u);
+  }
+  {
+    SimConfig config{.num_procs = 4};
+    config.unique_fastpath = false;
+    SimRuntime sim(registry(), config);
+    const SimResult r = sim.run(result.program);
+    EXPECT_EQ(r.result.as_int(), 3);
+    EXPECT_EQ(r.stats.cow_copies, 1u);
+    EXPECT_EQ(r.stats.cow_skipped, 0u);
+  }
+}
+
+TEST(SoleConsumer, DeterministicAcrossWorkersWithFastPathOnAndOff) {
+  // A larger program mixing unique chains with genuinely-contended pokes:
+  // results must be bit-identical for every worker count, with the fast
+  // path enabled or disabled.
+  const std::string source = R"(
+first(x, y) x
+main()
+  let b0 = make(16)
+      b1 = poke(b0, 1)
+      b2 = poke(b1, 2)
+      held = first(read_sum(b2), b0)
+      s = make(16)
+      q0 = read_sum(poke(s, 5))
+      q1 = read_sum(poke(s, 7))
+  in add(held, add(q0, q1))
+)";
+  CompileResult analyzed = compile(source, true);
+  CompileResult plain = compile(source, false);
+
+  int64_t expected = 0;
+  bool have_expected = false;
+  for (int workers : {1, 2, 4, 8}) {
+    for (bool fastpath : {true, false}) {
+      Runtime runtime(registry(), {.num_workers = workers, .unique_fastpath = fastpath});
+      const int64_t a = runtime.run(analyzed.program).as_int();
+      const int64_t b = runtime.run(plain.program).as_int();
+      if (!have_expected) {
+        expected = a;
+        have_expected = true;
+      }
+      EXPECT_EQ(a, expected) << "workers=" << workers << " fastpath=" << fastpath;
+      EXPECT_EQ(b, expected) << "workers=" << workers << " fastpath=" << fastpath;
+    }
+  }
+}
+
+TEST(SoleConsumerStress, LongUniqueChainNeverCopies) {
+  // 40 sequential pokes, all provably unique, with the original block
+  // held (never read) to keep the refcount above one the whole time.
+  // Baseline: the first poke clones (and then owns the copy), so exactly
+  // one cow_copy. Fast path: no clone ever happens, so the block stays
+  // shared through the entire chain and all 40 elisions are counted.
+  std::ostringstream src;
+  src << "first(x, y) x\nmain()\n  let b0 = make(64)\n";
+  const int kChain = 40;
+  for (int i = 1; i <= kChain; ++i) {
+    src << "      b" << i << " = poke(b" << i - 1 << ", " << i << ")\n";
+  }
+  src << "  in first(read_sum(b" << kChain << "), b0)";
+
+  CompileResult analyzed = compile(src.str(), true);
+  CompileResult plain = compile(src.str(), false);
+  EXPECT_EQ(analyzed.sole_consumer.unique_edges, static_cast<size_t>(kChain));
+
+  int64_t expected = 0;
+  for (int i = 1; i <= kChain; ++i) expected += i;
+  for (int workers : {1, 4, 8}) {
+    Runtime runtime(registry(), {.num_workers = workers});
+    EXPECT_EQ(runtime.run(analyzed.program).as_int(), expected) << workers;
+    EXPECT_EQ(runtime.last_stats().cow_copies, 0u) << workers;
+    EXPECT_EQ(runtime.last_stats().cow_skipped, static_cast<uint64_t>(kChain)) << workers;
+
+    EXPECT_EQ(runtime.run(plain.program).as_int(), expected) << workers;
+    EXPECT_EQ(runtime.last_stats().cow_copies, 1u) << workers;
+  }
+}
+
+TEST(SoleConsumer, LintJsonMatchesGoldenFile) {
+  const std::string source = R"(
+main()
+  let b = make(8)
+  in sum2(poke(b, 3), b)
+)";
+  CompileResult result = compile(source);
+  SourceFile file("lint_shared.dlr", source);
+  const std::string json = render_lint_json(result.lint, result.sole_consumer, file);
+
+  const std::string golden_path = std::string(DELIRIUM_GOLDEN_DIR) + "/lint_shared.json";
+  if (std::getenv("DELIRIUM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream(golden_path) << json;
+  }
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden.good()) << "missing golden file";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(json, expected.str());
+}
+
+}  // namespace
+}  // namespace delirium
