@@ -1,0 +1,229 @@
+// Scheduler ablation: the per-worker work-stealing scheduler vs the
+// original global-mutex ready queue (RuntimeConfig::scheduler).
+//
+// Two measurements:
+//
+//  1. Raw ready-queue throughput — push/pop pairs per second through a
+//     WorkStealDeque (owner fast path), through the MPSC injection
+//     queue, and through a mutex-guarded std::deque (what every
+//     enqueue/dequeue under kGlobalLock pays), plus a two-thread
+//     owner-vs-thief steal run on the Chase–Lev deque.
+//
+//  2. A fan-out-heavy program — a wide parmap of cheap operators, the
+//     §9.2 shape that hammers the ready queue hardest — run end-to-end
+//     under both schedulers at 1/2/4/8 workers (real threads, real
+//     time: this measures scheduler overhead, not parallel speedup, so
+//     it is meaningful on a single-core host — fewer lock handoffs and
+//     futex syscalls shorten the wall clock even with one core).
+//
+// Writes the results as JSON to the path given as argv[1] (default
+// stdout) — BENCH_scheduler.json in the repo root is a recorded run;
+// EXPERIMENTS.md discusses the numbers.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/delirium.h"
+#include "src/support/mpsc_queue.h"
+#include "src/support/work_steal_deque.h"
+#include "src/tools/report.h"
+
+using namespace delirium;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- 1. raw queue throughput ----------------------------------------------
+
+constexpr int kQueueOps = 2'000'000;
+
+/// Push/pop `kQueueOps` int payloads in batches of 64; returns Mops/s.
+template <typename PushFn, typename PopFn>
+double queue_throughput(PushFn push, PopFn pop) {
+  const double start = now_ms();
+  int x = 0;
+  for (int done = 0; done < kQueueOps; done += 64) {
+    for (int i = 0; i < 64; ++i) push(x++);
+    int out;
+    for (int i = 0; i < 64; ++i) pop(out);
+  }
+  return kQueueOps / (now_ms() - start) / 1e3;
+}
+
+double ws_deque_throughput() {
+  WorkStealDeque<int> q(128);
+  return queue_throughput([&](int v) { q.push(std::move(v)); },
+                          [&](int& out) { q.pop(out); });
+}
+
+double mpsc_throughput() {
+  MpscQueue<int> q;
+  return queue_throughput([&](int v) { q.push(std::move(v)); },
+                          [&](int& out) { q.pop(out); });
+}
+
+double mutex_deque_throughput() {
+  std::deque<int> q;
+  std::mutex mu;
+  return queue_throughput(
+      [&](int v) {
+        std::lock_guard<std::mutex> lock(mu);
+        q.push_back(v);
+      },
+      [&](int& out) {
+        std::lock_guard<std::mutex> lock(mu);
+        out = q.front();
+        q.pop_front();
+      });
+}
+
+/// Owner pushes/pops while a thief steals; returns items drained per
+/// second (both ends combined), exercising the top-CAS contention path.
+double ws_deque_steal_throughput() {
+  WorkStealDeque<int> q(1024);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> stolen{0};
+  std::thread thief([&] {
+    int out;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (q.steal(out)) stolen.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  const double start = now_ms();
+  int64_t popped = 0;
+  int x = 0;
+  for (int done = 0; done < kQueueOps; done += 64) {
+    for (int i = 0; i < 64; ++i) q.push(x++);
+    int out;
+    for (int i = 0; i < 64; ++i) {
+      if (q.pop(out)) ++popped;
+    }
+  }
+  const double elapsed = now_ms() - start;
+  stop.store(true);
+  thief.join();
+  return (popped + stolen.load()) / elapsed / 1e3;
+}
+
+// --- 2. fan-out program ----------------------------------------------------
+
+/// Wide parmap of cheap operators: WIDTH tasks of a few arithmetic
+/// nodes each, joined by an iterate fold. Ready-queue traffic dominates.
+const char* kFanOutSource = R"(
+work(x) add(mul(x, x), incr(x))
+total(p)
+  iterate {
+    i = 0, incr(i)
+    acc = 0, add(acc, package_get(p, i))
+  } while is_not_equal(i, package_size(p)), result acc
+main() total(parmap(work, range(512)))
+)";
+
+struct ProgramPoint {
+  int workers;
+  double global_lock_ms;
+  double work_stealing_ms;
+};
+
+std::vector<ProgramPoint> run_fanout(const OperatorRegistry& registry,
+                                     const CompiledProgram& program) {
+  constexpr int kReps = 15;
+  std::vector<ProgramPoint> points;
+  for (const int workers : {1, 2, 4, 8}) {
+    RuntimeConfig config;
+    config.num_workers = workers;
+    config.scheduler = SchedulerKind::kGlobalLock;
+    Runtime global_lock(registry, config);
+    config.scheduler = SchedulerKind::kWorkStealing;
+    Runtime work_stealing(registry, config);
+
+    // Interleaved minimum-of-N (the bench_overhead protocol): scheduler
+    // overhead is a lower-bound quantity, and alternating the two
+    // runtimes cancels slow drift on a noisy single-core host.
+    auto timed = [&](Runtime& runtime) {
+      const double start = now_ms();
+      runtime.run(program);
+      return now_ms() - start;
+    };
+    timed(global_lock);  // warm up (and validate) outside the clock
+    timed(work_stealing);
+    ProgramPoint p{workers, 1e30, 1e30};
+    for (int rep = 0; rep < kReps; ++rep) {
+      p.global_lock_ms = std::min(p.global_lock_ms, timed(global_lock));
+      p.work_stealing_ms = std::min(p.work_stealing_ms, timed(work_stealing));
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OperatorRegistry registry;
+  register_builtin_operators(registry);
+
+  const double ws = ws_deque_throughput();
+  const double mpsc = mpsc_throughput();
+  const double locked = mutex_deque_throughput();
+  const double steal = ws_deque_steal_throughput();
+  std::printf("ready-queue throughput (Mops/s): chase-lev %.1f, mpsc %.1f, "
+              "mutex+deque %.1f, chase-lev w/ thief %.1f\n",
+              ws, mpsc, locked, steal);
+
+  const CompiledProgram program = compile_or_throw(kFanOutSource, registry);
+  const std::vector<ProgramPoint> points = run_fanout(registry, program);
+
+  tools::Table table({"workers", "global_lock (ms)", "work_stealing (ms)", "speedup"});
+  for (const ProgramPoint& p : points) {
+    table.add_row({std::to_string(p.workers), tools::Table::ms(p.global_lock_ms, 2),
+                   tools::Table::ms(p.work_stealing_ms, 2),
+                   tools::Table::ratio(p.global_lock_ms / p.work_stealing_ms)});
+  }
+  std::printf("fan-out program (parmap width 512, interleaved min of 15):\n");
+  table.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"bench_scheduler\",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"queue_throughput_mops\": {\n"
+       << "    \"chase_lev_owner\": " << tools::Table::ms(ws, 1) << ",\n"
+       << "    \"mpsc_inject\": " << tools::Table::ms(mpsc, 1) << ",\n"
+       << "    \"mutex_deque\": " << tools::Table::ms(locked, 1) << ",\n"
+       << "    \"chase_lev_with_thief\": " << tools::Table::ms(steal, 1) << "\n"
+       << "  },\n"
+       << "  \"fanout_parmap512_interleaved_min_of_15\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ProgramPoint& p = points[i];
+    json << "    {\"workers\": " << p.workers
+         << ", \"global_lock_ms\": " << tools::Table::ms(p.global_lock_ms, 2)
+         << ", \"work_stealing_ms\": " << tools::Table::ms(p.work_stealing_ms, 2)
+         << ", \"speedup\": "
+         << tools::Table::ms(p.global_lock_ms / p.work_stealing_ms, 2) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json.str();
+    std::printf("wrote %s\n", argv[1]);
+  } else {
+    std::fputs(json.str().c_str(), stdout);
+  }
+  return 0;
+}

@@ -7,6 +7,10 @@
 //     --timings       print per-pass times (Table 1 style)
 //     --run           execute main() with the built-in operators
 //     --workers N     worker threads for --run (default 4)
+//     --scheduler S   ready-queue implementation for --run:
+//                     "work_stealing" (default) or "global_lock"
+//     --stats         with --run or --sim: print the run's RunStats
+//                     counters (activations, CoW, scheduler traffic)
 //     --sim N         instead of --run, execute under virtual time on N
 //                     simulated processors and report the makespan
 //     --trace FILE    with --run or --sim: write the operator timeline as
@@ -30,6 +34,7 @@
 #include "src/delirium.h"
 #include "src/lang/macro.h"
 #include "src/runtime/sim.h"
+#include "src/tools/report.h"
 #include "src/tools/trace.h"
 
 namespace {
@@ -38,7 +43,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: delc [--dump-ast] [--dump-dot] [--no-opt] [--timings]\n"
                "            [--lint] [--lint-json] [--verify-graphs]\n"
-               "            [--run] [--workers N] [--sim N] <file.dlr>\n");
+               "            [--run] [--workers N] [--scheduler work_stealing|global_lock]\n"
+               "            [--stats] [--sim N] <file.dlr>\n");
   return 2;
 }
 
@@ -48,9 +54,10 @@ int main(int argc, char** argv) {
   std::string path;
   std::string trace_path;
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
-  bool lint = false, lint_json = false, verify_graphs = false;
+  bool lint = false, lint_json = false, verify_graphs = false, stats = false;
   int workers = 4;
   int sim_procs = 0;
+  delirium::SchedulerKind scheduler = delirium::SchedulerKind::kWorkStealing;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dump-ast") dump_ast = true;
@@ -61,7 +68,14 @@ int main(int argc, char** argv) {
     else if (arg == "--lint") lint = true;
     else if (arg == "--lint-json") lint_json = true;
     else if (arg == "--verify-graphs") verify_graphs = true;
+    else if (arg == "--stats") stats = true;
     else if (arg == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
+    else if (arg == "--scheduler" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "work_stealing") scheduler = delirium::SchedulerKind::kWorkStealing;
+      else if (mode == "global_lock") scheduler = delirium::SchedulerKind::kGlobalLock;
+      else return usage();
+    }
     else if (arg == "--sim" && i + 1 < argc) sim_procs = std::atoi(argv[++i]);
     else if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (!arg.empty() && arg[0] == '-') return usage();
@@ -162,6 +176,7 @@ int main(int argc, char** argv) {
     std::printf("virtual makespan on %d processors: %.3f ms (busy %.3f ms)\n", sim_procs,
                 static_cast<double>(r.makespan) / 1e6,
                 static_cast<double>(r.total_busy) / 1e6);
+    if (stats) delirium::tools::print_run_stats(std::cout, r.stats);
     if (!trace_path.empty() &&
         delirium::tools::write_chrome_trace_file(trace_path, r.timings)) {
       std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
@@ -170,9 +185,11 @@ int main(int argc, char** argv) {
     delirium::RuntimeConfig config;
     config.num_workers = workers;
     config.enable_node_timing = !trace_path.empty();
+    config.scheduler = scheduler;
     delirium::Runtime runtime(registry, config);
     const delirium::Value value = runtime.run(result.program);
     std::printf("result: %s\n", value.to_display_string().c_str());
+    if (stats) delirium::tools::print_run_stats(std::cout, runtime.last_stats());
     if (!trace_path.empty() &&
         delirium::tools::write_chrome_trace_file(trace_path, runtime.node_timings())) {
       std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());

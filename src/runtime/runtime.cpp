@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <ostream>
+#include <string_view>
 
 namespace delirium {
+
+namespace {
+// Which Runtime's worker pool the current thread belongs to, if any.
+// Lets schedule_node distinguish the owner fast path (push to this
+// worker's own deque) from the cross-thread injection path. A thread can
+// belong to at most one pool; nested Runtimes run on distinct threads.
+thread_local Runtime* tls_runtime = nullptr;
+thread_local int tls_worker = -1;
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Activation & run state
@@ -86,22 +97,33 @@ Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   if (n <= 0) n = 1;
   config_.num_workers = n;
+  if (const char* env = std::getenv("DELIRIUM_SCHEDULER")) {
+    const std::string_view v(env);
+    if (v == "global_lock") config_.scheduler = SchedulerKind::kGlobalLock;
+    else if (v == "work_stealing") config_.scheduler = SchedulerKind::kWorkStealing;
+  }
   local_queues_.resize(n);
   worker_data_.resize(n);
   op_last_worker_ = std::vector<std::atomic<int>>(registry.size());
   for (auto& a : op_last_worker_) a.store(-1, std::memory_order_relaxed);
+  const bool ws = config_.scheduler == SchedulerKind::kWorkStealing;
+  if (ws) {
+    ws_.reserve(n);
+    for (int w = 0; w < n; ++w) ws_.push_back(std::make_unique<WsWorker>());
+  }
   workers_.reserve(n);
   for (int w = 0; w < n; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
+    workers_.emplace_back([this, w, ws] { ws ? worker_loop_ws(w) : worker_loop(w); });
   }
 }
 
 Runtime::~Runtime() {
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
   }
   sched_cv_.notify_all();
+  for (auto& w : ws_) w->ec.notify();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -114,10 +136,13 @@ void Runtime::schedule_node(const std::shared_ptr<Activation>& act, uint32_t nod
   const int priority =
       config_.use_priorities ? static_cast<int>(n.priority) : 0;
 
-  // Affinity (§9.3): choose a preferred worker, if any.
+  // Affinity (§9.3): choose a preferred worker, if any. Operators
+  // registered after Runtime construction have no slot in
+  // op_last_worker_ (it is sized from the registry at construction);
+  // they schedule with no preference instead of indexing past the end.
   int target = -1;
   if (config_.affinity == AffinityMode::kOperator && n.kind == NodeKind::kOperator &&
-      n.op_index >= 0) {
+      n.op_index >= 0 && static_cast<size_t>(n.op_index) < op_last_worker_.size()) {
     target = op_last_worker_[n.op_index].load(std::memory_order_relaxed);
   } else if (config_.affinity == AffinityMode::kData && n.kind == NodeKind::kOperator) {
     size_t best_bytes = 0;
@@ -134,9 +159,13 @@ void Runtime::schedule_node(const std::shared_ptr<Activation>& act, uint32_t nod
       }
     }
   }
-  if (target >= static_cast<int>(local_queues_.size())) target = -1;
+  if (target >= config_.num_workers) target = -1;
 
   act->run->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  if (config_.scheduler == SchedulerKind::kWorkStealing) {
+    ws_enqueue(WorkItem{act, node}, priority, target);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     if (target >= 0) {
@@ -146,7 +175,157 @@ void Runtime::schedule_node(const std::shared_ptr<Activation>& act, uint32_t nod
     }
     ++queued_total_;
   }
+  sched_local_enqueues_.fetch_add(1, std::memory_order_relaxed);
   sched_cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler
+// ---------------------------------------------------------------------------
+//
+// Every enqueue lands in per-worker storage: a worker scheduling for
+// itself (or with no affinity preference) pushes to its own lock-free
+// deque; everything else — cross-worker affinity targets and calls from
+// threads outside the pool — goes through the target's MPSC inbox. Idle
+// workers park on a per-worker eventcount; enqueuers wake a parked
+// worker only when one is advertised (one relaxed load on the hot path).
+// The seq_cst fences below pair with the parking protocol in
+// worker_loop_ws: either the enqueuer observes the parked flag, or the
+// parking worker's recheck observes the enqueued item.
+
+void Runtime::ws_enqueue(WorkItem item, int priority, int target) {
+  const int self = (tls_runtime == this) ? tls_worker : -1;
+  if (self >= 0 && (target < 0 || target == self)) {
+    if (!ws_[self]->deques[priority].push(std::move(item))) {
+      // Ring full: spill into the own inbox — unbounded, still popped by
+      // this worker, so no work is ever dropped.
+      ws_[self]->inbox[priority].push(std::move(item));
+    }
+    sched_local_enqueues_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (num_parked_.load(std::memory_order_relaxed) > 0) ws_wake_any_parked();
+    return;
+  }
+
+  int dest = target;
+  if (dest < 0) {
+    // Injection from outside the pool with no preference: prefer a
+    // parked worker (it will wake anyway), else round-robin.
+    const size_t n = ws_.size();
+    const uint32_t start = inject_rr_.fetch_add(1, std::memory_order_relaxed);
+    dest = static_cast<int>(start % n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t w = (start + i) % n;
+      if (ws_[w]->parked.load(std::memory_order_acquire)) {
+        dest = static_cast<int>(w);
+        break;
+      }
+    }
+  }
+  ws_[dest]->inbox[priority].push(std::move(item));
+  sched_injected_enqueues_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (ws_[dest]->parked.load(std::memory_order_relaxed)) ws_wake(dest);
+}
+
+void Runtime::ws_wake(int worker) {
+  // Claim the parked flag: a flurry of enqueues costs one notify per
+  // park episode, not one per item. The worker re-advertises the flag
+  // before every wait, and treats a claimed flag as a wakeup (see the
+  // commit condition in worker_loop_ws), so a claim is never lost.
+  if (!ws_[worker]->parked.exchange(false, std::memory_order_seq_cst)) return;
+  sched_wakeups_.fetch_add(1, std::memory_order_relaxed);
+  ws_[worker]->ec.notify();
+}
+
+void Runtime::ws_wake_any_parked() {
+  const size_t n = ws_.size();
+  const uint32_t start = inject_rr_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t w = (start + i) % n;
+    if (ws_[w]->parked.load(std::memory_order_acquire)) {
+      ws_wake(static_cast<int>(w));
+      return;
+    }
+  }
+}
+
+bool Runtime::ws_try_pop(int worker, WorkItem& out) {
+  WsWorker& self = *ws_[worker];
+  // Priority-major over the worker's own sources: the deque (LIFO — the
+  // cache-warm path, and depth-first like the priority scheme it
+  // serves) before the injection inbox (FIFO).
+  for (int pri = 0; pri < 3; ++pri) {
+    if (self.deques[pri].pop(out)) return true;
+    if (self.inbox[pri].pop(out)) return true;
+  }
+  // Dry: steal FIFO from victims' deque tops, priority-major across the
+  // pool, starting from a rotating victim so thieves spread out.
+  const size_t n = ws_.size();
+  if (n > 1) {
+    const size_t base = ++self.steal_rr;
+    for (int pri = 0; pri < 3; ++pri) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t victim = (base + i) % n;
+        if (victim == static_cast<size_t>(worker)) continue;
+        if (ws_[victim]->deques[pri].steal(out)) {
+          sched_steals_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    sched_failed_steals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+bool Runtime::ws_has_work(int worker) const {
+  const WsWorker& self = *ws_[worker];
+  for (int pri = 0; pri < 3; ++pri) {
+    if (!self.deques[pri].empty()) return true;
+    if (!self.inbox[pri].empty()) return true;
+  }
+  for (size_t w = 0; w < ws_.size(); ++w) {
+    if (w == static_cast<size_t>(worker)) continue;
+    for (int pri = 0; pri < 3; ++pri) {
+      if (!ws_[w]->deques[pri].empty()) return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::worker_loop_ws(int worker) {
+  tls_runtime = this;
+  tls_worker = worker;
+  WsWorker& self = *ws_[worker];
+  for (;;) {
+    WorkItem item;
+    if (ws_try_pop(worker, item)) {
+      execute(item, worker);
+      item.act.reset();  // release before the next blocking wait
+      continue;
+    }
+    // Nothing visible anywhere: advertise as parked, then recheck, then
+    // sleep. The fence pairs with the enqueuers' fences: either they see
+    // the parked flag (and notify), or the recheck sees their item.
+    self.parked.store(true, std::memory_order_seq_cst);
+    num_parked_.fetch_add(1, std::memory_order_seq_cst);
+    const uint64_t epoch = self.ec.prepare_wait();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Sleep only while our flag is still up: a waker claims the flag
+    // (exchange to false) before notifying, so a cleared flag means a
+    // wakeup already happened — never sleep through it, or a later
+    // inbox injection (unstealable) would see the flag down, skip its
+    // notify, and strand the item.
+    if (!stopping_.load(std::memory_order_acquire) && !ws_has_work(worker) &&
+        self.parked.load(std::memory_order_seq_cst)) {
+      sched_parks_.fetch_add(1, std::memory_order_relaxed);
+      self.ec.commit_wait(epoch);
+    }
+    self.parked.store(false, std::memory_order_relaxed);
+    num_parked_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping_.load(std::memory_order_acquire)) return;
+  }
 }
 
 bool Runtime::pop_item(int worker, WorkItem& out) {
@@ -181,8 +360,10 @@ void Runtime::worker_loop(int worker) {
     WorkItem item;
     {
       std::unique_lock<std::mutex> lock(sched_mu_);
-      sched_cv_.wait(lock, [this] { return stopping_ || queued_total_ > 0; });
-      if (stopping_) return;
+      sched_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || queued_total_ > 0;
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
       if (!pop_item(worker, item)) continue;
       --queued_total_;
     }
@@ -380,7 +561,8 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
       }
       cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
       cow_skipped_.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
-      if (config_.affinity == AffinityMode::kOperator && n.op_index >= 0) {
+      if (config_.affinity == AffinityMode::kOperator && n.op_index >= 0 &&
+          static_cast<size_t>(n.op_index) < op_last_worker_.size()) {
         op_last_worker_[n.op_index].store(worker, std::memory_order_relaxed);
       }
       if (result.kind() == Value::Kind::kBlock) {
@@ -558,6 +740,12 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   remote_block_moves_.store(0);
   operator_ticks_.store(0);
   timing_seq_.store(0);
+  sched_local_enqueues_.store(0);
+  sched_injected_enqueues_.store(0);
+  sched_steals_.store(0);
+  sched_failed_steals_.store(0);
+  sched_parks_.store(0);
+  sched_wakeups_.store(0);
   for (WorkerData& wd : worker_data_) wd.timings.clear();
   merged_timings_.clear();
 
@@ -588,6 +776,12 @@ void Runtime::finish_run_bookkeeping() {
   stats_.cow_skipped = cow_skipped_.load();
   stats_.remote_block_moves = remote_block_moves_.load();
   stats_.operator_ticks = operator_ticks_.load();
+  stats_.sched_local_enqueues = sched_local_enqueues_.load();
+  stats_.sched_injected_enqueues = sched_injected_enqueues_.load();
+  stats_.sched_steals = sched_steals_.load();
+  stats_.sched_failed_steals = sched_failed_steals_.load();
+  stats_.sched_parks = sched_parks_.load();
+  stats_.sched_wakeups = sched_wakeups_.load();
   for (WorkerData& wd : worker_data_) {
     merged_timings_.insert(merged_timings_.end(), wd.timings.begin(), wd.timings.end());
   }

@@ -26,6 +26,9 @@
 #include "src/runtime/registry.h"
 #include "src/runtime/value.h"
 #include "src/support/clock.h"
+#include "src/support/eventcount.h"
+#include "src/support/mpsc_queue.h"
+#include "src/support/work_steal_deque.h"
 
 namespace delirium {
 
@@ -33,6 +36,14 @@ namespace delirium {
 /// ran the operator; kData prefers the home worker of the largest input
 /// block. Neither affects computed values.
 enum class AffinityMode { kNone, kOperator, kData };
+
+/// Ready-queue implementation. kGlobalLock is the original single-mutex
+/// scheduler (kept for A/B ablation; see bench_scheduler); kWorkStealing
+/// gives each worker three lock-free Chase–Lev deques (one per §7
+/// priority level) plus an MPSC injection queue, with idle workers
+/// parked on per-worker eventcounts. Computed values are identical under
+/// both — only the schedule changes.
+enum class SchedulerKind { kGlobalLock, kWorkStealing };
 
 struct RuntimeConfig {
   /// Worker threads ("processors"). 0 means hardware concurrency.
@@ -55,6 +66,9 @@ struct RuntimeConfig {
   /// analysis: mutate such arguments in place without the uniqueness
   /// test or clone. Kill switch for A/B runs and debugging.
   bool unique_fastpath = true;
+  /// Ready-queue implementation; overridable via the DELIRIUM_SCHEDULER
+  /// environment variable ("global_lock" / "work_stealing").
+  SchedulerKind scheduler = SchedulerKind::kWorkStealing;
 };
 
 /// One operator execution, for the node-timing report.
@@ -75,6 +89,17 @@ struct RunStats {
   uint64_t cow_skipped = 0;         // clones elided via kUnique annotations
   uint64_t remote_block_moves = 0;  // NUMA-simulated block migrations
   Ticks operator_ticks = 0;         // total time inside operators
+
+  // Scheduler counters. The global-lock scheduler fills only the enqueue
+  // split (every enqueue is "local": one shared queue); SimRuntime
+  // reports every virtual enqueue as local and the rest as zero, so
+  // tooling sees one schema across all three executors.
+  uint64_t sched_local_enqueues = 0;     // pushed to the enqueuer's own deque
+  uint64_t sched_injected_enqueues = 0;  // crossed workers via an MPSC inbox
+  uint64_t sched_steals = 0;             // items taken from a victim's deque
+  uint64_t sched_failed_steals = 0;      // full victim scans that found nothing
+  uint64_t sched_parks = 0;              // times a worker slept on its eventcount
+  uint64_t sched_wakeups = 0;            // notifications sent to parked workers
 };
 
 class Runtime {
@@ -117,8 +142,27 @@ class Runtime {
     std::vector<NodeTiming> timings;
   };
 
-  void worker_loop(int worker);
+  /// Per-worker state of the work-stealing scheduler: one bounded
+  /// Chase–Lev deque and one unbounded MPSC injection queue per priority
+  /// level, plus the worker's parking slot. Only the owner pushes/pops
+  /// the deques' bottoms and consumes the inboxes; anyone steals from
+  /// the deques' tops or pushes to the inboxes.
+  struct WsWorker {
+    std::array<WorkStealDeque<WorkItem>, 3> deques;
+    std::array<MpscQueue<WorkItem>, 3> inbox;
+    EventCount ec;
+    std::atomic<bool> parked{false};
+    uint32_t steal_rr = 0;  // owner-private: rotates the first steal victim
+  };
+
+  void worker_loop(int worker);     // kGlobalLock
+  void worker_loop_ws(int worker);  // kWorkStealing
   bool pop_item(int worker, WorkItem& out);  // called with sched_mu_ held
+  void ws_enqueue(WorkItem item, int priority, int target);
+  bool ws_try_pop(int worker, WorkItem& out);
+  bool ws_has_work(int worker) const;
+  void ws_wake(int worker);    // notify one specific parked worker
+  void ws_wake_any_parked();   // notify some parked worker, if any
   void execute(const WorkItem& item, int worker);
   void execute_node(const WorkItem& item, int worker);
 
@@ -138,15 +182,20 @@ class Runtime {
   const OperatorRegistry& registry_;
   RuntimeConfig config_;
 
-  // Scheduler state: one mutex guards all queues (operators are coarse;
-  // see DESIGN.md). Three deques per priority level, globally and per
-  // worker (the latter used only under affinity modes).
+  // kGlobalLock scheduler state: one mutex guards all queues. Three
+  // deques per priority level, globally and per worker (the latter used
+  // only under affinity modes).
   std::mutex sched_mu_;
   std::condition_variable sched_cv_;
   std::array<std::deque<WorkItem>, 3> global_queue_;
   std::vector<std::array<std::deque<WorkItem>, 3>> local_queues_;
   size_t queued_total_ = 0;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
+
+  // kWorkStealing scheduler state (see docs/RUNTIME.md).
+  std::vector<std::unique_ptr<WsWorker>> ws_;
+  std::atomic<int> num_parked_{0};
+  std::atomic<uint32_t> inject_rr_{0};  // round-robin for external enqueues
 
   std::vector<std::thread> workers_;
   std::vector<WorkerData> worker_data_;
@@ -166,6 +215,12 @@ class Runtime {
   std::atomic<uint64_t> remote_block_moves_{0};
   std::atomic<int64_t> operator_ticks_{0};
   std::atomic<uint64_t> timing_seq_{0};
+  std::atomic<uint64_t> sched_local_enqueues_{0};
+  std::atomic<uint64_t> sched_injected_enqueues_{0};
+  std::atomic<uint64_t> sched_steals_{0};
+  std::atomic<uint64_t> sched_failed_steals_{0};
+  std::atomic<uint64_t> sched_parks_{0};
+  std::atomic<uint64_t> sched_wakeups_{0};
 
   RunStats stats_;
   std::vector<NodeTiming> merged_timings_;

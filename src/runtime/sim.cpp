@@ -79,6 +79,10 @@ struct SimRuntime::Impl {
 
   void enqueue(const std::shared_ptr<Activation>& act, uint32_t node, Ticks when) {
     const Node& n = act->tmpl->nodes[node];
+    // Mirror the threaded scheduler's counter schema: the simulator has
+    // one virtual ready queue, so every enqueue is "local" and the
+    // steal/park/wakeup counters stay zero.
+    ++stats.sched_local_enqueues;
     ReadyItem item;
     item.act = act;
     item.node = node;

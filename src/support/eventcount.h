@@ -1,0 +1,53 @@
+// A condvar-backed eventcount: the park/unpark primitive of the
+// work-stealing scheduler.
+//
+// A waiter calls prepare_wait(), rechecks its work sources, and either
+// cancel()s or commit_wait()s; a producer calls notify() after
+// publishing work. The epoch counter closes the classic race: a notify
+// that lands between prepare and commit bumps the epoch, so the commit
+// returns without sleeping. The epoch is bumped under the mutex so a
+// notify cannot slip between the condvar's predicate check and its
+// sleep.
+//
+// Wake throttling lives in the *caller*: the scheduler tracks which
+// workers are parked and calls notify() only on a parked worker's
+// eventcount, so the hot enqueue path costs one atomic load — not a
+// futex syscall — when everyone is busy.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace delirium {
+
+class EventCount {
+ public:
+  /// Waiter: snapshot the epoch *before* rechecking work sources.
+  uint64_t prepare_wait() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Waiter: sleep until the epoch moves past `epoch`. Returns
+  /// immediately when a notify already landed after prepare_wait().
+  void commit_wait(uint64_t epoch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return epoch_.load(std::memory_order_relaxed) != epoch; });
+  }
+
+  /// Producer: wake the waiter (if any). Callers gate this on the
+  /// waiter's parked flag; see the class comment.
+  void notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace delirium

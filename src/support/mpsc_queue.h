@@ -1,0 +1,74 @@
+// Unbounded lock-free multi-producer single-consumer FIFO (Vyukov's
+// MPSC node queue, value-owning "travelling stub" variant).
+//
+// Producers link nodes with one exchange + one store; the consumer pops
+// with one load. `tail_` always points at an already-consumed
+// placeholder node (initially the stub); popping moves the value out of
+// `tail_->next`, promotes that node to placeholder, and frees the old
+// one. A producer that has exchanged `head_` but not yet published
+// `next` leaves the queue momentarily "blocked": pop() then reports
+// empty even though an element is in flight. That is safe here because
+// every producer signals the consumer's eventcount *after* the
+// publishing store, so an element can never be silently stranded.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace delirium {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      if (n != &stub_) delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Any thread.
+  void push(T&& value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer only. False when empty (or momentarily blocked; see above).
+  bool pop(T& out) {
+    Node* placeholder = tail_;
+    Node* next = placeholder->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;  // `next` becomes the new placeholder
+    if (placeholder != &stub_) delete placeholder;
+    return true;
+  }
+
+  /// Consumer-side approximation for park rechecks: false negatives only
+  /// while a producer is mid-push, and that producer signals afterwards.
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T&& v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node stub_;
+  alignas(64) std::atomic<Node*> head_;  // producers exchange here
+  Node* tail_;                           // consumer-private placeholder
+};
+
+}  // namespace delirium

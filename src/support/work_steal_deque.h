@@ -1,0 +1,137 @@
+// Bounded Chase–Lev work-stealing deque.
+//
+// One owner thread pushes and pops at the bottom (LIFO); any other
+// thread steals from the top (FIFO). Lock-free: the owner synchronizes
+// with thieves only through the `top` CAS and a store-load fence on the
+// single-element race. Memory orderings follow Lê, Pop, Cohen &
+// Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP '13), restricted to a fixed-capacity ring: push fails
+// when the ring is full instead of growing, and the caller falls back
+// to its (unbounded) injection queue.
+//
+// Elements are stored behind heap pointers because the slots must be
+// single-word atomics — a thief reads a slot speculatively and only the
+// CAS winner may dereference it. The owner recycles cells it popped
+// through a private freelist, so the steady-state push/pop cycle does
+// not touch the allocator (only stolen cells are freed by thieves).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace delirium {
+
+template <typename T>
+class WorkStealDeque {
+ public:
+  /// `capacity` must be a power of two.
+  explicit WorkStealDeque(size_t capacity = 8192)
+      : capacity_(static_cast<int64_t>(capacity)), mask_(capacity - 1),
+        slots_(std::make_unique<std::atomic<T*>[]>(capacity)) {}
+
+  ~WorkStealDeque() {
+    // Queues drain before teardown (a run completes only when its
+    // outstanding-work count reaches zero); this sweep is defensive.
+    T leftover;
+    while (pop(leftover)) {
+    }
+    for (T* cell : free_) delete cell;
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner only. Returns false (value untouched) when the ring is full.
+  bool push(T&& value) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= capacity_) return false;
+    T* cell;
+    if (!free_.empty()) {
+      cell = free_.back();
+      free_.pop_back();
+      *cell = std::move(value);
+    } else {
+      cell = new T(std::move(value));
+    }
+    slots_[b & mask_].store(cell, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only: LIFO pop from the bottom.
+  bool pop(T& out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    T* item = slots_[b & mask_].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Single element left: race any thief for it.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return false;
+    }
+    out = std::move(*item);
+    recycle(item);
+    return true;
+  }
+
+  /// Any thread: FIFO steal from the top. Retries internally on CAS
+  /// contention (top only advances, so the loop is wait-free in the
+  /// number of concurrent thieves).
+  bool steal(T& out) {
+    for (;;) {
+      int64_t t = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const int64_t b = bottom_.load(std::memory_order_acquire);
+      if (t >= b) return false;
+      T* item = slots_[t & mask_].load(std::memory_order_relaxed);
+      if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        out = std::move(*item);
+        delete item;
+        return true;
+      }
+      // Lost to another thief (or the owner's last-element pop); retry.
+    }
+  }
+
+  /// Approximate (racy) — used only for park/unpark rechecks, where a
+  /// false "empty" is repaired by the enqueuer's wakeup.
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Owner only: cache a popped cell for the next push. The moved-from
+  /// payload is cleared eagerly so it cannot pin resources (e.g. an
+  /// activation's reference count) while idling in the cache.
+  void recycle(T* cell) {
+    if (static_cast<int64_t>(free_.size()) < capacity_) {
+      *cell = T();
+      free_.push_back(cell);
+    } else {
+      delete cell;
+    }
+  }
+
+  const int64_t capacity_;
+  const int64_t mask_;
+  std::unique_ptr<std::atomic<T*>[]> slots_;
+  std::vector<T*> free_;  // owner-private cell cache
+  alignas(64) std::atomic<int64_t> top_{0};
+  alignas(64) std::atomic<int64_t> bottom_{0};
+};
+
+}  // namespace delirium

@@ -88,6 +88,23 @@ void print_timing_trace(std::ostream& os, const std::vector<NodeTiming>& timings
   }
 }
 
+void print_run_stats(std::ostream& os, const RunStats& s) {
+  os << "activations_created:     " << s.activations_created << '\n'
+     << "peak_live_activations:   " << s.peak_live_activations << '\n'
+     << "nodes_executed:          " << s.nodes_executed << '\n'
+     << "operator_invocations:    " << s.operator_invocations << '\n'
+     << "operator_ticks:          " << s.operator_ticks << '\n'
+     << "cow_copies:              " << s.cow_copies << '\n'
+     << "cow_skipped:             " << s.cow_skipped << '\n'
+     << "remote_block_moves:      " << s.remote_block_moves << '\n'
+     << "sched_local_enqueues:    " << s.sched_local_enqueues << '\n'
+     << "sched_injected_enqueues: " << s.sched_injected_enqueues << '\n'
+     << "sched_steals:            " << s.sched_steals << '\n'
+     << "sched_failed_steals:     " << s.sched_failed_steals << '\n'
+     << "sched_parks:             " << s.sched_parks << '\n'
+     << "sched_wakeups:           " << s.sched_wakeups << '\n';
+}
+
 double median_of(int repeats, const std::function<double()>& fn) {
   std::vector<double> samples;
   samples.reserve(repeats);

@@ -49,6 +49,11 @@ std::map<std::string, OpAggregate> aggregate_timings(const std::vector<NodeTimin
 void print_timing_trace(std::ostream& os, const std::vector<NodeTiming>& timings,
                         size_t limit = 0);
 
+/// Print a RunStats block, one "name: value" per line (delc --stats).
+/// The schema is identical for Runtime and SimRuntime runs; counters a
+/// given executor does not exercise read zero.
+void print_run_stats(std::ostream& os, const RunStats& stats);
+
 /// Run `fn` `repeats` times and return the median of its returned values
 /// (used to tame single-core measurement noise).
 double median_of(int repeats, const std::function<double()>& fn);

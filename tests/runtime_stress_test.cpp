@@ -129,6 +129,30 @@ main()
   }
 }
 
+TEST(Stress, OperatorRegisteredAfterRuntimeConstructionRunsWithoutAffinity) {
+  // Regression: op_last_worker_ is sized from the registry at Runtime
+  // construction. An operator registered afterwards used to index past
+  // the end of that table under kOperator affinity; it must instead
+  // fall back to "no preference" and still compute correctly.
+  OperatorRegistry reg;
+  register_builtin_operators(reg);
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.affinity = AffinityMode::kOperator;
+  for (const SchedulerKind scheduler :
+       {SchedulerKind::kGlobalLock, SchedulerKind::kWorkStealing}) {
+    config.scheduler = scheduler;
+    Runtime runtime(reg, config);  // affinity table sized here
+    const std::string name =
+        scheduler == SchedulerKind::kGlobalLock ? "late_gl" : "late_ws";
+    reg.add(name, 1, [](OpContext& ctx) { return Value::of(ctx.arg_int(0) * 3); })
+        .pure();
+    CompiledProgram program =
+        compile_or_throw("main() " + name + "(add(" + name + "(5), 2))", reg);
+    EXPECT_EQ(runtime.run(program).as_int(), 51);
+  }
+}
+
 TEST(Registry, RejectsDuplicateOperators) {
   OperatorRegistry reg;
   reg.add("dup", 0, [](OpContext&) { return Value::null(); });

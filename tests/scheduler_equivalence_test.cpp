@@ -1,0 +1,189 @@
+// Scheduler equivalence: the work-stealing scheduler must compute
+// exactly what the global-lock scheduler computes. Determinism in
+// Delirium is about *values*, not schedules — so every example program
+// and stress workload is run under both scheduler modes × all three
+// affinity modes, asserting identical results and identical
+// nodes_executed / operator_invocations counts (both are functions of
+// the coordination graph alone, not of the schedule).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/delirium.h"
+#include "tests/test_util.h"
+
+#ifndef DELIRIUM_PROGRAMS_DIR
+#define DELIRIUM_PROGRAMS_DIR "examples/programs"
+#endif
+
+namespace delirium {
+namespace {
+
+std::string read_program(const std::string& name) {
+  const std::string path = std::string(DELIRIUM_PROGRAMS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Stress-shaped workloads from runtime_stress_test, as sources that
+/// need only the builtin registry.
+std::string wide_fanout_source() {
+  std::string source = "leaf(x) incr(x)\nmain()\n  let\n";
+  for (int i = 0; i < 128; ++i) {
+    source += "    x" + std::to_string(i) + " = leaf(" + std::to_string(i) + ")\n";
+  }
+  source += "  in ";
+  std::string sum = "x0";
+  for (int i = 1; i < 128; ++i) sum = "add(" + sum + ", x" + std::to_string(i) + ")";
+  return source + sum + "\n";
+}
+
+struct Workload {
+  const char* name;
+  std::string source;
+};
+
+std::vector<Workload> workloads() {
+  return {
+      {"fib.dlr", read_program("fib.dlr")},
+      {"queens.dlr", read_program("queens.dlr")},
+      {"pi.dlr", read_program("pi.dlr")},
+      {"loops.dlr", read_program("loops.dlr")},
+      {"mergesort.dlr", read_program("mergesort.dlr")},
+      {"primes.dlr", read_program("primes.dlr")},
+      {"wide_fanout", wide_fanout_source()},
+      {"deep_nontail",
+       "depth(n) if is_equal(n, 0) then 0 else incr(depth(decr(n)))\n"
+       "main() depth(5000)\n"},
+      {"parmap_fanout",
+       "work(x) add(mul(x, x), 1)\n"
+       "total(p)\n"
+       "  iterate {\n"
+       "    i = 0, incr(i)\n"
+       "    acc = 0, add(acc, package_get(p, i))\n"
+       "  } while is_not_equal(i, package_size(p)), result acc\n"
+       "main() total(parmap(work, range(200)))\n"},
+  };
+}
+
+/// The DELIRIUM_SCHEDULER env var (used by the TSan CI job to force the
+/// work-stealing scheduler) overrides RuntimeConfig::scheduler, so
+/// tests that assert mode-specific counters cannot run under a
+/// conflicting override.
+bool env_overrides_scheduler(const char* wanted) {
+  const char* env = std::getenv("DELIRIUM_SCHEDULER");
+  return env != nullptr && std::string(env) != wanted;
+}
+
+struct ModeParam {
+  SchedulerKind scheduler;
+  AffinityMode affinity;
+};
+
+std::string mode_name(const ::testing::TestParamInfo<ModeParam>& info) {
+  std::string name = info.param.scheduler == SchedulerKind::kWorkStealing
+                         ? "WorkStealing"
+                         : "GlobalLock";
+  switch (info.param.affinity) {
+    case AffinityMode::kNone: name += "NoAffinity"; break;
+    case AffinityMode::kOperator: name += "OperatorAffinity"; break;
+    case AffinityMode::kData: name += "DataAffinity"; break;
+  }
+  return name;
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(SchedulerEquivalence, SameValuesAndCountsAsGlobalLockReference) {
+  const ModeParam mode = GetParam();
+  auto reg = testing::builtin_registry();
+  for (const Workload& w : workloads()) {
+    CompiledProgram program = compile_or_throw(w.source, *reg);
+
+    // Reference: the original scheduler, single worker, no affinity.
+    RuntimeConfig ref_config;
+    ref_config.num_workers = 1;
+    ref_config.scheduler = SchedulerKind::kGlobalLock;
+    Runtime reference(*reg, ref_config);
+    const Value expected = reference.run(program);
+    const RunStats ref_stats = reference.last_stats();
+
+    for (int workers : {2, 4}) {
+      RuntimeConfig config;
+      config.num_workers = workers;
+      config.scheduler = mode.scheduler;
+      config.affinity = mode.affinity;
+      Runtime runtime(*reg, config);
+      const Value got = runtime.run(program);
+      const RunStats stats = runtime.last_stats();
+      const std::string where =
+          std::string(w.name) + " workers=" + std::to_string(workers);
+      EXPECT_TRUE(deep_equal(got, expected)) << where;
+      EXPECT_EQ(stats.nodes_executed, ref_stats.nodes_executed) << where;
+      EXPECT_EQ(stats.operator_invocations, ref_stats.operator_invocations) << where;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SchedulerEquivalence,
+    ::testing::Values(ModeParam{SchedulerKind::kGlobalLock, AffinityMode::kNone},
+                      ModeParam{SchedulerKind::kGlobalLock, AffinityMode::kOperator},
+                      ModeParam{SchedulerKind::kGlobalLock, AffinityMode::kData},
+                      ModeParam{SchedulerKind::kWorkStealing, AffinityMode::kNone},
+                      ModeParam{SchedulerKind::kWorkStealing, AffinityMode::kOperator},
+                      ModeParam{SchedulerKind::kWorkStealing, AffinityMode::kData}),
+    mode_name);
+
+TEST(SchedulerStats, WorkStealingCountersAreCoherent) {
+  if (env_overrides_scheduler("work_stealing")) {
+    GTEST_SKIP() << "DELIRIUM_SCHEDULER forces a different scheduler";
+  }
+  auto reg = testing::builtin_registry();
+  CompiledProgram program =
+      compile_or_throw("work(x) add(mul(x, x), 1)\n"
+                       "total(p)\n"
+                       "  iterate {\n"
+                       "    i = 0, incr(i)\n"
+                       "    acc = 0, add(acc, package_get(p, i))\n"
+                       "  } while is_not_equal(i, package_size(p)), result acc\n"
+                       "main() total(parmap(work, range(64)))\n",
+                       *reg);
+  RuntimeConfig config;
+  config.num_workers = 4;
+  config.scheduler = SchedulerKind::kWorkStealing;
+  Runtime runtime(*reg, config);
+  runtime.run(program);
+  const RunStats& s = runtime.last_stats();
+  // Every scheduled node went through exactly one enqueue path.
+  EXPECT_EQ(s.sched_local_enqueues + s.sched_injected_enqueues, s.nodes_executed);
+  // The run begins with an injection from the caller thread.
+  EXPECT_GE(s.sched_injected_enqueues, 1u);
+}
+
+TEST(SchedulerStats, GlobalLockReportsAllEnqueuesLocal) {
+  if (env_overrides_scheduler("global_lock")) {
+    GTEST_SKIP() << "DELIRIUM_SCHEDULER forces a different scheduler";
+  }
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw("main() add(1, 2)", *reg);
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.scheduler = SchedulerKind::kGlobalLock;
+  Runtime runtime(*reg, config);
+  runtime.run(program);
+  const RunStats& s = runtime.last_stats();
+  EXPECT_EQ(s.sched_local_enqueues, s.nodes_executed);
+  EXPECT_EQ(s.sched_injected_enqueues, 0u);
+  EXPECT_EQ(s.sched_steals, 0u);
+}
+
+}  // namespace
+}  // namespace delirium
