@@ -10,7 +10,16 @@
 //     --scheduler S   ready-queue implementation for --run:
 //                     "work_stealing" (default) or "global_lock"
 //     --stats         with --run or --sim: print the run's RunStats
-//                     counters (activations, CoW, scheduler traffic)
+//                     counters (activations, CoW, scheduler, faults)
+//     --inject-faults SPEC
+//                     seeded deterministic fault injection for --run and
+//                     --sim (grammar in src/runtime/fault.h), e.g.
+//                     "incr:throw:every=7:seed=42,print:stall=1000000"
+//     --retries N     retry faulting retry-eligible operators up to N
+//                     times with exponential backoff
+//     --watchdog MS   stall detector: cancel the run and dump stranded
+//                     activations after MS milliseconds (wall time under
+//                     --run, virtual time under --sim)
 //     --sim N         instead of --run, execute under virtual time on N
 //                     simulated processors and report the makespan
 //     --trace FILE    with --run or --sim: write the operator timeline as
@@ -44,7 +53,8 @@ int usage() {
                "usage: delc [--dump-ast] [--dump-dot] [--no-opt] [--timings]\n"
                "            [--lint] [--lint-json] [--verify-graphs]\n"
                "            [--run] [--workers N] [--scheduler work_stealing|global_lock]\n"
-               "            [--stats] [--sim N] <file.dlr>\n");
+               "            [--stats] [--sim N] [--inject-faults SPEC] [--retries N]\n"
+               "            [--watchdog MS] <file.dlr>\n");
   return 2;
 }
 
@@ -53,10 +63,13 @@ int usage() {
 int main(int argc, char** argv) {
   std::string path;
   std::string trace_path;
+  std::string fault_spec;
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
   bool lint = false, lint_json = false, verify_graphs = false, stats = false;
   int workers = 4;
   int sim_procs = 0;
+  int retries = 0;
+  long watchdog_ms = 0;
   delirium::SchedulerKind scheduler = delirium::SchedulerKind::kWorkStealing;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +91,9 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--sim" && i + 1 < argc) sim_procs = std::atoi(argv[++i]);
     else if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (arg == "--inject-faults" && i + 1 < argc) fault_spec = argv[++i];
+    else if (arg == "--retries" && i + 1 < argc) retries = std::atoi(argv[++i]);
+    else if (arg == "--watchdog" && i + 1 < argc) watchdog_ms = std::atol(argv[++i]);
     else if (!arg.empty() && arg[0] == '-') return usage();
     else path = arg;
   }
@@ -93,6 +109,15 @@ int main(int argc, char** argv) {
 
   delirium::OperatorRegistry registry;
   delirium::register_builtin_operators(registry);
+  if (!fault_spec.empty()) {
+    try {
+      registry.set_fault_plan(
+          std::make_shared<const delirium::FaultPlan>(delirium::FaultPlan::parse(fault_spec)));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "delc: %s\n", e.what());
+      return 2;
+    }
+  }
 
   delirium::CompileOptions options;
   options.optimize = !no_opt;
@@ -170,30 +195,45 @@ int main(int argc, char** argv) {
     delirium::SimConfig config;
     config.num_procs = sim_procs;
     config.enable_node_timing = !trace_path.empty();
+    config.max_retries = retries;
+    config.watchdog_budget_ns = watchdog_ms * 1000000;
     delirium::SimRuntime sim(registry, config);
-    const delirium::SimResult r = sim.run(result.program);
-    std::printf("result: %s\n", r.result.to_display_string().c_str());
-    std::printf("virtual makespan on %d processors: %.3f ms (busy %.3f ms)\n", sim_procs,
-                static_cast<double>(r.makespan) / 1e6,
-                static_cast<double>(r.total_busy) / 1e6);
-    if (stats) delirium::tools::print_run_stats(std::cout, r.stats);
-    if (!trace_path.empty() &&
-        delirium::tools::write_chrome_trace_file(trace_path, r.timings)) {
-      std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+    try {
+      const delirium::SimResult r = sim.run(result.program);
+      std::printf("result: %s\n", r.result.to_display_string().c_str());
+      std::printf("virtual makespan on %d processors: %.3f ms (busy %.3f ms)\n", sim_procs,
+                  static_cast<double>(r.makespan) / 1e6,
+                  static_cast<double>(r.total_busy) / 1e6);
+      if (stats) delirium::tools::print_run_stats(std::cout, r.stats);
+      if (!trace_path.empty() &&
+          delirium::tools::write_chrome_trace_file(trace_path, r.timings)) {
+        std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "delc: run failed: %s\n", e.what());
+      return 1;
     }
   } else if (run) {
     delirium::RuntimeConfig config;
     config.num_workers = workers;
     config.enable_node_timing = !trace_path.empty();
     config.scheduler = scheduler;
+    config.max_retries = retries;
+    config.watchdog_budget_ms = watchdog_ms;
     delirium::Runtime runtime(registry, config);
-    const delirium::Value value = runtime.run(result.program);
-    std::printf("result: %s\n", value.to_display_string().c_str());
-    if (stats) delirium::tools::print_run_stats(std::cout, runtime.last_stats());
-    if (!trace_path.empty() &&
-        delirium::tools::write_chrome_trace_file(trace_path, runtime.node_timings())) {
-      std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+    try {
+      const delirium::Value value = runtime.run(result.program);
+      std::printf("result: %s\n", value.to_display_string().c_str());
+      if (!trace_path.empty() &&
+          delirium::tools::write_chrome_trace_file(trace_path, runtime.node_timings())) {
+        std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "delc: run failed: %s\n", e.what());
+      if (stats) delirium::tools::print_run_stats(std::cout, runtime.last_stats());
+      return 1;
     }
+    if (stats) delirium::tools::print_run_stats(std::cout, runtime.last_stats());
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "src/lang/parser.h"         // lower-level front-end access
 #include "src/lang/pretty.h"         // AST printing
 #include "src/opt/optimizer.h"       // optimization passes
+#include "src/runtime/fault.h"       // FaultInfo / FaultError / FaultPlan
 #include "src/runtime/registry.h"    // OperatorRegistry / OpContext
 #include "src/runtime/runtime.h"     // Runtime / RuntimeConfig
 #include "src/runtime/value.h"       // Value / blocks

@@ -1,0 +1,226 @@
+#include "src/runtime/fault.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace delirium {
+
+namespace {
+
+const char* kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::kConst: return "const";
+    case NodeKind::kParam: return "param";
+    case NodeKind::kOperator: return "operator";
+    case NodeKind::kTupleMake: return "package";
+    case NodeKind::kTupleGet: return "decompose";
+    case NodeKind::kMakeClosure: return "closure";
+    case NodeKind::kCall: return "call";
+    case NodeKind::kCallClosure: return "call-closure";
+    case NodeKind::kIfDispatch: return "if";
+    case NodeKind::kReturn: return "return";
+    case NodeKind::kParMap: return "parmap";
+  }
+  return "?";
+}
+
+uint64_t parse_u64(std::string_view text, const std::string& clause) {
+  uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("fault spec: bad number '" + std::string(text) +
+                                "' in clause '" + clause + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string FaultInfo::render() const {
+  std::string out;
+  if (stall) {
+    out = "operator '" + op + "' stalled";
+  } else if (injected) {
+    out = "injected fault in operator '" + op + "'";
+  } else {
+    out = "operator '" + op + "' faulted";
+  }
+  out += " in template '" + tmpl + "' (node " + std::to_string(node) + ", seq " +
+         std::to_string(seq);
+  if (!location.empty()) out += ", " + location;
+  out += "): " + message;
+  if (!stack.empty()) out += "\ncoordination stack:\n" + stack;
+  return out;
+}
+
+bool fault_before(const FaultInfo& a, const FaultInfo& b) {
+  if (a.seq != b.seq) return a.seq < b.seq;
+  if (a.node != b.node) return a.node < b.node;
+  return a.message < b.message;
+}
+
+std::string exception_message(std::exception_ptr ep) {
+  if (ep == nullptr) return "unknown error";
+  try {
+    std::rethrow_exception(std::move(ep));
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception type";
+  }
+}
+
+std::string fault_node_label(const Node& n) {
+  if (!n.op_name.empty()) return n.op_name;
+  if (!n.debug_label.empty()) return n.debug_label;
+  return kind_name(n.kind);
+}
+
+std::string fault_node_location(const Node& n) {
+  if (n.range.begin.offset == 0 && n.range.end.offset == 0) return "";
+  return "bytes " + std::to_string(n.range.begin.offset) + ".." +
+         std::to_string(n.range.end.offset);
+}
+
+std::string render_stranded(std::vector<StrandedActivation> acts, size_t limit) {
+  if (acts.empty()) return "  (no live activations)\n";
+  std::sort(acts.begin(), acts.end(),
+            [](const StrandedActivation& a, const StrandedActivation& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.tmpl < b.tmpl;
+            });
+  std::string out;
+  size_t shown = 0;
+  for (const StrandedActivation& a : acts) {
+    if (shown == limit) {
+      out += "  ... and " + std::to_string(acts.size() - shown) + " more activation(s)\n";
+      break;
+    }
+    out += "  [seq " + std::to_string(a.seq) + "] template '" + a.tmpl + "'";
+    if (a.partial.empty()) {
+      out += ": no partially-fed nodes";
+    } else {
+      out += ":";
+      for (const StrandedNode& n : a.partial) {
+        out += " node " + std::to_string(n.node) + " ('" + n.label + "') missing " +
+               std::to_string(n.missing) + " of " + std::to_string(n.total) + " input(s);";
+      }
+      out.pop_back();  // trailing ';'
+    }
+    if (a.never_fed > 0) {
+      out += "; " + std::to_string(a.never_fed) + " node(s) never fed";
+    }
+    out += "\n";
+    ++shown;
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  plan.spec_ = spec;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) {
+      if (pos > spec.size()) break;  // trailing empty segment
+      throw std::invalid_argument("fault spec: empty clause");
+    }
+    FaultRule rule;
+    bool have_action = false;
+    size_t field_pos = 0;
+    int field_index = 0;
+    while (field_pos <= clause.size()) {
+      const size_t colon = std::min(clause.find(':', field_pos), clause.size());
+      const std::string field = clause.substr(field_pos, colon - field_pos);
+      field_pos = colon + 1;
+      if (field_index == 0) {
+        if (field.empty()) {
+          throw std::invalid_argument("fault spec: clause '" + clause +
+                                      "' has no operator name");
+        }
+        rule.op = field;
+        rule.wildcard = field == "*";
+      } else if (field == "throw") {
+        rule.action = FaultAction::kThrow;
+        have_action = true;
+      } else if (field == "corrupt") {
+        rule.action = FaultAction::kCorrupt;
+        have_action = true;
+      } else if (field.rfind("stall=", 0) == 0) {
+        rule.action = FaultAction::kStall;
+        rule.stall_ns = static_cast<int64_t>(parse_u64(field.substr(6), clause));
+        have_action = true;
+      } else if (field.rfind("nth=", 0) == 0) {
+        rule.nth = parse_u64(field.substr(4), clause);
+        if (rule.nth == 0) {
+          throw std::invalid_argument("fault spec: nth is 1-based in clause '" + clause +
+                                      "'");
+        }
+      } else if (field.rfind("every=", 0) == 0) {
+        rule.every = parse_u64(field.substr(6), clause);
+        if (rule.every == 0) {
+          throw std::invalid_argument("fault spec: every=0 in clause '" + clause + "'");
+        }
+      } else if (field.rfind("seed=", 0) == 0) {
+        rule.seed = parse_u64(field.substr(5), clause);
+      } else if (field.rfind("fail_attempts=", 0) == 0) {
+        rule.fail_attempts = static_cast<uint32_t>(parse_u64(field.substr(14), clause));
+      } else {
+        throw std::invalid_argument("fault spec: unknown field '" + field + "' in clause '" +
+                                    clause + "'");
+      }
+      ++field_index;
+      if (field_pos > clause.size()) break;
+    }
+    if (!have_action) {
+      throw std::invalid_argument("fault spec: clause '" + clause +
+                                  "' needs throw, stall=<ns>, or corrupt");
+    }
+    if (rule.nth != 0 && rule.every != 0) {
+      throw std::invalid_argument("fault spec: clause '" + clause +
+                                  "' mixes nth= and every= selectors");
+    }
+    plan.rules_.push_back(std::move(rule));
+    if (pos > spec.size()) break;
+  }
+  if (plan.rules_.empty()) {
+    throw std::invalid_argument("fault spec: no clauses in '" + spec + "'");
+  }
+  return plan;
+}
+
+std::shared_ptr<const FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("DELIRIUM_INJECT_FAULTS");
+  if (env == nullptr || *env == '\0') return nullptr;
+  return std::make_shared<const FaultPlan>(parse(env));
+}
+
+FaultDecision FaultPlan::decide(std::string_view op, bool op_pure, uint64_t seq,
+                                uint32_t node, uint64_t arrival, uint32_t attempt) const {
+  for (const FaultRule& rule : rules_) {
+    if (rule.wildcard) {
+      // The wildcard deliberately matches only pure operators: they are
+      // the retry-eligible set, so a blanket plan with retries enabled
+      // leaves program results unchanged (the CI fault-injection job
+      // depends on this).
+      if (!op_pure) continue;
+    } else if (rule.op != op) {
+      continue;
+    }
+    if (attempt >= rule.fail_attempts) continue;
+    if (rule.nth != 0 && arrival + 1 != rule.nth) continue;
+    if (rule.every != 0 &&
+        fault_seq_child(rule.seed ^ seq, node, 0xfa17u) % rule.every != 0) {
+      continue;
+    }
+    return FaultDecision{rule.action, rule.stall_ns};
+  }
+  return FaultDecision{};
+}
+
+}  // namespace delirium

@@ -1,0 +1,266 @@
+// Deterministic fault handling shared by Runtime and SimRuntime.
+//
+// The paper's determinism promise (§8: "if there is a bug in the program
+// it will recur in exactly the same way every execution") is extended
+// here to *how* failures are reported. Every operator exception is
+// captured as a FaultInfo record carrying full provenance — operator
+// name, template, node id, source range, and a deterministic activation
+// sequence id — plus a "coordination stack" rendered from continuation
+// links. On drain the run rethrows the fault with the smallest sequence
+// id, not the first one a worker happened to observe, so the reported
+// error is identical across worker counts and across both executors.
+//
+// The same header defines the seeded fault-injection plan (delc
+// --inject-faults / DELIRIUM_INJECT_FAULTS) used to exercise recovery
+// paths identically in threaded and simulated execution.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/runtime/value.h"
+
+namespace delirium {
+
+// ---------------------------------------------------------------------------
+// Deterministic activation sequence ids
+// ---------------------------------------------------------------------------
+//
+// An activation's sequence id is a structural hash of its spawn path:
+// the root gets a fixed id, and a child spawned at node `n` of a parent
+// (with `index` distinguishing parmap siblings) mixes the parent's id
+// with (n, index). The id therefore depends only on the coordination
+// graph, never on the schedule — both executors compute identical ids
+// for the same program, which is what makes "smallest sequence id"
+// a schedule-independent tie-break between concurrent faults.
+
+inline uint64_t fault_seq_root() { return 0x2545f4914f6cdd1dull; }
+
+inline uint64_t fault_seq_child(uint64_t parent, uint32_t node, uint32_t index) {
+  uint64_t z = parent + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(node) * 2 + 1) +
+               (static_cast<uint64_t>(index) << 32);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Structured fault records
+// ---------------------------------------------------------------------------
+
+/// Everything the runtime knows about one captured failure. All fields
+/// are schedule-independent for deterministic programs, so render()
+/// produces byte-identical text across schedulers and worker counts.
+struct FaultInfo {
+  std::string op;       // operator name / node label at the fault site
+  std::string tmpl;     // template whose activation faulted
+  uint32_t node = 0;    // node id within the template
+  uint64_t seq = 0;     // deterministic activation sequence id
+  std::string message;  // what() of the underlying exception
+  std::string location; // source byte range of the faulting node, or ""
+  std::string stack;    // rendered coordination stack (may be "")
+  bool injected = false;   // raised by the fault-injection plan
+  bool stall = false;      // raised by the watchdog, not an exception
+  /// The original exception, for embedders that need the concrete type.
+  /// Never compared or rendered; may be null for watchdog faults.
+  std::exception_ptr original;
+
+  /// Deterministic multi-line error text: provenance header, original
+  /// message, coordination stack.
+  std::string render() const;
+};
+
+/// Total order used to pick the reported fault at drain time. Sequence
+/// id first (schedule-independent), then node id (two faulting operators
+/// inside one activation), then message text as a final tie-break.
+bool fault_before(const FaultInfo& a, const FaultInfo& b);
+
+/// Thrown by Runtime::run / SimRuntime::run when the drained run
+/// captured at least one fault. what() is FaultInfo::render() of the
+/// winning (smallest-sequence-id) fault; the full record — including the
+/// original exception_ptr — is available via fault().
+class FaultError : public RuntimeError {
+ public:
+  explicit FaultError(FaultInfo info)
+      : RuntimeError(info.render()), info_(std::move(info)) {}
+
+  const FaultInfo& fault() const { return info_; }
+
+ private:
+  FaultInfo info_;
+};
+
+/// Message text of an arbitrary exception (what() for std::exception,
+/// a fixed string otherwise). Null pointers render as "unknown error".
+std::string exception_message(std::exception_ptr ep);
+
+/// Diagnostic label of a node: operator name, else debug label, else the
+/// node-kind name.
+std::string fault_node_label(const Node& n);
+
+/// "bytes B..E" for a node with a recorded source range, "" otherwise.
+/// (The runtime has no SourceFile, so offsets are reported raw; they are
+/// deterministic and map back through the front end's line table.)
+std::string fault_node_location(const Node& n);
+
+/// Render the coordination stack of a faulting activation by walking its
+/// continuation links (tail calls forward continuations, so forwarded
+/// frames are elided — exactly like a tail-call-optimized stack trace).
+/// Works for both executors' activation types, which share the field
+/// names `tmpl`, `cont_act`, `cont_node`, `collector`.
+template <typename Act>
+std::string render_coordination_stack(const Act* act, uint32_t fault_node) {
+  constexpr int kMaxFrames = 16;
+  const Node& fn = act->tmpl->nodes[fault_node];
+  std::string out = "  #0 " + act->tmpl->name + " (node " + std::to_string(fault_node) +
+                    " '" + fault_node_label(fn) + "')\n";
+  const Act* cur = act;
+  int frame = 1;
+  while (true) {
+    if (frame > kMaxFrames) {
+      out += "  ... (truncated)\n";
+      break;
+    }
+    const Act* next = nullptr;
+    uint32_t node = 0;
+    bool via_parmap = false;
+    if (cur->collector != nullptr) {
+      next = cur->collector->cont_act.get();
+      node = cur->collector->cont_node;
+      via_parmap = true;
+    } else {
+      next = cur->cont_act.get();
+      node = cur->cont_node;
+    }
+    const char* suffix = via_parmap ? " [parmap]" : "";
+    if (next == nullptr) {
+      out += "  #" + std::to_string(frame) + " <run result>" + suffix + "\n";
+      break;
+    }
+    out += "  #" + std::to_string(frame) + " " + next->tmpl->name + " (node " +
+           std::to_string(node) + ")" + suffix + "\n";
+    cur = next;
+    ++frame;
+  }
+  return out;
+}
+
+/// Build the FaultInfo for an exception raised while executing `node` of
+/// `act`. Shared by both executors so the rendered text matches exactly.
+template <typename Act>
+FaultInfo make_fault(const Act& act, uint32_t node, std::exception_ptr ep,
+                     bool injected = false) {
+  const Node& n = act.tmpl->nodes[node];
+  FaultInfo f;
+  f.op = fault_node_label(n);
+  f.tmpl = act.tmpl->name;
+  f.node = node;
+  f.seq = act.seq;
+  f.message = exception_message(ep);
+  f.location = fault_node_location(n);
+  f.stack = render_coordination_stack(&act, node);
+  f.injected = injected;
+  f.original = std::move(ep);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Stranded-activation dumps (deadlock diagnostic, watchdog)
+// ---------------------------------------------------------------------------
+
+/// One node of a live activation that never fired.
+struct StrandedNode {
+  uint32_t node = 0;
+  std::string label;
+  int missing = 0;  // inputs that never arrived
+  int total = 0;    // declared inputs
+};
+
+/// One live activation at deadlock / watchdog time.
+struct StrandedActivation {
+  uint64_t seq = 0;
+  std::string tmpl;
+  std::vector<StrandedNode> partial;  // partially fed join nodes
+  size_t never_fed = 0;               // nodes with no input delivered yet
+};
+
+/// Deterministic rendering: sorted by sequence id, capped at `limit`
+/// activations. Empty input renders a one-line "(no live activations)".
+std::string render_stranded(std::vector<StrandedActivation> acts, size_t limit = 20);
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+enum class FaultAction : uint8_t {
+  kNone,
+  kThrow,    // throw a RuntimeError before invoking the operator
+  kStall,    // delay the operator (wall time / virtual time) by stall_ns
+  kCorrupt,  // replace the operator's result with an empty package
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int64_t stall_ns = 0;
+};
+
+/// One clause of an injection spec.
+struct FaultRule {
+  std::string op;        // operator name; "*" matches every *pure* operator
+  bool wildcard = false;
+  FaultAction action = FaultAction::kThrow;
+  int64_t stall_ns = 0;
+  /// Selector: fire on the nth invocation in arrival order (1-based).
+  /// Arrival order is deterministic in SimRuntime and with one worker;
+  /// with several workers the nth arrival is schedule-dependent.
+  uint64_t nth = 0;  // 0 = unset
+  /// Selector: fire when hash(seed, activation seq, node) % every == 0.
+  /// Structural, so identical across executors and worker counts.
+  uint64_t every = 0;  // 0 = unset
+  uint64_t seed = 0;
+  /// The rule applies only to attempts < fail_attempts, so a retried
+  /// operator recovers deterministically on attempt fail_attempts.
+  uint32_t fail_attempts = 1;
+};
+
+/// A parsed --inject-faults specification. Grammar (clauses comma-
+/// separated, fields colon-separated):
+///
+///   spec   := clause (',' clause)*
+///   clause := op ':' field (':' field)*
+///   op     := operator name | '*'            ('*' = every pure operator)
+///   field  := 'throw' | 'stall=<ns>' | 'corrupt'
+///           | 'nth=<n>' | 'every=<k>' | 'seed=<s>' | 'fail_attempts=<m>'
+///
+/// Example: "convolve:throw:every=7:seed=42,post_up:stall=1000000:nth=3"
+class FaultPlan {
+ public:
+  /// Parse a spec. Throws std::invalid_argument with a description of
+  /// the offending clause on malformed input.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Plan from the DELIRIUM_INJECT_FAULTS environment variable, or null
+  /// when unset/empty. A malformed env spec throws (fail loudly; a
+  /// silently-ignored injection spec would fake coverage).
+  static std::shared_ptr<const FaultPlan> from_env();
+
+  /// Decide what happens to this invocation. `arrival` is the 0-based
+  /// per-operator arrival index; `attempt` is 0 for the first try.
+  FaultDecision decide(std::string_view op, bool op_pure, uint64_t seq, uint32_t node,
+                       uint64_t arrival, uint32_t attempt) const;
+
+  bool empty() const { return rules_.empty(); }
+  const std::string& spec() const { return spec_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<FaultRule> rules_;
+  std::string spec_;
+};
+
+}  // namespace delirium

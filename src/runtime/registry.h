@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/graph/template.h"
+#include "src/runtime/fault.h"
 #include "src/runtime/value.h"
 #include "src/sema/operator_table.h"
 
@@ -158,6 +159,13 @@ class OperatorRegistry final : public OperatorTable {
   size_t size() const { return defs_.size(); }
   const OperatorDef& at(size_t index) const { return *defs_[index]; }
 
+  /// Attach a fault-injection plan (delc --inject-faults). Executors
+  /// constructed against this registry pick the plan up; when none is
+  /// set they fall back to the DELIRIUM_INJECT_FAULTS environment
+  /// variable. Pass nullptr to clear.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan) { fault_plan_ = std::move(plan); }
+  const std::shared_ptr<const FaultPlan>& fault_plan() const { return fault_plan_; }
+
   // OperatorTable:
   const OperatorInfo* lookup(const std::string& name) const override;
   int index_of(const std::string& name) const override;
@@ -165,6 +173,7 @@ class OperatorRegistry final : public OperatorTable {
  private:
   std::vector<std::unique_ptr<OperatorDef>> defs_;
   std::unordered_map<std::string, int> by_name_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
 };
 
 /// Register the built-in convenience operators (arithmetic, comparison,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <ostream>
 #include <string_view>
@@ -29,8 +30,8 @@ thread_local int tls_worker = -1;
 /// as it can still be referenced.
 struct Runtime::Activation {
   Activation(Runtime* rt_in, const CompiledProgram* program_in, const Template* tmpl_in,
-             RunState* run_in)
-      : rt(rt_in), program(program_in), tmpl(tmpl_in), run(run_in),
+             RunState* run_in, uint64_t seq_in)
+      : rt(rt_in), program(program_in), tmpl(tmpl_in), run(run_in), seq(seq_in),
         slots(tmpl_in->value_slots),
         pending(std::make_unique<std::atomic<int32_t>[]>(tmpl_in->nodes.size())) {
     for (size_t i = 0; i < tmpl->nodes.size(); ++i) {
@@ -43,14 +44,21 @@ struct Runtime::Activation {
            !rt->peak_live_activations_.compare_exchange_weak(peak, static_cast<uint64_t>(live),
                                                              std::memory_order_relaxed)) {
     }
+    rt->ledger_add(this);
   }
 
-  ~Activation() { rt->live_activations_.fetch_sub(1, std::memory_order_relaxed); }
+  ~Activation() {
+    rt->ledger_remove(this);
+    rt->live_activations_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   Runtime* rt;
   const CompiledProgram* program;
   const Template* tmpl;
   RunState* run;
+  /// Deterministic structural sequence id (see fault.h): a hash of the
+  /// spawn path, independent of the schedule, identical in SimRuntime.
+  uint64_t seq;
   std::vector<Value> slots;
   std::unique_ptr<std::atomic<int32_t>[]> pending;
   /// Continuation: where this activation's result goes. When `collector`
@@ -78,13 +86,27 @@ struct Runtime::RunState {
   std::condition_variable cv;
   bool have_result = false;
   Value result;
-  std::exception_ptr error;
+  /// Faults captured during the run, guarded by mu. At drain the
+  /// smallest fault under fault_before() is the one rethrown, so the
+  /// reported error is identical across schedulers and worker counts.
+  std::vector<FaultInfo> faults;
+  /// Set (release) by fail_fast fault capture or the watchdog; checked
+  /// (acquire) before every execution so queued items are purged
+  /// instead of run.
   std::atomic<bool> cancelled{false};
+  bool watchdog_fired = false;     // caller thread only
+  std::string watchdog_message;    // written before cancellation
   /// Queued + executing work items. The run is complete when this drains
   /// to zero: every enqueue increments, every completed execution
   /// decrements, and an executing item performs all of its enqueues
   /// before its own decrement.
   std::atomic<int64_t> outstanding{0};
+  // Fault policy resolved once per run (config + environment overrides).
+  std::shared_ptr<const FaultPlan> plan;
+  int max_retries = 0;
+  int64_t retry_backoff_ns = 0;
+  int64_t watchdog_budget_ns = 0;
+  bool fail_fast = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -103,9 +125,11 @@ Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
     else if (v == "work_stealing") config_.scheduler = SchedulerKind::kWorkStealing;
   }
   local_queues_.resize(n);
-  worker_data_.resize(n);
+  worker_data_.reserve(n);
+  for (int w = 0; w < n; ++w) worker_data_.push_back(std::make_unique<WorkerData>());
   op_last_worker_ = std::vector<std::atomic<int>>(registry.size());
   for (auto& a : op_last_worker_) a.store(-1, std::memory_order_relaxed);
+  op_arrivals_ = std::vector<std::atomic<uint64_t>>(registry.size());
   const bool ws = config_.scheduler == SchedulerKind::kWorkStealing;
   if (ws) {
     ws_.reserve(n);
@@ -125,6 +149,93 @@ Runtime::~Runtime() {
   sched_cv_.notify_all();
   for (auto& w : ws_) w->ec.notify();
   for (std::thread& t : workers_) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling (docs/ROBUSTNESS.md)
+// ---------------------------------------------------------------------------
+
+void Runtime::ledger_add(Activation* act) {
+  LedgerShard& s = ledger_[(reinterpret_cast<uintptr_t>(act) >> 6) % kLedgerShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.acts.insert(act);
+}
+
+void Runtime::ledger_remove(Activation* act) {
+  LedgerShard& s = ledger_[(reinterpret_cast<uintptr_t>(act) >> 6) % kLedgerShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.acts.erase(act);
+}
+
+void Runtime::record_fault(RunState* rs, FaultInfo f) {
+  faults_raised_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    rs->faults.push_back(std::move(f));
+  }
+  // Default mode drains naturally: every fault reachable from the inputs
+  // is captured, so the smallest-sequence-id winner is schedule-
+  // independent. fail_fast trades that guarantee for latency.
+  if (rs->fail_fast) cancel_run(rs);
+}
+
+void Runtime::cancel_run(RunState* rs) {
+  rs->cancelled.store(true, std::memory_order_release);
+  // No queue surgery needed: workers observe the flag before executing
+  // and purge queued items as they pop them (counted in items_purged).
+  // Workers are never parked while items remain queued, so the drain
+  // needs no extra wakeups.
+}
+
+std::vector<StrandedActivation> Runtime::collect_stranded(const RunState* rs) {
+  std::vector<StrandedActivation> out;
+  for (LedgerShard& shard : ledger_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Activation* a : shard.acts) {
+      if (a->run != rs) continue;
+      StrandedActivation sa;
+      sa.seq = a->seq;
+      sa.tmpl = a->tmpl->name;
+      for (uint32_t i = 0; i < a->tmpl->nodes.size(); ++i) {
+        const Node& n = a->tmpl->nodes[i];
+        if (n.num_inputs == 0) continue;
+        const int32_t missing = a->pending[i].load(std::memory_order_relaxed);
+        if (missing <= 0) continue;
+        if (missing == n.num_inputs) {
+          ++sa.never_fed;
+        } else {
+          sa.partial.push_back(StrandedNode{i, fault_node_label(n),
+                                            missing, n.num_inputs});
+        }
+      }
+      if (!sa.partial.empty() || sa.never_fed > 0) out.push_back(std::move(sa));
+    }
+  }
+  return out;
+}
+
+std::string Runtime::dump_busy_workers() {
+  std::string out;
+  const Ticks now = now_ticks();
+  for (size_t w = 0; w < worker_data_.size(); ++w) {
+    WorkerData& wd = *worker_data_[w];
+    std::lock_guard<std::mutex> lock(wd.busy_mu);
+    if (wd.busy_op.empty()) continue;
+    out += "  worker " + std::to_string(w) + ": executing '" + wd.busy_op + "' for " +
+           std::to_string(now - wd.busy_since) + " ns\n";
+  }
+  if (out.empty()) out = "  (all workers idle)\n";
+  return out;
+}
+
+void Runtime::fire_watchdog(RunState* rs) {
+  watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+  rs->watchdog_message =
+      "watchdog: no result within " +
+      std::to_string(rs->watchdog_budget_ns / 1000000) +
+      " ms; cancelling run\nbusy workers:\n" + dump_busy_workers() +
+      "stranded activations:\n" + render_stranded(collect_stranded(rs));
+  cancel_run(rs);
 }
 
 // ---------------------------------------------------------------------------
@@ -374,15 +485,17 @@ void Runtime::worker_loop(int worker) {
 
 void Runtime::execute(const WorkItem& item, int worker) {
   RunState* rs = item.act->run;
-  if (!rs->cancelled.load(std::memory_order_relaxed)) {
+  if (rs->cancelled.load(std::memory_order_acquire)) {
+    // Cancelled (fail_fast fault or watchdog): discard instead of run.
+    items_purged_.fetch_add(1, std::memory_order_relaxed);
+  } else {
     try {
       execute_node(item, worker);
     } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(rs->mu);
-        if (!rs->error) rs->error = std::current_exception();
-      }
-      rs->cancelled.store(true, std::memory_order_relaxed);
+      // Operator faults are captured inside the kOperator case (they
+      // carry injection/retry context); anything reaching here is a
+      // coordination-level failure at this node.
+      record_fault(rs, make_fault(*item.act, item.node, std::current_exception()));
     }
   }
   if (rs->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -453,6 +566,7 @@ std::shared_ptr<Runtime::Activation> Runtime::spawn(const CompiledProgram& progr
                                                     std::vector<Value> params,
                                                     std::shared_ptr<Activation> cont_act,
                                                     uint32_t cont_node, RunState* run,
+                                                    uint64_t seq,
                                                     std::shared_ptr<ParMapCollector> collector,
                                                     uint32_t collector_index) {
   if (params.size() != tmpl->num_params) {
@@ -460,7 +574,7 @@ std::shared_ptr<Runtime::Activation> Runtime::spawn(const CompiledProgram& progr
                        std::to_string(tmpl->num_params) + " values, got " +
                        std::to_string(params.size()));
   }
-  auto act = std::make_shared<Activation>(this, &program, tmpl, run);
+  auto act = std::make_shared<Activation>(this, &program, tmpl, run, seq);
   act->cont_act = std::move(cont_act);
   act->cont_node = cont_node;
   act->collector = std::move(collector);
@@ -485,17 +599,21 @@ std::shared_ptr<Runtime::Activation> Runtime::spawn(const CompiledProgram& progr
 void Runtime::spawn_child(const WorkItem& item, const Template* target,
                           std::vector<Value> params) {
   const Node& n = item.act->tmpl->nodes[item.node];
+  // Structural child id: same formula under both call shapes (and in
+  // SimRuntime), so the id never depends on tail-call optimization state
+  // of anything *below* this node.
+  const uint64_t seq = fault_seq_child(item.act->seq, item.node, 0);
   if (n.is_tail && config_.enable_tail_calls) {
     // Tail call: forward the *whole* continuation — including a parmap
     // collector, if this activation's result was to join one. This
     // activation can retire as soon as its remaining nodes finish (§7's
     // early activation reuse).
     spawn(*item.act->program, target, std::move(params), item.act->cont_act,
-          item.act->cont_node, item.act->run, item.act->collector,
+          item.act->cont_node, item.act->run, seq, item.act->collector,
           item.act->collector_index);
   } else {
     spawn(*item.act->program, target, std::move(params), item.act, item.node,
-          item.act->run);
+          item.act->run, seq);
   }
 }
 
@@ -542,25 +660,133 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
 
     case NodeKind::kOperator: {
       const OperatorDef& def = registry_.at(static_cast<size_t>(n.op_index));
+      RunState* rs = act.run;
       std::vector<Value> args = take_all_inputs();
       if (config_.remote_penalty_ns_per_kb > 0) apply_numa_penalties(args, worker);
       operator_invocations_.fetch_add(1, std::memory_order_relaxed);
       const bool timing = config_.enable_node_timing;
-      const Ticks t0 = timing ? now_ticks() : 0;
+      const bool track_busy = rs->watchdog_budget_ns > 0;
       const std::span<const ConsumeClass> classes =
           config_.unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
                                   : std::span<const ConsumeClass>();
-      OpContext ctx(def, std::span<Value>(args), worker, classes);
-      Value result = def.fn(ctx);
-      if (timing) {
-        const Ticks dt = now_ticks() - t0;
-        operator_ticks_.fetch_add(dt, std::memory_order_relaxed);
-        worker_data_[worker].timings.push_back(
-            NodeTiming{n.op_name, act.tmpl->name, dt,
-                       worker, timing_seq_.fetch_add(1, std::memory_order_relaxed)});
+      const FaultPlan* plan = rs->plan.get();
+      uint64_t arrival = 0;
+      if (plan != nullptr && n.op_index >= 0 &&
+          static_cast<size_t>(n.op_index) < op_arrivals_.size()) {
+        arrival = op_arrivals_[n.op_index].fetch_add(1, std::memory_order_relaxed);
       }
-      cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
-      cow_skipped_.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
+
+      // Retry eligibility: pure operators always qualify; destructive
+      // operators only when the sole-consumer analysis proved every
+      // destructive argument kUnique, so the pre-image snapshot below
+      // captures the entire effect of a failed attempt. kUnknown
+      // destructive arguments stay ineligible — their copy-on-write
+      // behavior depends on live reference counts a snapshot would
+      // perturb.
+      int budget = 0;
+      if (rs->max_retries > 0) {
+        bool eligible = true;
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (def.is_destructive(i) &&
+              !(i < n.input_classes.size() &&
+                n.input_classes[i] == ConsumeClass::kUnique)) {
+            eligible = false;
+            break;
+          }
+        }
+        if (eligible) budget = rs->max_retries;
+      }
+
+      // Pre-image snapshot: shallow Value copies (a reference bump) for
+      // read-only arguments, deep clones for destructive ones (the
+      // kUnique path mutates those in place). Restores re-clone from the
+      // snapshot so a second retry never sees the first retry's writes.
+      auto restore_from = [&def](const std::vector<Value>& from) {
+        std::vector<Value> to;
+        to.reserve(from.size());
+        for (size_t i = 0; i < from.size(); ++i) {
+          if (def.is_destructive(i) && from[i].kind() == Value::Kind::kBlock) {
+            to.push_back(Value::of_block(from[i].block_ptr()->clone()));
+          } else {
+            to.push_back(from[i]);
+          }
+        }
+        return to;
+      };
+      std::vector<Value> snapshot;
+      if (budget > 0) snapshot = restore_from(args);
+
+      Value result;
+      bool ok = false;
+      WorkerData& wd = *worker_data_[worker];
+      for (uint32_t attempt = 0;; ++attempt) {
+        FaultDecision fd;
+        if (plan != nullptr) {
+          fd = plan->decide(def.info.name, def.info.pure, act.seq, item.node, arrival,
+                            attempt);
+          if (fd.action != FaultAction::kNone) {
+            faults_injected_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        bool injected = false;
+        if (track_busy) {
+          std::lock_guard<std::mutex> lock(wd.busy_mu);
+          wd.busy_op = def.info.name;
+          wd.busy_since = now_ticks();
+        }
+        try {
+          if (fd.action == FaultAction::kThrow) {
+            injected = true;
+            throw RuntimeError("injected fault (attempt " + std::to_string(attempt) +
+                               ")");
+          }
+          if (fd.action == FaultAction::kStall) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(fd.stall_ns));
+          }
+          const Ticks t0 = timing ? now_ticks() : 0;
+          OpContext ctx(def, std::span<Value>(args), worker, classes);
+          result = def.fn(ctx);
+          if (track_busy) {
+            std::lock_guard<std::mutex> lock(wd.busy_mu);
+            wd.busy_op.clear();
+          }
+          // Timings and CoW stats come from the successful attempt only.
+          if (timing) {
+            const Ticks dt = now_ticks() - t0;
+            operator_ticks_.fetch_add(dt, std::memory_order_relaxed);
+            wd.timings.push_back(
+                NodeTiming{n.op_name, act.tmpl->name, dt,
+                           worker, timing_seq_.fetch_add(1, std::memory_order_relaxed)});
+          }
+          cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
+          cow_skipped_.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
+          if (fd.action == FaultAction::kCorrupt) {
+            // Deterministically wrong-shaped result: consumers that
+            // decompose it fault with exact provenance.
+            result = Value::tuple({});
+          }
+          ok = true;
+        } catch (...) {
+          if (track_busy) {
+            std::lock_guard<std::mutex> lock(wd.busy_mu);
+            wd.busy_op.clear();
+          }
+          if (attempt < static_cast<uint32_t>(budget)) {
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(rs->retry_backoff_ns << shift));
+            args = restore_from(snapshot);
+            continue;
+          }
+          if (budget > 0) retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+          record_fault(rs, make_fault(act, item.node, std::current_exception(), injected));
+        }
+        break;
+      }
+      // A recorded fault delivers nothing: the node's consumers starve,
+      // the run drains, and the smallest-seq fault is rethrown at drain.
+      if (!ok) break;
       if (config_.affinity == AffinityMode::kOperator && n.op_index >= 0 &&
           static_cast<size_t>(n.op_index) < op_last_worker_.size()) {
         op_last_worker_[n.op_index].store(worker, std::memory_order_relaxed);
@@ -676,6 +902,7 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
       }
       for (size_t i = 0; i < k; ++i) {
         spawn(*act.program, target, std::move(params_list[i]), nullptr, 0, act.run,
+              fault_seq_child(act.seq, item.node, static_cast<uint32_t>(i) + 1),
               collector, static_cast<uint32_t>(i));
       }
       break;
@@ -728,6 +955,20 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   std::lock_guard<std::mutex> run_lock(run_mu_);
   RunState rs;
   rs.program = &program;
+
+  // Resolve the fault policy for this run: config, overridable by the
+  // environment (mirrors the DELIRIUM_SCHEDULER pattern); an injection
+  // plan attached to the registry beats the environment spec.
+  rs.plan = registry_.fault_plan() != nullptr ? registry_.fault_plan()
+                                              : FaultPlan::from_env();
+  rs.max_retries = config_.max_retries;
+  if (const char* env = std::getenv("DELIRIUM_RETRIES")) {
+    rs.max_retries = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  if (rs.max_retries < 0) rs.max_retries = 0;
+  rs.retry_backoff_ns = config_.retry_backoff_ns > 0 ? config_.retry_backoff_ns : 0;
+  rs.watchdog_budget_ns = config_.watchdog_budget_ms * 1000000;
+  rs.fail_fast = config_.fail_fast;
   current_run_ = &rs;
 
   // Reset per-run accumulators.
@@ -746,23 +987,82 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   sched_failed_steals_.store(0);
   sched_parks_.store(0);
   sched_wakeups_.store(0);
-  for (WorkerData& wd : worker_data_) wd.timings.clear();
+  faults_raised_.store(0);
+  faults_injected_.store(0);
+  retries_.store(0);
+  retries_exhausted_.store(0);
+  items_purged_.store(0);
+  watchdog_fires_.store(0);
+  for (auto& wd : worker_data_) wd->timings.clear();
+  for (auto& a : op_arrivals_) a.store(0, std::memory_order_relaxed);
   merged_timings_.clear();
 
   // The root activation delivers its result to the run state directly.
-  spawn(program, tmpl, std::move(args), nullptr, 0, &rs);
-
-  {
+  // Its shared_ptr is held across the drain so the deadlock diagnostic
+  // and watchdog dump can still walk the stranded activation tree.
+  std::shared_ptr<Activation> root;
+  auto drain = [this, &rs] {
     std::unique_lock<std::mutex> lock(rs.mu);
-    rs.cv.wait(lock, [&rs] { return rs.outstanding.load(std::memory_order_acquire) == 0; });
+    auto done = [&rs] { return rs.outstanding.load(std::memory_order_acquire) == 0; };
+    if (rs.watchdog_budget_ns <= 0) {
+      rs.cv.wait(lock, done);
+      return;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(rs.watchdog_budget_ns);
+    if (!rs.cv.wait_until(lock, deadline, done)) {
+      rs.watchdog_fired = true;
+      lock.unlock();
+      fire_watchdog(&rs);  // takes ledger/worker locks; never rs.mu
+      lock.lock();
+      // Cancellation purges the queues, so the drain completes unless an
+      // operator is truly wedged (which no cancellation could fix).
+      rs.cv.wait(lock, done);
+    }
+  };
+  try {
+    root = spawn(program, tmpl, std::move(args), nullptr, 0, &rs, fault_seq_root());
+  } catch (...) {
+    // The root spawn may fault after scheduling part of the activation;
+    // drain whatever was enqueued before rethrowing.
+    cancel_run(&rs);
+    drain();
+    current_run_ = nullptr;
+    finish_run_bookkeeping();
+    throw;
   }
+  drain();
   current_run_ = nullptr;
+
+  // Drain-time error selection: the winner is the fault with the
+  // smallest deterministic sequence id, not the first one a worker
+  // happened to record — identical across schedulers and worker counts.
+  // A fault beats a delivered result (a faulting program must never
+  // appear to succeed just because the result raced ahead).
+  FaultInfo winner;
+  bool have_fault = false;
+  {
+    std::lock_guard<std::mutex> lock(rs.mu);
+    for (FaultInfo& f : rs.faults) {
+      if (!have_fault || fault_before(f, winner)) {
+        winner = std::move(f);
+        have_fault = true;
+      }
+    }
+  }
+  std::string stranded;
+  if (!have_fault && !rs.have_result && !rs.watchdog_fired) {
+    stranded = render_stranded(collect_stranded(&rs));
+  }
+  root.reset();
   finish_run_bookkeeping();
 
-  if (rs.error) std::rethrow_exception(rs.error);
+  if (have_fault) throw FaultError(std::move(winner));
+  if (rs.watchdog_fired) throw RuntimeError(rs.watchdog_message);
   if (!rs.have_result) {
-    throw RuntimeError("program finished without producing a result "
-                       "(a value was never delivered — dataflow deadlock)");
+    throw RuntimeError(
+        "program finished without producing a result (a value was never "
+        "delivered — dataflow deadlock)\nstranded activations:\n" + stranded);
   }
   return std::move(rs.result);
 }
@@ -782,8 +1082,14 @@ void Runtime::finish_run_bookkeeping() {
   stats_.sched_failed_steals = sched_failed_steals_.load();
   stats_.sched_parks = sched_parks_.load();
   stats_.sched_wakeups = sched_wakeups_.load();
-  for (WorkerData& wd : worker_data_) {
-    merged_timings_.insert(merged_timings_.end(), wd.timings.begin(), wd.timings.end());
+  stats_.faults_raised = faults_raised_.load();
+  stats_.faults_injected = faults_injected_.load();
+  stats_.retries = retries_.load();
+  stats_.retries_exhausted = retries_exhausted_.load();
+  stats_.items_purged = items_purged_.load();
+  stats_.watchdog_fires = watchdog_fires_.load();
+  for (auto& wd : worker_data_) {
+    merged_timings_.insert(merged_timings_.end(), wd->timings.begin(), wd->timings.end());
   }
   std::sort(merged_timings_.begin(), merged_timings_.end(),
             [](const NodeTiming& a, const NodeTiming& b) { return a.seq < b.seq; });

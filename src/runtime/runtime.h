@@ -20,9 +20,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "src/graph/template.h"
+#include "src/runtime/fault.h"
 #include "src/runtime/registry.h"
 #include "src/runtime/value.h"
 #include "src/support/clock.h"
@@ -69,6 +71,23 @@ struct RuntimeConfig {
   /// Ready-queue implementation; overridable via the DELIRIUM_SCHEDULER
   /// environment variable ("global_lock" / "work_stealing").
   SchedulerKind scheduler = SchedulerKind::kWorkStealing;
+  /// Automatic retries of a faulting retry-eligible operator: pure
+  /// operators, and destructive operators whose every destructive
+  /// argument the sole-consumer analysis proved kUnique (a pre-image
+  /// snapshot then makes the retry exact). 0 disables retry.
+  /// Overridable via the DELIRIUM_RETRIES environment variable.
+  int max_retries = 0;
+  /// Base delay before a retry, doubled per attempt. Wall-clock here;
+  /// SimRuntime applies the same policy in virtual time.
+  int64_t retry_backoff_ns = 1000;
+  /// Watchdog: whole-run wall-clock budget in milliseconds; 0 disables.
+  /// A fired watchdog cancels the run and reports which operators were
+  /// executing and which activations were stranded waiting for inputs.
+  int64_t watchdog_budget_ms = 0;
+  /// Cancel the run on the first captured fault instead of draining.
+  /// Fails faster, but the reported fault may then depend on the
+  /// schedule (see docs/ROBUSTNESS.md for the determinism contract).
+  bool fail_fast = false;
 };
 
 /// One operator execution, for the node-timing report.
@@ -100,6 +119,15 @@ struct RunStats {
   uint64_t sched_failed_steals = 0;      // full victim scans that found nothing
   uint64_t sched_parks = 0;              // times a worker slept on its eventcount
   uint64_t sched_wakeups = 0;            // notifications sent to parked workers
+
+  // Fault counters (docs/ROBUSTNESS.md), mirrored by SimRuntime so the
+  // two executors report recovery behavior through one schema.
+  uint64_t faults_raised = 0;      // faults captured and surfaced at drain
+  uint64_t faults_injected = 0;    // injection-plan actions that fired
+  uint64_t retries = 0;            // operator attempts re-run after a fault
+  uint64_t retries_exhausted = 0;  // operators whose retry budget ran out
+  uint64_t items_purged = 0;       // queued items discarded by cancellation
+  uint64_t watchdog_fires = 0;     // stall-detector activations
 };
 
 class Runtime {
@@ -140,7 +168,22 @@ class Runtime {
   };
   struct WorkerData {
     std::vector<NodeTiming> timings;
+    // What the worker is executing right now, for the watchdog dump.
+    // Maintained only when a watchdog budget is set.
+    std::mutex busy_mu;
+    std::string busy_op;  // empty = idle
+    Ticks busy_since = 0;
   };
+
+  /// Live-activation ledger, sharded to keep registration off the hot
+  /// path's single lock. Feeds the deadlock diagnostic and the watchdog
+  /// dump; an activation's destructor cannot finish while a dump holds
+  /// its shard, so the dump may read pending counters safely.
+  struct LedgerShard {
+    std::mutex mu;
+    std::unordered_set<Activation*> acts;
+  };
+  static constexpr size_t kLedgerShards = 16;
 
   /// Per-worker state of the work-stealing scheduler: one bounded
   /// Chase–Lev deque and one unbounded MPSC injection queue per priority
@@ -169,7 +212,7 @@ class Runtime {
   std::shared_ptr<Activation> spawn(const CompiledProgram& program, const Template* tmpl,
                                     std::vector<Value> params,
                                     std::shared_ptr<Activation> cont_act, uint32_t cont_node,
-                                    RunState* run,
+                                    RunState* run, uint64_t seq,
                                     std::shared_ptr<ParMapCollector> collector = nullptr,
                                     uint32_t collector_index = 0);
   void deliver_final(RunState* rs, Value v);
@@ -178,6 +221,15 @@ class Runtime {
   void schedule_node(const std::shared_ptr<Activation>& act, uint32_t node);
   void finish_run_bookkeeping();
   void apply_numa_penalties(std::vector<Value>& args, int worker);
+
+  // Fault handling (docs/ROBUSTNESS.md).
+  void record_fault(RunState* rs, FaultInfo f);
+  void cancel_run(RunState* rs);
+  void fire_watchdog(RunState* rs);
+  void ledger_add(Activation* act);
+  void ledger_remove(Activation* act);
+  std::vector<StrandedActivation> collect_stranded(const RunState* rs);
+  std::string dump_busy_workers();
 
   const OperatorRegistry& registry_;
   RuntimeConfig config_;
@@ -198,8 +250,10 @@ class Runtime {
   std::atomic<uint32_t> inject_rr_{0};  // round-robin for external enqueues
 
   std::vector<std::thread> workers_;
-  std::vector<WorkerData> worker_data_;
+  std::vector<std::unique_ptr<WorkerData>> worker_data_;
   std::vector<std::atomic<int>> op_last_worker_;  // operator-affinity memory
+  std::vector<std::atomic<uint64_t>> op_arrivals_;  // per-operator arrival counters
+  std::array<LedgerShard, kLedgerShards> ledger_;
 
   std::mutex run_mu_;  // serializes run() calls
   RunState* current_run_ = nullptr;
@@ -221,6 +275,12 @@ class Runtime {
   std::atomic<uint64_t> sched_failed_steals_{0};
   std::atomic<uint64_t> sched_parks_{0};
   std::atomic<uint64_t> sched_wakeups_{0};
+  std::atomic<uint64_t> faults_raised_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retries_exhausted_{0};
+  std::atomic<uint64_t> items_purged_{0};
+  std::atomic<uint64_t> watchdog_fires_{0};
 
   RunStats stats_;
   std::vector<NodeTiming> merged_timings_;

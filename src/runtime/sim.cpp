@@ -1,8 +1,10 @@
 #include "src/runtime/sim.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <memory>
+#include <unordered_set>
 
 #include "src/support/clock.h"
 
@@ -26,19 +28,27 @@ struct SimRuntime::Impl {
   };
 
   struct Activation {
-    explicit Activation(Impl* sim_in, const Template* tmpl_in)
-        : sim(sim_in), tmpl(tmpl_in), slots(tmpl_in->value_slots),
+    Activation(Impl* sim_in, const Template* tmpl_in, uint64_t seq_in)
+        : sim(sim_in), tmpl(tmpl_in), seq(seq_in), slots(tmpl_in->value_slots),
           pending(tmpl_in->nodes.size()), ready_at(tmpl_in->nodes.size(), 0) {
       for (size_t i = 0; i < tmpl->nodes.size(); ++i) pending[i] = tmpl->nodes[i].num_inputs;
       ++sim->stats.activations_created;
       ++sim->live;
       sim->stats.peak_live_activations =
           std::max<uint64_t>(sim->stats.peak_live_activations, sim->live);
+      sim->live_acts.insert(this);
     }
-    ~Activation() { --sim->live; }
+    ~Activation() {
+      sim->live_acts.erase(this);
+      --sim->live;
+    }
 
     Impl* sim;
     const Template* tmpl;
+    /// Deterministic structural sequence id (see fault.h) — computed by
+    /// the same formula as the threaded runtime, so fault reports match
+    /// byte for byte across the two executors.
+    uint64_t seq;
     std::vector<Value> slots;
     std::vector<int32_t> pending;
     std::vector<Ticks> ready_at;  // per node: when its last input arrived
@@ -61,16 +71,59 @@ struct SimRuntime::Impl {
   SimConfig config;
   const CompiledProgram* program = nullptr;
 
+  // Declared before `ready`: activation destructors unregister from
+  // live_acts and update live/stats, so these must outlive any queued
+  // activation if a run aborts with items still enqueued.
+  uint64_t live = 0;
+  RunStats stats;
+  std::unordered_set<Activation*> live_acts;
+
   std::vector<ReadyItem> ready;  // unsorted; selection scans (small queues)
   std::vector<Ticks> proc_avail;
   std::vector<Ticks> proc_busy;
   uint64_t next_seq = 0;
-  uint64_t live = 0;
-  RunStats stats;
   std::vector<NodeTiming> timings;
   Value final_result;
   bool have_result = false;
   Ticks final_time = 0;
+
+  // Fault handling (docs/ROBUSTNESS.md) — the single-threaded mirror of
+  // Runtime's machinery: no locks, virtual-time backoff and watchdog.
+  std::vector<FaultInfo> faults;
+  std::shared_ptr<const FaultPlan> plan;
+  int max_retries = 0;
+  bool cancelled = false;
+  bool watchdog_fired = false;
+  std::string watchdog_message;
+
+  void record_fault(FaultInfo f) {
+    ++stats.faults_raised;
+    faults.push_back(std::move(f));
+    if (config.fail_fast) cancelled = true;
+  }
+
+  std::vector<StrandedActivation> collect_stranded() {
+    std::vector<StrandedActivation> out;
+    for (Activation* a : live_acts) {
+      StrandedActivation sa;
+      sa.seq = a->seq;
+      sa.tmpl = a->tmpl->name;
+      for (uint32_t i = 0; i < a->tmpl->nodes.size(); ++i) {
+        const Node& node = a->tmpl->nodes[i];
+        if (node.num_inputs == 0) continue;
+        const int32_t missing = a->pending[i];
+        if (missing <= 0) continue;
+        if (missing == node.num_inputs) {
+          ++sa.never_fed;
+        } else {
+          sa.partial.push_back(
+              StrandedNode{i, fault_node_label(node), missing, node.num_inputs});
+        }
+      }
+      if (!sa.partial.empty() || sa.never_fed > 0) out.push_back(std::move(sa));
+    }
+    return out;
+  }
 
   Impl(const OperatorRegistry& r, const SimConfig& c) : registry(r), config(c) {
     proc_avail.assign(config.num_procs, 0);
@@ -162,13 +215,13 @@ struct SimRuntime::Impl {
 
   std::shared_ptr<Activation> spawn(const Template* tmpl, std::vector<Value> params,
                                     std::shared_ptr<Activation> cont_act, uint32_t cont_node,
-                                    Ticks when) {
+                                    Ticks when, uint64_t act_seq) {
     if (params.size() != tmpl->num_params) {
       throw RuntimeError("activation of '" + tmpl->name + "' expects " +
                          std::to_string(tmpl->num_params) + " values, got " +
                          std::to_string(params.size()));
     }
-    auto act = std::make_shared<Activation>(this, tmpl);
+    auto act = std::make_shared<Activation>(this, tmpl, act_seq);
     act->cont_act = std::move(cont_act);
     act->cont_node = cont_node;
     for (uint32_t i = 0; i < tmpl->nodes.size(); ++i) {
@@ -266,30 +319,98 @@ struct SimRuntime::Impl {
           }
         }
         ++stats.operator_invocations;
-        const Ticks t0 = now_ticks();
         const std::span<const ConsumeClass> classes =
             config.unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
                                    : std::span<const ConsumeClass>();
-        OpContext ctx(def, std::span<Value>(args), proc, classes);
-        Value result = def.fn(ctx);
-        Ticks measured = now_ticks() - t0;
-        if (config.record_costs != nullptr) {
-          config.record_costs->per_op[def.info.name].push_back(measured);
-        }
-        if (config.replay_costs != nullptr) {
-          auto it = config.replay_costs->per_op.find(def.info.name);
-          if (it != config.replay_costs->per_op.end() && occurrence < it->second.size()) {
-            measured = it->second[occurrence];
+
+        // Retry eligibility and pre-image snapshot: same rules as the
+        // threaded runtime (see Runtime::execute_node), with backoff
+        // charged to the virtual clock instead of slept.
+        int budget = 0;
+        if (max_retries > 0) {
+          bool eligible = true;
+          for (size_t i = 0; i < args.size(); ++i) {
+            if (def.is_destructive(i) &&
+                !(i < n.input_classes.size() &&
+                  n.input_classes[i] == ConsumeClass::kUnique)) {
+              eligible = false;
+              break;
+            }
           }
+          if (eligible) budget = max_retries;
         }
-        cost += measured;
-        stats.operator_ticks += measured;
-        stats.cow_copies += ctx.cow_copies();
-        stats.cow_skipped += ctx.cow_skipped();
-        if (config.enable_node_timing) {
-          timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
-                                       static_cast<uint64_t>(timings.size())});
+        auto restore_from = [&def](const std::vector<Value>& from) {
+          std::vector<Value> to;
+          to.reserve(from.size());
+          for (size_t i = 0; i < from.size(); ++i) {
+            if (def.is_destructive(i) && from[i].kind() == Value::Kind::kBlock) {
+              to.push_back(Value::of_block(from[i].block_ptr()->clone()));
+            } else {
+              to.push_back(from[i]);
+            }
+          }
+          return to;
+        };
+        std::vector<Value> snapshot;
+        if (budget > 0) snapshot = restore_from(args);
+
+        Value result;
+        bool ok = false;
+        for (uint32_t attempt = 0;; ++attempt) {
+          FaultDecision fd;
+          if (plan != nullptr) {
+            fd = plan->decide(def.info.name, def.info.pure, act.seq, item.node,
+                              occurrence, attempt);
+            if (fd.action != FaultAction::kNone) ++stats.faults_injected;
+          }
+          bool injected = false;
+          try {
+            if (fd.action == FaultAction::kThrow) {
+              injected = true;
+              throw RuntimeError("injected fault (attempt " + std::to_string(attempt) +
+                                 ")");
+            }
+            if (fd.action == FaultAction::kStall) cost += fd.stall_ns;
+            const Ticks t0 = now_ticks();
+            OpContext ctx(def, std::span<Value>(args), proc, classes);
+            result = def.fn(ctx);
+            Ticks measured = now_ticks() - t0;
+            if (config.record_costs != nullptr) {
+              config.record_costs->per_op[def.info.name].push_back(measured);
+            }
+            if (config.replay_costs != nullptr) {
+              auto it = config.replay_costs->per_op.find(def.info.name);
+              if (it != config.replay_costs->per_op.end() &&
+                  occurrence < it->second.size()) {
+                measured = it->second[occurrence];
+              }
+            }
+            // Cost, timings, and CoW stats come from the successful
+            // attempt only; failed attempts contribute their backoff.
+            cost += measured;
+            stats.operator_ticks += measured;
+            stats.cow_copies += ctx.cow_copies();
+            stats.cow_skipped += ctx.cow_skipped();
+            if (config.enable_node_timing) {
+              timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
+                                           static_cast<uint64_t>(timings.size())});
+            }
+            if (fd.action == FaultAction::kCorrupt) result = Value::tuple({});
+            ok = true;
+          } catch (...) {
+            if (attempt < static_cast<uint32_t>(budget)) {
+              ++stats.retries;
+              const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
+              cost += config.retry_backoff_ns > 0 ? (config.retry_backoff_ns << shift) : 0;
+              args = restore_from(snapshot);
+              continue;
+            }
+            if (budget > 0) ++stats.retries_exhausted;
+            record_fault(make_fault(act, item.node, std::current_exception(), injected));
+          }
+          break;
         }
+        if (!ok) break;  // fault recorded; consumers starve deterministically
         if (config.affinity == AffinityMode::kOperator && n.op_index >= 0) {
           if (op_last_proc.size() <= static_cast<size_t>(n.op_index)) {
             op_last_proc.resize(registry.size(), -1);
@@ -392,7 +513,9 @@ struct SimRuntime::Impl {
           collector->cont_node = item.node;
         }
         for (size_t i = 0; i < count; ++i) {
-          auto child = spawn(target, std::move(params_list[i]), nullptr, 0, start + cost);
+          auto child = spawn(target, std::move(params_list[i]), nullptr, 0, start + cost,
+                             fault_seq_child(act.seq, item.node,
+                                             static_cast<uint32_t>(i) + 1));
           child->collector = collector;
           child->collector_index = static_cast<uint32_t>(i);
         }
@@ -431,34 +554,90 @@ struct SimRuntime::Impl {
   void spawn_child(const ReadyItem& item, const Template* target, std::vector<Value> params,
                    Ticks when) {
     const Node& n = item.act->tmpl->nodes[item.node];
+    // Same structural child-id formula as Runtime::spawn_child.
+    const uint64_t child_seq = fault_seq_child(item.act->seq, item.node, 0);
     if (n.is_tail && config.enable_tail_calls) {
       // Forward the whole continuation, including any parmap collector.
-      auto child =
-          spawn(target, std::move(params), item.act->cont_act, item.act->cont_node, when);
+      auto child = spawn(target, std::move(params), item.act->cont_act,
+                         item.act->cont_node, when, child_seq);
       child->collector = item.act->collector;
       child->collector_index = item.act->collector_index;
     } else {
-      spawn(target, std::move(params), item.act, item.node, when);
+      spawn(target, std::move(params), item.act, item.node, when, child_seq);
     }
   }
 
   SimResult run(const CompiledProgram& prog, const Template* tmpl, std::vector<Value> args) {
     program = &prog;
-    spawn(tmpl, std::move(args), nullptr, 0, 0);
+    // Fault policy: registry plan beats the environment spec; retries
+    // honor the same DELIRIUM_RETRIES override as the threaded runtime.
+    plan = registry.fault_plan() != nullptr ? registry.fault_plan()
+                                            : FaultPlan::from_env();
+    max_retries = config.max_retries;
+    if (const char* env = std::getenv("DELIRIUM_RETRIES")) {
+      max_retries = static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+    if (max_retries < 0) max_retries = 0;
+
+    // The root shared_ptr is held across the drain so the deadlock and
+    // watchdog diagnostics can walk the stranded activation tree.
+    auto root = spawn(tmpl, std::move(args), nullptr, 0, 0, fault_seq_root());
     while (true) {
+      if (cancelled) {
+        // Fast cancellation (fail_fast fault or watchdog): purge the
+        // virtual ready queue instead of running it.
+        stats.items_purged += ready.size();
+        ready.clear();
+        break;
+      }
       int proc;
       size_t index;
       Ticks start;
       if (!select(proc, index, start)) break;
+      // Virtual-time watchdog: work would start past the budget with no
+      // result delivered — fully deterministic, unlike wall-clock stall
+      // detection in the threaded runtime.
+      if (config.watchdog_budget_ns > 0 && !watchdog_fired &&
+          start > config.watchdog_budget_ns) {
+        watchdog_fired = true;
+        ++stats.watchdog_fires;
+        watchdog_message =
+            "watchdog: no result within " + std::to_string(config.watchdog_budget_ns) +
+            " virtual ns; cancelling run\nstranded activations:\n" +
+            render_stranded(collect_stranded());
+        cancelled = true;
+        continue;
+      }
       ReadyItem item = std::move(ready[index]);
       ready.erase(ready.begin() + static_cast<long>(index));
-      const Ticks cost = execute(item, proc, start);
+      Ticks cost = config.node_overhead_ns;
+      try {
+        cost = execute(item, proc, start);
+      } catch (...) {
+        // Coordination-level failure (operator faults are captured with
+        // richer context inside execute's kOperator case).
+        record_fault(make_fault(*item.act, item.node, std::current_exception()));
+      }
       proc_avail[proc] = start + cost;
       proc_busy[proc] += cost;
     }
+
+    // Drain-time error selection: identical to Runtime::run_function —
+    // the smallest deterministic sequence id wins, and a fault beats a
+    // delivered result.
+    if (!faults.empty()) {
+      size_t best = 0;
+      for (size_t i = 1; i < faults.size(); ++i) {
+        if (fault_before(faults[i], faults[best])) best = i;
+      }
+      throw FaultError(std::move(faults[best]));
+    }
+    if (watchdog_fired) throw RuntimeError(watchdog_message);
     if (!have_result) {
-      throw RuntimeError("simulated program finished without producing a result "
-                         "(a value was never delivered — dataflow deadlock)");
+      throw RuntimeError(
+          "simulated program finished without producing a result (a value was "
+          "never delivered — dataflow deadlock)\nstranded activations:\n" +
+          render_stranded(collect_stranded()));
     }
     SimResult result;
     result.result = std::move(final_result);

@@ -56,6 +56,20 @@ struct SimConfig {
   CostTable* record_costs = nullptr;
   /// Honor kUnique consume-class annotations (see RuntimeConfig).
   bool unique_fastpath = true;
+  /// Automatic retries of faulting retry-eligible operators; same
+  /// eligibility rule as RuntimeConfig::max_retries and the same
+  /// DELIRIUM_RETRIES override. Backoff is charged in virtual time, so
+  /// recovery is fully deterministic here.
+  int max_retries = 0;
+  /// Base virtual-time delay before a retry, doubled per attempt.
+  int64_t retry_backoff_ns = 1000;
+  /// Watchdog: virtual-time budget in nanoseconds; 0 disables. The
+  /// simulated clock is deterministic (with replayed costs), so a
+  /// watchdog fire here reproduces exactly.
+  int64_t watchdog_budget_ns = 0;
+  /// Cancel on the first captured fault instead of draining (see
+  /// RuntimeConfig::fail_fast).
+  bool fail_fast = false;
 };
 
 struct SimResult {

@@ -102,7 +102,13 @@ void print_run_stats(std::ostream& os, const RunStats& s) {
      << "sched_steals:            " << s.sched_steals << '\n'
      << "sched_failed_steals:     " << s.sched_failed_steals << '\n'
      << "sched_parks:             " << s.sched_parks << '\n'
-     << "sched_wakeups:           " << s.sched_wakeups << '\n';
+     << "sched_wakeups:           " << s.sched_wakeups << '\n'
+     << "faults_raised:           " << s.faults_raised << '\n'
+     << "faults_injected:         " << s.faults_injected << '\n'
+     << "retries:                 " << s.retries << '\n'
+     << "retries_exhausted:       " << s.retries_exhausted << '\n'
+     << "items_purged:            " << s.items_purged << '\n'
+     << "watchdog_fires:          " << s.watchdog_fires << '\n';
 }
 
 double median_of(int repeats, const std::function<double()>& fn) {

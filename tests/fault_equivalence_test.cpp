@@ -1,0 +1,186 @@
+// Error-propagation equivalence: a faulting program must report the
+// *same* error — byte-identical text, same counters — under the threaded
+// runtime with either scheduler at any worker count, and under the
+// virtual-time simulator. The fault report is a function of the
+// coordination graph (structural sequence ids, drain-time min-seq
+// selection), never of the schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/sim.h"
+#include "tests/test_util.h"
+
+namespace delirium {
+namespace {
+
+using testing::ScopedEnv;
+
+struct Outcome {
+  std::string text;
+  uint64_t faults_raised = 0;
+};
+
+Outcome run_threaded_expecting_fault(const CompiledProgram& program,
+                                     const OperatorRegistry& reg, SchedulerKind scheduler,
+                                     int workers) {
+  RuntimeConfig config;
+  config.num_workers = workers;
+  config.scheduler = scheduler;
+  Runtime runtime(reg, config);
+  try {
+    runtime.run(program);
+    ADD_FAILURE() << "expected FaultError (workers=" << workers << ")";
+    return {};
+  } catch (const FaultError& e) {
+    return {e.what(), runtime.last_stats().faults_raised};
+  }
+}
+
+TEST(FaultEquivalence, IdenticalReportAcrossSchedulersWorkerCountsAndSim) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("boom_a", 1, [](OpContext&) -> Value { throw RuntimeError("alpha failure"); })
+      .pure();
+  reg->add("boom_b", 1, [](OpContext&) -> Value { throw RuntimeError("beta failure"); })
+      .pure();
+  // Two *independently* faulting operators, one behind a call, so the
+  // winning fault carries a non-trivial coordination stack. Unoptimized
+  // keeps `inner` out of line.
+  CompileOptions copts;
+  copts.optimize = false;
+  CompiledProgram program = compile_or_throw(R"(
+    inner(x) boom_a(x)
+    main() add(inner(1), boom_b(2))
+  )",
+                                             *reg, copts);
+
+  const Outcome ref =
+      run_threaded_expecting_fault(program, *reg, SchedulerKind::kGlobalLock, 1);
+  EXPECT_EQ(ref.faults_raised, 2u) << "both faults must be captured, not just the first";
+  EXPECT_NE(ref.text.find("coordination stack:"), std::string::npos) << ref.text;
+
+  for (SchedulerKind scheduler :
+       {SchedulerKind::kGlobalLock, SchedulerKind::kWorkStealing}) {
+    for (int workers : {1, 2, 8}) {
+      const Outcome got = run_threaded_expecting_fault(program, *reg, scheduler, workers);
+      const std::string where =
+          std::string(scheduler == SchedulerKind::kWorkStealing ? "work_stealing"
+                                                                : "global_lock") +
+          " workers=" + std::to_string(workers);
+      EXPECT_EQ(got.text, ref.text) << where;
+      EXPECT_EQ(got.faults_raised, ref.faults_raised) << where;
+    }
+  }
+
+  for (int procs : {1, 4}) {
+    SimConfig config;
+    config.num_procs = procs;
+    SimRuntime sim(*reg, config);
+    try {
+      sim.run(program);
+      ADD_FAILURE() << "expected FaultError (sim procs=" << procs << ")";
+    } catch (const FaultError& e) {
+      EXPECT_EQ(std::string(e.what()), ref.text) << "sim procs=" << procs;
+    }
+  }
+}
+
+TEST(FaultEquivalence, ConcurrentFaultsReportDeterministically) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  // Both operators rendezvous before throwing, so with >1 worker the two
+  // faults are genuinely concurrent — a first-observed-wins race would
+  // report a different winner from rep to rep.
+  auto arrived = std::make_shared<std::atomic<int>>(0);
+  auto reg = testing::builtin_registry();
+  reg->add("gated_boom", 1, [arrived](OpContext& ctx) -> Value {
+       arrived->fetch_add(1);
+       const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+       while (arrived->load() < 2 && std::chrono::steady_clock::now() < deadline) {
+         std::this_thread::yield();
+       }
+       throw RuntimeError("gated fault " + std::to_string(ctx.arg_int(0)));
+     })
+      .pure();
+  CompiledProgram program =
+      compile_or_throw("main() add(gated_boom(0), gated_boom(1))", *reg);
+
+  std::string expected;
+  for (int workers : {2, 8}) {
+    RuntimeConfig config;
+    config.num_workers = workers;
+    Runtime runtime(*reg, config);
+    for (int rep = 0; rep < 4; ++rep) {
+      arrived->store(0);
+      try {
+        runtime.run(program);
+        ADD_FAILURE() << "expected FaultError";
+      } catch (const FaultError& e) {
+        if (expected.empty()) {
+          expected = e.what();
+        } else {
+          EXPECT_EQ(std::string(e.what()), expected)
+              << "workers=" << workers << " rep=" << rep;
+        }
+      }
+      EXPECT_EQ(runtime.last_stats().faults_raised, 2u);
+    }
+  }
+}
+
+TEST(FaultEquivalence, InjectionWithRetriesMatchesFaultFreeValues) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  // Recursive, so call arguments are not compile-time constants and the
+  // builtin fold callbacks cannot erase the injection sites.
+  const std::string source =
+      "f(n) if less_than(n, 2) then n else add(f(sub(n, 1)), f(sub(n, 2)))\n"
+      "main() f(12)";
+
+  auto clean_reg = testing::builtin_registry();
+  CompiledProgram clean_program = compile_or_throw(source, *clean_reg);
+  SimRuntime clean_sim(*clean_reg, {});
+  const Value expected = clean_sim.run(clean_program).result;
+
+  auto fault_reg = testing::builtin_registry();
+  fault_reg->set_fault_plan(std::make_shared<const FaultPlan>(
+      FaultPlan::parse("*:throw:every=3:seed=9:fail_attempts=1")));
+  CompiledProgram program = compile_or_throw(source, *fault_reg);
+
+  // The every= selector hashes (seed, activation seq, node): structural,
+  // so the set of injected invocations — and hence every counter below —
+  // is identical across executors, schedulers, and worker counts.
+  SimConfig sim_config;
+  sim_config.max_retries = 2;
+  SimRuntime sim(*fault_reg, sim_config);
+  const SimResult r = sim.run(program);
+  EXPECT_TRUE(deep_equal(r.result, expected));
+  EXPECT_GT(r.stats.faults_injected, 0u) << "plan never fired: selector too narrow";
+  EXPECT_EQ(r.stats.faults_raised, 0u);
+  EXPECT_EQ(r.stats.retries, r.stats.faults_injected);
+  const uint64_t ref_injected = r.stats.faults_injected;
+
+  for (SchedulerKind scheduler :
+       {SchedulerKind::kGlobalLock, SchedulerKind::kWorkStealing}) {
+    for (int workers : {1, 4}) {
+      RuntimeConfig config;
+      config.num_workers = workers;
+      config.scheduler = scheduler;
+      config.max_retries = 2;
+      Runtime runtime(*fault_reg, config);
+      const Value got = runtime.run(program);
+      const RunStats s = runtime.last_stats();
+      const std::string where = "workers=" + std::to_string(workers);
+      EXPECT_TRUE(deep_equal(got, expected)) << where;
+      EXPECT_EQ(s.faults_injected, ref_injected) << where;
+      EXPECT_EQ(s.faults_raised, 0u) << where;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delirium

@@ -1,0 +1,504 @@
+// Deterministic fault handling: structured FaultInfo provenance, seeded
+// fault injection, retry policies with pre-image snapshots, watchdog
+// stall detection, and the stranded-activation deadlock diagnostic.
+//
+// Tests that execute a runtime clear DELIRIUM_INJECT_FAULTS and
+// DELIRIUM_RETRIES first (ScopedEnv): the CI fault-injection job exports
+// both suite-wide, and these tests assert exact fault counters under
+// plans they install themselves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/sim.h"
+#include "tests/test_util.h"
+
+namespace delirium {
+namespace {
+
+using testing::ScopedEnv;
+
+std::shared_ptr<const FaultPlan> plan_of(const std::string& spec) {
+  return std::make_shared<const FaultPlan>(FaultPlan::parse(spec));
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan parsing and selector semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan_, ParsesClausesAndSelectors) {
+  const FaultPlan plan =
+      FaultPlan::parse("convolve:throw:every=7:seed=42,post:stall=1000000:nth=3,"
+                       "*:corrupt:fail_attempts=2");
+  ASSERT_EQ(plan.rules().size(), 3u);
+
+  const FaultRule& a = plan.rules()[0];
+  EXPECT_EQ(a.op, "convolve");
+  EXPECT_FALSE(a.wildcard);
+  EXPECT_EQ(a.action, FaultAction::kThrow);
+  EXPECT_EQ(a.every, 7u);
+  EXPECT_EQ(a.seed, 42u);
+  EXPECT_EQ(a.fail_attempts, 1u);
+
+  const FaultRule& b = plan.rules()[1];
+  EXPECT_EQ(b.action, FaultAction::kStall);
+  EXPECT_EQ(b.stall_ns, 1000000);
+  EXPECT_EQ(b.nth, 3u);
+
+  const FaultRule& c = plan.rules()[2];
+  EXPECT_TRUE(c.wildcard);
+  EXPECT_EQ(c.action, FaultAction::kCorrupt);
+  EXPECT_EQ(c.fail_attempts, 2u);
+}
+
+TEST(FaultPlan_, RejectsMalformedSpecs) {
+  for (const char* bad : {
+           "",                      // no clauses
+           "work",                  // no action
+           "work:nth=1",            // selector without action
+           ":throw",                // no operator name
+           "work:throw:nth=0",      // nth is 1-based
+           "work:throw:every=0",    // every=0
+           "work:throw:nth=1:every=2",  // mixed selectors
+           "work:bogus",            // unknown field
+           "work:throw:every=x",    // bad number
+           "work:throw,,other:throw",  // empty clause
+       }) {
+    EXPECT_THROW(FaultPlan::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(FaultPlan_, DecideMatchesWildcardOnlyForPureOperators) {
+  // The wildcard targets the retry-eligible (pure) set, so a blanket
+  // plan plus retries leaves results unchanged — the CI job's contract.
+  const FaultPlan any = FaultPlan::parse("*:throw");
+  EXPECT_EQ(any.decide("anything", /*op_pure=*/true, 1, 2, 0, 0).action,
+            FaultAction::kThrow);
+  EXPECT_EQ(any.decide("anything", /*op_pure=*/false, 1, 2, 0, 0).action,
+            FaultAction::kNone);
+
+  const FaultPlan named = FaultPlan::parse("work:throw:fail_attempts=2");
+  EXPECT_EQ(named.decide("work", false, 1, 2, 0, 0).action, FaultAction::kThrow);
+  EXPECT_EQ(named.decide("work", false, 1, 2, 0, 1).action, FaultAction::kThrow);
+  EXPECT_EQ(named.decide("work", false, 1, 2, 0, 2).action, FaultAction::kNone);
+  EXPECT_EQ(named.decide("other", true, 1, 2, 0, 0).action, FaultAction::kNone);
+
+  const FaultPlan nth = FaultPlan::parse("work:throw:nth=3");
+  EXPECT_EQ(nth.decide("work", true, 1, 2, /*arrival=*/2, 0).action,
+            FaultAction::kThrow);
+  EXPECT_EQ(nth.decide("work", true, 1, 2, /*arrival=*/1, 0).action,
+            FaultAction::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Injection provenance and actions
+// ---------------------------------------------------------------------------
+
+/// Registry with a pure custom operator `work(x) = 2x`. Custom operators
+/// have no fold callback, so the optimizer cannot erase the fault site.
+std::shared_ptr<OperatorRegistry> work_registry() {
+  auto reg = testing::builtin_registry();
+  reg->add("work", 1, [](OpContext& ctx) { return Value::of(ctx.arg_int(0) * 2); })
+      .pure();
+  return reg;
+}
+
+TEST(FaultInjection, InjectedFaultCarriesProvenance) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = work_registry();
+  reg->set_fault_plan(plan_of("work:throw"));
+  CompiledProgram program = compile_or_throw("main() work(21)", *reg);
+  Runtime runtime(*reg, {.num_workers = 2});
+  try {
+    runtime.run(program);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_TRUE(e.fault().injected);
+    EXPECT_EQ(e.fault().op, "work");
+    EXPECT_EQ(e.fault().tmpl, "main");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("injected fault in operator 'work'"), std::string::npos) << what;
+    EXPECT_NE(what.find("coordination stack:"), std::string::npos) << what;
+  }
+  const RunStats s = runtime.last_stats();
+  EXPECT_EQ(s.faults_injected, 1u);
+  EXPECT_EQ(s.faults_raised, 1u);
+  EXPECT_EQ(s.retries, 0u);
+}
+
+TEST(FaultInjection, CorruptReplacesResultWithEmptyPackage) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("pair", 1, [](OpContext& ctx) {
+       const int64_t v = ctx.arg_int(0);
+       return Value::tuple({Value::of(v), Value::of(v + 1)});
+     })
+      .pure();
+  CompiledProgram program = compile_or_throw("main() package_size(pair(1))", *reg);
+
+  Runtime clean(*reg, {.num_workers = 2});
+  EXPECT_EQ(clean.run(program).as_int(), 2);
+
+  reg->set_fault_plan(plan_of("pair:corrupt"));
+  Runtime corrupted(*reg, {.num_workers = 2});
+  EXPECT_EQ(corrupted.run(program).as_int(), 0);
+  EXPECT_EQ(corrupted.last_stats().faults_injected, 1u);
+  EXPECT_EQ(corrupted.last_stats().faults_raised, 0u);
+}
+
+TEST(FaultInjection, StallDelaysButSucceeds) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = work_registry();
+  reg->set_fault_plan(plan_of("work:stall=2000000"));  // 2 ms
+  CompiledProgram program = compile_or_throw("main() work(21)", *reg);
+  Runtime runtime(*reg, {.num_workers = 2});
+  EXPECT_EQ(runtime.run(program).as_int(), 42);
+  EXPECT_EQ(runtime.last_stats().faults_injected, 1u);
+  EXPECT_EQ(runtime.last_stats().faults_raised, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policies
+// ---------------------------------------------------------------------------
+
+TEST(FaultRetry, RecoversFromTransientInjectedFault) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = work_registry();
+  reg->set_fault_plan(plan_of("work:throw:fail_attempts=2"));
+  CompiledProgram program = compile_or_throw("main() work(21)", *reg);
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.max_retries = 3;
+  Runtime runtime(*reg, config);
+  EXPECT_EQ(runtime.run(program).as_int(), 42);
+  const RunStats s = runtime.last_stats();
+  EXPECT_EQ(s.retries, 2u);            // attempts 0 and 1 fail, 2 succeeds
+  EXPECT_EQ(s.faults_injected, 2u);
+  EXPECT_EQ(s.faults_raised, 0u);
+  EXPECT_EQ(s.retries_exhausted, 0u);
+}
+
+TEST(FaultRetry, ExhaustionReportsTheFault) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = work_registry();
+  reg->set_fault_plan(plan_of("work:throw:fail_attempts=99"));
+  CompiledProgram program = compile_or_throw("main() work(21)", *reg);
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.max_retries = 2;
+  Runtime runtime(*reg, config);
+  EXPECT_THROW(runtime.run(program), FaultError);
+  const RunStats s = runtime.last_stats();
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.retries_exhausted, 1u);
+  EXPECT_EQ(s.faults_injected, 3u);  // every attempt fired
+  EXPECT_EQ(s.faults_raised, 1u);
+}
+
+/// make/smash: smash mutates its kUnique block argument *before*
+/// throwing on the first call, so a correct retry must restore the
+/// pre-image — a naive re-run would double the mutation.
+std::shared_ptr<OperatorRegistry> snapshot_registry(std::shared_ptr<std::atomic<int>> calls) {
+  auto reg = testing::builtin_registry();
+  reg->add("make", 1, [](OpContext& ctx) {
+       return Value::block(std::vector<int64_t>(static_cast<size_t>(ctx.arg_int(0)), 0));
+     })
+      .pure();
+  reg->add("smash", 2, [calls](OpContext& ctx) -> Value {
+       auto& v = ctx.arg_block_mut<std::vector<int64_t>>(0);
+       v[0] += ctx.arg_int(1);
+       if (calls->fetch_add(1) == 0) throw RuntimeError("transient smash failure");
+       int64_t total = 0;
+       for (int64_t x : v) total += x;
+       return Value::of(total);
+     })
+      .destructive(0);
+  return reg;
+}
+
+TEST(FaultRetry, RestoresDestructiveArgumentsFromSnapshot) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  const std::string source = "main() smash(make(4), 5)";
+
+  {
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    auto reg = snapshot_registry(calls);
+    CompiledProgram program = compile_or_throw(source, *reg);
+    RuntimeConfig config;
+    config.num_workers = 1;
+    config.max_retries = 1;
+    Runtime runtime(*reg, config);
+    // 5, not 10: the failed attempt's write was rolled back.
+    EXPECT_EQ(runtime.run(program).as_int(), 5);
+    EXPECT_EQ(runtime.last_stats().retries, 1u);
+    EXPECT_EQ(runtime.last_stats().faults_raised, 0u);
+  }
+
+  {
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    auto reg = snapshot_registry(calls);
+    CompiledProgram program = compile_or_throw(source, *reg);
+    SimConfig config;
+    config.max_retries = 1;
+    SimRuntime sim(*reg, config);
+    const SimResult r = sim.run(program);
+    EXPECT_EQ(r.result.as_int(), 5);
+    EXPECT_EQ(r.stats.retries, 1u);
+    EXPECT_EQ(r.stats.faults_raised, 0u);
+  }
+}
+
+TEST(FaultRetry, DestructiveOpWithSharedArgumentIsNotRetried) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("make", 1, [](OpContext& ctx) {
+       return Value::block(std::vector<int64_t>(static_cast<size_t>(ctx.arg_int(0)), 0));
+     })
+      .pure();
+  reg->add("smash2", 2, [](OpContext&) -> Value {
+       throw RuntimeError("smash2 fails");
+     })
+      .destructive(0);
+  reg->add("read_sum", 1, [](OpContext& ctx) {
+       int64_t total = 0;
+       for (int64_t x : ctx.arg_block<std::vector<int64_t>>(0)) total += x;
+       return Value::of(total);
+     })
+      .pure();
+  // b has a second (read-only) consumer, so smash2's destructive edge is
+  // not kUnique and the retry budget must stay 0.
+  CompiledProgram program = compile_or_throw(R"(
+    main()
+      let b = make(2)
+      in add(smash2(b, 3), read_sum(b))
+  )",
+                                             *reg);
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.max_retries = 3;
+  Runtime runtime(*reg, config);
+  try {
+    runtime.run(program);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.fault().op, "smash2");
+    EXPECT_EQ(e.fault().message, "smash2 fails");
+  }
+  EXPECT_EQ(runtime.last_stats().retries, 0u);
+  EXPECT_EQ(runtime.last_stats().retries_exhausted, 0u);
+  EXPECT_EQ(runtime.last_stats().faults_raised, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Drain semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultDrain, FaultWinsOverDeliveredResult) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("boom", 1, [](OpContext&) -> Value { throw RuntimeError("boom"); });
+  // Unoptimized, so the dead faulting binding survives: the run both
+  // delivers a result (2) and captures a fault — the fault must win.
+  CompileOptions copts;
+  copts.optimize = false;
+  CompiledProgram program = compile_or_throw("main() let x = boom(1) in 2", *reg, copts);
+  Runtime runtime(*reg, {.num_workers = 2});
+  try {
+    runtime.run(program);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.fault().message, "boom");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog and cancellation
+// ---------------------------------------------------------------------------
+
+TEST(FaultWatchdog, WallClockBudgetCancelsStalledRun) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("nap", 0, [](OpContext&) {
+       std::this_thread::sleep_for(std::chrono::milliseconds(600));
+       return Value::of(int64_t{1});
+     })
+      .pure();
+  reg->add("sleepy", 1, [](OpContext& ctx) { return Value::of(ctx.arg_int(0)); }).pure();
+  CompiledProgram slow = compile_or_throw("main() sleepy(nap())", *reg);
+
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.watchdog_budget_ms = 60;
+  Runtime runtime(*reg, config);
+  try {
+    runtime.run(slow);
+    FAIL() << "expected watchdog cancellation";
+  } catch (const FaultError&) {
+    FAIL() << "watchdog cancellation is not an operator fault";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog: no result within 60"), std::string::npos) << what;
+    EXPECT_NE(what.find("stranded activations:"), std::string::npos) << what;
+  }
+  const RunStats s = runtime.last_stats();
+  EXPECT_EQ(s.watchdog_fires, 1u);
+  EXPECT_EQ(s.faults_raised, 0u);
+  // sleepy was enqueued by nap's (post-cancellation) delivery and purged.
+  EXPECT_GE(s.items_purged, 1u);
+
+  // The cancelled runtime is fully reusable (no stuck workers, no stale
+  // cancellation flag, counters reset per run).
+  CompiledProgram clean = compile_or_throw("main() sleepy(40)", *reg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(runtime.run(clean).as_int(), 40);
+    EXPECT_EQ(runtime.last_stats().watchdog_fires, 0u);
+    EXPECT_EQ(runtime.last_stats().items_purged, 0u);
+  }
+}
+
+TEST(FaultWatchdog, FailFastCancelsAndRuntimeStaysReusable) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("boom2", 1, [](OpContext&) -> Value { throw RuntimeError("boom2"); });
+  reg->add("slowish", 1, [](OpContext& ctx) {
+       std::this_thread::sleep_for(std::chrono::milliseconds(20));
+       return Value::of(ctx.arg_int(0));
+     })
+      .pure();
+  CompiledProgram faulty = compile_or_throw("main() add(boom2(1), slowish(2))", *reg);
+  CompiledProgram clean = compile_or_throw("main() slowish(3)", *reg);
+
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.fail_fast = true;
+  Runtime runtime(*reg, config);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(runtime.run(faulty), FaultError);
+    EXPECT_GE(runtime.last_stats().faults_raised, 1u);
+    EXPECT_EQ(runtime.run(clean).as_int(), 3);
+    EXPECT_EQ(runtime.last_stats().faults_raised, 0u);
+  }
+}
+
+TEST(FaultWatchdog, SimVirtualTimeBudgetIsDeterministic) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  reg->add("slow_id", 1, [](OpContext& ctx) { return Value::of(ctx.arg_int(0)); }).pure();
+  // A 10 ms *virtual* stall against a 0.1 ms virtual budget: the add
+  // node's start time exceeds the budget, deterministically.
+  reg->set_fault_plan(plan_of("slow_id:stall=10000000"));
+  CompiledProgram program = compile_or_throw("main() add(slow_id(1), 1)", *reg);
+  SimConfig config;
+  config.num_procs = 2;
+  config.watchdog_budget_ns = 100000;
+  std::string first;
+  for (int i = 0; i < 2; ++i) {
+    SimRuntime sim(*reg, config);
+    try {
+      sim.run(program);
+      FAIL() << "expected watchdog cancellation";
+    } catch (const RuntimeError& e) {
+      const std::string what = e.what();
+      if (i == 0) {
+        first = what;
+        EXPECT_NE(what.find("watchdog: no result within 100000 virtual ns"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("stranded activations:"), std::string::npos) << what;
+      } else {
+        // Virtual time makes the whole report reproducible byte for byte.
+        EXPECT_EQ(what, first);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock diagnostic
+// ---------------------------------------------------------------------------
+
+TEST(FaultDeadlock, DiagnosticEnumeratesStrandedNodes) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  auto reg = testing::builtin_registry();
+  CompileOptions copts;
+  copts.optimize = false;  // keep the incr node foldable programs would lose
+  CompiledProgram program = compile_or_throw("main() add(incr(1), 2)", *reg, copts);
+  // Sever incr's output edge: add's port 0 is never fed, so the run
+  // drains without a result — a dataflow deadlock.
+  Template& t = *program.templates[program.entry];
+  bool severed = false;
+  for (Node& n : t.nodes) {
+    if (n.op_name == "incr") {
+      n.consumers.clear();
+      severed = true;
+    }
+  }
+  ASSERT_TRUE(severed);
+
+  const auto check = [](const std::string& what) {
+    EXPECT_NE(what.find("dataflow deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("stranded activations:"), std::string::npos) << what;
+    EXPECT_NE(what.find("template 'main'"), std::string::npos) << what;
+    EXPECT_NE(what.find("('add') missing 1 of 2 input(s)"), std::string::npos) << what;
+  };
+
+  Runtime runtime(*reg, {.num_workers = 2});
+  try {
+    runtime.run(program);
+    FAIL() << "expected deadlock";
+  } catch (const RuntimeError& e) {
+    check(e.what());
+  }
+
+  SimRuntime sim(*reg, {});
+  try {
+    sim.run(program);
+    FAIL() << "expected deadlock";
+  } catch (const RuntimeError& e) {
+    check(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment knobs
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnv, InjectionPlanAndRetriesArePickedUpFromEnvironment) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  env.set("DELIRIUM_INJECT_FAULTS", "work:throw:fail_attempts=1");
+  env.set("DELIRIUM_RETRIES", "2");
+  auto reg = work_registry();  // no registry plan: env is the fallback
+  CompiledProgram program = compile_or_throw("main() work(21)", *reg);
+
+  Runtime runtime(*reg, {.num_workers = 2});
+  EXPECT_EQ(runtime.run(program).as_int(), 42);
+  EXPECT_EQ(runtime.last_stats().retries, 1u);
+  EXPECT_EQ(runtime.last_stats().faults_injected, 1u);
+  EXPECT_EQ(runtime.last_stats().faults_raised, 0u);
+
+  SimRuntime sim(*reg, {});
+  const SimResult r = sim.run(program);
+  EXPECT_EQ(r.result.as_int(), 42);
+  EXPECT_EQ(r.stats.retries, 1u);
+  EXPECT_EQ(r.stats.faults_injected, 1u);
+}
+
+TEST(FaultEnv, MalformedEnvSpecFailsLoudly) {
+  ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
+  env.set("DELIRIUM_INJECT_FAULTS", "work");  // no action
+  auto reg = work_registry();
+  CompiledProgram program = compile_or_throw("main() work(21)", *reg);
+  Runtime runtime(*reg, {.num_workers = 1});
+  // A silently-ignored injection spec would fake CI coverage; the run
+  // must refuse to start instead.
+  EXPECT_THROW(runtime.run(program), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace delirium

@@ -199,8 +199,14 @@ TEST(RuntimeCore, OperatorExceptionPropagatesToCaller) {
   try {
     testing::compile_and_run("main() boom()", reg);
     FAIL() << "expected RuntimeError";
-  } catch (const RuntimeError& e) {
-    EXPECT_STREQ(e.what(), "boom happened");
+  } catch (const FaultError& e) {
+    // The original message survives, wrapped in deterministic provenance
+    // (operator, template, node, coordination stack).
+    EXPECT_NE(std::string(e.what()).find("boom happened"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("operator 'boom' faulted"), std::string::npos);
+    EXPECT_EQ(e.fault().op, "boom");
+    EXPECT_EQ(e.fault().tmpl, "main");
+    EXPECT_EQ(e.fault().message, "boom happened");
   }
 }
 

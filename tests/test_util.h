@@ -3,12 +3,48 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/delirium.h"
 
 namespace delirium::testing {
+
+/// Saves the named environment variables and unsets them, restoring the
+/// original values on destruction. Tests that exercise the runtime's env
+/// knobs (DELIRIUM_INJECT_FAULTS, DELIRIUM_RETRIES, ...) use this so they
+/// stay hermetic under CI jobs that export those variables suite-wide.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(std::initializer_list<const char*> names) {
+    for (const char* name : names) {
+      const char* old = std::getenv(name);
+      saved_.emplace_back(name, old != nullptr ? std::optional<std::string>(old)
+                                               : std::nullopt);
+      ::unsetenv(name);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+  ~ScopedEnv() {
+    for (const auto& [name, old] : saved_) {
+      if (old.has_value()) {
+        ::setenv(name.c_str(), old->c_str(), 1);
+      } else {
+        ::unsetenv(name.c_str());
+      }
+    }
+  }
+
+  void set(const char* name, const char* value) { ::setenv(name, value, 1); }
+
+ private:
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
 
 /// Registry with builtins pre-registered.
 inline std::shared_ptr<OperatorRegistry> builtin_registry() {
