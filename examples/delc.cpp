@@ -24,6 +24,15 @@
 //                     simulated processors and report the makespan
 //     --trace FILE    with --run or --sim: write the operator timeline as
 //                     Chrome tracing JSON (chrome://tracing, Perfetto)
+//     --trace-events FILE
+//                     with --run or --sim: record the full trace event
+//                     stream (operator, scheduler, and fault events) and
+//                     write it as Chrome tracing JSON
+//     --metrics FILE  with --run or --sim: write RunStats counters and
+//                     per-operator duration histograms
+//     --metrics-format json|prom
+//                     format for --metrics (default json)
+//     --help          print this flag summary and exit
 //     --lint          report the sole-consumer analysis: destructive uses
 //                     of provably-shared blocks (guaranteed CoW copies)
 //                     and provably-unique ones (clone elided)
@@ -43,18 +52,48 @@
 #include "src/delirium.h"
 #include "src/lang/macro.h"
 #include "src/runtime/sim.h"
+#include "src/tools/metrics.h"
 #include "src/tools/report.h"
 #include "src/tools/trace.h"
 
 namespace {
 
+// The flag list below is the contract checked by tools_test against
+// docs/CLI.md: every flag documented there must appear here and vice
+// versa.
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: delc [options] <file.dlr>\n"
+      "  --dump-ast                print the tree after macro expansion & optimization\n"
+      "  --dump-dot                print the coordination graphs as Graphviz DOT\n"
+      "  --no-opt                  disable the optimizer\n"
+      "  --timings                 print per-pass compile times\n"
+      "  --lint                    report the sole-consumer analysis findings\n"
+      "  --lint-json               the same findings as JSON on stdout\n"
+      "  --verify-graphs           run the structural graph verifier\n"
+      "  --run                     execute main() with the built-in operators\n"
+      "  --workers N               worker threads for --run (default 4)\n"
+      "  --scheduler work_stealing|global_lock\n"
+      "                            ready-queue implementation for --run\n"
+      "  --sim N                   execute under virtual time on N simulated processors\n"
+      "  --stats                   print the run's RunStats counters\n"
+      "  --inject-faults SPEC      deterministic fault injection (src/runtime/fault.h)\n"
+      "  --retries N               retry faulting retry-eligible operators up to N times\n"
+      "  --watchdog MS             cancel a stalled run after MS milliseconds\n"
+      "  --trace FILE              write the operator timeline as Chrome tracing JSON\n"
+      "  --trace-events FILE       record and write the full trace event stream\n"
+      "                            (operator, scheduler, and fault events)\n"
+      "  --metrics FILE            write RunStats counters and per-operator histograms\n"
+      "  --metrics-format json|prom\n"
+      "                            format for --metrics (default json)\n"
+      "  --help                    print this flag summary and exit\n"
+      "environment: DELIRIUM_SCHEDULER, DELIRIUM_INJECT_FAULTS, DELIRIUM_RETRIES,\n"
+      "             DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY (see docs/CLI.md)\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: delc [--dump-ast] [--dump-dot] [--no-opt] [--timings]\n"
-               "            [--lint] [--lint-json] [--verify-graphs]\n"
-               "            [--run] [--workers N] [--scheduler work_stealing|global_lock]\n"
-               "            [--stats] [--sim N] [--inject-faults SPEC] [--retries N]\n"
-               "            [--watchdog MS] <file.dlr>\n");
+  print_usage(stderr);
   return 2;
 }
 
@@ -63,6 +102,9 @@ int usage() {
 int main(int argc, char** argv) {
   std::string path;
   std::string trace_path;
+  std::string trace_events_path;
+  std::string metrics_path;
+  std::string metrics_format = "json";
   std::string fault_spec;
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
   bool lint = false, lint_json = false, verify_graphs = false, stats = false;
@@ -89,8 +131,18 @@ int main(int argc, char** argv) {
       else if (mode == "global_lock") scheduler = delirium::SchedulerKind::kGlobalLock;
       else return usage();
     }
+    else if (arg == "--help") {
+      print_usage(stdout);
+      return 0;
+    }
     else if (arg == "--sim" && i + 1 < argc) sim_procs = std::atoi(argv[++i]);
     else if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (arg == "--trace-events" && i + 1 < argc) trace_events_path = argv[++i];
+    else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
+    else if (arg == "--metrics-format" && i + 1 < argc) {
+      metrics_format = argv[++i];
+      if (metrics_format != "json" && metrics_format != "prom") return usage();
+    }
     else if (arg == "--inject-faults" && i + 1 < argc) fault_spec = argv[++i];
     else if (arg == "--retries" && i + 1 < argc) retries = std::atoi(argv[++i]);
     else if (arg == "--watchdog" && i + 1 < argc) watchdog_ms = std::atol(argv[++i]);
@@ -194,7 +246,8 @@ int main(int argc, char** argv) {
   if (sim_procs > 0) {
     delirium::SimConfig config;
     config.num_procs = sim_procs;
-    config.enable_node_timing = !trace_path.empty();
+    config.enable_node_timing = !trace_path.empty() || !metrics_path.empty();
+    config.enable_tracing = !trace_events_path.empty();
     config.max_retries = retries;
     config.watchdog_budget_ns = watchdog_ms * 1000000;
     delirium::SimRuntime sim(registry, config);
@@ -209,6 +262,19 @@ int main(int argc, char** argv) {
           delirium::tools::write_chrome_trace_file(trace_path, r.timings)) {
         std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
       }
+      if (!trace_events_path.empty() &&
+          delirium::tools::write_trace_events_file(trace_events_path, r.trace_events,
+                                                   registry)) {
+        std::fprintf(stderr, "delc: wrote trace events to %s\n",
+                     trace_events_path.c_str());
+      }
+      if (!metrics_path.empty()) {
+        delirium::tools::MetricsRegistry metrics;
+        metrics.observe_run(r.stats, r.timings);
+        if (metrics.write_file(metrics_path, metrics_format)) {
+          std::fprintf(stderr, "delc: wrote metrics to %s\n", metrics_path.c_str());
+        }
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "delc: run failed: %s\n", e.what());
       return 1;
@@ -216,7 +282,8 @@ int main(int argc, char** argv) {
   } else if (run) {
     delirium::RuntimeConfig config;
     config.num_workers = workers;
-    config.enable_node_timing = !trace_path.empty();
+    config.enable_node_timing = !trace_path.empty() || !metrics_path.empty();
+    config.enable_tracing = !trace_events_path.empty();
     config.scheduler = scheduler;
     config.max_retries = retries;
     config.watchdog_budget_ms = watchdog_ms;
@@ -227,6 +294,19 @@ int main(int argc, char** argv) {
       if (!trace_path.empty() &&
           delirium::tools::write_chrome_trace_file(trace_path, runtime.node_timings())) {
         std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
+      }
+      if (!trace_events_path.empty() &&
+          delirium::tools::write_trace_events_file(trace_events_path,
+                                                   runtime.trace_events(), registry)) {
+        std::fprintf(stderr, "delc: wrote trace events to %s\n",
+                     trace_events_path.c_str());
+      }
+      if (!metrics_path.empty()) {
+        delirium::tools::MetricsRegistry metrics;
+        metrics.observe_run(runtime.last_stats(), runtime.node_timings());
+        if (metrics.write_file(metrics_path, metrics_format)) {
+          std::fprintf(stderr, "delc: wrote metrics to %s\n", metrics_path.c_str());
+        }
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "delc: run failed: %s\n", e.what());

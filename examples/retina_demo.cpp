@@ -3,14 +3,21 @@
 // to diagnose load imbalance, and verifies both against the sequential
 // original.
 //
-//   $ ./retina_demo [size] [workers]
+//   $ ./retina_demo [size] [workers] [trace.json]
+//
+// With a third argument, records the full trace event stream and writes
+// it as Chrome/Perfetto JSON (load at https://ui.perfetto.dev) — slices
+// sit at their real start timestamps, so load imbalance shows up as
+// visible gaps. See docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <sstream>
+#include <string>
 
 #include "src/apps/retina/retina_ops.h"
 #include "src/delirium.h"
+#include "src/tools/trace.h"
 
 using namespace delirium;
 using namespace delirium::retina;
@@ -39,6 +46,7 @@ int main(int argc, char** argv) {
   params.num_targets = 48;
   params.num_iter = 3;
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::string trace_path = argc > 3 ? argv[3] : "";
 
   OperatorRegistry registry;
   register_builtin_operators(registry);
@@ -47,7 +55,9 @@ int main(int argc, char** argv) {
   const RetinaModel reference = sequential_run(params);
   std::printf("sequential checksum: %.6f\n\n", checksum(reference));
 
-  Runtime runtime(registry, {.num_workers = workers, .enable_node_timing = true});
+  Runtime runtime(registry, {.num_workers = workers,
+                             .enable_node_timing = true,
+                             .enable_tracing = !trace_path.empty()});
   for (const auto version : {RetinaVersion::kV1Imbalanced, RetinaVersion::kV2Balanced}) {
     const char* label = version == RetinaVersion::kV1Imbalanced ? "v1 (imbalanced post_up)"
                                                                 : "v2 (balanced update)";
@@ -56,6 +66,11 @@ int main(int argc, char** argv) {
     std::printf("  checksum %s (cow copies: %llu)\n\n",
                 checksum(model) == checksum(reference) ? "matches sequential" : "MISMATCH",
                 static_cast<unsigned long long>(runtime.last_stats().cow_copies));
+  }
+  // The trace covers the last run (v2): each run resets the stream.
+  if (!trace_path.empty() &&
+      tools::write_trace_events_file(trace_path, runtime.trace_events(), registry)) {
+    std::printf("wrote trace events to %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Check relative markdown links in README.md and docs/.
+
+Walks every inline link and image ([text](target)) in the checked files,
+resolves relative targets against the linking file, and fails (exit 1)
+listing each target that does not exist. Absolute URLs (http/https/
+mailto) and pure in-page anchors (#...) are skipped; a relative target's
+anchor part is stripped before the existence check.
+
+Also verifies the README documentation index covers docs/: every
+docs/*.md must be linked from README.md (the acceptance criterion that
+each doc page is reachable from the index).
+
+Usage: check_md_links.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def checked_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    errors = []
+    for md in checked_files(root):
+        if not md.is_file():
+            errors.append(f"{md}: checked file is missing")
+            continue
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: flag tables and shell examples are not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                errors.append(f"{md.relative_to(root)}:{line}: dead link -> {target}")
+
+    readme = (root / "README.md").read_text(encoding="utf-8")
+    for doc in sorted((root / "docs").glob("*.md")):
+        if f"docs/{doc.name}" not in readme:
+            errors.append(f"README.md: docs/{doc.name} is not linked from the index")
+
+    if errors:
+        print("\n".join(errors))
+        print(f"{len(errors)} markdown link problem(s)")
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

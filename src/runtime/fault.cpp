@@ -197,7 +197,14 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
 std::shared_ptr<const FaultPlan> FaultPlan::from_env() {
   const char* env = std::getenv("DELIRIUM_INJECT_FAULTS");
   if (env == nullptr || *env == '\0') return nullptr;
-  return std::make_shared<const FaultPlan>(parse(env));
+  try {
+    return std::make_shared<const FaultPlan>(parse(env));
+  } catch (const std::invalid_argument& e) {
+    // Name the source: a spec set through the environment fails far from
+    // where it was typed, and the bare parse error doesn't say which
+    // knob to fix (docs/CLI.md).
+    throw std::invalid_argument(std::string("DELIRIUM_INJECT_FAULTS: ") + e.what());
+  }
 }
 
 FaultDecision FaultPlan::decide(std::string_view op, bool op_pure, uint64_t seq,

@@ -124,6 +124,20 @@ Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
     if (v == "global_lock") config_.scheduler = SchedulerKind::kGlobalLock;
     else if (v == "work_stealing") config_.scheduler = SchedulerKind::kWorkStealing;
   }
+  if (const char* env = std::getenv("DELIRIUM_TRACE")) {
+    config_.enable_tracing = std::string_view(env) != "0";
+  }
+  if (const char* env = std::getenv("DELIRIUM_TRACE_CAPACITY")) {
+    const long long cap = std::strtoll(env, nullptr, 10);
+    if (cap > 0) config_.trace_capacity = static_cast<size_t>(cap);
+  }
+  trace_enabled_ = config_.enable_tracing;
+  if (trace_enabled_) {
+    // One ring per worker plus one for the run's caller thread (root
+    // spawn, watchdog). Allocated once; cleared per run.
+    trace_rings_.resize(static_cast<size_t>(n) + 1);
+    for (TraceRing& r : trace_rings_) r.init(config_.trace_capacity);
+  }
   local_queues_.resize(n);
   worker_data_.reserve(n);
   for (int w = 0; w < n; ++w) worker_data_.push_back(std::make_unique<WorkerData>());
@@ -152,6 +166,44 @@ Runtime::~Runtime() {
 }
 
 // ---------------------------------------------------------------------------
+// Tracing (docs/OBSERVABILITY.md)
+// ---------------------------------------------------------------------------
+
+void Runtime::trace_at(int64_t ts, int worker, TraceEventKind kind, int32_t op,
+                       int64_t arg) {
+  TraceEvent e;
+  e.ts = ts;
+  e.seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.arg = arg;
+  e.op = op;
+  e.worker = static_cast<int16_t>(worker);
+  e.kind = kind;
+  // worker -1 is a thread outside the pool — only ever the run's caller —
+  // and uses the extra ring at the end.
+  const size_t ring = worker >= 0 ? static_cast<size_t>(worker) : trace_rings_.size() - 1;
+  trace_rings_[ring].push(e);
+}
+
+void Runtime::ws_flush_pending_trace(int worker) {
+  // Called between a successful pop and the item's outstanding decrement:
+  // the one window in which this worker may write its ring (tracing.h).
+  WsWorker& w = *ws_[worker];
+  if (w.pending_steal_fails > 0) {
+    trace(worker, TraceEventKind::kStealFail, -1, w.pending_steal_fails);
+    w.pending_steal_fails = 0;
+  }
+  if (w.has_pending_park) {
+    // A park may have begun before this run started (workers idle between
+    // runs); clamp so timestamps stay within the run.
+    int64_t ts = w.pending_park_ts - run_start_ticks_;
+    if (ts < 0) ts = 0;
+    trace_at(ts, worker, TraceEventKind::kPark, -1, w.pending_park_ns);
+    w.has_pending_park = false;
+    w.pending_park_ns = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Fault handling (docs/ROBUSTNESS.md)
 // ---------------------------------------------------------------------------
 
@@ -167,8 +219,14 @@ void Runtime::ledger_remove(Activation* act) {
   s.acts.erase(act);
 }
 
-void Runtime::record_fault(RunState* rs, FaultInfo f) {
+void Runtime::record_fault(RunState* rs, FaultInfo f, int32_t op_index) {
   faults_raised_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_enabled_) {
+    // Recorded by the faulting worker (in its safe window) or, never in
+    // practice today, by the caller thread into the external ring.
+    const int self = (tls_runtime == this) ? tls_worker : -1;
+    trace(self, TraceEventKind::kFaultRaise, op_index, static_cast<int64_t>(f.seq));
+  }
   {
     std::lock_guard<std::mutex> lock(rs->mu);
     rs->faults.push_back(std::move(f));
@@ -230,6 +288,9 @@ std::string Runtime::dump_busy_workers() {
 
 void Runtime::fire_watchdog(RunState* rs) {
   watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+  // The caller thread owns the external ring, so this write is safe even
+  // while workers are still draining their queues.
+  trace(-1, TraceEventKind::kWatchdog, -1, rs->watchdog_budget_ns);
   rs->watchdog_message =
       "watchdog: no result within " +
       std::to_string(rs->watchdog_budget_ns / 1000000) +
@@ -335,6 +396,9 @@ void Runtime::ws_enqueue(WorkItem item, int priority, int target) {
   }
   ws_[dest]->inbox[priority].push(std::move(item));
   sched_injected_enqueues_.fetch_add(1, std::memory_order_relaxed);
+  // A worker injecting is mid-execute (its safe window); anything else is
+  // the run's caller, which records into the external ring.
+  trace(self, TraceEventKind::kInject, -1, dest);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (ws_[dest]->parked.load(std::memory_order_relaxed)) ws_wake(dest);
 }
@@ -346,6 +410,12 @@ void Runtime::ws_wake(int worker) {
   // commit condition in worker_loop_ws), so a claim is never lost.
   if (!ws_[worker]->parked.exchange(false, std::memory_order_seq_cst)) return;
   sched_wakeups_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_enabled_) {
+    // Attributed to the waking thread's ring: enqueuing workers are in
+    // their safe window, everything else is the caller's external ring.
+    const int self = (tls_runtime == this) ? tls_worker : -1;
+    trace(self, TraceEventKind::kWake, -1, worker);
+  }
   ws_[worker]->ec.notify();
 }
 
@@ -381,11 +451,21 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
         if (victim == static_cast<size_t>(worker)) continue;
         if (ws_[victim]->deques[pri].steal(out)) {
           sched_steals_.fetch_add(1, std::memory_order_relaxed);
+          if (trace_enabled_) {
+            // Holding the stolen item opens the safe window: flush what
+            // accumulated while idle, then record the steal itself.
+            ws_flush_pending_trace(worker);
+            trace(worker, TraceEventKind::kSteal, -1, static_cast<int64_t>(victim));
+          }
           return true;
         }
       }
     }
     sched_failed_steals_.fetch_add(1, std::memory_order_relaxed);
+    // A dry scan happens while holding no item — outside the safe window
+    // — so it only bumps an owner-private counter, flushed at the next
+    // successful pop (see tracing.h).
+    if (trace_enabled_) ++self.pending_steal_fails;
   }
   return false;
 }
@@ -412,6 +492,7 @@ void Runtime::worker_loop_ws(int worker) {
   for (;;) {
     WorkItem item;
     if (ws_try_pop(worker, item)) {
+      if (trace_enabled_) ws_flush_pending_trace(worker);
       execute(item, worker);
       item.act.reset();  // release before the next blocking wait
       continue;
@@ -431,7 +512,20 @@ void Runtime::worker_loop_ws(int worker) {
     if (!stopping_.load(std::memory_order_acquire) && !ws_has_work(worker) &&
         self.parked.load(std::memory_order_seq_cst)) {
       sched_parks_.fetch_add(1, std::memory_order_relaxed);
-      self.ec.commit_wait(epoch);
+      if (trace_enabled_) {
+        // Parked while holding no item — outside the ring's safe window.
+        // Accumulate the interval owner-privately; the next successful
+        // pop flushes it as one kPark event (arg = total ns slept).
+        const Ticks t0 = now_ticks();
+        self.ec.commit_wait(epoch);
+        if (!self.has_pending_park) {
+          self.has_pending_park = true;
+          self.pending_park_ts = t0;
+        }
+        self.pending_park_ns += now_ticks() - t0;
+      } else {
+        self.ec.commit_wait(epoch);
+      }
     }
     self.parked.store(false, std::memory_order_relaxed);
     num_parked_.fetch_sub(1, std::memory_order_relaxed);
@@ -485,9 +579,12 @@ void Runtime::worker_loop(int worker) {
 
 void Runtime::execute(const WorkItem& item, int worker) {
   RunState* rs = item.act->run;
+  const Node& n = item.act->tmpl->nodes[item.node];
+  const int32_t op_index = n.kind == NodeKind::kOperator ? n.op_index : -1;
   if (rs->cancelled.load(std::memory_order_acquire)) {
     // Cancelled (fail_fast fault or watchdog): discard instead of run.
     items_purged_.fetch_add(1, std::memory_order_relaxed);
+    trace(worker, TraceEventKind::kPurge, op_index);
   } else {
     try {
       execute_node(item, worker);
@@ -495,7 +592,8 @@ void Runtime::execute(const WorkItem& item, int worker) {
       // Operator faults are captured inside the kOperator case (they
       // carry injection/retry context); anything reaching here is a
       // coordination-level failure at this node.
-      record_fault(rs, make_fault(*item.act, item.node, std::current_exception()));
+      record_fault(rs, make_fault(*item.act, item.node, std::current_exception()),
+                   op_index);
     }
   }
   if (rs->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -734,6 +832,7 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
           wd.busy_op = def.info.name;
           wd.busy_since = now_ticks();
         }
+        trace(worker, TraceEventKind::kOpBegin, n.op_index, attempt);
         try {
           if (fd.action == FaultAction::kThrow) {
             injected = true;
@@ -756,7 +855,8 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
             operator_ticks_.fetch_add(dt, std::memory_order_relaxed);
             wd.timings.push_back(
                 NodeTiming{n.op_name, act.tmpl->name, dt,
-                           worker, timing_seq_.fetch_add(1, std::memory_order_relaxed)});
+                           worker, timing_seq_.fetch_add(1, std::memory_order_relaxed),
+                           t0 - run_start_ticks_});
           }
           cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
           cow_skipped_.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
@@ -765,14 +865,17 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
             // decompose it fault with exact provenance.
             result = Value::tuple({});
           }
+          trace(worker, TraceEventKind::kOpEnd, n.op_index, attempt);
           ok = true;
         } catch (...) {
           if (track_busy) {
             std::lock_guard<std::mutex> lock(wd.busy_mu);
             wd.busy_op.clear();
           }
+          trace(worker, TraceEventKind::kOpEnd, n.op_index, attempt);
           if (attempt < static_cast<uint32_t>(budget)) {
             retries_.fetch_add(1, std::memory_order_relaxed);
+            trace(worker, TraceEventKind::kRetry, n.op_index, attempt + 1);
             const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
             std::this_thread::sleep_for(
                 std::chrono::nanoseconds(rs->retry_backoff_ns << shift));
@@ -780,7 +883,8 @@ void Runtime::execute_node(const WorkItem& item, int worker) {
             continue;
           }
           if (budget > 0) retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
-          record_fault(rs, make_fault(act, item.node, std::current_exception(), injected));
+          record_fault(rs, make_fault(act, item.node, std::current_exception(), injected),
+                       n.op_index);
         }
         break;
       }
@@ -947,12 +1051,20 @@ Value Runtime::run(const CompiledProgram& program, std::vector<Value> args) {
 
 Value Runtime::run_function(const CompiledProgram& program, const std::string& name,
                             std::vector<Value> args) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+
+  // Reset per-run state *before* anything that can throw (the function
+  // lookup, FaultPlan::from_env). Otherwise a failed run would leave
+  // last_stats() / node_timings() / trace_events() showing the previous
+  // run's numbers — exactly the stale-counter bug a --stats user cannot
+  // see past.
+  reset_run_accumulators();
+
   const Template* tmpl = program.find(name);
   if (tmpl == nullptr) {
     throw RuntimeError("program has no function named '" + name + "'");
   }
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
   RunState rs;
   rs.program = &program;
 
@@ -971,31 +1083,8 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   rs.fail_fast = config_.fail_fast;
   current_run_ = &rs;
 
-  // Reset per-run accumulators.
-  activations_created_.store(0);
-  peak_live_activations_.store(0);
-  nodes_executed_.store(0);
-  operator_invocations_.store(0);
-  cow_copies_.store(0);
-  cow_skipped_.store(0);
-  remote_block_moves_.store(0);
-  operator_ticks_.store(0);
-  timing_seq_.store(0);
-  sched_local_enqueues_.store(0);
-  sched_injected_enqueues_.store(0);
-  sched_steals_.store(0);
-  sched_failed_steals_.store(0);
-  sched_parks_.store(0);
-  sched_wakeups_.store(0);
-  faults_raised_.store(0);
-  faults_injected_.store(0);
-  retries_.store(0);
-  retries_exhausted_.store(0);
-  items_purged_.store(0);
-  watchdog_fires_.store(0);
-  for (auto& wd : worker_data_) wd->timings.clear();
-  for (auto& a : op_arrivals_) a.store(0, std::memory_order_relaxed);
-  merged_timings_.clear();
+  // Trace timestamps (and NodeTiming::start) are relative to this point.
+  run_start_ticks_ = now_ticks();
 
   // The root activation delivers its result to the run state directly.
   // Its shared_ptr is held across the drain so the deadlock diagnostic
@@ -1067,6 +1156,44 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   return std::move(rs.result);
 }
 
+void Runtime::reset_run_accumulators() {
+  activations_created_.store(0);
+  peak_live_activations_.store(0);
+  nodes_executed_.store(0);
+  operator_invocations_.store(0);
+  cow_copies_.store(0);
+  cow_skipped_.store(0);
+  remote_block_moves_.store(0);
+  operator_ticks_.store(0);
+  timing_seq_.store(0);
+  sched_local_enqueues_.store(0);
+  sched_injected_enqueues_.store(0);
+  sched_steals_.store(0);
+  sched_failed_steals_.store(0);
+  sched_parks_.store(0);
+  sched_wakeups_.store(0);
+  faults_raised_.store(0);
+  faults_injected_.store(0);
+  retries_.store(0);
+  retries_exhausted_.store(0);
+  items_purged_.store(0);
+  watchdog_fires_.store(0);
+  for (auto& wd : worker_data_) wd->timings.clear();
+  for (auto& a : op_arrivals_) a.store(0, std::memory_order_relaxed);
+  merged_timings_.clear();
+  // Zero the published snapshot too: if this run throws before its drain
+  // (unknown function, bad injection spec), last_stats() must not keep
+  // reporting the previous run.
+  stats_ = RunStats{};
+  // Trace state. Workers never write their rings while idle (tracing.h),
+  // so the caller may clear them here: the clear happens-before the
+  // root's enqueue, which happens-before any worker's first pop/write.
+  merged_trace_.clear();
+  trace_overwritten_ = 0;
+  trace_seq_.store(0, std::memory_order_relaxed);
+  for (TraceRing& r : trace_rings_) r.clear();
+}
+
 void Runtime::finish_run_bookkeeping() {
   stats_.activations_created = activations_created_.load();
   stats_.peak_live_activations = peak_live_activations_.load();
@@ -1093,6 +1220,16 @@ void Runtime::finish_run_bookkeeping() {
   }
   std::sort(merged_timings_.begin(), merged_timings_.end(),
             [](const NodeTiming& a, const NodeTiming& b) { return a.seq < b.seq; });
+  if (trace_enabled_) {
+    // Safe to read every ring: the drain observed outstanding == 0, and
+    // the acq_rel decrement chain gives this thread happens-before with
+    // all workers' ring writes (tracing.h).
+    for (const TraceRing& r : trace_rings_) {
+      r.collect(merged_trace_);
+      trace_overwritten_ += r.overwritten();
+    }
+    sort_trace_events(merged_trace_);
+  }
 }
 
 void Runtime::print_node_timings(std::ostream& os) const {

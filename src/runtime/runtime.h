@@ -26,6 +26,7 @@
 #include "src/graph/template.h"
 #include "src/runtime/fault.h"
 #include "src/runtime/registry.h"
+#include "src/runtime/tracing.h"
 #include "src/runtime/value.h"
 #include "src/support/clock.h"
 #include "src/support/eventcount.h"
@@ -88,6 +89,18 @@ struct RuntimeConfig {
   /// Fails faster, but the reported fault may then depend on the
   /// schedule (see docs/ROBUSTNESS.md for the determinism contract).
   bool fail_fast = false;
+  /// Record the trace event stream (operator begin/end, scheduler and
+  /// fault events) into per-worker ring buffers; read it back with
+  /// trace_events() and export with tools::write_trace_events. Off by
+  /// default — the disabled path costs one predictable branch per hook
+  /// (bench_trace_overhead). Overridable via the DELIRIUM_TRACE
+  /// environment variable ("0"/"1"); see docs/OBSERVABILITY.md.
+  bool enable_tracing = false;
+  /// Per-worker trace ring capacity in events (rounded up to a power of
+  /// two). When a ring fills, the oldest events are overwritten and
+  /// counted in trace_events_overwritten(). Overridable via
+  /// DELIRIUM_TRACE_CAPACITY.
+  size_t trace_capacity = kDefaultTraceCapacity;
 };
 
 /// One operator execution, for the node-timing report.
@@ -97,6 +110,10 @@ struct NodeTiming {
   Ticks duration = 0;    // nanoseconds
   int worker = 0;
   uint64_t seq = 0;      // global completion order
+  /// When the operator started: wall-clock ns relative to the run start
+  /// (Runtime) or exact virtual ns (SimRuntime). Lets trace export place
+  /// slices with true gaps instead of packing durations end-to-end.
+  Ticks start = 0;
 };
 
 struct RunStats {
@@ -154,6 +171,13 @@ class Runtime {
   /// Print in the paper's format: "call of <op> took <ticks>".
   void print_node_timings(std::ostream& os) const;
 
+  /// Trace event stream of the last run (empty unless enable_tracing),
+  /// merged across workers and sorted by sequence number. Timestamps are
+  /// wall-clock nanoseconds relative to the run start.
+  const std::vector<TraceEvent>& trace_events() const { return merged_trace_; }
+  /// Events lost to ring-buffer wraparound during the last run.
+  uint64_t trace_events_overwritten() const { return trace_overwritten_; }
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const RuntimeConfig& config() const { return config_; }
   const OperatorRegistry& registry() const { return registry_; }
@@ -196,6 +220,14 @@ class Runtime {
     EventCount ec;
     std::atomic<bool> parked{false};
     uint32_t steal_rr = 0;  // owner-private: rotates the first steal victim
+    // Owner-private deferred trace state: parks and dry steal scans
+    // happen while the worker holds no work item, outside the window in
+    // which ring writes are race-free (see tracing.h). They accumulate
+    // here and are flushed at the next successful pop.
+    Ticks pending_park_ts = 0;      // start of the first unflushed park
+    int64_t pending_park_ns = 0;    // total time slept since last flush
+    int64_t pending_steal_fails = 0;
+    bool has_pending_park = false;
   };
 
   void worker_loop(int worker);     // kGlobalLock
@@ -219,11 +251,22 @@ class Runtime {
   void spawn_child(const WorkItem& item, const Template* target, std::vector<Value> params);
   void deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v);
   void schedule_node(const std::shared_ptr<Activation>& act, uint32_t node);
+  void reset_run_accumulators();
   void finish_run_bookkeeping();
   void apply_numa_penalties(std::vector<Value>& args, int worker);
 
+  // Tracing (docs/OBSERVABILITY.md). The disabled path is one branch.
+  // `worker` selects the target ring; -1 (a thread outside the pool —
+  // only ever the run's caller) uses the extra external ring.
+  void trace(int worker, TraceEventKind kind, int32_t op = -1, int64_t arg = 0) {
+    if (!trace_enabled_) return;
+    trace_at(now_ticks() - run_start_ticks_, worker, kind, op, arg);
+  }
+  void trace_at(int64_t ts, int worker, TraceEventKind kind, int32_t op, int64_t arg);
+  void ws_flush_pending_trace(int worker);
+
   // Fault handling (docs/ROBUSTNESS.md).
-  void record_fault(RunState* rs, FaultInfo f);
+  void record_fault(RunState* rs, FaultInfo f, int32_t op_index = -1);
   void cancel_run(RunState* rs);
   void fire_watchdog(RunState* rs);
   void ledger_add(Activation* act);
@@ -257,6 +300,17 @@ class Runtime {
 
   std::mutex run_mu_;  // serializes run() calls
   RunState* current_run_ = nullptr;
+
+  // Tracing state. Rings are sized num_workers + 1; the last ring
+  // belongs to the run's caller thread (root spawn, watchdog). The
+  // sequence counter is the only shared mutable state on the recording
+  // path — one relaxed fetch_add per event.
+  bool trace_enabled_ = false;
+  Ticks run_start_ticks_ = 0;
+  std::vector<TraceRing> trace_rings_;
+  std::atomic<uint64_t> trace_seq_{0};
+  std::vector<TraceEvent> merged_trace_;
+  uint64_t trace_overwritten_ = 0;
 
   // Statistics (atomic accumulators, snapshotted into stats_ per run).
   std::atomic<uint64_t> activations_created_{0};

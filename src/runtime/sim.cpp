@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <string_view>
 #include <unordered_set>
 
 #include "src/support/clock.h"
@@ -96,8 +97,30 @@ struct SimRuntime::Impl {
   bool watchdog_fired = false;
   std::string watchdog_message;
 
-  void record_fault(FaultInfo f) {
+  // Tracing mirror (tracing.h): same kinds, same per-kind arg meanings,
+  // exact virtual timestamps, one growable vector (single-threaded — no
+  // rings needed). Sequence numbers are the record order.
+  std::vector<TraceEvent> trace;
+  uint64_t trace_seq = 0;
+  bool tracing = false;
+
+  void trace_event(Ticks ts, int proc, TraceEventKind kind, int32_t op = -1,
+                   int64_t arg = 0) {
+    if (!tracing) return;
+    TraceEvent e;
+    e.ts = ts;
+    e.seq = trace_seq++;
+    e.arg = arg;
+    e.op = op;
+    e.worker = static_cast<int16_t>(proc);
+    e.kind = kind;
+    trace.push_back(e);
+  }
+
+  void record_fault(FaultInfo f, Ticks ts = 0, int proc = -1, int32_t op_index = -1) {
     ++stats.faults_raised;
+    trace_event(ts, proc, TraceEventKind::kFaultRaise, op_index,
+                static_cast<int64_t>(f.seq));
     faults.push_back(std::move(f));
     if (config.fail_fast) cancelled = true;
   }
@@ -364,6 +387,7 @@ struct SimRuntime::Impl {
             if (fd.action != FaultAction::kNone) ++stats.faults_injected;
           }
           bool injected = false;
+          trace_event(start + cost, proc, TraceEventKind::kOpBegin, n.op_index, attempt);
           try {
             if (fd.action == FaultAction::kThrow) {
               injected = true;
@@ -371,6 +395,7 @@ struct SimRuntime::Impl {
                                  ")");
             }
             if (fd.action == FaultAction::kStall) cost += fd.stall_ns;
+            const Ticks virtual_start = start + cost;
             const Ticks t0 = now_ticks();
             OpContext ctx(def, std::span<Value>(args), proc, classes);
             result = def.fn(ctx);
@@ -393,20 +418,26 @@ struct SimRuntime::Impl {
             stats.cow_skipped += ctx.cow_skipped();
             if (config.enable_node_timing) {
               timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
-                                           static_cast<uint64_t>(timings.size())});
+                                           static_cast<uint64_t>(timings.size()),
+                                           virtual_start});
             }
             if (fd.action == FaultAction::kCorrupt) result = Value::tuple({});
+            trace_event(start + cost, proc, TraceEventKind::kOpEnd, n.op_index, attempt);
             ok = true;
           } catch (...) {
+            trace_event(start + cost, proc, TraceEventKind::kOpEnd, n.op_index, attempt);
             if (attempt < static_cast<uint32_t>(budget)) {
               ++stats.retries;
+              trace_event(start + cost, proc, TraceEventKind::kRetry, n.op_index,
+                          attempt + 1);
               const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
               cost += config.retry_backoff_ns > 0 ? (config.retry_backoff_ns << shift) : 0;
               args = restore_from(snapshot);
               continue;
             }
             if (budget > 0) ++stats.retries_exhausted;
-            record_fault(make_fault(act, item.node, std::current_exception(), injected));
+            record_fault(make_fault(act, item.node, std::current_exception(), injected),
+                         start + cost, proc, n.op_index);
           }
           break;
         }
@@ -569,6 +600,7 @@ struct SimRuntime::Impl {
 
   SimResult run(const CompiledProgram& prog, const Template* tmpl, std::vector<Value> args) {
     program = &prog;
+    tracing = config.enable_tracing;
     // Fault policy: registry plan beats the environment spec; retries
     // honor the same DELIRIUM_RETRIES override as the threaded runtime.
     plan = registry.fault_plan() != nullptr ? registry.fault_plan()
@@ -587,6 +619,13 @@ struct SimRuntime::Impl {
         // Fast cancellation (fail_fast fault or watchdog): purge the
         // virtual ready queue instead of running it.
         stats.items_purged += ready.size();
+        if (tracing) {
+          for (const ReadyItem& it : ready) {
+            const Node& n = it.act->tmpl->nodes[it.node];
+            trace_event(it.ready, -1, TraceEventKind::kPurge,
+                        n.kind == NodeKind::kOperator ? n.op_index : -1);
+          }
+        }
         ready.clear();
         break;
       }
@@ -601,6 +640,8 @@ struct SimRuntime::Impl {
           start > config.watchdog_budget_ns) {
         watchdog_fired = true;
         ++stats.watchdog_fires;
+        trace_event(config.watchdog_budget_ns, -1, TraceEventKind::kWatchdog, -1,
+                    config.watchdog_budget_ns);
         watchdog_message =
             "watchdog: no result within " + std::to_string(config.watchdog_budget_ns) +
             " virtual ns; cancelling run\nstranded activations:\n" +
@@ -616,7 +657,9 @@ struct SimRuntime::Impl {
       } catch (...) {
         // Coordination-level failure (operator faults are captured with
         // richer context inside execute's kOperator case).
-        record_fault(make_fault(*item.act, item.node, std::current_exception()));
+        const Node& n = item.act->tmpl->nodes[item.node];
+        record_fault(make_fault(*item.act, item.node, std::current_exception()),
+                     start, proc, n.kind == NodeKind::kOperator ? n.op_index : -1);
       }
       proc_avail[proc] = start + cost;
       proc_busy[proc] += cost;
@@ -646,6 +689,7 @@ struct SimRuntime::Impl {
     result.proc_busy = proc_busy;
     result.stats = stats;
     result.timings = std::move(timings);
+    result.trace_events = trace;  // Impl keeps its copy for faulting-run retrieval
     return result;
   }
 };
@@ -653,6 +697,10 @@ struct SimRuntime::Impl {
 SimRuntime::SimRuntime(const OperatorRegistry& registry, SimConfig config)
     : registry_(registry), config_(config) {
   if (config_.num_procs <= 0) config_.num_procs = 1;
+  // Same environment override as the threaded runtime.
+  if (const char* env = std::getenv("DELIRIUM_TRACE")) {
+    config_.enable_tracing = std::string_view(env) != "0";
+  }
 }
 
 SimResult SimRuntime::run(const CompiledProgram& program, std::vector<Value> args) {
@@ -666,7 +714,16 @@ SimResult SimRuntime::run_function(const CompiledProgram& program, const std::st
     throw RuntimeError("program has no function named '" + name + "'");
   }
   Impl impl(registry_, config_);
-  return impl.run(program, tmpl, std::move(args));
+  try {
+    SimResult result = impl.run(program, tmpl, std::move(args));
+    last_trace_ = result.trace_events;
+    return result;
+  } catch (...) {
+    // Keep the trace reachable across a faulting run, like
+    // Runtime::trace_events().
+    last_trace_ = std::move(impl.trace);
+    throw;
+  }
 }
 
 CostTable calibrate_costs(const OperatorRegistry& registry, const CompiledProgram& program,

@@ -70,6 +70,11 @@ struct SimConfig {
   /// Cancel on the first captured fault instead of draining (see
   /// RuntimeConfig::fail_fast).
   bool fail_fast = false;
+  /// Record the trace event stream under the same schema as the threaded
+  /// runtime (tracing.h), with *exact virtual* timestamps. The simulator
+  /// is single-threaded, so events go into one growable vector — no
+  /// rings, no overwrites. Honors the same DELIRIUM_TRACE override.
+  bool enable_tracing = false;
 };
 
 struct SimResult {
@@ -79,6 +84,9 @@ struct SimResult {
   std::vector<Ticks> proc_busy;    // per-processor busy time
   RunStats stats;
   std::vector<NodeTiming> timings; // operator label + measured cost
+  /// Trace event stream (empty unless enable_tracing), in record order,
+  /// timestamped in exact virtual nanoseconds.
+  std::vector<TraceEvent> trace_events;
 };
 
 /// Single-threaded simulator. Stateless across runs except for nothing —
@@ -92,10 +100,17 @@ class SimRuntime {
   SimResult run_function(const CompiledProgram& program, const std::string& name,
                          std::vector<Value> args = {});
 
+  /// Trace of the most recent run (empty unless enable_tracing). Unlike
+  /// SimResult::trace_events this survives a faulting run, mirroring
+  /// Runtime::trace_events() so fault recovery is comparable across the
+  /// two executors.
+  const std::vector<TraceEvent>& trace_events() const { return last_trace_; }
+
  private:
   struct Impl;
   const OperatorRegistry& registry_;
   SimConfig config_;
+  std::vector<TraceEvent> last_trace_;
 };
 
 /// Run the program `runs` times on one virtual processor and return the

@@ -1,0 +1,45 @@
+#include "src/runtime/tracing.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace delirium {
+
+std::string_view trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kOpBegin: return "op_begin";
+    case TraceEventKind::kOpEnd: return "op_end";
+    case TraceEventKind::kSteal: return "steal";
+    case TraceEventKind::kStealFail: return "steal_fail";
+    case TraceEventKind::kPark: return "park";
+    case TraceEventKind::kWake: return "wake";
+    case TraceEventKind::kInject: return "inject";
+    case TraceEventKind::kFaultRaise: return "fault_raise";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kPurge: return "purge";
+    case TraceEventKind::kWatchdog: return "watchdog";
+  }
+  return "unknown";
+}
+
+void TraceRing::init(size_t capacity) {
+  if (capacity < 16) capacity = 16;
+  capacity = std::bit_ceil(capacity);
+  buf_.assign(capacity, TraceEvent{});
+  mask_ = capacity - 1;
+  head_ = 0;
+}
+
+void TraceRing::collect(std::vector<TraceEvent>& out) const {
+  const uint64_t n = size();
+  const uint64_t first = head_ - n;
+  out.reserve(out.size() + n);
+  for (uint64_t i = 0; i < n; ++i) out.push_back(buf_[(first + i) & mask_]);
+}
+
+void sort_trace_events(std::vector<TraceEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+}
+
+}  // namespace delirium

@@ -1,0 +1,162 @@
+#include "src/tools/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+namespace delirium::tools {
+
+std::vector<RunStatField> run_stat_fields(const RunStats& s) {
+  return {
+      {"activations_created", s.activations_created},
+      {"peak_live_activations", s.peak_live_activations},
+      {"nodes_executed", s.nodes_executed},
+      {"operator_invocations", s.operator_invocations},
+      {"operator_ticks", static_cast<uint64_t>(s.operator_ticks)},
+      {"cow_copies", s.cow_copies},
+      {"cow_skipped", s.cow_skipped},
+      {"remote_block_moves", s.remote_block_moves},
+      {"sched_local_enqueues", s.sched_local_enqueues},
+      {"sched_injected_enqueues", s.sched_injected_enqueues},
+      {"sched_steals", s.sched_steals},
+      {"sched_failed_steals", s.sched_failed_steals},
+      {"sched_parks", s.sched_parks},
+      {"sched_wakeups", s.sched_wakeups},
+      {"faults_raised", s.faults_raised},
+      {"faults_injected", s.faults_injected},
+      {"retries", s.retries},
+      {"retries_exhausted", s.retries_exhausted},
+      {"items_purged", s.items_purged},
+      {"watchdog_fires", s.watchdog_fires},
+  };
+}
+
+void LogHistogram::observe(int64_t value_ns) {
+  if (value_ns < 0) value_ns = 0;
+  if (count_ == 0) {
+    min_ = max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  ++count_;
+  total_ += value_ns;
+  const size_t bucket = std::bit_width(static_cast<uint64_t>(value_ns));
+  ++buckets_[std::min(bucket, buckets_.size() - 1)];
+}
+
+int64_t LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i: values with bit width i are < 2^i.
+      return i == 0 ? 0 : static_cast<int64_t>((uint64_t{1} << i) - 1);
+    }
+  }
+  return max_;
+}
+
+void MetricsRegistry::observe_run(const RunStats& stats,
+                                  const std::vector<NodeTiming>& timings) {
+  ++runs_;
+  totals_.activations_created += stats.activations_created;
+  totals_.peak_live_activations =
+      std::max(totals_.peak_live_activations, stats.peak_live_activations);
+  totals_.nodes_executed += stats.nodes_executed;
+  totals_.operator_invocations += stats.operator_invocations;
+  totals_.operator_ticks += stats.operator_ticks;
+  totals_.cow_copies += stats.cow_copies;
+  totals_.cow_skipped += stats.cow_skipped;
+  totals_.remote_block_moves += stats.remote_block_moves;
+  totals_.sched_local_enqueues += stats.sched_local_enqueues;
+  totals_.sched_injected_enqueues += stats.sched_injected_enqueues;
+  totals_.sched_steals += stats.sched_steals;
+  totals_.sched_failed_steals += stats.sched_failed_steals;
+  totals_.sched_parks += stats.sched_parks;
+  totals_.sched_wakeups += stats.sched_wakeups;
+  totals_.faults_raised += stats.faults_raised;
+  totals_.faults_injected += stats.faults_injected;
+  totals_.retries += stats.retries;
+  totals_.retries_exhausted += stats.retries_exhausted;
+  totals_.items_purged += stats.items_purged;
+  totals_.watchdog_fires += stats.watchdog_fires;
+  for (const NodeTiming& t : timings) per_op_[t.label].observe(t.duration);
+}
+
+namespace {
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  os << "{\n  \"runs\": " << runs_ << ",\n  \"stats\": {\n";
+  const std::vector<RunStatField> fields = run_stat_fields(totals_);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    os << "    \"" << fields[i].name << "\": " << fields[i].value;
+    os << (i + 1 < fields.size() ? ",\n" : "\n");
+  }
+  os << "  },\n  \"operators\": {\n";
+  size_t i = 0;
+  for (const auto& [op, h] : per_op_) {
+    os << "    \"";
+    write_json_escaped(os, op);
+    os << "\": {\"count\": " << h.count() << ", \"total_ns\": " << h.total()
+       << ", \"min_ns\": " << h.min() << ", \"max_ns\": " << h.max()
+       << ", \"p50_ns\": " << h.percentile(0.5) << ", \"p99_ns\": " << h.percentile(0.99)
+       << "}";
+    os << (++i < per_op_.size() ? ",\n" : "\n");
+  }
+  os << "  }\n}\n";
+}
+
+void MetricsRegistry::to_prometheus(std::ostream& os) const {
+  os << "# HELP delirium_runs_total Runs observed by this registry.\n"
+     << "# TYPE delirium_runs_total counter\n"
+     << "delirium_runs_total " << runs_ << "\n";
+  for (const RunStatField& f : run_stat_fields(totals_)) {
+    os << "# TYPE delirium_" << f.name << " counter\n"
+       << "delirium_" << f.name << " " << f.value << "\n";
+  }
+  if (!per_op_.empty()) {
+    os << "# HELP delirium_operator_duration_ns Operator execution time (log2-bucket "
+          "percentile estimates).\n"
+       << "# TYPE delirium_operator_duration_ns summary\n";
+    for (const auto& [op, h] : per_op_) {
+      os << "delirium_operator_duration_ns{operator=\"" << op << "\",quantile=\"0.5\"} "
+         << h.percentile(0.5) << "\n"
+         << "delirium_operator_duration_ns{operator=\"" << op << "\",quantile=\"0.99\"} "
+         << h.percentile(0.99) << "\n"
+         << "delirium_operator_duration_ns_sum{operator=\"" << op << "\"} " << h.total()
+         << "\n"
+         << "delirium_operator_duration_ns_count{operator=\"" << op << "\"} " << h.count()
+         << "\n";
+    }
+  }
+}
+
+bool MetricsRegistry::write_file(const std::string& path, const std::string& format) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (format == "json") {
+    to_json(out);
+  } else if (format == "prom") {
+    to_prometheus(out);
+  } else {
+    return false;
+  }
+  return out.good();
+}
+
+}  // namespace delirium::tools

@@ -1,0 +1,84 @@
+// Metrics export (docs/OBSERVABILITY.md): a MetricsRegistry snapshots
+// RunStats plus per-operator duration histograms from node timings and
+// serializes them as JSON or Prometheus text exposition format
+// (delc --metrics FILE --metrics-format {json,prom}).
+//
+// Histograms use fixed log2 buckets, so percentile estimates are
+// deterministic bucket upper bounds — the same durations always report
+// the same p50/p99, which keeps the golden-file test stable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runtime/runtime.h"
+
+namespace delirium::tools {
+
+/// One RunStats counter, by name. run_stat_fields() is the single source
+/// of truth for the counter schema: the --stats text dump, the metrics
+/// JSON, and the Prometheus export all iterate this list, so the three
+/// views can never drift apart.
+struct RunStatField {
+  const char* name;
+  uint64_t value;
+};
+
+/// Every RunStats counter in the fixed report order.
+std::vector<RunStatField> run_stat_fields(const RunStats& stats);
+
+/// Fixed-bucket log2 histogram of nanosecond durations. Bucket i holds
+/// values whose bit width is i, i.e. [2^(i-1), 2^i); percentiles report
+/// the upper bound of the bucket containing the requested rank.
+class LogHistogram {
+ public:
+  void observe(int64_t value_ns);
+
+  uint64_t count() const { return count_; }
+  int64_t total() const { return total_; }
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  int64_t max() const { return count_ > 0 ? max_ : 0; }
+
+  /// Deterministic percentile estimate: the upper bound of the log2
+  /// bucket holding the value of rank ceil(p * count). p in [0, 1].
+  int64_t percentile(double p) const;
+
+ private:
+  std::array<uint64_t, 64> buckets_{};
+  uint64_t count_ = 0;
+  int64_t total_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Aggregates one or more runs (RunStats + per-operator histograms from
+/// the node-timing trace) and exports them. Counters sum across observed
+/// runs; peak_live_activations keeps the maximum.
+class MetricsRegistry {
+ public:
+  void observe_run(const RunStats& stats, const std::vector<NodeTiming>& timings);
+
+  /// Deterministic JSON: {"runs": N, "stats": {...}, "operators": {...}}
+  /// with operators sorted by name.
+  void to_json(std::ostream& os) const;
+  /// Prometheus text exposition format, metrics prefixed `delirium_`.
+  void to_prometheus(std::ostream& os) const;
+
+  /// Write in `format` ("json" or "prom"); false on I/O failure or an
+  /// unknown format.
+  bool write_file(const std::string& path, const std::string& format) const;
+
+  uint64_t runs() const { return runs_; }
+  const std::map<std::string, LogHistogram>& per_operator() const { return per_op_; }
+
+ private:
+  uint64_t runs_ = 0;
+  RunStats totals_;
+  std::map<std::string, LogHistogram> per_op_;
+};
+
+}  // namespace delirium::tools

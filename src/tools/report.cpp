@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/tools/metrics.h"
+
 namespace delirium::tools {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -89,26 +91,17 @@ void print_timing_trace(std::ostream& os, const std::vector<NodeTiming>& timings
 }
 
 void print_run_stats(std::ostream& os, const RunStats& s) {
-  os << "activations_created:     " << s.activations_created << '\n'
-     << "peak_live_activations:   " << s.peak_live_activations << '\n'
-     << "nodes_executed:          " << s.nodes_executed << '\n'
-     << "operator_invocations:    " << s.operator_invocations << '\n'
-     << "operator_ticks:          " << s.operator_ticks << '\n'
-     << "cow_copies:              " << s.cow_copies << '\n'
-     << "cow_skipped:             " << s.cow_skipped << '\n'
-     << "remote_block_moves:      " << s.remote_block_moves << '\n'
-     << "sched_local_enqueues:    " << s.sched_local_enqueues << '\n'
-     << "sched_injected_enqueues: " << s.sched_injected_enqueues << '\n'
-     << "sched_steals:            " << s.sched_steals << '\n'
-     << "sched_failed_steals:     " << s.sched_failed_steals << '\n'
-     << "sched_parks:             " << s.sched_parks << '\n'
-     << "sched_wakeups:           " << s.sched_wakeups << '\n'
-     << "faults_raised:           " << s.faults_raised << '\n'
-     << "faults_injected:         " << s.faults_injected << '\n'
-     << "retries:                 " << s.retries << '\n'
-     << "retries_exhausted:       " << s.retries_exhausted << '\n'
-     << "items_purged:            " << s.items_purged << '\n'
-     << "watchdog_fires:          " << s.watchdog_fires << '\n';
+  // One schema source: the same run_stat_fields list feeds this dump,
+  // the metrics JSON, and the Prometheus export (src/tools/metrics.h).
+  const std::vector<RunStatField> fields = run_stat_fields(s);
+  size_t width = 0;
+  for (const RunStatField& f : fields) width = std::max(width, std::string(f.name).size());
+  width += 2;  // ':' plus at least one space
+  for (const RunStatField& f : fields) {
+    std::string label = std::string(f.name) + ':';
+    label.resize(width, ' ');
+    os << label << f.value << '\n';
+  }
 }
 
 double median_of(int repeats, const std::function<double()>& fn) {

@@ -1,8 +1,10 @@
 #include "src/tools/trace.h"
 
+#include <algorithm>
 #include <fstream>
-#include <map>
 #include <ostream>
+#include <set>
+#include <string>
 
 namespace delirium::tools {
 
@@ -15,37 +17,95 @@ void write_escaped(std::ostream& os, const std::string& s) {
   }
 }
 
-void write_event(std::ostream& os, bool& first, const std::string& name, int tid,
-                 int64_t ts_us, int64_t dur_us, const std::string& tmpl) {
+/// Timestamps are nanoseconds; the trace-event format wants microseconds.
+/// Emit them with the sub-microsecond part as decimals so short operators
+/// don't collapse to zero-width slices.
+void write_us(std::ostream& os, int64_t ns) {
+  if (ns < 0) ns = 0;
+  os << ns / 1000 << '.';
+  const int64_t frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+void write_slice(std::ostream& os, bool& first, const std::string& name,
+                 const char* cat, int tid, int64_t ts_ns, int64_t dur_ns,
+                 const std::string& args_key, const std::string& args_value,
+                 bool quote_value) {
   if (!first) os << ",\n";
   first = false;
   os << R"(  {"name": ")";
   write_escaped(os, name);
-  os << R"(", "cat": "operator", "ph": "X", "pid": 1, "tid": )" << tid << R"(, "ts": )"
-     << ts_us << R"(, "dur": )" << dur_us << R"(, "args": {"template": ")";
-  write_escaped(os, tmpl);
+  os << R"(", "cat": ")" << cat << R"(", "ph": "X", "pid": 1, "tid": )" << tid
+     << R"(, "ts": )";
+  write_us(os, ts_ns);
+  os << R"(, "dur": )";
+  write_us(os, dur_ns < 1 ? 1 : dur_ns);
+  os << R"(, "args": {")" << args_key << R"(": )";
+  if (quote_value) {
+    os << '"';
+    write_escaped(os, args_value);
+    os << '"';
+  } else {
+    os << args_value;
+  }
+  os << "}}";
+}
+
+void write_instant(std::ostream& os, bool& first, const std::string& name, int tid,
+                   int64_t ts_ns, int64_t arg) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": ")";
+  write_escaped(os, name);
+  os << R"(", "cat": "scheduler", "ph": "i", "s": "t", "pid": 1, "tid": )" << tid
+     << R"(, "ts": )";
+  write_us(os, ts_ns);
+  os << R"(, "args": {"arg": )" << arg << "}}";
+}
+
+void write_thread_name(std::ostream& os, bool& first, int tid, const std::string& name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << tid
+     << R"(, "args": {"name": ")";
+  write_escaped(os, name);
   os << R"("}})";
+}
+
+/// Row id for an event: workers keep their index; the run's caller
+/// thread (worker -1) gets a row past every worker.
+int event_tid(const TraceEvent& e, int max_worker) {
+  return e.worker >= 0 ? e.worker : max_worker + 1;
+}
+
+std::string op_name(int32_t op, const OperatorRegistry& registry) {
+  if (op >= 0 && static_cast<size_t>(op) < registry.size()) {
+    return registry.at(static_cast<size_t>(op)).info.name;
+  }
+  return "?";
 }
 
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const std::vector<NodeTiming>& timings) {
+  // Slices placed at their recorded start: gaps between operators on a
+  // worker row are the real idle/scheduling time, in both executors.
+  std::vector<const NodeTiming*> ordered;
+  ordered.reserve(timings.size());
+  for (const NodeTiming& t : timings) ordered.push_back(&t);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const NodeTiming* a, const NodeTiming* b) { return a->start < b->start; });
   os << "[\n";
   bool first = true;
-  std::map<int, int64_t> cursor_us;  // per worker: end of last slice
-  for (const NodeTiming& t : timings) {
-    int64_t& cursor = cursor_us[t.worker];
-    const int64_t dur = std::max<int64_t>(t.duration / 1000, 1);
-    write_event(os, first, t.label, t.worker, cursor, dur, t.tmpl);
-    cursor += dur;
+  for (const NodeTiming* t : ordered) {
+    write_slice(os, first, t->label, "operator", t->worker, t->start, t->duration,
+                "template", t->tmpl, /*quote_value=*/true);
   }
   os << "\n]\n";
 }
 
 void write_chrome_trace(std::ostream& os, const SimResult& result) {
-  // SimResult timings are in execution order; pack per processor in that
-  // order (the simulator executes each processor's slices back to back
-  // except for idle gaps, which this compact view elides).
   write_chrome_trace(os, result.timings);
 }
 
@@ -55,6 +115,107 @@ bool write_chrome_trace_file(const std::string& path,
   if (!out) return false;
   write_chrome_trace(out, timings);
   return out.good();
+}
+
+void write_trace_events(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const OperatorRegistry& registry) {
+  int max_worker = 0;
+  for (const TraceEvent& e : events) max_worker = std::max(max_worker, static_cast<int>(e.worker));
+
+  os << "[\n";
+  bool first = true;
+
+  // Row names.
+  std::set<int> tids;
+  bool has_external = false;
+  for (const TraceEvent& e : events) {
+    if (e.worker >= 0) tids.insert(e.worker);
+    else has_external = true;
+  }
+  for (int tid : tids) write_thread_name(os, first, tid, "worker " + std::to_string(tid));
+  if (has_external) write_thread_name(os, first, max_worker + 1, "caller");
+
+  // Operator slices from begin/end pairs. A worker executes one operator
+  // at a time, so a one-deep slot per row suffices; a stack keeps the
+  // exporter robust to streams it didn't produce.
+  struct Open {
+    int64_t ts;
+    int32_t op;
+    int64_t attempt;
+  };
+  std::vector<std::vector<Open>> open(static_cast<size_t>(max_worker) + 2);
+
+  for (const TraceEvent& e : events) {
+    const int tid = event_tid(e, max_worker);
+    switch (e.kind) {
+      case TraceEventKind::kOpBegin:
+        open[static_cast<size_t>(tid)].push_back(Open{e.ts, e.op, e.arg});
+        break;
+      case TraceEventKind::kOpEnd: {
+        auto& stack = open[static_cast<size_t>(tid)];
+        if (!stack.empty() && stack.back().op == e.op) {
+          const Open& o = stack.back();
+          write_slice(os, first, op_name(e.op, registry), "operator", tid, o.ts,
+                      e.ts - o.ts, "attempt", std::to_string(o.attempt),
+                      /*quote_value=*/false);
+          stack.pop_back();
+        } else {
+          write_instant(os, first, "op_end", tid, e.ts, e.arg);
+        }
+        break;
+      }
+      case TraceEventKind::kPark:
+        // arg is the total ns slept starting at ts (tracing.h).
+        write_slice(os, first, "park", "scheduler", tid, e.ts, e.arg, "slept_ns",
+                    std::to_string(e.arg), /*quote_value=*/false);
+        break;
+      case TraceEventKind::kFaultRaise:
+      case TraceEventKind::kRetry:
+      case TraceEventKind::kPurge: {
+        std::string name(trace_event_kind_name(e.kind));
+        if (e.op >= 0) name += ' ' + op_name(e.op, registry);
+        write_instant(os, first, name, tid, e.ts, e.arg);
+        break;
+      }
+      default:
+        write_instant(os, first, std::string(trace_event_kind_name(e.kind)), tid, e.ts,
+                      e.arg);
+        break;
+    }
+  }
+  os << "\n]\n";
+}
+
+bool write_trace_events_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const OperatorRegistry& registry) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace_events(out, events, registry);
+  return out.good();
+}
+
+std::vector<std::string> deterministic_event_multiset(
+    const std::vector<TraceEvent>& events, const OperatorRegistry& registry) {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kOpBegin:
+      case TraceEventKind::kOpEnd:
+      case TraceEventKind::kFaultRaise:
+      case TraceEventKind::kRetry: {
+        std::string line(trace_event_kind_name(e.kind));
+        line += " op=" + op_name(e.op, registry);
+        line += " arg=" + std::to_string(e.arg);
+        out.push_back(std::move(line));
+        break;
+      }
+      default:
+        break;  // schedule-dependent: steal, park, wake, inject, purge, watchdog
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace delirium::tools

@@ -1,31 +1,61 @@
 // Execution trace export — the modern form of the paper's "tools for
-// analyzing and improving execution speed" (§1). Node timings from a run
-// are written as Chrome tracing JSON (chrome://tracing, Perfetto):
-// one row per worker/processor, one slice per operator execution.
+// analyzing and improving execution speed" (§1). Two exporters, both in
+// Chrome trace-event JSON (chrome://tracing, Perfetto):
+//
+//  * write_chrome_trace: node timings as one slice per operator
+//    execution, placed at its recorded start timestamp — true gaps, in
+//    both executors (NodeTiming::start is wall-clock ns relative to the
+//    run start in Runtime, exact virtual ns in SimRuntime).
+//  * write_trace_events: the full event stream (tracing.h) — operator
+//    slices reconstructed from begin/end pairs, park intervals as
+//    slices, and scheduler/fault events as instants.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "src/runtime/registry.h"
 #include "src/runtime/runtime.h"
 #include "src/runtime/sim.h"
 
 namespace delirium::tools {
 
-/// Write node timings in Chrome trace-event format. The threaded
-/// runtime's timings have no start timestamps, so slices are laid
-/// end-to-end per worker in completion order — durations and placement
-/// per worker are faithful; gaps are not.
+/// Write node timings in Chrome trace-event format: one row per
+/// worker/processor, one slice per operator execution, placed at its
+/// recorded start timestamp (NodeTiming::start) so idle gaps are real.
 void write_chrome_trace(std::ostream& os, const std::vector<NodeTiming>& timings);
 
-/// Write a SimResult's operator timeline. Virtual time is exact here, so
-/// the trace shows true starts, gaps, and per-processor utilization.
-/// (Uses the timings' recorded order plus per-processor busy packing.)
+/// Write a SimResult's operator timeline. Virtual time is exact, so the
+/// trace shows exact starts, gaps, and per-processor utilization.
 void write_chrome_trace(std::ostream& os, const SimResult& result);
 
 /// Convenience: write to a file; returns false on I/O failure.
 bool write_chrome_trace_file(const std::string& path,
                              const std::vector<NodeTiming>& timings);
+
+/// Write a trace event stream (Runtime::trace_events(),
+/// SimResult::trace_events) as Chrome trace-event JSON: operator
+/// begin/end pairs become ph:"X" slices (args carry the attempt), parks
+/// become slices on the owning worker's row, everything else becomes a
+/// ph:"i" instant. Rows are named via thread_name metadata ("worker N" /
+/// "caller"). The registry resolves operator indices to names.
+void write_trace_events(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const OperatorRegistry& registry);
+
+/// Convenience: write to a file; returns false on I/O failure.
+bool write_trace_events_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const OperatorRegistry& registry);
+
+/// The executor-independent projection of a trace, for sim-vs-threaded
+/// comparison: one sorted string per operator event (begin/end with
+/// attempt) and fault event (raise with activation seq, retry with
+/// attempt). Scheduler events (steal, park, wake, inject) and
+/// cancellation purges depend on the schedule and are excluded. Two runs
+/// of the same program — any executor, any worker count, any structural
+/// (`every=`) injection plan — produce equal multisets.
+std::vector<std::string> deterministic_event_multiset(
+    const std::vector<TraceEvent>& events, const OperatorRegistry& registry);
 
 }  // namespace delirium::tools

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "src/delirium.h"
@@ -96,6 +99,58 @@ TEST(Trace, RoundTripFromARealRun) {
   // Crude balance check: events exist for the run.
   EXPECT_GE(std::count(content.begin(), content.end(), '{'),
             static_cast<long>(runtime.node_timings().size()));
+}
+
+// ---------------------------------------------------------------------------
+// CLI documentation contract
+// ---------------------------------------------------------------------------
+
+// Every `--flag` token in a text, e.g. "--trace-events".
+std::set<std::string> flag_tokens(const std::string& text) {
+  std::set<std::string> flags;
+  for (size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-' || !std::islower(text[i + 2])) continue;
+    size_t end = i + 2;
+    while (end < text.size() && (std::islower(text[end]) || text[end] == '-')) ++end;
+    flags.insert(text.substr(i, end - i));
+    i = end;
+  }
+  return flags;
+}
+
+TEST(Cli, HelpNamesEveryDocumentedFlag) {
+  // delc --help and docs/CLI.md must name exactly the same flag set —
+  // a flag added to one without the other fails here.
+  FILE* pipe = ::popen((std::string(DELIRIUM_DELC_PATH) + " --help").c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string help;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) help.append(buf, n);
+  ASSERT_EQ(::pclose(pipe), 0);
+  ASSERT_FALSE(help.empty());
+
+  std::ifstream doc(std::string(DELIRIUM_DOCS_DIR) + "/CLI.md");
+  ASSERT_TRUE(doc.good()) << "missing docs/CLI.md";
+  std::string cli_md((std::istreambuf_iterator<char>(doc)),
+                     std::istreambuf_iterator<char>());
+
+  const std::set<std::string> help_flags = flag_tokens(help);
+  const std::set<std::string> doc_flags = flag_tokens(cli_md);
+  ASSERT_FALSE(help_flags.empty());
+  for (const std::string& flag : help_flags) {
+    EXPECT_TRUE(doc_flags.count(flag)) << flag << " missing from docs/CLI.md";
+  }
+  for (const std::string& flag : doc_flags) {
+    EXPECT_TRUE(help_flags.count(flag)) << flag << " missing from delc --help";
+  }
+  // The env knobs must be documented alongside the flags.
+  for (const char* env : {"DELIRIUM_SCHEDULER", "DELIRIUM_INJECT_FAULTS",
+                          "DELIRIUM_RETRIES", "DELIRIUM_TRACE",
+                          "DELIRIUM_TRACE_CAPACITY"}) {
+    EXPECT_NE(cli_md.find(env), std::string::npos) << env << " missing from docs/CLI.md";
+    EXPECT_NE(help.find(env), std::string::npos) << env << " missing from delc --help";
+  }
 }
 
 }  // namespace
