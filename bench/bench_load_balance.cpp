@@ -31,7 +31,9 @@ int main() {
   register_builtin_operators(registry);
   register_retina_operators(registry, params);
 
-  Runtime runtime(registry, {.num_workers = 1, .enable_node_timing = true});
+  RuntimeConfig config{.num_workers = 1};
+  config.enable_node_timing = true;
+  Runtime runtime(registry, config);
 
   for (const auto version : {RetinaVersion::kV1Imbalanced, RetinaVersion::kV2Balanced}) {
     const bool v1 = version == RetinaVersion::kV1Imbalanced;

@@ -6,6 +6,12 @@
 //     --no-opt        disable the optimizer
 //     --timings       print per-pass times (Table 1 style)
 //     --run           execute main() with the built-in operators
+//     --executor E    which engine executes the program: "threaded"
+//                     (the default for --run) or "sim" (virtual time);
+//                     rewrites --run/--sim onto the chosen engine while
+//                     keeping the parallelism degree. The
+//                     DELIRIUM_EXECUTOR environment variable overrides
+//                     the flag.
 //     --workers N     worker threads for --run (default 4)
 //     --scheduler S   ready-queue implementation for --run:
 //                     "work_stealing" (default) or "global_lock"
@@ -43,6 +49,7 @@
 // Only built-in operators are available here; applications embed their
 // own operators through the library API instead (see the other examples).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -73,6 +80,8 @@ void print_usage(std::FILE* out) {
       "  --lint-json               the same findings as JSON on stdout\n"
       "  --verify-graphs           run the structural graph verifier\n"
       "  --run                     execute main() with the built-in operators\n"
+      "  --executor threaded|sim   which engine executes the program (--executor=E\n"
+      "                            also accepted; DELIRIUM_EXECUTOR overrides)\n"
       "  --workers N               worker threads for --run (default 4)\n"
       "  --scheduler work_stealing|global_lock\n"
       "                            ready-queue implementation for --run\n"
@@ -88,8 +97,9 @@ void print_usage(std::FILE* out) {
       "  --metrics-format json|prom\n"
       "                            format for --metrics (default json)\n"
       "  --help                    print this flag summary and exit\n"
-      "environment: DELIRIUM_SCHEDULER, DELIRIUM_INJECT_FAULTS, DELIRIUM_RETRIES,\n"
-      "             DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY (see docs/CLI.md)\n");
+      "environment: DELIRIUM_EXECUTOR, DELIRIUM_SCHEDULER, DELIRIUM_INJECT_FAULTS,\n"
+      "             DELIRIUM_RETRIES, DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY,\n"
+      "             DELIRIUM_ACTIVATION_POOL (see docs/CLI.md)\n");
 }
 
 int usage() {
@@ -106,6 +116,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string metrics_format = "json";
   std::string fault_spec;
+  std::string executor;  // "", "threaded", or "sim"
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
   bool lint = false, lint_json = false, verify_graphs = false, stats = false;
   int workers = 4;
@@ -124,6 +135,8 @@ int main(int argc, char** argv) {
     else if (arg == "--lint-json") lint_json = true;
     else if (arg == "--verify-graphs") verify_graphs = true;
     else if (arg == "--stats") stats = true;
+    else if (arg == "--executor" && i + 1 < argc) executor = argv[++i];
+    else if (arg.rfind("--executor=", 0) == 0) executor = arg.substr(sizeof("--executor=") - 1);
     else if (arg == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
     else if (arg == "--scheduler" && i + 1 < argc) {
       const std::string mode = argv[++i];
@@ -150,6 +163,24 @@ int main(int argc, char** argv) {
     else path = arg;
   }
   if (path.empty()) return usage();
+
+  // DELIRIUM_EXECUTOR overrides the --executor flag, mirroring how the
+  // runtime's own env knobs (DELIRIUM_SCHEDULER, ...) win over config.
+  if (const char* env = std::getenv("DELIRIUM_EXECUTOR")) executor = env;
+  if (!executor.empty() && executor != "threaded" && executor != "sim") {
+    std::fprintf(stderr, "delc: unknown executor '%s' (threaded|sim)\n", executor.c_str());
+    return usage();
+  }
+  // The choice rewrites --run/--sim onto the selected engine, keeping
+  // the requested parallelism degree.
+  if (executor == "sim" && run) {
+    if (sim_procs <= 0) sim_procs = workers;
+    run = false;
+  } else if (executor == "threaded" && sim_procs > 0) {
+    workers = sim_procs;
+    sim_procs = 0;
+    run = true;
+  }
 
   std::ifstream in(path);
   if (!in) {

@@ -55,9 +55,10 @@ int main(int argc, char** argv) {
   const RetinaModel reference = sequential_run(params);
   std::printf("sequential checksum: %.6f\n\n", checksum(reference));
 
-  Runtime runtime(registry, {.num_workers = workers,
-                             .enable_node_timing = true,
-                             .enable_tracing = !trace_path.empty()});
+  RuntimeConfig config{.num_workers = workers};
+  config.enable_node_timing = true;
+  config.enable_tracing = !trace_path.empty();
+  Runtime runtime(registry, config);
   for (const auto version : {RetinaVersion::kV1Imbalanced, RetinaVersion::kV2Balanced}) {
     const char* label = version == RetinaVersion::kV1Imbalanced ? "v1 (imbalanced post_up)"
                                                                 : "v2 (balanced update)";

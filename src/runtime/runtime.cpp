@@ -1,7 +1,6 @@
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cstdlib>
 #include <ostream>
@@ -11,7 +10,7 @@ namespace delirium {
 
 namespace {
 // Which Runtime's worker pool the current thread belongs to, if any.
-// Lets schedule_node distinguish the owner fast path (push to this
+// Lets the enqueue path distinguish the owner fast path (push to this
 // worker's own deque) from the cross-thread injection path. A thread can
 // belong to at most one pool; nested Runtimes run on distinct threads.
 thread_local Runtime* tls_runtime = nullptr;
@@ -19,69 +18,10 @@ thread_local int tls_worker = -1;
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Activation & run state
+// Run state
 // ---------------------------------------------------------------------------
 
-/// A template activation (§7): a pointer back to the template plus enough
-/// buffer space to evaluate the subgraph once. The tree of activations is
-/// the parallel generalization of the sequential call stack. Lifetime is
-/// managed by shared ownership: the ready queue and child activations
-/// (through their continuation) keep an activation alive exactly as long
-/// as it can still be referenced.
-struct Runtime::Activation {
-  Activation(Runtime* rt_in, const CompiledProgram* program_in, const Template* tmpl_in,
-             RunState* run_in, uint64_t seq_in)
-      : rt(rt_in), program(program_in), tmpl(tmpl_in), run(run_in), seq(seq_in),
-        slots(tmpl_in->value_slots),
-        pending(std::make_unique<std::atomic<int32_t>[]>(tmpl_in->nodes.size())) {
-    for (size_t i = 0; i < tmpl->nodes.size(); ++i) {
-      pending[i].store(tmpl->nodes[i].num_inputs, std::memory_order_relaxed);
-    }
-    rt->activations_created_.fetch_add(1, std::memory_order_relaxed);
-    const int64_t live = rt->live_activations_.fetch_add(1, std::memory_order_relaxed) + 1;
-    uint64_t peak = rt->peak_live_activations_.load(std::memory_order_relaxed);
-    while (static_cast<uint64_t>(live) > peak &&
-           !rt->peak_live_activations_.compare_exchange_weak(peak, static_cast<uint64_t>(live),
-                                                             std::memory_order_relaxed)) {
-    }
-    rt->ledger_add(this);
-  }
-
-  ~Activation() {
-    rt->ledger_remove(this);
-    rt->live_activations_.fetch_sub(1, std::memory_order_relaxed);
-  }
-
-  Runtime* rt;
-  const CompiledProgram* program;
-  const Template* tmpl;
-  RunState* run;
-  /// Deterministic structural sequence id (see fault.h): a hash of the
-  /// spawn path, independent of the schedule, identical in SimRuntime.
-  uint64_t seq;
-  std::vector<Value> slots;
-  std::unique_ptr<std::atomic<int32_t>[]> pending;
-  /// Continuation: where this activation's result goes. When `collector`
-  /// is set the result joins a parmap package instead; otherwise a null
-  /// cont_act means "the final result of the run".
-  std::shared_ptr<Activation> cont_act;
-  uint32_t cont_node = 0;
-  std::shared_ptr<ParMapCollector> collector;
-  uint32_t collector_index = 0;
-};
-
-/// Join object for kParMap (§9.2 dynamic parallelism): one child
-/// activation per package element; the last returning child assembles
-/// the result package and forwards it to the parmap's continuation.
-struct Runtime::ParMapCollector {
-  std::vector<Value> results;           // one slot per element
-  std::atomic<int> remaining{0};
-  std::shared_ptr<Activation> cont_act;  // null -> the run's final result
-  uint32_t cont_node = 0;
-};
-
 struct Runtime::RunState {
-  const CompiledProgram* program = nullptr;
   std::mutex mu;
   std::condition_variable cv;
   bool have_result = false;
@@ -101,12 +41,7 @@ struct Runtime::RunState {
   /// decrements, and an executing item performs all of its enqueues
   /// before its own decrement.
   std::atomic<int64_t> outstanding{0};
-  // Fault policy resolved once per run (config + environment overrides).
-  std::shared_ptr<const FaultPlan> plan;
-  int max_retries = 0;
-  int64_t retry_backoff_ns = 0;
   int64_t watchdog_budget_ns = 0;
-  bool fail_fast = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -114,7 +49,7 @@ struct Runtime::RunState {
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
-    : registry_(registry), config_(config) {
+    : ExecutorCore<Runtime>(registry), config_(config) {
   int n = config_.num_workers;
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   if (n <= 0) n = 1;
@@ -124,13 +59,8 @@ Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
     if (v == "global_lock") config_.scheduler = SchedulerKind::kGlobalLock;
     else if (v == "work_stealing") config_.scheduler = SchedulerKind::kWorkStealing;
   }
-  if (const char* env = std::getenv("DELIRIUM_TRACE")) {
-    config_.enable_tracing = std::string_view(env) != "0";
-  }
-  if (const char* env = std::getenv("DELIRIUM_TRACE_CAPACITY")) {
-    const long long cap = std::strtoll(env, nullptr, 10);
-    if (cap > 0) config_.trace_capacity = static_cast<size_t>(cap);
-  }
+  apply_exec_env_overrides(config_);
+  init_exec(&config_);
   trace_enabled_ = config_.enable_tracing;
   if (trace_enabled_) {
     // One ring per worker plus one for the run's caller thread (root
@@ -220,7 +150,7 @@ void Runtime::ledger_remove(Activation* act) {
 }
 
 void Runtime::record_fault(RunState* rs, FaultInfo f, int32_t op_index) {
-  faults_raised_.fetch_add(1, std::memory_order_relaxed);
+  counters_.faults_raised.fetch_add(1, std::memory_order_relaxed);
   if (trace_enabled_) {
     // Recorded by the faulting worker (in its safe window) or, never in
     // practice today, by the caller thread into the external ring.
@@ -234,7 +164,7 @@ void Runtime::record_fault(RunState* rs, FaultInfo f, int32_t op_index) {
   // Default mode drains naturally: every fault reachable from the inputs
   // is captured, so the smallest-sequence-id winner is schedule-
   // independent. fail_fast trades that guarantee for latency.
-  if (rs->fail_fast) cancel_run(rs);
+  if (config_.fail_fast) cancel_run(rs);
 }
 
 void Runtime::cancel_run(RunState* rs) {
@@ -251,22 +181,7 @@ std::vector<StrandedActivation> Runtime::collect_stranded(const RunState* rs) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (Activation* a : shard.acts) {
       if (a->run != rs) continue;
-      StrandedActivation sa;
-      sa.seq = a->seq;
-      sa.tmpl = a->tmpl->name;
-      for (uint32_t i = 0; i < a->tmpl->nodes.size(); ++i) {
-        const Node& n = a->tmpl->nodes[i];
-        if (n.num_inputs == 0) continue;
-        const int32_t missing = a->pending[i].load(std::memory_order_relaxed);
-        if (missing <= 0) continue;
-        if (missing == n.num_inputs) {
-          ++sa.never_fed;
-        } else {
-          sa.partial.push_back(StrandedNode{i, fault_node_label(n),
-                                            missing, n.num_inputs});
-        }
-      }
-      if (!sa.partial.empty() || sa.never_fed > 0) out.push_back(std::move(sa));
+      append_stranded(*a, out);
     }
   }
   return out;
@@ -287,53 +202,28 @@ std::string Runtime::dump_busy_workers() {
 }
 
 void Runtime::fire_watchdog(RunState* rs) {
-  watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+  counters_.watchdog_fires.fetch_add(1, std::memory_order_relaxed);
   // The caller thread owns the external ring, so this write is safe even
   // while workers are still draining their queues.
   trace(-1, TraceEventKind::kWatchdog, -1, rs->watchdog_budget_ns);
-  rs->watchdog_message =
-      "watchdog: no result within " +
-      std::to_string(rs->watchdog_budget_ns / 1000000) +
-      " ms; cancelling run\nbusy workers:\n" + dump_busy_workers() +
-      "stranded activations:\n" + render_stranded(collect_stranded(rs));
+  rs->watchdog_message = build_watchdog_message(
+      std::to_string(rs->watchdog_budget_ns / 1000000) + " ms",
+      "busy workers:\n" + dump_busy_workers(), render_stranded(collect_stranded(rs)));
   cancel_run(rs);
 }
 
 // ---------------------------------------------------------------------------
-// Scheduling
+// MachineModel hooks (called by ExecutorCore)
 // ---------------------------------------------------------------------------
 
-void Runtime::schedule_node(const std::shared_ptr<Activation>& act, uint32_t node) {
+void Runtime::enqueue_ready(const std::shared_ptr<Activation>& act, uint32_t node,
+                            Ticks /*when*/) {
   const Node& n = act->tmpl->nodes[node];
-  const int priority =
-      config_.use_priorities ? static_cast<int>(n.priority) : 0;
-
-  // Affinity (§9.3): choose a preferred worker, if any. Operators
-  // registered after Runtime construction have no slot in
-  // op_last_worker_ (it is sized from the registry at construction);
-  // they schedule with no preference instead of indexing past the end.
-  int target = -1;
-  if (config_.affinity == AffinityMode::kOperator && n.kind == NodeKind::kOperator &&
-      n.op_index >= 0 && static_cast<size_t>(n.op_index) < op_last_worker_.size()) {
-    target = op_last_worker_[n.op_index].load(std::memory_order_relaxed);
-  } else if (config_.affinity == AffinityMode::kData && n.kind == NodeKind::kOperator) {
-    size_t best_bytes = 0;
-    for (uint16_t i = 0; i < n.num_inputs; ++i) {
-      const Value& v = act->slots[n.input_offset + i];
-      if (v.kind() == Value::Kind::kBlock) {
-        const auto& blk = v.block_ptr();
-        const size_t bytes = blk->byte_size();
-        const int home = blk->home_worker.load(std::memory_order_relaxed);
-        if (home >= 0 && bytes > best_bytes) {
-          best_bytes = bytes;
-          target = home;
-        }
-      }
-    }
-  }
+  const int priority = config_.use_priorities ? static_cast<int>(n.priority) : 0;
+  int target = affinity_preference(*act, n);
   if (target >= config_.num_workers) target = -1;
 
-  act->run->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  static_cast<RunState*>(act->run)->outstanding.fetch_add(1, std::memory_order_acq_rel);
   if (config_.scheduler == SchedulerKind::kWorkStealing) {
     ws_enqueue(WorkItem{act, node}, priority, target);
     return;
@@ -347,9 +237,105 @@ void Runtime::schedule_node(const std::shared_ptr<Activation>& act, uint32_t nod
     }
     ++queued_total_;
   }
-  sched_local_enqueues_.fetch_add(1, std::memory_order_relaxed);
+  counters_.sched_local_enqueues.fetch_add(1, std::memory_order_relaxed);
   sched_cv_.notify_one();
 }
+
+void Runtime::deliver_final(Value v, Ticks /*when*/) {
+  RunState* rs = current_run_;
+  std::lock_guard<std::mutex> lock(rs->mu);
+  rs->result = std::move(v);
+  rs->have_result = true;
+}
+
+void Runtime::trace_from_core(int worker, Ticks /*ts*/, TraceEventKind kind, int32_t op,
+                              int64_t arg) {
+  trace(worker, kind, op, arg);
+}
+
+void Runtime::record_fault_from_core(FaultInfo f, int32_t op_index, Ticks /*ts*/,
+                                     int /*worker*/) {
+  record_fault(current_run_, std::move(f), op_index);
+}
+
+void Runtime::charge_remote(Ticks ns, Ticks& /*cost*/) {
+  const Ticks until = now_ticks() + ns;
+  while (now_ticks() < until) {
+    // Busy wait: models the stall of pulling a remote block across the
+    // interconnect (Butterfly-style NUMA).
+  }
+}
+
+void Runtime::charge_stall(Ticks ns, Ticks& /*cost*/) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void Runtime::charge_backoff(Ticks ns, Ticks& /*cost*/) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void Runtime::busy_begin(int worker, const OperatorDef& def) {
+  if (current_run_->watchdog_budget_ns <= 0) return;
+  WorkerData& wd = *worker_data_[worker];
+  std::lock_guard<std::mutex> lock(wd.busy_mu);
+  wd.busy_op = def.info.name;
+  wd.busy_since = now_ticks();
+}
+
+void Runtime::busy_end(int worker) {
+  if (current_run_->watchdog_budget_ns <= 0) return;
+  WorkerData& wd = *worker_data_[worker];
+  std::lock_guard<std::mutex> lock(wd.busy_mu);
+  wd.busy_op.clear();
+}
+
+Ticks Runtime::op_clock_begin() {
+  return config_.enable_node_timing ? now_ticks() : 0;
+}
+
+void Runtime::op_note_success(Ticks t0, const OperatorDef& /*def*/, const Node& n,
+                              const Activation& act, int worker, Ticks /*virtual_start*/,
+                              uint64_t /*arrival*/, Ticks& /*cost*/) {
+  if (!config_.enable_node_timing) return;
+  const Ticks dt = now_ticks() - t0;
+  counters_.operator_ticks.fetch_add(dt, std::memory_order_relaxed);
+  worker_data_[worker]->timings.push_back(
+      NodeTiming{n.op_name, act.tmpl->name, dt, worker,
+                 timing_seq_.fetch_add(1, std::memory_order_relaxed),
+                 t0 - run_start_ticks_});
+}
+
+uint64_t Runtime::op_arrival(const OperatorDef& /*def*/, const Node& n, bool has_plan) {
+  // Arrival counters exist only for injection-plan selection here (the
+  // simulator also needs them for cost replay, so it counts always).
+  if (has_plan && n.op_index >= 0 &&
+      static_cast<size_t>(n.op_index) < op_arrivals_.size()) {
+    return op_arrivals_[n.op_index].fetch_add(1, std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+int Runtime::last_affinity_worker(int op_index) {
+  // Operators registered after Runtime construction have no slot in
+  // op_last_worker_ (it is sized from the registry at construction);
+  // they schedule with no preference instead of indexing past the end.
+  if (op_index >= 0 && static_cast<size_t>(op_index) < op_last_worker_.size()) {
+    return op_last_worker_[op_index].load(std::memory_order_relaxed);
+  }
+  return -1;
+}
+
+void Runtime::note_affinity(int op_index, int worker) {
+  if (op_index >= 0 && static_cast<size_t>(op_index) < op_last_worker_.size()) {
+    op_last_worker_[op_index].store(worker, std::memory_order_relaxed);
+  }
+}
+
+void Runtime::on_activation_created(Activation* act) { ledger_add(act); }
+
+void Runtime::on_activation_destroyed(Activation* act) { ledger_remove(act); }
+
+void* Runtime::current_run_token() { return current_run_; }
 
 // ---------------------------------------------------------------------------
 // Work-stealing scheduler
@@ -373,7 +359,7 @@ void Runtime::ws_enqueue(WorkItem item, int priority, int target) {
       // this worker, so no work is ever dropped.
       ws_[self]->inbox[priority].push(std::move(item));
     }
-    sched_local_enqueues_.fetch_add(1, std::memory_order_relaxed);
+    counters_.sched_local_enqueues.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (num_parked_.load(std::memory_order_relaxed) > 0) ws_wake_any_parked();
     return;
@@ -395,7 +381,7 @@ void Runtime::ws_enqueue(WorkItem item, int priority, int target) {
     }
   }
   ws_[dest]->inbox[priority].push(std::move(item));
-  sched_injected_enqueues_.fetch_add(1, std::memory_order_relaxed);
+  counters_.sched_injected_enqueues.fetch_add(1, std::memory_order_relaxed);
   // A worker injecting is mid-execute (its safe window); anything else is
   // the run's caller, which records into the external ring.
   trace(self, TraceEventKind::kInject, -1, dest);
@@ -409,7 +395,7 @@ void Runtime::ws_wake(int worker) {
   // before every wait, and treats a claimed flag as a wakeup (see the
   // commit condition in worker_loop_ws), so a claim is never lost.
   if (!ws_[worker]->parked.exchange(false, std::memory_order_seq_cst)) return;
-  sched_wakeups_.fetch_add(1, std::memory_order_relaxed);
+  counters_.sched_wakeups.fetch_add(1, std::memory_order_relaxed);
   if (trace_enabled_) {
     // Attributed to the waking thread's ring: enqueuing workers are in
     // their safe window, everything else is the caller's external ring.
@@ -450,7 +436,7 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
         const size_t victim = (base + i) % n;
         if (victim == static_cast<size_t>(worker)) continue;
         if (ws_[victim]->deques[pri].steal(out)) {
-          sched_steals_.fetch_add(1, std::memory_order_relaxed);
+          counters_.sched_steals.fetch_add(1, std::memory_order_relaxed);
           if (trace_enabled_) {
             // Holding the stolen item opens the safe window: flush what
             // accumulated while idle, then record the steal itself.
@@ -461,7 +447,7 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
         }
       }
     }
-    sched_failed_steals_.fetch_add(1, std::memory_order_relaxed);
+    counters_.sched_failed_steals.fetch_add(1, std::memory_order_relaxed);
     // A dry scan happens while holding no item — outside the safe window
     // — so it only bumps an owner-private counter, flushed at the next
     // successful pop (see tracing.h).
@@ -511,7 +497,7 @@ void Runtime::worker_loop_ws(int worker) {
     // notify, and strand the item.
     if (!stopping_.load(std::memory_order_acquire) && !ws_has_work(worker) &&
         self.parked.load(std::memory_order_seq_cst)) {
-      sched_parks_.fetch_add(1, std::memory_order_relaxed);
+      counters_.sched_parks.fetch_add(1, std::memory_order_relaxed);
       if (trace_enabled_) {
         // Parked while holding no item — outside the ring's safe window.
         // Accumulate the interval owner-privately; the next successful
@@ -578,19 +564,19 @@ void Runtime::worker_loop(int worker) {
 }
 
 void Runtime::execute(const WorkItem& item, int worker) {
-  RunState* rs = item.act->run;
+  RunState* rs = static_cast<RunState*>(item.act->run);
   const Node& n = item.act->tmpl->nodes[item.node];
   const int32_t op_index = n.kind == NodeKind::kOperator ? n.op_index : -1;
   if (rs->cancelled.load(std::memory_order_acquire)) {
     // Cancelled (fail_fast fault or watchdog): discard instead of run.
-    items_purged_.fetch_add(1, std::memory_order_relaxed);
+    counters_.items_purged.fetch_add(1, std::memory_order_relaxed);
     trace(worker, TraceEventKind::kPurge, op_index);
   } else {
     try {
-      execute_node(item, worker);
+      execute_node(item.act, item.node, worker, 0);
     } catch (...) {
-      // Operator faults are captured inside the kOperator case (they
-      // carry injection/retry context); anything reaching here is a
+      // Operator faults are captured inside the core's kOperator case
+      // (they carry injection/retry context); anything reaching here is a
       // coordination-level failure at this node.
       record_fault(rs, make_fault(*item.act, item.node, std::current_exception()),
                    op_index);
@@ -600,445 +586,6 @@ void Runtime::execute(const WorkItem& item, int worker) {
     std::lock_guard<std::mutex> lock(rs->mu);
     rs->cv.notify_all();
   }
-}
-
-// ---------------------------------------------------------------------------
-// Dataflow
-// ---------------------------------------------------------------------------
-
-void Runtime::deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v) {
-  const Node& n = act->tmpl->nodes[node];
-  const size_t k = n.consumers.size();
-
-  // Decomposition fast path: kTupleGet consumers receive their element
-  // directly, and the package itself is released *before* any element is
-  // forwarded. This keeps reference counts exact, so an operator with
-  // destructive access to an element does not see a transient count from
-  // the package and copy needlessly.
-  bool any_get = false;
-  for (const PortRef& c : n.consumers) {
-    any_get = any_get || act->tmpl->nodes[c.node].kind == NodeKind::kTupleGet;
-  }
-  if (any_get) {
-    const MultiValue& mv = v.as_tuple();  // throws if not a package
-    std::vector<std::pair<uint32_t, Value>> extracted;
-    for (size_t i = 0; i < k; ++i) {
-      const PortRef& c = n.consumers[i];
-      const Node& consumer = act->tmpl->nodes[c.node];
-      if (consumer.kind == NodeKind::kTupleGet) {
-        if (consumer.tuple_index >= mv.elems.size()) {
-          throw RuntimeError("decomposition in '" + act->tmpl->name + "' needs element " +
-                             std::to_string(consumer.tuple_index) + " of a " +
-                             std::to_string(mv.elems.size()) + "-element package");
-        }
-        extracted.emplace_back(c.node, mv.elems[consumer.tuple_index]);
-      } else {
-        act->slots[consumer.input_offset + c.port] = v;
-        if (act->pending[c.node].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          schedule_node(act, c.node);
-        }
-      }
-    }
-    v = Value();  // drop the package before forwarding elements
-    for (auto& [get_node, element] : extracted) {
-      deliver(act, get_node, std::move(element));
-    }
-    return;
-  }
-
-  for (size_t i = 0; i < k; ++i) {
-    const PortRef& c = n.consumers[i];
-    const Node& consumer = act->tmpl->nodes[c.node];
-    Value copy = (i + 1 == k) ? std::move(v) : v;
-    act->slots[consumer.input_offset + c.port] = std::move(copy);
-    if (act->pending[c.node].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      schedule_node(act, c.node);
-    }
-  }
-  // k == 0: the value has no consumers (e.g. an unused binding when
-  // optimization is off) and is simply dropped.
-}
-
-std::shared_ptr<Runtime::Activation> Runtime::spawn(const CompiledProgram& program,
-                                                    const Template* tmpl,
-                                                    std::vector<Value> params,
-                                                    std::shared_ptr<Activation> cont_act,
-                                                    uint32_t cont_node, RunState* run,
-                                                    uint64_t seq,
-                                                    std::shared_ptr<ParMapCollector> collector,
-                                                    uint32_t collector_index) {
-  if (params.size() != tmpl->num_params) {
-    throw RuntimeError("activation of '" + tmpl->name + "' expects " +
-                       std::to_string(tmpl->num_params) + " values, got " +
-                       std::to_string(params.size()));
-  }
-  auto act = std::make_shared<Activation>(this, &program, tmpl, run, seq);
-  act->cont_act = std::move(cont_act);
-  act->cont_node = cont_node;
-  act->collector = std::move(collector);
-  act->collector_index = collector_index;
-  for (uint32_t i = 0; i < tmpl->nodes.size(); ++i) {
-    const Node& n = tmpl->nodes[i];
-    switch (n.kind) {
-      case NodeKind::kConst:
-        deliver(act, i, Value::from_const(n.literal));
-        break;
-      case NodeKind::kParam:
-        deliver(act, i, std::move(params[n.param_index]));
-        break;
-      default:
-        if (n.num_inputs == 0) schedule_node(act, i);
-        break;
-    }
-  }
-  return act;
-}
-
-void Runtime::spawn_child(const WorkItem& item, const Template* target,
-                          std::vector<Value> params) {
-  const Node& n = item.act->tmpl->nodes[item.node];
-  // Structural child id: same formula under both call shapes (and in
-  // SimRuntime), so the id never depends on tail-call optimization state
-  // of anything *below* this node.
-  const uint64_t seq = fault_seq_child(item.act->seq, item.node, 0);
-  if (n.is_tail && config_.enable_tail_calls) {
-    // Tail call: forward the *whole* continuation — including a parmap
-    // collector, if this activation's result was to join one. This
-    // activation can retire as soon as its remaining nodes finish (§7's
-    // early activation reuse).
-    spawn(*item.act->program, target, std::move(params), item.act->cont_act,
-          item.act->cont_node, item.act->run, seq, item.act->collector,
-          item.act->collector_index);
-  } else {
-    spawn(*item.act->program, target, std::move(params), item.act, item.node,
-          item.act->run, seq);
-  }
-}
-
-void Runtime::apply_numa_penalties(std::vector<Value>& args, int worker) {
-  for (Value& v : args) {
-    if (v.kind() != Value::Kind::kBlock) continue;
-    BlockBase& blk = *v.block_ptr();
-    const int home = blk.home_worker.load(std::memory_order_relaxed);
-    if (home >= 0 && home != worker) {
-      const int64_t kb = static_cast<int64_t>(blk.byte_size() / 1024) + 1;
-      const int64_t penalty_ns = config_.remote_penalty_ns_per_kb * kb;
-      const Ticks until = now_ticks() + penalty_ns;
-      while (now_ticks() < until) {
-        // Busy wait: models the stall of pulling a remote block across the
-        // interconnect (Butterfly-style NUMA).
-      }
-      remote_block_moves_.fetch_add(1, std::memory_order_relaxed);
-    }
-    blk.home_worker.store(worker, std::memory_order_relaxed);
-  }
-}
-
-void Runtime::execute_node(const WorkItem& item, int worker) {
-  Activation& act = *item.act;
-  const Node& n = act.tmpl->nodes[item.node];
-  nodes_executed_.fetch_add(1, std::memory_order_relaxed);
-
-  auto take_input = [&](uint16_t port) -> Value {
-    return std::move(act.slots[n.input_offset + port]);
-  };
-  auto take_all_inputs = [&]() {
-    std::vector<Value> values;
-    values.reserve(n.num_inputs);
-    for (uint16_t i = 0; i < n.num_inputs; ++i) values.push_back(take_input(i));
-    return values;
-  };
-
-  switch (n.kind) {
-    case NodeKind::kConst:
-    case NodeKind::kParam:
-      // Seeded at spawn; never queued.
-      assert(false && "const/param nodes are never scheduled");
-      break;
-
-    case NodeKind::kOperator: {
-      const OperatorDef& def = registry_.at(static_cast<size_t>(n.op_index));
-      RunState* rs = act.run;
-      std::vector<Value> args = take_all_inputs();
-      if (config_.remote_penalty_ns_per_kb > 0) apply_numa_penalties(args, worker);
-      operator_invocations_.fetch_add(1, std::memory_order_relaxed);
-      const bool timing = config_.enable_node_timing;
-      const bool track_busy = rs->watchdog_budget_ns > 0;
-      const std::span<const ConsumeClass> classes =
-          config_.unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
-                                  : std::span<const ConsumeClass>();
-      const FaultPlan* plan = rs->plan.get();
-      uint64_t arrival = 0;
-      if (plan != nullptr && n.op_index >= 0 &&
-          static_cast<size_t>(n.op_index) < op_arrivals_.size()) {
-        arrival = op_arrivals_[n.op_index].fetch_add(1, std::memory_order_relaxed);
-      }
-
-      // Retry eligibility: pure operators always qualify; destructive
-      // operators only when the sole-consumer analysis proved every
-      // destructive argument kUnique, so the pre-image snapshot below
-      // captures the entire effect of a failed attempt. kUnknown
-      // destructive arguments stay ineligible — their copy-on-write
-      // behavior depends on live reference counts a snapshot would
-      // perturb.
-      int budget = 0;
-      if (rs->max_retries > 0) {
-        bool eligible = true;
-        for (size_t i = 0; i < args.size(); ++i) {
-          if (def.is_destructive(i) &&
-              !(i < n.input_classes.size() &&
-                n.input_classes[i] == ConsumeClass::kUnique)) {
-            eligible = false;
-            break;
-          }
-        }
-        if (eligible) budget = rs->max_retries;
-      }
-
-      // Pre-image snapshot: shallow Value copies (a reference bump) for
-      // read-only arguments, deep clones for destructive ones (the
-      // kUnique path mutates those in place). Restores re-clone from the
-      // snapshot so a second retry never sees the first retry's writes.
-      auto restore_from = [&def](const std::vector<Value>& from) {
-        std::vector<Value> to;
-        to.reserve(from.size());
-        for (size_t i = 0; i < from.size(); ++i) {
-          if (def.is_destructive(i) && from[i].kind() == Value::Kind::kBlock) {
-            to.push_back(Value::of_block(from[i].block_ptr()->clone()));
-          } else {
-            to.push_back(from[i]);
-          }
-        }
-        return to;
-      };
-      std::vector<Value> snapshot;
-      if (budget > 0) snapshot = restore_from(args);
-
-      Value result;
-      bool ok = false;
-      WorkerData& wd = *worker_data_[worker];
-      for (uint32_t attempt = 0;; ++attempt) {
-        FaultDecision fd;
-        if (plan != nullptr) {
-          fd = plan->decide(def.info.name, def.info.pure, act.seq, item.node, arrival,
-                            attempt);
-          if (fd.action != FaultAction::kNone) {
-            faults_injected_.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
-        bool injected = false;
-        if (track_busy) {
-          std::lock_guard<std::mutex> lock(wd.busy_mu);
-          wd.busy_op = def.info.name;
-          wd.busy_since = now_ticks();
-        }
-        trace(worker, TraceEventKind::kOpBegin, n.op_index, attempt);
-        try {
-          if (fd.action == FaultAction::kThrow) {
-            injected = true;
-            throw RuntimeError("injected fault (attempt " + std::to_string(attempt) +
-                               ")");
-          }
-          if (fd.action == FaultAction::kStall) {
-            std::this_thread::sleep_for(std::chrono::nanoseconds(fd.stall_ns));
-          }
-          const Ticks t0 = timing ? now_ticks() : 0;
-          OpContext ctx(def, std::span<Value>(args), worker, classes);
-          result = def.fn(ctx);
-          if (track_busy) {
-            std::lock_guard<std::mutex> lock(wd.busy_mu);
-            wd.busy_op.clear();
-          }
-          // Timings and CoW stats come from the successful attempt only.
-          if (timing) {
-            const Ticks dt = now_ticks() - t0;
-            operator_ticks_.fetch_add(dt, std::memory_order_relaxed);
-            wd.timings.push_back(
-                NodeTiming{n.op_name, act.tmpl->name, dt,
-                           worker, timing_seq_.fetch_add(1, std::memory_order_relaxed),
-                           t0 - run_start_ticks_});
-          }
-          cow_copies_.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
-          cow_skipped_.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
-          if (fd.action == FaultAction::kCorrupt) {
-            // Deterministically wrong-shaped result: consumers that
-            // decompose it fault with exact provenance.
-            result = Value::tuple({});
-          }
-          trace(worker, TraceEventKind::kOpEnd, n.op_index, attempt);
-          ok = true;
-        } catch (...) {
-          if (track_busy) {
-            std::lock_guard<std::mutex> lock(wd.busy_mu);
-            wd.busy_op.clear();
-          }
-          trace(worker, TraceEventKind::kOpEnd, n.op_index, attempt);
-          if (attempt < static_cast<uint32_t>(budget)) {
-            retries_.fetch_add(1, std::memory_order_relaxed);
-            trace(worker, TraceEventKind::kRetry, n.op_index, attempt + 1);
-            const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
-            std::this_thread::sleep_for(
-                std::chrono::nanoseconds(rs->retry_backoff_ns << shift));
-            args = restore_from(snapshot);
-            continue;
-          }
-          if (budget > 0) retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
-          record_fault(rs, make_fault(act, item.node, std::current_exception(), injected),
-                       n.op_index);
-        }
-        break;
-      }
-      // A recorded fault delivers nothing: the node's consumers starve,
-      // the run drains, and the smallest-seq fault is rethrown at drain.
-      if (!ok) break;
-      if (config_.affinity == AffinityMode::kOperator && n.op_index >= 0 &&
-          static_cast<size_t>(n.op_index) < op_last_worker_.size()) {
-        op_last_worker_[n.op_index].store(worker, std::memory_order_relaxed);
-      }
-      if (result.kind() == Value::Kind::kBlock) {
-        result.block_ptr()->home_worker.store(worker, std::memory_order_relaxed);
-      }
-      deliver(item.act, item.node, std::move(result));
-      break;
-    }
-
-    case NodeKind::kTupleMake:
-      deliver(item.act, item.node, Value::tuple(take_all_inputs()));
-      break;
-
-    case NodeKind::kTupleGet:
-      // Decomposition is handled eagerly in deliver(); a kTupleGet node is
-      // never scheduled.
-      throw RuntimeError("internal: kTupleGet node reached the ready queue");
-
-    case NodeKind::kMakeClosure: {
-      const Template* target = act.program->templates[n.target_template].get();
-      deliver(item.act, item.node, Value::closure(target, take_all_inputs()));
-      break;
-    }
-
-    case NodeKind::kCall: {
-      const Template* target = act.program->templates[n.target_template].get();
-      spawn_child(item, target, take_all_inputs());
-      break;
-    }
-
-    case NodeKind::kCallClosure: {
-      Value callee = take_input(0);
-      const Template* target = callee.as_closure().tmpl;
-      const uint32_t given = n.num_inputs - 1u;
-      if (given != target->explicit_params()) {
-        throw RuntimeError("closure '" + target->name + "' expects " +
-                           std::to_string(target->explicit_params()) + " argument(s), got " +
-                           std::to_string(given));
-      }
-      std::vector<Value> params;
-      std::vector<Value> captures = callee.take_closure_captures();
-      params.reserve(given + captures.size());
-      for (uint16_t i = 1; i < n.num_inputs; ++i) params.push_back(take_input(i));
-      for (Value& cap : captures) params.push_back(std::move(cap));
-      callee = Value();  // release the closure before the child can run
-      spawn_child(item, target, std::move(params));
-      break;
-    }
-
-    case NodeKind::kIfDispatch: {
-      const bool cond = take_input(0).truthy();
-      // Take *both* closures: the untaken branch must release its captured
-      // values now, so reference counts stay exact for copy-on-write.
-      Value then_clo = take_input(1);
-      Value else_clo = take_input(2);
-      Value chosen = cond ? std::move(then_clo) : std::move(else_clo);
-      then_clo = Value();
-      else_clo = Value();
-      const Template* target = chosen.as_closure().tmpl;
-      if (target->explicit_params() != 0) {
-        throw RuntimeError("internal: branch template '" + target->name +
-                           "' must take no explicit arguments");
-      }
-      std::vector<Value> params = chosen.take_closure_captures();
-      chosen = Value();  // release the closure before the child can run
-      spawn_child(item, target, std::move(params));
-      break;
-    }
-
-    case NodeKind::kParMap: {
-      Value fn = take_input(0);
-      Value pkg = take_input(1);
-      const Template* target = fn.as_closure().tmpl;
-      if (target->explicit_params() != 1) {
-        throw RuntimeError("parmap: '" + target->name +
-                           "' must take exactly one argument, takes " +
-                           std::to_string(target->explicit_params()));
-      }
-      const size_t k = pkg.as_tuple().elems.size();
-      if (k == 0) {
-        deliver(item.act, item.node, Value::tuple({}));
-        break;
-      }
-      // Prepare every child's parameters first, then release the package
-      // and closure, so element reference counts are exact before any
-      // child can run (the copy-on-write discipline).
-      std::vector<std::vector<Value>> params_list;
-      params_list.reserve(k);
-      {
-        const MultiValue& mv = pkg.as_tuple();
-        const Closure& c = fn.as_closure();
-        for (size_t i = 0; i < k; ++i) {
-          std::vector<Value> params;
-          params.reserve(1 + c.captures.size());
-          params.push_back(mv.elems[i]);
-          for (const Value& cap : c.captures) params.push_back(cap);
-          params_list.push_back(std::move(params));
-        }
-      }
-      pkg = Value();
-      fn = Value();
-      auto collector = std::make_shared<ParMapCollector>();
-      collector->results.resize(k);
-      collector->remaining.store(static_cast<int>(k), std::memory_order_relaxed);
-      if (n.is_tail && config_.enable_tail_calls) {
-        collector->cont_act = act.cont_act;
-        collector->cont_node = act.cont_node;
-      } else {
-        collector->cont_act = item.act;
-        collector->cont_node = item.node;
-      }
-      for (size_t i = 0; i < k; ++i) {
-        spawn(*act.program, target, std::move(params_list[i]), nullptr, 0, act.run,
-              fault_seq_child(act.seq, item.node, static_cast<uint32_t>(i) + 1),
-              collector, static_cast<uint32_t>(i));
-      }
-      break;
-    }
-
-    case NodeKind::kReturn: {
-      Value v = take_input(0);
-      if (act.collector != nullptr) {
-        ParMapCollector& col = *act.collector;
-        col.results[act.collector_index] = std::move(v);
-        if (col.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          Value package = Value::tuple(std::move(col.results));
-          if (col.cont_act != nullptr) {
-            deliver(col.cont_act, col.cont_node, std::move(package));
-          } else {
-            deliver_final(act.run, std::move(package));
-          }
-        }
-      } else if (act.cont_act != nullptr) {
-        deliver(act.cont_act, act.cont_node, std::move(v));
-      } else {
-        deliver_final(act.run, std::move(v));
-      }
-      break;
-    }
-  }
-}
-
-void Runtime::deliver_final(RunState* rs, Value v) {
-  std::lock_guard<std::mutex> lock(rs->mu);
-  rs->result = std::move(v);
-  rs->have_result = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -1065,22 +612,14 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
     throw RuntimeError("program has no function named '" + name + "'");
   }
 
-  RunState rs;
-  rs.program = &program;
+  program_ = &program;
+  // Resolve the fault policy for this run (config + environment
+  // overrides; an injection plan attached to the registry beats the
+  // environment spec) — shared with SimRuntime via the core.
+  resolve_run_policy();
 
-  // Resolve the fault policy for this run: config, overridable by the
-  // environment (mirrors the DELIRIUM_SCHEDULER pattern); an injection
-  // plan attached to the registry beats the environment spec.
-  rs.plan = registry_.fault_plan() != nullptr ? registry_.fault_plan()
-                                              : FaultPlan::from_env();
-  rs.max_retries = config_.max_retries;
-  if (const char* env = std::getenv("DELIRIUM_RETRIES")) {
-    rs.max_retries = static_cast<int>(std::strtol(env, nullptr, 10));
-  }
-  if (rs.max_retries < 0) rs.max_retries = 0;
-  rs.retry_backoff_ns = config_.retry_backoff_ns > 0 ? config_.retry_backoff_ns : 0;
+  RunState rs;
   rs.watchdog_budget_ns = config_.watchdog_budget_ms * 1000000;
-  rs.fail_fast = config_.fail_fast;
   current_run_ = &rs;
 
   // Trace timestamps (and NodeTiming::start) are relative to this point.
@@ -1110,7 +649,7 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
     }
   };
   try {
-    root = spawn(program, tmpl, std::move(args), nullptr, 0, &rs, fault_seq_root());
+    root = spawn(tmpl, std::move(args), nullptr, 0, fault_seq_root(), 0);
   } catch (...) {
     // The root spawn may fault after scheduling part of the activation;
     // drain whatever was enqueued before rethrowing.
@@ -1132,11 +671,10 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   bool have_fault = false;
   {
     std::lock_guard<std::mutex> lock(rs.mu);
-    for (FaultInfo& f : rs.faults) {
-      if (!have_fault || fault_before(f, winner)) {
-        winner = std::move(f);
-        have_fault = true;
-      }
+    const int best = smallest_fault_index(rs.faults);
+    if (best >= 0) {
+      winner = std::move(rs.faults[static_cast<size_t>(best)]);
+      have_fault = true;
     }
   }
   std::string stranded;
@@ -1149,35 +687,14 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
   if (have_fault) throw FaultError(std::move(winner));
   if (rs.watchdog_fired) throw RuntimeError(rs.watchdog_message);
   if (!rs.have_result) {
-    throw RuntimeError(
-        "program finished without producing a result (a value was never "
-        "delivered — dataflow deadlock)\nstranded activations:\n" + stranded);
+    throw RuntimeError(build_deadlock_message(/*simulated=*/false, stranded));
   }
   return std::move(rs.result);
 }
 
 void Runtime::reset_run_accumulators() {
-  activations_created_.store(0);
-  peak_live_activations_.store(0);
-  nodes_executed_.store(0);
-  operator_invocations_.store(0);
-  cow_copies_.store(0);
-  cow_skipped_.store(0);
-  remote_block_moves_.store(0);
-  operator_ticks_.store(0);
+  reset_core_run_state();
   timing_seq_.store(0);
-  sched_local_enqueues_.store(0);
-  sched_injected_enqueues_.store(0);
-  sched_steals_.store(0);
-  sched_failed_steals_.store(0);
-  sched_parks_.store(0);
-  sched_wakeups_.store(0);
-  faults_raised_.store(0);
-  faults_injected_.store(0);
-  retries_.store(0);
-  retries_exhausted_.store(0);
-  items_purged_.store(0);
-  watchdog_fires_.store(0);
   for (auto& wd : worker_data_) wd->timings.clear();
   for (auto& a : op_arrivals_) a.store(0, std::memory_order_relaxed);
   merged_timings_.clear();
@@ -1195,26 +712,7 @@ void Runtime::reset_run_accumulators() {
 }
 
 void Runtime::finish_run_bookkeeping() {
-  stats_.activations_created = activations_created_.load();
-  stats_.peak_live_activations = peak_live_activations_.load();
-  stats_.nodes_executed = nodes_executed_.load();
-  stats_.operator_invocations = operator_invocations_.load();
-  stats_.cow_copies = cow_copies_.load();
-  stats_.cow_skipped = cow_skipped_.load();
-  stats_.remote_block_moves = remote_block_moves_.load();
-  stats_.operator_ticks = operator_ticks_.load();
-  stats_.sched_local_enqueues = sched_local_enqueues_.load();
-  stats_.sched_injected_enqueues = sched_injected_enqueues_.load();
-  stats_.sched_steals = sched_steals_.load();
-  stats_.sched_failed_steals = sched_failed_steals_.load();
-  stats_.sched_parks = sched_parks_.load();
-  stats_.sched_wakeups = sched_wakeups_.load();
-  stats_.faults_raised = faults_raised_.load();
-  stats_.faults_injected = faults_injected_.load();
-  stats_.retries = retries_.load();
-  stats_.retries_exhausted = retries_exhausted_.load();
-  stats_.items_purged = items_purged_.load();
-  stats_.watchdog_fires = watchdog_fires_.load();
+  snapshot_core_stats(stats_);
   for (auto& wd : worker_data_) {
     merged_timings_.insert(merged_timings_.end(), wd->timings.begin(), wd->timings.end());
   }

@@ -1,15 +1,14 @@
-// The Delirium runtime system (§7 of the paper).
+// The threaded Delirium runtime (§7 of the paper).
 //
-// Executes coordination graphs by *template activation*: each function
-// call instantiates a small record with buffer space for one evaluation
-// of the function's template. A three-level priority ready queue (normal
-// operators > non-recursive call-closures > recursive call-closures)
-// keeps the number of live activations low; tail calls forward their
-// continuation so loops run in constant activation space.
-//
-// Results are deterministic regardless of the number of workers: all
-// shared memory is passed explicitly, and a block is destructively
-// modified only through its sole reference (copy-on-write otherwise).
+// All graph semantics — template activation, port fill and firing, the
+// copy-on-write discipline, fault capture/retry, trace and stats
+// emission — live in the shared ExecutorCore (executor_core.h); this
+// header adds the *machine*: a pool of worker threads, the two ready-
+// queue implementations (single-mutex global-lock and lock-free
+// work-stealing), eventcount parking, the wall-clock watchdog, and
+// per-worker trace rings. SimRuntime (sim.h) plugs a virtual-time
+// machine into the same core, so results are deterministic and
+// byte-identical across both executors regardless of worker count.
 #pragma once
 
 #include <array>
@@ -23,22 +22,12 @@
 #include <unordered_set>
 #include <vector>
 
-#include "src/graph/template.h"
-#include "src/runtime/fault.h"
-#include "src/runtime/registry.h"
-#include "src/runtime/tracing.h"
-#include "src/runtime/value.h"
-#include "src/support/clock.h"
+#include "src/runtime/executor_core.h"
 #include "src/support/eventcount.h"
 #include "src/support/mpsc_queue.h"
 #include "src/support/work_steal_deque.h"
 
 namespace delirium {
-
-/// Locality heuristics from §9.3. kOperator prefers the worker that last
-/// ran the operator; kData prefers the home worker of the largest input
-/// block. Neither affects computed values.
-enum class AffinityMode { kNone, kOperator, kData };
 
 /// Ready-queue implementation. kGlobalLock is the original single-mutex
 /// scheduler (kept for A/B ablation; see bench_scheduler); kWorkStealing
@@ -48,106 +37,23 @@ enum class AffinityMode { kNone, kOperator, kData };
 /// both — only the schedule changes.
 enum class SchedulerKind { kGlobalLock, kWorkStealing };
 
-struct RuntimeConfig {
+/// Threaded-machine knobs. Everything shared with SimRuntime lives in
+/// the ExecConfig base (executor_core.h) so a knob exists in both
+/// executors by construction.
+struct RuntimeConfig : ExecConfig {
   /// Worker threads ("processors"). 0 means hardware concurrency.
   int num_workers = 0;
-  /// Record per-node execution times (the case studies' "node timings").
-  bool enable_node_timing = false;
-  /// Use the three-level priority queue of §7; false degrades to a single
-  /// FIFO (the ablation measured by bench_priority).
-  bool use_priorities = true;
-  /// Forward continuations on tail calls (§7's early activation reuse);
-  /// false nests every call — the ablation shows loops then consume
-  /// activations proportional to their iteration count.
-  bool enable_tail_calls = true;
-  AffinityMode affinity = AffinityMode::kNone;
-  /// Simulated NUMA: cost, in nanoseconds per KiB, of an operator touching
-  /// a block whose home is another worker (models the BBN Butterfly's
-  /// expensive remote references). 0 disables the model.
-  int64_t remote_penalty_ns_per_kb = 0;
-  /// Honor kUnique consume-class annotations from the sole-consumer
-  /// analysis: mutate such arguments in place without the uniqueness
-  /// test or clone. Kill switch for A/B runs and debugging.
-  bool unique_fastpath = true;
   /// Ready-queue implementation; overridable via the DELIRIUM_SCHEDULER
   /// environment variable ("global_lock" / "work_stealing").
   SchedulerKind scheduler = SchedulerKind::kWorkStealing;
-  /// Automatic retries of a faulting retry-eligible operator: pure
-  /// operators, and destructive operators whose every destructive
-  /// argument the sole-consumer analysis proved kUnique (a pre-image
-  /// snapshot then makes the retry exact). 0 disables retry.
-  /// Overridable via the DELIRIUM_RETRIES environment variable.
-  int max_retries = 0;
-  /// Base delay before a retry, doubled per attempt. Wall-clock here;
-  /// SimRuntime applies the same policy in virtual time.
-  int64_t retry_backoff_ns = 1000;
   /// Watchdog: whole-run wall-clock budget in milliseconds; 0 disables.
   /// A fired watchdog cancels the run and reports which operators were
   /// executing and which activations were stranded waiting for inputs.
+  /// (SimRuntime's watchdog budget is in *virtual* ns — see SimConfig.)
   int64_t watchdog_budget_ms = 0;
-  /// Cancel the run on the first captured fault instead of draining.
-  /// Fails faster, but the reported fault may then depend on the
-  /// schedule (see docs/ROBUSTNESS.md for the determinism contract).
-  bool fail_fast = false;
-  /// Record the trace event stream (operator begin/end, scheduler and
-  /// fault events) into per-worker ring buffers; read it back with
-  /// trace_events() and export with tools::write_trace_events. Off by
-  /// default — the disabled path costs one predictable branch per hook
-  /// (bench_trace_overhead). Overridable via the DELIRIUM_TRACE
-  /// environment variable ("0"/"1"); see docs/OBSERVABILITY.md.
-  bool enable_tracing = false;
-  /// Per-worker trace ring capacity in events (rounded up to a power of
-  /// two). When a ring fills, the oldest events are overwritten and
-  /// counted in trace_events_overwritten(). Overridable via
-  /// DELIRIUM_TRACE_CAPACITY.
-  size_t trace_capacity = kDefaultTraceCapacity;
 };
 
-/// One operator execution, for the node-timing report.
-struct NodeTiming {
-  std::string label;     // operator name
-  std::string tmpl;      // template it ran in
-  Ticks duration = 0;    // nanoseconds
-  int worker = 0;
-  uint64_t seq = 0;      // global completion order
-  /// When the operator started: wall-clock ns relative to the run start
-  /// (Runtime) or exact virtual ns (SimRuntime). Lets trace export place
-  /// slices with true gaps instead of packing durations end-to-end.
-  Ticks start = 0;
-};
-
-struct RunStats {
-  uint64_t activations_created = 0;
-  uint64_t peak_live_activations = 0;
-  uint64_t nodes_executed = 0;
-  uint64_t operator_invocations = 0;
-  uint64_t cow_copies = 0;          // blocks copied to preserve determinism
-  uint64_t cow_skipped = 0;         // clones elided via kUnique annotations
-  uint64_t remote_block_moves = 0;  // NUMA-simulated block migrations
-  Ticks operator_ticks = 0;         // total time inside operators
-
-  // Scheduler counters. The global-lock scheduler fills only the enqueue
-  // split (every enqueue is "local": one shared queue); SimRuntime
-  // reports every virtual enqueue as local and the rest as zero, so
-  // tooling sees one schema across all three executors.
-  uint64_t sched_local_enqueues = 0;     // pushed to the enqueuer's own deque
-  uint64_t sched_injected_enqueues = 0;  // crossed workers via an MPSC inbox
-  uint64_t sched_steals = 0;             // items taken from a victim's deque
-  uint64_t sched_failed_steals = 0;      // full victim scans that found nothing
-  uint64_t sched_parks = 0;              // times a worker slept on its eventcount
-  uint64_t sched_wakeups = 0;            // notifications sent to parked workers
-
-  // Fault counters (docs/ROBUSTNESS.md), mirrored by SimRuntime so the
-  // two executors report recovery behavior through one schema.
-  uint64_t faults_raised = 0;      // faults captured and surfaced at drain
-  uint64_t faults_injected = 0;    // injection-plan actions that fired
-  uint64_t retries = 0;            // operator attempts re-run after a fault
-  uint64_t retries_exhausted = 0;  // operators whose retry budget ran out
-  uint64_t items_purged = 0;       // queued items discarded by cancellation
-  uint64_t watchdog_fires = 0;     // stall-detector activations
-};
-
-class Runtime {
+class Runtime : public ExecutorCore<Runtime> {
  public:
   explicit Runtime(const OperatorRegistry& registry, RuntimeConfig config = {});
   ~Runtime();
@@ -183,9 +89,12 @@ class Runtime {
   const OperatorRegistry& registry() const { return registry_; }
 
  private:
-  struct Activation;
+  // The core drives the machine hooks below and its nested Activation
+  // touches the ledger callbacks, so it (and its nested classes) need
+  // access to this private section.
+  friend class ExecutorCore<Runtime>;
+
   struct RunState;
-  struct ParMapCollector;
   struct WorkItem {
     std::shared_ptr<Activation> act;
     uint32_t node = 0;
@@ -230,6 +139,29 @@ class Runtime {
     bool has_pending_park = false;
   };
 
+  // -- MachineModel hooks (called by ExecutorCore; see executor_core.h) --
+  static constexpr bool kVirtualTime = false;
+  Ticks node_base_cost() { return 0; }
+  void enqueue_ready(const std::shared_ptr<Activation>& act, uint32_t node, Ticks when);
+  void deliver_final(Value v, Ticks when);
+  void trace_from_core(int worker, Ticks ts, TraceEventKind kind, int32_t op, int64_t arg);
+  void record_fault_from_core(FaultInfo f, int32_t op_index, Ticks ts, int worker);
+  void charge_remote(Ticks ns, Ticks& cost);
+  void charge_stall(Ticks ns, Ticks& cost);
+  void charge_backoff(Ticks ns, Ticks& cost);
+  void busy_begin(int worker, const OperatorDef& def);
+  void busy_end(int worker);
+  Ticks op_clock_begin();
+  void op_note_success(Ticks t0, const OperatorDef& def, const Node& n,
+                       const Activation& act, int worker, Ticks virtual_start,
+                       uint64_t arrival, Ticks& cost);
+  uint64_t op_arrival(const OperatorDef& def, const Node& n, bool has_plan);
+  int last_affinity_worker(int op_index);
+  void note_affinity(int op_index, int worker);
+  void on_activation_created(Activation* act);
+  void on_activation_destroyed(Activation* act);
+  void* current_run_token();
+
   void worker_loop(int worker);     // kGlobalLock
   void worker_loop_ws(int worker);  // kWorkStealing
   bool pop_item(int worker, WorkItem& out);  // called with sched_mu_ held
@@ -239,21 +171,9 @@ class Runtime {
   void ws_wake(int worker);    // notify one specific parked worker
   void ws_wake_any_parked();   // notify some parked worker, if any
   void execute(const WorkItem& item, int worker);
-  void execute_node(const WorkItem& item, int worker);
 
-  std::shared_ptr<Activation> spawn(const CompiledProgram& program, const Template* tmpl,
-                                    std::vector<Value> params,
-                                    std::shared_ptr<Activation> cont_act, uint32_t cont_node,
-                                    RunState* run, uint64_t seq,
-                                    std::shared_ptr<ParMapCollector> collector = nullptr,
-                                    uint32_t collector_index = 0);
-  void deliver_final(RunState* rs, Value v);
-  void spawn_child(const WorkItem& item, const Template* target, std::vector<Value> params);
-  void deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v);
-  void schedule_node(const std::shared_ptr<Activation>& act, uint32_t node);
   void reset_run_accumulators();
   void finish_run_bookkeeping();
-  void apply_numa_penalties(std::vector<Value>& args, int worker);
 
   // Tracing (docs/OBSERVABILITY.md). The disabled path is one branch.
   // `worker` selects the target ring; -1 (a thread outside the pool —
@@ -274,7 +194,6 @@ class Runtime {
   std::vector<StrandedActivation> collect_stranded(const RunState* rs);
   std::string dump_busy_workers();
 
-  const OperatorRegistry& registry_;
   RuntimeConfig config_;
 
   // kGlobalLock scheduler state: one mutex guards all queues. Three
@@ -312,34 +231,12 @@ class Runtime {
   std::vector<TraceEvent> merged_trace_;
   uint64_t trace_overwritten_ = 0;
 
-  // Statistics (atomic accumulators, snapshotted into stats_ per run).
-  std::atomic<uint64_t> activations_created_{0};
-  std::atomic<int64_t> live_activations_{0};
-  std::atomic<uint64_t> peak_live_activations_{0};
-  std::atomic<uint64_t> nodes_executed_{0};
-  std::atomic<uint64_t> operator_invocations_{0};
-  std::atomic<uint64_t> cow_copies_{0};
-  std::atomic<uint64_t> cow_skipped_{0};
-  std::atomic<uint64_t> remote_block_moves_{0};
-  std::atomic<int64_t> operator_ticks_{0};
+  /// Global completion order for node timings (the dataflow counters
+  /// themselves live in ExecutorCore's StatCounters).
   std::atomic<uint64_t> timing_seq_{0};
-  std::atomic<uint64_t> sched_local_enqueues_{0};
-  std::atomic<uint64_t> sched_injected_enqueues_{0};
-  std::atomic<uint64_t> sched_steals_{0};
-  std::atomic<uint64_t> sched_failed_steals_{0};
-  std::atomic<uint64_t> sched_parks_{0};
-  std::atomic<uint64_t> sched_wakeups_{0};
-  std::atomic<uint64_t> faults_raised_{0};
-  std::atomic<uint64_t> faults_injected_{0};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> retries_exhausted_{0};
-  std::atomic<uint64_t> items_purged_{0};
-  std::atomic<uint64_t> watchdog_fires_{0};
 
   RunStats stats_;
   std::vector<NodeTiming> merged_timings_;
-
-  friend struct Activation;
 };
 
 }  // namespace delirium

@@ -1,11 +1,10 @@
 #include "src/runtime/sim.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <limits>
 #include <memory>
-#include <string_view>
 #include <unordered_set>
+#include <utility>
 
 #include "src/support/clock.h"
 
@@ -15,49 +14,11 @@ namespace {
 constexpr Ticks kNever = std::numeric_limits<Ticks>::max();
 }  // namespace
 
-struct SimRuntime::Impl {
-  struct Activation;
-
-  /// Virtual-time join for kParMap: the package is delivered when the
-  /// last child returns, at the latest child completion time.
-  struct Collector {
-    std::vector<Value> results;
-    int remaining = 0;
-    Ticks latest = 0;
-    std::shared_ptr<Activation> cont_act;
-    uint32_t cont_node = 0;
-  };
-
-  struct Activation {
-    Activation(Impl* sim_in, const Template* tmpl_in, uint64_t seq_in)
-        : sim(sim_in), tmpl(tmpl_in), seq(seq_in), slots(tmpl_in->value_slots),
-          pending(tmpl_in->nodes.size()), ready_at(tmpl_in->nodes.size(), 0) {
-      for (size_t i = 0; i < tmpl->nodes.size(); ++i) pending[i] = tmpl->nodes[i].num_inputs;
-      ++sim->stats.activations_created;
-      ++sim->live;
-      sim->stats.peak_live_activations =
-          std::max<uint64_t>(sim->stats.peak_live_activations, sim->live);
-      sim->live_acts.insert(this);
-    }
-    ~Activation() {
-      sim->live_acts.erase(this);
-      --sim->live;
-    }
-
-    Impl* sim;
-    const Template* tmpl;
-    /// Deterministic structural sequence id (see fault.h) — computed by
-    /// the same formula as the threaded runtime, so fault reports match
-    /// byte for byte across the two executors.
-    uint64_t seq;
-    std::vector<Value> slots;
-    std::vector<int32_t> pending;
-    std::vector<Ticks> ready_at;  // per node: when its last input arrived
-    std::shared_ptr<Activation> cont_act;
-    uint32_t cont_node = 0;
-    std::shared_ptr<Collector> collector;
-    uint32_t collector_index = 0;
-  };
+/// The virtual MachineModel: a discrete-event P-processor simulator
+/// plugged into the shared ExecutorCore. One Impl per run.
+struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
+  // Re-exposed for SimRuntime::run_function's faulting-run snapshot.
+  using ExecutorCore<SimRuntime::Impl>::snapshot_core_stats;
 
   struct ReadyItem {
     std::shared_ptr<Activation> act;
@@ -68,15 +29,12 @@ struct SimRuntime::Impl {
     int preferred = -1;    // affinity target processor
   };
 
-  const OperatorRegistry& registry;
   SimConfig config;
-  const CompiledProgram* program = nullptr;
 
   // Declared before `ready`: activation destructors unregister from
-  // live_acts and update live/stats, so these must outlive any queued
-  // activation if a run aborts with items still enqueued.
-  uint64_t live = 0;
-  RunStats stats;
+  // live_acts, so it must outlive any queued activation if a run aborts
+  // with items still enqueued. (The pool and counters live in the base
+  // subobject, which outlives every member.)
   std::unordered_set<Activation*> live_acts;
 
   std::vector<ReadyItem> ready;  // unsorted; selection scans (small queues)
@@ -88,21 +46,30 @@ struct SimRuntime::Impl {
   bool have_result = false;
   Ticks final_time = 0;
 
-  // Fault handling (docs/ROBUSTNESS.md) — the single-threaded mirror of
-  // Runtime's machinery: no locks, virtual-time backoff and watchdog.
+  // Fault handling (docs/ROBUSTNESS.md): capture/retry is the core's;
+  // this machine adds virtual-time backoff and the virtual watchdog.
   std::vector<FaultInfo> faults;
-  std::shared_ptr<const FaultPlan> plan;
-  int max_retries = 0;
   bool cancelled = false;
   bool watchdog_fired = false;
   std::string watchdog_message;
 
-  // Tracing mirror (tracing.h): same kinds, same per-kind arg meanings,
-  // exact virtual timestamps, one growable vector (single-threaded — no
-  // rings needed). Sequence numbers are the record order.
+  // Tracing (tracing.h): same kinds, same per-kind arg meanings, exact
+  // virtual timestamps, one growable vector (single-threaded — no rings
+  // needed, trace_capacity is ignored). Sequence numbers are the record
+  // order.
   std::vector<TraceEvent> trace;
   uint64_t trace_seq = 0;
   bool tracing = false;
+
+  std::vector<int> op_last_proc;  // operator-affinity memory
+  std::unordered_map<std::string, size_t> op_occurrence;  // for cost replay
+
+  Impl(const OperatorRegistry& r, const SimConfig& c)
+      : ExecutorCore<SimRuntime::Impl>(r), config(c) {
+    init_exec(&config);
+    proc_avail.assign(config.num_procs, 0);
+    proc_busy.assign(config.num_procs, 0);
+  }
 
   void trace_event(Ticks ts, int proc, TraceEventKind kind, int32_t op = -1,
                    int64_t arg = 0) {
@@ -118,7 +85,7 @@ struct SimRuntime::Impl {
   }
 
   void record_fault(FaultInfo f, Ticks ts = 0, int proc = -1, int32_t op_index = -1) {
-    ++stats.faults_raised;
+    counters_.faults_raised.fetch_add(1, std::memory_order_relaxed);
     trace_event(ts, proc, TraceEventKind::kFaultRaise, op_index,
                 static_cast<int64_t>(f.seq));
     faults.push_back(std::move(f));
@@ -127,138 +94,105 @@ struct SimRuntime::Impl {
 
   std::vector<StrandedActivation> collect_stranded() {
     std::vector<StrandedActivation> out;
-    for (Activation* a : live_acts) {
-      StrandedActivation sa;
-      sa.seq = a->seq;
-      sa.tmpl = a->tmpl->name;
-      for (uint32_t i = 0; i < a->tmpl->nodes.size(); ++i) {
-        const Node& node = a->tmpl->nodes[i];
-        if (node.num_inputs == 0) continue;
-        const int32_t missing = a->pending[i];
-        if (missing <= 0) continue;
-        if (missing == node.num_inputs) {
-          ++sa.never_fed;
-        } else {
-          sa.partial.push_back(
-              StrandedNode{i, fault_node_label(node), missing, node.num_inputs});
-        }
-      }
-      if (!sa.partial.empty() || sa.never_fed > 0) out.push_back(std::move(sa));
-    }
+    for (Activation* a : live_acts) append_stranded(*a, out);
     return out;
   }
 
-  Impl(const OperatorRegistry& r, const SimConfig& c) : registry(r), config(c) {
-    proc_avail.assign(config.num_procs, 0);
-    proc_busy.assign(config.num_procs, 0);
-  }
+  // -- MachineModel hooks (called by ExecutorCore) ---------------------------
 
-  void enqueue(const std::shared_ptr<Activation>& act, uint32_t node, Ticks when) {
+  static constexpr bool kVirtualTime = true;
+
+  Ticks node_base_cost() { return config.node_overhead_ns; }
+
+  void enqueue_ready(const std::shared_ptr<Activation>& act, uint32_t node, Ticks when) {
     const Node& n = act->tmpl->nodes[node];
     // Mirror the threaded scheduler's counter schema: the simulator has
     // one virtual ready queue, so every enqueue is "local" and the
     // steal/park/wakeup counters stay zero.
-    ++stats.sched_local_enqueues;
+    counters_.sched_local_enqueues.fetch_add(1, std::memory_order_relaxed);
     ReadyItem item;
     item.act = act;
     item.node = node;
     item.ready = when;
     item.seq = next_seq++;
     item.priority = config.use_priorities ? static_cast<int>(n.priority) : 0;
-    if (config.affinity == AffinityMode::kOperator && n.kind == NodeKind::kOperator &&
-        n.op_index >= 0) {
-      item.preferred = op_last_proc.size() > static_cast<size_t>(n.op_index)
-                           ? op_last_proc[n.op_index]
-                           : -1;
-    } else if (config.affinity == AffinityMode::kData && n.kind == NodeKind::kOperator) {
-      size_t best_bytes = 0;
-      for (uint16_t i = 0; i < n.num_inputs; ++i) {
-        const Value& v = act->slots[n.input_offset + i];
-        if (v.kind() == Value::Kind::kBlock) {
-          const auto& blk = v.block_ptr();
-          const int home = blk->home_worker.load(std::memory_order_relaxed);
-          if (home >= 0 && blk->byte_size() > best_bytes) {
-            best_bytes = blk->byte_size();
-            item.preferred = home;
-          }
-        }
-      }
-    }
+    item.preferred = affinity_preference(*act, n);
     ready.push_back(std::move(item));
   }
 
-  std::vector<int> op_last_proc;  // operator-affinity memory
-  std::unordered_map<std::string, size_t> op_occurrence;  // for cost replay
+  void deliver_final(Value v, Ticks when) {
+    final_result = std::move(v);
+    have_result = true;
+    final_time = when;
+  }
 
-  void deliver(const std::shared_ptr<Activation>& act, uint32_t node, Value v, Ticks when) {
-    const Node& n = act->tmpl->nodes[node];
-    const size_t k = n.consumers.size();
+  void trace_from_core(int proc, Ticks ts, TraceEventKind kind, int32_t op, int64_t arg) {
+    trace_event(ts, proc, kind, op, arg);
+  }
 
-    bool any_get = false;
-    for (const PortRef& c : n.consumers) {
-      any_get = any_get || act->tmpl->nodes[c.node].kind == NodeKind::kTupleGet;
+  void record_fault_from_core(FaultInfo f, int32_t op_index, Ticks ts, int proc) {
+    record_fault(std::move(f), ts, proc, op_index);
+  }
+
+  // Virtual NUMA pulls, injected stalls, and retry backoff are all
+  // charged to the virtual clock instead of spun/slept — deterministic.
+  void charge_remote(Ticks ns, Ticks& cost) { cost += ns; }
+  void charge_stall(Ticks ns, Ticks& cost) { cost += ns; }
+  void charge_backoff(Ticks ns, Ticks& cost) { cost += ns; }
+
+  // No wall-clock watchdog here (the virtual one lives in the run loop).
+  void busy_begin(int /*proc*/, const OperatorDef& /*def*/) {}
+  void busy_end(int /*proc*/) {}
+
+  // Operators always run under the cost clock: their measured (or
+  // replayed) wall time *is* the virtual cost model.
+  Ticks op_clock_begin() { return now_ticks(); }
+
+  void op_note_success(Ticks t0, const OperatorDef& def, const Node& n,
+                       const Activation& act, int proc, Ticks virtual_start,
+                       uint64_t occurrence, Ticks& cost) {
+    Ticks measured = now_ticks() - t0;
+    if (config.record_costs != nullptr) {
+      config.record_costs->per_op[def.info.name].push_back(measured);
     }
-    if (any_get) {
-      const MultiValue& mv = v.as_tuple();
-      std::vector<std::pair<uint32_t, Value>> extracted;
-      for (size_t i = 0; i < k; ++i) {
-        const PortRef& c = n.consumers[i];
-        const Node& consumer = act->tmpl->nodes[c.node];
-        if (consumer.kind == NodeKind::kTupleGet) {
-          if (consumer.tuple_index >= mv.elems.size()) {
-            throw RuntimeError("decomposition in '" + act->tmpl->name + "' needs element " +
-                               std::to_string(consumer.tuple_index) + " of a " +
-                               std::to_string(mv.elems.size()) + "-element package");
-          }
-          extracted.emplace_back(c.node, mv.elems[consumer.tuple_index]);
-        } else {
-          write_slot(act, c, v, when);
-        }
+    if (config.replay_costs != nullptr) {
+      auto it = config.replay_costs->per_op.find(def.info.name);
+      if (it != config.replay_costs->per_op.end() && occurrence < it->second.size()) {
+        measured = it->second[occurrence];
       }
-      v = Value();
-      for (auto& [get_node, element] : extracted) {
-        deliver(act, get_node, std::move(element), when);
-      }
-      return;
     }
-    for (size_t i = 0; i < k; ++i) {
-      const PortRef& c = n.consumers[i];
-      Value copy = (i + 1 == k) ? std::move(v) : v;
-      write_slot(act, c, std::move(copy), when);
+    cost += measured;
+    counters_.operator_ticks.fetch_add(measured, std::memory_order_relaxed);
+    if (config.enable_node_timing) {
+      timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
+                                   static_cast<uint64_t>(timings.size()), virtual_start});
     }
   }
 
-  void write_slot(const std::shared_ptr<Activation>& act, const PortRef& c, Value v,
-                  Ticks when) {
-    const Node& consumer = act->tmpl->nodes[c.node];
-    act->slots[consumer.input_offset + c.port] = std::move(v);
-    act->ready_at[c.node] = std::max(act->ready_at[c.node], when);
-    if (--act->pending[c.node] == 0) enqueue(act, c.node, act->ready_at[c.node]);
+  uint64_t op_arrival(const OperatorDef& def, const Node& /*n*/, bool /*has_plan*/) {
+    // Counted unconditionally (unlike the threaded runtime): cost replay
+    // needs the occurrence index even with no injection plan.
+    return op_occurrence[def.info.name]++;
   }
 
-  std::shared_ptr<Activation> spawn(const Template* tmpl, std::vector<Value> params,
-                                    std::shared_ptr<Activation> cont_act, uint32_t cont_node,
-                                    Ticks when, uint64_t act_seq) {
-    if (params.size() != tmpl->num_params) {
-      throw RuntimeError("activation of '" + tmpl->name + "' expects " +
-                         std::to_string(tmpl->num_params) + " values, got " +
-                         std::to_string(params.size()));
-    }
-    auto act = std::make_shared<Activation>(this, tmpl, act_seq);
-    act->cont_act = std::move(cont_act);
-    act->cont_node = cont_node;
-    for (uint32_t i = 0; i < tmpl->nodes.size(); ++i) {
-      const Node& n = tmpl->nodes[i];
-      switch (n.kind) {
-        case NodeKind::kConst: deliver(act, i, Value::from_const(n.literal), when); break;
-        case NodeKind::kParam: deliver(act, i, std::move(params[n.param_index]), when); break;
-        default:
-          if (n.num_inputs == 0) enqueue(act, i, when);
-          break;
-      }
-    }
-    return act;
+  int last_affinity_worker(int op_index) {
+    return op_last_proc.size() > static_cast<size_t>(op_index) ? op_last_proc[op_index]
+                                                              : -1;
   }
+
+  void note_affinity(int op_index, int proc) {
+    if (op_last_proc.size() <= static_cast<size_t>(op_index)) {
+      op_last_proc.resize(registry_.size(), -1);
+    }
+    op_last_proc[op_index] = proc;
+  }
+
+  void on_activation_created(Activation* act) { live_acts.insert(act); }
+  void on_activation_destroyed(Activation* act) { live_acts.erase(act); }
+
+  void* current_run_token() { return nullptr; }
+
+  // -- Discrete-event scheduler ----------------------------------------------
 
   /// Pick the next (processor, item) pair under the ready-queue policy and
   /// remove the item from the queue. Returns false when nothing is ready.
@@ -277,7 +211,7 @@ struct SimRuntime::Impl {
 
     // Among items ready at <= t: priority level first; within a level,
     // prefer items bound to this processor, then unbound, then steal —
-    // FIFO inside each class. Mirrors Runtime::pop_item.
+    // FIFO inside each class. Mirrors Runtime's pop order.
     size_t best = ready.size();
     int best_rank = std::numeric_limits<int>::max();
     uint64_t best_seq = std::numeric_limits<uint64_t>::max();
@@ -301,324 +235,19 @@ struct SimRuntime::Impl {
     return true;
   }
 
-  Ticks execute(const ReadyItem& item, int proc, Ticks start) {
-    Activation& act = *item.act;
-    const Node& n = act.tmpl->nodes[item.node];
-    ++stats.nodes_executed;
-
-    auto take_input = [&](uint16_t port) -> Value {
-      return std::move(act.slots[n.input_offset + port]);
-    };
-    auto take_all_inputs = [&]() {
-      std::vector<Value> values;
-      values.reserve(n.num_inputs);
-      for (uint16_t i = 0; i < n.num_inputs; ++i) values.push_back(take_input(i));
-      return values;
-    };
-
-    Ticks cost = config.node_overhead_ns;
-    switch (n.kind) {
-      case NodeKind::kConst:
-      case NodeKind::kParam:
-      case NodeKind::kTupleGet:
-        throw RuntimeError("internal: node kind should not reach the simulated queue");
-
-      case NodeKind::kOperator: {
-        const OperatorDef& def = registry.at(static_cast<size_t>(n.op_index));
-        const size_t occurrence = op_occurrence[def.info.name]++;
-        std::vector<Value> args = take_all_inputs();
-        // Virtual NUMA: remote blocks cost time and migrate.
-        if (config.remote_penalty_ns_per_kb > 0) {
-          for (Value& v : args) {
-            if (v.kind() != Value::Kind::kBlock) continue;
-            BlockBase& blk = *v.block_ptr();
-            const int home = blk.home_worker.load(std::memory_order_relaxed);
-            if (home >= 0 && home != proc) {
-              cost += config.remote_penalty_ns_per_kb *
-                      (static_cast<int64_t>(blk.byte_size() / 1024) + 1);
-              ++stats.remote_block_moves;
-            }
-            blk.home_worker.store(proc, std::memory_order_relaxed);
-          }
-        }
-        ++stats.operator_invocations;
-        const std::span<const ConsumeClass> classes =
-            config.unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
-                                   : std::span<const ConsumeClass>();
-
-        // Retry eligibility and pre-image snapshot: same rules as the
-        // threaded runtime (see Runtime::execute_node), with backoff
-        // charged to the virtual clock instead of slept.
-        int budget = 0;
-        if (max_retries > 0) {
-          bool eligible = true;
-          for (size_t i = 0; i < args.size(); ++i) {
-            if (def.is_destructive(i) &&
-                !(i < n.input_classes.size() &&
-                  n.input_classes[i] == ConsumeClass::kUnique)) {
-              eligible = false;
-              break;
-            }
-          }
-          if (eligible) budget = max_retries;
-        }
-        auto restore_from = [&def](const std::vector<Value>& from) {
-          std::vector<Value> to;
-          to.reserve(from.size());
-          for (size_t i = 0; i < from.size(); ++i) {
-            if (def.is_destructive(i) && from[i].kind() == Value::Kind::kBlock) {
-              to.push_back(Value::of_block(from[i].block_ptr()->clone()));
-            } else {
-              to.push_back(from[i]);
-            }
-          }
-          return to;
-        };
-        std::vector<Value> snapshot;
-        if (budget > 0) snapshot = restore_from(args);
-
-        Value result;
-        bool ok = false;
-        for (uint32_t attempt = 0;; ++attempt) {
-          FaultDecision fd;
-          if (plan != nullptr) {
-            fd = plan->decide(def.info.name, def.info.pure, act.seq, item.node,
-                              occurrence, attempt);
-            if (fd.action != FaultAction::kNone) ++stats.faults_injected;
-          }
-          bool injected = false;
-          trace_event(start + cost, proc, TraceEventKind::kOpBegin, n.op_index, attempt);
-          try {
-            if (fd.action == FaultAction::kThrow) {
-              injected = true;
-              throw RuntimeError("injected fault (attempt " + std::to_string(attempt) +
-                                 ")");
-            }
-            if (fd.action == FaultAction::kStall) cost += fd.stall_ns;
-            const Ticks virtual_start = start + cost;
-            const Ticks t0 = now_ticks();
-            OpContext ctx(def, std::span<Value>(args), proc, classes);
-            result = def.fn(ctx);
-            Ticks measured = now_ticks() - t0;
-            if (config.record_costs != nullptr) {
-              config.record_costs->per_op[def.info.name].push_back(measured);
-            }
-            if (config.replay_costs != nullptr) {
-              auto it = config.replay_costs->per_op.find(def.info.name);
-              if (it != config.replay_costs->per_op.end() &&
-                  occurrence < it->second.size()) {
-                measured = it->second[occurrence];
-              }
-            }
-            // Cost, timings, and CoW stats come from the successful
-            // attempt only; failed attempts contribute their backoff.
-            cost += measured;
-            stats.operator_ticks += measured;
-            stats.cow_copies += ctx.cow_copies();
-            stats.cow_skipped += ctx.cow_skipped();
-            if (config.enable_node_timing) {
-              timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
-                                           static_cast<uint64_t>(timings.size()),
-                                           virtual_start});
-            }
-            if (fd.action == FaultAction::kCorrupt) result = Value::tuple({});
-            trace_event(start + cost, proc, TraceEventKind::kOpEnd, n.op_index, attempt);
-            ok = true;
-          } catch (...) {
-            trace_event(start + cost, proc, TraceEventKind::kOpEnd, n.op_index, attempt);
-            if (attempt < static_cast<uint32_t>(budget)) {
-              ++stats.retries;
-              trace_event(start + cost, proc, TraceEventKind::kRetry, n.op_index,
-                          attempt + 1);
-              const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
-              cost += config.retry_backoff_ns > 0 ? (config.retry_backoff_ns << shift) : 0;
-              args = restore_from(snapshot);
-              continue;
-            }
-            if (budget > 0) ++stats.retries_exhausted;
-            record_fault(make_fault(act, item.node, std::current_exception(), injected),
-                         start + cost, proc, n.op_index);
-          }
-          break;
-        }
-        if (!ok) break;  // fault recorded; consumers starve deterministically
-        if (config.affinity == AffinityMode::kOperator && n.op_index >= 0) {
-          if (op_last_proc.size() <= static_cast<size_t>(n.op_index)) {
-            op_last_proc.resize(registry.size(), -1);
-          }
-          op_last_proc[n.op_index] = proc;
-        }
-        if (result.kind() == Value::Kind::kBlock) {
-          result.block_ptr()->home_worker.store(proc, std::memory_order_relaxed);
-        }
-        deliver(item.act, item.node, std::move(result), start + cost);
-        break;
-      }
-
-      case NodeKind::kTupleMake:
-        deliver(item.act, item.node, Value::tuple(take_all_inputs()), start + cost);
-        break;
-
-      case NodeKind::kMakeClosure: {
-        const Template* target = program->templates[n.target_template].get();
-        deliver(item.act, item.node, Value::closure(target, take_all_inputs()), start + cost);
-        break;
-      }
-
-      case NodeKind::kCall: {
-        const Template* target = program->templates[n.target_template].get();
-        spawn_child(item, target, take_all_inputs(), start + cost);
-        break;
-      }
-
-      case NodeKind::kCallClosure: {
-        Value callee = take_input(0);
-        const Template* target = callee.as_closure().tmpl;
-        const uint32_t given = n.num_inputs - 1u;
-        if (given != target->explicit_params()) {
-          throw RuntimeError("closure '" + target->name + "' expects " +
-                             std::to_string(target->explicit_params()) +
-                             " argument(s), got " + std::to_string(given));
-        }
-        std::vector<Value> params;
-        std::vector<Value> captures = callee.take_closure_captures();
-        params.reserve(given + captures.size());
-        for (uint16_t i = 1; i < n.num_inputs; ++i) params.push_back(take_input(i));
-        for (Value& cap : captures) params.push_back(std::move(cap));
-        callee = Value();
-        spawn_child(item, target, std::move(params), start + cost);
-        break;
-      }
-
-      case NodeKind::kIfDispatch: {
-        const bool cond = take_input(0).truthy();
-        Value then_clo = take_input(1);
-        Value else_clo = take_input(2);
-        Value chosen = cond ? std::move(then_clo) : std::move(else_clo);
-        then_clo = Value();
-        else_clo = Value();
-        const Template* target = chosen.as_closure().tmpl;
-        std::vector<Value> params = chosen.take_closure_captures();
-        chosen = Value();
-        spawn_child(item, target, std::move(params), start + cost);
-        break;
-      }
-
-      case NodeKind::kParMap: {
-        Value fn = take_input(0);
-        Value pkg = take_input(1);
-        const Template* target = fn.as_closure().tmpl;
-        if (target->explicit_params() != 1) {
-          throw RuntimeError("parmap: '" + target->name +
-                             "' must take exactly one argument, takes " +
-                             std::to_string(target->explicit_params()));
-        }
-        const size_t count = pkg.as_tuple().elems.size();
-        if (count == 0) {
-          deliver(item.act, item.node, Value::tuple({}), start + cost);
-          break;
-        }
-        std::vector<std::vector<Value>> params_list;
-        params_list.reserve(count);
-        {
-          const MultiValue& mv = pkg.as_tuple();
-          const Closure& c = fn.as_closure();
-          for (size_t i = 0; i < count; ++i) {
-            std::vector<Value> params;
-            params.reserve(1 + c.captures.size());
-            params.push_back(mv.elems[i]);
-            for (const Value& cap : c.captures) params.push_back(cap);
-            params_list.push_back(std::move(params));
-          }
-        }
-        pkg = Value();
-        fn = Value();
-        auto collector = std::make_shared<Collector>();
-        collector->results.resize(count);
-        collector->remaining = static_cast<int>(count);
-        if (n.is_tail) {
-          collector->cont_act = item.act->cont_act;
-          collector->cont_node = item.act->cont_node;
-        } else {
-          collector->cont_act = item.act;
-          collector->cont_node = item.node;
-        }
-        for (size_t i = 0; i < count; ++i) {
-          auto child = spawn(target, std::move(params_list[i]), nullptr, 0, start + cost,
-                             fault_seq_child(act.seq, item.node,
-                                             static_cast<uint32_t>(i) + 1));
-          child->collector = collector;
-          child->collector_index = static_cast<uint32_t>(i);
-        }
-        break;
-      }
-
-      case NodeKind::kReturn: {
-        Value v = take_input(0);
-        if (act.collector != nullptr) {
-          Collector& col = *act.collector;
-          col.results[act.collector_index] = std::move(v);
-          col.latest = std::max(col.latest, start + cost);
-          if (--col.remaining == 0) {
-            Value package = Value::tuple(std::move(col.results));
-            if (col.cont_act != nullptr) {
-              deliver(col.cont_act, col.cont_node, std::move(package), col.latest);
-            } else {
-              final_result = std::move(package);
-              have_result = true;
-              final_time = col.latest;
-            }
-          }
-        } else if (act.cont_act != nullptr) {
-          deliver(act.cont_act, act.cont_node, std::move(v), start + cost);
-        } else {
-          final_result = std::move(v);
-          have_result = true;
-          final_time = start + cost;
-        }
-        break;
-      }
-    }
-    return cost;
-  }
-
-  void spawn_child(const ReadyItem& item, const Template* target, std::vector<Value> params,
-                   Ticks when) {
-    const Node& n = item.act->tmpl->nodes[item.node];
-    // Same structural child-id formula as Runtime::spawn_child.
-    const uint64_t child_seq = fault_seq_child(item.act->seq, item.node, 0);
-    if (n.is_tail && config.enable_tail_calls) {
-      // Forward the whole continuation, including any parmap collector.
-      auto child = spawn(target, std::move(params), item.act->cont_act,
-                         item.act->cont_node, when, child_seq);
-      child->collector = item.act->collector;
-      child->collector_index = item.act->collector_index;
-    } else {
-      spawn(target, std::move(params), item.act, item.node, when, child_seq);
-    }
-  }
-
   SimResult run(const CompiledProgram& prog, const Template* tmpl, std::vector<Value> args) {
-    program = &prog;
+    program_ = &prog;
     tracing = config.enable_tracing;
-    // Fault policy: registry plan beats the environment spec; retries
-    // honor the same DELIRIUM_RETRIES override as the threaded runtime.
-    plan = registry.fault_plan() != nullptr ? registry.fault_plan()
-                                            : FaultPlan::from_env();
-    max_retries = config.max_retries;
-    if (const char* env = std::getenv("DELIRIUM_RETRIES")) {
-      max_retries = static_cast<int>(std::strtol(env, nullptr, 10));
-    }
-    if (max_retries < 0) max_retries = 0;
+    resolve_run_policy();
 
     // The root shared_ptr is held across the drain so the deadlock and
     // watchdog diagnostics can walk the stranded activation tree.
-    auto root = spawn(tmpl, std::move(args), nullptr, 0, 0, fault_seq_root());
+    auto root = spawn(tmpl, std::move(args), nullptr, 0, fault_seq_root(), 0);
     while (true) {
       if (cancelled) {
         // Fast cancellation (fail_fast fault or watchdog): purge the
         // virtual ready queue instead of running it.
-        stats.items_purged += ready.size();
+        counters_.items_purged.fetch_add(ready.size(), std::memory_order_relaxed);
         if (tracing) {
           for (const ReadyItem& it : ready) {
             const Node& n = it.act->tmpl->nodes[it.node];
@@ -639,13 +268,12 @@ struct SimRuntime::Impl {
       if (config.watchdog_budget_ns > 0 && !watchdog_fired &&
           start > config.watchdog_budget_ns) {
         watchdog_fired = true;
-        ++stats.watchdog_fires;
+        counters_.watchdog_fires.fetch_add(1, std::memory_order_relaxed);
         trace_event(config.watchdog_budget_ns, -1, TraceEventKind::kWatchdog, -1,
                     config.watchdog_budget_ns);
         watchdog_message =
-            "watchdog: no result within " + std::to_string(config.watchdog_budget_ns) +
-            " virtual ns; cancelling run\nstranded activations:\n" +
-            render_stranded(collect_stranded());
+            build_watchdog_message(std::to_string(config.watchdog_budget_ns) + " virtual ns",
+                                   "", render_stranded(collect_stranded()));
         cancelled = true;
         continue;
       }
@@ -653,10 +281,10 @@ struct SimRuntime::Impl {
       ready.erase(ready.begin() + static_cast<long>(index));
       Ticks cost = config.node_overhead_ns;
       try {
-        cost = execute(item, proc, start);
+        cost = execute_node(item.act, item.node, proc, start);
       } catch (...) {
         // Coordination-level failure (operator faults are captured with
-        // richer context inside execute's kOperator case).
+        // richer context inside the core's kOperator case).
         const Node& n = item.act->tmpl->nodes[item.node];
         record_fault(make_fault(*item.act, item.node, std::current_exception()),
                      start, proc, n.kind == NodeKind::kOperator ? n.op_index : -1);
@@ -668,26 +296,19 @@ struct SimRuntime::Impl {
     // Drain-time error selection: identical to Runtime::run_function —
     // the smallest deterministic sequence id wins, and a fault beats a
     // delivered result.
-    if (!faults.empty()) {
-      size_t best = 0;
-      for (size_t i = 1; i < faults.size(); ++i) {
-        if (fault_before(faults[i], faults[best])) best = i;
-      }
-      throw FaultError(std::move(faults[best]));
-    }
+    const int best = smallest_fault_index(faults);
+    if (best >= 0) throw FaultError(std::move(faults[static_cast<size_t>(best)]));
     if (watchdog_fired) throw RuntimeError(watchdog_message);
     if (!have_result) {
       throw RuntimeError(
-          "simulated program finished without producing a result (a value was "
-          "never delivered — dataflow deadlock)\nstranded activations:\n" +
-          render_stranded(collect_stranded()));
+          build_deadlock_message(/*simulated=*/true, render_stranded(collect_stranded())));
     }
     SimResult result;
     result.result = std::move(final_result);
     result.makespan = final_time;
     for (Ticks b : proc_busy) result.total_busy += b;
     result.proc_busy = proc_busy;
-    result.stats = stats;
+    snapshot_core_stats(result.stats);
     result.timings = std::move(timings);
     result.trace_events = trace;  // Impl keeps its copy for faulting-run retrieval
     return result;
@@ -697,10 +318,8 @@ struct SimRuntime::Impl {
 SimRuntime::SimRuntime(const OperatorRegistry& registry, SimConfig config)
     : registry_(registry), config_(config) {
   if (config_.num_procs <= 0) config_.num_procs = 1;
-  // Same environment override as the threaded runtime.
-  if (const char* env = std::getenv("DELIRIUM_TRACE")) {
-    config_.enable_tracing = std::string_view(env) != "0";
-  }
+  // Same environment overrides as the threaded runtime.
+  apply_exec_env_overrides(config_);
 }
 
 SimResult SimRuntime::run(const CompiledProgram& program, std::vector<Value> args) {
@@ -717,11 +336,13 @@ SimResult SimRuntime::run_function(const CompiledProgram& program, const std::st
   try {
     SimResult result = impl.run(program, tmpl, std::move(args));
     last_trace_ = result.trace_events;
+    last_stats_ = result.stats;
     return result;
   } catch (...) {
-    // Keep the trace reachable across a faulting run, like
-    // Runtime::trace_events().
+    // Keep the trace and counters reachable across a faulting run, like
+    // Runtime::trace_events() / Runtime::last_stats().
     last_trace_ = std::move(impl.trace);
+    impl.snapshot_core_stats(last_stats_);
     throw;
   }
 }

@@ -9,9 +9,14 @@
 // levels, FIFO within a level, affinity preferences). Speedup figures
 // are ratios of virtual makespans.
 //
-// The simulated-NUMA model (§9.3) is also virtual here: touching a block
-// homed on another processor adds a per-KiB cost to the node instead of
-// spinning, which makes the Butterfly-style experiments cheap and exact.
+// All graph semantics (activation lifecycle, CoW, fault capture/retry,
+// trace emission) come from the shared ExecutorCore (executor_core.h);
+// this header adds only the virtual machine: the discrete-event clock,
+// the simulated P-processor ready queue, and virtual-time charging of
+// stalls, backoff, and the simulated-NUMA penalties of §9.3 (touching a
+// block homed on another processor adds a per-KiB cost to the node
+// instead of spinning, which makes the Butterfly-style experiments cheap
+// and exact).
 #pragma once
 
 #include <iosfwd>
@@ -20,8 +25,8 @@
 #include <vector>
 
 #include "src/graph/template.h"
+#include "src/runtime/executor_core.h"
 #include "src/runtime/registry.h"
-#include "src/runtime/runtime.h"  // AffinityMode, NodeTiming, RunStats
 #include "src/runtime/value.h"
 
 namespace delirium {
@@ -33,48 +38,27 @@ struct CostTable {
   std::unordered_map<std::string, std::vector<Ticks>> per_op;
 };
 
-struct SimConfig {
+/// Virtual-machine knobs. Everything shared with the threaded runtime
+/// (priorities, tail calls, affinity, CoW fast path, retries, tracing,
+/// the activation pool, ...) lives in the ExecConfig base
+/// (executor_core.h) so a knob exists in both executors by construction.
+struct SimConfig : ExecConfig {
   int num_procs = 4;
-  bool use_priorities = true;
-  /// Tail-call continuation forwarding (ablation; see RuntimeConfig).
-  bool enable_tail_calls = true;
-  AffinityMode affinity = AffinityMode::kNone;
-  /// Virtual cost, per KiB, of an operator reading a block homed on
-  /// another virtual processor. The block then migrates.
-  int64_t remote_penalty_ns_per_kb = 0;
   /// Virtual cost of every non-operator node (scheduling, tuple and
   /// closure plumbing, subgraph expansion). Roughly what the threaded
   /// runtime pays per node.
   int64_t node_overhead_ns = 300;
-  /// Record per-operator virtual timings.
-  bool enable_node_timing = false;
   /// When set, the i-th invocation of each operator costs what the table
   /// says instead of its measured wall time (operators still execute for
   /// real — values are exact either way).
   const CostTable* replay_costs = nullptr;
   /// When set, measured operator costs are appended here.
   CostTable* record_costs = nullptr;
-  /// Honor kUnique consume-class annotations (see RuntimeConfig).
-  bool unique_fastpath = true;
-  /// Automatic retries of faulting retry-eligible operators; same
-  /// eligibility rule as RuntimeConfig::max_retries and the same
-  /// DELIRIUM_RETRIES override. Backoff is charged in virtual time, so
-  /// recovery is fully deterministic here.
-  int max_retries = 0;
-  /// Base virtual-time delay before a retry, doubled per attempt.
-  int64_t retry_backoff_ns = 1000;
   /// Watchdog: virtual-time budget in nanoseconds; 0 disables. The
   /// simulated clock is deterministic (with replayed costs), so a
-  /// watchdog fire here reproduces exactly.
+  /// watchdog fire here reproduces exactly. (The threaded runtime's
+  /// budget is wall-clock milliseconds — see RuntimeConfig.)
   int64_t watchdog_budget_ns = 0;
-  /// Cancel on the first captured fault instead of draining (see
-  /// RuntimeConfig::fail_fast).
-  bool fail_fast = false;
-  /// Record the trace event stream under the same schema as the threaded
-  /// runtime (tracing.h), with *exact virtual* timestamps. The simulator
-  /// is single-threaded, so events go into one growable vector — no
-  /// rings, no overwrites. Honors the same DELIRIUM_TRACE override.
-  bool enable_tracing = false;
 };
 
 struct SimResult {
@@ -106,11 +90,17 @@ class SimRuntime {
   /// two executors.
   const std::vector<TraceEvent>& trace_events() const { return last_trace_; }
 
+  /// Counters of the most recent run. Like Runtime::last_stats() this
+  /// survives a faulting run (SimResult::stats does not), so fault
+  /// accounting is comparable across the two executors.
+  const RunStats& last_stats() const { return last_stats_; }
+
  private:
   struct Impl;
   const OperatorRegistry& registry_;
   SimConfig config_;
   std::vector<TraceEvent> last_trace_;
+  RunStats last_stats_;
 };
 
 /// Run the program `runs` times on one virtual processor and return the

@@ -12,6 +12,8 @@ std::vector<RunStatField> run_stat_fields(const RunStats& s) {
   return {
       {"activations_created", s.activations_created},
       {"peak_live_activations", s.peak_live_activations},
+      {"activations_pooled", s.activations_pooled},
+      {"activations_allocated", s.activations_allocated},
       {"nodes_executed", s.nodes_executed},
       {"operator_invocations", s.operator_invocations},
       {"operator_ticks", static_cast<uint64_t>(s.operator_ticks)},
@@ -68,6 +70,8 @@ void MetricsRegistry::observe_run(const RunStats& stats,
   totals_.activations_created += stats.activations_created;
   totals_.peak_live_activations =
       std::max(totals_.peak_live_activations, stats.peak_live_activations);
+  totals_.activations_pooled += stats.activations_pooled;
+  totals_.activations_allocated += stats.activations_allocated;
   totals_.nodes_executed += stats.nodes_executed;
   totals_.operator_invocations += stats.operator_invocations;
   totals_.operator_ticks += stats.operator_ticks;

@@ -42,7 +42,9 @@ TEST(CircuitModel, GeneratedNetlistIsLevelized) {
   const int base = net.num_inputs + net.num_regs;
   for (size_t g = 0; g < net.gates.size(); ++g) {
     EXPECT_LT(net.gates[g].a, base + static_cast<int>(g));
-    if (net.gates[g].b >= 0) EXPECT_LT(net.gates[g].b, base + static_cast<int>(g));
+    if (net.gates[g].b >= 0) {
+      EXPECT_LT(net.gates[g].b, base + static_cast<int>(g));
+    }
   }
 }
 

@@ -1,49 +1,40 @@
 // The central claim of the model (§8/§9.1): "execution within the model
 // is deterministic ... regardless of the number of processors you are
-// using and the order of execution." These property tests sweep worker
-// counts, scheduler policies, and repeated runs over generated programs
-// and the applications.
+// using and the order of execution." These property tests run generated
+// programs and hand-written workloads through the ExecutorFixture
+// matrix — both threaded schedulers × {1, 2, 8} workers plus the
+// virtual-time simulator — asserting identical values, counters, and
+// deterministic trace multisets everywhere.
 #include <gtest/gtest.h>
 
 #include "src/apps/dcc/program_gen.h"
 #include "src/delirium.h"
 #include "src/runtime/sim.h"
+#include "tests/test_util.h"
 
 namespace delirium {
 namespace {
 
-OperatorRegistry& registry() {
-  static OperatorRegistry r = [] {
-    OperatorRegistry reg;
-    register_builtin_operators(reg);
-    return reg;
-  }();
-  return r;
-}
-
 class GeneratedDeterminism : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(GeneratedDeterminism, SameValueAcrossWorkerCountsAndRuns) {
+TEST_P(GeneratedDeterminism, SameValueAcrossAllExecutorsAndRuns) {
   dcc::GenParams params;
   params.num_functions = 18;
   params.body_size = 30;
   params.seed = GetParam();
   const std::string source = dcc::generate_program(params);
-  CompiledProgram program = compile_or_throw(source, registry());
 
-  int64_t expected = 0;
-  bool first = true;
-  for (int workers : {1, 2, 3, 4, 7}) {
-    Runtime runtime(registry(), {.num_workers = workers});
-    for (int run = 0; run < 3; ++run) {
-      const int64_t value = runtime.run(program).as_int();
-      if (first) {
-        expected = value;
-        first = false;
-      }
-      EXPECT_EQ(value, expected)
-          << "seed " << GetParam() << " workers " << workers << " run " << run;
-    }
+  testing::ExecutorFixture fixture;
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(source);
+  ASSERT_FALSE(ref.faulted()) << ref.error_text;
+
+  // Repeated runs on one runtime agree with the matrix too.
+  auto reg = testing::builtin_registry();
+  CompiledProgram program = compile_or_throw(source, *reg);
+  Runtime runtime(*reg, {.num_workers = 3});
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_TRUE(deep_equal(runtime.run(program), ref.value))
+        << "seed " << GetParam() << " run " << run;
   }
 }
 
@@ -51,83 +42,67 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedDeterminism,
                          ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108));
 
 TEST(Determinism, IndependentOfSchedulerPolicy) {
-  // FIFO vs priorities and every affinity mode must agree on values.
-  CompiledProgram program = compile_or_throw(R"(
+  // FIFO vs priorities and every affinity mode must agree on values —
+  // across the whole executor matrix, not just one runtime.
+  const std::string source = R"(
 fib(n) if less_than(n, 2) then n else add(fib(sub(n, 1)), fib(sub(n, 2)))
 main() fib(14)
-)",
-                                             registry());
-  const int64_t expected = 377;
+)";
   for (const bool priorities : {true, false}) {
     for (const auto affinity :
          {AffinityMode::kNone, AffinityMode::kOperator, AffinityMode::kData}) {
-      Runtime runtime(registry(), {.num_workers = 4,
-                                   .use_priorities = priorities,
-                                   .affinity = affinity});
-      EXPECT_EQ(runtime.run(program).as_int(), expected);
+      testing::ExecutorFixture fixture;
+      fixture.config().use_priorities = priorities;
+      fixture.config().affinity = affinity;
+      const testing::ExecutorOutcome ref = fixture.expect_equivalent(source);
+      EXPECT_EQ(ref.value_or_rethrow().as_int(), 377);
     }
   }
 }
 
 TEST(Determinism, VirtualTimeMatchesThreadedForAllProcCounts) {
-  CompiledProgram program = compile_or_throw(R"(
+  testing::ExecutorFixture fixture;
+  // The default matrix carries sim at 1 and 4 procs; sweep further out.
+  fixture.matrix().push_back({testing::ExecutorSpec::Kind::kSim, 2});
+  fixture.matrix().push_back({testing::ExecutorSpec::Kind::kSim, 16});
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(R"(
 main()
   iterate {
     i = 0, incr(i)
     acc = 0, add(acc, mul(i, i))
   } while less_than(i, 50), result acc
-)",
-                                             registry());
-  Runtime threaded(registry(), {.num_workers = 2});
-  const int64_t expected = threaded.run(program).as_int();
-  for (int procs : {1, 2, 4, 16}) {
-    SimRuntime sim(registry(), {.num_procs = procs});
-    EXPECT_EQ(sim.run(program).result.as_int(), expected) << procs;
-  }
+)");
+  EXPECT_EQ(ref.value_or_rethrow().as_int(), 40425);
 }
 
 TEST(Determinism, NumaAndAffinityNeverChangeValues) {
-  CompiledProgram program = compile_or_throw(R"(
+  const std::string source = R"(
 f(n) if less_than(n, 2) then 1 else mul(n, f(decr(n)))
 main() f(12)
-)",
-                                             registry());
-  SimRuntime plain(registry(), {.num_procs = 3});
-  const int64_t expected = plain.run(program).result.as_int();
-  SimConfig config;
-  config.num_procs = 3;
-  config.remote_penalty_ns_per_kb = 5000;
-  config.affinity = AffinityMode::kData;
-  SimRuntime numa(registry(), config);
-  EXPECT_EQ(numa.run(program).result.as_int(), expected);
+)";
+  testing::ExecutorFixture plain;
+  const int64_t expected = plain.expect_equivalent(source).value_or_rethrow().as_int();
+  testing::ExecutorFixture numa;
+  numa.config().remote_penalty_ns_per_kb = 5000;
+  numa.config().affinity = AffinityMode::kData;
+  EXPECT_EQ(numa.expect_equivalent(source).value_or_rethrow().as_int(), expected);
 }
 
 TEST(Determinism, ErrorsAreDeterministicToo) {
   // §8: "If there is a bug in the program it will recur in exactly the
-  // same way every execution."
-  CompiledProgram program = compile_or_throw(R"(
+  // same way every execution." The fixture asserts the byte-identical
+  // report across every executor; this test checks the content.
+  testing::ExecutorFixture fixture;
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(R"(
 main()
   iterate {
     i = 0, incr(i)
     acc = 1, div(acc, sub(3, i))
   } while less_than(i, 10), result acc
-)",
-                                             registry());
-  std::string first_message;
-  for (int workers : {1, 2, 4}) {
-    Runtime runtime(registry(), {.num_workers = workers});
-    try {
-      runtime.run(program);
-      FAIL() << "expected division by zero";
-    } catch (const RuntimeError& e) {
-      if (first_message.empty()) {
-        first_message = e.what();
-      } else {
-        EXPECT_EQ(first_message, e.what()) << "workers " << workers;
-      }
-    }
-  }
-  EXPECT_NE(first_message.find("division by zero"), std::string::npos);
+)");
+  ASSERT_TRUE(ref.faulted()) << "expected division by zero";
+  EXPECT_THROW(ref.value_or_rethrow(), RuntimeError);
+  EXPECT_NE(ref.error_text.find("division by zero"), std::string::npos);
 }
 
 }  // namespace

@@ -21,27 +21,6 @@ namespace {
 
 using testing::ScopedEnv;
 
-struct Outcome {
-  std::string text;
-  uint64_t faults_raised = 0;
-};
-
-Outcome run_threaded_expecting_fault(const CompiledProgram& program,
-                                     const OperatorRegistry& reg, SchedulerKind scheduler,
-                                     int workers) {
-  RuntimeConfig config;
-  config.num_workers = workers;
-  config.scheduler = scheduler;
-  Runtime runtime(reg, config);
-  try {
-    runtime.run(program);
-    ADD_FAILURE() << "expected FaultError (workers=" << workers << ")";
-    return {};
-  } catch (const FaultError& e) {
-    return {e.what(), runtime.last_stats().faults_raised};
-  }
-}
-
 TEST(FaultEquivalence, IdenticalReportAcrossSchedulersWorkerCountsAndSim) {
   ScopedEnv env({"DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"});
   auto reg = testing::builtin_registry();
@@ -52,43 +31,20 @@ TEST(FaultEquivalence, IdenticalReportAcrossSchedulersWorkerCountsAndSim) {
   // Two *independently* faulting operators, one behind a call, so the
   // winning fault carries a non-trivial coordination stack. Unoptimized
   // keeps `inner` out of line.
-  CompileOptions copts;
-  copts.optimize = false;
-  CompiledProgram program = compile_or_throw(R"(
+  testing::ExecutorFixture fixture(*reg);
+  fixture.compile_options().optimize = false;
+  // The fixture asserts the byte-identical report and fault count across
+  // both schedulers × {1, 2, 8} workers and the simulator at 1/4 procs.
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(R"(
     inner(x) boom_a(x)
     main() add(inner(1), boom_b(2))
-  )",
-                                             *reg, copts);
-
-  const Outcome ref =
-      run_threaded_expecting_fault(program, *reg, SchedulerKind::kGlobalLock, 1);
-  EXPECT_EQ(ref.faults_raised, 2u) << "both faults must be captured, not just the first";
-  EXPECT_NE(ref.text.find("coordination stack:"), std::string::npos) << ref.text;
-
-  for (SchedulerKind scheduler :
-       {SchedulerKind::kGlobalLock, SchedulerKind::kWorkStealing}) {
-    for (int workers : {1, 2, 8}) {
-      const Outcome got = run_threaded_expecting_fault(program, *reg, scheduler, workers);
-      const std::string where =
-          std::string(scheduler == SchedulerKind::kWorkStealing ? "work_stealing"
-                                                                : "global_lock") +
-          " workers=" + std::to_string(workers);
-      EXPECT_EQ(got.text, ref.text) << where;
-      EXPECT_EQ(got.faults_raised, ref.faults_raised) << where;
-    }
-  }
-
-  for (int procs : {1, 4}) {
-    SimConfig config;
-    config.num_procs = procs;
-    SimRuntime sim(*reg, config);
-    try {
-      sim.run(program);
-      ADD_FAILURE() << "expected FaultError (sim procs=" << procs << ")";
-    } catch (const FaultError& e) {
-      EXPECT_EQ(std::string(e.what()), ref.text) << "sim procs=" << procs;
-    }
-  }
+  )");
+  ASSERT_TRUE(ref.faulted()) << "expected FaultError";
+  EXPECT_THROW(ref.value_or_rethrow(), FaultError);
+  EXPECT_EQ(ref.stats.faults_raised, 2u)
+      << "both faults must be captured, not just the first";
+  EXPECT_NE(ref.error_text.find("coordination stack:"), std::string::npos)
+      << ref.error_text;
 }
 
 TEST(FaultEquivalence, ConcurrentFaultsReportDeterministically) {
@@ -149,37 +105,19 @@ TEST(FaultEquivalence, InjectionWithRetriesMatchesFaultFreeValues) {
   auto fault_reg = testing::builtin_registry();
   fault_reg->set_fault_plan(std::make_shared<const FaultPlan>(
       FaultPlan::parse("*:throw:every=3:seed=9:fail_attempts=1")));
-  CompiledProgram program = compile_or_throw(source, *fault_reg);
 
   // The every= selector hashes (seed, activation seq, node): structural,
-  // so the set of injected invocations — and hence every counter below —
-  // is identical across executors, schedulers, and worker counts.
-  SimConfig sim_config;
-  sim_config.max_retries = 2;
-  SimRuntime sim(*fault_reg, sim_config);
-  const SimResult r = sim.run(program);
-  EXPECT_TRUE(deep_equal(r.result, expected));
-  EXPECT_GT(r.stats.faults_injected, 0u) << "plan never fired: selector too narrow";
-  EXPECT_EQ(r.stats.faults_raised, 0u);
-  EXPECT_EQ(r.stats.retries, r.stats.faults_injected);
-  const uint64_t ref_injected = r.stats.faults_injected;
-
-  for (SchedulerKind scheduler :
-       {SchedulerKind::kGlobalLock, SchedulerKind::kWorkStealing}) {
-    for (int workers : {1, 4}) {
-      RuntimeConfig config;
-      config.num_workers = workers;
-      config.scheduler = scheduler;
-      config.max_retries = 2;
-      Runtime runtime(*fault_reg, config);
-      const Value got = runtime.run(program);
-      const RunStats s = runtime.last_stats();
-      const std::string where = "workers=" + std::to_string(workers);
-      EXPECT_TRUE(deep_equal(got, expected)) << where;
-      EXPECT_EQ(s.faults_injected, ref_injected) << where;
-      EXPECT_EQ(s.faults_raised, 0u) << where;
-    }
-  }
+  // so the set of injected invocations — and hence the injection/retry
+  // counters and kRetry trace events the fixture compares — is identical
+  // across executors, schedulers, and worker counts.
+  testing::ExecutorFixture fixture(*fault_reg);
+  fixture.config().max_retries = 2;
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(source);
+  ASSERT_FALSE(ref.faulted()) << ref.error_text;
+  EXPECT_TRUE(deep_equal(ref.value, expected));
+  EXPECT_GT(ref.stats.faults_injected, 0u) << "plan never fired: selector too narrow";
+  EXPECT_EQ(ref.stats.faults_raised, 0u);
+  EXPECT_EQ(ref.stats.retries, ref.stats.faults_injected);
 }
 
 }  // namespace

@@ -107,7 +107,7 @@ TEST_P(GraphOptProperty, PreservesValuesOnGeneratedPrograms) {
   CompiledProgram plain = compile_or_throw(source, registry(), no_opt);
 
   CompiledProgram pruned = compile_or_throw(source, registry(), no_opt);
-  GraphOptStats stats = optimize_graphs(pruned, registry());
+  optimize_graphs(pruned, registry());
   EXPECT_EQ(validate_graph(pruned), "") << "seed " << GetParam();
   EXPECT_LE(pruned.total_nodes(), plain.total_nodes());
 

@@ -52,7 +52,9 @@ main()
   OperatorRegistry registry;
   register_builtin_operators(registry);
   CompiledProgram program = compile_or_throw(source, registry);
-  Runtime runtime(registry, {.num_workers = 1, .enable_node_timing = true});
+  RuntimeConfig config{.num_workers = 1};
+  config.enable_node_timing = true;
+  Runtime runtime(registry, config);
   runtime.run(program);
   std::ostringstream os;
   runtime.print_node_timings(os);
@@ -157,7 +159,9 @@ TEST(Integration, AffinityModesOnThreadedRuntimeStayCorrect) {
   const auto expected = grid::sequential_run(gp).rows;
   for (const auto affinity :
        {AffinityMode::kNone, AffinityMode::kOperator, AffinityMode::kData}) {
-    Runtime runtime(registry, {.num_workers = 4, .affinity = affinity});
+    RuntimeConfig config{.num_workers = 4};
+    config.affinity = affinity;
+    Runtime runtime(registry, config);
     EXPECT_EQ(runtime.run(program).block_as<grid::Grid>().rows, expected);
   }
 }
@@ -170,9 +174,10 @@ TEST(Integration, NumaPenaltyOnThreadedRuntimeStaysCorrect) {
   register_builtin_operators(registry);
   grid::register_grid_operators(registry, gp);
   CompiledProgram program = compile_or_throw(grid::grid_source(gp), registry);
-  Runtime runtime(registry, {.num_workers = 2,
-                             .affinity = AffinityMode::kData,
-                             .remote_penalty_ns_per_kb = 100});
+  RuntimeConfig config{.num_workers = 2};
+  config.affinity = AffinityMode::kData;
+  config.remote_penalty_ns_per_kb = 100;
+  Runtime runtime(registry, config);
   EXPECT_EQ(runtime.run(program).block_as<grid::Grid>().rows,
             grid::sequential_run(gp).rows);
 }

@@ -60,8 +60,12 @@ TEST(QueensDelirium, PriorityQueueBoundsActivations) {
   register_queens_operators(registry, 7);
   CompiledProgram program = compile_or_throw(queens_source(7), registry);
 
-  SimRuntime with(registry, {.num_procs = 4, .use_priorities = true});
-  SimRuntime without(registry, {.num_procs = 4, .use_priorities = false});
+  SimConfig with_config{.num_procs = 4};
+  with_config.use_priorities = true;
+  SimConfig without_config{.num_procs = 4};
+  without_config.use_priorities = false;
+  SimRuntime with(registry, with_config);
+  SimRuntime without(registry, without_config);
   const SimResult a = with.run(program);
   const SimResult b = without.run(program);
   EXPECT_EQ(a.result.as_int(), b.result.as_int());  // values identical

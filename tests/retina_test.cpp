@@ -116,7 +116,9 @@ TEST(RetinaParallelProperties, NodeTimingsNameTheOperators) {
   OperatorRegistry registry;
   register_builtin_operators(registry);
   register_retina_operators(registry, p);
-  Runtime runtime(registry, {.num_workers = 2, .enable_node_timing = true});
+  RuntimeConfig config{.num_workers = 2};
+  config.enable_node_timing = true;
+  Runtime runtime(registry, config);
   delirium_run(p, RetinaVersion::kV1Imbalanced, runtime);
 
   int convol_bites = 0;

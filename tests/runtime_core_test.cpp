@@ -1,5 +1,8 @@
 // End-to-end tests of the core language constructs: atomic values,
-// multiple values, let bindings, conditionals, and application.
+// multiple values, let bindings, conditionals, and application. Every
+// evaluation runs through the ExecutorFixture matrix (both threaded
+// schedulers × {1, 2, 8} workers + the virtual-time simulator), so each
+// core construct is checked for cross-executor equivalence too.
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
@@ -7,8 +10,8 @@
 namespace delirium {
 namespace {
 
-using testing::eval;
-using testing::eval_int;
+Value eval(const std::string& source) { return testing::eval_everywhere(source); }
+int64_t eval_int(const std::string& source) { return testing::eval_int_everywhere(source); }
 
 TEST(RuntimeCore, ReturnsIntegerLiteral) {
   EXPECT_EQ(eval_int("main() 42"), 42);
@@ -82,13 +85,13 @@ TEST(RuntimeCore, OperatorReturningTuple) {
     const int64_t v = ctx.arg_int(0);
     return Value::tuple({Value::of(v), Value::of(v * 10), Value::of(v * 100)});
   }).pure();
-  const Value result = testing::compile_and_run(R"(
+  testing::ExecutorFixture fixture(reg);
+  const testing::ExecutorOutcome out = fixture.expect_equivalent(R"(
     main()
       let <a, b, c> = split3(7)
       in add(a, add(b, c))
-  )",
-                                                reg);
-  EXPECT_EQ(result.as_int(), 777);
+  )");
+  EXPECT_EQ(out.value_or_rethrow().as_int(), 777);
 }
 
 TEST(RuntimeCore, ConditionalTrueBranch) {
@@ -151,7 +154,8 @@ TEST(RuntimeCore, ForkJoinFromSection2) {
   reg.add("term_fn", 4, [](OpContext& ctx) {
     return Value::of(ctx.arg_int(0) + ctx.arg_int(1) + ctx.arg_int(2) + ctx.arg_int(3));
   }).pure();
-  const Value result = testing::compile_and_run(R"(
+  testing::ExecutorFixture fixture(reg);
+  const testing::ExecutorOutcome out = fixture.expect_equivalent(R"(
     main()
       let a_start = init_fn()
           a = convolve(a_start, 0)
@@ -159,9 +163,8 @@ TEST(RuntimeCore, ForkJoinFromSection2) {
           c = convolve(a_start, 2)
           d = convolve(a_start, 3)
       in term_fn(a, b, c, d)
-  )",
-                                                reg, /*workers=*/4);
-  EXPECT_EQ(result.as_int(), 406);
+  )");
+  EXPECT_EQ(out.value_or_rethrow().as_int(), 406);
 }
 
 TEST(RuntimeCore, RunFunctionByName) {
@@ -196,8 +199,11 @@ TEST(RuntimeCore, OperatorExceptionPropagatesToCaller) {
   OperatorRegistry reg;
   register_builtin_operators(reg);
   reg.add("boom", 0, [](OpContext&) -> Value { throw RuntimeError("boom happened"); });
+  testing::ExecutorFixture fixture(reg);
   try {
-    testing::compile_and_run("main() boom()", reg);
+    // The fixture checks the report is byte-identical everywhere; the
+    // rethrown reference error carries the structured fault.
+    fixture.expect_equivalent("main() boom()").value_or_rethrow();
     FAIL() << "expected RuntimeError";
   } catch (const FaultError& e) {
     // The original message survives, wrapped in deterministic provenance

@@ -1,10 +1,12 @@
 // Scheduler equivalence: the work-stealing scheduler must compute
 // exactly what the global-lock scheduler computes. Determinism in
 // Delirium is about *values*, not schedules — so every example program
-// and stress workload is run under both scheduler modes × all three
-// affinity modes, asserting identical results and identical
-// nodes_executed / operator_invocations counts (both are functions of
-// the coordination graph alone, not of the schedule).
+// and stress workload runs through the ExecutorFixture matrix
+// (both schedulers × {1, 2, 8} workers, plus the virtual-time
+// simulator) × all three affinity modes, asserting identical results,
+// identical graph-determined counters, and equal deterministic trace
+// multisets (all functions of the coordination graph alone, not of the
+// schedule).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -82,65 +84,34 @@ bool env_overrides_scheduler(const char* wanted) {
   return env != nullptr && std::string(env) != wanted;
 }
 
-struct ModeParam {
-  SchedulerKind scheduler;
-  AffinityMode affinity;
-};
-
-std::string mode_name(const ::testing::TestParamInfo<ModeParam>& info) {
-  std::string name = info.param.scheduler == SchedulerKind::kWorkStealing
-                         ? "WorkStealing"
-                         : "GlobalLock";
-  switch (info.param.affinity) {
-    case AffinityMode::kNone: name += "NoAffinity"; break;
-    case AffinityMode::kOperator: name += "OperatorAffinity"; break;
-    case AffinityMode::kData: name += "DataAffinity"; break;
+std::string affinity_name(const ::testing::TestParamInfo<AffinityMode>& info) {
+  switch (info.param) {
+    case AffinityMode::kNone: return "NoAffinity";
+    case AffinityMode::kOperator: return "OperatorAffinity";
+    case AffinityMode::kData: return "DataAffinity";
   }
-  return name;
+  return "Unknown";
 }
 
-class SchedulerEquivalence : public ::testing::TestWithParam<ModeParam> {};
+class SchedulerEquivalence : public ::testing::TestWithParam<AffinityMode> {};
 
-TEST_P(SchedulerEquivalence, SameValuesAndCountsAsGlobalLockReference) {
-  const ModeParam mode = GetParam();
-  auto reg = testing::builtin_registry();
+TEST_P(SchedulerEquivalence, AllExecutorsMatchTheGlobalLockReference) {
+  // The fixture's reference is global-lock × 1 worker (the original
+  // scheduler); every other matrix entry — work stealing at 1/2/8
+  // workers, global lock at 2/8, the simulator at 1/4 procs — must
+  // produce the same values, counters, and trace multisets.
+  testing::ExecutorFixture fixture;
+  fixture.config().affinity = GetParam();
   for (const Workload& w : workloads()) {
-    CompiledProgram program = compile_or_throw(w.source, *reg);
-
-    // Reference: the original scheduler, single worker, no affinity.
-    RuntimeConfig ref_config;
-    ref_config.num_workers = 1;
-    ref_config.scheduler = SchedulerKind::kGlobalLock;
-    Runtime reference(*reg, ref_config);
-    const Value expected = reference.run(program);
-    const RunStats ref_stats = reference.last_stats();
-
-    for (int workers : {2, 4}) {
-      RuntimeConfig config;
-      config.num_workers = workers;
-      config.scheduler = mode.scheduler;
-      config.affinity = mode.affinity;
-      Runtime runtime(*reg, config);
-      const Value got = runtime.run(program);
-      const RunStats stats = runtime.last_stats();
-      const std::string where =
-          std::string(w.name) + " workers=" + std::to_string(workers);
-      EXPECT_TRUE(deep_equal(got, expected)) << where;
-      EXPECT_EQ(stats.nodes_executed, ref_stats.nodes_executed) << where;
-      EXPECT_EQ(stats.operator_invocations, ref_stats.operator_invocations) << where;
-    }
+    SCOPED_TRACE(w.name);
+    fixture.expect_equivalent(w.source);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Modes, SchedulerEquivalence,
-    ::testing::Values(ModeParam{SchedulerKind::kGlobalLock, AffinityMode::kNone},
-                      ModeParam{SchedulerKind::kGlobalLock, AffinityMode::kOperator},
-                      ModeParam{SchedulerKind::kGlobalLock, AffinityMode::kData},
-                      ModeParam{SchedulerKind::kWorkStealing, AffinityMode::kNone},
-                      ModeParam{SchedulerKind::kWorkStealing, AffinityMode::kOperator},
-                      ModeParam{SchedulerKind::kWorkStealing, AffinityMode::kData}),
-    mode_name);
+INSTANTIATE_TEST_SUITE_P(Modes, SchedulerEquivalence,
+                         ::testing::Values(AffinityMode::kNone, AffinityMode::kOperator,
+                                           AffinityMode::kData),
+                         affinity_name);
 
 TEST(SchedulerStats, WorkStealingCountersAreCoherent) {
   if (env_overrides_scheduler("work_stealing")) {

@@ -187,7 +187,9 @@ TEST(SoleConsumer, RuntimeSkipsProvablyWastedClone) {
 
 TEST(SoleConsumer, FastPathKillSwitchRestoresClones) {
   CompileResult result = compile(kHeldUniqueProgram, true);
-  Runtime runtime(registry(), {.num_workers = 2, .unique_fastpath = false});
+  RuntimeConfig config{.num_workers = 2};
+  config.unique_fastpath = false;
+  Runtime runtime(registry(), config);
   EXPECT_EQ(runtime.run(result.program).as_int(), 3);
   EXPECT_EQ(runtime.last_stats().cow_copies, 1u);
   EXPECT_EQ(runtime.last_stats().cow_skipped, 0u);
@@ -236,7 +238,9 @@ main()
   bool have_expected = false;
   for (int workers : {1, 2, 4, 8}) {
     for (bool fastpath : {true, false}) {
-      Runtime runtime(registry(), {.num_workers = workers, .unique_fastpath = fastpath});
+      RuntimeConfig config{.num_workers = workers};
+      config.unique_fastpath = fastpath;
+      Runtime runtime(registry(), config);
       const int64_t a = runtime.run(analyzed.program).as_int();
       const int64_t b = runtime.run(plain.program).as_int();
       if (!have_expected) {

@@ -56,7 +56,9 @@ main()
 )",
                                              *reg);
   Runtime with_tail(*reg, {.num_workers = 2});
-  Runtime without_tail(*reg, {.num_workers = 2, .enable_tail_calls = false});
+  RuntimeConfig no_tail_config{.num_workers = 2};
+  no_tail_config.enable_tail_calls = false;
+  Runtime without_tail(*reg, no_tail_config);
   EXPECT_EQ(with_tail.run(program).as_int(), 5000);
   EXPECT_EQ(without_tail.run(program).as_int(), 5000);  // values unchanged
   EXPECT_LT(with_tail.last_stats().peak_live_activations, 100u);

@@ -2,12 +2,15 @@
 // Chrome trace export.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "src/delirium.h"
 #include "src/tools/report.h"
@@ -87,7 +90,9 @@ TEST(Trace, RoundTripFromARealRun) {
   register_builtin_operators(registry);
   CompiledProgram program = compile_or_throw(
       "main() iterate { i = 0, incr(i) } while less_than(i, 20), result i", registry);
-  Runtime runtime(registry, {.num_workers = 2, .enable_node_timing = true});
+  RuntimeConfig config{.num_workers = 2};
+  config.enable_node_timing = true;
+  Runtime runtime(registry, config);
   runtime.run(program);
   ASSERT_FALSE(runtime.node_timings().empty());
   const std::string path = ::testing::TempDir() + "/delirium_trace_test.json";
@@ -145,12 +150,61 @@ TEST(Cli, HelpNamesEveryDocumentedFlag) {
     EXPECT_TRUE(help_flags.count(flag)) << flag << " missing from delc --help";
   }
   // The env knobs must be documented alongside the flags.
-  for (const char* env : {"DELIRIUM_SCHEDULER", "DELIRIUM_INJECT_FAULTS",
-                          "DELIRIUM_RETRIES", "DELIRIUM_TRACE",
-                          "DELIRIUM_TRACE_CAPACITY"}) {
+  for (const char* env : {"DELIRIUM_EXECUTOR", "DELIRIUM_SCHEDULER",
+                          "DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES",
+                          "DELIRIUM_TRACE", "DELIRIUM_TRACE_CAPACITY",
+                          "DELIRIUM_ACTIVATION_POOL"}) {
     EXPECT_NE(cli_md.find(env), std::string::npos) << env << " missing from docs/CLI.md";
     EXPECT_NE(help.find(env), std::string::npos) << env << " missing from delc --help";
   }
+}
+
+// Run `command` through the shell; returns {exit status, combined stdout}.
+std::pair<int, std::string> run_command(const std::string& command) {
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return {-1, ""};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  const int status = ::pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, out};
+}
+
+TEST(Cli, ExecutorFlagSelectsEngine) {
+  const std::string program = ::testing::TempDir() + "/delc_executor_test.dlr";
+  {
+    std::ofstream out(program);
+    out << "main() add(40, 2)\n";
+  }
+  const std::string delc = std::string(DELIRIUM_DELC_PATH);
+
+  // --executor sim rewrites --run onto the simulator (makespan line).
+  auto [sim_status, sim_out] =
+      run_command("env -u DELIRIUM_EXECUTOR " + delc + " --run --executor sim " + program);
+  EXPECT_EQ(sim_status, 0);
+  EXPECT_NE(sim_out.find("result: 42"), std::string::npos) << sim_out;
+  EXPECT_NE(sim_out.find("virtual makespan"), std::string::npos) << sim_out;
+
+  // The --executor=E form works, and threaded rewrites --sim back.
+  auto [thr_status, thr_out] = run_command("env -u DELIRIUM_EXECUTOR " + delc +
+                                           " --sim 4 --executor=threaded " + program);
+  EXPECT_EQ(thr_status, 0);
+  EXPECT_NE(thr_out.find("result: 42"), std::string::npos) << thr_out;
+  EXPECT_EQ(thr_out.find("virtual makespan"), std::string::npos) << thr_out;
+
+  // DELIRIUM_EXECUTOR wins over the flag.
+  auto [env_status, env_out] = run_command("env DELIRIUM_EXECUTOR=sim " + delc +
+                                           " --run --executor threaded " + program);
+  EXPECT_EQ(env_status, 0);
+  EXPECT_NE(env_out.find("virtual makespan"), std::string::npos) << env_out;
+
+  // Unknown engines are a usage error.
+  auto [bad_status, bad_out] =
+      run_command("env -u DELIRIUM_EXECUTOR " + delc + " --executor warp " + program +
+                  " 2>/dev/null");
+  EXPECT_EQ(bad_status, 2) << bad_out;
 }
 
 }  // namespace
