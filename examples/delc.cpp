@@ -43,6 +43,11 @@
 //                     of provably-shared blocks (guaranteed CoW copies)
 //                     and provably-unique ones (clone elided)
 //     --lint-json     the same findings as machine-readable JSON on stdout
+//     --analyze       report the graph-facts table (src/analysis/facts.h):
+//                     per-template purity, delivery, heights, constants,
+//                     dead parameters, stranded locations, rewrite stats
+//     --format F      output format for --analyze: "text" (default) or
+//                     "json" (a superset of the --lint-json schema)
 //     --verify-graphs run the structural graph verifier even in release
 //                     builds; defects are reported as errors
 //
@@ -59,6 +64,7 @@
 #include "src/delirium.h"
 #include "src/lang/macro.h"
 #include "src/runtime/sim.h"
+#include "src/tools/analysis_json.h"
 #include "src/tools/metrics.h"
 #include "src/tools/report.h"
 #include "src/tools/trace.h"
@@ -78,6 +84,9 @@ void print_usage(std::FILE* out) {
       "  --timings                 print per-pass compile times\n"
       "  --lint                    report the sole-consumer analysis findings\n"
       "  --lint-json               the same findings as JSON on stdout\n"
+      "  --analyze                 report the graph-facts table (purity, heights,\n"
+      "                            constants, dead params, stranded locations)\n"
+      "  --format text|json        output format for --analyze (default text)\n"
       "  --verify-graphs           run the structural graph verifier\n"
       "  --run                     execute main() with the built-in operators\n"
       "  --executor threaded|sim   which engine executes the program (--executor=E\n"
@@ -99,7 +108,10 @@ void print_usage(std::FILE* out) {
       "  --help                    print this flag summary and exit\n"
       "environment: DELIRIUM_EXECUTOR, DELIRIUM_SCHEDULER, DELIRIUM_INJECT_FAULTS,\n"
       "             DELIRIUM_RETRIES, DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY,\n"
-      "             DELIRIUM_ACTIVATION_POOL (see docs/CLI.md)\n");
+      "             DELIRIUM_ACTIVATION_POOL, DELIRIUM_GRAPH_FACTS,\n"
+      "             DELIRIUM_FACTS_FOLD, DELIRIUM_FACTS_DEADPARAM,\n"
+      "             DELIRIUM_FACTS_STRAND, DELIRIUM_FACTS_SOLE,\n"
+      "             DELIRIUM_SCHED_HINTS, DELIRIUM_COST_HINTS (see docs/CLI.md)\n");
 }
 
 int usage() {
@@ -119,6 +131,8 @@ int main(int argc, char** argv) {
   std::string executor;  // "", "threaded", or "sim"
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
   bool lint = false, lint_json = false, verify_graphs = false, stats = false;
+  bool analyze = false;
+  std::string analyze_format = "text";
   int workers = 4;
   int sim_procs = 0;
   int retries = 0;
@@ -133,6 +147,11 @@ int main(int argc, char** argv) {
     else if (arg == "--run") run = true;
     else if (arg == "--lint") lint = true;
     else if (arg == "--lint-json") lint_json = true;
+    else if (arg == "--analyze") analyze = true;
+    else if (arg == "--format" && i + 1 < argc) {
+      analyze_format = argv[++i];
+      if (analyze_format != "text" && analyze_format != "json") return usage();
+    }
     else if (arg == "--verify-graphs") verify_graphs = true;
     else if (arg == "--stats") stats = true;
     else if (arg == "--executor" && i + 1 < argc) executor = argv[++i];
@@ -238,11 +257,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "delc: graph verifier: all templates well-formed\n");
   }
 
+  if (analyze) {
+    delirium::SourceFile file(path, buffer.str());
+    const std::string report = analyze_format == "json"
+                                   ? delirium::tools::render_analysis_json(result, file)
+                                   : delirium::tools::render_analysis_text(result, file);
+    std::fputs(report.c_str(), stdout);
+  }
+
   if (lint || lint_json) {
     delirium::SourceFile file(path, buffer.str());
     if (lint_json) {
-      std::fputs(delirium::render_lint_json(result.lint, result.sole_consumer, file).c_str(),
-                 stdout);
+      std::fputs(
+          delirium::tools::render_lint_json(result.lint, result.sole_consumer, file).c_str(),
+          stdout);
     }
     if (lint) {
       delirium::DiagnosticEngine lint_diags;

@@ -1,0 +1,183 @@
+// GraphFacts: one whole-program dataflow fact table per CompiledProgram.
+//
+// §6.1 of the paper: "Unnecessary nodes in the graph translate into
+// extra overhead at run-time." The passes that remove or exploit those
+// nodes all need the same structural groundwork — producer maps, call
+// sites, reachability across call/closure edges — so this engine
+// computes it once, runs a small set of forward and backward fixpoint
+// analyses over it, and publishes the results as one immutable
+// `GraphFacts` value. Independent consumers read the table instead of
+// re-deriving structure:
+//
+//   * graph_opt      — graph-level constant folding and dead-parameter
+//                      pruning (rewrites driven by `constants` and
+//                      `param_live`);
+//   * graph_verify   — static strandedness: nodes whose inputs provably
+//                      never arrive become compile-time diagnostics
+//                      instead of a runtime deadlock dump;
+//   * sole_consumer  — interprocedural upgrade: kUnknown destructive
+//                      edges resolve across call boundaries using
+//                      `returns_fresh` and `callers`;
+//   * the executors  — `on_critical_path` marks feed the ready queues'
+//                      critical-path sub-levels (static priority hints
+//                      sharpening the paper's three-level heuristic);
+//   * delc --analyze — human- and machine-readable report.
+//
+// Every analysis is *sound but incomplete*: a fact is only published
+// when it holds on every execution of the program (under the embedding
+// contract that operators honor their purity annotations), and the
+// absence of a fact means "unknown", never "false". The soundness
+// argument per analysis lives in docs/ANALYSIS.md.
+//
+// All tables are deterministic functions of (program, operator table):
+// no iteration order over hash maps leaks into the results, so delc
+// --analyze output is byte-stable across schedulers and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/template.h"
+#include "src/sema/operator_table.h"
+
+namespace delirium {
+
+/// Which analyses to run. Structure (producers, call sites) is always
+/// computed; everything else can be switched off individually for
+/// ablation. compile_source() resolves the DELIRIUM_* kill switches
+/// into these flags (see from_env).
+struct FactsOptions {
+  bool constants = true;      // interprocedural constant propagation
+  bool liveness = true;       // observed-output / live-parameter marks
+  bool strandedness = true;   // static never-delivers / never-fires facts
+  bool heights = true;        // critical-path cost estimation
+  bool fresh_returns = true;  // returns_fresh (sole_consumer interproc)
+
+  /// Apply the per-analysis environment kill switches on top of the
+  /// current values: DELIRIUM_FACTS_FOLD=0, DELIRIUM_FACTS_DEADPARAM=0,
+  /// DELIRIUM_FACTS_STRAND=0, DELIRIUM_SCHED_HINTS=0 and
+  /// DELIRIUM_FACTS_SOLE=0 each clear the analysis backing that
+  /// consumer. When an analysis is off, its tables are filled with
+  /// vacuous facts (nothing constant, everything live, everything
+  /// delivering), so consumers need no separate gating.
+  static FactsOptions from_env(FactsOptions base);
+  static FactsOptions from_env() { return from_env(FactsOptions()); }
+};
+
+/// Master kill switch: DELIRIUM_GRAPH_FACTS=0 disables the engine and
+/// every consumer (the compiler then never computes a fact table).
+bool graph_facts_enabled();
+
+/// One reference to a template: the (template, node) pair of a kCall or
+/// kMakeClosure node targeting it.
+struct TemplateRef {
+  uint32_t tmpl = 0;
+  uint32_t node = 0;
+};
+
+/// One statically-stranded location: a node whose inputs provably never
+/// all arrive, or a template that provably never delivers its result.
+struct StrandedFact {
+  static constexpr uint32_t kNoNode = 0xffffffff;
+  uint32_t tmpl = 0;
+  uint32_t node = kNoNode;  // kNoNode: the template itself
+  std::string reason;
+};
+
+/// The immutable whole-program fact table. Indexing: anything shaped
+/// [t][n] is per template `t`, per node `n`; [t][i] over parameters is
+/// per parameter position.
+struct GraphFacts {
+  // -- Structure (always present) -------------------------------------------
+
+  /// producers[t][n][port] = node id producing input `port` of node `n`.
+  std::vector<std::vector<std::vector<uint32_t>>> producers;
+  /// Every kCall site targeting template t.
+  std::vector<std::vector<TemplateRef>> callers;
+  /// Every kMakeClosure site targeting template t.
+  std::vector<std::vector<TemplateRef>> closure_sites;
+  /// Template t is referenced only through kCall nodes — never by name
+  /// (entry / run_function) and never through a closure — so its full
+  /// set of invocations is statically known.
+  std::vector<uint8_t> call_only;
+
+  // -- Constant propagation --------------------------------------------------
+
+  /// constants[t][n]: the value node n produces on *every* execution,
+  /// when statically known. Scalars only (ConstValue's domain).
+  std::vector<std::vector<std::optional<ConstValue>>> constants;
+  /// param_constants[t][i]: every reaching argument is this constant.
+  std::vector<std::vector<std::optional<ConstValue>>> param_constants;
+  /// Template t is effect-free: its body (transitively, through kCall)
+  /// contains only pure operators and plumbing, and no dynamic dispatch.
+  /// A pure template whose result is constant may be folded whole.
+  std::vector<uint8_t> pure_templates;
+
+  // -- Liveness --------------------------------------------------------------
+
+  /// observed[t][n]: node n is retained under interprocedural liveness —
+  /// the mark phase of dead-node elimination, minus the "parameters are
+  /// pinned" seed, refined so an argument edge into a call (or a capture
+  /// edge into a closure) only keeps its producer alive when the callee
+  /// parameter it feeds is itself observed. A kParam with observed ==
+  /// false is a dead parameter, even when its only uses are loop-carried.
+  std::vector<std::vector<uint8_t>> observed;
+  /// param_live[t][i]: parameter i has at least one observing consumer.
+  std::vector<std::vector<uint8_t>> param_live;
+
+  // -- Strandedness ----------------------------------------------------------
+
+  /// delivers[t]: template t provably delivers a result on every
+  /// activation (all kCall nodes feeding its return bottom out). False
+  /// means the return depends on an unconditional kCall cycle — every
+  /// node fires exactly once per activation, so such recursion can
+  /// never terminate and the result provably never arrives.
+  std::vector<uint8_t> delivers;
+  /// arrives[t][n]: node n's inputs all provably arrive (no diverging
+  /// kCall in its backward slice). False nodes are statically stranded.
+  std::vector<std::vector<uint8_t>> arrives;
+  /// Deterministically ordered (template-major, then node id) list of
+  /// stranded locations with human-readable reasons.
+  std::vector<StrandedFact> stranded;
+
+  // -- Critical path ---------------------------------------------------------
+
+  /// height[t][n]: length (in node-firings, calls weighted by callee
+  /// height) of the longest dependency chain from node n to the
+  /// template's delivery. The executors' static priority hint.
+  std::vector<std::vector<int64_t>> height;
+  /// on_critical_path[t][n]: n lies on a maximal-height chain.
+  std::vector<std::vector<uint8_t>> on_critical_path;
+  /// template_height[t] = height of the return node's chain.
+  std::vector<int64_t> template_height;
+
+  // -- Sole-consumer support -------------------------------------------------
+
+  /// returns_fresh[t]: the value template t delivers is freshly
+  /// manufactured inside the activation and aliases nothing else —
+  /// every link of the chain that builds it has a single consumer. A
+  /// caller may treat the kCall result as uniquely held.
+  std::vector<uint8_t> returns_fresh;
+
+  const std::vector<uint32_t>& producers_of(uint32_t tmpl, uint32_t node) const {
+    return producers[tmpl][node];
+  }
+  bool is_constant(uint32_t tmpl, uint32_t node) const {
+    return constants[tmpl][node].has_value();
+  }
+};
+
+/// Compute the fact table for `program`. Pure function of its inputs;
+/// the program is not modified.
+GraphFacts compute_graph_facts(const CompiledProgram& program,
+                               const OperatorTable& operators,
+                               const FactsOptions& options = FactsOptions());
+
+/// Annotate every node's `on_critical_path` flag from the facts table
+/// (the executors' static scheduling hint). Returns the number of nodes
+/// marked. A no-op when the heights analysis was disabled.
+size_t apply_sched_hints(CompiledProgram& program, const GraphFacts& facts);
+
+}  // namespace delirium

@@ -1,0 +1,488 @@
+// Implementation of src/graph/graph_opt.h.
+//
+// Lives in the analysis library because the fact-driven rewrites
+// (constant folding, dead-parameter pruning) read the GraphFacts tables,
+// which are layered above the graph structures. The pass runs rewrite
+// rounds until a round reports no changes, which makes optimize_graphs
+// idempotent by construction: the terminating round *is* the proof that
+// a second invocation finds nothing to do.
+
+#include "src/graph/graph_opt.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/analysis/facts.h"
+
+namespace delirium {
+
+namespace {
+
+/// Renumber input slots densely in node order. Every structural rewrite
+/// (input removal, node removal) ends with this so the verifier's dense
+/// layout invariant holds between rounds.
+void relayout_slots(Template& tmpl) {
+  uint32_t slots = 0;
+  for (Node& node : tmpl.nodes) {
+    node.input_offset = slots;
+    slots += node.num_inputs;
+  }
+  tmpl.value_slots = slots;
+}
+
+/// A node's execution can matter even if its result is unused: impure
+/// operators have effects, and subgraph expansions (calls, dispatches)
+/// may contain them.
+bool always_needed(const Node& node, const OperatorTable& operators) {
+  switch (node.kind) {
+    case NodeKind::kReturn:
+    case NodeKind::kCall:
+    case NodeKind::kCallClosure:
+    case NodeKind::kIfDispatch:
+    case NodeKind::kParMap:
+      return true;
+    case NodeKind::kParam:
+      // Parameters are slots of the activation interface; they stay.
+      return true;
+    case NodeKind::kOperator: {
+      const OperatorInfo* info = operators.lookup(node.op_name);
+      return info == nullptr || !info->pure;
+    }
+    case NodeKind::kConst:
+    case NodeKind::kTupleMake:
+    case NodeKind::kTupleGet:
+    case NodeKind::kMakeClosure:
+      return false;
+  }
+  return true;
+}
+
+size_t remove_dead_nodes(Template& tmpl, const OperatorTable& operators) {
+  const size_t n = tmpl.nodes.size();
+  // Producer of each input port: port (node, index) -> producer node.
+  // Built from the consumer lists.
+  std::vector<std::vector<uint32_t>> producers(n);
+  for (size_t i = 0; i < n; ++i) producers[i].assign(tmpl.nodes[i].num_inputs, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const PortRef& c : tmpl.nodes[i].consumers) {
+      producers[c.node][c.port] = i;
+    }
+  }
+
+  // Mark needed nodes: seeds + transitive producers.
+  std::vector<uint8_t> needed(n, 0);
+  std::vector<uint32_t> work;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (always_needed(tmpl.nodes[i], operators)) {
+      needed[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const uint32_t node = work.back();
+    work.pop_back();
+    for (uint32_t producer : producers[node]) {
+      if (!needed[producer]) {
+        needed[producer] = 1;
+        work.push_back(producer);
+      }
+    }
+  }
+
+  size_t removed = 0;
+  for (uint8_t flag : needed) removed += flag == 0 ? 1 : 0;
+  if (removed == 0) return 0;
+
+  // Compact: old id -> new id; drop dead nodes and edges into them.
+  std::vector<uint32_t> remap(n, 0);
+  std::vector<Node> kept;
+  kept.reserve(n - removed);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (needed[i]) {
+      remap[i] = static_cast<uint32_t>(kept.size());
+      kept.push_back(std::move(tmpl.nodes[i]));
+    }
+  }
+  for (Node& node : kept) {
+    std::vector<PortRef> consumers;
+    consumers.reserve(node.consumers.size());
+    for (const PortRef& c : node.consumers) {
+      if (needed[c.node]) consumers.push_back(PortRef{remap[c.node], c.port});
+    }
+    node.consumers = std::move(consumers);
+  }
+  tmpl.nodes = std::move(kept);
+  relayout_slots(tmpl);
+  tmpl.return_node = remap[tmpl.return_node];
+  for (uint32_t& p : tmpl.param_nodes) p = remap[p];
+  return removed;
+}
+
+/// Templates whose whole reachable subgraph (kCall / kMakeClosure
+/// targets, transitively) is free of reference cycles. Folding a kCall
+/// to such a template can never erase a cycle edge — so the verifier's
+/// priority pinning (which is recomputed from the reference graph)
+/// stays valid, and no nonterminating pure recursion is "folded into"
+/// a value.
+std::vector<uint8_t> acyclic_reach(const CompiledProgram& program) {
+  const uint32_t count = static_cast<uint32_t>(program.templates.size());
+  std::vector<std::vector<uint32_t>> edges(count);
+  for (uint32_t t = 0; t < count; ++t) {
+    for (const Node& node : program.templates[t]->nodes) {
+      if ((node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) &&
+          node.target_template < count) {
+        edges[t].push_back(node.target_template);
+      }
+    }
+  }
+  // acyclic[t] = 1 iff the DFS from t completes without hitting an open
+  // (on-stack) template. Iterative three-color DFS; a gray hit taints
+  // every template still on the stack and, transitively, everything
+  // that reaches them — handled by rerooting from each template.
+  std::vector<uint8_t> acyclic(count, 0);
+  std::vector<uint8_t> state(count, 0);  // 0 new, 1 open, 2 done-acyclic, 3 done-cyclic
+  for (uint32_t root = 0; root < count; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<uint32_t, uint32_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [t, next] = stack.back();
+      if (next < edges[t].size()) {
+        const uint32_t u = edges[t][next++];
+        if (state[u] == 0) {
+          state[u] = 1;
+          stack.emplace_back(u, 0);
+        } else if (state[u] == 1 || state[u] == 3) {
+          // Back edge (cycle) or edge into a known-cyclic region: this
+          // template, and everything still open beneath it, is tainted.
+          for (auto& frame : stack) state[frame.first] = 3;
+        }
+      } else {
+        if (state[t] == 1) state[t] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  for (uint32_t t = 0; t < count; ++t) acyclic[t] = state[t] == 2 ? 1 : 0;
+  return acyclic;
+}
+
+/// Rewrite provably-constant operator and call nodes to kConst. Gated
+/// per node on `arrives` (a value downstream of a diverging call must
+/// not materialize) and, for calls, on the callee being pure (effects
+/// survive), delivering, and cycle-free (see acyclic_reach).
+size_t fold_constants(CompiledProgram& program, const OperatorTable& operators,
+                      const GraphFacts& facts, GraphOptStats& stats) {
+  const uint32_t count = static_cast<uint32_t>(program.templates.size());
+  const std::vector<uint8_t> acyclic = acyclic_reach(program);
+  size_t folded = 0;
+  for (uint32_t t = 0; t < count; ++t) {
+    Template& tmpl = *program.templates[t];
+    const uint32_t before_slots = tmpl.value_slots;
+    bool touched = false;
+    for (uint32_t i = 0; i < tmpl.nodes.size(); ++i) {
+      Node& node = tmpl.nodes[i];
+      if (node.kind != NodeKind::kOperator && node.kind != NodeKind::kCall) continue;
+      if (!facts.constants[t][i].has_value() || !facts.arrives[t][i]) continue;
+      if (node.kind == NodeKind::kOperator) {
+        const OperatorInfo* info = operators.lookup(node.op_name);
+        if (info == nullptr || !info->pure) continue;
+      } else {
+        if (node.target_template >= count || !facts.pure_templates[node.target_template] ||
+            !facts.delivers[node.target_template] || !acyclic[node.target_template]) {
+          continue;
+        }
+      }
+      // Detach from the producers; their results are no longer read here.
+      for (uint16_t p = 0; p < node.num_inputs; ++p) {
+        const uint32_t q = facts.producers[t][i][p];
+        auto& consumers = tmpl.nodes[q].consumers;
+        for (size_t k = 0; k < consumers.size(); ++k) {
+          if (consumers[k].node == i && consumers[k].port == p) {
+            consumers.erase(consumers.begin() + k);
+            break;
+          }
+        }
+      }
+      node.kind = NodeKind::kConst;
+      node.literal = *facts.constants[t][i];
+      node.num_inputs = 0;
+      node.op_index = -1;
+      node.op_name.clear();
+      node.target_template = 0;
+      node.priority = PriorityClass::kNormal;
+      node.is_tail = false;
+      node.input_classes.clear();
+      if (!node.debug_label.empty()) node.debug_label = "folded:" + node.debug_label;
+      ++folded;
+      touched = true;
+    }
+    if (touched) {
+      relayout_slots(tmpl);
+      stats.slots_reclaimed += before_slots - tmpl.value_slots;
+    }
+  }
+  return folded;
+}
+
+/// Remove parameters the liveness facts prove unobservable. Explicit
+/// parameters are only removable on call-only templates (their full
+/// invocation set is static); captures are removable on any anonymous
+/// template. Named templates keep their signature — it is the
+/// run_function ABI. All argument and capture edges feeding a dead
+/// parameter are dropped at every site in one synchronized pass; the
+/// parameter node itself becomes a consumer-less constant the next
+/// dead-node sweep deletes.
+size_t prune_dead_params(CompiledProgram& program, const GraphFacts& facts,
+                         GraphOptStats& stats) {
+  const uint32_t count = static_cast<uint32_t>(program.templates.size());
+  std::vector<uint8_t> named(count, 0);
+  for (const auto& [name, index] : program.by_name) {
+    if (index < count) named[index] = 1;
+  }
+  if (program.entry < count) named[program.entry] = 1;
+
+  // Dead parameter positions per template, ascending.
+  std::vector<std::vector<uint32_t>> dead(count);
+  size_t pruned = 0;
+  for (uint32_t t = 0; t < count; ++t) {
+    if (named[t]) continue;
+    const Template& tmpl = *program.templates[t];
+    const uint32_t explicit_params = tmpl.explicit_params();
+    for (uint32_t i = 0; i < tmpl.num_params && i < facts.param_live[t].size(); ++i) {
+      if (facts.param_live[t][i]) continue;
+      if (i < explicit_params && !facts.call_only[t]) continue;
+      dead[t].push_back(i);
+    }
+    pruned += dead[t].size();
+  }
+  if (pruned == 0) return 0;
+
+  // Pass 1: shrink every call and closure-creation site. An edge into a
+  // dropped port disappears; surviving ports renumber densely.
+  for (uint32_t ct = 0; ct < count; ++ct) {
+    Template& tmpl = *program.templates[ct];
+    const uint32_t n = static_cast<uint32_t>(tmpl.nodes.size());
+    std::vector<std::vector<uint8_t>> drop(n);
+    bool any = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      const Node& node = tmpl.nodes[i];
+      if (node.kind != NodeKind::kCall && node.kind != NodeKind::kMakeClosure) continue;
+      if (node.target_template >= count || dead[node.target_template].empty()) continue;
+      const uint32_t explicit_params = program.templates[node.target_template]->explicit_params();
+      drop[i].assign(node.num_inputs, 0);
+      for (uint32_t param : dead[node.target_template]) {
+        // kCall ports mirror parameter positions; kMakeClosure ports
+        // mirror capture positions (parameter position - explicits).
+        const uint32_t port = node.kind == NodeKind::kCall
+                                  ? param
+                                  : (param >= explicit_params ? param - explicit_params
+                                                              : node.num_inputs);
+        if (port < node.num_inputs) {
+          drop[i][port] = 1;
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;
+    std::vector<std::vector<uint16_t>> new_port(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (drop[i].empty()) continue;
+      new_port[i].resize(drop[i].size());
+      uint16_t next = 0;
+      for (size_t p = 0; p < drop[i].size(); ++p) {
+        new_port[i][p] = next;
+        if (!drop[i][p]) ++next;
+      }
+    }
+    for (Node& producer : tmpl.nodes) {
+      auto& consumers = producer.consumers;
+      size_t write = 0;
+      for (size_t r = 0; r < consumers.size(); ++r) {
+        PortRef c = consumers[r];
+        if (!drop[c.node].empty() && c.port < drop[c.node].size()) {
+          if (drop[c.node][c.port]) continue;
+          c.port = new_port[c.node][c.port];
+        }
+        consumers[write++] = c;
+      }
+      consumers.resize(write);
+    }
+    const uint32_t before_slots = tmpl.value_slots;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (drop[i].empty()) continue;
+      Node& node = tmpl.nodes[i];
+      uint16_t removed = 0;
+      for (uint8_t flag : drop[i]) removed += flag;
+      if (removed == 0) continue;
+      if (!node.input_classes.empty()) {
+        std::vector<ConsumeClass> kept_classes;
+        for (size_t p = 0; p < node.input_classes.size(); ++p) {
+          if (p >= drop[i].size() || !drop[i][p]) kept_classes.push_back(node.input_classes[p]);
+        }
+        node.input_classes = std::move(kept_classes);
+      }
+      node.num_inputs -= removed;
+    }
+    relayout_slots(tmpl);
+    stats.slots_reclaimed += before_slots - tmpl.value_slots;
+  }
+
+  // Pass 2: shrink the parameter rows. The dead kParam node turns into
+  // an unconsumed NULL constant (its observing edges were all dropped
+  // above or feed nodes that are themselves dead) for the next
+  // dead-node sweep to collect.
+  for (uint32_t t = 0; t < count; ++t) {
+    if (dead[t].empty()) continue;
+    Template& tmpl = *program.templates[t];
+    const uint32_t explicit_params = tmpl.explicit_params();
+    std::vector<uint8_t> is_dead(tmpl.num_params, 0);
+    uint32_t dead_captures = 0;
+    for (uint32_t param : dead[t]) {
+      is_dead[param] = 1;
+      if (param >= explicit_params) ++dead_captures;
+    }
+    std::vector<uint32_t> kept_params;
+    kept_params.reserve(tmpl.param_nodes.size() - dead[t].size());
+    uint32_t next_index = 0;
+    for (uint32_t i = 0; i < tmpl.num_params && i < tmpl.param_nodes.size(); ++i) {
+      Node& node = tmpl.nodes[tmpl.param_nodes[i]];
+      if (is_dead[i]) {
+        node.kind = NodeKind::kConst;
+        node.literal = ConstValue{};
+        node.param_index = 0;
+        if (!node.debug_label.empty()) node.debug_label = "dead:" + node.debug_label;
+      } else {
+        node.param_index = next_index++;
+        kept_params.push_back(tmpl.param_nodes[i]);
+      }
+    }
+    tmpl.param_nodes = std::move(kept_params);
+    tmpl.num_params -= static_cast<uint32_t>(dead[t].size());
+    tmpl.num_captures -= dead_captures;
+  }
+  return pruned;
+}
+
+/// Prune unreachable anonymous templates. Named (global function)
+/// templates stay: they are callable through run_function.
+size_t prune_unreachable_templates(CompiledProgram& program) {
+  const size_t count = program.templates.size();
+  std::vector<uint8_t> reachable(count, 0);
+  std::vector<uint32_t> work;
+  for (const auto& [name, index] : program.by_name) {
+    if (!reachable[index]) {
+      reachable[index] = 1;
+      work.push_back(index);
+    }
+  }
+  if (program.entry < count && !reachable[program.entry]) {
+    reachable[program.entry] = 1;
+    work.push_back(program.entry);
+  }
+  while (!work.empty()) {
+    const uint32_t t = work.back();
+    work.pop_back();
+    for (const Node& node : program.templates[t]->nodes) {
+      if (node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) {
+        if (!reachable[node.target_template]) {
+          reachable[node.target_template] = 1;
+          work.push_back(node.target_template);
+        }
+      }
+    }
+  }
+  size_t pruned = 0;
+  for (uint8_t flag : reachable) pruned += flag == 0 ? 1 : 0;
+  if (pruned == 0) return 0;
+  std::vector<uint32_t> remap(count, 0);
+  std::vector<std::unique_ptr<Template>> kept;
+  kept.reserve(count - pruned);
+  for (uint32_t t = 0; t < count; ++t) {
+    if (reachable[t]) {
+      remap[t] = static_cast<uint32_t>(kept.size());
+      kept.push_back(std::move(program.templates[t]));
+    }
+  }
+  for (auto& tmpl : kept) {
+    for (Node& node : tmpl->nodes) {
+      if (node.kind == NodeKind::kCall || node.kind == NodeKind::kMakeClosure) {
+        node.target_template = remap[node.target_template];
+      }
+    }
+  }
+  program.templates = std::move(kept);
+  for (auto& [name, index] : program.by_name) index = remap[index];
+  program.entry = remap[program.entry];
+  return pruned;
+}
+
+}  // namespace
+
+GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& operators,
+                              const GraphOptOptions& options, GraphFacts* final_facts) {
+  GraphOptStats stats;
+  GraphOptOptions opt = options;
+  if (!graph_facts_enabled()) opt.facts = false;
+  {
+    const FactsOptions env = FactsOptions::from_env();
+    opt.fold_constants = opt.fold_constants && env.constants;
+    opt.prune_dead_params = opt.prune_dead_params && env.liveness;
+  }
+  const bool rewrite = opt.facts && (opt.fold_constants || opt.prune_dead_params);
+
+  // Rewrite rounds until a fixpoint: folding exposes dead nodes, dead
+  // parameters expose dead argument chains, which expose more constants.
+  // Every rewrite strictly shrinks the program (node, input, parameter,
+  // or template count), so the loop terminates.
+  for (;;) {
+    ++stats.rounds;
+    size_t round_changes = 0;
+
+    if (rewrite) {
+      FactsOptions wanted;
+      wanted.constants = opt.fold_constants;
+      wanted.liveness = opt.prune_dead_params;
+      wanted.strandedness = true;  // `arrives` gates folding soundness
+      wanted.heights = false;
+      wanted.fresh_returns = false;
+      const GraphFacts facts = compute_graph_facts(program, operators, wanted);
+      if (opt.fold_constants) {
+        const size_t folded = fold_constants(program, operators, facts, stats);
+        stats.consts_folded += folded;
+        round_changes += folded;
+      }
+      if (opt.prune_dead_params) {
+        const size_t pruned = prune_dead_params(program, facts, stats);
+        stats.dead_params_pruned += pruned;
+        round_changes += pruned;
+      }
+    }
+
+    // Dead-node elimination + slot compaction, per template.
+    for (auto& tmpl : program.templates) {
+      const uint32_t before_slots = tmpl->value_slots;
+      const size_t removed = remove_dead_nodes(*tmpl, operators);
+      stats.dead_nodes_removed += removed;
+      stats.slots_reclaimed += before_slots - tmpl->value_slots;
+      round_changes += removed;
+    }
+
+    const size_t templates_pruned = prune_unreachable_templates(program);
+    stats.templates_pruned += templates_pruned;
+    round_changes += templates_pruned;
+
+    if (round_changes == 0) break;
+  }
+
+  if (final_facts != nullptr) {
+    *final_facts = compute_graph_facts(program, operators, FactsOptions::from_env());
+  }
+  return stats;
+}
+
+GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& operators) {
+  return optimize_graphs(program, operators, GraphOptOptions(), nullptr);
+}
+
+}  // namespace delirium

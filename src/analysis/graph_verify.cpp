@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "src/analysis/facts.h"
+
 namespace delirium {
 
 namespace {
@@ -10,8 +12,8 @@ namespace {
 class Verifier {
  public:
   Verifier(const CompiledProgram& program, const OperatorTable& operators,
-           const AnalysisResult* analysis)
-      : program_(program), operators_(operators), analysis_(analysis) {}
+           const AnalysisResult* analysis, const GraphFacts* facts)
+      : program_(program), operators_(operators), analysis_(analysis), facts_(facts) {}
 
   std::vector<VerifyIssue> run() {
     check_program_tables();
@@ -19,6 +21,7 @@ class Verifier {
     for (uint32_t ti = 0; ti < program_.templates.size(); ++ti) {
       check_template(ti);
     }
+    check_strandedness();
     return std::move(issues_);
   }
 
@@ -379,9 +382,26 @@ class Verifier {
     }
   }
 
+  /// Promote the facts engine's strandedness facts to diagnostics
+  /// (§7's "every node fires exactly once" makes an unconditional call
+  /// cycle statically detectable). The facts list is already ordered
+  /// template-major then by node id, so the report is deterministic.
+  void check_strandedness() {
+    if (facts_ == nullptr) return;
+    for (const StrandedFact& fact : facts_->stranded) {
+      if (fact.tmpl >= program_.templates.size()) continue;
+      const uint32_t node = fact.node == StrandedFact::kNoNode ? VerifyIssue::kNoNode : fact.node;
+      if (node != VerifyIssue::kNoNode && node >= program_.templates[fact.tmpl]->nodes.size()) {
+        continue;
+      }
+      issue(fact.tmpl, node, "statically stranded: " + fact.reason);
+    }
+  }
+
   const CompiledProgram& program_;
   const OperatorTable& operators_;
   const AnalysisResult* analysis_;
+  const GraphFacts* facts_;
   std::vector<VerifyIssue> issues_;
   std::vector<bool> on_cycle_;
 };
@@ -390,8 +410,8 @@ class Verifier {
 
 std::vector<VerifyIssue> verify_graphs(const CompiledProgram& program,
                                        const OperatorTable& operators,
-                                       const AnalysisResult* analysis) {
-  return Verifier(program, operators, analysis).run();
+                                       const AnalysisResult* analysis, const GraphFacts* facts) {
+  return Verifier(program, operators, analysis, facts).run();
 }
 
 std::string verify_report(const std::vector<VerifyIssue>& issues) {

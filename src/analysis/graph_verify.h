@@ -19,6 +19,8 @@
 
 namespace delirium {
 
+struct GraphFacts;
+
 /// One structural defect found by the verifier.
 struct VerifyIssue {
   uint32_t template_index = 0;
@@ -32,11 +34,16 @@ struct VerifyIssue {
 
 /// Check every template of `program` against the structural invariants.
 /// `analysis`, when provided, additionally cross-checks each named
-/// template's `recursive` flag against the recursion analysis. Returns
-/// all defects found (empty = well-formed).
+/// template's `recursive` flag against the recursion analysis. `facts`,
+/// when provided, promotes the engine's static strandedness facts
+/// (src/analysis/facts.h) to diagnostics: templates that provably never
+/// deliver and nodes whose inputs provably never arrive are reported at
+/// compile time instead of surfacing as a runtime deadlock dump.
+/// Returns all defects found (empty = well-formed).
 std::vector<VerifyIssue> verify_graphs(const CompiledProgram& program,
                                        const OperatorTable& operators,
-                                       const AnalysisResult* analysis = nullptr);
+                                       const AnalysisResult* analysis = nullptr,
+                                       const GraphFacts* facts = nullptr);
 
 /// Join issue messages into one newline-separated report ("" when clean).
 std::string verify_report(const std::vector<VerifyIssue>& issues);

@@ -1,8 +1,9 @@
 #include "src/analysis/sole_consumer.h"
 
 #include <cstdint>
-#include <cstdio>
 #include <unordered_set>
+
+#include "src/analysis/facts.h"
 
 namespace delirium {
 
@@ -22,8 +23,13 @@ constexpr size_t kMaxWrapDepth = 16;
 
 class Analyzer {
  public:
-  Analyzer(CompiledProgram& program, const OperatorTable& operators)
-      : program_(program), operators_(operators) {
+  Analyzer(CompiledProgram& program, const OperatorTable& operators, const GraphFacts* facts)
+      : program_(program), operators_(operators), facts_(facts) {
+    named_.assign(program.templates.size(), 0);
+    for (const auto& [name, index] : program.by_name) {
+      if (index < named_.size()) named_[index] = 1;
+    }
+    if (program.entry < named_.size()) named_[program.entry] = 1;
     producers_.resize(program.templates.size());
     for (uint32_t ti = 0; ti < program.templates.size(); ++ti) {
       const Template& t = *program.templates[ti];
@@ -196,9 +202,10 @@ class Analyzer {
       case NodeKind::kParam:
         return false;  // malformed graph; be conservative
       case NodeKind::kReturn:
-        // The value escapes to the caller / continuation; following every
-        // call site is out of scope for v1.
-        return false;
+        // The value escapes to the caller / continuation. With the facts
+        // tables the full site set of an anonymous template is static,
+        // so the chase continues in every caller.
+        return return_never_read(ti, wraps);
       case NodeKind::kOperator:
         // Operators may read (or pass through) any argument, wrapped or not.
         return false;
@@ -261,6 +268,34 @@ class Analyzer {
     return consumers_never_read(ti, param_node, wraps);
   }
 
+  /// The block escapes through template `ti`'s return. Interprocedural
+  /// continuation of the chase (facts engine, src/analysis/facts.h): an
+  /// anonymous template's deliveries land at statically-known places —
+  /// each kCall site's consumers, and each closure-invocation node's
+  /// consumers when every use of the closure value is an invocation.
+  /// Named templates stay conservative: run_function can observe them.
+  bool return_never_read(uint32_t ti, const std::vector<Wrap>& wraps) {
+    if (facts_ == nullptr || ti >= named_.size() || named_[ti]) return false;
+    for (const TemplateRef& site : facts_->callers[ti]) {
+      if (!consumers_never_read(site.tmpl, site.node, wraps)) return false;
+    }
+    for (const TemplateRef& site : facts_->closure_sites[ti]) {
+      const Template& host = *program_.templates[site.tmpl];
+      for (const PortRef& use : host.nodes[site.node].consumers) {
+        const Node& user = host.nodes[use.node];
+        const bool invoking =
+            (user.kind == NodeKind::kCallClosure && use.port == 0) ||
+            (user.kind == NodeKind::kIfDispatch && use.port != 0);
+        // Anything else (kParMap wraps results in a fresh package with
+        // an element index we cannot track; operators, tuples, returns
+        // let the closure escape) ends the chase conservatively.
+        if (!invoking) return false;
+        if (!consumers_never_read(site.tmpl, use.node, wraps)) return false;
+      }
+    }
+    return true;
+  }
+
   bool consumers_never_read(uint32_t ti, uint32_t node, const std::vector<Wrap>& wraps) {
     for (const PortRef& c : program_.templates[ti]->nodes[node].consumers) {
       if (!never_reads(ti, c.node, c.port, wraps)) return false;
@@ -294,6 +329,12 @@ class Analyzer {
         }
         return true;
       }
+      case NodeKind::kCall:
+        // Interprocedural upgrade: a call delivering a provably fresh
+        // chain (facts engine) hands its caller the block's only
+        // reference.
+        return facts_ != nullptr && n.target_template < program_.templates.size() &&
+               facts_->returns_fresh[n.target_template] != 0;
       default:
         return false;
     }
@@ -313,64 +354,20 @@ class Analyzer {
 
   CompiledProgram& program_;
   const OperatorTable& operators_;
+  const GraphFacts* facts_;
+  std::vector<uint8_t> named_;
   /// producers_[tmpl][node][port] = producing node id.
   std::vector<std::vector<std::vector<uint32_t>>> producers_;
   std::unordered_set<std::string> in_progress_;
 };
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 SoleConsumerStats analyze_sole_consumers(CompiledProgram& program,
                                          const OperatorTable& operators,
-                                         std::vector<LintFinding>* findings) {
-  return Analyzer(program, operators).run(findings);
-}
-
-std::string render_lint_json(const std::vector<LintFinding>& findings,
-                             const SoleConsumerStats& stats, const SourceFile& file) {
-  std::string out = "{\n  \"file\": \"" + json_escape(file.name()) + "\",\n  \"findings\": [";
-  for (size_t i = 0; i < findings.size(); ++i) {
-    const LintFinding& f = findings[i];
-    const LineCol lc = file.line_col(f.range.begin);
-    out += i == 0 ? "\n" : ",\n";
-    out += "    {\"severity\": \"";
-    out += f.cls == ConsumeClass::kShared ? "warning" : "note";
-    out += "\", \"class\": \"";
-    out += f.cls == ConsumeClass::kShared ? "shared" : "unique";
-    out += "\", \"operator\": \"" + json_escape(f.op_name) + "\"";
-    out += ", \"argument\": " + std::to_string(f.port);
-    out += ", \"line\": " + std::to_string(lc.line);
-    out += ", \"column\": " + std::to_string(lc.col);
-    out += ", \"message\": \"" + json_escape(f.message) + "\"}";
-  }
-  out += findings.empty() ? "],\n" : "\n  ],\n";
-  out += "  \"stats\": {\"destructive_edges\": " + std::to_string(stats.destructive_edges) +
-         ", \"unique\": " + std::to_string(stats.unique_edges) +
-         ", \"shared\": " + std::to_string(stats.shared_edges) +
-         ", \"unknown\": " + std::to_string(stats.unknown_edges) + "}\n}\n";
-  return out;
+                                         std::vector<LintFinding>* findings,
+                                         const GraphFacts* facts) {
+  return Analyzer(program, operators, facts).run(findings);
 }
 
 }  // namespace delirium

@@ -30,6 +30,8 @@
 
 namespace delirium {
 
+struct GraphFacts;
+
 /// One classified destructive use. kShared findings are lint warnings;
 /// kUnique findings are informational (the elision is reported so tests
 /// and `--lint` can see what the analysis proved).
@@ -53,15 +55,17 @@ struct SoleConsumerStats {
 /// Classify every destructive edge of `program` and annotate operator
 /// nodes' `input_classes` so the executors can take the in-place fast
 /// path on kUnique edges. Appends kUnique/kShared findings to
-/// `findings` when provided (kUnknown edges are silent).
+/// `findings` when provided (kUnknown edges are silent). `facts`, when
+/// provided, upgrades the pass interprocedurally: a kCall result whose
+/// callee `returns_fresh` counts as uniquely held, and a value escaping
+/// through a return keeps its classification when every call site and
+/// closure-invocation site of the template provably never reads it.
 SoleConsumerStats analyze_sole_consumers(CompiledProgram& program,
                                          const OperatorTable& operators,
-                                         std::vector<LintFinding>* findings = nullptr);
+                                         std::vector<LintFinding>* findings = nullptr,
+                                         const GraphFacts* facts = nullptr);
 
-/// Render findings as machine-readable JSON (stable field order; one
-/// object per finding plus the aggregate stats). `file` supplies
-/// line/column positions.
-std::string render_lint_json(const std::vector<LintFinding>& findings,
-                             const SoleConsumerStats& stats, const SourceFile& file);
+// The JSON renderer for these findings lives with the other report
+// emitters: tools::render_lint_json (src/tools/analysis_json.h).
 
 }  // namespace delirium

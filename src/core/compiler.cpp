@@ -67,9 +67,9 @@ CompileResult compile_source(const std::string& file_name, const std::string& te
 #endif
   const bool verify = kDebugVerify || options.verify;
 
-  auto run_verifier = [&](const char* phase) {
+  auto run_verifier = [&](const char* phase, const GraphFacts* facts) {
     std::vector<VerifyIssue> issues =
-        verify_graphs(result.program, operators, &result.analysis);
+        verify_graphs(result.program, operators, &result.analysis, facts);
     for (VerifyIssue& issue : issues) {
       diags.error(SourceRange{}, std::string("graph verifier (after ") + phase +
                                      "): " + issue.message);
@@ -84,20 +84,47 @@ CompileResult compile_source(const std::string& file_name, const std::string& te
   result.timings.graph_ms = sw.elapsed_ms();
 
   sw.reset();
-  if (verify && graphs_ok) run_verifier("build_graphs");
+  if (verify && graphs_ok) run_verifier("build_graphs", nullptr);
   result.timings.analysis_ms = sw.elapsed_ms();
 
+  // The facts table is computed exactly once, over the final graphs:
+  // optimize_graphs recomputes facts per rewrite round anyway and hands
+  // back the table for its fixpoint; with optimization off the compiler
+  // computes it directly. Every consumer below shares this one table.
   sw.reset();
-  if (options.optimize && options.graph_opt && graphs_ok) {
-    result.graph_opt_stats = optimize_graphs(result.program, operators);
+  const bool ran_graph_opt = options.optimize && options.graph_opt && graphs_ok;
+  if (ran_graph_opt) {
+    result.graph_opt_stats =
+        optimize_graphs(result.program, operators, GraphOptOptions{}, &result.facts);
+    result.has_facts = graph_facts_enabled();
+  } else if (graphs_ok && graph_facts_enabled()) {
+    result.facts = compute_graph_facts(result.program, operators, FactsOptions::from_env());
+    result.has_facts = true;
   }
   result.timings.graph_ms += sw.elapsed_ms();
 
   sw.reset();
-  if (!diags.has_errors()) {
-    if (verify && (options.optimize && options.graph_opt)) run_verifier("optimize_graphs");
+  if (!diags.has_errors() && graphs_ok) {
+    const GraphFacts* facts = result.has_facts ? &result.facts : nullptr;
+    // Consumer: executors. Critical-path marks become ready-queue
+    // sub-levels (ExecConfig::cost_hints); vacuous when heights are off.
+    if (result.has_facts) {
+      result.sched_hint_nodes = apply_sched_hints(result.program, result.facts);
+    }
+    // Consumer: verifier. Re-checks rewritten graphs and promotes
+    // strandedness facts to compile-time diagnostics.
+    if (verify && ran_graph_opt) {
+      run_verifier("optimize_graphs", facts);
+    } else if (verify && facts != nullptr) {
+      run_verifier("graph facts", facts);
+    }
+    // Consumer: sole-consumer analysis. The interprocedural upgrade has
+    // its own kill switch so CoW behavior can be A/B'd in isolation.
     if (options.analyze_unique && !diags.has_errors()) {
-      result.sole_consumer = analyze_sole_consumers(result.program, operators, &result.lint);
+      const GraphFacts* sole_facts =
+          (result.has_facts && FactsOptions::from_env().fresh_returns) ? facts : nullptr;
+      result.sole_consumer =
+          analyze_sole_consumers(result.program, operators, &result.lint, sole_facts);
     }
   }
   result.timings.analysis_ms += sw.elapsed_ms();

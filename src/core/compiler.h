@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/facts.h"
 #include "src/analysis/graph_verify.h"
 #include "src/analysis/sole_consumer.h"
 #include "src/graph/graph_opt.h"
@@ -65,6 +66,17 @@ struct CompileResult {
   /// Structural defects from the graph verifier (debug builds and
   /// options.verify). Non-empty means a graph-construction bug.
   std::vector<VerifyIssue> verify_issues;
+  /// The facts table computed over the final graphs (src/analysis/
+  /// facts.h), valid when `has_facts`. Computed exactly once per
+  /// compile and shared by every downstream consumer: the optimizer's
+  /// rewrites, the verifier's strandedness diagnostics, the sole-
+  /// consumer upgrade, the executors' priority hints, and
+  /// `delc --analyze`. Absent when DELIRIUM_GRAPH_FACTS=0.
+  GraphFacts facts;
+  bool has_facts = false;
+  /// Nodes marked on_critical_path by apply_sched_hints (0 when facts
+  /// or DELIRIUM_SCHED_HINTS are off).
+  size_t sched_hint_nodes = 0;
 };
 
 /// Compile Delirium source text against an operator table. The returned

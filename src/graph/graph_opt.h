@@ -3,16 +3,29 @@
 // §6.1: "Unnecessary nodes in the graph translate into extra overhead at
 // run-time, so the compiler uses a number of optimization techniques to
 // improve the output." The AST passes (src/opt) remove most waste before
-// conversion; this pass cleans the coordination graphs themselves:
+// conversion; this pass cleans the coordination graphs themselves. It
+// runs rewrite rounds to a fixpoint, so a second invocation is always a
+// no-op (stats report zero changes) — each round applies:
 //
+//   * constant folding — nodes whose value the facts engine
+//     (src/analysis/facts.h) proves constant on every execution are
+//     rewritten to kConst and their input edges dropped; pure calls with
+//     constant results fold across template boundaries;
+//   * dead-parameter pruning — parameters the liveness facts prove
+//     unobservable (including loop-carried ones) are removed, with every
+//     call and closure-creation site shrunk in the same synchronized
+//     pass;
 //   * dead-node elimination — nodes whose result nobody consumes and
 //     whose execution cannot have effects (constants, parameters, tuple
 //     plumbing, closure creation, and *pure* operators) are deleted, and
 //     their inputs released recursively;
 //   * unreachable-template pruning — templates no longer referenced by
 //     any call or closure-creation node are dropped;
-//   * slot compaction — input slots are renumbered densely after node
-//     removal, shrinking every future activation of the template.
+//   * slot compaction — input slots are renumbered densely after every
+//     structural change, shrinking every future activation.
+//
+// The implementation lives in src/analysis/graph_opt.cpp (it consumes
+// the GraphFacts tables, which sit above this library).
 #pragma once
 
 #include "src/graph/template.h"
@@ -20,17 +33,46 @@
 
 namespace delirium {
 
+struct GraphFacts;
+
+/// Which rewrite families to run. The DELIRIUM_GRAPH_FACTS /
+/// DELIRIUM_FACTS_FOLD / DELIRIUM_FACTS_DEADPARAM kill switches are
+/// applied on top of these inside optimize_graphs — the environment can
+/// only disable a rewrite, never force one past an explicit `false`.
+struct GraphOptOptions {
+  /// Master: compute GraphFacts and run the fact-driven rewrites
+  /// (folding, dead-parameter pruning). Off reproduces the pre-facts
+  /// optimizer: dead-node elimination and template pruning only.
+  bool facts = true;
+  bool fold_constants = true;
+  bool prune_dead_params = true;
+};
+
 struct GraphOptStats {
   size_t dead_nodes_removed = 0;
   size_t templates_pruned = 0;
   size_t slots_reclaimed = 0;
+  size_t consts_folded = 0;
+  size_t dead_params_pruned = 0;
+  /// Rewrite rounds run, including the final no-change round that
+  /// proves the fixpoint. Not a change count: excluded from total().
+  size_t rounds = 0;
 
-  size_t total() const { return dead_nodes_removed + templates_pruned + slots_reclaimed; }
+  size_t total() const {
+    return dead_nodes_removed + templates_pruned + slots_reclaimed + consts_folded +
+           dead_params_pruned;
+  }
 };
 
-/// Optimize `program` in place. Safe by construction: results are
-/// unchanged for any program whose operators honor their purity
-/// annotations (the same contract the AST optimizer relies on).
+/// Optimize `program` in place, to a fixpoint. Safe by construction:
+/// results, effects, and fault behavior are unchanged for any program
+/// whose operators honor their purity annotations (the same contract
+/// the AST optimizer relies on). When `final_facts` is non-null it
+/// receives a fact table computed on the *optimized* program with the
+/// full FactsOptions::from_env() analysis set — the one table the
+/// compiler hands to every downstream consumer.
+GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& operators,
+                              const GraphOptOptions& options, GraphFacts* final_facts = nullptr);
 GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& operators);
 
 }  // namespace delirium

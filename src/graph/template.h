@@ -69,6 +69,11 @@ struct Node {
   /// the continuation instead of nesting, which is what makes tail
   /// recursion run in constant activation space.
   bool is_tail = false;
+  /// Static scheduling hint from the facts engine (src/analysis/facts.h):
+  /// this node lies on a maximal-height dependency chain of its template.
+  /// When ExecConfig::cost_hints is on, the executors run critical nodes
+  /// ahead of off-path work within the same priority class.
+  bool on_critical_path = false;
   uint16_t num_inputs = 0;
   uint32_t input_offset = 0;  // first input slot in the activation buffer
 

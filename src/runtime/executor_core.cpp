@@ -20,6 +20,9 @@ void apply_exec_env_overrides(ExecConfig& config) {
   if (const char* env = std::getenv("DELIRIUM_ACTIVATION_POOL")) {
     if (std::string_view(env) == "0") config.activation_pool = false;
   }
+  if (const char* env = std::getenv("DELIRIUM_COST_HINTS")) {
+    if (std::string_view(env) == "0") config.cost_hints = false;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +240,7 @@ void StatCounters::reset() {
   sched_failed_steals.store(0);
   sched_parks.store(0);
   sched_wakeups.store(0);
+  sched_hint_promotions.store(0);
   faults_raised.store(0);
   faults_injected.store(0);
   retries.store(0);
@@ -260,6 +264,7 @@ void StatCounters::snapshot(RunStats& out) const {
   out.sched_failed_steals = sched_failed_steals.load();
   out.sched_parks = sched_parks.load();
   out.sched_wakeups = sched_wakeups.load();
+  out.sched_hint_promotions = sched_hint_promotions.load();
   out.faults_raised = faults_raised.load();
   out.faults_injected = faults_injected.load();
   out.retries = retries.load();

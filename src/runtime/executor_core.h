@@ -80,6 +80,15 @@ struct ExecConfig {
   /// Use the three-level priority queue of §7; false degrades to a single
   /// FIFO (the ablation measured by bench_priority).
   bool use_priorities = true;
+  /// Honor the facts engine's static critical-path marks
+  /// (Node::on_critical_path, src/analysis/facts.h) as ready-queue
+  /// sub-levels: within each §7 priority class, nodes on a
+  /// maximal-height dependency chain run ahead of off-path work, so the
+  /// chain that bounds the run's span is never starved by fan-out.
+  /// Computed values are unaffected — only the schedule changes. Kill
+  /// switch for A/B runs: DELIRIUM_COST_HINTS=0. No effect when
+  /// use_priorities is off or the compiler published no marks.
+  bool cost_hints = true;
   /// Forward continuations on tail calls (§7's early activation reuse);
   /// false nests every call — the ablation shows loops then consume
   /// activations proportional to their iteration count.
@@ -127,8 +136,13 @@ struct ExecConfig {
 
 /// Apply the environment overrides every executor honors to an already-
 /// populated config: DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY,
-/// DELIRIUM_ACTIVATION_POOL.
+/// DELIRIUM_ACTIVATION_POOL, DELIRIUM_COST_HINTS.
 void apply_exec_env_overrides(ExecConfig& config);
+
+/// Ready-queue levels: the three §7 priority classes, each split into a
+/// critical-path sub-level and an off-path sub-level (ExecConfig::
+/// cost_hints). Machines size their queue arrays with this.
+inline constexpr int kQueueLevels = 6;
 
 /// One operator execution, for the node-timing report.
 struct NodeTiming {
@@ -170,6 +184,8 @@ struct RunStats {
   uint64_t sched_failed_steals = 0;      // full victim scans that found nothing
   uint64_t sched_parks = 0;              // times a worker slept on its eventcount
   uint64_t sched_wakeups = 0;            // notifications sent to parked workers
+  uint64_t sched_hint_promotions = 0;    // critical-path nodes enqueued ahead
+                                         // of their class (ExecConfig::cost_hints)
 
   // Fault counters (docs/ROBUSTNESS.md), identical across executors
   // because capture/retry lives in ExecutorCore.
@@ -330,6 +346,7 @@ struct StatCounters {
   std::atomic<uint64_t> sched_failed_steals{0};
   std::atomic<uint64_t> sched_parks{0};
   std::atomic<uint64_t> sched_wakeups{0};
+  std::atomic<uint64_t> sched_hint_promotions{0};
   std::atomic<uint64_t> faults_raised{0};
   std::atomic<uint64_t> faults_injected{0};
   std::atomic<uint64_t> retries{0};
@@ -457,6 +474,21 @@ class ExecutorCore {
   }
 
   const ExecConfig& exec_config() const { return *exec_config_; }
+
+  /// Ready-queue level for a node: the §7 priority class, split by the
+  /// facts engine's critical-path mark when cost_hints is on. Lower
+  /// level = drained first. Counts each promoted enqueue so RunStats
+  /// can report how often the hint actually steered the schedule.
+  int queue_level(const Node& n) {
+    if (!exec_config().use_priorities) return 0;
+    const int base = static_cast<int>(n.priority) * 2;
+    if (!exec_config().cost_hints) return base;
+    if (n.on_critical_path) {
+      counters_.sched_hint_promotions.fetch_add(1, std::memory_order_relaxed);
+      return base;
+    }
+    return base + 1;
+  }
 
   /// Resolve the per-run fault policy: an injection plan attached to the
   /// registry beats the environment spec; retries honor the same

@@ -219,7 +219,7 @@ void Runtime::fire_watchdog(RunState* rs) {
 void Runtime::enqueue_ready(const std::shared_ptr<Activation>& act, uint32_t node,
                             Ticks /*when*/) {
   const Node& n = act->tmpl->nodes[node];
-  const int priority = config_.use_priorities ? static_cast<int>(n.priority) : 0;
+  const int priority = queue_level(n);
   int target = affinity_preference(*act, n);
   if (target >= config_.num_workers) target = -1;
 
@@ -422,7 +422,7 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
   // Priority-major over the worker's own sources: the deque (LIFO — the
   // cache-warm path, and depth-first like the priority scheme it
   // serves) before the injection inbox (FIFO).
-  for (int pri = 0; pri < 3; ++pri) {
+  for (int pri = 0; pri < kQueueLevels; ++pri) {
     if (self.deques[pri].pop(out)) return true;
     if (self.inbox[pri].pop(out)) return true;
   }
@@ -431,7 +431,7 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
   const size_t n = ws_.size();
   if (n > 1) {
     const size_t base = ++self.steal_rr;
-    for (int pri = 0; pri < 3; ++pri) {
+    for (int pri = 0; pri < kQueueLevels; ++pri) {
       for (size_t i = 0; i < n; ++i) {
         const size_t victim = (base + i) % n;
         if (victim == static_cast<size_t>(worker)) continue;
@@ -458,13 +458,13 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
 
 bool Runtime::ws_has_work(int worker) const {
   const WsWorker& self = *ws_[worker];
-  for (int pri = 0; pri < 3; ++pri) {
+  for (int pri = 0; pri < kQueueLevels; ++pri) {
     if (!self.deques[pri].empty()) return true;
     if (!self.inbox[pri].empty()) return true;
   }
   for (size_t w = 0; w < ws_.size(); ++w) {
     if (w == static_cast<size_t>(worker)) continue;
-    for (int pri = 0; pri < 3; ++pri) {
+    for (int pri = 0; pri < kQueueLevels; ++pri) {
       if (!ws_[w]->deques[pri].empty()) return true;
     }
   }
@@ -522,7 +522,7 @@ void Runtime::worker_loop_ws(int worker) {
 bool Runtime::pop_item(int worker, WorkItem& out) {
   // Priority-major: a higher-priority item anywhere beats a lower-priority
   // one here. Within a level: own queue, then global, then steal.
-  for (int pri = 0; pri < 3; ++pri) {
+  for (int pri = 0; pri < kQueueLevels; ++pri) {
     auto& own = local_queues_[worker][pri];
     if (!own.empty()) {
       out = std::move(own.front());

@@ -124,8 +124,8 @@ class Runtime : public ExecutorCore<Runtime> {
   /// the deques' bottoms and consumes the inboxes; anyone steals from
   /// the deques' tops or pushes to the inboxes.
   struct WsWorker {
-    std::array<WorkStealDeque<WorkItem>, 3> deques;
-    std::array<MpscQueue<WorkItem>, 3> inbox;
+    std::array<WorkStealDeque<WorkItem>, kQueueLevels> deques;
+    std::array<MpscQueue<WorkItem>, kQueueLevels> inbox;
     EventCount ec;
     std::atomic<bool> parked{false};
     uint32_t steal_rr = 0;  // owner-private: rotates the first steal victim
@@ -196,13 +196,13 @@ class Runtime : public ExecutorCore<Runtime> {
 
   RuntimeConfig config_;
 
-  // kGlobalLock scheduler state: one mutex guards all queues. Three
-  // deques per priority level, globally and per worker (the latter used
-  // only under affinity modes).
+  // kGlobalLock scheduler state: one mutex guards all queues. One deque
+  // per ready-queue level (kQueueLevels), globally and per worker (the
+  // latter used only under affinity modes).
   std::mutex sched_mu_;
   std::condition_variable sched_cv_;
-  std::array<std::deque<WorkItem>, 3> global_queue_;
-  std::vector<std::array<std::deque<WorkItem>, 3>> local_queues_;
+  std::array<std::deque<WorkItem>, kQueueLevels> global_queue_;
+  std::vector<std::array<std::deque<WorkItem>, kQueueLevels>> local_queues_;
   size_t queued_total_ = 0;
   std::atomic<bool> stopping_{false};
 

@@ -115,7 +115,7 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     item.node = node;
     item.ready = when;
     item.seq = next_seq++;
-    item.priority = config.use_priorities ? static_cast<int>(n.priority) : 0;
+    item.priority = queue_level(n);
     item.preferred = affinity_preference(*act, n);
     ready.push_back(std::move(item));
   }

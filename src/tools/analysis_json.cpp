@@ -1,0 +1,216 @@
+#include "src/tools/analysis_json.h"
+
+#include <cstdio>
+
+#include "src/analysis/facts.h"
+
+namespace delirium::tools {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// The lint sections shared by both reports, without the enclosing
+/// braces: `"file": ..., "findings": [...], "stats": {...}`. The byte
+/// layout is pinned by tests/golden/lint_shared.json.
+std::string lint_body(const std::vector<LintFinding>& findings,
+                      const SoleConsumerStats& stats, const SourceFile& file) {
+  std::string out = "  \"file\": \"" + json_escape(file.name()) + "\",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    const LineCol lc = file.line_col(f.range.begin);
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"severity\": \"";
+    out += f.cls == ConsumeClass::kShared ? "warning" : "note";
+    out += "\", \"class\": \"";
+    out += f.cls == ConsumeClass::kShared ? "shared" : "unique";
+    out += "\", \"operator\": \"" + json_escape(f.op_name) + "\"";
+    out += ", \"argument\": " + std::to_string(f.port);
+    out += ", \"line\": " + std::to_string(lc.line);
+    out += ", \"column\": " + std::to_string(lc.col);
+    out += ", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stats\": {\"destructive_edges\": " + std::to_string(stats.destructive_edges) +
+         ", \"unique\": " + std::to_string(stats.unique_edges) +
+         ", \"shared\": " + std::to_string(stats.shared_edges) +
+         ", \"unknown\": " + std::to_string(stats.unknown_edges) + "}";
+  return out;
+}
+
+/// Dead (never-observed) parameter positions of template `t`.
+std::vector<uint32_t> dead_params(const GraphFacts& facts, uint32_t t) {
+  std::vector<uint32_t> out;
+  if (t < facts.param_live.size()) {
+    for (uint32_t i = 0; i < facts.param_live[t].size(); ++i) {
+      if (facts.param_live[t][i] == 0) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+size_t count_flags(const std::vector<std::vector<uint8_t>>& table, uint32_t t) {
+  size_t n = 0;
+  if (t < table.size()) {
+    for (uint8_t f : table[t]) n += f != 0 ? 1 : 0;
+  }
+  return n;
+}
+
+size_t count_constants(const GraphFacts& facts, uint32_t t) {
+  size_t n = 0;
+  if (t < facts.constants.size()) {
+    for (const auto& c : facts.constants[t]) n += c.has_value() ? 1 : 0;
+  }
+  return n;
+}
+
+std::string template_display_name(const CompiledProgram& program, uint32_t t) {
+  const std::string& name = program.templates[t]->name;
+  return name.empty() ? "<anon>" : name;
+}
+
+}  // namespace
+
+std::string render_lint_json(const std::vector<LintFinding>& findings,
+                             const SoleConsumerStats& stats, const SourceFile& file) {
+  return "{\n" + lint_body(findings, stats, file) + "\n}\n";
+}
+
+std::string render_analysis_json(const CompileResult& result, const SourceFile& file) {
+  std::string out = "{\n" + lint_body(result.lint, result.sole_consumer, file) + ",\n";
+  out += "  \"facts\": {\"enabled\": ";
+  out += result.has_facts ? "true" : "false";
+  if (!result.has_facts) {
+    out += "},\n";
+  } else {
+    const GraphFacts& facts = result.facts;
+    out += ",\n    \"templates\": [";
+    const size_t n = result.program.templates.size();
+    for (uint32_t t = 0; t < n; ++t) {
+      out += t == 0 ? "\n" : ",\n";
+      out += "      {\"index\": " + std::to_string(t);
+      out += ", \"name\": \"" + json_escape(template_display_name(result.program, t)) + "\"";
+      out += ", \"pure\": ";
+      out += t < facts.pure_templates.size() && facts.pure_templates[t] ? "true" : "false";
+      out += ", \"delivers\": ";
+      out += t < facts.delivers.size() && facts.delivers[t] ? "true" : "false";
+      out += ", \"call_only\": ";
+      out += t < facts.call_only.size() && facts.call_only[t] ? "true" : "false";
+      out += ", \"returns_fresh\": ";
+      out += t < facts.returns_fresh.size() && facts.returns_fresh[t] ? "true" : "false";
+      const int64_t h = t < facts.template_height.size() ? facts.template_height[t] : 0;
+      out += ", \"height\": " + std::to_string(h);
+      out += ", \"critical_nodes\": " + std::to_string(count_flags(facts.on_critical_path, t));
+      out += ", \"constant_nodes\": " + std::to_string(count_constants(facts, t));
+      out += ", \"dead_params\": [";
+      const std::vector<uint32_t> dead = dead_params(facts, t);
+      for (size_t i = 0; i < dead.size(); ++i) {
+        out += i == 0 ? "" : ", ";
+        out += std::to_string(dead[i]);
+      }
+      out += "]}";
+    }
+    out += n == 0 ? "],\n" : "\n    ],\n";
+    out += "    \"stranded\": [";
+    for (size_t i = 0; i < facts.stranded.size(); ++i) {
+      const StrandedFact& f = facts.stranded[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "      {\"template\": " + std::to_string(f.tmpl);
+      out += ", \"name\": \"";
+      out += json_escape(f.tmpl < result.program.templates.size()
+                             ? template_display_name(result.program, f.tmpl)
+                             : "?");
+      out += "\", \"node\": ";
+      out += f.node == StrandedFact::kNoNode ? std::string("null") : std::to_string(f.node);
+      out += ", \"reason\": \"" + json_escape(f.reason) + "\"}";
+    }
+    out += facts.stranded.empty() ? "]\n  },\n" : "\n    ]\n  },\n";
+  }
+  const GraphOptStats& g = result.graph_opt_stats;
+  out += "  \"graph_opt\": {\"consts_folded\": " + std::to_string(g.consts_folded) +
+         ", \"dead_params_pruned\": " + std::to_string(g.dead_params_pruned) +
+         ", \"dead_nodes_removed\": " + std::to_string(g.dead_nodes_removed) +
+         ", \"templates_pruned\": " + std::to_string(g.templates_pruned) +
+         ", \"slots_reclaimed\": " + std::to_string(g.slots_reclaimed) +
+         ", \"rounds\": " + std::to_string(g.rounds) + "},\n";
+  out += "  \"sched_hints\": {\"critical_path_nodes\": " +
+         std::to_string(result.sched_hint_nodes) + "}\n}\n";
+  return out;
+}
+
+std::string render_analysis_text(const CompileResult& result, const SourceFile& file) {
+  std::string out = "analysis: " + file.name() + "\n";
+  if (!result.has_facts) {
+    out += "analysis: facts engine disabled (DELIRIUM_GRAPH_FACTS=0)\n";
+  } else {
+    const GraphFacts& facts = result.facts;
+    for (uint32_t t = 0; t < result.program.templates.size(); ++t) {
+      out += "analysis: template '" + template_display_name(result.program, t) + "' (#" +
+             std::to_string(t) + "):";
+      out += t < facts.pure_templates.size() && facts.pure_templates[t] ? " pure," : " impure,";
+      out += t < facts.delivers.size() && facts.delivers[t] ? " delivers," : " never delivers,";
+      const int64_t h = t < facts.template_height.size() ? facts.template_height[t] : 0;
+      out += " height " + std::to_string(h);
+      out += ", " + std::to_string(count_flags(facts.on_critical_path, t)) + " critical";
+      out += ", " + std::to_string(count_constants(facts, t)) + " constant";
+      if (t < facts.call_only.size() && facts.call_only[t]) out += ", call-only";
+      if (t < facts.returns_fresh.size() && facts.returns_fresh[t]) out += ", returns fresh";
+      const std::vector<uint32_t> dead = dead_params(facts, t);
+      if (!dead.empty()) {
+        out += ", dead params [";
+        for (size_t i = 0; i < dead.size(); ++i) {
+          out += i == 0 ? "" : " ";
+          out += std::to_string(dead[i]);
+        }
+        out += "]";
+      }
+      out += "\n";
+    }
+    for (const StrandedFact& f : facts.stranded) {
+      out += "analysis: stranded: template '";
+      out += f.tmpl < result.program.templates.size()
+                 ? template_display_name(result.program, f.tmpl)
+                 : "?";
+      out += "' (#" + std::to_string(f.tmpl) + ")";
+      if (f.node != StrandedFact::kNoNode) out += " node #" + std::to_string(f.node);
+      out += ": " + f.reason + "\n";
+    }
+  }
+  const SoleConsumerStats& s = result.sole_consumer;
+  out += "analysis: lint: " + std::to_string(s.destructive_edges) + " destructive edge(s): " +
+         std::to_string(s.unique_edges) + " unique, " + std::to_string(s.shared_edges) +
+         " shared, " + std::to_string(s.unknown_edges) + " unknown\n";
+  const GraphOptStats& g = result.graph_opt_stats;
+  out += "analysis: graph_opt: " + std::to_string(g.consts_folded) + " const(s) folded, " +
+         std::to_string(g.dead_params_pruned) + " dead param(s) pruned, " +
+         std::to_string(g.dead_nodes_removed) + " dead node(s) removed, " +
+         std::to_string(g.templates_pruned) + " template(s) pruned, " +
+         std::to_string(g.slots_reclaimed) + " slot(s) reclaimed, " +
+         std::to_string(g.rounds) + " round(s)\n";
+  out += "analysis: sched hints: " + std::to_string(result.sched_hint_nodes) +
+         " node(s) on critical path\n";
+  return out;
+}
+
+}  // namespace delirium::tools

@@ -1,0 +1,34 @@
+// Shared renderer for delc's analysis reports.
+//
+// `delc --lint-json` and `delc --analyze --format=json` emit one schema:
+// the analyze report is a strict superset of the lint report (same
+// "file" / "findings" / "stats" sections, plus the facts-engine
+// sections), produced by the same emitter so the two can never drift.
+// Ordering is deterministic everywhere — templates by index, nodes by
+// id, findings in analysis order — so the output is byte-stable across
+// schedulers and worker counts (golden-tested in tools_test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/sole_consumer.h"
+#include "src/core/compiler.h"
+#include "src/support/source.h"
+
+namespace delirium::tools {
+
+/// Machine-readable sole-consumer findings: {"file", "findings", "stats"}.
+std::string render_lint_json(const std::vector<LintFinding>& findings,
+                             const SoleConsumerStats& stats, const SourceFile& file);
+
+/// Machine-readable whole-compile analysis report: the lint sections
+/// above plus {"facts", "graph_opt", "sched_hints"} drawn from the
+/// GraphFacts table the compile computed.
+std::string render_analysis_json(const CompileResult& result, const SourceFile& file);
+
+/// The same report for humans: one "analysis:" line per template, plus
+/// stranded locations, lint totals, rewrite stats, and scheduler hints.
+std::string render_analysis_text(const CompileResult& result, const SourceFile& file);
+
+}  // namespace delirium::tools

@@ -26,6 +26,7 @@ std::vector<RunStatField> run_stat_fields(const RunStats& s) {
       {"sched_failed_steals", s.sched_failed_steals},
       {"sched_parks", s.sched_parks},
       {"sched_wakeups", s.sched_wakeups},
+      {"sched_hint_promotions", s.sched_hint_promotions},
       {"faults_raised", s.faults_raised},
       {"faults_injected", s.faults_injected},
       {"retries", s.retries},
@@ -84,6 +85,7 @@ void MetricsRegistry::observe_run(const RunStats& stats,
   totals_.sched_failed_steals += stats.sched_failed_steals;
   totals_.sched_parks += stats.sched_parks;
   totals_.sched_wakeups += stats.sched_wakeups;
+  totals_.sched_hint_promotions += stats.sched_hint_promotions;
   totals_.faults_raised += stats.faults_raised;
   totals_.faults_injected += stats.faults_injected;
   totals_.retries += stats.retries;

@@ -37,6 +37,7 @@ static_assert(std::is_base_of_v<ExecConfig, SimConfig>,
 
 DELIRIUM_EXPECT_SHARED_KNOB(bool, enable_node_timing);
 DELIRIUM_EXPECT_SHARED_KNOB(bool, use_priorities);
+DELIRIUM_EXPECT_SHARED_KNOB(bool, cost_hints);
 DELIRIUM_EXPECT_SHARED_KNOB(bool, enable_tail_calls);
 DELIRIUM_EXPECT_SHARED_KNOB(AffinityMode, affinity);
 DELIRIUM_EXPECT_SHARED_KNOB(int64_t, remote_penalty_ns_per_kb);
@@ -67,6 +68,7 @@ TEST(ExecConfig, BaseSliceAssignmentCarriesEverySharedKnobToBothConfigs) {
   ExecConfig shared;
   shared.enable_node_timing = !shared.enable_node_timing;
   shared.use_priorities = !shared.use_priorities;
+  shared.cost_hints = !shared.cost_hints;
   shared.enable_tail_calls = !shared.enable_tail_calls;
   shared.affinity = AffinityMode::kData;
   shared.remote_penalty_ns_per_kb = 777;
@@ -86,6 +88,7 @@ TEST(ExecConfig, BaseSliceAssignmentCarriesEverySharedKnobToBothConfigs) {
        {static_cast<const ExecConfig*>(&rconfig), static_cast<const ExecConfig*>(&sconfig)}) {
     EXPECT_EQ(config->enable_node_timing, shared.enable_node_timing);
     EXPECT_EQ(config->use_priorities, shared.use_priorities);
+    EXPECT_EQ(config->cost_hints, shared.cost_hints);
     EXPECT_EQ(config->enable_tail_calls, shared.enable_tail_calls);
     EXPECT_EQ(config->affinity, shared.affinity);
     EXPECT_EQ(config->remote_penalty_ns_per_kb, shared.remote_penalty_ns_per_kb);

@@ -2,8 +2,17 @@
 // compaction, and the semantics-preservation property.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
 #include "src/apps/dcc/program_gen.h"
 #include "src/delirium.h"
+#include "tests/test_util.h"
 
 namespace delirium {
 namespace {
@@ -91,6 +100,110 @@ TEST(GraphOpt, ParamsSurviveEvenWhenUnused) {
   EXPECT_EQ(f->param_nodes.size(), 2u);  // activation interface unchanged
   Runtime runtime(registry(), {.num_workers = 1});
   EXPECT_EQ(runtime.run(program).as_int(), 1);
+}
+
+TEST(GraphOpt, FoldsConstantReturningCalls) {
+  // fortytwo() is pure and delivers a constant: the facts engine folds
+  // the kCall in main to kConst 42, then sweeps the orphaned callee body.
+  auto [program, stats] = graph_optimized("fortytwo() mul(6, 7)\nmain() add(fortytwo(), 1)");
+  EXPECT_GT(stats.consts_folded, 0u);
+  bool has_call = false;
+  for (const Node& n : program.entry_template().nodes) {
+    has_call = has_call || n.kind == NodeKind::kCall;
+  }
+  EXPECT_FALSE(has_call);
+  EXPECT_EQ(validate_graph(program), "");
+  Runtime runtime(registry(), {.num_workers = 1});
+  EXPECT_EQ(runtime.run(program).as_int(), 43);
+}
+
+TEST(GraphOpt, FoldKillSwitchPreservesTheCall) {
+  testing::ScopedEnv env({"DELIRIUM_GRAPH_FACTS", "DELIRIUM_FACTS_FOLD"});
+  env.set("DELIRIUM_FACTS_FOLD", "0");
+  auto [program, stats] = graph_optimized("fortytwo() mul(6, 7)\nmain() add(fortytwo(), 1)");
+  EXPECT_EQ(stats.consts_folded, 0u);
+  bool has_call = false;
+  for (const Node& n : program.entry_template().nodes) {
+    has_call = has_call || n.kind == NodeKind::kCall;
+  }
+  EXPECT_TRUE(has_call);
+  Runtime runtime(registry(), {.num_workers = 1});
+  EXPECT_EQ(runtime.run(program).as_int(), 43);
+}
+
+/// Exhaustive textual dump of a program: every field of every node and
+/// template, so byte-equality of two dumps is structural equality.
+std::string dump_program(const CompiledProgram& program) {
+  std::ostringstream out;
+  out << "entry " << program.entry << "\n";
+  std::vector<std::pair<std::string, uint32_t>> names(program.by_name.begin(),
+                                                      program.by_name.end());
+  std::sort(names.begin(), names.end());
+  for (const auto& [name, index] : names) out << "name " << name << " -> " << index << "\n";
+  for (size_t t = 0; t < program.templates.size(); ++t) {
+    const Template& tp = *program.templates[t];
+    out << "template " << t << " '" << tp.name << "' params=" << tp.num_params
+        << " captures=" << tp.num_captures << " return=" << tp.return_node
+        << " slots=" << tp.value_slots << " recursive=" << tp.recursive << " pnodes=[";
+    for (uint32_t p : tp.param_nodes) out << p << ",";
+    out << "]\n";
+    for (size_t i = 0; i < tp.nodes.size(); ++i) {
+      const Node& n = tp.nodes[i];
+      out << "  node " << i << " kind=" << static_cast<int>(n.kind)
+          << " pri=" << static_cast<int>(n.priority) << " tail=" << n.is_tail
+          << " crit=" << n.on_critical_path << " inputs=" << n.num_inputs
+          << " ioff=" << n.input_offset << " lit=";
+      std::visit(
+          [&out](const auto& v) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(v)>, std::monostate>) {
+              out << "_";
+            } else {
+              out << v;
+            }
+          },
+          n.literal);
+      out << " pidx=" << n.param_index << " opidx=" << n.op_index << " op='" << n.op_name
+          << "' tidx=" << n.tuple_index << " target=" << n.target_template << " range=["
+          << n.range.begin.offset << "," << n.range.end.offset << ") label='"
+          << n.debug_label << "' consumers=[";
+      for (const PortRef& c : n.consumers) out << c.node << ":" << c.port << ",";
+      out << "] classes=[";
+      for (const ConsumeClass c : n.input_classes) out << static_cast<int>(c) << ",";
+      out << "]\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(GraphOpt, SecondOptimizationIsByteIdenticalNoOp) {
+  // The fixpoint loop must leave nothing on the table: re-optimizing an
+  // optimized program changes no field of any node or template.
+  for (const char* source :
+       {"fortytwo() mul(6, 7)\nmain() add(fortytwo(), 1)",
+        "drop(a, b) a\nmain() let c = add(1, 2) f(x) drop(x, c) in add(f(3), f(4))",
+        "main() let unused = effectful(5) in 7"}) {
+    auto [program, first] = graph_optimized(source);
+    const std::string before = dump_program(program);
+    GraphOptStats again = optimize_graphs(program, registry());
+    EXPECT_EQ(again.total(), 0u) << source;
+    EXPECT_EQ(dump_program(program), before) << source;
+  }
+}
+
+TEST(GraphOpt, PrunesDeadCapturesOfAnonymousTemplates) {
+  // f's capture c feeds only drop()'s dead second parameter, so the
+  // capture, its argument edges, and the add(1, 2) chain all go.
+  auto [program, stats] = graph_optimized(R"(
+drop(a, b) a
+main()
+  let c = add(1, 2)
+      f(x) drop(x, c)
+  in add(f(3), f(4))
+)");
+  EXPECT_GT(stats.dead_params_pruned, 0u);
+  EXPECT_EQ(validate_graph(program), "");
+  Runtime runtime(registry(), {.num_workers = 1});
+  EXPECT_EQ(runtime.run(program).as_int(), 7);
 }
 
 class GraphOptProperty : public ::testing::TestWithParam<uint64_t> {};

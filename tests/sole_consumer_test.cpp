@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/analysis/sole_consumer.h"
+#include "src/tools/analysis_json.h"
 #include "src/delirium.h"
 #include "src/runtime/sim.h"
 
@@ -292,7 +293,7 @@ main()
 )";
   CompileResult result = compile(source);
   SourceFile file("lint_shared.dlr", source);
-  const std::string json = render_lint_json(result.lint, result.sole_consumer, file);
+  const std::string json = tools::render_lint_json(result.lint, result.sole_consumer, file);
 
   const std::string golden_path = std::string(DELIRIUM_GOLDEN_DIR) + "/lint_shared.json";
   if (std::getenv("DELIRIUM_REGEN_GOLDEN") != nullptr) {

@@ -207,5 +207,46 @@ TEST(Cli, ExecutorFlagSelectsEngine) {
   EXPECT_EQ(bad_status, 2) << bad_out;
 }
 
+TEST(Cli, AnalyzeJsonIsDeterministicAcrossSchedulersAndWorkers) {
+  // The fact table is a pure function of (program, operator table):
+  // scheduler choice, worker counts, and executor env must not move a
+  // byte of the --analyze report.
+  const std::string program = ::testing::TempDir() + "/delc_analyze_test.dlr";
+  {
+    std::ofstream out(program);
+    out << "fortytwo() mul(6, 7)\n"
+        << "main()\n"
+        << "  let f(x, y) x\n"
+        << "  in f(fortytwo(), 3)\n";
+  }
+  const std::string delc = std::string(DELIRIUM_DELC_PATH);
+  const std::string base = " " + delc + " --analyze --format json --no-opt " + program;
+
+  auto [ref_status, ref] = run_command("env -u DELIRIUM_SCHEDULER " + base);
+  EXPECT_EQ(ref_status, 0);
+  EXPECT_NE(ref.find("\"facts\""), std::string::npos) << ref;
+  for (const char* env :
+       {"DELIRIUM_SCHEDULER=global_lock", "DELIRIUM_SCHEDULER=work_stealing",
+        "DELIRIUM_EXECUTOR=sim", "DELIRIUM_COST_HINTS=0"}) {
+    auto [status, out] = run_command("env " + std::string(env) + base);
+    EXPECT_EQ(status, 0) << env;
+    EXPECT_EQ(out, ref) << env;
+  }
+
+  // Text mode goes through the same facts table; spot-check its sections.
+  auto [text_status, text] = run_command("env -u DELIRIUM_SCHEDULER " + delc +
+                                         " --analyze --no-opt " + program);
+  EXPECT_EQ(text_status, 0);
+  EXPECT_NE(text.find("analysis: template 'main'"), std::string::npos) << text;
+  EXPECT_NE(text.find("dead params"), std::string::npos) << text;
+
+  // The master kill switch removes the facts payload but keeps the
+  // shared lint schema valid.
+  auto [off_status, off] = run_command("env DELIRIUM_GRAPH_FACTS=0" + base);
+  EXPECT_EQ(off_status, 0);
+  EXPECT_NE(off.find("\"enabled\": false"), std::string::npos) << off;
+  EXPECT_NE(off.find("\"findings\""), std::string::npos) << off;
+}
+
 }  // namespace
 }  // namespace delirium::tools

@@ -464,6 +464,7 @@ RunStats golden_stats() {
   s.sched_failed_steals = 9;
   s.sched_parks = 2;
   s.sched_wakeups = 2;
+  s.sched_hint_promotions = 6;
   s.faults_raised = 1;
   s.faults_injected = 1;
   s.retries = 1;
