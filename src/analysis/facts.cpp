@@ -546,6 +546,10 @@ class FactsEngine {
         if (node.kind == NodeKind::kCall && node.target_template < nt) {
           return 1 + facts_.template_height[node.target_template];
         }
+        // A fused chain fires once but runs every member.
+        if (node.kind == NodeKind::kFused) {
+          return static_cast<int64_t>(node.fused.size());
+        }
         return 1;
       };
       auto& h = facts_.height[t];
@@ -585,9 +589,12 @@ class FactsEngine {
     switch (node.kind) {
       case NodeKind::kConst:
         return true;  // literals are manufactured per activation
-      case NodeKind::kOperator: {
+      case NodeKind::kOperator:
+      case NodeKind::kFused: {
         // An operator may pass any argument through (`ctx.take` style),
-        // so every input must itself be fresh and exclusively ours.
+        // so every input must itself be fresh and exclusively ours. A
+        // fused chain is a composition of such operators, so the same
+        // rule applies to its external inputs.
         for (uint16_t p = 0; p < node.num_inputs; ++p) {
           const uint32_t q = producer_of(t, i, p);
           if (tp.nodes[q].consumers.size() != 1) return false;

@@ -9,6 +9,8 @@
 
 #include "src/graph/graph_opt.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,27 @@
 namespace delirium {
 
 namespace {
+
+/// "<VAR>=0" is the uniform kill-switch convention (matches the facts
+/// engine's and the runtime's env handling).
+bool env_off(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '0' && v[1] == '\0';
+}
+
+/// Producer of each input port, from the consumer lists:
+/// result[node][port] = producer node id.
+std::vector<std::vector<uint32_t>> build_producers(const Template& tmpl) {
+  const size_t n = tmpl.nodes.size();
+  std::vector<std::vector<uint32_t>> producers(n);
+  for (size_t i = 0; i < n; ++i) producers[i].assign(tmpl.nodes[i].num_inputs, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const PortRef& c : tmpl.nodes[i].consumers) {
+      producers[c.node][c.port] = i;
+    }
+  }
+  return producers;
+}
 
 /// Renumber input slots densely in node order. Every structural rewrite
 /// (input removal, node removal) ends with this so the verifier's dense
@@ -53,21 +76,17 @@ bool always_needed(const Node& node, const OperatorTable& operators) {
     case NodeKind::kTupleGet:
     case NodeKind::kMakeClosure:
       return false;
+    case NodeKind::kFused:
+      // Members are pure by construction; an unconsumed chain has no
+      // observable effect.
+      return false;
   }
   return true;
 }
 
 size_t remove_dead_nodes(Template& tmpl, const OperatorTable& operators) {
   const size_t n = tmpl.nodes.size();
-  // Producer of each input port: port (node, index) -> producer node.
-  // Built from the consumer lists.
-  std::vector<std::vector<uint32_t>> producers(n);
-  for (size_t i = 0; i < n; ++i) producers[i].assign(tmpl.nodes[i].num_inputs, 0);
-  for (uint32_t i = 0; i < n; ++i) {
-    for (const PortRef& c : tmpl.nodes[i].consumers) {
-      producers[c.node][c.port] = i;
-    }
-  }
+  const std::vector<std::vector<uint32_t>> producers = build_producers(tmpl);
 
   // Mark needed nodes: seeds + transitive producers.
   std::vector<uint8_t> needed(n, 0);
@@ -364,6 +383,265 @@ size_t prune_dead_params(CompiledProgram& program, const GraphFacts& facts,
   return pruned;
 }
 
+/// Tuple-plumbing elision: a kTupleMake whose every consumer is a
+/// statically-matched, in-range kTupleGet never needs to exist — each
+/// element producer is rewired straight to the matching gets' consumers,
+/// promoting the runtime decomposition fast path (executor_core.h's
+/// deliver) into a compile-time rewrite. Elements with no matching get
+/// simply drop their edge, exactly like the runtime dropping the package
+/// before forwarding. Makes with an out-of-range get are left alone:
+/// that program faults with a precise runtime error, and eliding the
+/// in-range siblings would change which error surfaces. The neutralized
+/// make/get nodes become consumer-less constants for the same round's
+/// dead-node sweep.
+size_t elide_tuples(Template& tmpl, GraphOptStats& stats) {
+  const uint32_t n = static_cast<uint32_t>(tmpl.nodes.size());
+  std::vector<std::vector<uint32_t>> producers = build_producers(tmpl);
+  const uint32_t before_slots = tmpl.value_slots;
+  size_t elided = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    Node& make = tmpl.nodes[i];
+    if (make.kind != NodeKind::kTupleMake || make.consumers.empty()) continue;
+    bool all_gets = true;
+    for (const PortRef& c : make.consumers) {
+      const Node& get = tmpl.nodes[c.node];
+      if (get.kind != NodeKind::kTupleGet || get.tuple_index >= make.num_inputs) {
+        all_gets = false;
+        break;
+      }
+    }
+    if (!all_gets) continue;
+    // Forwarded consumers per element, in deterministic order: gets in
+    // make-consumer order, then each get's consumers in order.
+    std::vector<std::vector<PortRef>> fwd(make.num_inputs);
+    for (const PortRef& c : make.consumers) {
+      const Node& get = tmpl.nodes[c.node];
+      for (const PortRef& gc : get.consumers) fwd[get.tuple_index].push_back(gc);
+    }
+    for (uint16_t p = 0; p < make.num_inputs; ++p) {
+      const uint32_t q = producers[i][p];
+      auto& consumers = tmpl.nodes[q].consumers;
+      for (size_t k = 0; k < consumers.size(); ++k) {
+        if (consumers[k].node == i && consumers[k].port == p) {
+          consumers.erase(consumers.begin() + k);
+          consumers.insert(consumers.begin() + static_cast<ptrdiff_t>(k), fwd[p].begin(),
+                           fwd[p].end());
+          break;
+        }
+      }
+      for (const PortRef& gc : fwd[p]) producers[gc.node][gc.port] = q;
+    }
+    for (const PortRef& c : make.consumers) {
+      Node& get = tmpl.nodes[c.node];
+      get.kind = NodeKind::kConst;
+      get.literal = ConstValue{};
+      get.num_inputs = 0;
+      get.tuple_index = 0;
+      get.consumers.clear();
+      if (!get.debug_label.empty()) get.debug_label = "elided:" + get.debug_label;
+    }
+    make.kind = NodeKind::kConst;
+    make.literal = ConstValue{};
+    make.num_inputs = 0;
+    make.consumers.clear();
+    if (!make.debug_label.empty()) make.debug_label = "elided:" + make.debug_label;
+    ++elided;
+  }
+  if (elided != 0) {
+    relayout_slots(tmpl);
+    stats.slots_reclaimed += before_slots - tmpl.value_slots;
+  }
+  return elided;
+}
+
+/// Chain fusion: collapse maximal linear chains of pure, single-consumer
+/// operator nodes into one kFused node, so the executor pays dispatch,
+/// scheduling, tracing, and delivery once per chain. The last chain node
+/// is morphed in place (it keeps its consumers, and — node ids being
+/// producers-first — every external producer has a smaller id, so
+/// ascending-id topological order survives); the absorbed nodes are
+/// compacted out with a dedicated remap so dead_nodes_removed stays an
+/// honest DCE counter. Existing kFused nodes extend: a chain entering a
+/// fused node's first member splices its members verbatim, which is what
+/// makes repeated rounds (and a second optimize_graphs run) converge.
+size_t fuse_chains(Template& tmpl, const OperatorTable& operators, GraphOptStats& stats) {
+  const uint32_t n = static_cast<uint32_t>(tmpl.nodes.size());
+  const std::vector<std::vector<uint32_t>> producers = build_producers(tmpl);
+
+  auto candidate = [&](const Node& node) {
+    if (node.kind == NodeKind::kFused) return true;
+    if (node.kind != NodeKind::kOperator || node.op_index < 0) return false;
+    const OperatorInfo* info = operators.lookup(node.op_name);
+    return info != nullptr && info->pure;
+  };
+  // The chain entry of a kFused node must land on its first member: a
+  // linear chain holds exactly one in-flight value, so only the head can
+  // take a predecessor's result.
+  auto entry_ok = [&](const Node& node, uint16_t port) {
+    if (node.kind != NodeKind::kFused) return true;
+    const std::vector<uint32_t>& head_inputs = node.fused.front().inputs;
+    return std::find(head_inputs.begin(), head_inputs.end(),
+                     static_cast<uint32_t>(port)) != head_inputs.end();
+  };
+  // Readiness preservation: fusing a into b makes b's *other* inputs
+  // prerequisites of the whole chain's dispatch. Only link when those
+  // inputs come from constants or parameters — ready the moment the
+  // activation exists — so the fused node becomes runnable exactly when
+  // the unfused head would have. Without this, fusion serialises
+  // siblings that used to run in parallel with the head (and turns
+  // concurrent faults into sequential ones).
+  auto others_ready_at_start = [&](uint32_t b, uint16_t entry) {
+    const Node& nb = tmpl.nodes[b];
+    for (uint16_t q = 0; q < nb.num_inputs; ++q) {
+      if (q == entry) continue;
+      const NodeKind k = tmpl.nodes[producers[b][q]].kind;
+      if (k != NodeKind::kConst && k != NodeKind::kParam) return false;
+    }
+    return true;
+  };
+
+  // succ[a] = b when a's only consumer is candidate b and b elects a as
+  // its chain predecessor (the valid producer entering b's smallest
+  // port — a deterministic tie-break when several chains converge).
+  constexpr uint32_t kNone = UINT32_MAX;
+  std::vector<uint32_t> succ(n, kNone), pred(n, kNone);
+  for (uint32_t b = 0; b < n; ++b) {
+    const Node& nb = tmpl.nodes[b];
+    if (!candidate(nb)) continue;
+    uint32_t best_a = kNone;
+    for (uint16_t p = 0; p < nb.num_inputs; ++p) {
+      const uint32_t a = producers[b][p];
+      const Node& na = tmpl.nodes[a];
+      if (!candidate(na) || na.consumers.size() != 1) continue;
+      if (na.consumers[0].node != b || na.consumers[0].port != p) continue;
+      if (!entry_ok(nb, p)) continue;
+      if (!others_ready_at_start(b, p)) continue;
+      best_a = a;
+      break;  // ports ascend: the first valid producer wins
+    }
+    if (best_a != kNone) {
+      pred[b] = best_a;
+      succ[best_a] = b;
+    }
+  }
+
+  size_t absorbed_total = 0;
+  std::vector<uint8_t> keep(n, 1);
+  for (uint32_t head = 0; head < n; ++head) {
+    if (pred[head] != kNone || succ[head] == kNone) continue;
+    // Collect the maximal chain head -> ... -> last.
+    std::vector<uint32_t> chain{head};
+    while (succ[chain.back()] != kNone) chain.push_back(succ[chain.back()]);
+    const uint32_t last = chain.back();
+
+    // Build the member list and the external slot renumbering. External
+    // slots are assigned in (member, port) traversal order; each old
+    // producer edge is rewired to the surviving node's new slot.
+    std::vector<FusedMember> members;
+    uint32_t ext = 0;
+    auto rewire = [&](uint32_t producer, uint32_t old_node, uint16_t old_port,
+                      uint32_t new_slot) {
+      for (PortRef& c : tmpl.nodes[producer].consumers) {
+        if (c.node == old_node && c.port == old_port) {
+          c.node = last;
+          c.port = static_cast<uint16_t>(new_slot);
+          return;
+        }
+      }
+    };
+    for (size_t k = 0; k < chain.size(); ++k) {
+      const uint32_t c = chain[k];
+      const Node& node = tmpl.nodes[c];
+      // Port of c fed by the chain predecessor (the predecessor's single
+      // consumer edge), or none for the head.
+      const uint16_t chain_port =
+          k == 0 ? static_cast<uint16_t>(0xffff) : tmpl.nodes[chain[k - 1]].consumers[0].port;
+      if (node.kind == NodeKind::kOperator) {
+        FusedMember m;
+        m.op_index = node.op_index;
+        m.op_name = node.op_name;
+        m.orig_node = c;
+        m.range = node.range;
+        m.debug_label = node.debug_label;
+        m.inputs.reserve(node.num_inputs);
+        for (uint16_t p = 0; p < node.num_inputs; ++p) {
+          if (k != 0 && p == chain_port) {
+            m.inputs.push_back(FusedMember::kChainInput);
+          } else {
+            rewire(producers[c][p], c, p, ext);
+            m.inputs.push_back(ext++);
+          }
+        }
+        members.push_back(std::move(m));
+      } else {  // existing kFused: splice members, renumber externals
+        std::vector<uint32_t> slot_map(node.num_inputs, FusedMember::kChainInput);
+        for (uint16_t p = 0; p < node.num_inputs; ++p) {
+          if (k != 0 && p == chain_port) continue;  // becomes the chain input
+          rewire(producers[c][p], c, p, ext);
+          slot_map[p] = ext++;
+        }
+        for (const FusedMember& old : node.fused) {
+          FusedMember m = old;
+          for (uint32_t& v : m.inputs) {
+            if (v != FusedMember::kChainInput) v = slot_map[v];
+          }
+          members.push_back(std::move(m));
+        }
+      }
+    }
+
+    // Morph the last node in place; mark the rest for compaction.
+    Node& fused = tmpl.nodes[last];
+    fused.kind = NodeKind::kFused;
+    fused.num_inputs = static_cast<uint16_t>(ext);
+    fused.op_index = -1;
+    fused.op_name.clear();
+    fused.literal = ConstValue{};
+    fused.tuple_index = 0;
+    fused.target_template = 0;
+    fused.priority = PriorityClass::kNormal;
+    fused.is_tail = false;
+    fused.input_classes.clear();
+    std::string label;
+    for (const FusedMember& m : members) {
+      if (!label.empty()) label += "+";
+      label += m.op_name;
+    }
+    fused.debug_label = "fused:" + label;
+    fused.fused = std::move(members);
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      keep[chain[k]] = 0;
+      tmpl.nodes[chain[k]].consumers.clear();
+    }
+    ++stats.chains_fused;
+    stats.fused_nodes_absorbed += chain.size() - 1;
+    absorbed_total += chain.size() - 1;
+  }
+  if (absorbed_total == 0) return 0;
+
+  // Compact the absorbed nodes out (every edge touching them was rewired
+  // or cleared above) with a dedicated remap.
+  const uint32_t before_slots = tmpl.value_slots;
+  std::vector<uint32_t> remap(n, 0);
+  std::vector<Node> kept;
+  kept.reserve(n - absorbed_total);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (keep[i]) {
+      remap[i] = static_cast<uint32_t>(kept.size());
+      kept.push_back(std::move(tmpl.nodes[i]));
+    }
+  }
+  for (Node& node : kept) {
+    for (PortRef& c : node.consumers) c.node = remap[c.node];
+  }
+  tmpl.nodes = std::move(kept);
+  relayout_slots(tmpl);
+  stats.slots_reclaimed += before_slots - tmpl.value_slots;
+  tmpl.return_node = remap[tmpl.return_node];
+  for (uint32_t& p : tmpl.param_nodes) p = remap[p];
+  return absorbed_total;
+}
+
 /// Prune unreachable anonymous templates. Named (global function)
 /// templates stay: they are callable through run_function.
 size_t prune_unreachable_templates(CompiledProgram& program) {
@@ -428,13 +706,16 @@ GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& ope
     const FactsOptions env = FactsOptions::from_env();
     opt.fold_constants = opt.fold_constants && env.constants;
     opt.prune_dead_params = opt.prune_dead_params && env.liveness;
+    opt.elide_tuples = opt.elide_tuples && !env_off("DELIRIUM_FACTS_TUPLES");
+    opt.fuse_chains = opt.fuse_chains && !env_off("DELIRIUM_FACTS_FUSE");
   }
   const bool rewrite = opt.facts && (opt.fold_constants || opt.prune_dead_params);
 
   // Rewrite rounds until a fixpoint: folding exposes dead nodes, dead
-  // parameters expose dead argument chains, which expose more constants.
-  // Every rewrite strictly shrinks the program (node, input, parameter,
-  // or template count), so the loop terminates.
+  // parameters expose dead argument chains, which expose more constants,
+  // and tuple elision exposes folds the scalar constant lattice could
+  // not see through packages. Every rewrite strictly shrinks the program
+  // (node, input, parameter, or template count), so the loop terminates.
   for (;;) {
     ++stats.rounds;
     size_t round_changes = 0;
@@ -459,6 +740,14 @@ GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& ope
       }
     }
 
+    if (opt.facts && opt.elide_tuples) {
+      for (auto& tmpl : program.templates) {
+        const size_t elided = elide_tuples(*tmpl, stats);
+        stats.tuples_elided += elided;
+        round_changes += elided;
+      }
+    }
+
     // Dead-node elimination + slot compaction, per template.
     for (auto& tmpl : program.templates) {
       const uint32_t before_slots = tmpl->value_slots;
@@ -472,7 +761,23 @@ GraphOptStats optimize_graphs(CompiledProgram& program, const OperatorTable& ope
     stats.templates_pruned += templates_pruned;
     round_changes += templates_pruned;
 
-    if (round_changes == 0) break;
+    if (round_changes != 0) continue;
+
+    // Chain fusion runs only once every other rewrite is at its
+    // fixpoint: a collapsed chain would otherwise hide constants that
+    // the next round's facts were about to fold (the scalar lattice
+    // cannot see inside a kFused node). Fusion itself exposes no new
+    // work for the other passes — it changes no non-member consumer
+    // counts, creates no constants, and the fused node is pure — but
+    // each sweep strictly shrinks the node count, so the outer loop
+    // still terminates.
+    size_t fused_changes = 0;
+    if (opt.facts && opt.fuse_chains) {
+      for (auto& tmpl : program.templates) {
+        fused_changes += fuse_chains(*tmpl, operators, stats);
+      }
+    }
+    if (fused_changes == 0) break;
   }
 
   if (final_facts != nullptr) {

@@ -246,6 +246,7 @@ class Verifier {
       case NodeKind::kTupleMake:
       case NodeKind::kMakeClosure:
       case NodeKind::kCall:
+      case NodeKind::kFused:
         break;
     }
 
@@ -290,6 +291,40 @@ class Verifier {
                 "operator '" + node.op_name +
                     "' is registered both pure and destructive — purity promises no "
                     "argument mutation");
+        }
+      }
+    }
+
+    // Fused chains: every member must be a registered *pure* operator
+    // with a consistent registry index and arity — the dispatch loop
+    // retries members with shallow snapshots, which is only sound
+    // without destructive arguments. Slot-coverage structure is checked
+    // by validate_graph; this layer owns the operator-table contracts.
+    if (node.kind == NodeKind::kFused) {
+      if (node.fused.empty()) issue(ti, i, "kFused node has no members");
+      for (size_t m = 0; m < node.fused.size(); ++m) {
+        const FusedMember& member = node.fused[m];
+        const std::string who = "fused member #" + std::to_string(m) + " ('" +
+                                member.op_name + "')";
+        const OperatorInfo* info = operators_.lookup(member.op_name);
+        if (info == nullptr) {
+          issue(ti, i, who + " is not in the operator table");
+          continue;
+        }
+        if (!info->pure) {
+          issue(ti, i, who + " is impure — fusion may only chain pure operators");
+        }
+        if (member.op_index < 0 || member.op_index != operators_.index_of(member.op_name)) {
+          issue(ti, i,
+                who + " op_index " + std::to_string(member.op_index) +
+                    " disagrees with the table (" +
+                    std::to_string(operators_.index_of(member.op_name)) + ")");
+        }
+        if (!info->variadic &&
+            member.inputs.size() != static_cast<size_t>(info->arity)) {
+          issue(ti, i,
+                who + " takes " + std::to_string(info->arity) + " arguments, has " +
+                    std::to_string(member.inputs.size()));
         }
       }
     }

@@ -207,6 +207,7 @@ class Analyzer {
         // so the chase continues in every caller.
         return return_never_read(ti, wraps);
       case NodeKind::kOperator:
+      case NodeKind::kFused:
         // Operators may read (or pass through) any argument, wrapped or not.
         return false;
       case NodeKind::kTupleMake:
@@ -314,7 +315,10 @@ class Analyzer {
     switch (n.kind) {
       case NodeKind::kConst:
         return true;  // literals are freshly built per activation
-      case NodeKind::kOperator: {
+      case NodeKind::kOperator:
+      case NodeKind::kFused: {
+        // A fused chain is a composition of pure operators, so the same
+        // pass-through reasoning applies to its external inputs.
         for (uint16_t port = 0; port < n.num_inputs; ++port) {
           const uint32_t q = producers_[ti][p][port];
           if (!uniquely_held(ti, q)) return false;

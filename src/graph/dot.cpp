@@ -20,6 +20,7 @@ const char* node_shape(NodeKind kind) {
     case NodeKind::kIfDispatch: return "diamond";
     case NodeKind::kParMap: return "tripleoctagon";
     case NodeKind::kReturn: return "triangle";
+    case NodeKind::kFused: return "box3d";
   }
   return "box";
 }

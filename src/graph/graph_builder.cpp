@@ -740,6 +740,40 @@ std::string validate_graph(const CompiledProgram& program) {
       if (n.kind == NodeKind::kReturn && n.num_inputs != 1) {
         return where + "return must have 1 input";
       }
+      if (n.kind == NodeKind::kFused) {
+        // Fused-chain invariants: a non-empty member list, the chain
+        // input only on members past the head (exactly one each), and
+        // external slots covering 0..num_inputs-1 exactly once across
+        // all member ports.
+        if (n.fused.empty()) return where + "fused node has no members";
+        std::vector<int> slot_used(n.num_inputs, 0);
+        for (size_t mi = 0; mi < n.fused.size(); ++mi) {
+          const FusedMember& member = n.fused[mi];
+          if (member.op_index < 0) {
+            return where + "fused member without registry index";
+          }
+          size_t chain_inputs = 0;
+          for (uint32_t v : member.inputs) {
+            if (v == FusedMember::kChainInput) {
+              ++chain_inputs;
+            } else if (v < slot_used.size()) {
+              ++slot_used[v];
+            } else {
+              return where + "fused member external slot out of range";
+            }
+          }
+          if (chain_inputs != (mi == 0 ? 0u : 1u)) {
+            return where + "fused member " + std::to_string(mi) + " has " +
+                   std::to_string(chain_inputs) + " chain inputs";
+          }
+        }
+        for (uint16_t s = 0; s < n.num_inputs; ++s) {
+          if (slot_used[s] != 1) {
+            return where + "fused external slot " + std::to_string(s) + " consumed by " +
+                   std::to_string(slot_used[s]) + " member ports";
+          }
+        }
+      }
     }
     if (slots != t.value_slots) return where + "slot total mismatch";
     for (size_t ni = 0; ni < t.nodes.size(); ++ni) {

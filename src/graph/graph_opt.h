@@ -15,6 +15,14 @@
 //     unobservable (including loop-carried ones) are removed, with every
 //     call and closure-creation site shrunk in the same synchronized
 //     pass;
+//   * tuple-plumbing elision — a kTupleMake whose every consumer is a
+//     statically-matched kTupleGet is bypassed: producer outputs wire
+//     directly to the gets' consumers, promoting the runtime
+//     decomposition fast path into a compile-time rewrite;
+//   * chain fusion — maximal linear chains of pure, single-consumer
+//     operator nodes collapse into one kFused node, so the executor
+//     dispatches, schedules, traces, and allocates input slots once per
+//     chain instead of once per node;
 //   * dead-node elimination — nodes whose result nobody consumes and
 //     whose execution cannot have effects (constants, parameters, tuple
 //     plumbing, closure creation, and *pure* operators) are deleted, and
@@ -36,16 +44,20 @@ namespace delirium {
 struct GraphFacts;
 
 /// Which rewrite families to run. The DELIRIUM_GRAPH_FACTS /
-/// DELIRIUM_FACTS_FOLD / DELIRIUM_FACTS_DEADPARAM kill switches are
+/// DELIRIUM_FACTS_FOLD / DELIRIUM_FACTS_DEADPARAM /
+/// DELIRIUM_FACTS_TUPLES / DELIRIUM_FACTS_FUSE kill switches are
 /// applied on top of these inside optimize_graphs — the environment can
 /// only disable a rewrite, never force one past an explicit `false`.
 struct GraphOptOptions {
   /// Master: compute GraphFacts and run the fact-driven rewrites
-  /// (folding, dead-parameter pruning). Off reproduces the pre-facts
-  /// optimizer: dead-node elimination and template pruning only.
+  /// (folding, dead-parameter pruning, tuple elision, chain fusion).
+  /// Off reproduces the pre-facts optimizer: dead-node elimination and
+  /// template pruning only.
   bool facts = true;
   bool fold_constants = true;
   bool prune_dead_params = true;
+  bool elide_tuples = true;
+  bool fuse_chains = true;
 };
 
 struct GraphOptStats {
@@ -54,13 +66,16 @@ struct GraphOptStats {
   size_t slots_reclaimed = 0;
   size_t consts_folded = 0;
   size_t dead_params_pruned = 0;
+  size_t tuples_elided = 0;        // kTupleMake/kTupleGet pairs bypassed
+  size_t chains_fused = 0;         // kFused nodes created (or regrown)
+  size_t fused_nodes_absorbed = 0; // operator nodes folded into chains
   /// Rewrite rounds run, including the final no-change round that
   /// proves the fixpoint. Not a change count: excluded from total().
   size_t rounds = 0;
 
   size_t total() const {
     return dead_nodes_removed + templates_pruned + slots_reclaimed + consts_folded +
-           dead_params_pruned;
+           dead_params_pruned + tuples_elided + chains_fused + fused_nodes_absorbed;
   }
 };
 

@@ -37,6 +37,13 @@ enum class NodeKind : uint8_t {
   // function value, input 1 a multiple-value package; one subgraph is
   // expanded per element and the results join into a new package.
   kParMap,
+  // A maximal linear chain of pure, single-consumer operator nodes
+  // collapsed into one node by the fusion pass (src/analysis/graph_opt).
+  // Members run in order inside one activation step — dispatched,
+  // scheduled, and traced once per chain — with each member's chain
+  // input forwarded directly from its predecessor's result instead of
+  // round-tripping through the activation buffer. Payload: Node::fused.
+  kFused,
 };
 
 /// Ready-queue priority classes, in decreasing priority (§7): normal
@@ -62,6 +69,30 @@ enum class ConsumeClass : uint8_t {
   kShared = 2,   // provably shared at this use: the clone is guaranteed
 };
 
+/// One operator of a kFused chain. Members execute in order; the chain
+/// input of member k (k > 0) is member k-1's result, every other input
+/// comes from the fused node's external slot range. Members are pure by
+/// construction (the fusion pass only chains pure operators), so each
+/// is independently retry-eligible with shallow value snapshots.
+struct FusedMember {
+  /// Marks an input port wired to the previous member's result.
+  static constexpr uint32_t kChainInput = UINT32_MAX;
+
+  int op_index = -1;     // index into the registry
+  std::string op_name;   // for diagnostics, timings, and injection specs
+  /// Node id this member had before fusion — the stable identity behind
+  /// deterministic fault sequencing and injection hashing, so a fault
+  /// inside member k reports exactly what the unfused graph would.
+  uint32_t orig_node = 0;
+  /// Per input port: kChainInput, or a 0-based offset into the fused
+  /// node's external slot range (relative to Node::input_offset).
+  std::vector<uint32_t> inputs;
+  /// Source range of the member's original apply expression, preserved
+  /// for fault provenance.
+  SourceRange range;
+  std::string debug_label;
+};
+
 struct Node {
   NodeKind kind = NodeKind::kConst;
   PriorityClass priority = PriorityClass::kNormal;
@@ -84,6 +115,7 @@ struct Node {
   std::string op_name;          // kOperator: for diagnostics and timings
   uint32_t tuple_index = 0;     // kTupleGet
   uint32_t target_template = 0; // kCall / kMakeClosure
+  std::vector<FusedMember> fused;  // kFused: ordered member chain
 
   /// Where this node's output goes: (consumer node, input port) pairs.
   std::vector<PortRef> consumers;

@@ -30,8 +30,8 @@
 //   void charge_backoff(ns, cost);        // retry backoff
 //   void busy_begin(worker, def) / busy_end(worker);   // watchdog busy dump
 //   Ticks op_clock_begin();               // start the operator cost clock
-//   void op_note_success(t0, def, node, act, worker, virtual_start, arrival, cost);
-//   uint64_t op_arrival(def, node, has_plan);  // per-op arrival counter
+//   void op_note_success(t0, def, act, worker, virtual_start, arrival, cost);
+//   uint64_t op_arrival(def, op_index, has_plan);  // per-op arrival counter
 //   int last_affinity_worker(op_index);   // operator-affinity memory
 //   void note_affinity(op_index, worker);
 //   void on_activation_created(act) / on_activation_destroyed(act);  // ledger
@@ -640,11 +640,18 @@ class ExecutorCore {
   /// Affinity preference (§9.3) of a ready node, or -1. Shared by both
   /// machines' enqueue paths; the Machine owns the affinity memory.
   int affinity_preference(const Activation& act, const Node& n) {
-    if (exec_config().affinity == AffinityMode::kOperator &&
-        n.kind == NodeKind::kOperator && n.op_index >= 0) {
-      return machine().last_affinity_worker(n.op_index);
+    if (exec_config().affinity == AffinityMode::kOperator) {
+      if (n.kind == NodeKind::kOperator && n.op_index >= 0) {
+        return machine().last_affinity_worker(n.op_index);
+      }
+      // A fused chain follows its first member: that is the operator
+      // whose cached state the chain touches first.
+      if (n.kind == NodeKind::kFused && !n.fused.empty()) {
+        return machine().last_affinity_worker(n.fused.front().op_index);
+      }
     }
-    if (exec_config().affinity == AffinityMode::kData && n.kind == NodeKind::kOperator) {
+    if (exec_config().affinity == AffinityMode::kData &&
+        (n.kind == NodeKind::kOperator || n.kind == NodeKind::kFused)) {
       int target = -1;
       size_t best_bytes = 0;
       for (uint16_t i = 0; i < n.num_inputs; ++i) {
@@ -723,7 +730,7 @@ class ExecutorCore {
             exec_config().unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
                                           : std::span<const ConsumeClass>();
         const FaultPlan* plan = plan_.get();
-        const uint64_t arrival = machine().op_arrival(def, n, plan != nullptr);
+        const uint64_t arrival = machine().op_arrival(def, n.op_index, plan != nullptr);
 
         // Retry eligibility: pure operators always qualify; destructive
         // operators only when the sole-consumer analysis proved every
@@ -794,7 +801,7 @@ class ExecutorCore {
             machine().busy_end(worker);
             // Cost, timings, and CoW stats come from the successful
             // attempt only; failed attempts contribute their backoff.
-            machine().op_note_success(t0, def, n, act, worker, virtual_start, arrival, cost);
+            machine().op_note_success(t0, def, act, worker, virtual_start, arrival, cost);
             counters_.cow_copies.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
             counters_.cow_skipped.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
             if (fd.action == FaultAction::kCorrupt) {
@@ -837,6 +844,133 @@ class ExecutorCore {
           result.block_ptr()->home_worker.store(worker, std::memory_order_relaxed);
         }
         deliver(act_ptr, node, std::move(result), start + cost);
+        break;
+      }
+
+      case NodeKind::kFused: {
+        // A fused chain (src/analysis/graph_opt.cpp): members run in
+        // order inside this one scheduling step, so the node base cost,
+        // queue traffic, and delivery are paid once per chain. Each
+        // member keeps its own fault provenance (pre-fusion node id and
+        // source range), injection identity, retry budget, trace events,
+        // and timing attribution — observably a sequence of operator
+        // runs minus the per-node scheduling tax.
+        using PooledValues = std::vector<Value, PoolAllocator<Value>>;
+        const FaultPlan* plan = plan_.get();
+        Value chain;
+        bool chain_ok = true;
+        // One argument buffer for the whole chain: members run strictly
+        // in sequence, so reusing it trims the per-member allocation the
+        // fusion exists to avoid.
+        PooledValues args{PoolAllocator<Value>(&pool_)};
+        PooledValues snapshot{PoolAllocator<Value>(&pool_)};
+        for (const FusedMember& member : n.fused) {
+          const OperatorDef& def = registry_.at(static_cast<size_t>(member.op_index));
+          args.clear();
+          args.reserve(member.inputs.size());
+          for (uint32_t slot : member.inputs) {
+            if (slot == FusedMember::kChainInput) {
+              args.push_back(std::move(chain));
+            } else {
+              args.push_back(std::move(act.slots[n.input_offset + slot]));
+            }
+          }
+          if (exec_config().remote_penalty_ns_per_kb > 0) {
+            for (Value& v : args) {
+              if (v.kind() != Value::Kind::kBlock) continue;
+              BlockBase& blk = *v.block_ptr();
+              const int home = blk.home_worker.load(std::memory_order_relaxed);
+              if (home >= 0 && home != worker) {
+                const int64_t kb = static_cast<int64_t>(blk.byte_size() / 1024) + 1;
+                machine().charge_remote(exec_config().remote_penalty_ns_per_kb * kb, cost);
+                counters_.remote_block_moves.fetch_add(1, std::memory_order_relaxed);
+              }
+              blk.home_worker.store(worker, std::memory_order_relaxed);
+            }
+          }
+          counters_.operator_invocations.fetch_add(1, std::memory_order_relaxed);
+          const uint64_t arrival = machine().op_arrival(def, member.op_index, plan != nullptr);
+          // Members are pure by construction — the fusion pass only
+          // chains pure operators — so every member is retry-eligible
+          // and the pre-image snapshot is a shallow copy (no destructive
+          // arguments to re-clone).
+          const int budget = max_retries_;
+          if (budget > 0) snapshot = args;
+          Value result;
+          bool ok = false;
+          for (uint32_t attempt = 0;; ++attempt) {
+            FaultDecision fd;
+            if (plan != nullptr) {
+              // Injection hashes the member's pre-fusion node id, so
+              // structural specs (every=) land the same faults with
+              // fusion on or off.
+              fd = plan->decide(def.info.name, def.info.pure, act.seq, member.orig_node,
+                               arrival, attempt);
+              if (fd.action != FaultAction::kNone) {
+                counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            bool injected = false;
+            machine().busy_begin(worker, def);
+            machine().trace_from_core(worker, start + cost, TraceEventKind::kOpBegin,
+                                      member.op_index, attempt);
+            try {
+              if (fd.action == FaultAction::kThrow) {
+                injected = true;
+                throw RuntimeError("injected fault (attempt " + std::to_string(attempt) +
+                                   ")");
+              }
+              if (fd.action == FaultAction::kStall) machine().charge_stall(fd.stall_ns, cost);
+              const Ticks virtual_start = start + cost;
+              const Ticks t0 = machine().op_clock_begin();
+              OpContext ctx(def, std::span<Value>(args.data(), args.size()), worker, {});
+              result = def.fn(ctx);
+              machine().busy_end(worker);
+              machine().op_note_success(t0, def, act, worker, virtual_start, arrival, cost);
+              counters_.cow_copies.fetch_add(ctx.cow_copies(), std::memory_order_relaxed);
+              counters_.cow_skipped.fetch_add(ctx.cow_skipped(), std::memory_order_relaxed);
+              if (fd.action == FaultAction::kCorrupt) result = Value::tuple({});
+              machine().trace_from_core(worker, start + cost, TraceEventKind::kOpEnd,
+                                        member.op_index, attempt);
+              ok = true;
+            } catch (...) {
+              machine().busy_end(worker);
+              machine().trace_from_core(worker, start + cost, TraceEventKind::kOpEnd,
+                                        member.op_index, attempt);
+              if (attempt < static_cast<uint32_t>(budget)) {
+                counters_.retries.fetch_add(1, std::memory_order_relaxed);
+                machine().trace_from_core(worker, start + cost, TraceEventKind::kRetry,
+                                          member.op_index, attempt + 1);
+                const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
+                machine().charge_backoff(retry_backoff_ns_ << shift, cost);
+                args = snapshot;
+                continue;
+              }
+              if (budget > 0) {
+                counters_.retries_exhausted.fetch_add(1, std::memory_order_relaxed);
+              }
+              machine().record_fault_from_core(
+                  make_member_fault(act, member, std::current_exception(), injected),
+                  member.op_index, start + cost, worker);
+            }
+            break;
+          }
+          if (!ok) {
+            // Same contract as a faulted kOperator: nothing is delivered,
+            // downstream starves, and the run drains to the fault.
+            chain_ok = false;
+            break;
+          }
+          if (exec_config().affinity == AffinityMode::kOperator) {
+            machine().note_affinity(member.op_index, worker);
+          }
+          if (result.kind() == Value::Kind::kBlock) {
+            result.block_ptr()->home_worker.store(worker, std::memory_order_relaxed);
+          }
+          chain = std::move(result);
+        }
+        if (!chain_ok) break;
+        deliver(act_ptr, node, std::move(chain), start + cost);
         break;
       }
 

@@ -22,6 +22,7 @@ const char* kind_name(NodeKind k) {
     case NodeKind::kIfDispatch: return "if";
     case NodeKind::kReturn: return "return";
     case NodeKind::kParMap: return "parmap";
+    case NodeKind::kFused: return "fused";
   }
   return "?";
 }
@@ -78,10 +79,12 @@ std::string fault_node_label(const Node& n) {
   return kind_name(n.kind);
 }
 
-std::string fault_node_location(const Node& n) {
-  if (n.range.begin.offset == 0 && n.range.end.offset == 0) return "";
-  return "bytes " + std::to_string(n.range.begin.offset) + ".." +
-         std::to_string(n.range.end.offset);
+std::string fault_node_location(const Node& n) { return fault_range_location(n.range); }
+
+std::string fault_range_location(const SourceRange& range) {
+  if (range.begin.offset == 0 && range.end.offset == 0) return "";
+  return "bytes " + std::to_string(range.begin.offset) + ".." +
+         std::to_string(range.end.offset);
 }
 
 std::string render_stranded(std::vector<StrandedActivation> acts, size_t limit) {

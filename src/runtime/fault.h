@@ -108,17 +108,23 @@ std::string fault_node_label(const Node& n);
 /// deterministic and map back through the front end's line table.)
 std::string fault_node_location(const Node& n);
 
+/// Same formatting for a bare source range (fused-member provenance,
+/// which carries ranges without a Node).
+std::string fault_range_location(const SourceRange& range);
+
 /// Render the coordination stack of a faulting activation by walking its
 /// continuation links (tail calls forward continuations, so forwarded
 /// frames are elided — exactly like a tail-call-optimized stack trace).
 /// Works for both executors' activation types, which share the field
-/// names `tmpl`, `cont_act`, `cont_node`, `collector`.
+/// names `tmpl`, `cont_act`, `cont_node`, `collector`. The innermost
+/// frame is caller-supplied so fused members can report their pre-fusion
+/// node id and label.
 template <typename Act>
-std::string render_coordination_stack(const Act* act, uint32_t fault_node) {
+std::string render_coordination_stack_from(const Act* act, uint32_t frame0_node,
+                                           const std::string& frame0_label) {
   constexpr int kMaxFrames = 16;
-  const Node& fn = act->tmpl->nodes[fault_node];
-  std::string out = "  #0 " + act->tmpl->name + " (node " + std::to_string(fault_node) +
-                    " '" + fault_node_label(fn) + "')\n";
+  std::string out = "  #0 " + act->tmpl->name + " (node " + std::to_string(frame0_node) +
+                    " '" + frame0_label + "')\n";
   const Act* cur = act;
   int frame = 1;
   while (true) {
@@ -150,6 +156,12 @@ std::string render_coordination_stack(const Act* act, uint32_t fault_node) {
   return out;
 }
 
+template <typename Act>
+std::string render_coordination_stack(const Act* act, uint32_t fault_node) {
+  return render_coordination_stack_from(act, fault_node,
+                                        fault_node_label(act->tmpl->nodes[fault_node]));
+}
+
 /// Build the FaultInfo for an exception raised while executing `node` of
 /// `act`. Shared by both executors so the rendered text matches exactly.
 template <typename Act>
@@ -164,6 +176,27 @@ FaultInfo make_fault(const Act& act, uint32_t node, std::exception_ptr ep,
   f.message = exception_message(ep);
   f.location = fault_node_location(n);
   f.stack = render_coordination_stack(&act, node);
+  f.injected = injected;
+  f.original = std::move(ep);
+  return f;
+}
+
+/// Fault provenance for one member of a fused chain: the record carries
+/// the member's operator name, source range, and pre-fusion node id, so
+/// a fault inside member k reports exactly what the unfused graph would
+/// (modulo the optimizer's node renumbering) and the (seq, node) pair
+/// stays schedule-independent.
+template <typename Act>
+FaultInfo make_member_fault(const Act& act, const FusedMember& member,
+                            std::exception_ptr ep, bool injected = false) {
+  FaultInfo f;
+  f.op = member.op_name;
+  f.tmpl = act.tmpl->name;
+  f.node = member.orig_node;
+  f.seq = act.seq;
+  f.message = exception_message(ep);
+  f.location = fault_range_location(member.range);
+  f.stack = render_coordination_stack_from(&act, member.orig_node, member.op_name);
   f.injected = injected;
   f.original = std::move(ep);
   return f;

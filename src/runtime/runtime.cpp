@@ -293,24 +293,23 @@ Ticks Runtime::op_clock_begin() {
   return config_.enable_node_timing ? now_ticks() : 0;
 }
 
-void Runtime::op_note_success(Ticks t0, const OperatorDef& /*def*/, const Node& n,
-                              const Activation& act, int worker, Ticks /*virtual_start*/,
-                              uint64_t /*arrival*/, Ticks& /*cost*/) {
+void Runtime::op_note_success(Ticks t0, const OperatorDef& def, const Activation& act,
+                              int worker, Ticks /*virtual_start*/, uint64_t /*arrival*/,
+                              Ticks& /*cost*/) {
   if (!config_.enable_node_timing) return;
   const Ticks dt = now_ticks() - t0;
   counters_.operator_ticks.fetch_add(dt, std::memory_order_relaxed);
   worker_data_[worker]->timings.push_back(
-      NodeTiming{n.op_name, act.tmpl->name, dt, worker,
+      NodeTiming{def.info.name, act.tmpl->name, dt, worker,
                  timing_seq_.fetch_add(1, std::memory_order_relaxed),
                  t0 - run_start_ticks_});
 }
 
-uint64_t Runtime::op_arrival(const OperatorDef& /*def*/, const Node& n, bool has_plan) {
+uint64_t Runtime::op_arrival(const OperatorDef& /*def*/, int op_index, bool has_plan) {
   // Arrival counters exist only for injection-plan selection here (the
   // simulator also needs them for cost replay, so it counts always).
-  if (has_plan && n.op_index >= 0 &&
-      static_cast<size_t>(n.op_index) < op_arrivals_.size()) {
-    return op_arrivals_[n.op_index].fetch_add(1, std::memory_order_relaxed);
+  if (has_plan && op_index >= 0 && static_cast<size_t>(op_index) < op_arrivals_.size()) {
+    return op_arrivals_[op_index].fetch_add(1, std::memory_order_relaxed);
   }
   return 0;
 }

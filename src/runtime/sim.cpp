@@ -148,9 +148,8 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
   // replayed) wall time *is* the virtual cost model.
   Ticks op_clock_begin() { return now_ticks(); }
 
-  void op_note_success(Ticks t0, const OperatorDef& def, const Node& n,
-                       const Activation& act, int proc, Ticks virtual_start,
-                       uint64_t occurrence, Ticks& cost) {
+  void op_note_success(Ticks t0, const OperatorDef& def, const Activation& act, int proc,
+                       Ticks virtual_start, uint64_t occurrence, Ticks& cost) {
     Ticks measured = now_ticks() - t0;
     if (config.record_costs != nullptr) {
       config.record_costs->per_op[def.info.name].push_back(measured);
@@ -164,12 +163,12 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     cost += measured;
     counters_.operator_ticks.fetch_add(measured, std::memory_order_relaxed);
     if (config.enable_node_timing) {
-      timings.push_back(NodeTiming{n.op_name, act.tmpl->name, measured, proc,
+      timings.push_back(NodeTiming{def.info.name, act.tmpl->name, measured, proc,
                                    static_cast<uint64_t>(timings.size()), virtual_start});
     }
   }
 
-  uint64_t op_arrival(const OperatorDef& def, const Node& /*n*/, bool /*has_plan*/) {
+  uint64_t op_arrival(const OperatorDef& def, int /*op_index*/, bool /*has_plan*/) {
     // Counted unconditionally (unlike the threaded runtime): cost replay
     // needs the occurrence index even with no injection plan.
     return op_occurrence[def.info.name]++;

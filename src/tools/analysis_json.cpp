@@ -150,6 +150,9 @@ std::string render_analysis_json(const CompileResult& result, const SourceFile& 
   const GraphOptStats& g = result.graph_opt_stats;
   out += "  \"graph_opt\": {\"consts_folded\": " + std::to_string(g.consts_folded) +
          ", \"dead_params_pruned\": " + std::to_string(g.dead_params_pruned) +
+         ", \"tuples_elided\": " + std::to_string(g.tuples_elided) +
+         ", \"chains_fused\": " + std::to_string(g.chains_fused) +
+         ", \"fused_nodes_absorbed\": " + std::to_string(g.fused_nodes_absorbed) +
          ", \"dead_nodes_removed\": " + std::to_string(g.dead_nodes_removed) +
          ", \"templates_pruned\": " + std::to_string(g.templates_pruned) +
          ", \"slots_reclaimed\": " + std::to_string(g.slots_reclaimed) +
@@ -204,6 +207,9 @@ std::string render_analysis_text(const CompileResult& result, const SourceFile& 
   const GraphOptStats& g = result.graph_opt_stats;
   out += "analysis: graph_opt: " + std::to_string(g.consts_folded) + " const(s) folded, " +
          std::to_string(g.dead_params_pruned) + " dead param(s) pruned, " +
+         std::to_string(g.tuples_elided) + " tuple(s) elided, " +
+         std::to_string(g.chains_fused) + " chain(s) fused (" +
+         std::to_string(g.fused_nodes_absorbed) + " node(s) absorbed), " +
          std::to_string(g.dead_nodes_removed) + " dead node(s) removed, " +
          std::to_string(g.templates_pruned) + " template(s) pruned, " +
          std::to_string(g.slots_reclaimed) + " slot(s) reclaimed, " +

@@ -26,8 +26,9 @@ using testing::ScopedEnv;
 /// suite-wide exports.
 constexpr std::initializer_list<const char*> kFactsEnv = {
     "DELIRIUM_GRAPH_FACTS",    "DELIRIUM_FACTS_FOLD", "DELIRIUM_FACTS_DEADPARAM",
-    "DELIRIUM_FACTS_STRAND",   "DELIRIUM_FACTS_SOLE", "DELIRIUM_SCHED_HINTS",
-    "DELIRIUM_COST_HINTS",     "DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"};
+    "DELIRIUM_FACTS_STRAND",   "DELIRIUM_FACTS_SOLE", "DELIRIUM_FACTS_FUSE",
+    "DELIRIUM_FACTS_TUPLES",   "DELIRIUM_SCHED_HINTS", "DELIRIUM_COST_HINTS",
+    "DELIRIUM_INJECT_FAULTS",  "DELIRIUM_RETRIES"};
 
 OperatorRegistry& registry() {
   static OperatorRegistry r = [] {

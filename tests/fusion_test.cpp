@@ -1,0 +1,450 @@
+// Chain fusion and tuple-plumbing elision tests: rewrite structure
+// (what fuses, what must not), the per-rewrite kill switches, fixpoint
+// idempotence, verifier coverage of the fused-node invariants, and the
+// equivalence property — a fused program agrees with its unfused twin
+// on values, fault reports, and retry behavior across the whole
+// executor matrix, including faults injected *inside* a fused chain.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "src/analysis/graph_verify.h"
+#include "src/delirium.h"
+#include "tests/test_util.h"
+
+namespace delirium {
+namespace {
+
+using testing::ScopedEnv;
+
+/// Every env knob these tests assert on, cleared for hermeticity.
+constexpr std::initializer_list<const char*> kFusionEnv = {
+    "DELIRIUM_GRAPH_FACTS", "DELIRIUM_FACTS_FUSE", "DELIRIUM_FACTS_TUPLES",
+    "DELIRIUM_FACTS_FOLD",  "DELIRIUM_INJECT_FAULTS", "DELIRIUM_RETRIES"};
+
+OperatorRegistry& registry() {
+  static OperatorRegistry r = [] {
+    OperatorRegistry reg;
+    register_builtin_operators(reg);
+    reg.add("effectful", 1, [](OpContext& ctx) { return ctx.take(0); });
+    reg.add("effectful2", 2, [](OpContext& ctx) { return ctx.take(0); });
+    return reg;
+  }();
+  return r;
+}
+
+/// Compile without AST optimization, then apply only the graph pass, so
+/// constant folding upstream cannot erase the chains under test.
+std::pair<CompiledProgram, GraphOptStats> graph_optimized(const std::string& source) {
+  CompileOptions options;
+  options.optimize = false;
+  CompiledProgram program = compile_or_throw(source, registry(), options);
+  GraphOptStats stats = optimize_graphs(program, registry());
+  return {std::move(program), stats};
+}
+
+const Node* find_fused(const Template& tmpl) {
+  for (const Node& n : tmpl.nodes) {
+    if (n.kind == NodeKind::kFused) return &n;
+  }
+  return nullptr;
+}
+
+size_t count_kind(const CompiledProgram& program, NodeKind kind) {
+  size_t n = 0;
+  for (const auto& t : program.templates) {
+    for (const Node& node : t->nodes) n += node.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+int64_t run_int(const CompiledProgram& program, int workers = 2) {
+  Runtime runtime(registry(), {.num_workers = workers});
+  return runtime.run(program).as_int();
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite structure
+// ---------------------------------------------------------------------------
+
+TEST(Fusion, FusesLinearChainRootedAtParameter) {
+  ScopedEnv env(kFusionEnv);
+  auto [program, stats] = graph_optimized("f(x) mul(add(incr(x), 1), 2)\nmain() f(5)");
+  EXPECT_EQ(stats.chains_fused, 1u);
+  EXPECT_EQ(stats.fused_nodes_absorbed, 2u);
+  const Template* f = program.find("f");
+  ASSERT_NE(f, nullptr);
+  const Node* fused = find_fused(*f);
+  ASSERT_NE(fused, nullptr);
+  ASSERT_EQ(fused->fused.size(), 3u);
+  EXPECT_EQ(fused->fused[0].op_name, "incr");
+  EXPECT_EQ(fused->fused[1].op_name, "add");
+  EXPECT_EQ(fused->fused[2].op_name, "mul");
+  // The head takes only external inputs; each later member takes the
+  // previous member's result plus its external constant.
+  ASSERT_EQ(fused->fused[0].inputs.size(), 1u);
+  EXPECT_NE(fused->fused[0].inputs[0], FusedMember::kChainInput);
+  ASSERT_EQ(fused->fused[1].inputs.size(), 2u);
+  EXPECT_EQ(fused->fused[1].inputs[0], FusedMember::kChainInput);
+  ASSERT_EQ(fused->fused[2].inputs.size(), 2u);
+  EXPECT_EQ(fused->fused[2].inputs[0], FusedMember::kChainInput);
+  EXPECT_EQ(fused->num_inputs, 3u);  // x, 1, 2
+  EXPECT_EQ(validate_graph(program), "");
+  EXPECT_EQ(verify_report(verify_graphs(program, registry())), "");
+  EXPECT_EQ(run_int(program), 14);  // (5+1+1)*2
+}
+
+TEST(Fusion, ImpureOperatorBreaksTheChain) {
+  ScopedEnv env(kFusionEnv);
+  auto [program, stats] =
+      graph_optimized("f(x) mul(effectful(incr(x)), 2)\nmain() f(5)");
+  EXPECT_EQ(stats.chains_fused, 0u);
+  EXPECT_EQ(count_kind(program, NodeKind::kFused), 0u);
+  EXPECT_EQ(run_int(program), 12);
+}
+
+TEST(Fusion, SharedProducerBreaksTheChain) {
+  ScopedEnv env(kFusionEnv);
+  // y feeds two consumers, so it can never be absorbed into either.
+  auto [program, stats] =
+      graph_optimized("f(x) let y = incr(x) in add(mul(y, 2), y)\nmain() f(5)");
+  EXPECT_EQ(stats.chains_fused, 0u);
+  EXPECT_EQ(run_int(program), 18);  // 6*2 + 6
+}
+
+TEST(Fusion, ComputedSiblingInputBlocksFusion) {
+  ScopedEnv env(kFusionEnv);
+  // Readiness preservation: fusing incr into add would make sub(y, 1)'s
+  // result a prerequisite of the whole chain's dispatch, serialising two
+  // operators that run in parallel in the unfused graph. Neither side
+  // may link.
+  auto [program, stats] =
+      graph_optimized("f(x, y) add(incr(x), sub(y, 1))\nmain() f(5, 3)");
+  EXPECT_EQ(stats.chains_fused, 0u);
+  EXPECT_EQ(count_kind(program, NodeKind::kFused), 0u);
+  EXPECT_EQ(run_int(program), 8);  // 6 + 2
+}
+
+TEST(Fusion, KillSwitchDisablesFusionOnly) {
+  ScopedEnv env(kFusionEnv);
+  env.set("DELIRIUM_FACTS_FUSE", "0");
+  auto [program, stats] = graph_optimized("f(x) mul(add(incr(x), 1), 2)\nmain() f(5)");
+  EXPECT_EQ(stats.chains_fused, 0u);
+  EXPECT_EQ(count_kind(program, NodeKind::kFused), 0u);
+  EXPECT_EQ(run_int(program), 14);
+}
+
+TEST(Fusion, MasterSwitchDisablesBothRewrites) {
+  ScopedEnv env(kFusionEnv);
+  env.set("DELIRIUM_GRAPH_FACTS", "0");
+  auto [program, stats] = graph_optimized(
+      "f(x) let <a, b> = <incr(x), 7> in mul(add(a, b), 2)\nmain() f(3)");
+  EXPECT_EQ(stats.chains_fused, 0u);
+  EXPECT_EQ(stats.tuples_elided, 0u);
+  EXPECT_EQ(run_int(program), 22);  // (4+7)*2
+}
+
+/// Structural dump of the fused payloads, so byte-equality covers the
+/// member lists too (the generic dump in graph_opt_test.cpp covers the
+/// node fields).
+std::string dump_fused(const CompiledProgram& program) {
+  std::ostringstream out;
+  for (size_t t = 0; t < program.templates.size(); ++t) {
+    const Template& tp = *program.templates[t];
+    for (size_t i = 0; i < tp.nodes.size(); ++i) {
+      for (const FusedMember& m : tp.nodes[i].fused) {
+        out << t << ":" << i << " op=" << m.op_name << "#" << m.op_index
+            << " orig=" << m.orig_node << " in=[";
+        for (uint32_t s : m.inputs) out << s << ",";
+        out << "]\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+TEST(Fusion, SecondOptimizationIsANoOp) {
+  ScopedEnv env(kFusionEnv);
+  auto [program, first] = graph_optimized(
+      "f(x) mul(add(incr(x), 1), 2)\n"
+      "g(x) let <a, b> = <incr(x), 7> in add(a, b)\n"
+      "main() add(f(5), g(3))");
+  EXPECT_GT(first.chains_fused, 0u);
+  EXPECT_GT(first.tuples_elided, 0u);
+  const std::string before = dump_fused(program);
+  const size_t nodes = program.total_nodes();
+  GraphOptStats again = optimize_graphs(program, registry());
+  EXPECT_EQ(again.total(), 0u);
+  EXPECT_EQ(program.total_nodes(), nodes);
+  EXPECT_EQ(dump_fused(program), before);
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-plumbing elision
+// ---------------------------------------------------------------------------
+
+TEST(TupleElision, ElidesStaticallyMatchedMakeAndGets) {
+  ScopedEnv env(kFusionEnv);
+  auto [program, stats] = graph_optimized(
+      "f(x) let <a, b> = <incr(x), 7> in add(a, b)\nmain() f(3)");
+  EXPECT_EQ(stats.tuples_elided, 1u);
+  EXPECT_EQ(count_kind(program, NodeKind::kTupleMake), 0u);
+  EXPECT_EQ(count_kind(program, NodeKind::kTupleGet), 0u);
+  EXPECT_GT(stats.slots_reclaimed, 0u);
+  EXPECT_EQ(validate_graph(program), "");
+  EXPECT_EQ(run_int(program), 11);  // incr(3) + 7
+}
+
+TEST(TupleElision, NonGetConsumerPreservesTheTuple) {
+  ScopedEnv env(kFusionEnv);
+  // The package escapes (it is f's return value), so the make survives.
+  auto [program, stats] = graph_optimized("f(x) <incr(x), 7>\nmain() f(3)");
+  EXPECT_EQ(stats.tuples_elided, 0u);
+  EXPECT_EQ(count_kind(program, NodeKind::kTupleMake), 1u);
+}
+
+TEST(TupleElision, KillSwitchKeepsTheTupleNodes) {
+  ScopedEnv env(kFusionEnv);
+  env.set("DELIRIUM_FACTS_TUPLES", "0");
+  auto [program, stats] = graph_optimized(
+      "f(x) let <a, b> = <incr(x), 7> in add(a, b)\nmain() f(3)");
+  EXPECT_EQ(stats.tuples_elided, 0u);
+  EXPECT_EQ(count_kind(program, NodeKind::kTupleMake), 1u);
+  EXPECT_EQ(count_kind(program, NodeKind::kTupleGet), 2u);
+  EXPECT_EQ(run_int(program), 11);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier coverage of the fused invariants
+// ---------------------------------------------------------------------------
+
+std::string corrupt_and_report(const std::string& source,
+                               void (*mutate)(Node&)) {
+  CompileOptions options;
+  options.optimize = false;
+  CompiledProgram program = compile_or_throw(source, registry(), options);
+  optimize_graphs(program, registry());
+  for (auto& t : program.templates) {
+    for (Node& n : t->nodes) {
+      if (n.kind == NodeKind::kFused) {
+        mutate(n);
+        std::string report = validate_graph(program);
+        if (report.empty()) report = verify_report(verify_graphs(program, registry()));
+        return report;
+      }
+    }
+  }
+  ADD_FAILURE() << "no fused node produced";
+  return "";
+}
+
+TEST(FusionVerify, DetectsEmptyMemberList) {
+  ScopedEnv env(kFusionEnv);
+  const std::string report = corrupt_and_report(
+      "f(x) mul(add(incr(x), 1), 2)\nmain() f(5)", [](Node& n) { n.fused.clear(); });
+  EXPECT_NE(report.find("fused"), std::string::npos) << report;
+}
+
+TEST(FusionVerify, DetectsImpureMember) {
+  ScopedEnv env(kFusionEnv);
+  const std::string report = corrupt_and_report(
+      "f(x) mul(add(incr(x), 1), 2)\nmain() f(5)", [](Node& n) {
+        // Same arity, so the impurity check is what fires.
+        n.fused[1].op_name = "effectful2";
+        n.fused[1].op_index = registry().index_of("effectful2");
+      });
+  EXPECT_NE(report.find("impure"), std::string::npos) << report;
+}
+
+TEST(FusionVerify, DetectsBrokenExternalSlotCoverage) {
+  ScopedEnv env(kFusionEnv);
+  const std::string report = corrupt_and_report(
+      "f(x) mul(add(incr(x), 1), 2)\nmain() f(5)",
+      [](Node& n) { n.fused[0].inputs[0] = 99; });
+  EXPECT_NE(report.find("fused"), std::string::npos) << report;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: fused vs unfused across the executor matrix
+// ---------------------------------------------------------------------------
+
+std::string scrub_digits(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c >= '0' && c <= '9') c = '#';
+  }
+  return out;
+}
+
+/// Compile `source` twice — fusion + elision on, then both off — and
+/// prove the two programs agree on values, fault behavior, and
+/// (digit-scrubbed, node ids shift) error text across the whole
+/// executor matrix; each program additionally proves byte-identical
+/// reports and trace-multiset determinism across the matrix inside
+/// expect_equivalent.
+CompileResult expect_fusion_preserves(const std::string& source, int max_retries = 0) {
+  CompileOptions options;
+  options.opt.inline_expansion = false;
+  CompileResult fused = compile_source("<fused>", source, registry(), options);
+  EXPECT_TRUE(fused.ok) << fused.diagnostics;
+  if (!fused.ok) return fused;
+
+  CompiledProgram plain = [&] {
+    ScopedEnv env({"DELIRIUM_FACTS_FUSE", "DELIRIUM_FACTS_TUPLES"});
+    env.set("DELIRIUM_FACTS_FUSE", "0");
+    env.set("DELIRIUM_FACTS_TUPLES", "0");
+    CompileResult r = compile_source("<plain>", source, registry(), options);
+    EXPECT_TRUE(r.ok) << r.diagnostics;
+    return std::move(r.program);
+  }();
+
+  testing::ExecutorFixture fixture(registry());
+  fixture.config().max_retries = max_retries;
+  const testing::ExecutorOutcome a = fixture.expect_equivalent(fused.program);
+  const testing::ExecutorOutcome b = fixture.expect_equivalent(plain);
+  EXPECT_EQ(a.faulted(), b.faulted());
+  if (a.faulted() && b.faulted()) {
+    EXPECT_EQ(scrub_digits(a.error_text), scrub_digits(b.error_text));
+    EXPECT_EQ(a.stats.faults_raised, b.stats.faults_raised);
+  } else if (!a.faulted() && !b.faulted()) {
+    EXPECT_TRUE(deep_equal(a.value, b.value));
+    EXPECT_EQ(a.stats.retries, b.stats.retries);
+    EXPECT_EQ(a.stats.faults_injected, b.stats.faults_injected);
+  }
+  return fused;
+}
+
+TEST(FusionEquivalence, FusedChainsProduceIdenticalValuesEverywhere) {
+  ScopedEnv env(kFusionEnv);
+  CompileResult r = expect_fusion_preserves(R"(
+step(x) mul(add(incr(x), 1), 2)
+f(n) if less_than(n, 1) then 0 else add(step(n), f(sub(n, 1)))
+main() f(6)
+)");
+  // The rewrite actually fired: this compares fused against unfused,
+  // not two identical programs.
+  EXPECT_GT(r.graph_opt_stats.chains_fused, 0u);
+}
+
+TEST(FusionEquivalence, ElidedTuplesProduceIdenticalValuesEverywhere) {
+  ScopedEnv env(kFusionEnv);
+  CompileResult r = expect_fusion_preserves(R"(
+step(x) let <a, b> = <incr(x), 7> in add(a, b)
+f(n) if less_than(n, 1) then 0 else add(step(n), f(sub(n, 1)))
+main() f(6)
+)");
+  EXPECT_GT(r.graph_opt_stats.tuples_elided, 0u);
+}
+
+TEST(FusionEquivalence, InjectedFaultInsideChainMatchesUnfused) {
+  ScopedEnv env(kFusionEnv);
+  // `add` sits in the middle of the fused chain; the fault report must
+  // name the member operator with the same text the unfused graph
+  // produces (modulo shifted node ids).
+  env.set("DELIRIUM_INJECT_FAULTS", "add:throw");
+  CompileResult r = expect_fusion_preserves(
+      "main() mul(add(incr(effectful(1)), 1), 2)");
+  EXPECT_GT(r.graph_opt_stats.chains_fused, 0u);
+}
+
+TEST(FusionEquivalence, RetryInsideChainRecoversWithEqualCounters) {
+  ScopedEnv env(kFusionEnv);
+  // Transient fault on a mid-chain member: the member retries in place
+  // (arguments snapshotted before the attempt) and the chain completes.
+  env.set("DELIRIUM_INJECT_FAULTS", "add:throw:fail_attempts=1");
+  CompileResult r = expect_fusion_preserves(
+      "main() mul(add(incr(effectful(1)), 1), 2)", /*max_retries=*/2);
+  EXPECT_GT(r.graph_opt_stats.chains_fused, 0u);
+
+  testing::ExecutorFixture fixture(registry());
+  fixture.config().max_retries = 2;
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(r.program);
+  ASSERT_FALSE(ref.faulted()) << ref.error_text;
+  EXPECT_EQ(ref.value.as_int(), 6);  // ((1+1)+1)*2
+  EXPECT_EQ(ref.stats.retries, 1u);
+  EXPECT_EQ(ref.stats.faults_injected, 1u);
+  EXPECT_EQ(ref.stats.faults_raised, 0u);
+}
+
+TEST(FusionEquivalence, ExhaustedRetriesReportTheMemberOperator) {
+  ScopedEnv env(kFusionEnv);
+  // Injected faults are transient by default (fail_attempts=1): pin the
+  // failure past the retry budget so the fault genuinely surfaces.
+  env.set("DELIRIUM_INJECT_FAULTS", "add:throw:fail_attempts=10");
+  CompileResult r = expect_fusion_preserves(
+      "main() mul(add(incr(effectful(1)), 1), 2)", /*max_retries=*/1);
+  EXPECT_GT(r.graph_opt_stats.chains_fused, 0u);
+
+  testing::ExecutorFixture fixture(registry());
+  fixture.config().max_retries = 1;
+  const testing::ExecutorOutcome ref = fixture.expect_equivalent(r.program);
+  ASSERT_TRUE(ref.faulted());
+  EXPECT_NE(ref.error_text.find("add"), std::string::npos) << ref.error_text;
+  EXPECT_NE(ref.error_text.find("coordination stack:"), std::string::npos)
+      << ref.error_text;
+  EXPECT_EQ(ref.stats.retries_exhausted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// kTupleGet decomposition fast path (satellite): when a package crosses
+// a call boundary the static elision cannot fire, and the runtime's
+// kTupleGet decomposition does the unpacking — under faults and retries
+// it must behave identically across the matrix.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCrossCallTuple = R"(
+pair(x) <incr(x), effectful(x)>
+main() let <a, b> = pair(3) in add(a, b)
+)";
+
+CompiledProgram compile_cross_call_tuple() {
+  CompileOptions options;
+  options.opt.inline_expansion = false;
+  CompiledProgram program = compile_or_throw(kCrossCallTuple, registry(), options);
+  // The premise of these tests: the gets survive optimization because
+  // the make lives in the callee.
+  size_t gets = 0;
+  for (const auto& t : program.templates) {
+    for (const Node& n : t->nodes) gets += n.kind == NodeKind::kTupleGet ? 1 : 0;
+  }
+  EXPECT_EQ(gets, 2u);
+  return program;
+}
+
+TEST(TupleGetFastPath, DecomposesDeliveredTupleEverywhere) {
+  ScopedEnv env(kFusionEnv);
+  testing::ExecutorFixture fixture(registry());
+  const testing::ExecutorOutcome ref =
+      fixture.expect_equivalent(compile_cross_call_tuple());
+  ASSERT_FALSE(ref.faulted()) << ref.error_text;
+  EXPECT_EQ(ref.value.as_int(), 7);  // incr(3) + 3
+}
+
+TEST(TupleGetFastPath, TransientFaultBeforeTheTupleRetriesAndRecovers) {
+  ScopedEnv env(kFusionEnv);
+  env.set("DELIRIUM_INJECT_FAULTS", "incr:throw:fail_attempts=1");
+  testing::ExecutorFixture fixture(registry());
+  fixture.config().max_retries = 2;
+  const testing::ExecutorOutcome ref =
+      fixture.expect_equivalent(compile_cross_call_tuple());
+  ASSERT_FALSE(ref.faulted()) << ref.error_text;
+  EXPECT_EQ(ref.value.as_int(), 7);
+  EXPECT_EQ(ref.stats.retries, 1u);
+  EXPECT_EQ(ref.stats.faults_raised, 0u);
+}
+
+TEST(TupleGetFastPath, PermanentFaultReportsIdenticallyEverywhere) {
+  ScopedEnv env(kFusionEnv);
+  env.set("DELIRIUM_INJECT_FAULTS", "effectful:throw");
+  testing::ExecutorFixture fixture(registry());
+  const testing::ExecutorOutcome ref =
+      fixture.expect_equivalent(compile_cross_call_tuple());
+  ASSERT_TRUE(ref.faulted());
+  EXPECT_NE(ref.error_text.find("effectful"), std::string::npos) << ref.error_text;
+}
+
+}  // namespace
+}  // namespace delirium

@@ -169,6 +169,12 @@ std::string dump_program(const CompiledProgram& program) {
       for (const PortRef& c : n.consumers) out << c.node << ":" << c.port << ",";
       out << "] classes=[";
       for (const ConsumeClass c : n.input_classes) out << static_cast<int>(c) << ",";
+      out << "] fused=[";
+      for (const FusedMember& m : n.fused) {
+        out << m.op_name << "#" << m.op_index << "@" << m.orig_node << "(";
+        for (uint32_t s : m.inputs) out << s << ",";
+        out << "),";
+      }
       out << "]\n";
     }
   }
@@ -181,7 +187,11 @@ TEST(GraphOpt, SecondOptimizationIsByteIdenticalNoOp) {
   for (const char* source :
        {"fortytwo() mul(6, 7)\nmain() add(fortytwo(), 1)",
         "drop(a, b) a\nmain() let c = add(1, 2) f(x) drop(x, c) in add(f(3), f(4))",
-        "main() let unused = effectful(5) in 7"}) {
+        "main() let unused = effectful(5) in 7",
+        // A fused chain and an elided tuple: re-optimizing must neither
+        // extend the chain nor disturb the member list.
+        "f(x) mul(add(incr(x), 1), 2)\nmain() f(5)",
+        "g(x) let <a, b> = <incr(x), 7> in add(a, b)\nmain() g(3)"}) {
     auto [program, first] = graph_optimized(source);
     const std::string before = dump_program(program);
     GraphOptStats again = optimize_graphs(program, registry());
