@@ -26,6 +26,17 @@
 //     --watchdog MS   stall detector: cancel the run and dump stranded
 //                     activations after MS milliseconds (wall time under
 //                     --run, virtual time under --sim)
+//     --instances N   run main() as N concurrent isolated instances over
+//                     one shared worker pool (docs/ROBUSTNESS.md
+//                     "Isolation model"); works with --run and --sim
+//     --admission-cap N
+//                     bound on concurrently admitted instances; excess
+//                     submissions are shed deterministically with the
+//                     structured "overload" outcome
+//     --instance-budget SPEC
+//                     per-instance ceilings "acts=<n>,ms=<m>" (either
+//                     part optional); exceeding one cancels only that
+//                     instance and reports "budget_exhausted"
 //     --sim N         instead of --run, execute under virtual time on N
 //                     simulated processors and report the makespan
 //     --trace FILE    with --run or --sim: write the operator timeline as
@@ -58,12 +69,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "src/delirium.h"
 #include "src/lang/macro.h"
+#include "src/runtime/instance.h"
 #include "src/runtime/sim.h"
+#include "src/support/env.h"
 #include "src/tools/analysis_json.h"
 #include "src/tools/metrics.h"
 #include "src/tools/report.h"
@@ -99,6 +113,12 @@ void print_usage(std::FILE* out) {
       "  --inject-faults SPEC      deterministic fault injection (src/runtime/fault.h)\n"
       "  --retries N               retry faulting retry-eligible operators up to N times\n"
       "  --watchdog MS             cancel a stalled run after MS milliseconds\n"
+      "  --instances N             run main() as N concurrent isolated instances\n"
+      "  --admission-cap N         bound on concurrently admitted instances; excess\n"
+      "                            submissions are shed with outcome \"overload\"\n"
+      "  --instance-budget acts=<n>,ms=<m>\n"
+      "                            per-instance ceilings (either part optional);\n"
+      "                            exceeding one cancels only that instance\n"
       "  --trace FILE              write the operator timeline as Chrome tracing JSON\n"
       "  --trace-events FILE       record and write the full trace event stream\n"
       "                            (operator, scheduler, and fault events)\n"
@@ -137,6 +157,9 @@ int main(int argc, char** argv) {
   int sim_procs = 0;
   int retries = 0;
   long watchdog_ms = 0;
+  int instances = 0;
+  long admission_cap = 0;
+  delirium::InstanceBudget instance_budget;
   delirium::SchedulerKind scheduler = delirium::SchedulerKind::kWorkStealing;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -178,6 +201,31 @@ int main(int argc, char** argv) {
     else if (arg == "--inject-faults" && i + 1 < argc) fault_spec = argv[++i];
     else if (arg == "--retries" && i + 1 < argc) retries = std::atoi(argv[++i]);
     else if (arg == "--watchdog" && i + 1 < argc) watchdog_ms = std::atol(argv[++i]);
+    else if (arg == "--instances" && i + 1 < argc) instances = std::atoi(argv[++i]);
+    else if (arg == "--admission-cap" && i + 1 < argc) admission_cap = std::atol(argv[++i]);
+    else if (arg == "--instance-budget" && i + 1 < argc) {
+      // "acts=<n>,ms=<m>" — either part optional, unknown keys rejected.
+      std::string spec = argv[++i];
+      size_t pos = 0;
+      while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string part = spec.substr(pos, comma - pos);
+        const size_t eq = part.find('=');
+        const std::string key = eq == std::string::npos ? part : part.substr(0, eq);
+        const long v = eq == std::string::npos ? -1 : std::atol(part.c_str() + eq + 1);
+        if (key == "acts" && v > 0) {
+          instance_budget.max_activations = static_cast<uint64_t>(v);
+        } else if (key == "ms" && v > 0) {
+          instance_budget.time_budget_ns = v * 1000000;
+        } else {
+          std::fprintf(stderr, "delc: bad --instance-budget part '%s' (acts=<n>,ms=<m>)\n",
+                       part.c_str());
+          return usage();
+        }
+        pos = comma + 1;
+      }
+    }
     else if (!arg.empty() && arg[0] == '-') return usage();
     else path = arg;
   }
@@ -185,7 +233,18 @@ int main(int argc, char** argv) {
 
   // DELIRIUM_EXECUTOR overrides the --executor flag, mirroring how the
   // runtime's own env knobs (DELIRIUM_SCHEDULER, ...) win over config.
-  if (const char* env = std::getenv("DELIRIUM_EXECUTOR")) executor = env;
+  // The shared parser rejects bad spellings naming the variable and the
+  // offending value instead of silently ignoring them.
+  try {
+    if (delirium::env_raw("DELIRIUM_EXECUTOR").has_value()) {
+      executor = delirium::env_choice("DELIRIUM_EXECUTOR", {"threaded", "sim"}, 0) == 0
+                     ? "threaded"
+                     : "sim";
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "delc: %s\n", e.what());
+    return 2;
+  }
   if (!executor.empty() && executor != "threaded" && executor != "sim") {
     std::fprintf(stderr, "delc: unknown executor '%s' (threaded|sim)\n", executor.c_str());
     return usage();
@@ -302,6 +361,55 @@ int main(int argc, char** argv) {
     delirium::write_program_dot(std::cout, result.program);
   }
 
+  // Multi-instance mode (docs/ROBUSTNESS.md "Isolation model"): submit
+  // main() N times to one shared machine and report per-instance
+  // outcomes. Exit 1 only when *no* instance completed — faults, budget
+  // kills, and shed requests are contained, structured outcomes.
+  auto run_instance_mode = [&](delirium::InstanceManager& mgr) -> int {
+    for (int k = 0; k < instances; ++k) {
+      delirium::InstanceRequest req;
+      req.program = &result.program;
+      req.budget = instance_budget;
+      mgr.submit(req);
+    }
+    const std::vector<delirium::InstanceResult> outcomes = mgr.wait_all();
+    for (const delirium::InstanceResult& r : outcomes) {
+      if (r.outcome == delirium::InstanceOutcome::kCompleted) {
+        std::printf("result: %s\n", r.value.to_display_string().c_str());
+        break;
+      }
+    }
+    for (const delirium::InstanceResult& r : outcomes) {
+      if (r.outcome == delirium::InstanceOutcome::kCompleted) continue;
+      std::fprintf(stderr, "delc: instance %llu %s: %s\n",
+                   static_cast<unsigned long long>(r.id),
+                   delirium::instance_outcome_name(r.outcome),
+                   r.error.substr(0, r.error.find('\n')).c_str());
+    }
+    const delirium::InstanceCounters c = mgr.counters();
+    std::printf(
+        "instances: %d submitted, %llu completed, %llu faulted, %llu budget-killed, "
+        "%llu shed\n",
+        instances, static_cast<unsigned long long>(c.completed),
+        static_cast<unsigned long long>(c.faulted),
+        static_cast<unsigned long long>(c.budget_killed),
+        static_cast<unsigned long long>(c.shed));
+    if (stats) delirium::tools::print_run_stats(std::cout, mgr.stats());
+    if (!metrics_path.empty()) {
+      delirium::tools::MetricsRegistry metrics;
+      metrics.observe_run(mgr.stats(), {});
+      metrics.observe_instances(c, mgr.latencies());
+      if (metrics.write_file(metrics_path, metrics_format)) {
+        std::fprintf(stderr, "delc: wrote metrics to %s\n", metrics_path.c_str());
+      }
+    }
+    return c.completed > 0 ? 0 : 1;
+  };
+  delirium::InstanceManagerConfig imconfig;
+  imconfig.admission_capacity = admission_cap > 0 ? static_cast<size_t>(admission_cap) : 0;
+  imconfig.default_budget = instance_budget;
+  imconfig.track_busy_workers = instance_budget.time_budget_ns > 0;
+
   if (sim_procs > 0) {
     delirium::SimConfig config;
     config.num_procs = sim_procs;
@@ -309,8 +417,12 @@ int main(int argc, char** argv) {
     config.enable_tracing = !trace_events_path.empty();
     config.max_retries = retries;
     config.watchdog_budget_ns = watchdog_ms * 1000000;
-    delirium::SimRuntime sim(registry, config);
     try {
+      delirium::SimRuntime sim(registry, config);
+      if (instances > 0) {
+        delirium::InstanceManager mgr(sim, imconfig);
+        return run_instance_mode(mgr);
+      }
       const delirium::SimResult r = sim.run(result.program);
       std::printf("result: %s\n", r.result.to_display_string().c_str());
       std::printf("virtual makespan on %d processors: %.3f ms (busy %.3f ms)\n", sim_procs,
@@ -346,33 +458,41 @@ int main(int argc, char** argv) {
     config.scheduler = scheduler;
     config.max_retries = retries;
     config.watchdog_budget_ms = watchdog_ms;
-    delirium::Runtime runtime(registry, config);
+    // Construction can throw (a malformed DELIRIUM_* knob fails loudly
+    // with an EnvError); report it like any other failed run instead of
+    // letting it terminate the process.
+    std::unique_ptr<delirium::Runtime> runtime;
     try {
-      const delirium::Value value = runtime.run(result.program);
+      runtime = std::make_unique<delirium::Runtime>(registry, config);
+      if (instances > 0) {
+        delirium::InstanceManager mgr(*runtime, imconfig);
+        return run_instance_mode(mgr);
+      }
+      const delirium::Value value = runtime->run(result.program);
       std::printf("result: %s\n", value.to_display_string().c_str());
       if (!trace_path.empty() &&
-          delirium::tools::write_chrome_trace_file(trace_path, runtime.node_timings())) {
+          delirium::tools::write_chrome_trace_file(trace_path, runtime->node_timings())) {
         std::fprintf(stderr, "delc: wrote trace to %s\n", trace_path.c_str());
       }
       if (!trace_events_path.empty() &&
           delirium::tools::write_trace_events_file(trace_events_path,
-                                                   runtime.trace_events(), registry)) {
+                                                   runtime->trace_events(), registry)) {
         std::fprintf(stderr, "delc: wrote trace events to %s\n",
                      trace_events_path.c_str());
       }
       if (!metrics_path.empty()) {
         delirium::tools::MetricsRegistry metrics;
-        metrics.observe_run(runtime.last_stats(), runtime.node_timings());
+        metrics.observe_run(runtime->last_stats(), runtime->node_timings());
         if (metrics.write_file(metrics_path, metrics_format)) {
           std::fprintf(stderr, "delc: wrote metrics to %s\n", metrics_path.c_str());
         }
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "delc: run failed: %s\n", e.what());
-      if (stats) delirium::tools::print_run_stats(std::cout, runtime.last_stats());
+      if (stats && runtime) delirium::tools::print_run_stats(std::cout, runtime->last_stats());
       return 1;
     }
-    if (stats) delirium::tools::print_run_stats(std::cout, runtime.last_stats());
+    if (stats) delirium::tools::print_run_stats(std::cout, runtime->last_stats());
   }
   return 0;
 }

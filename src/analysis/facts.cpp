@@ -1,19 +1,19 @@
 #include "src/analysis/facts.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <utility>
+
+#include "src/support/env.h"
 
 namespace delirium {
 
 namespace {
 
-/// "<VAR>=0" is the uniform kill-switch convention (matches the
-/// runtime's DELIRIUM_TRACE / DELIRIUM_ACTIVATION_POOL handling).
-bool env_off(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && v[0] == '0' && v[1] == '\0';
-}
+/// The uniform kill-switch convention ("<VAR>=0" / "false" / "off",
+/// anything else rejected with a diagnostic naming the variable) — the
+/// shared parser in src/support/env.h, same as the runtime's
+/// DELIRIUM_TRACE / DELIRIUM_ACTIVATION_POOL handling.
+bool env_off(const char* name) { return !env_flag(name, true); }
 
 /// Three-point lattice for constant propagation. Values only descend:
 /// Top (no information yet) -> Const(v) -> Bottom (provably varying),

@@ -10,22 +10,20 @@
 #include "src/graph/graph_opt.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "src/analysis/facts.h"
+#include "src/support/env.h"
 
 namespace delirium {
 
 namespace {
 
-/// "<VAR>=0" is the uniform kill-switch convention (matches the facts
-/// engine's and the runtime's env handling).
-bool env_off(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && v[0] == '0' && v[1] == '\0';
-}
+/// The uniform kill-switch convention, via the shared parser in
+/// src/support/env.h (matches the facts engine's and the runtime's env
+/// handling; bad spellings are rejected with the variable named).
+bool env_off(const char* name) { return !env_flag(name, true); }
 
 /// Producer of each input port, from the consumer lists:
 /// result[node][port] = producer node id.

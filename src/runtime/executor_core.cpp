@@ -10,19 +10,12 @@ namespace delirium {
 // ---------------------------------------------------------------------------
 
 void apply_exec_env_overrides(ExecConfig& config) {
-  if (const char* env = std::getenv("DELIRIUM_TRACE")) {
-    config.enable_tracing = std::string_view(env) != "0";
-  }
-  if (const char* env = std::getenv("DELIRIUM_TRACE_CAPACITY")) {
-    const long long cap = std::strtoll(env, nullptr, 10);
-    if (cap > 0) config.trace_capacity = static_cast<size_t>(cap);
-  }
-  if (const char* env = std::getenv("DELIRIUM_ACTIVATION_POOL")) {
-    if (std::string_view(env) == "0") config.activation_pool = false;
-  }
-  if (const char* env = std::getenv("DELIRIUM_COST_HINTS")) {
-    if (std::string_view(env) == "0") config.cost_hints = false;
-  }
+  config.enable_tracing = env_flag("DELIRIUM_TRACE", config.enable_tracing);
+  config.trace_capacity = static_cast<size_t>(
+      env_int("DELIRIUM_TRACE_CAPACITY", static_cast<int64_t>(config.trace_capacity), 1,
+              int64_t{1} << 32));
+  config.activation_pool = env_flag("DELIRIUM_ACTIVATION_POOL", config.activation_pool);
+  config.cost_hints = env_flag("DELIRIUM_COST_HINTS", config.cost_hints);
 }
 
 // ---------------------------------------------------------------------------
@@ -247,6 +240,11 @@ void StatCounters::reset() {
   retries_exhausted.store(0);
   items_purged.store(0);
   watchdog_fires.store(0);
+  instances_admitted.store(0);
+  instances_completed.store(0);
+  instances_faulted.store(0);
+  instances_budget_killed.store(0);
+  instances_shed.store(0);
 }
 
 void StatCounters::snapshot(RunStats& out) const {
@@ -271,6 +269,11 @@ void StatCounters::snapshot(RunStats& out) const {
   out.retries_exhausted = retries_exhausted.load();
   out.items_purged = items_purged.load();
   out.watchdog_fires = watchdog_fires.load();
+  out.instances_admitted = instances_admitted.load();
+  out.instances_completed = instances_completed.load();
+  out.instances_faulted = instances_faulted.load();
+  out.instances_budget_killed = instances_budget_killed.load();
+  out.instances_shed = instances_shed.load();
 }
 
 // ---------------------------------------------------------------------------
@@ -297,9 +300,13 @@ std::string build_deadlock_message(bool simulated, const std::string& stranded) 
 
 std::string build_watchdog_message(const std::string& budget_text,
                                    const std::string& busy_section,
-                                   const std::string& stranded) {
-  return "watchdog: no result within " + budget_text + "; cancelling run\n" + busy_section +
-         "stranded activations:\n" + stranded;
+                                   const std::string& stranded,
+                                   const std::string& instance_text) {
+  // `instance_text` names the instance the watchdog fired for (manager
+  // mode); empty in the single-run path, keeping that message
+  // byte-identical to what it was before instances existed.
+  return "watchdog: no result within " + budget_text + "; cancelling run" + instance_text +
+         "\n" + busy_section + "stranded activations:\n" + stranded;
 }
 
 }  // namespace delirium

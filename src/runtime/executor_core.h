@@ -22,9 +22,9 @@
 //   static constexpr bool kVirtualTime;   // virtual clock? (sizes ready_at)
 //   Ticks node_base_cost();               // per-node overhead (0 / node_overhead_ns)
 //   void enqueue_ready(act, node, when);  // a node's inputs are complete
-//   void deliver_final(Value v, Ticks when);
+//   void deliver_final(run, Value v, Ticks when);
 //   void trace_from_core(worker, ts, kind, op, arg);
-//   void record_fault_from_core(FaultInfo, op_index, ts, worker);
+//   void record_fault_from_core(run, FaultInfo, op_index, ts, worker);
 //   void charge_remote(ns, cost);         // NUMA pull: spin (wall) or cost += (virtual)
 //   void charge_stall(ns, cost);          // injected stall
 //   void charge_backoff(ns, cost);        // retry backoff
@@ -35,7 +35,13 @@
 //   int last_affinity_worker(op_index);   // operator-affinity memory
 //   void note_affinity(op_index, worker);
 //   void on_activation_created(act) / on_activation_destroyed(act);  // ledger
-//   void* current_run_token();            // opaque RunState tag, or nullptr
+//
+// Results and faults are routed by the *activation's* opaque run token
+// (Activation::run), not by any per-machine "current run" notion: the
+// token is fixed at the root spawn and inherited by every child, so many
+// independent instances can share one machine's worker pool and each
+// fault or final value still lands in its own instance's state
+// (src/runtime/instance.h).
 //
 // Scheduler choice (global-lock vs work-stealing), parking, and the
 // drain/watchdog drivers stay Machine-side: they are machine models, not
@@ -62,6 +68,7 @@
 #include "src/runtime/tracing.h"
 #include "src/runtime/value.h"
 #include "src/support/clock.h"
+#include "src/support/env.h"
 
 namespace delirium {
 
@@ -195,6 +202,14 @@ struct RunStats {
   uint64_t retries_exhausted = 0;  // operators whose retry budget ran out
   uint64_t items_purged = 0;       // queued items discarded by cancellation
   uint64_t watchdog_fires = 0;     // stall-detector activations
+
+  // Multi-instance counters (src/runtime/instance.h, docs/ROBUSTNESS.md
+  // "Isolation model"). All zero for plain single-instance runs.
+  uint64_t instances_admitted = 0;      // requests accepted by admission control
+  uint64_t instances_completed = 0;     // instances that delivered a value
+  uint64_t instances_faulted = 0;       // instances that drained to a fault
+  uint64_t instances_budget_killed = 0; // instances cancelled by their budget
+  uint64_t instances_shed = 0;          // requests rejected at admission (kOverload)
 };
 
 // ---------------------------------------------------------------------------
@@ -353,6 +368,11 @@ struct StatCounters {
   std::atomic<uint64_t> retries_exhausted{0};
   std::atomic<uint64_t> items_purged{0};
   std::atomic<uint64_t> watchdog_fires{0};
+  std::atomic<uint64_t> instances_admitted{0};
+  std::atomic<uint64_t> instances_completed{0};
+  std::atomic<uint64_t> instances_faulted{0};
+  std::atomic<uint64_t> instances_budget_killed{0};
+  std::atomic<uint64_t> instances_shed{0};
 
   /// Zero every per-run counter. live_activations is a gauge, not a
   /// per-run counter, and survives the reset.
@@ -375,10 +395,13 @@ std::string build_deadlock_message(bool simulated, const std::string& stranded);
 
 /// The watchdog diagnostic. `budget_text` is "<N> ms" (threaded) or
 /// "<N> virtual ns" (sim); `busy_section` is the threaded runtime's
-/// "busy workers:" dump or empty.
+/// "busy workers:" dump or empty; `instance_text` names the instance the
+/// watchdog fired for (" (instance N: 'prog')" in manager mode, empty
+/// otherwise — single-run output stays byte-identical).
 std::string build_watchdog_message(const std::string& budget_text,
                                    const std::string& busy_section,
-                                   const std::string& stranded);
+                                   const std::string& stranded,
+                                   const std::string& instance_text = "");
 
 // ---------------------------------------------------------------------------
 // ExecutorCore
@@ -402,9 +425,9 @@ class ExecutorCore {
   /// alive exactly as long as it can still be referenced — and all of
   /// its storage recycles through the ActivationPool.
   struct Activation {
-    Activation(Machine* owner_in, const Template* tmpl_in, void* run_in, uint64_t seq_in,
-               ActivationPool* pool)
-        : owner(owner_in), tmpl(tmpl_in), run(run_in), seq(seq_in),
+    Activation(Machine* owner_in, const CompiledProgram* prog_in, const Template* tmpl_in,
+               void* run_in, uint64_t seq_in, ActivationPool* pool)
+        : owner(owner_in), prog(prog_in), tmpl(tmpl_in), run(run_in), seq(seq_in),
           slots(tmpl_in->value_slots, PoolAllocator<Value>(pool)),
           pending(tmpl_in->nodes.size(), PoolAllocator<std::atomic<int32_t>>(pool)),
           ready_at(Machine::kVirtualTime ? tmpl_in->nodes.size() : 0,
@@ -429,9 +452,16 @@ class ExecutorCore {
     }
 
     Machine* owner;
+    /// The program this activation's template belongs to. Carried per
+    /// activation (not per machine) so concurrent instances of
+    /// *different* programs can share one worker pool; kCall and
+    /// kMakeClosure resolve their target templates through it.
+    const CompiledProgram* prog;
     const Template* tmpl;
-    /// Opaque run tag (the threaded RunState, null in SimRuntime); used
-    /// only by the Machine, never interpreted here.
+    /// Opaque run tag identifying the instance this activation belongs
+    /// to (the threaded RunState / the simulator's instance record);
+    /// fixed at the root spawn, inherited by every child, and used only
+    /// by the Machine, never interpreted here.
     void* run;
     /// Deterministic structural sequence id (see fault.h): a hash of the
     /// spawn path, independent of the schedule and of the machine model,
@@ -496,11 +526,8 @@ class ExecutorCore {
   void resolve_run_policy() {
     plan_ = registry_.fault_plan() != nullptr ? registry_.fault_plan()
                                               : FaultPlan::from_env();
-    max_retries_ = exec_config().max_retries;
-    if (const char* env = std::getenv("DELIRIUM_RETRIES")) {
-      max_retries_ = static_cast<int>(std::strtol(env, nullptr, 10));
-    }
-    if (max_retries_ < 0) max_retries_ = 0;
+    max_retries_ = static_cast<int>(
+        env_int("DELIRIUM_RETRIES", exec_config().max_retries, 0, 1 << 20));
     retry_backoff_ns_ = exec_config().retry_backoff_ns > 0 ? exec_config().retry_backoff_ns : 0;
   }
 
@@ -522,9 +549,10 @@ class ExecutorCore {
   /// Instantiate `tmpl`: seed constant and parameter nodes, enqueue any
   /// node with no inputs. `when` is the virtual arrival time (ignored by
   /// wall-clock machines).
-  std::shared_ptr<Activation> spawn(const Template* tmpl, std::vector<Value> params,
+  std::shared_ptr<Activation> spawn(const CompiledProgram* prog, const Template* tmpl,
+                                    std::vector<Value> params,
                                     std::shared_ptr<Activation> cont_act, uint32_t cont_node,
-                                    uint64_t seq, Ticks when,
+                                    uint64_t seq, Ticks when, void* run,
                                     std::shared_ptr<Collector> collector = nullptr,
                                     uint32_t collector_index = 0) {
     if (params.size() != tmpl->num_params) {
@@ -533,8 +561,7 @@ class ExecutorCore {
                          std::to_string(params.size()));
     }
     auto act = std::allocate_shared<Activation>(PoolAllocator<Activation>(&pool_),
-                                                &machine(), tmpl,
-                                                machine().current_run_token(), seq, &pool_);
+                                                &machine(), prog, tmpl, run, seq, &pool_);
     act->cont_act = std::move(cont_act);
     act->cont_node = cont_node;
     act->collector = std::move(collector);
@@ -568,10 +595,10 @@ class ExecutorCore {
       // collector, if this activation's result was to join one. This
       // activation can retire as soon as its remaining nodes finish (§7's
       // early activation reuse).
-      spawn(target, std::move(params), act->cont_act, act->cont_node, seq, when,
-            act->collector, act->collector_index);
+      spawn(act->prog, target, std::move(params), act->cont_act, act->cont_node, seq, when,
+            act->run, act->collector, act->collector_index);
     } else {
-      spawn(target, std::move(params), act, node, seq, when);
+      spawn(act->prog, target, std::move(params), act, node, seq, when, act->run);
     }
   }
 
@@ -829,8 +856,8 @@ class ExecutorCore {
               counters_.retries_exhausted.fetch_add(1, std::memory_order_relaxed);
             }
             machine().record_fault_from_core(
-                make_fault(act, node, std::current_exception(), injected), n.op_index,
-                start + cost, worker);
+                act.run, make_fault(act, node, std::current_exception(), injected),
+                n.op_index, start + cost, worker);
           }
           break;
         }
@@ -950,7 +977,7 @@ class ExecutorCore {
                 counters_.retries_exhausted.fetch_add(1, std::memory_order_relaxed);
               }
               machine().record_fault_from_core(
-                  make_member_fault(act, member, std::current_exception(), injected),
+                  act.run, make_member_fault(act, member, std::current_exception(), injected),
                   member.op_index, start + cost, worker);
             }
             break;
@@ -979,13 +1006,13 @@ class ExecutorCore {
         break;
 
       case NodeKind::kMakeClosure: {
-        const Template* target = program_->templates[n.target_template].get();
+        const Template* target = act.prog->templates[n.target_template].get();
         deliver(act_ptr, node, Value::closure(target, take_all_inputs()), start + cost);
         break;
       }
 
       case NodeKind::kCall: {
-        const Template* target = program_->templates[n.target_template].get();
+        const Template* target = act.prog->templates[n.target_template].get();
         spawn_child(act_ptr, node, target, take_all_inputs(), start + cost);
         break;
       }
@@ -1073,9 +1100,9 @@ class ExecutorCore {
           collector->cont_node = node;
         }
         for (size_t i = 0; i < k; ++i) {
-          spawn(target, std::move(params_list[i]), nullptr, 0,
+          spawn(act.prog, target, std::move(params_list[i]), nullptr, 0,
                 fault_seq_child(act.seq, node, static_cast<uint32_t>(i) + 1), start + cost,
-                collector, static_cast<uint32_t>(i));
+                act.run, collector, static_cast<uint32_t>(i));
         }
         break;
       }
@@ -1094,13 +1121,13 @@ class ExecutorCore {
             if (col.cont_act != nullptr) {
               deliver(col.cont_act, col.cont_node, std::move(package), done);
             } else {
-              machine().deliver_final(std::move(package), done);
+              machine().deliver_final(act.run, std::move(package), done);
             }
           }
         } else if (act.cont_act != nullptr) {
           deliver(act.cont_act, act.cont_node, std::move(v), start + cost);
         } else {
-          machine().deliver_final(std::move(v), start + cost);
+          machine().deliver_final(act.run, std::move(v), start + cost);
         }
         break;
       }
@@ -1142,8 +1169,8 @@ class ExecutorCore {
   ActivationPool pool_;
   StatCounters counters_;
 
-  // Per-run state. Both executors run one program at a time.
-  const CompiledProgram* program_ = nullptr;
+  // Per-run state. The program is carried per activation (Activation::prog),
+  // so a batch of instances may span several compiled programs.
   std::shared_ptr<const FaultPlan> plan_;
   int max_retries_ = 0;
   int64_t retry_backoff_ns_ = 0;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "src/support/env.h"
+
 namespace delirium {
 
 namespace {
@@ -91,6 +93,7 @@ std::string render_stranded(std::vector<StrandedActivation> acts, size_t limit) 
   if (acts.empty()) return "  (no live activations)\n";
   std::sort(acts.begin(), acts.end(),
             [](const StrandedActivation& a, const StrandedActivation& b) {
+              if (a.instance != b.instance) return a.instance < b.instance;
               if (a.seq != b.seq) return a.seq < b.seq;
               return a.tmpl < b.tmpl;
             });
@@ -102,6 +105,9 @@ std::string render_stranded(std::vector<StrandedActivation> acts, size_t limit) 
       break;
     }
     out += "  [seq " + std::to_string(a.seq) + "] template '" + a.tmpl + "'";
+    if (!a.program.empty()) {
+      out += " (instance " + std::to_string(a.instance) + ": '" + a.program + "')";
+    }
     if (a.partial.empty()) {
       out += ": no partially-fed nodes";
     } else {
@@ -198,15 +204,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
 }
 
 std::shared_ptr<const FaultPlan> FaultPlan::from_env() {
-  const char* env = std::getenv("DELIRIUM_INJECT_FAULTS");
-  if (env == nullptr || *env == '\0') return nullptr;
+  const std::optional<std::string> env = env_raw("DELIRIUM_INJECT_FAULTS");
+  if (!env.has_value()) return nullptr;
   try {
-    return std::make_shared<const FaultPlan>(parse(env));
+    return std::make_shared<const FaultPlan>(parse(*env));
   } catch (const std::invalid_argument& e) {
     // Name the source: a spec set through the environment fails far from
     // where it was typed, and the bare parse error doesn't say which
     // knob to fix (docs/CLI.md).
-    throw std::invalid_argument(std::string("DELIRIUM_INJECT_FAULTS: ") + e.what());
+    throw EnvError(std::string("DELIRIUM_INJECT_FAULTS: ") + e.what());
   }
 }
 

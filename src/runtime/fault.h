@@ -220,10 +220,18 @@ struct StrandedActivation {
   std::string tmpl;
   std::vector<StrandedNode> partial;  // partially fed join nodes
   size_t never_fed = 0;               // nodes with no input delivered yet
+  /// Owning instance, for multi-instance dumps. 0 / empty in the
+  /// single-run path, where the dump stays byte-identical to the
+  /// pre-instance format.
+  uint64_t instance = 0;
+  std::string program;
 };
 
-/// Deterministic rendering: sorted by sequence id, capped at `limit`
-/// activations. Empty input renders a one-line "(no live activations)".
+/// Deterministic rendering: sorted by (instance, sequence id), capped at
+/// `limit` activations with an elided-count tail line. Activations with a
+/// non-empty `program` are attributed to their owning instance; a dump of
+/// plain single-run activations renders exactly as before instances
+/// existed. Empty input renders a one-line "(no live activations)".
 std::string render_stranded(std::vector<StrandedActivation> acts, size_t limit = 20);
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,192 @@
+// Multi-instance execution: many independent activations of compiled
+// programs sharing one worker pool, with per-instance isolation.
+//
+// This is the substrate the ROADMAP's resident `deld` service sits on
+// (open item 1): a request becomes an *instance*, and the make-or-break
+// property is robustness under co-tenancy. The InstanceManager provides
+// (docs/ROBUSTNESS.md "Isolation model"):
+//
+//  - Fault containment. Every activation carries its instance's run
+//    token (Activation::run), so cancellation, purge-on-pop, fault
+//    capture, and the stranded dump are all scoped to one instance. A
+//    faulting instance reports the same byte-identical FaultInfo its
+//    solo run reports (all roots share fault_seq_root()); siblings run
+//    to completion unperturbed.
+//  - Per-instance budgets. Activation-count ceilings are enforced on
+//    the live-activation ledger hook; time ceilings reuse the watchdog
+//    machinery (wall ms in the threaded machine, exact virtual ns in
+//    the simulator). A tripped budget cancels only that instance and is
+//    reported as a structured kBudgetExhausted outcome, never process
+//    death.
+//  - Admission control. A bounded admission window with a deterministic
+//    reject-newest shed policy: occupancy counts admitted-but-not-yet-
+//    collected instances, so it changes only on caller-driven submit()
+//    and wait() — shed decisions are a pure function of the caller's
+//    call sequence, independent of worker timing.
+//
+// Threaded mode streams: submit() spawns the instance immediately and
+// the draining worker finalizes it inline; wait() blocks the caller
+// only. Sim mode batches: submit() queues, and the first wait() runs
+// all pending instances on one virtual machine deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/runtime.h"
+#include "src/runtime/sim.h"
+
+namespace delirium {
+
+/// Terminal state of one instance.
+enum class InstanceOutcome : uint8_t {
+  kCompleted,        // produced a value
+  kFaulted,          // operator fault, spawn failure, or deadlock
+  kBudgetExhausted,  // activation-count or time ceiling tripped
+  kOverload,         // shed at admission (never ran)
+};
+
+const char* instance_outcome_name(InstanceOutcome o);
+
+struct InstanceBudget {
+  uint64_t max_activations = 0;  // 0 = unlimited
+  /// Wall ns (threaded) / virtual ns (sim) from submission; 0 = none.
+  /// Virtual-time ceilings are exactly deterministic; wall-clock ones
+  /// trip deterministically only for genuinely-stalled instances.
+  int64_t time_budget_ns = 0;
+};
+
+struct InstanceRequest {
+  const CompiledProgram* program = nullptr;
+  std::string function;  // empty = the program's entry template
+  std::vector<Value> args;
+  /// Per-request ceilings; zero fields fall back to the manager's
+  /// default_budget.
+  InstanceBudget budget;
+  Ticks arrival = 0;  // virtual arrival time (sim mode only)
+};
+
+struct InstanceResult {
+  uint64_t id = 0;
+  InstanceOutcome outcome = InstanceOutcome::kCompleted;
+  Value value;  // kCompleted only
+  /// Diagnostic text otherwise: FaultInfo::render() (byte-identical to
+  /// the solo run's FaultError::what()), the budget message, the shed
+  /// message, or the deadlock dump.
+  std::string error;
+  bool have_fault = false;
+  FaultInfo fault;  // the drain winner, when have_fault
+  int64_t latency_ns = 0;  // wall (threaded) / virtual (sim) submit-to-finalize
+  uint64_t activations = 0;  // tracked whenever the instance ran under a manager
+};
+
+/// Monotonic per-manager tallies (also published into RunStats /
+/// MetricsRegistry as the instances_* counters).
+struct InstanceCounters {
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t faulted = 0;
+  uint64_t budget_killed = 0;
+  uint64_t shed = 0;
+  uint64_t live = 0;  // admitted, not yet finalized (gauge)
+};
+
+struct InstanceManagerConfig {
+  /// Max admitted-but-not-collected instances; 0 = unbounded. The
+  /// newest submission is shed (kOverload) when the window is full.
+  size_t admission_capacity = 0;
+  /// Ceilings applied where a request leaves its budget fields zero.
+  InstanceBudget default_budget;
+  /// Maintain the per-worker busy-op dump during the session so budget
+  /// diagnostics can name wedged operators (threaded only; costs two
+  /// uncontended locks per operator invocation).
+  bool track_busy_workers = false;
+  /// Poll cadence of the wall-time budget monitor (threaded only).
+  int64_t budget_poll_ms = 2;
+};
+
+/// Runs many independent program instances over one shared machine.
+/// One manager session at a time per Runtime (the session holds the
+/// run lock, so plain run() calls block until the manager is
+/// destroyed). Destroying the manager waits for every admitted
+/// instance to finalize, then publishes session stats and traces
+/// through the Runtime's usual accessors.
+class InstanceManager {
+ public:
+  explicit InstanceManager(Runtime& rt, InstanceManagerConfig config = {});
+  explicit InstanceManager(SimRuntime& sim, InstanceManagerConfig config = {});
+  ~InstanceManager();
+  InstanceManager(const InstanceManager&) = delete;
+  InstanceManager& operator=(const InstanceManager&) = delete;
+
+  /// Admit (or shed) one instance. Returns its id (1-based, dense).
+  /// Threaded mode spawns it immediately; sim mode queues it for the
+  /// next wait()/wait_all() flush.
+  uint64_t submit(InstanceRequest req);
+
+  /// Block until the instance finalizes and return its result. The
+  /// first wait() per id releases its admission slot.
+  InstanceResult wait(uint64_t id);
+
+  /// Wait for every submitted instance, in id order.
+  std::vector<InstanceResult> wait_all();
+
+  InstanceCounters counters() const;
+
+  /// Per-instance latencies in finalize order (wall ns threaded,
+  /// virtual ns sim). Feed into a LogHistogram for percentiles — the
+  /// manager stays below the tools layer, so it records raw values.
+  std::vector<int64_t> latencies() const;
+
+  /// Session stats so far: the machine's counter snapshot plus the
+  /// authoritative instances_* tallies (including shed, which the
+  /// machine never sees).
+  RunStats stats() const;
+
+ private:
+  friend class Runtime;  // worker-side finalize callback
+
+  struct Slot {
+    std::unique_ptr<Runtime::RunState> rs;  // threaded mode, admitted only
+    InstanceResult result;
+    bool done = false;
+    bool collected = false;
+  };
+
+  InstanceBudget effective_budget(const InstanceBudget& b) const;
+  void launch_threaded(Slot* slot, uint64_t id, InstanceRequest req);
+  void on_instance_drained(Runtime::RunState* rs);
+  void monitor_loop();
+  void ensure_monitor_locked();
+  void flush_sim();
+
+  Runtime* rt_ = nullptr;
+  SimRuntime* sim_ = nullptr;
+  InstanceManagerConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signals slot completion
+  std::vector<std::unique_ptr<Slot>> slots_;  // id = index + 1
+  size_t occupancy_ = 0;  // admitted, not yet collected
+  InstanceCounters counters_;
+  std::vector<int64_t> latencies_;
+
+  // Wall-time budget monitor (threaded; started on first timed submit).
+  std::thread monitor_;
+  std::condition_variable monitor_cv_;
+  bool stop_monitor_ = false;
+
+  // Sim mode: requests queued since the last flush, and the stats of
+  // the batches run so far.
+  std::vector<std::pair<uint64_t, InstanceRequest>> sim_pending_;
+  RunStats sim_stats_;
+
+  std::unique_lock<std::mutex> run_lock_;  // holds Runtime::run_mu_
+};
+
+}  // namespace delirium

@@ -6,6 +6,9 @@
 #include <ostream>
 #include <string_view>
 
+#include "src/runtime/instance.h"
+#include "src/support/env.h"
+
 namespace delirium {
 
 namespace {
@@ -18,33 +21,6 @@ thread_local int tls_worker = -1;
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Run state
-// ---------------------------------------------------------------------------
-
-struct Runtime::RunState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool have_result = false;
-  Value result;
-  /// Faults captured during the run, guarded by mu. At drain the
-  /// smallest fault under fault_before() is the one rethrown, so the
-  /// reported error is identical across schedulers and worker counts.
-  std::vector<FaultInfo> faults;
-  /// Set (release) by fail_fast fault capture or the watchdog; checked
-  /// (acquire) before every execution so queued items are purged
-  /// instead of run.
-  std::atomic<bool> cancelled{false};
-  bool watchdog_fired = false;     // caller thread only
-  std::string watchdog_message;    // written before cancellation
-  /// Queued + executing work items. The run is complete when this drains
-  /// to zero: every enqueue increments, every completed execution
-  /// decrements, and an executing item performs all of its enqueues
-  /// before its own decrement.
-  std::atomic<int64_t> outstanding{0};
-  int64_t watchdog_budget_ns = 0;
-};
-
-// ---------------------------------------------------------------------------
 // Construction / teardown
 // ---------------------------------------------------------------------------
 
@@ -54,11 +30,10 @@ Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   if (n <= 0) n = 1;
   config_.num_workers = n;
-  if (const char* env = std::getenv("DELIRIUM_SCHEDULER")) {
-    const std::string_view v(env);
-    if (v == "global_lock") config_.scheduler = SchedulerKind::kGlobalLock;
-    else if (v == "work_stealing") config_.scheduler = SchedulerKind::kWorkStealing;
-  }
+  const size_t sched = env_choice(
+      "DELIRIUM_SCHEDULER", {"global_lock", "work_stealing"},
+      config_.scheduler == SchedulerKind::kGlobalLock ? 0u : 1u);
+  config_.scheduler = sched == 0 ? SchedulerKind::kGlobalLock : SchedulerKind::kWorkStealing;
   apply_exec_env_overrides(config_);
   init_exec(&config_);
   trace_enabled_ = config_.enable_tracing;
@@ -184,6 +159,14 @@ std::vector<StrandedActivation> Runtime::collect_stranded(const RunState* rs) {
       append_stranded(*a, out);
     }
   }
+  // Attribute the dump to the owning instance in manager mode; a plain
+  // single run (instance_id 0) renders exactly as before.
+  if (rs->instance_id != 0) {
+    for (StrandedActivation& sa : out) {
+      sa.instance = rs->instance_id;
+      sa.program = rs->program_name;
+    }
+  }
   return out;
 }
 
@@ -206,9 +189,15 @@ void Runtime::fire_watchdog(RunState* rs) {
   // The caller thread owns the external ring, so this write is safe even
   // while workers are still draining their queues.
   trace(-1, TraceEventKind::kWatchdog, -1, rs->watchdog_budget_ns);
+  std::string instance_text;
+  if (rs->instance_id != 0) {
+    instance_text = " (instance " + std::to_string(rs->instance_id) + ": '" +
+                    rs->program_name + "')";
+  }
   rs->watchdog_message = build_watchdog_message(
       std::to_string(rs->watchdog_budget_ns / 1000000) + " ms",
-      "busy workers:\n" + dump_busy_workers(), render_stranded(collect_stranded(rs)));
+      "busy workers:\n" + dump_busy_workers(), render_stranded(collect_stranded(rs)),
+      instance_text);
   cancel_run(rs);
 }
 
@@ -241,8 +230,8 @@ void Runtime::enqueue_ready(const std::shared_ptr<Activation>& act, uint32_t nod
   sched_cv_.notify_one();
 }
 
-void Runtime::deliver_final(Value v, Ticks /*when*/) {
-  RunState* rs = current_run_;
+void Runtime::deliver_final(void* run, Value v, Ticks /*when*/) {
+  RunState* rs = static_cast<RunState*>(run);
   std::lock_guard<std::mutex> lock(rs->mu);
   rs->result = std::move(v);
   rs->have_result = true;
@@ -253,9 +242,9 @@ void Runtime::trace_from_core(int worker, Ticks /*ts*/, TraceEventKind kind, int
   trace(worker, kind, op, arg);
 }
 
-void Runtime::record_fault_from_core(FaultInfo f, int32_t op_index, Ticks /*ts*/,
-                                     int /*worker*/) {
-  record_fault(current_run_, std::move(f), op_index);
+void Runtime::record_fault_from_core(void* run, FaultInfo f, int32_t op_index,
+                                     Ticks /*ts*/, int /*worker*/) {
+  record_fault(static_cast<RunState*>(run), std::move(f), op_index);
 }
 
 void Runtime::charge_remote(Ticks ns, Ticks& /*cost*/) {
@@ -275,7 +264,7 @@ void Runtime::charge_backoff(Ticks ns, Ticks& /*cost*/) {
 }
 
 void Runtime::busy_begin(int worker, const OperatorDef& def) {
-  if (current_run_->watchdog_budget_ns <= 0) return;
+  if (!busy_tracking_.load(std::memory_order_relaxed)) return;
   WorkerData& wd = *worker_data_[worker];
   std::lock_guard<std::mutex> lock(wd.busy_mu);
   wd.busy_op = def.info.name;
@@ -283,7 +272,7 @@ void Runtime::busy_begin(int worker, const OperatorDef& def) {
 }
 
 void Runtime::busy_end(int worker) {
-  if (current_run_->watchdog_budget_ns <= 0) return;
+  if (!busy_tracking_.load(std::memory_order_relaxed)) return;
   WorkerData& wd = *worker_data_[worker];
   std::lock_guard<std::mutex> lock(wd.busy_mu);
   wd.busy_op.clear();
@@ -330,11 +319,30 @@ void Runtime::note_affinity(int op_index, int worker) {
   }
 }
 
-void Runtime::on_activation_created(Activation* act) { ledger_add(act); }
+void Runtime::on_activation_created(Activation* act) {
+  ledger_add(act);
+  // Per-instance activation budget (instance.h). The first trip wins the
+  // exchange, writes the deterministic diagnostic, and cancels only this
+  // instance; siblings keep running. The count is schedule-independent
+  // for deterministic programs, so the trip (and its message) is too.
+  RunState* rs = static_cast<RunState*>(act->run);
+  if (rs->max_activations == 0 && rs->manager == nullptr) return;
+  const uint64_t n = rs->activations.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (rs->max_activations != 0 && n > rs->max_activations &&
+      !rs->budget_tripped.exchange(true)) {
+    {
+      std::lock_guard<std::mutex> lock(rs->mu);
+      rs->budget_fired = true;
+      rs->budget_message = "instance budget: activation count exceeded " +
+                           std::to_string(rs->max_activations) +
+                           " (instance " + std::to_string(rs->instance_id) + ": '" +
+                           rs->program_name + "'); cancelling instance";
+    }
+    cancel_run(rs);
+  }
+}
 
 void Runtime::on_activation_destroyed(Activation* act) { ledger_remove(act); }
-
-void* Runtime::current_run_token() { return current_run_; }
 
 // ---------------------------------------------------------------------------
 // Work-stealing scheduler
@@ -582,8 +590,15 @@ void Runtime::execute(const WorkItem& item, int worker) {
     }
   }
   if (rs->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(rs->mu);
-    rs->cv.notify_all();
+    if (rs->manager != nullptr) {
+      // Manager mode: the drained instance is finalized inline on this
+      // worker (outcome selection, latency, counters) — the submitting
+      // thread never blocks per instance.
+      rs->manager->on_instance_drained(rs);
+    } else {
+      std::lock_guard<std::mutex> lock(rs->mu);
+      rs->cv.notify_all();
+    }
   }
 }
 
@@ -611,7 +626,6 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
     throw RuntimeError("program has no function named '" + name + "'");
   }
 
-  program_ = &program;
   // Resolve the fault policy for this run (config + environment
   // overrides; an injection plan attached to the registry beats the
   // environment spec) — shared with SimRuntime via the core.
@@ -619,7 +633,7 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
 
   RunState rs;
   rs.watchdog_budget_ns = config_.watchdog_budget_ms * 1000000;
-  current_run_ = &rs;
+  busy_tracking_.store(rs.watchdog_budget_ns > 0, std::memory_order_relaxed);
 
   // Trace timestamps (and NodeTiming::start) are relative to this point.
   run_start_ticks_ = now_ticks();
@@ -648,18 +662,16 @@ Value Runtime::run_function(const CompiledProgram& program, const std::string& n
     }
   };
   try {
-    root = spawn(tmpl, std::move(args), nullptr, 0, fault_seq_root(), 0);
+    root = spawn(&program, tmpl, std::move(args), nullptr, 0, fault_seq_root(), 0, &rs);
   } catch (...) {
     // The root spawn may fault after scheduling part of the activation;
     // drain whatever was enqueued before rethrowing.
     cancel_run(&rs);
     drain();
-    current_run_ = nullptr;
     finish_run_bookkeeping();
     throw;
   }
   drain();
-  current_run_ = nullptr;
 
   // Drain-time error selection: the winner is the fault with the
   // smallest deterministic sequence id, not the first one a worker

@@ -29,6 +29,8 @@
 
 namespace delirium {
 
+class InstanceManager;
+
 /// Ready-queue implementation. kGlobalLock is the original single-mutex
 /// scheduler (kept for A/B ablation; see bench_scheduler); kWorkStealing
 /// gives each worker three lock-free Chase–Lev deques (one per §7
@@ -91,10 +93,66 @@ class Runtime : public ExecutorCore<Runtime> {
  private:
   // The core drives the machine hooks below and its nested Activation
   // touches the ledger callbacks, so it (and its nested classes) need
-  // access to this private section.
+  // access to this private section. The InstanceManager (instance.h)
+  // multiplexes many RunStates over this machine's worker pool.
   friend class ExecutorCore<Runtime>;
+  friend class InstanceManager;
 
-  struct RunState;
+  /// Per-run state — or per-*instance* state in manager mode, where the
+  /// InstanceManager owns one RunState per admitted instance and many of
+  /// them share the worker pool at once. Every activation carries a
+  /// pointer to its owning RunState as its run token, which is what
+  /// scopes cancellation, purging, fault capture, and the stranded dump
+  /// to a single instance.
+  struct RunState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool have_result = false;
+    Value result;
+    /// Faults captured during the run, guarded by mu. At drain the
+    /// smallest fault under fault_before() is the one rethrown, so the
+    /// reported error is identical across schedulers and worker counts.
+    std::vector<FaultInfo> faults;
+    /// Set (release) by fail_fast fault capture, the watchdog, or a
+    /// tripped instance budget; checked (acquire) before every execution
+    /// so queued items are purged instead of run.
+    std::atomic<bool> cancelled{false};
+    bool watchdog_fired = false;     // caller thread only
+    std::string watchdog_message;    // written before cancellation
+    /// Queued + executing work items. The run is complete when this
+    /// drains to zero: every enqueue increments, every completed
+    /// execution decrements, and an executing item performs all of its
+    /// enqueues before its own decrement. Manager mode biases this by a
+    /// +1 submission token held across the root spawn, so a transient
+    /// zero mid-spawn cannot finalize the instance early.
+    std::atomic<int64_t> outstanding{0};
+    int64_t watchdog_budget_ns = 0;
+
+    // -- Manager-mode fields (defaults in the plain single-run path) --
+    /// Non-null routes the drained-to-zero notification to the manager
+    /// instead of the cv; the manager finalizes the instance inline on
+    /// the draining worker.
+    InstanceManager* manager = nullptr;
+    uint64_t instance_id = 0;  // 0 = plain single run (no dump annotation)
+    std::string program_name;
+    uint64_t max_activations = 0;  // 0 = unlimited
+    std::atomic<uint64_t> activations{0};
+    /// First budget trip wins (exchange); the winner writes
+    /// budget_message under mu and cancels the instance.
+    std::atomic<bool> budget_tripped{false};
+    bool budget_fired = false;    // guarded by mu
+    std::string budget_message;   // guarded by mu
+    /// Root-spawn failure (unknown function, arity mismatch), guarded by
+    /// mu; reported as the instance's error when nothing else fired.
+    std::string spawn_error;
+    bool finalized = false;       // guarded by mu (manager mode)
+    Ticks submit_ticks = 0;
+    int64_t time_budget_ns = 0;  // 0 = none (wall ns from submit)
+    /// Held until finalize so budget/deadlock dumps can still walk the
+    /// stranded activation tree.
+    std::shared_ptr<Activation> root;
+  };
+
   struct WorkItem {
     std::shared_ptr<Activation> act;
     uint32_t node = 0;
@@ -143,9 +201,10 @@ class Runtime : public ExecutorCore<Runtime> {
   static constexpr bool kVirtualTime = false;
   Ticks node_base_cost() { return 0; }
   void enqueue_ready(const std::shared_ptr<Activation>& act, uint32_t node, Ticks when);
-  void deliver_final(Value v, Ticks when);
+  void deliver_final(void* run, Value v, Ticks when);
   void trace_from_core(int worker, Ticks ts, TraceEventKind kind, int32_t op, int64_t arg);
-  void record_fault_from_core(FaultInfo f, int32_t op_index, Ticks ts, int worker);
+  void record_fault_from_core(void* run, FaultInfo f, int32_t op_index, Ticks ts,
+                              int worker);
   void charge_remote(Ticks ns, Ticks& cost);
   void charge_stall(Ticks ns, Ticks& cost);
   void charge_backoff(Ticks ns, Ticks& cost);
@@ -159,7 +218,6 @@ class Runtime : public ExecutorCore<Runtime> {
   void note_affinity(int op_index, int worker);
   void on_activation_created(Activation* act);
   void on_activation_destroyed(Activation* act);
-  void* current_run_token();
 
   void worker_loop(int worker);     // kGlobalLock
   void worker_loop_ws(int worker);  // kWorkStealing
@@ -216,8 +274,11 @@ class Runtime : public ExecutorCore<Runtime> {
   std::vector<std::atomic<uint64_t>> op_arrivals_;  // per-operator arrival counters
   std::array<LedgerShard, kLedgerShards> ledger_;
 
-  std::mutex run_mu_;  // serializes run() calls
-  RunState* current_run_ = nullptr;
+  std::mutex run_mu_;  // serializes run() calls (and whole manager sessions)
+  /// Whether busy_begin/busy_end maintain the per-worker busy-op dump.
+  /// On only when something could consume it: a run with a watchdog
+  /// budget, or a manager session configured to track busy workers.
+  std::atomic<bool> busy_tracking_{false};
 
   // Tracing state. Rings are sized num_workers + 1; the last ring
   // belongs to the run's caller thread (root spawn, watchdog). The

@@ -29,6 +29,35 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     int preferred = -1;    // affinity target processor
   };
 
+  /// Per-instance state, pointed to by Activation::run. A plain run is a
+  /// batch of one (id 0, no budgets), which keeps the single-instance
+  /// path byte-identical — there is exactly one code path.
+  struct SimInstance {
+    uint64_t id = 0;  // 1-based in batch mode; 0 = plain single run
+    std::string program_name;
+    Ticks arrival = 0;
+    uint64_t max_activations = 0;  // 0 = unlimited
+    int64_t time_budget_ns = 0;    // virtual ns from arrival; 0 = none
+
+    // Fault handling (docs/ROBUSTNESS.md): capture/retry is the core's;
+    // this machine adds virtual-time backoff and the budgets. All state
+    // is instance-scoped, which is the whole containment story: a fault
+    // or budget kill cancels only this instance's queued work.
+    std::vector<FaultInfo> faults;
+    bool cancelled = false;
+    bool budget_fired = false;
+    std::string budget_message;
+    uint64_t activations = 0;
+    bool have_result = false;
+    Value result;
+    Ticks finish = 0;      // when the final result was delivered
+    Ticks last_event = 0;  // end of the last executed item
+    std::string spawn_error;
+    /// Held until outcomes are assembled so budget/deadlock dumps can
+    /// still walk the stranded activation tree.
+    std::shared_ptr<Activation> root;
+  };
+
   SimConfig config;
 
   // Declared before `ready`: activation destructors unregister from
@@ -42,16 +71,14 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
   std::vector<Ticks> proc_busy;
   uint64_t next_seq = 0;
   std::vector<NodeTiming> timings;
-  Value final_result;
-  bool have_result = false;
-  Ticks final_time = 0;
 
-  // Fault handling (docs/ROBUSTNESS.md): capture/retry is the core's;
-  // this machine adds virtual-time backoff and the virtual watchdog.
-  std::vector<FaultInfo> faults;
-  bool cancelled = false;
-  bool watchdog_fired = false;
+  /// Some instance was cancelled with work possibly queued: the drive
+  /// loop sweeps the ready queue (in queue order, so purge traces are
+  /// deterministic) before the next selection.
+  bool purge_pending = false;
+  bool watchdog_fired = false;  // the *global* virtual watchdog
   std::string watchdog_message;
+  std::vector<std::unique_ptr<SimInstance>> instances;
 
   // Tracing (tracing.h): same kinds, same per-kind arg meanings, exact
   // virtual timestamps, one growable vector (single-threaded — no rings
@@ -84,18 +111,39 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     trace.push_back(e);
   }
 
-  void record_fault(FaultInfo f, Ticks ts = 0, int proc = -1, int32_t op_index = -1) {
+  void record_fault(SimInstance* si, FaultInfo f, Ticks ts = 0, int proc = -1,
+                    int32_t op_index = -1) {
     counters_.faults_raised.fetch_add(1, std::memory_order_relaxed);
     trace_event(ts, proc, TraceEventKind::kFaultRaise, op_index,
                 static_cast<int64_t>(f.seq));
-    faults.push_back(std::move(f));
-    if (config.fail_fast) cancelled = true;
+    si->faults.push_back(std::move(f));
+    if (config.fail_fast) {
+      si->cancelled = true;
+      purge_pending = true;
+    }
   }
 
-  std::vector<StrandedActivation> collect_stranded() {
+  /// Stranded dump over all live activations (`filter` null) or one
+  /// instance's. Batch-mode entries are attributed to their instance.
+  std::vector<StrandedActivation> collect_stranded(const SimInstance* filter = nullptr) {
     std::vector<StrandedActivation> out;
-    for (Activation* a : live_acts) append_stranded(*a, out);
+    for (Activation* a : live_acts) {
+      const SimInstance* si = static_cast<const SimInstance*>(a->run);
+      if (filter != nullptr && si != filter) continue;
+      const size_t before = out.size();
+      append_stranded(*a, out);
+      if (si->id != 0) {
+        for (size_t i = before; i < out.size(); ++i) {
+          out[i].instance = si->id;
+          out[i].program = si->program_name;
+        }
+      }
+    }
     return out;
+  }
+
+  std::string instance_text(const SimInstance& si) const {
+    return " (instance " + std::to_string(si.id) + ": '" + si.program_name + "')";
   }
 
   // -- MachineModel hooks (called by ExecutorCore) ---------------------------
@@ -120,18 +168,20 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     ready.push_back(std::move(item));
   }
 
-  void deliver_final(Value v, Ticks when) {
-    final_result = std::move(v);
-    have_result = true;
-    final_time = when;
+  void deliver_final(void* run, Value v, Ticks when) {
+    SimInstance* si = static_cast<SimInstance*>(run);
+    si->result = std::move(v);
+    si->have_result = true;
+    si->finish = when;
   }
 
   void trace_from_core(int proc, Ticks ts, TraceEventKind kind, int32_t op, int64_t arg) {
     trace_event(ts, proc, kind, op, arg);
   }
 
-  void record_fault_from_core(FaultInfo f, int32_t op_index, Ticks ts, int proc) {
-    record_fault(std::move(f), ts, proc, op_index);
+  void record_fault_from_core(void* run, FaultInfo f, int32_t op_index, Ticks ts,
+                              int proc) {
+    record_fault(static_cast<SimInstance*>(run), std::move(f), ts, proc, op_index);
   }
 
   // Virtual NUMA pulls, injected stalls, and retry backoff are all
@@ -186,10 +236,26 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     op_last_proc[op_index] = proc;
   }
 
-  void on_activation_created(Activation* act) { live_acts.insert(act); }
+  void on_activation_created(Activation* act) {
+    live_acts.insert(act);
+    // Per-instance activation budget, counted only when something could
+    // consume it (a budget is set, or a batch instance reports the
+    // count). The trip message matches the threaded runtime's byte for
+    // byte — the activation count is schedule-independent.
+    SimInstance* si = static_cast<SimInstance*>(act->run);
+    if (si->id == 0 && si->max_activations == 0) return;
+    ++si->activations;
+    if (si->max_activations > 0 && si->activations > si->max_activations &&
+        !si->budget_fired) {
+      si->budget_fired = true;
+      si->budget_message = "instance budget: activation count exceeded " +
+                           std::to_string(si->max_activations) + instance_text(*si) +
+                           "; cancelling instance";
+      si->cancelled = true;
+      purge_pending = true;
+    }
+  }
   void on_activation_destroyed(Activation* act) { live_acts.erase(act); }
-
-  void* current_run_token() { return nullptr; }
 
   // -- Discrete-event scheduler ----------------------------------------------
 
@@ -234,36 +300,43 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     return true;
   }
 
-  SimResult run(const CompiledProgram& prog, const Template* tmpl, std::vector<Value> args) {
-    program_ = &prog;
-    tracing = config.enable_tracing;
-    resolve_run_policy();
-
-    // The root shared_ptr is held across the drain so the deadlock and
-    // watchdog diagnostics can walk the stranded activation tree.
-    auto root = spawn(tmpl, std::move(args), nullptr, 0, fault_seq_root(), 0);
+  /// The discrete-event loop, shared by the single-run path and the
+  /// batch path. Runs until nothing is ready (all instances drained or
+  /// purged).
+  void drive() {
     while (true) {
-      if (cancelled) {
-        // Fast cancellation (fail_fast fault or watchdog): purge the
-        // virtual ready queue instead of running it.
-        counters_.items_purged.fetch_add(ready.size(), std::memory_order_relaxed);
-        if (tracing) {
-          for (const ReadyItem& it : ready) {
-            const Node& n = it.act->tmpl->nodes[it.node];
-            trace_event(it.ready, -1, TraceEventKind::kPurge,
-                        n.kind == NodeKind::kOperator ? n.op_index : -1);
+      if (purge_pending) {
+        // An instance was cancelled (fail_fast fault, budget, watchdog):
+        // sweep its queued items, in queue order so the purge trace is
+        // deterministic. Siblings' items are untouched — this sweep *is*
+        // the fault-containment boundary.
+        purge_pending = false;
+        size_t keep = 0;
+        for (size_t i = 0; i < ready.size(); ++i) {
+          ReadyItem& it = ready[i];
+          if (static_cast<SimInstance*>(it.act->run)->cancelled) {
+            counters_.items_purged.fetch_add(1, std::memory_order_relaxed);
+            if (tracing) {
+              const Node& n = it.act->tmpl->nodes[it.node];
+              trace_event(it.ready, -1, TraceEventKind::kPurge,
+                          n.kind == NodeKind::kOperator ? n.op_index : -1);
+            }
+          } else {
+            if (keep != i) ready[keep] = std::move(ready[i]);
+            ++keep;
           }
         }
-        ready.clear();
-        break;
+        ready.resize(keep);
+        continue;
       }
       int proc;
       size_t index;
       Ticks start;
       if (!select(proc, index, start)) break;
-      // Virtual-time watchdog: work would start past the budget with no
-      // result delivered — fully deterministic, unlike wall-clock stall
-      // detection in the threaded runtime.
+      // Virtual-time watchdog: work would start past the *global* budget
+      // with no result delivered — fully deterministic, unlike
+      // wall-clock stall detection in the threaded runtime. Cancels
+      // every instance (per-instance ceilings are time_budget_ns).
       if (config.watchdog_budget_ns > 0 && !watchdog_fired &&
           start > config.watchdog_budget_ns) {
         watchdog_fired = true;
@@ -273,8 +346,24 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
         watchdog_message =
             build_watchdog_message(std::to_string(config.watchdog_budget_ns) + " virtual ns",
                                    "", render_stranded(collect_stranded()));
-        cancelled = true;
+        for (auto& si : instances) si->cancelled = true;
+        purge_pending = true;
         continue;
+      }
+      SimInstance* si = static_cast<SimInstance*>(ready[index].act->run);
+      // Per-instance virtual deadline: this instance's next work would
+      // start past its ceiling. Reported as a structured stall, never an
+      // exception, and never visible to siblings.
+      if (si->time_budget_ns > 0 && !si->budget_fired &&
+          start > si->arrival + si->time_budget_ns) {
+        si->budget_fired = true;
+        si->budget_message =
+            "instance budget: no result within " + std::to_string(si->time_budget_ns) +
+            " virtual ns" + instance_text(*si) + "; cancelling instance\n" +
+            "stranded activations:\n" + render_stranded(collect_stranded(si));
+        si->cancelled = true;
+        purge_pending = true;
+        continue;  // the sweep collects the selected item too
       }
       ReadyItem item = std::move(ready[index]);
       ready.erase(ready.begin() + static_cast<long>(index));
@@ -285,32 +374,121 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
         // Coordination-level failure (operator faults are captured with
         // richer context inside the core's kOperator case).
         const Node& n = item.act->tmpl->nodes[item.node];
-        record_fault(make_fault(*item.act, item.node, std::current_exception()),
+        record_fault(si, make_fault(*item.act, item.node, std::current_exception()),
                      start, proc, n.kind == NodeKind::kOperator ? n.op_index : -1);
       }
       proc_avail[proc] = start + cost;
       proc_busy[proc] += cost;
+      si->last_event = std::max(si->last_event, start + cost);
     }
+  }
+
+  SimResult run(const CompiledProgram& prog, const Template* tmpl, std::vector<Value> args) {
+    tracing = config.enable_tracing;
+    resolve_run_policy();
+
+    // A plain run is a batch of one (id 0: no budgets, no dump
+    // annotation), so the single-instance path *is* the instance path.
+    instances.push_back(std::make_unique<SimInstance>());
+    SimInstance& si = *instances.back();
+    // The root shared_ptr is held across the drain so the deadlock and
+    // watchdog diagnostics can walk the stranded activation tree.
+    si.root = spawn(&prog, tmpl, std::move(args), nullptr, 0, fault_seq_root(), 0, &si);
+    drive();
 
     // Drain-time error selection: identical to Runtime::run_function —
     // the smallest deterministic sequence id wins, and a fault beats a
     // delivered result.
-    const int best = smallest_fault_index(faults);
-    if (best >= 0) throw FaultError(std::move(faults[static_cast<size_t>(best)]));
+    const int best = smallest_fault_index(si.faults);
+    if (best >= 0) throw FaultError(std::move(si.faults[static_cast<size_t>(best)]));
     if (watchdog_fired) throw RuntimeError(watchdog_message);
-    if (!have_result) {
+    if (!si.have_result) {
       throw RuntimeError(
           build_deadlock_message(/*simulated=*/true, render_stranded(collect_stranded())));
     }
     SimResult result;
-    result.result = std::move(final_result);
-    result.makespan = final_time;
+    result.result = std::move(si.result);
+    result.makespan = si.finish;
     for (Ticks b : proc_busy) result.total_busy += b;
     result.proc_busy = proc_busy;
     snapshot_core_stats(result.stats);
     result.timings = std::move(timings);
     result.trace_events = trace;  // Impl keeps its copy for faulting-run retrieval
     return result;
+  }
+
+  SimBatchResult run_batch(const std::vector<SimInstanceRequest>& requests) {
+    tracing = config.enable_tracing;
+    resolve_run_policy();
+
+    instances.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const SimInstanceRequest& req = requests[i];
+      instances.push_back(std::make_unique<SimInstance>());
+      SimInstance& si = *instances.back();
+      si.id = i + 1;
+      si.arrival = req.arrival;
+      si.max_activations = req.max_activations;
+      si.time_budget_ns = req.time_budget_ns;
+      counters_.instances_admitted.fetch_add(1, std::memory_order_relaxed);
+      try {
+        if (req.program == nullptr) throw RuntimeError("instance has no program");
+        si.program_name = req.function.empty() ? req.program->entry_template().name
+                                               : req.function;
+        const Template* tmpl = req.program->find(si.program_name);
+        if (tmpl == nullptr) {
+          throw RuntimeError("program has no function named '" + si.program_name + "'");
+        }
+        // Every root shares fault_seq_root(), so an instance's fault
+        // reports are byte-identical to its solo run.
+        si.root = spawn(req.program, tmpl, std::vector<Value>(req.args), nullptr, 0,
+                        fault_seq_root(), req.arrival, &si);
+      } catch (const std::exception& e) {
+        si.spawn_error = e.what();
+        si.cancelled = true;
+        purge_pending = true;
+      }
+    }
+    drive();
+
+    SimBatchResult out;
+    out.outcomes.resize(instances.size());
+    for (size_t i = 0; i < instances.size(); ++i) {
+      SimInstance& si = *instances[i];
+      SimInstanceOutcome& o = out.outcomes[i];
+      o.activations = si.activations;
+      o.finish = si.have_result ? si.finish : std::max(si.last_event, si.arrival);
+      o.latency = o.finish - si.arrival;
+      const int best = smallest_fault_index(si.faults);
+      if (si.budget_fired) {
+        o.budget_exceeded = true;
+        o.message = si.budget_message;
+        counters_.instances_budget_killed.fetch_add(1, std::memory_order_relaxed);
+      } else if (best >= 0) {
+        o.have_fault = true;
+        o.fault = std::move(si.faults[static_cast<size_t>(best)]);
+        o.message = o.fault.render();
+        counters_.instances_faulted.fetch_add(1, std::memory_order_relaxed);
+      } else if (!si.spawn_error.empty()) {
+        o.message = si.spawn_error;
+        counters_.instances_faulted.fetch_add(1, std::memory_order_relaxed);
+      } else if (si.have_result) {
+        o.have_value = true;
+        o.value = std::move(si.result);
+        counters_.instances_completed.fetch_add(1, std::memory_order_relaxed);
+      } else if (watchdog_fired) {
+        o.message = watchdog_message;
+        counters_.instances_faulted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        o.message = build_deadlock_message(/*simulated=*/true,
+                                           render_stranded(collect_stranded(&si)));
+        counters_.instances_faulted.fetch_add(1, std::memory_order_relaxed);
+      }
+      out.makespan = std::max(out.makespan, o.finish);
+    }
+    for (auto& si : instances) si->root.reset();
+    snapshot_core_stats(out.stats);
+    return out;
   }
 };
 
@@ -323,6 +501,14 @@ SimRuntime::SimRuntime(const OperatorRegistry& registry, SimConfig config)
 
 SimResult SimRuntime::run(const CompiledProgram& program, std::vector<Value> args) {
   return run_function(program, program.entry_template().name, std::move(args));
+}
+
+SimBatchResult SimRuntime::run_instances(const std::vector<SimInstanceRequest>& requests) {
+  Impl impl(registry_, config_);
+  SimBatchResult result = impl.run_batch(requests);
+  last_trace_ = impl.trace;
+  last_stats_ = result.stats;
+  return result;
 }
 
 SimResult SimRuntime::run_function(const CompiledProgram& program, const std::string& name,

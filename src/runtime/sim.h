@@ -73,6 +73,41 @@ struct SimResult {
   std::vector<TraceEvent> trace_events;
 };
 
+/// One instance of a multi-instance batch (the virtual-time leg of the
+/// InstanceManager — see instance.h and docs/ROBUSTNESS.md "Isolation
+/// model"). All instances share one virtual machine; each is isolated:
+/// its faults, budgets, and cancellation never touch a sibling.
+struct SimInstanceRequest {
+  const CompiledProgram* program = nullptr;
+  std::string function;  // empty = the program's entry template
+  std::vector<Value> args;
+  uint64_t max_activations = 0;  // 0 = unlimited
+  int64_t time_budget_ns = 0;    // virtual ns from arrival; 0 = none
+  Ticks arrival = 0;             // virtual arrival time of the request
+};
+
+struct SimInstanceOutcome {
+  bool have_value = false;
+  Value value;
+  /// Fault winner under fault_before() — byte-identical (render()) to
+  /// what a solo run of the same program reports.
+  bool have_fault = false;
+  FaultInfo fault;
+  bool budget_exceeded = false;
+  /// Diagnostic text when not a value: the fault render, the budget
+  /// message, or the deadlock dump.
+  std::string message;
+  Ticks finish = 0;   // virtual time of the last event of this instance
+  Ticks latency = 0;  // finish - arrival
+  uint64_t activations = 0;
+};
+
+struct SimBatchResult {
+  std::vector<SimInstanceOutcome> outcomes;  // one per request, same order
+  Ticks makespan = 0;  // virtual completion time of the whole batch
+  RunStats stats;
+};
+
 /// Single-threaded simulator. Stateless across runs except for nothing —
 /// construct per experiment.
 class SimRuntime {
@@ -83,6 +118,16 @@ class SimRuntime {
   SimResult run(const CompiledProgram& program, std::vector<Value> args = {});
   SimResult run_function(const CompiledProgram& program, const std::string& name,
                          std::vector<Value> args = {});
+
+  /// Execute a batch of independent instances concurrently on one
+  /// virtual machine, with per-instance fault containment and budgets.
+  /// Nothing throws per instance — every outcome (value, fault, budget
+  /// kill, deadlock) is reported structurally in the batch result.
+  /// Fully deterministic given (requests, config): cost replay and
+  /// nth= injection selectors share per-operator arrival counters across
+  /// the batch, so use structural every= selectors for cross-checking
+  /// against solo runs.
+  SimBatchResult run_instances(const std::vector<SimInstanceRequest>& requests);
 
   /// Trace of the most recent run (empty unless enable_tracing). Unlike
   /// SimResult::trace_events this survives a faulting run, mirroring

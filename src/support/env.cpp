@@ -1,0 +1,61 @@
+#include "src/support/env.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <string_view>
+
+namespace delirium {
+
+std::optional<std::string> env_raw(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const std::optional<std::string> v = env_raw(name);
+  if (!v.has_value()) return fallback;
+  const std::string_view s = *v;
+  if (s == "0" || s == "false" || s == "off") return false;
+  if (s == "1" || s == "true" || s == "on") return true;
+  throw EnvError(std::string(name) + ": invalid value '" + *v +
+                 "' (expected 0/1, true/false, or on/off)");
+}
+
+int64_t env_int(const char* name, int64_t fallback, int64_t min, int64_t max) {
+  const std::optional<std::string> v = env_raw(name);
+  if (!v.has_value()) return fallback;
+  int64_t value = 0;
+  const char* begin = v->data();
+  const char* end = begin + v->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw EnvError(std::string(name) + ": invalid value '" + *v +
+                   "' (expected an integer)");
+  }
+  if (value < min || value > max) {
+    throw EnvError(std::string(name) + ": value " + *v + " out of range [" +
+                   std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+size_t env_choice(const char* name, std::initializer_list<const char*> choices,
+                  size_t fallback) {
+  const std::optional<std::string> v = env_raw(name);
+  if (!v.has_value()) return fallback;
+  size_t index = 0;
+  for (const char* choice : choices) {
+    if (*v == choice) return index;
+    ++index;
+  }
+  std::string expected;
+  for (const char* choice : choices) {
+    if (!expected.empty()) expected += ", ";
+    expected += choice;
+  }
+  throw EnvError(std::string(name) + ": invalid value '" + *v + "' (expected one of: " +
+                 expected + ")");
+}
+
+}  // namespace delirium

@@ -33,6 +33,11 @@ std::vector<RunStatField> run_stat_fields(const RunStats& s) {
       {"retries_exhausted", s.retries_exhausted},
       {"items_purged", s.items_purged},
       {"watchdog_fires", s.watchdog_fires},
+      {"instances_admitted", s.instances_admitted},
+      {"instances_completed", s.instances_completed},
+      {"instances_faulted", s.instances_faulted},
+      {"instances_budget_killed", s.instances_budget_killed},
+      {"instances_shed", s.instances_shed},
   };
 }
 
@@ -92,7 +97,24 @@ void MetricsRegistry::observe_run(const RunStats& stats,
   totals_.retries_exhausted += stats.retries_exhausted;
   totals_.items_purged += stats.items_purged;
   totals_.watchdog_fires += stats.watchdog_fires;
+  totals_.instances_admitted += stats.instances_admitted;
+  totals_.instances_completed += stats.instances_completed;
+  totals_.instances_faulted += stats.instances_faulted;
+  totals_.instances_budget_killed += stats.instances_budget_killed;
+  totals_.instances_shed += stats.instances_shed;
   for (const NodeTiming& t : timings) per_op_[t.label].observe(t.duration);
+}
+
+void MetricsRegistry::observe_instances(const InstanceCounters& counters,
+                                        const std::vector<int64_t>& latencies_ns) {
+  instances_observed_ = true;
+  instance_totals_.admitted += counters.admitted;
+  instance_totals_.completed += counters.completed;
+  instance_totals_.faulted += counters.faulted;
+  instance_totals_.budget_killed += counters.budget_killed;
+  instance_totals_.shed += counters.shed;
+  instance_totals_.live = counters.live;
+  for (const int64_t lat : latencies_ns) instance_latency_.observe(lat);
 }
 
 namespace {
@@ -124,7 +146,24 @@ void MetricsRegistry::to_json(std::ostream& os) const {
        << "}";
     os << (++i < per_op_.size() ? ",\n" : "\n");
   }
-  os << "  }\n}\n";
+  // The instance section is present only for multi-instance sessions so
+  // single-run exports (and their golden files) are unchanged.
+  if (!instances_observed_) {
+    os << "  }\n}\n";
+    return;
+  }
+  const LogHistogram& h = instance_latency_;
+  os << "  },\n  \"instances\": {\n"
+     << "    \"admitted\": " << instance_totals_.admitted << ",\n"
+     << "    \"completed\": " << instance_totals_.completed << ",\n"
+     << "    \"faulted\": " << instance_totals_.faulted << ",\n"
+     << "    \"budget_killed\": " << instance_totals_.budget_killed << ",\n"
+     << "    \"shed\": " << instance_totals_.shed << ",\n"
+     << "    \"live\": " << instance_totals_.live << ",\n"
+     << "    \"latency_ns\": {\"count\": " << h.count() << ", \"total_ns\": " << h.total()
+     << ", \"min_ns\": " << h.min() << ", \"max_ns\": " << h.max()
+     << ", \"p50_ns\": " << h.percentile(0.5) << ", \"p99_ns\": " << h.percentile(0.99)
+     << "}\n  }\n}\n";
 }
 
 void MetricsRegistry::to_prometheus(std::ostream& os) const {
@@ -149,6 +188,20 @@ void MetricsRegistry::to_prometheus(std::ostream& os) const {
          << "delirium_operator_duration_ns_count{operator=\"" << op << "\"} " << h.count()
          << "\n";
     }
+  }
+  if (instances_observed_) {
+    os << "# HELP delirium_instances_live Instances admitted and not yet finalized.\n"
+       << "# TYPE delirium_instances_live gauge\n"
+       << "delirium_instances_live " << instance_totals_.live << "\n"
+       << "# HELP delirium_instance_latency_ns Submit-to-finalize instance latency "
+          "(log2-bucket percentile estimates).\n"
+       << "# TYPE delirium_instance_latency_ns summary\n"
+       << "delirium_instance_latency_ns{quantile=\"0.5\"} "
+       << instance_latency_.percentile(0.5) << "\n"
+       << "delirium_instance_latency_ns{quantile=\"0.99\"} "
+       << instance_latency_.percentile(0.99) << "\n"
+       << "delirium_instance_latency_ns_sum " << instance_latency_.total() << "\n"
+       << "delirium_instance_latency_ns_count " << instance_latency_.count() << "\n";
   }
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/instance.h"
 #include "src/runtime/runtime.h"
 
 namespace delirium::tools {
@@ -62,6 +63,14 @@ class MetricsRegistry {
  public:
   void observe_run(const RunStats& stats, const std::vector<NodeTiming>& timings);
 
+  /// Fold in one InstanceManager session (docs/ROBUSTNESS.md "Isolation
+  /// model"): the admission/outcome tallies plus a latency histogram
+  /// built from the manager's raw per-instance latencies. Counters sum
+  /// and `live` keeps the latest value across sessions. The instance
+  /// section appears in the exports only once this has been called.
+  void observe_instances(const InstanceCounters& counters,
+                         const std::vector<int64_t>& latencies_ns);
+
   /// Deterministic JSON: {"runs": N, "stats": {...}, "operators": {...}}
   /// with operators sorted by name.
   void to_json(std::ostream& os) const;
@@ -79,6 +88,9 @@ class MetricsRegistry {
   uint64_t runs_ = 0;
   RunStats totals_;
   std::map<std::string, LogHistogram> per_op_;
+  bool instances_observed_ = false;
+  InstanceCounters instance_totals_;
+  LogHistogram instance_latency_;
 };
 
 }  // namespace delirium::tools
