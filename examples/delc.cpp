@@ -49,6 +49,24 @@
 //                     per-operator duration histograms
 //     --metrics-format json|prom
 //                     format for --metrics (default json)
+//     --profile-out FILE
+//                     with --run or --sim: aggregate the run's trace into
+//                     per-operator cost histograms and write them as a
+//                     versioned JSON calibration profile (forces event
+//                     tracing on; docs/PROFILING.md)
+//     --profile-in FILE
+//                     load a calibration profile: measured costs replace
+//                     unit heights in the critical-path scheduling hints
+//                     (kill switch DELIRIUM_COST_HINTS=0) and default the
+//                     per-instance time budget from the profile p99
+//     --plan          replay the loaded profile through the virtual-time
+//                     executor across a worker sweep (1..64) and report
+//                     predicted makespan, the speedup curve, and the
+//                     best/knee worker counts; requires --profile-in and
+//                     honors --format text|json
+//     --plan-target MS
+//                     with --plan: also report the smallest swept worker
+//                     count whose predicted makespan meets MS ms
 //     --help          print this flag summary and exit
 //     --lint          report the sole-consumer analysis: destructive uses
 //                     of provably-shared blocks (guaranteed CoW copies)
@@ -78,8 +96,10 @@
 #include "src/runtime/instance.h"
 #include "src/runtime/sim.h"
 #include "src/support/env.h"
+#include "src/analysis/facts.h"
 #include "src/tools/analysis_json.h"
 #include "src/tools/metrics.h"
+#include "src/tools/profile.h"
 #include "src/tools/report.h"
 #include "src/tools/trace.h"
 
@@ -125,6 +145,14 @@ void print_usage(std::FILE* out) {
       "  --metrics FILE            write RunStats counters and per-operator histograms\n"
       "  --metrics-format json|prom\n"
       "                            format for --metrics (default json)\n"
+      "  --profile-out FILE        write the run's per-operator cost histograms as a\n"
+      "                            JSON calibration profile (forces event tracing)\n"
+      "  --profile-in FILE         load a calibration profile: measured costs sharpen\n"
+      "                            the scheduling hints and default instance budgets\n"
+      "  --plan                    predict makespan/speedup across a 1..64 virtual\n"
+      "                            worker sweep from the loaded profile (--profile-in)\n"
+      "  --plan-target MS          with --plan: report the smallest worker count\n"
+      "                            whose predicted makespan meets MS milliseconds\n"
       "  --help                    print this flag summary and exit\n"
       "environment: DELIRIUM_EXECUTOR, DELIRIUM_SCHEDULER, DELIRIUM_INJECT_FAULTS,\n"
       "             DELIRIUM_RETRIES, DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY,\n"
@@ -147,6 +175,10 @@ int main(int argc, char** argv) {
   std::string trace_events_path;
   std::string metrics_path;
   std::string metrics_format = "json";
+  std::string profile_out_path;
+  std::string profile_in_path;
+  bool plan = false;
+  long plan_target_ms = 0;
   std::string fault_spec;
   std::string executor;  // "", "threaded", or "sim"
   bool dump_ast = false, dump_dot = false, no_opt = false, timings = false, run = false;
@@ -198,6 +230,10 @@ int main(int argc, char** argv) {
       metrics_format = argv[++i];
       if (metrics_format != "json" && metrics_format != "prom") return usage();
     }
+    else if (arg == "--profile-out" && i + 1 < argc) profile_out_path = argv[++i];
+    else if (arg == "--profile-in" && i + 1 < argc) profile_in_path = argv[++i];
+    else if (arg == "--plan") plan = true;
+    else if (arg == "--plan-target" && i + 1 < argc) plan_target_ms = std::atol(argv[++i]);
     else if (arg == "--inject-faults" && i + 1 < argc) fault_spec = argv[++i];
     else if (arg == "--retries" && i + 1 < argc) retries = std::atoi(argv[++i]);
     else if (arg == "--watchdog" && i + 1 < argc) watchdog_ms = std::atol(argv[++i]);
@@ -361,6 +397,64 @@ int main(int argc, char** argv) {
     delirium::write_program_dot(std::cout, result.program);
   }
 
+  // Feedback scheduling (docs/PROFILING.md): a loaded calibration
+  // profile re-marks the critical path with measured costs, so the
+  // long-pole operators launch first in both executors.
+  delirium::tools::CostProfile profile_in;
+  bool have_profile = false;
+  if (!profile_in_path.empty()) {
+    try {
+      profile_in = delirium::tools::load_cost_profile_file(profile_in_path);
+      have_profile = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "delc: %s\n", e.what());
+      return 2;
+    }
+    if (result.has_facts) {
+      const size_t marked = delirium::apply_sched_hints(
+          result.program, result.facts, delirium::tools::to_cost_model(profile_in));
+      std::fprintf(stderr, "delc: cost hints: %zu node(s) marked from %s\n", marked,
+                   profile_in_path.c_str());
+    }
+  }
+
+  // Capacity planning: replay the profile through the virtual-time
+  // executor across the worker sweep. Byte-deterministic for a given
+  // (program, profile) — the --scheduler/--workers/--executor flags do
+  // not enter the simulation.
+  if (plan) {
+    if (!have_profile) {
+      std::fprintf(stderr, "delc: --plan requires --profile-in FILE\n");
+      return usage();
+    }
+    try {
+      const delirium::tools::CapacityPlan p = delirium::tools::plan_capacity(
+          result.program, registry, profile_in, delirium::tools::default_plan_workers(),
+          plan_target_ms * 1000000);
+      std::fputs((analyze_format == "json" ? delirium::tools::render_plan_json(p, path)
+                                           : delirium::tools::render_plan_text(p, path))
+                     .c_str(),
+                 stdout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "delc: plan failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // A loaded profile also defaults the per-instance time budget for
+  // admission control: an upper envelope of one instance's work
+  // (headroomed p99 sum, see budget_from_profile), scaled by the
+  // instance count since co-tenant instances share one machine.
+  if (have_profile && instances > 0 && instance_budget.time_budget_ns == 0) {
+    const int64_t budget =
+        delirium::tools::budget_from_profile(profile_in) * instances;
+    if (budget > 0) {
+      instance_budget.time_budget_ns = budget;
+      std::fprintf(stderr, "delc: instance time budget defaulted to %lld ns (profile p99)\n",
+                   static_cast<long long>(budget));
+    }
+  }
+
   // Multi-instance mode (docs/ROBUSTNESS.md "Isolation model"): submit
   // main() N times to one shared machine and report per-instance
   // outcomes. Exit 1 only when *no* instance completed — faults, budget
@@ -414,7 +508,7 @@ int main(int argc, char** argv) {
     delirium::SimConfig config;
     config.num_procs = sim_procs;
     config.enable_node_timing = !trace_path.empty() || !metrics_path.empty();
-    config.enable_tracing = !trace_events_path.empty();
+    config.enable_tracing = !trace_events_path.empty() || !profile_out_path.empty();
     config.max_retries = retries;
     config.watchdog_budget_ns = watchdog_ms * 1000000;
     try {
@@ -439,6 +533,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "delc: wrote trace events to %s\n",
                      trace_events_path.c_str());
       }
+      if (!profile_out_path.empty() &&
+          delirium::tools::write_cost_profile_file(
+              profile_out_path,
+              delirium::tools::profile_from_trace(r.trace_events, registry))) {
+        std::fprintf(stderr, "delc: wrote cost profile to %s\n", profile_out_path.c_str());
+      }
       if (!metrics_path.empty()) {
         delirium::tools::MetricsRegistry metrics;
         metrics.observe_run(r.stats, r.timings);
@@ -454,7 +554,7 @@ int main(int argc, char** argv) {
     delirium::RuntimeConfig config;
     config.num_workers = workers;
     config.enable_node_timing = !trace_path.empty() || !metrics_path.empty();
-    config.enable_tracing = !trace_events_path.empty();
+    config.enable_tracing = !trace_events_path.empty() || !profile_out_path.empty();
     config.scheduler = scheduler;
     config.max_retries = retries;
     config.watchdog_budget_ms = watchdog_ms;
@@ -479,6 +579,12 @@ int main(int argc, char** argv) {
                                                    runtime->trace_events(), registry)) {
         std::fprintf(stderr, "delc: wrote trace events to %s\n",
                      trace_events_path.c_str());
+      }
+      if (!profile_out_path.empty() &&
+          delirium::tools::write_cost_profile_file(
+              profile_out_path,
+              delirium::tools::profile_from_trace(runtime->trace_events(), registry))) {
+        std::fprintf(stderr, "delc: wrote cost profile to %s\n", profile_out_path.c_str());
       }
       if (!metrics_path.empty()) {
         delirium::tools::MetricsRegistry metrics;

@@ -11,6 +11,12 @@ Also verifies the README documentation index covers docs/: every
 docs/*.md must be linked from README.md (the acceptance criterion that
 each doc page is reachable from the index).
 
+Also enforces the delc flag contract at the source level: the set of
+`--flag` tokens in the print_usage() body of examples/delc.cpp must
+equal the set documented across README.md and docs/ (tools_test checks
+the same contract against the built binary; this copy keeps the
+docs_links ctest meaningful without a build).
+
 Usage: check_md_links.py [repo_root]
 """
 
@@ -20,11 +26,38 @@ from pathlib import Path
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+FLAG_RE = re.compile(r"--[a-z][a-z-]*")
 
 
 def checked_files(root: Path):
     yield root / "README.md"
     yield from sorted((root / "docs").glob("*.md"))
+
+
+def flag_contract_errors(root: Path):
+    """delc flag drift: print_usage() in examples/delc.cpp vs docs/CLI.md.
+
+    docs/CLI.md is the canonical flag reference (other docs link to it),
+    so the contract is set equality between the flags it mentions
+    anywhere (tables and examples) and the flags print_usage() names.
+    """
+    delc = root / "examples" / "delc.cpp"
+    cli_md = root / "docs" / "CLI.md"
+    if not delc.is_file() or not cli_md.is_file():
+        return [f"flag contract: missing {delc} or {cli_md}"]
+    source = delc.read_text(encoding="utf-8")
+    start = source.find("void print_usage")
+    end = source.find("int usage()", start)
+    if start < 0 or end < 0:
+        return ["flag contract: cannot locate print_usage() in examples/delc.cpp"]
+    usage_flags = set(FLAG_RE.findall(source[start:end]))
+    doc_flags = set(FLAG_RE.findall(cli_md.read_text(encoding="utf-8")))
+    errors = []
+    for flag in sorted(doc_flags - usage_flags):
+        errors.append(f"docs/CLI.md: {flag} is documented but absent from delc print_usage()")
+    for flag in sorted(usage_flags - doc_flags):
+        errors.append(f"examples/delc.cpp: {flag} is in print_usage() but undocumented in docs/CLI.md")
+    return errors
 
 
 def main() -> int:
@@ -54,11 +87,13 @@ def main() -> int:
         if f"docs/{doc.name}" not in readme:
             errors.append(f"README.md: docs/{doc.name} is not linked from the index")
 
+    errors.extend(flag_contract_errors(root))
+
     if errors:
         print("\n".join(errors))
         print(f"{len(errors)} markdown link problem(s)")
         return 1
-    print("all markdown links resolve")
+    print("all markdown links resolve; delc flag contract holds")
     return 0
 
 

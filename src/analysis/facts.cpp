@@ -699,4 +699,133 @@ size_t apply_sched_hints(CompiledProgram& program, const GraphFacts& facts) {
   return marked;
 }
 
+size_t apply_sched_hints(CompiledProgram& program, const GraphFacts& facts,
+                         const CostModel& costs) {
+  const uint32_t nt = static_cast<uint32_t>(program.templates.size());
+  if (facts.producers.size() < nt || facts.template_height.size() < nt) return 0;
+  // The compile-side kill switch (DELIRIUM_SCHED_HINTS=0) skips the
+  // heights analysis, leaving every template height at zero; honor it
+  // here too so one switch disables both hint flavors.
+  bool heights_ran = false;
+  for (uint32_t t = 0; t < nt; ++t) heights_ran = heights_ran || facts.template_height[t] > 0;
+  if (!heights_ran) return 0;
+
+  // Callees-first postorder over kCall edges, as in the unit-height
+  // analysis; a back edge on a call cycle contributes the callee's
+  // not-yet-final height (sound lower bound, finite for recursion).
+  std::vector<uint32_t> postorder;
+  postorder.reserve(nt);
+  {
+    std::vector<uint8_t> state(nt, 0);  // 0 new, 1 open, 2 done
+    for (uint32_t root = 0; root < nt; ++root) {
+      if (state[root] != 0) continue;
+      std::vector<std::pair<uint32_t, uint32_t>> stack{{root, 0}};
+      state[root] = 1;
+      while (!stack.empty()) {
+        auto& [t, next] = stack.back();
+        const Template& tp = *program.templates[t];
+        bool descended = false;
+        while (next < tp.nodes.size()) {
+          const Node& node = tp.nodes[next];
+          ++next;
+          if (node.kind == NodeKind::kCall && node.target_template < nt &&
+              state[node.target_template] == 0) {
+            state[node.target_template] = 1;
+            stack.emplace_back(node.target_template, 0);
+            descended = true;
+            break;
+          }
+        }
+        if (descended) continue;
+        state[t] = 2;
+        postorder.push_back(t);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Cost-weighted longest paths to delivery, per template.
+  std::vector<int64_t> cost_height(nt, 0);
+  std::vector<std::vector<uint8_t>> crit(nt);
+  for (uint32_t t : postorder) {
+    const Template& tp = *program.templates[t];
+    const uint32_t n = static_cast<uint32_t>(tp.nodes.size());
+    auto cost = [&](uint32_t i) -> int64_t {
+      const Node& node = tp.nodes[i];
+      switch (node.kind) {
+        case NodeKind::kOperator:
+          return std::max<int64_t>(1, costs.cost_of(node.op_name));
+        case NodeKind::kFused: {
+          int64_t sum = 0;
+          for (const auto& m : node.fused) sum += std::max<int64_t>(1, costs.cost_of(m.op_name));
+          return std::max<int64_t>(1, sum);
+        }
+        case NodeKind::kCall:
+          if (node.target_template < nt) return 1 + cost_height[node.target_template];
+          return 1;
+        default:
+          return 1;  // plumbing: dispatch overhead only
+      }
+    };
+    std::vector<int64_t> h(n, 0);
+    int64_t best = 0;
+    for (uint32_t i = n; i-- > 0;) {  // consumers have larger ids
+      int64_t tail = 0;
+      for (const PortRef& c : tp.nodes[i].consumers) {
+        if (c.node < n) tail = std::max(tail, h[c.node]);
+      }
+      h[i] = cost(i) + tail;
+      best = std::max(best, h[i]);
+    }
+    cost_height[t] = best;
+    std::vector<int64_t> d(n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t q : facts.producers[t][i]) {
+        d[i] = std::max(d[i], d[q] + cost(q));
+      }
+    }
+    crit[t].assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      crit[t][i] = (d[i] + h[i] == best) ? 1 : 0;
+    }
+  }
+
+  // Entry-down filter: a call-only template keeps its marks only when a
+  // critical call site in a critical template reaches it. Templates
+  // reachable by name or through closures keep theirs unconditionally
+  // (their invocation sites are not statically known).
+  std::vector<uint8_t> critical_tmpl(nt, 0);
+  for (uint32_t t = 0; t < nt; ++t) {
+    if (t >= facts.call_only.size() || !facts.call_only[t]) critical_tmpl[t] = 1;
+  }
+  critical_tmpl[program.entry] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t t = 0; t < nt; ++t) {
+      if (critical_tmpl[t] || t >= facts.callers.size()) continue;
+      for (const TemplateRef& site : facts.callers[t]) {
+        if (site.tmpl < nt && critical_tmpl[site.tmpl] &&
+            site.node < crit[site.tmpl].size() && crit[site.tmpl][site.node]) {
+          critical_tmpl[t] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  size_t marked = 0;
+  for (uint32_t t = 0; t < nt; ++t) {
+    Template& tp = *program.templates[t];
+    for (uint32_t i = 0; i < tp.nodes.size(); ++i) {
+      const bool critical = critical_tmpl[t] && i < crit[t].size() && crit[t][i] != 0;
+      tp.nodes[i].on_critical_path = critical;
+      tp.nodes[i].cost_hinted = critical;
+      marked += critical ? 1 : 0;
+    }
+  }
+  return marked;
+}
+
 }  // namespace delirium

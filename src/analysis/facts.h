@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -179,5 +180,33 @@ GraphFacts compute_graph_facts(const CompiledProgram& program,
 /// (the executors' static scheduling hint). Returns the number of nodes
 /// marked. A no-op when the heights analysis was disabled.
 size_t apply_sched_hints(CompiledProgram& program, const GraphFacts& facts);
+
+/// Measured per-operator execution costs in nanoseconds, typically
+/// distilled from a calibration profile (tools::to_cost_model,
+/// docs/PROFILING.md). Operators absent from the map are charged
+/// `default_cost_ns`; plumbing nodes always cost 1.
+struct CostModel {
+  std::map<std::string, int64_t> op_cost_ns;
+  int64_t default_cost_ns = 1;
+
+  int64_t cost_of(const std::string& op) const {
+    const auto it = op_cost_ns.find(op);
+    return it != op_cost_ns.end() ? it->second : default_cost_ns;
+  }
+};
+
+/// Cost-weighted scheduling hints (feedback scheduling): rerun the
+/// longest-path analysis with measured per-operator nanosecond costs
+/// replacing unit heights, then re-stamp `Node::on_critical_path` and
+/// set `Node::cost_hinted` on the marks. Criticality is filtered
+/// interprocedurally from the entry down: a call-only template's nodes
+/// are marked only when some critical call site actually reaches it, so
+/// a cheap helper's local long chain no longer competes with the
+/// measured long pole. Returns the number of nodes marked; a no-op
+/// (existing marks untouched) when the heights analysis was disabled
+/// (DELIRIUM_SCHED_HINTS=0). Deterministic function of
+/// (program, facts, costs).
+size_t apply_sched_hints(CompiledProgram& program, const GraphFacts& facts,
+                         const CostModel& costs);
 
 }  // namespace delirium

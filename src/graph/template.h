@@ -105,6 +105,11 @@ struct Node {
   /// When ExecConfig::cost_hints is on, the executors run critical nodes
   /// ahead of off-path work within the same priority class.
   bool on_critical_path = false;
+  /// The critical-path mark above came from a measured cost profile
+  /// (apply_sched_hints cost overload, docs/PROFILING.md) rather than
+  /// unit heights. Splits the promotion tally and lets the executors
+  /// bias affinity toward keeping the measured long pole local.
+  bool cost_hinted = false;
   uint16_t num_inputs = 0;
   uint32_t input_offset = 0;  // first input slot in the activation buffer
 

@@ -234,6 +234,7 @@ void StatCounters::reset() {
   sched_parks.store(0);
   sched_wakeups.store(0);
   sched_hint_promotions.store(0);
+  sched_cost_promotions.store(0);
   faults_raised.store(0);
   faults_injected.store(0);
   retries.store(0);
@@ -263,6 +264,7 @@ void StatCounters::snapshot(RunStats& out) const {
   out.sched_parks = sched_parks.load();
   out.sched_wakeups = sched_wakeups.load();
   out.sched_hint_promotions = sched_hint_promotions.load();
+  out.sched_cost_promotions = sched_cost_promotions.load();
   out.faults_raised = faults_raised.load();
   out.faults_injected = faults_injected.load();
   out.retries = retries.load();

@@ -193,6 +193,8 @@ struct RunStats {
   uint64_t sched_wakeups = 0;            // notifications sent to parked workers
   uint64_t sched_hint_promotions = 0;    // critical-path nodes enqueued ahead
                                          // of their class (ExecConfig::cost_hints)
+  uint64_t sched_cost_promotions = 0;    // promotions whose criticality came from
+                                         // a measured cost profile (Node::cost_hinted)
 
   // Fault counters (docs/ROBUSTNESS.md), identical across executors
   // because capture/retry lives in ExecutorCore.
@@ -362,6 +364,7 @@ struct StatCounters {
   std::atomic<uint64_t> sched_parks{0};
   std::atomic<uint64_t> sched_wakeups{0};
   std::atomic<uint64_t> sched_hint_promotions{0};
+  std::atomic<uint64_t> sched_cost_promotions{0};
   std::atomic<uint64_t> faults_raised{0};
   std::atomic<uint64_t> faults_injected{0};
   std::atomic<uint64_t> retries{0};
@@ -514,7 +517,11 @@ class ExecutorCore {
     const int base = static_cast<int>(n.priority) * 2;
     if (!exec_config().cost_hints) return base;
     if (n.on_critical_path) {
-      counters_.sched_hint_promotions.fetch_add(1, std::memory_order_relaxed);
+      // Split the tally by the mark's provenance: static unit-height
+      // marks vs marks recomputed from a measured cost profile
+      // (apply_sched_hints cost overload, docs/PROFILING.md).
+      (n.cost_hinted ? counters_.sched_cost_promotions : counters_.sched_hint_promotions)
+          .fetch_add(1, std::memory_order_relaxed);
       return base;
     }
     return base + 1;
@@ -667,6 +674,12 @@ class ExecutorCore {
   /// Affinity preference (§9.3) of a ready node, or -1. Shared by both
   /// machines' enqueue paths; the Machine owns the affinity memory.
   int affinity_preference(const Activation& act, const Node& n) {
+    // Cost-profiled critical-path nodes pin to the producing worker's
+    // own deque (no affinity routing, no cross-worker inbox hop): the
+    // long pole either runs next locally or is stolen priority-major,
+    // which is the cheapest path to "long-pole operators launch first".
+    // Schedule-only — values/faults are unchanged (equivalence-tested).
+    if (exec_config().cost_hints && n.cost_hinted && n.on_critical_path) return -1;
     if (exec_config().affinity == AffinityMode::kOperator) {
       if (n.kind == NodeKind::kOperator && n.op_index >= 0) {
         return machine().last_affinity_worker(n.op_index);

@@ -204,7 +204,10 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     if (config.record_costs != nullptr) {
       config.record_costs->per_op[def.info.name].push_back(measured);
     }
-    if (config.replay_costs != nullptr) {
+    if (config.fixed_costs != nullptr) {
+      const auto it = config.fixed_costs->find(def.info.name);
+      measured = it != config.fixed_costs->end() ? it->second : config.fixed_cost_default_ns;
+    } else if (config.replay_costs != nullptr) {
       auto it = config.replay_costs->per_op.find(def.info.name);
       if (it != config.replay_costs->per_op.end() && occurrence < it->second.size()) {
         measured = it->second[occurrence];

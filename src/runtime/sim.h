@@ -54,6 +54,15 @@ struct SimConfig : ExecConfig {
   const CostTable* replay_costs = nullptr;
   /// When set, measured operator costs are appended here.
   CostTable* record_costs = nullptr;
+  /// When set, *every* invocation of an operator costs the mapped value
+  /// (ops absent from the map cost `fixed_cost_default_ns`) — measured
+  /// wall time never reaches the virtual clock, so the whole run is
+  /// byte-deterministic. This is how `delc --plan` replays a calibration
+  /// profile (docs/PROFILING.md). Takes precedence over replay_costs.
+  const std::unordered_map<std::string, Ticks>* fixed_costs = nullptr;
+  /// Cost of operators missing from `fixed_costs` (ignored when
+  /// fixed_costs is null).
+  Ticks fixed_cost_default_ns = 1000;
   /// Watchdog: virtual-time budget in nanoseconds; 0 disables. The
   /// simulated clock is deterministic (with replayed costs), so a
   /// watchdog fire here reproduces exactly. (The threaded runtime's

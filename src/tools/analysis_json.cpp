@@ -219,4 +219,62 @@ std::string render_analysis_text(const CompileResult& result, const SourceFile& 
   return out;
 }
 
+namespace {
+
+std::string format_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_plan_json(const CapacityPlan& plan, const std::string& file) {
+  std::string out = "{\n  \"schema\": \"delirium.plan\",\n  \"version\": 1,\n";
+  out += "  \"file\": \"" + json_escape(file) + "\",\n";
+  out += "  \"serial_makespan_ns\": " + std::to_string(plan.serial_makespan_ns) + ",\n";
+  out += "  \"best\": {\"workers\": " + std::to_string(plan.best_workers) +
+         ", \"makespan_ns\": " + std::to_string(plan.best_makespan_ns) + "},\n";
+  out += "  \"knee_workers\": " + std::to_string(plan.knee_workers) + ",\n";
+  out += "  \"target_ns\": " + std::to_string(plan.target_ns) + ",\n";
+  out += "  \"target_workers\": " + std::to_string(plan.target_workers) + ",\n";
+  out += "  \"points\": [";
+  for (size_t i = 0; i < plan.points.size(); ++i) {
+    const PlanPoint& p = plan.points[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"workers\": " + std::to_string(p.workers) +
+           ", \"makespan_ns\": " + std::to_string(p.makespan_ns) +
+           ", \"speedup\": " + format_ratio(p.speedup) +
+           ", \"efficiency\": " + format_ratio(p.efficiency) + "}";
+  }
+  out += plan.points.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_plan_text(const CapacityPlan& plan, const std::string& file) {
+  std::string out = "plan: " + file + "\n";
+  out += "  profile-driven virtual replay (SimRuntime, fixed per-operator costs)\n";
+  out += "  workers    makespan_ns  speedup  efficiency\n";
+  for (const PlanPoint& p : plan.points) {
+    char line[128];
+    std::snprintf(line, sizeof line, "  %7d  %13lld  %7.3f  %10.3f\n", p.workers,
+                  static_cast<long long>(p.makespan_ns), p.speedup, p.efficiency);
+    out += line;
+  }
+  out += "  best: " + std::to_string(plan.best_workers) + " workers (makespan " +
+         std::to_string(plan.best_makespan_ns) + " ns)\n";
+  out += "  knee: " + std::to_string(plan.knee_workers) +
+         " workers (smallest within 5% of best)\n";
+  if (plan.target_ns > 0) {
+    if (plan.target_workers > 0) {
+      out += "  target " + std::to_string(plan.target_ns) + " ns: met at " +
+             std::to_string(plan.target_workers) + " workers\n";
+    } else {
+      out += "  target " + std::to_string(plan.target_ns) +
+             " ns: not met at any swept worker count\n";
+    }
+  }
+  return out;
+}
+
 }  // namespace delirium::tools

@@ -15,6 +15,7 @@
 #include "src/analysis/sole_consumer.h"
 #include "src/core/compiler.h"
 #include "src/support/source.h"
+#include "src/tools/profile.h"
 
 namespace delirium::tools {
 
@@ -30,5 +31,14 @@ std::string render_analysis_json(const CompileResult& result, const SourceFile& 
 /// The same report for humans: one "analysis:" line per template, plus
 /// stranded locations, lint totals, rewrite stats, and scheduler hints.
 std::string render_analysis_text(const CompileResult& result, const SourceFile& file);
+
+/// Machine-readable capacity plan (`delc --plan --format=json`):
+/// {"schema": "delirium.plan", "version", "file", the sweep points, and
+/// the best/knee/target summary}. Byte-deterministic for a given plan.
+std::string render_plan_json(const CapacityPlan& plan, const std::string& file);
+
+/// The same plan for humans: a worker/makespan/speedup table plus the
+/// best/knee/target summary lines (`delc --plan`).
+std::string render_plan_text(const CapacityPlan& plan, const std::string& file);
 
 }  // namespace delirium::tools

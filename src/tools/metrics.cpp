@@ -27,6 +27,7 @@ std::vector<RunStatField> run_stat_fields(const RunStats& s) {
       {"sched_parks", s.sched_parks},
       {"sched_wakeups", s.sched_wakeups},
       {"sched_hint_promotions", s.sched_hint_promotions},
+      {"sched_cost_promotions", s.sched_cost_promotions},
       {"faults_raised", s.faults_raised},
       {"faults_injected", s.faults_injected},
       {"retries", s.retries},
@@ -53,6 +54,18 @@ void LogHistogram::observe(int64_t value_ns) {
   total_ += value_ns;
   const size_t bucket = std::bit_width(static_cast<uint64_t>(value_ns));
   ++buckets_[std::min(bucket, buckets_.size() - 1)];
+}
+
+LogHistogram LogHistogram::restore(const std::array<uint64_t, kBuckets>& buckets,
+                                   uint64_t count, int64_t total, int64_t min,
+                                   int64_t max) {
+  LogHistogram h;
+  h.buckets_ = buckets;
+  h.count_ = count;
+  h.total_ = total;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
 }
 
 int64_t LogHistogram::percentile(double p) const {
@@ -91,6 +104,7 @@ void MetricsRegistry::observe_run(const RunStats& stats,
   totals_.sched_parks += stats.sched_parks;
   totals_.sched_wakeups += stats.sched_wakeups;
   totals_.sched_hint_promotions += stats.sched_hint_promotions;
+  totals_.sched_cost_promotions += stats.sched_cost_promotions;
   totals_.faults_raised += stats.faults_raised;
   totals_.faults_injected += stats.faults_injected;
   totals_.retries += stats.retries;

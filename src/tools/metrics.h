@@ -37,6 +37,8 @@ std::vector<RunStatField> run_stat_fields(const RunStats& stats);
 /// the upper bound of the bucket containing the requested rank.
 class LogHistogram {
  public:
+  static constexpr size_t kBuckets = 64;
+
   void observe(int64_t value_ns);
 
   uint64_t count() const { return count_; }
@@ -44,12 +46,21 @@ class LogHistogram {
   int64_t min() const { return count_ > 0 ? min_ : 0; }
   int64_t max() const { return count_ > 0 ? max_ : 0; }
 
+  /// Raw log2 bucket counts, for serialization (docs/PROFILING.md).
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// Rebuild a histogram from previously serialized state, exactly: a
+  /// restore followed by a re-serialize is byte-identical. `min`/`max`
+  /// are the raw stored fields (returned only while count > 0).
+  static LogHistogram restore(const std::array<uint64_t, kBuckets>& buckets,
+                              uint64_t count, int64_t total, int64_t min, int64_t max);
+
   /// Deterministic percentile estimate: the upper bound of the log2
   /// bucket holding the value of rank ceil(p * count). p in [0, 1].
   int64_t percentile(double p) const;
 
  private:
-  std::array<uint64_t, 64> buckets_{};
+  std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   int64_t total_ = 0;
   int64_t min_ = 0;
