@@ -1,0 +1,276 @@
+// Locality model A/A gate + UMA→strongly-NUMA sweep (docs/RUNTIME.md
+// "Locality model"): measures what topology-aware placement buys,
+// entirely in virtual time so the numbers are deterministic and
+// meaningful on any host (including single-core CI).
+//
+// Protocol (all legs replay fixed per-operator costs through SimRuntime,
+// so a "measurement" is an exact virtual-ns makespan):
+//
+//  * A/A — the legacy flat knob (remote_penalty_ns_per_kb) vs the
+//    explicit degenerate topology (MemoryTopology::flat) it now maps
+//    onto. The refactor promises the mapping is byte-identical, so the
+//    two makespans must agree; the bench FAILS (exit 1) if the geomean
+//    ratio across processor counts leaves ±5%.
+//  * sweep — D big blocks, each homed in its own NUMA domain, each
+//    fanned out to F readers. The locality-AWARE schedule (data
+//    affinity + domain-biased selection, the defaults) keeps every
+//    reader in its block's home domain; the locality-BLIND schedule
+//    (affinity none, DELIRIUM_LOCALITY=0 semantics) scatters readers
+//    FIFO and pays the inter-domain per-KiB transfer + migration
+//    surcharge per pull. The bench FAILS if aware is not >= 1.2x at the
+//    strongly-NUMA (cluster) point, or if it leaves ±5% at the
+//    penalty-0 multi-domain point (same domains, zero costs — placement
+//    must be free when memory is uniform).
+//
+// `--quick` trims the processor sweep for CI; a JSON path as the last
+// argument writes the results (BENCH_locality.json is a recorded run).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/delirium.h"
+#include "src/runtime/sim.h"
+#include "src/support/topology.h"
+#include "src/tools/report.h"
+
+using namespace delirium;
+
+namespace {
+
+constexpr int kProcs = 8;
+constexpr int kBlocks = 4;   // one per numa4/cluster domain; 2 per numa2 domain
+constexpr int kFanout = 8;   // readers per block
+constexpr int64_t kReadNs = 20000;
+constexpr int64_t kJoinNs = 200;
+
+/// kBlocks producers fanned out to kFanout readers each, joined by a
+/// cheap add tree. Producers are unbound, so the first kBlocks virtual
+/// processors take them FIFO — striping homes each block in its own
+/// domain. The readers are where placement matters.
+std::string reader_source() {
+  std::string rsum = "weigh(b)";
+  for (int i = 1; i < kFanout; ++i) rsum = "add(" + rsum + ", weigh(b))";
+  std::string source = "rsum(b) " + rsum + "\nmain()\n  let";
+  for (int i = 0; i < kBlocks; ++i) {
+    source += std::string(i == 0 ? " " : "      ") + "b" + std::to_string(i) +
+              " = make_data()\n";
+  }
+  std::string join = "rsum(b0)";
+  for (int i = 1; i < kBlocks; ++i) join = "add(" + join + ", rsum(b" + std::to_string(i) + "))";
+  return source + "  in " + join + "\n";
+}
+
+std::shared_ptr<OperatorRegistry> locality_registry() {
+  auto reg = std::make_shared<OperatorRegistry>();
+  register_builtin_operators(*reg);
+  reg->add("make_data", 0, [](OpContext&) {
+    return Value::block(std::vector<double>(1 << 15, 1.0));  // 256 KiB
+  });
+  reg->add("weigh", 1, [](OpContext& ctx) {
+    const auto& data = ctx.arg_block<std::vector<double>>(0);
+    double sum = 0;
+    for (double d : data) sum += d;
+    return Value::of(static_cast<int64_t>(sum));
+  });
+  return reg;
+}
+
+int64_t virtual_makespan(const CompiledProgram& program, const OperatorRegistry& registry,
+                         const std::unordered_map<std::string, Ticks>& costs,
+                         SimConfig config, int procs) {
+  config.num_procs = procs;
+  config.fixed_costs = &costs;
+  config.fixed_cost_default_ns = kJoinNs;
+  SimRuntime sim(registry, config);
+  return sim.run(program).makespan;
+}
+
+struct SweepPoint {
+  std::string topology;
+  int64_t aware_ns = 0;
+  int64_t blind_ns = 0;
+  uint64_t aware_pulls = 0;
+  uint64_t blind_pulls = 0;
+  double ratio() const {
+    return static_cast<double>(blind_ns) / static_cast<double>(aware_ns);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  auto registry = locality_registry();
+  const CompiledProgram program = compile_or_throw(reader_source(), *registry);
+  const std::unordered_map<std::string, Ticks> costs = {
+      {"make_data", kReadNs}, {"weigh", kReadNs}, {"add", kJoinNs}};
+
+  // -- A/A: legacy flat knob vs the explicit degenerate topology --------------
+  const std::vector<int> proc_sweep =
+      quick ? std::vector<int>{4} : std::vector<int>{2, 4, 8};
+  struct AaPoint {
+    int procs;
+    int64_t legacy_ns;
+    int64_t explicit_ns;
+  };
+  std::vector<AaPoint> aa_points;
+  double aa_log_sum = 0;
+  for (const int procs : proc_sweep) {
+    SimConfig legacy;
+    legacy.remote_penalty_ns_per_kb = 1000;
+    SimConfig explicit_flat;
+    explicit_flat.topology = MemoryTopology::flat(1000);
+    AaPoint p{procs, virtual_makespan(program, *registry, costs, legacy, procs),
+              virtual_makespan(program, *registry, costs, explicit_flat, procs)};
+    aa_log_sum += std::log(static_cast<double>(p.explicit_ns) /
+                           static_cast<double>(p.legacy_ns));
+    aa_points.push_back(p);
+  }
+  const double aa_geomean = std::exp(aa_log_sum / static_cast<double>(aa_points.size()));
+  const bool aa_ok = aa_geomean >= 0.95 && aa_geomean <= 1.05;
+
+  tools::Table aa_table({"procs", "legacy flat (ns)", "topology flat (ns)", "ratio"});
+  for (const AaPoint& p : aa_points) {
+    aa_table.add_row({std::to_string(p.procs), std::to_string(p.legacy_ns),
+                      std::to_string(p.explicit_ns),
+                      tools::Table::ratio(static_cast<double>(p.explicit_ns) /
+                                          static_cast<double>(p.legacy_ns))});
+  }
+  std::printf("A/A: remote_penalty_ns_per_kb=1000 vs MemoryTopology::flat(1000) "
+              "(same program, fixed virtual costs):\n");
+  aa_table.print(std::cout);
+  std::printf("A/A geomean: %.3f\n\n", aa_geomean);
+
+  // -- Sweep: UMA -> strongly NUMA, locality-aware vs locality-blind ----------
+  // "numa4:inter=0,migrate=0" is the penalty-0 control: same four
+  // domains, so the aware schedule still reorders, but memory is
+  // uniform — placement must cost nothing.
+  const std::vector<std::string> topologies = {"numa4:inter=0,migrate=0", "numa2",
+                                               "numa4", "cluster"};
+  std::vector<SweepPoint> sweep;
+  for (const std::string& spec : topologies) {
+    SweepPoint point;
+    point.topology = spec;
+    const MemoryTopology topo = parse_topology(spec, "bench_locality");
+
+    SimConfig aware;
+    aware.topology = topo;
+    aware.affinity = AffinityMode::kData;  // locality_scheduling defaults on
+    SimConfig blind;
+    blind.topology = topo;
+    blind.affinity = AffinityMode::kNone;
+    blind.locality_scheduling = false;
+
+    point.aware_ns = virtual_makespan(program, *registry, costs, aware, kProcs);
+    point.blind_ns = virtual_makespan(program, *registry, costs, blind, kProcs);
+    {
+      SimConfig probe = aware;
+      probe.num_procs = kProcs;
+      probe.fixed_costs = &costs;
+      probe.fixed_cost_default_ns = kJoinNs;
+      SimRuntime sim(*registry, probe);
+      sim.run(program);
+      point.aware_pulls = sim.last_stats().remote_block_moves;
+      probe = blind;
+      probe.num_procs = kProcs;
+      probe.fixed_costs = &costs;
+      probe.fixed_cost_default_ns = kJoinNs;
+      SimRuntime sim_blind(*registry, probe);
+      sim_blind.run(program);
+      point.blind_pulls = sim_blind.last_stats().remote_block_moves;
+    }
+    sweep.push_back(point);
+  }
+
+  tools::Table sweep_table({"topology", "aware (ns)", "blind (ns)", "blind/aware",
+                            "aware pulls", "blind pulls"});
+  for (const SweepPoint& p : sweep) {
+    sweep_table.add_row({p.topology, std::to_string(p.aware_ns),
+                         std::to_string(p.blind_ns), tools::Table::ratio(p.ratio()),
+                         std::to_string(p.aware_pulls), std::to_string(p.blind_pulls)});
+  }
+  std::printf("locality-aware vs locality-blind on the %d-block x %d-reader fan-out "
+              "(%d virtual procs):\n",
+              kBlocks, kFanout, kProcs);
+  sweep_table.print(std::cout);
+
+  const double zero_ratio = sweep.front().ratio();
+  const bool zero_ok = zero_ratio >= 0.95 && zero_ratio <= 1.05;
+  const double cluster_ratio = sweep.back().ratio();
+  const bool cluster_ok = cluster_ratio >= 1.2;
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"bench_locality\",\n"
+       << "  \"procs\": " << kProcs << ",\n"
+       << "  \"blocks\": " << kBlocks << ",\n"
+       << "  \"fanout\": " << kFanout << ",\n"
+       << "  \"aa\": [\n";
+  for (size_t i = 0; i < aa_points.size(); ++i) {
+    const AaPoint& p = aa_points[i];
+    json << "    {\"procs\": " << p.procs << ", \"legacy_ns\": " << p.legacy_ns
+         << ", \"explicit_ns\": " << p.explicit_ns << "}"
+         << (i + 1 < aa_points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"aa_geomean\": " << aa_geomean << ",\n"
+       << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3f", p.ratio());
+    json << "    {\"topology\": \"" << p.topology << "\", \"aware_ns\": " << p.aware_ns
+         << ", \"blind_ns\": " << p.blind_ns << ", \"ratio\": " << ratio
+         << ", \"aware_pulls\": " << p.aware_pulls
+         << ", \"blind_pulls\": " << p.blind_pulls << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fputs(json.str().c_str(), stdout);
+  }
+
+  if (!aa_ok) {
+    std::fprintf(stderr,
+                 "FAIL: legacy flat knob vs explicit flat topology left the ±5%% A/A "
+                 "band (geomean %.3f) — the mapping is not byte-identical\n",
+                 aa_geomean);
+    return 1;
+  }
+  if (!zero_ok) {
+    std::fprintf(stderr,
+                 "FAIL: locality-aware scheduling regressed the penalty-0 point "
+                 "(blind/aware %.3f) — placement must be free on uniform memory\n",
+                 zero_ratio);
+    return 1;
+  }
+  if (!cluster_ok) {
+    std::fprintf(stderr,
+                 "FAIL: locality-aware under 1.2x at the cluster point "
+                 "(blind/aware %.3f)\n",
+                 cluster_ratio);
+    return 1;
+  }
+  std::printf("A/A within ±5%%; penalty-0 within ±5%%; aware >= 1.2x at cluster\n");
+  return 0;
+}

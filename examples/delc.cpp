@@ -15,6 +15,15 @@
 //     --workers N     worker threads for --run (default 4)
 //     --scheduler S   ready-queue implementation for --run:
 //                     "work_stealing" (default) or "global_lock"
+//     --affinity M    scheduling affinity for --run and --sim: "none",
+//                     "operator" (last-worker memory per operator), or
+//                     "data" (follow the biggest input block's home
+//                     domain). Never changes values — placement only.
+//     --topology SPEC memory topology for the locality cost model:
+//                     preset[:key=value,...] with presets
+//                     uma|numa2|numa4|cluster|flat and keys
+//                     domains|intra|inter|migrate (docs/RUNTIME.md
+//                     "Locality model")
 //     --stats         with --run or --sim: print the run's RunStats
 //                     counters (activations, CoW, scheduler, faults)
 //     --inject-faults SPEC
@@ -96,6 +105,7 @@
 #include "src/runtime/instance.h"
 #include "src/runtime/sim.h"
 #include "src/support/env.h"
+#include "src/support/topology.h"
 #include "src/analysis/facts.h"
 #include "src/tools/analysis_json.h"
 #include "src/tools/metrics.h"
@@ -128,6 +138,13 @@ void print_usage(std::FILE* out) {
       "  --workers N               worker threads for --run (default 4)\n"
       "  --scheduler work_stealing|global_lock\n"
       "                            ready-queue implementation for --run\n"
+      "  --affinity none|operator|data\n"
+      "                            scheduling affinity (--affinity=M also accepted;\n"
+      "                            DELIRIUM_AFFINITY overrides)\n"
+      "  --topology SPEC           memory topology preset[:key=value,...] — presets\n"
+      "                            uma|numa2|numa4|cluster|flat, keys\n"
+      "                            domains|intra|inter|migrate (--topology=SPEC also\n"
+      "                            accepted; DELIRIUM_TOPOLOGY overrides)\n"
       "  --sim N                   execute under virtual time on N simulated processors\n"
       "  --stats                   print the run's RunStats counters\n"
       "  --inject-faults SPEC      deterministic fault injection (src/runtime/fault.h)\n"
@@ -159,7 +176,8 @@ void print_usage(std::FILE* out) {
       "             DELIRIUM_ACTIVATION_POOL, DELIRIUM_GRAPH_FACTS,\n"
       "             DELIRIUM_FACTS_FOLD, DELIRIUM_FACTS_DEADPARAM,\n"
       "             DELIRIUM_FACTS_STRAND, DELIRIUM_FACTS_SOLE,\n"
-      "             DELIRIUM_SCHED_HINTS, DELIRIUM_COST_HINTS (see docs/CLI.md)\n");
+      "             DELIRIUM_SCHED_HINTS, DELIRIUM_COST_HINTS, DELIRIUM_AFFINITY,\n"
+      "             DELIRIUM_TOPOLOGY, DELIRIUM_LOCALITY (see docs/CLI.md)\n");
 }
 
 int usage() {
@@ -193,6 +211,8 @@ int main(int argc, char** argv) {
   long admission_cap = 0;
   delirium::InstanceBudget instance_budget;
   delirium::SchedulerKind scheduler = delirium::SchedulerKind::kWorkStealing;
+  std::string affinity;       // "", "none", "operator", or "data"
+  std::string topology_spec;  // "" = the config default (uma)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dump-ast") dump_ast = true;
@@ -218,6 +238,10 @@ int main(int argc, char** argv) {
       else if (mode == "global_lock") scheduler = delirium::SchedulerKind::kGlobalLock;
       else return usage();
     }
+    else if (arg == "--affinity" && i + 1 < argc) affinity = argv[++i];
+    else if (arg.rfind("--affinity=", 0) == 0) affinity = arg.substr(sizeof("--affinity=") - 1);
+    else if (arg == "--topology" && i + 1 < argc) topology_spec = argv[++i];
+    else if (arg.rfind("--topology=", 0) == 0) topology_spec = arg.substr(sizeof("--topology=") - 1);
     else if (arg == "--help") {
       print_usage(stdout);
       return 0;
@@ -295,6 +319,34 @@ int main(int argc, char** argv) {
     sim_procs = 0;
     run = true;
   }
+
+  // Locality knobs, shared by both executors through the ExecConfig base
+  // slice. The flags only *set* the config; DELIRIUM_AFFINITY /
+  // DELIRIUM_TOPOLOGY still win inside apply_exec_env_overrides, like
+  // every other runtime env knob.
+  if (!affinity.empty() && affinity != "none" && affinity != "operator" &&
+      affinity != "data") {
+    std::fprintf(stderr, "delc: unknown affinity '%s' (none|operator|data)\n",
+                 affinity.c_str());
+    return usage();
+  }
+  delirium::MemoryTopology topology;
+  bool have_topology = false;
+  if (!topology_spec.empty()) {
+    try {
+      topology = delirium::parse_topology(topology_spec, "--topology");
+      have_topology = true;
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "delc: %s\n", e.what());
+      return 2;
+    }
+  }
+  const auto apply_locality_flags = [&](delirium::ExecConfig& config) {
+    if (affinity == "none") config.affinity = delirium::AffinityMode::kNone;
+    else if (affinity == "operator") config.affinity = delirium::AffinityMode::kOperator;
+    else if (affinity == "data") config.affinity = delirium::AffinityMode::kData;
+    if (have_topology) config.topology = topology;
+  };
 
   std::ifstream in(path);
   if (!in) {
@@ -511,6 +563,7 @@ int main(int argc, char** argv) {
     config.enable_tracing = !trace_events_path.empty() || !profile_out_path.empty();
     config.max_retries = retries;
     config.watchdog_budget_ns = watchdog_ms * 1000000;
+    apply_locality_flags(config);
     try {
       delirium::SimRuntime sim(registry, config);
       if (instances > 0) {
@@ -558,6 +611,7 @@ int main(int argc, char** argv) {
     config.scheduler = scheduler;
     config.max_retries = retries;
     config.watchdog_budget_ms = watchdog_ms;
+    apply_locality_flags(config);
     // Construction can throw (a malformed DELIRIUM_* knob fails loudly
     // with an EnvError); report it like any other failed run instead of
     // letting it terminate the process.

@@ -16,6 +16,13 @@ void apply_exec_env_overrides(ExecConfig& config) {
               int64_t{1} << 32));
   config.activation_pool = env_flag("DELIRIUM_ACTIVATION_POOL", config.activation_pool);
   config.cost_hints = env_flag("DELIRIUM_COST_HINTS", config.cost_hints);
+  const size_t current_affinity = static_cast<size_t>(config.affinity);
+  config.affinity = static_cast<AffinityMode>(
+      env_choice("DELIRIUM_AFFINITY", {"none", "operator", "data"}, current_affinity));
+  if (const auto spec = env_raw("DELIRIUM_TOPOLOGY"); spec.has_value()) {
+    config.topology = parse_topology(*spec, "DELIRIUM_TOPOLOGY");
+  }
+  config.locality_scheduling = env_flag("DELIRIUM_LOCALITY", config.locality_scheduling);
 }
 
 // ---------------------------------------------------------------------------
@@ -226,11 +233,14 @@ void StatCounters::reset() {
   cow_copies.store(0);
   cow_skipped.store(0);
   remote_block_moves.store(0);
+  remote_bytes_pulled.store(0);
   operator_ticks.store(0);
   sched_local_enqueues.store(0);
   sched_injected_enqueues.store(0);
   sched_steals.store(0);
   sched_failed_steals.store(0);
+  sched_local_steals.store(0);
+  sched_remote_steals.store(0);
   sched_parks.store(0);
   sched_wakeups.store(0);
   sched_hint_promotions.store(0);
@@ -256,11 +266,14 @@ void StatCounters::snapshot(RunStats& out) const {
   out.cow_copies = cow_copies.load();
   out.cow_skipped = cow_skipped.load();
   out.remote_block_moves = remote_block_moves.load();
+  out.remote_bytes_pulled = remote_bytes_pulled.load();
   out.operator_ticks = operator_ticks.load();
   out.sched_local_enqueues = sched_local_enqueues.load();
   out.sched_injected_enqueues = sched_injected_enqueues.load();
   out.sched_steals = sched_steals.load();
   out.sched_failed_steals = sched_failed_steals.load();
+  out.sched_local_steals = sched_local_steals.load();
+  out.sched_remote_steals = sched_remote_steals.load();
   out.sched_parks = sched_parks.load();
   out.sched_wakeups = sched_wakeups.load();
   out.sched_hint_promotions = sched_hint_promotions.load();

@@ -25,7 +25,13 @@
 //   void deliver_final(run, Value v, Ticks when);
 //   void trace_from_core(worker, ts, kind, op, arg);
 //   void record_fault_from_core(run, FaultInfo, op_index, ts, worker);
-//   void charge_remote(ns, cost);         // NUMA pull: spin (wall) or cost += (virtual)
+//   void charge_remote(dom_from, dom_to, bytes, penalty_ns, cost);
+//                                         // topology-charged block pull:
+//                                         // calibrated spin (wall) or
+//                                         // cost += penalty_ns (virtual)
+//   int pick_worker_in_domain(domain, home_worker);
+//                                         // data-affinity target inside a
+//                                         // NUMA domain (multi-domain only)
 //   void charge_stall(ns, cost);          // injected stall
 //   void charge_backoff(ns, cost);        // retry backoff
 //   void busy_begin(worker, def) / busy_end(worker);   // watchdog busy dump
@@ -69,6 +75,7 @@
 #include "src/runtime/value.h"
 #include "src/support/clock.h"
 #include "src/support/env.h"
+#include "src/support/topology.h"
 
 namespace delirium {
 
@@ -105,7 +112,23 @@ struct ExecConfig {
   /// a block whose home is another worker (models the BBN Butterfly's
   /// expensive remote references). 0 disables the model. Runtime spins
   /// for the penalty; SimRuntime charges it to the virtual clock.
+  /// Kept as the legacy flat knob: when set and `topology` is the
+  /// default UMA, the executors run under MemoryTopology::flat(penalty)
+  /// — the degenerate one-worker-per-domain topology, byte-identical to
+  /// the pre-topology charge. An explicit non-default `topology` wins.
   int64_t remote_penalty_ns_per_kb = 0;
+  /// The NUMA-domain machine model (src/support/topology.h): worker→
+  /// domain striping and intra/inter-domain per-KiB pull costs plus a
+  /// cross-domain migration surcharge. Defaults to UMA (one domain,
+  /// zero cost — the accounting is skipped entirely). Overridable via
+  /// DELIRIUM_TOPOLOGY; a performance model only, never semantics.
+  MemoryTopology topology;
+  /// Let the schedulers *use* the topology: same-domain-first steal
+  /// order and in-domain data-affinity placement. Off = locality-blind
+  /// scheduling under the same cost model (the A/B ablation leg of
+  /// bench_locality). No effect under a single- or per-worker-domain
+  /// topology. Kill switch: DELIRIUM_LOCALITY=0.
+  bool locality_scheduling = true;
   /// Honor kUnique consume-class annotations from the sole-consumer
   /// analysis: mutate such arguments in place without the uniqueness
   /// test or clone. Kill switch for A/B runs and debugging.
@@ -143,7 +166,8 @@ struct ExecConfig {
 
 /// Apply the environment overrides every executor honors to an already-
 /// populated config: DELIRIUM_TRACE, DELIRIUM_TRACE_CAPACITY,
-/// DELIRIUM_ACTIVATION_POOL, DELIRIUM_COST_HINTS.
+/// DELIRIUM_ACTIVATION_POOL, DELIRIUM_COST_HINTS, DELIRIUM_AFFINITY,
+/// DELIRIUM_TOPOLOGY, DELIRIUM_LOCALITY.
 void apply_exec_env_overrides(ExecConfig& config);
 
 /// Ready-queue levels: the three §7 priority classes, each split into a
@@ -179,6 +203,7 @@ struct RunStats {
   uint64_t cow_copies = 0;          // blocks copied to preserve determinism
   uint64_t cow_skipped = 0;         // clones elided via kUnique annotations
   uint64_t remote_block_moves = 0;  // NUMA-simulated block migrations
+  uint64_t remote_bytes_pulled = 0; // payload bytes of cross-domain pulls
   Ticks operator_ticks = 0;         // total time inside operators
 
   // Scheduler counters. The global-lock scheduler fills only the enqueue
@@ -189,6 +214,8 @@ struct RunStats {
   uint64_t sched_injected_enqueues = 0;  // crossed workers via an MPSC inbox
   uint64_t sched_steals = 0;             // items taken from a victim's deque
   uint64_t sched_failed_steals = 0;      // full victim scans that found nothing
+  uint64_t sched_local_steals = 0;       // steals from a same-domain victim
+  uint64_t sched_remote_steals = 0;      // steals that crossed a domain boundary
   uint64_t sched_parks = 0;              // times a worker slept on its eventcount
   uint64_t sched_wakeups = 0;            // notifications sent to parked workers
   uint64_t sched_hint_promotions = 0;    // critical-path nodes enqueued ahead
@@ -356,11 +383,14 @@ struct StatCounters {
   std::atomic<uint64_t> cow_copies{0};
   std::atomic<uint64_t> cow_skipped{0};
   std::atomic<uint64_t> remote_block_moves{0};
+  std::atomic<uint64_t> remote_bytes_pulled{0};
   std::atomic<int64_t> operator_ticks{0};
   std::atomic<uint64_t> sched_local_enqueues{0};
   std::atomic<uint64_t> sched_injected_enqueues{0};
   std::atomic<uint64_t> sched_steals{0};
   std::atomic<uint64_t> sched_failed_steals{0};
+  std::atomic<uint64_t> sched_local_steals{0};
+  std::atomic<uint64_t> sched_remote_steals{0};
   std::atomic<uint64_t> sched_parks{0};
   std::atomic<uint64_t> sched_wakeups{0};
   std::atomic<uint64_t> sched_hint_promotions{0};
@@ -501,12 +531,28 @@ class ExecutorCore {
   /// Point the core at the Machine's resolved config (after its
   /// environment overrides) and arm the pool. Call once, from the
   /// Machine's constructor, before any activation exists.
+  ///
+  /// Resolves the *effective* topology here: the legacy flat knob
+  /// (remote_penalty_ns_per_kb) with a default UMA topology maps onto
+  /// MemoryTopology::flat(penalty) — one domain per worker, charging
+  /// exactly the old per-KiB penalty — so pre-topology configs and
+  /// benches reproduce byte-identically through the new path.
   void init_exec(const ExecConfig* config) {
     exec_config_ = config;
     pool_.set_enabled(config->activation_pool);
+    topo_ = config->topology;
+    if (topo_.single_domain() && !topo_.models_cost() &&
+        config->remote_penalty_ns_per_kb > 0) {
+      topo_ = MemoryTopology::flat(config->remote_penalty_ns_per_kb);
+    }
+    numa_active_ = topo_.models_cost();
   }
 
   const ExecConfig& exec_config() const { return *exec_config_; }
+
+  /// The effective topology (see init_exec) both machines schedule and
+  /// charge against.
+  const MemoryTopology& topology() const { return topo_; }
 
   /// Ready-queue level for a node: the §7 priority class, split by the
   /// facts engine's critical-path mark when cost_hints is on. Lower
@@ -693,22 +739,67 @@ class ExecutorCore {
     if (exec_config().affinity == AffinityMode::kData &&
         (n.kind == NodeKind::kOperator || n.kind == NodeKind::kFused)) {
       int target = -1;
+      int target_domain = -1;
       size_t best_bytes = 0;
       for (uint16_t i = 0; i < n.num_inputs; ++i) {
         const Value& v = act.slots[n.input_offset + i];
         if (v.kind() == Value::Kind::kBlock) {
           const auto& blk = v.block_ptr();
           const size_t bytes = blk->byte_size();
-          const int home = blk->home_worker.load(std::memory_order_relaxed);
+          const int home = blk->home_worker();
           if (home >= 0 && bytes > best_bytes) {
             best_bytes = bytes;
             target = home;
+            target_domain = blk->home_domain();
           }
         }
+      }
+      // Under a multi-domain topology, data affinity resolves to the
+      // block's home *domain*: any worker there reads the block at
+      // intra-domain cost, so the Machine spreads these nodes across the
+      // domain's workers instead of serializing on the one home worker.
+      if (target >= 0 && target_domain >= 0 && exec_config().locality_scheduling &&
+          topo_.num_domains > 1) {
+        return machine().pick_worker_in_domain(target_domain, target);
       }
       return target;
     }
     return -1;
+  }
+
+  /// NUMA model (§9.3), shared by kOperator and kFused argument
+  /// gathering: pulling a block homed outside `worker`'s domain charges
+  /// the inter-domain per-KiB transfer plus the migration surcharge
+  /// (spun on the wall clock or added to the virtual clock, per the
+  /// Machine) and re-homes the block to the puller; a same-domain pull
+  /// from another worker charges the (usually zero) intra-domain rate.
+  /// Under the degenerate flat topology this reproduces the old
+  /// remote_penalty_ns_per_kb accounting byte for byte. A no-op — one
+  /// predictable branch — when the topology models no cost.
+  void pull_blocks(std::span<Value> args, int worker, Ticks& cost) {
+    if (!numa_active_) return;
+    const int dom = topo_.domain_of(worker);
+    for (Value& v : args) {
+      if (v.kind() != Value::Kind::kBlock) continue;
+      BlockBase& blk = *v.block_ptr();
+      const int home_w = blk.home_worker();
+      if (home_w >= 0) {
+        const int home_d = blk.home_domain();
+        const int64_t kb = static_cast<int64_t>(blk.byte_size() / 1024) + 1;
+        if (home_d != dom) {
+          machine().charge_remote(home_d, dom, static_cast<int64_t>(blk.byte_size()),
+                                  topo_.inter_kib_cost_ns * kb + topo_.migration_cost_ns,
+                                  cost);
+          counters_.remote_block_moves.fetch_add(1, std::memory_order_relaxed);
+          counters_.remote_bytes_pulled.fetch_add(blk.byte_size(),
+                                                  std::memory_order_relaxed);
+        } else if (home_w != worker && topo_.intra_kib_cost_ns > 0) {
+          machine().charge_remote(home_d, dom, static_cast<int64_t>(blk.byte_size()),
+                                  topo_.intra_kib_cost_ns * kb, cost);
+        }
+      }
+      blk.set_home(worker, dom);
+    }
   }
 
   // -- Node execution --------------------------------------------------------
@@ -750,21 +841,7 @@ class ExecutorCore {
         args.reserve(n.num_inputs);
         for (uint16_t i = 0; i < n.num_inputs; ++i) args.push_back(take_input(i));
 
-        // NUMA model (§9.3): pulling a block homed on another worker
-        // costs time (spun or charged, per the Machine) and migrates it.
-        if (exec_config().remote_penalty_ns_per_kb > 0) {
-          for (Value& v : args) {
-            if (v.kind() != Value::Kind::kBlock) continue;
-            BlockBase& blk = *v.block_ptr();
-            const int home = blk.home_worker.load(std::memory_order_relaxed);
-            if (home >= 0 && home != worker) {
-              const int64_t kb = static_cast<int64_t>(blk.byte_size() / 1024) + 1;
-              machine().charge_remote(exec_config().remote_penalty_ns_per_kb * kb, cost);
-              counters_.remote_block_moves.fetch_add(1, std::memory_order_relaxed);
-            }
-            blk.home_worker.store(worker, std::memory_order_relaxed);
-          }
-        }
+        pull_blocks(std::span<Value>(args.data(), args.size()), worker, cost);
         counters_.operator_invocations.fetch_add(1, std::memory_order_relaxed);
         const std::span<const ConsumeClass> classes =
             exec_config().unique_fastpath ? std::span<const ConsumeClass>(n.input_classes)
@@ -881,7 +958,7 @@ class ExecutorCore {
           machine().note_affinity(n.op_index, worker);
         }
         if (result.kind() == Value::Kind::kBlock) {
-          result.block_ptr()->home_worker.store(worker, std::memory_order_relaxed);
+          result.block_ptr()->set_home(worker, topo_.domain_of(worker));
         }
         deliver(act_ptr, node, std::move(result), start + cost);
         break;
@@ -915,19 +992,7 @@ class ExecutorCore {
               args.push_back(std::move(act.slots[n.input_offset + slot]));
             }
           }
-          if (exec_config().remote_penalty_ns_per_kb > 0) {
-            for (Value& v : args) {
-              if (v.kind() != Value::Kind::kBlock) continue;
-              BlockBase& blk = *v.block_ptr();
-              const int home = blk.home_worker.load(std::memory_order_relaxed);
-              if (home >= 0 && home != worker) {
-                const int64_t kb = static_cast<int64_t>(blk.byte_size() / 1024) + 1;
-                machine().charge_remote(exec_config().remote_penalty_ns_per_kb * kb, cost);
-                counters_.remote_block_moves.fetch_add(1, std::memory_order_relaxed);
-              }
-              blk.home_worker.store(worker, std::memory_order_relaxed);
-            }
-          }
+          pull_blocks(std::span<Value>(args.data(), args.size()), worker, cost);
           counters_.operator_invocations.fetch_add(1, std::memory_order_relaxed);
           const uint64_t arrival = machine().op_arrival(def, member.op_index, plan != nullptr);
           // Members are pure by construction — the fusion pass only
@@ -1005,7 +1070,7 @@ class ExecutorCore {
             machine().note_affinity(member.op_index, worker);
           }
           if (result.kind() == Value::Kind::kBlock) {
-            result.block_ptr()->home_worker.store(worker, std::memory_order_relaxed);
+            result.block_ptr()->set_home(worker, topo_.domain_of(worker));
           }
           chain = std::move(result);
         }
@@ -1176,6 +1241,10 @@ class ExecutorCore {
 
   const OperatorRegistry& registry_;
   const ExecConfig* exec_config_ = nullptr;
+  /// Effective topology (init_exec) and whether it charges anything —
+  /// the one branch the UMA hot path pays for the whole NUMA model.
+  MemoryTopology topo_;
+  bool numa_active_ = false;
   /// Declared before everything that allocates from it: a base-class
   /// subobject outlives all members of the derived Machine, so every
   /// pooled activation is freed before the pool goes away.

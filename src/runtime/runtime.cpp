@@ -36,6 +36,10 @@ Runtime::Runtime(const OperatorRegistry& registry, RuntimeConfig config)
   config_.scheduler = sched == 0 ? SchedulerKind::kGlobalLock : SchedulerKind::kWorkStealing;
   apply_exec_env_overrides(config_);
   init_exec(&config_);
+  if (topology().num_domains > 1) {
+    domain_rr_ =
+        std::vector<std::atomic<uint32_t>>(static_cast<size_t>(topology().num_domains));
+  }
   trace_enabled_ = config_.enable_tracing;
   if (trace_enabled_) {
     // One ring per worker plus one for the run's caller thread (root
@@ -247,12 +251,54 @@ void Runtime::record_fault_from_core(void* run, FaultInfo f, int32_t op_index,
   record_fault(static_cast<RunState*>(run), std::move(f), op_index);
 }
 
-void Runtime::charge_remote(Ticks ns, Ticks& /*cost*/) {
-  const Ticks until = now_ticks() + ns;
-  while (now_ticks() < until) {
-    // Busy wait: models the stall of pulling a remote block across the
-    // interconnect (Butterfly-style NUMA).
+namespace {
+/// One-time probe of how many spin-kernel iterations fit in a
+/// microsecond on this host. charge_remote spins calibrated bursts
+/// between clock reads: polling now_ticks() every iteration spends most
+/// of the budget inside the clock read itself, which made short
+/// penalties wildly inaccurate.
+uint64_t spin_iters_per_us() {
+  static const uint64_t calibrated = [] {
+    constexpr uint64_t kProbeIters = 1 << 16;
+    volatile uint64_t sink = 0;
+    const Ticks t0 = now_ticks();
+    for (uint64_t i = 0; i < kProbeIters; ++i) sink += i;
+    const Ticks elapsed = std::max<Ticks>(now_ticks() - t0, 1);
+    return std::max<uint64_t>(kProbeIters * 1000 / static_cast<uint64_t>(elapsed), 16);
+  }();
+  return calibrated;
+}
+}  // namespace
+
+void Runtime::charge_remote(int /*domain_from*/, int /*domain_to*/, int64_t /*bytes*/,
+                            Ticks penalty_ns, Ticks& /*cost*/) {
+  // Models the stall of pulling a block across the interconnect
+  // (Butterfly-style NUMA) as a calibrated spin: burn ~penalty_ns of CPU
+  // in bursts sized by the one-time probe, re-reading the clock only
+  // between bursts so the overshoot is bounded by one burst (~1 µs).
+  if (penalty_ns <= 0) return;
+  const Ticks deadline = now_ticks() + penalty_ns;
+  volatile uint64_t sink = 0;
+  while (now_ticks() < deadline) {
+    const uint64_t burst = spin_iters_per_us();
+    for (uint64_t i = 0; i < burst; ++i) sink += i;
   }
+}
+
+int Runtime::pick_worker_in_domain(int domain, int home_worker) {
+  // Under the w % num_domains striping rule, the workers of domain d are
+  // {d, d+D, d+2D, ...} below num_workers. Rotate among them so
+  // data-affinity placement spreads across the home domain instead of
+  // hammering the single home worker.
+  const int domains = topology().num_domains;
+  if (domain < 0 || domains <= 1 || domain >= domains ||
+      static_cast<size_t>(domain) >= domain_rr_.size()) {
+    return home_worker;
+  }
+  const int members = (config_.num_workers - domain + domains - 1) / domains;
+  if (members <= 1) return home_worker;
+  const uint32_t k = domain_rr_[domain].fetch_add(1, std::memory_order_relaxed);
+  return domain + static_cast<int>(k % static_cast<uint32_t>(members)) * domains;
 }
 
 void Runtime::charge_stall(Ticks ns, Ticks& /*cost*/) {
@@ -434,16 +480,32 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
     if (self.inbox[pri].pop(out)) return true;
   }
   // Dry: steal FIFO from victims' deque tops, priority-major across the
-  // pool, starting from a rotating victim so thieves spread out.
+  // pool, starting from a rotating victim so thieves spread out. Under a
+  // multi-domain topology with locality_scheduling, each priority level
+  // is scanned twice — same-domain victims first, then cross-domain — so
+  // a higher-priority item anywhere still wins, but within a level the
+  // thief prefers work whose producer shares its memory domain.
   const size_t n = ws_.size();
   if (n > 1) {
+    const MemoryTopology& topo = topology();
+    const bool domain_aware =
+        exec_config().locality_scheduling && topo.num_domains > 1;
+    const int my_domain = topo.domain_of(worker);
     const size_t base = ++self.steal_rr;
-    for (int pri = 0; pri < kQueueLevels; ++pri) {
+    // pass < 0: scan every victim. pass 0: same-domain only. pass 1:
+    // cross-domain only. The local/remote counter split is always keyed
+    // off the victim's actual domain, so it stays honest even when the
+    // scan order is locality-blind.
+    const auto steal_scan = [&](int pri, int pass) {
       for (size_t i = 0; i < n; ++i) {
         const size_t victim = (base + i) % n;
         if (victim == static_cast<size_t>(worker)) continue;
+        const bool same = topo.domain_of(static_cast<int>(victim)) == my_domain;
+        if (pass >= 0 && same != (pass == 0)) continue;
         if (ws_[victim]->deques[pri].steal(out)) {
           counters_.sched_steals.fetch_add(1, std::memory_order_relaxed);
+          (same ? counters_.sched_local_steals : counters_.sched_remote_steals)
+              .fetch_add(1, std::memory_order_relaxed);
           if (trace_enabled_) {
             // Holding the stolen item opens the safe window: flush what
             // accumulated while idle, then record the steal itself.
@@ -452,6 +514,14 @@ bool Runtime::ws_try_pop(int worker, WorkItem& out) {
           }
           return true;
         }
+      }
+      return false;
+    };
+    for (int pri = 0; pri < kQueueLevels; ++pri) {
+      if (domain_aware) {
+        if (steal_scan(pri, 0) || steal_scan(pri, 1)) return true;
+      } else {
+        if (steal_scan(pri, -1)) return true;
       }
     }
     counters_.sched_failed_steals.fetch_add(1, std::memory_order_relaxed);
@@ -528,7 +598,12 @@ void Runtime::worker_loop_ws(int worker) {
 
 bool Runtime::pop_item(int worker, WorkItem& out) {
   // Priority-major: a higher-priority item anywhere beats a lower-priority
-  // one here. Within a level: own queue, then global, then steal.
+  // one here. Within a level: own queue, then global, then steal — with
+  // the steal scan visiting same-domain workers first under a
+  // multi-domain topology, mirroring the work-stealing executor.
+  const MemoryTopology& topo = topology();
+  const bool domain_aware = exec_config().locality_scheduling && topo.num_domains > 1;
+  const int my_domain = topo.domain_of(worker);
   for (int pri = 0; pri < kQueueLevels; ++pri) {
     auto& own = local_queues_[worker][pri];
     if (!own.empty()) {
@@ -541,12 +616,19 @@ bool Runtime::pop_item(int worker, WorkItem& out) {
       global_queue_[pri].pop_front();
       return true;
     }
-    for (size_t other = 0; other < local_queues_.size(); ++other) {
-      auto& q = local_queues_[other][pri];
-      if (!q.empty()) {
-        out = std::move(q.front());
-        q.pop_front();
-        return true;
+    const int passes = domain_aware ? 2 : 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      for (size_t other = 0; other < local_queues_.size(); ++other) {
+        if (domain_aware) {
+          const bool same = topo.domain_of(static_cast<int>(other)) == my_domain;
+          if (same != (pass == 0)) continue;
+        }
+        auto& q = local_queues_[other][pri];
+        if (!q.empty()) {
+          out = std::move(q.front());
+          q.pop_front();
+          return true;
+        }
       }
     }
   }

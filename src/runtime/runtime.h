@@ -205,7 +205,9 @@ class Runtime : public ExecutorCore<Runtime> {
   void trace_from_core(int worker, Ticks ts, TraceEventKind kind, int32_t op, int64_t arg);
   void record_fault_from_core(void* run, FaultInfo f, int32_t op_index, Ticks ts,
                               int worker);
-  void charge_remote(Ticks ns, Ticks& cost);
+  void charge_remote(int domain_from, int domain_to, int64_t bytes, Ticks penalty_ns,
+                     Ticks& cost);
+  int pick_worker_in_domain(int domain, int home_worker);
   void charge_stall(Ticks ns, Ticks& cost);
   void charge_backoff(Ticks ns, Ticks& cost);
   void busy_begin(int worker, const OperatorDef& def);
@@ -267,6 +269,12 @@ class Runtime : public ExecutorCore<Runtime> {
   std::vector<std::unique_ptr<WsWorker>> ws_;
   std::atomic<int> num_parked_{0};
   std::atomic<uint32_t> inject_rr_{0};  // round-robin for external enqueues
+
+  // Locality (src/support/topology.h): per-domain round-robin cursors
+  // for in-domain data-affinity placement. Sized from the effective
+  // topology at construction; empty under single-/per-worker-domain
+  // topologies, where pick_worker_in_domain is never called.
+  std::vector<std::atomic<uint32_t>> domain_rr_;
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerData>> worker_data_;

@@ -90,12 +90,16 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
 
   std::vector<int> op_last_proc;  // operator-affinity memory
   std::unordered_map<std::string, size_t> op_occurrence;  // for cost replay
+  std::vector<uint32_t> domain_rr;  // per-domain RR cursor (deterministic)
 
   Impl(const OperatorRegistry& r, const SimConfig& c)
       : ExecutorCore<SimRuntime::Impl>(r), config(c) {
     init_exec(&config);
     proc_avail.assign(config.num_procs, 0);
     proc_busy.assign(config.num_procs, 0);
+    if (topology().num_domains > 1) {
+      domain_rr.assign(static_cast<size_t>(topology().num_domains), 0);
+    }
   }
 
   void trace_event(Ticks ts, int proc, TraceEventKind kind, int32_t op = -1,
@@ -185,10 +189,27 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
   }
 
   // Virtual NUMA pulls, injected stalls, and retry backoff are all
-  // charged to the virtual clock instead of spun/slept — deterministic.
-  void charge_remote(Ticks ns, Ticks& cost) { cost += ns; }
+  // charged to the virtual clock instead of spun/slept — deterministic
+  // and exact: the simulator charges precisely the topology's per-KiB +
+  // migration penalty, whatever the domain pair.
+  void charge_remote(int /*domain_from*/, int /*domain_to*/, int64_t /*bytes*/,
+                     Ticks penalty_ns, Ticks& cost) {
+    cost += penalty_ns;
+  }
   void charge_stall(Ticks ns, Ticks& cost) { cost += ns; }
   void charge_backoff(Ticks ns, Ticks& cost) { cost += ns; }
+
+  int pick_worker_in_domain(int domain, int home_worker) {
+    // Same striping rule as Runtime::pick_worker_in_domain, but with a
+    // plain cursor: the simulator is single-threaded, so placement stays
+    // deterministic across runs.
+    const int domains = topology().num_domains;
+    if (domain < 0 || domains <= 1 || domain >= domains) return home_worker;
+    const int members = (config.num_procs - domain + domains - 1) / domains;
+    if (members <= 1) return home_worker;
+    const uint32_t k = domain_rr[static_cast<size_t>(domain)]++;
+    return domain + static_cast<int>(k % static_cast<uint32_t>(members)) * domains;
+  }
 
   // No wall-clock watchdog here (the virtual one lives in the run loop).
   void busy_begin(int /*proc*/, const OperatorDef& /*def*/) {}
@@ -279,17 +300,35 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
 
     // Among items ready at <= t: priority level first; within a level,
     // prefer items bound to this processor, then unbound, then steal —
-    // FIFO inside each class. Mirrors Runtime's pop order.
+    // FIFO inside each class. Mirrors Runtime's pop order. Under a
+    // multi-domain topology with locality_scheduling the class ladder
+    // grows a rung: bound-here, bound-same-domain, unbound, bound-
+    // elsewhere — the virtual twin of Runtime's domain-aware steal scan.
+    // The three-class ranking is kept verbatim otherwise, so default,
+    // UMA, and legacy-flat schedules stay byte-identical.
+    const bool domain_aware =
+        exec_config().locality_scheduling && topology().num_domains > 1;
+    const int p_domain = domain_aware ? topology().domain_of(p) : -1;
     size_t best = ready.size();
     int best_rank = std::numeric_limits<int>::max();
     uint64_t best_seq = std::numeric_limits<uint64_t>::max();
     for (size_t i = 0; i < ready.size(); ++i) {
       const ReadyItem& item = ready[i];
       if (item.ready > t) continue;
-      int affinity_class = 1;  // unbound
-      if (item.preferred == p) affinity_class = 0;
-      else if (item.preferred >= 0) affinity_class = 2;
-      const int rank = item.priority * 3 + affinity_class;
+      int rank;
+      if (domain_aware) {
+        int affinity_class = 2;  // unbound
+        if (item.preferred == p) affinity_class = 0;
+        else if (item.preferred >= 0 &&
+                 topology().domain_of(item.preferred) == p_domain) affinity_class = 1;
+        else if (item.preferred >= 0) affinity_class = 3;
+        rank = item.priority * 4 + affinity_class;
+      } else {
+        int affinity_class = 1;  // unbound
+        if (item.preferred == p) affinity_class = 0;
+        else if (item.preferred >= 0) affinity_class = 2;
+        rank = item.priority * 3 + affinity_class;
+      }
       if (rank < best_rank || (rank == best_rank && item.seq < best_seq)) {
         best = i;
         best_rank = rank;
@@ -494,6 +533,13 @@ struct SimRuntime::Impl : ExecutorCore<SimRuntime::Impl> {
     return out;
   }
 };
+
+SimConfig SimConfig::sharded_cluster(int procs_per_shard) {
+  SimConfig config;
+  config.topology = MemoryTopology::cluster();
+  config.num_procs = config.topology.num_domains * std::max(procs_per_shard, 1);
+  return config;
+}
 
 SimRuntime::SimRuntime(const OperatorRegistry& registry, SimConfig config)
     : registry_(registry), config_(config) {

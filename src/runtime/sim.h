@@ -68,6 +68,13 @@ struct SimConfig : ExecConfig {
   /// watchdog fire here reproduces exactly. (The threaded runtime's
   /// budget is wall-clock milliseconds — see RuntimeConfig.)
   int64_t watchdog_budget_ns = 0;
+
+  /// Machine-model preset approximating a small cluster of shared-memory
+  /// shards: MemoryTopology::cluster()'s four domains, each holding
+  /// `procs_per_shard` virtual processors, with a steep inter-domain
+  /// transfer cost. Values stay identical to any other topology — only
+  /// virtual makespans (and the locality counters) move.
+  static SimConfig sharded_cluster(int procs_per_shard = 2);
 };
 
 struct SimResult {

@@ -31,6 +31,37 @@ class RuntimeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Where a block's "local memory" currently lives (§9.3): the worker
+/// that last produced or pulled it, and that worker's NUMA domain under
+/// the run's MemoryTopology. Both coordinates are packed into one
+/// atomic word so a reader never sees a worker from one placement and a
+/// domain from another. (-1, -1) means unplaced. Purely a performance
+/// model; never affects values.
+class BlockHome {
+ public:
+  int worker() const { return unpack_hi(packed_.load(std::memory_order_relaxed)); }
+  int domain() const { return unpack_lo(packed_.load(std::memory_order_relaxed)); }
+  void store(int worker, int domain) {
+    packed_.store(pack(worker, domain), std::memory_order_relaxed);
+  }
+
+ private:
+  // Each coordinate is biased by +1 so the zero-initialized word reads
+  // back as the unplaced (-1, -1) home.
+  static uint64_t pack(int worker, int domain) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(worker + 1)) << 32) |
+           static_cast<uint32_t>(domain + 1);
+  }
+  static int unpack_hi(uint64_t packed) {
+    return static_cast<int>(static_cast<uint32_t>(packed >> 32)) - 1;
+  }
+  static int unpack_lo(uint64_t packed) {
+    return static_cast<int>(static_cast<uint32_t>(packed)) - 1;
+  }
+
+  std::atomic<uint64_t> packed_{0};
+};
+
 /// Type-erased shared data block. Apps subclass via TypedBlock<T>.
 class BlockBase {
  public:
@@ -41,9 +72,15 @@ class BlockBase {
   virtual size_t byte_size() const = 0;
   virtual const char* type_name() const = 0;
 
-  /// Worker whose "local memory" currently holds this block (§9.3).
-  /// -1 means unplaced. Purely a performance model; never affects values.
-  std::atomic<int> home_worker{-1};
+  /// The block's home placement (worker + NUMA domain). All reads and
+  /// writes go through these accessors; raw member access is private so
+  /// the two coordinates can never be torn apart.
+  int home_worker() const { return home_.worker(); }
+  int home_domain() const { return home_.domain(); }
+  void set_home(int worker, int domain) { home_.store(worker, domain); }
+
+ private:
+  BlockHome home_;
 };
 
 namespace detail {

@@ -1,0 +1,98 @@
+#include "src/support/topology.h"
+
+#include <cstdlib>
+
+#include "src/support/env.h"
+
+namespace delirium {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& spec,
+                           const std::string& why) {
+  throw EnvError(what + ": bad topology '" + spec + "': " + why +
+                 " (preset[:key=value,...]; presets uma|numa2|numa4|cluster|flat; "
+                 "keys domains|intra|inter|migrate)");
+}
+
+int64_t parse_cost(const std::string& what, const std::string& spec,
+                   const std::string& text) {
+  if (text.empty()) bad_spec(what, spec, "empty value");
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || v < 0) {
+    bad_spec(what, spec, "'" + text + "' is not a non-negative integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+// Preset charges are virtual-ns figures in the spirit of the §9.3
+// Butterfly numbers: zero within a domain, growing per-KiB cost and
+// migration surcharge as the "interconnect" gets worse. They exist to
+// give the sweep in EXPERIMENTS.md stable named points, not to model a
+// specific machine.
+MemoryTopology MemoryTopology::numa2() {
+  return MemoryTopology{"numa2", 2, 0, 64, 500};
+}
+
+MemoryTopology MemoryTopology::numa4() {
+  return MemoryTopology{"numa4", 4, 0, 128, 1000};
+}
+
+MemoryTopology MemoryTopology::cluster() {
+  return MemoryTopology{"cluster", 4, 0, 2048, 16384};
+}
+
+MemoryTopology MemoryTopology::flat(int64_t per_kib) {
+  return MemoryTopology{"flat", 0, 0, per_kib, 0};
+}
+
+MemoryTopology parse_topology(const std::string& spec, const std::string& what) {
+  const size_t colon = spec.find(':');
+  const std::string preset = spec.substr(0, colon);
+  MemoryTopology topo;
+  if (preset == "uma") {
+    topo = MemoryTopology::uma();
+  } else if (preset == "numa2") {
+    topo = MemoryTopology::numa2();
+  } else if (preset == "numa4") {
+    topo = MemoryTopology::numa4();
+  } else if (preset == "cluster") {
+    topo = MemoryTopology::cluster();
+  } else if (preset == "flat") {
+    topo = MemoryTopology::flat(0);
+  } else {
+    bad_spec(what, spec, "unknown preset '" + preset + "'");
+  }
+  if (colon == std::string::npos) return topo;
+
+  size_t pos = colon + 1;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_spec(what, spec, "part '" + part + "' is not key=value");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "domains") {
+      const int64_t v = parse_cost(what, spec, value);
+      topo.num_domains = static_cast<int>(v);
+    } else if (key == "intra") {
+      topo.intra_kib_cost_ns = parse_cost(what, spec, value);
+    } else if (key == "inter") {
+      topo.inter_kib_cost_ns = parse_cost(what, spec, value);
+    } else if (key == "migrate") {
+      topo.migration_cost_ns = parse_cost(what, spec, value);
+    } else {
+      bad_spec(what, spec, "unknown key '" + key + "'");
+    }
+    pos = comma + 1;
+  }
+  return topo;
+}
+
+}  // namespace delirium

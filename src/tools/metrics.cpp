@@ -20,10 +20,13 @@ std::vector<RunStatField> run_stat_fields(const RunStats& s) {
       {"cow_copies", s.cow_copies},
       {"cow_skipped", s.cow_skipped},
       {"remote_block_moves", s.remote_block_moves},
+      {"remote_bytes_pulled", s.remote_bytes_pulled},
       {"sched_local_enqueues", s.sched_local_enqueues},
       {"sched_injected_enqueues", s.sched_injected_enqueues},
       {"sched_steals", s.sched_steals},
       {"sched_failed_steals", s.sched_failed_steals},
+      {"sched_local_steals", s.sched_local_steals},
+      {"sched_remote_steals", s.sched_remote_steals},
       {"sched_parks", s.sched_parks},
       {"sched_wakeups", s.sched_wakeups},
       {"sched_hint_promotions", s.sched_hint_promotions},
@@ -97,10 +100,13 @@ void MetricsRegistry::observe_run(const RunStats& stats,
   totals_.cow_copies += stats.cow_copies;
   totals_.cow_skipped += stats.cow_skipped;
   totals_.remote_block_moves += stats.remote_block_moves;
+  totals_.remote_bytes_pulled += stats.remote_bytes_pulled;
   totals_.sched_local_enqueues += stats.sched_local_enqueues;
   totals_.sched_injected_enqueues += stats.sched_injected_enqueues;
   totals_.sched_steals += stats.sched_steals;
   totals_.sched_failed_steals += stats.sched_failed_steals;
+  totals_.sched_local_steals += stats.sched_local_steals;
+  totals_.sched_remote_steals += stats.sched_remote_steals;
   totals_.sched_parks += stats.sched_parks;
   totals_.sched_wakeups += stats.sched_wakeups;
   totals_.sched_hint_promotions += stats.sched_hint_promotions;

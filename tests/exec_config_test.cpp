@@ -41,6 +41,8 @@ DELIRIUM_EXPECT_SHARED_KNOB(bool, cost_hints);
 DELIRIUM_EXPECT_SHARED_KNOB(bool, enable_tail_calls);
 DELIRIUM_EXPECT_SHARED_KNOB(AffinityMode, affinity);
 DELIRIUM_EXPECT_SHARED_KNOB(int64_t, remote_penalty_ns_per_kb);
+DELIRIUM_EXPECT_SHARED_KNOB(MemoryTopology, topology);
+DELIRIUM_EXPECT_SHARED_KNOB(bool, locality_scheduling);
 DELIRIUM_EXPECT_SHARED_KNOB(bool, unique_fastpath);
 DELIRIUM_EXPECT_SHARED_KNOB(int, max_retries);
 DELIRIUM_EXPECT_SHARED_KNOB(int64_t, retry_backoff_ns);
@@ -72,6 +74,8 @@ TEST(ExecConfig, BaseSliceAssignmentCarriesEverySharedKnobToBothConfigs) {
   shared.enable_tail_calls = !shared.enable_tail_calls;
   shared.affinity = AffinityMode::kData;
   shared.remote_penalty_ns_per_kb = 777;
+  shared.topology = MemoryTopology::numa2();
+  shared.locality_scheduling = !shared.locality_scheduling;
   shared.unique_fastpath = !shared.unique_fastpath;
   shared.max_retries = 5;
   shared.retry_backoff_ns = 12345;
@@ -92,6 +96,8 @@ TEST(ExecConfig, BaseSliceAssignmentCarriesEverySharedKnobToBothConfigs) {
     EXPECT_EQ(config->enable_tail_calls, shared.enable_tail_calls);
     EXPECT_EQ(config->affinity, shared.affinity);
     EXPECT_EQ(config->remote_penalty_ns_per_kb, shared.remote_penalty_ns_per_kb);
+    EXPECT_EQ(config->topology, shared.topology);
+    EXPECT_EQ(config->locality_scheduling, shared.locality_scheduling);
     EXPECT_EQ(config->unique_fastpath, shared.unique_fastpath);
     EXPECT_EQ(config->max_retries, shared.max_retries);
     EXPECT_EQ(config->retry_backoff_ns, shared.retry_backoff_ns);
